@@ -1,0 +1,366 @@
+//! A HiBISCuS-style source-pruning add-on (Saleem & Ngonga Ngomo,
+//! ESWC 2014), run on top of the FedX executor as in the paper.
+//!
+//! HiBISCuS summarizes each endpoint by the **URI authorities** (scheme +
+//! host) of the subjects and objects of every predicate. At query time,
+//! after ASK source selection, an endpoint is pruned from a pattern's
+//! source list when the authorities it could contribute for a join
+//! variable cannot intersect the authorities the joining patterns can
+//! contribute. This reduces the fan-out of the bound joins but — unlike
+//! Lusail's LADE — says nothing about whether the *instances* are
+//! co-located, so pattern-at-a-time execution remains.
+
+use crate::common::{
+    bound_join, evaluate_unbound, exclusive_groups, order_units, push_filters,
+};
+use lusail_core::cache::ProbeCache;
+use lusail_core::exec::RequestHandler;
+use lusail_core::source_selection::{select_sources, SourceMap};
+use lusail_endpoint::{EndpointId, FederatedEngine, Federation, LocalEndpoint};
+use lusail_rdf::{FxHashMap, FxHashSet, TermId};
+use lusail_sparql::ast::{GroupPattern, Query, TriplePattern};
+use lusail_sparql::SolutionSet;
+use std::time::{Duration, Instant};
+
+/// Subject and object authority sets for one predicate at one endpoint.
+type AuthoritySets = (FxHashSet<String>, FxHashSet<String>);
+
+/// Authority sets per (endpoint, predicate).
+#[derive(Debug, Clone, Default)]
+pub struct HibiscusIndex {
+    /// Per endpoint: predicate → (subject authorities, object authorities).
+    per_endpoint: Vec<FxHashMap<TermId, AuthoritySets>>,
+    /// Preprocessing wall time.
+    pub build_time: Duration,
+}
+
+impl HibiscusIndex {
+    /// Scans every endpoint and collects authority summaries.
+    pub fn build(endpoints: &[&LocalEndpoint]) -> Self {
+        let t0 = Instant::now();
+        let mut per_endpoint = Vec::with_capacity(endpoints.len());
+        for ep in endpoints {
+            let store = ep.store();
+            let dict = store.dict();
+            let mut summary: FxHashMap<TermId, AuthoritySets> = FxHashMap::default();
+            for (p, _) in store.predicates() {
+                let mut subj: FxHashSet<String> = FxHashSet::default();
+                let mut obj: FxHashSet<String> = FxHashSet::default();
+                store.scan(None, Some(p), None, |t| {
+                    // Terms without a URI authority (blank nodes, urn:,
+                    // literals) are summarized as the wildcard "*": they
+                    // can match anything, so the endpoint must never be
+                    // pruned on their account.
+                    match dict.decode(t.s).authority() {
+                        Some(a) => subj.insert(a.to_string()),
+                        None => subj.insert("*".to_string()),
+                    };
+                    match dict.decode(t.o).authority() {
+                        Some(a) => obj.insert(a.to_string()),
+                        None => obj.insert("*".to_string()),
+                    };
+                    true
+                });
+                summary.insert(p, (subj, obj));
+            }
+            per_endpoint.push(summary);
+        }
+        HibiscusIndex {
+            per_endpoint,
+            build_time: t0.elapsed(),
+        }
+    }
+
+    fn subject_authorities(&self, ep: EndpointId, p: TermId) -> Option<&FxHashSet<String>> {
+        self.per_endpoint.get(ep)?.get(&p).map(|(s, _)| s)
+    }
+
+    fn object_authorities(&self, ep: EndpointId, p: TermId) -> Option<&FxHashSet<String>> {
+        self.per_endpoint.get(ep)?.get(&p).map(|(_, o)| o)
+    }
+
+    /// Prunes a source map: for every join variable between two constant-
+    /// predicate patterns, an endpoint survives for the subject-side
+    /// pattern only if its subject authorities intersect the union of the
+    /// object authorities the other pattern can contribute (and vice
+    /// versa).
+    pub fn prune(&self, triples: &[TriplePattern], sources: &SourceMap) -> SourceMap {
+        let mut pruned: Vec<(TriplePattern, Vec<EndpointId>)> = triples
+            .iter()
+            .map(|tp| (tp.clone(), sources.sources(tp).to_vec()))
+            .collect();
+
+        // Collect join variables with their (pattern, role) occurrences.
+        for i in 0..triples.len() {
+            for j in 0..triples.len() {
+                if i == j {
+                    continue;
+                }
+                let (Some(pi), Some(pj)) = (triples[i].p.as_const(), triples[j].p.as_const())
+                else {
+                    continue;
+                };
+                // Variable as object of i and subject of j: prune j's
+                // sources whose subject authorities miss all of i's object
+                // authorities.
+                let join_var = triples[i].o.as_var().filter(|v| {
+                    triples[j].s.as_var() == Some(v)
+                });
+                if join_var.is_none() {
+                    continue;
+                }
+                let mut contributed: FxHashSet<&String> = FxHashSet::default();
+                for &ep in sources.sources(&triples[i]) {
+                    if let Some(auths) = self.object_authorities(ep, pi) {
+                        contributed.extend(auths.iter());
+                    }
+                }
+                // No info, or a wildcard contributor (non-URI objects):
+                // cannot prune safely.
+                if contributed.is_empty() || contributed.iter().any(|a| *a == "*") {
+                    continue;
+                }
+                let (_, srcs_j) = &mut pruned[j];
+                srcs_j.retain(|&ep| {
+                    self.subject_authorities(ep, pj).is_none_or(|auths| {
+                        auths
+                            .iter()
+                            .any(|a| a == "*" || contributed.contains(a))
+                    })
+                });
+            }
+        }
+
+        let mut out = SourceMap::default();
+        for (tp, srcs) in pruned {
+            out.push_entry(tp, srcs);
+        }
+        out
+    }
+}
+
+/// HiBISCuS = authority pruning + the FedX execution strategy.
+pub struct HiBisCus {
+    index: HibiscusIndex,
+    block_size: usize,
+    ask_cache: ProbeCache<bool>,
+    handler: RequestHandler,
+}
+
+impl HiBisCus {
+    /// Creates the engine from a prebuilt index (FedX's default block
+    /// size).
+    pub fn new(index: HibiscusIndex) -> Self {
+        HiBisCus {
+            index,
+            block_size: 15,
+            ask_cache: ProbeCache::new(true),
+            handler: RequestHandler::new(),
+        }
+    }
+
+    /// Index build time.
+    pub fn preprocessing_time(&self) -> Duration {
+        self.index.build_time
+    }
+
+    /// Executes a query. A federated `SELECT (COUNT(*) AS ?c)` is
+    /// normalized to a mediator-side aggregate so the count is global.
+    pub fn execute(&self, fed: &Federation, query: &Query) -> SolutionSet {
+        if let Some(rewritten) = query.count_star_as_aggregate() {
+            return self.execute(fed, &rewritten);
+        }
+        let raw_sources = select_sources(fed, &query.pattern, &self.ask_cache, &self.handler);
+        if raw_sources.any_required_empty(&query.pattern.triples) {
+            return SolutionSet::empty(query.output_vars());
+        }
+        // The first-k cutoff is unsound under ORDER BY, DISTINCT, and
+        // aggregation: all must see every row before truncation.
+        let cutoff = if query.order_by.is_empty()
+            && !query.distinct
+            && query.aggregates.is_empty()
+        {
+            query.limit
+        } else {
+            None
+        };
+        let solutions = self.evaluate_group(fed, &query.pattern, cutoff, &raw_sources);
+        lusail_store::eval::apply_modifiers(solutions, query, fed.dict())
+    }
+
+    fn evaluate_group(
+        &self,
+        fed: &Federation,
+        group: &GroupPattern,
+        limit: Option<usize>,
+        raw_sources: &SourceMap,
+    ) -> SolutionSet {
+        // Authority pruning before unit formation: fewer sources can mean
+        // more exclusive groups. Pruning only considers *this* group's
+        // conjunctive patterns — joins against OPTIONAL/UNION patterns
+        // must not prune a required pattern's sources (the optional side
+        // may simply not match).
+        let sources = self.index.prune(&group.triples, raw_sources);
+
+        let mut units = exclusive_groups(&group.triples, &sources);
+        let global_filters = push_filters(&group.filters, &mut units);
+        let units = order_units(units);
+        let simple = group.optionals.is_empty()
+            && group.unions.is_empty()
+            && group.not_exists.is_empty()
+            && global_filters.is_empty();
+
+        let mut current = match group.values {
+            Some(ref v) => SolutionSet {
+                vars: v.vars.clone(),
+                rows: v.rows.clone(),
+            },
+            None => SolutionSet {
+                vars: Vec::new(),
+                rows: vec![Vec::new()],
+            },
+        };
+        let n_units = units.len();
+        for (i, unit) in units.iter().enumerate() {
+            let is_first = current.vars.is_empty() && current.len() == 1;
+            if is_first {
+                current = evaluate_unbound(fed, unit);
+            } else {
+                let cutoff = if simple && i + 1 == n_units { limit } else { None };
+                current = bound_join(fed, &current, unit, self.block_size, cutoff);
+            }
+            if current.is_empty() {
+                break;
+            }
+        }
+        current = lusail_store::eval::join_nested_groups(
+            current,
+            group,
+            fed.dict(),
+            |sub| self.evaluate_group(fed, sub, None, raw_sources),
+        );
+        lusail_store::eval::retain_filtered(&mut current, &global_filters, fed.dict());
+        current
+    }
+}
+
+impl FederatedEngine for HiBisCus {
+    fn engine_name(&self) -> &str {
+        "HiBISCuS"
+    }
+
+    fn run(&self, fed: &Federation, query: &Query) -> SolutionSet {
+        self.execute(fed, query)
+    }
+
+    fn reset(&self) {
+        self.ask_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_endpoint::SparqlEndpoint;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::parse_query;
+    use lusail_store::TripleStore;
+    use std::sync::Arc;
+
+    /// Endpoint A links into authority `http://b.org`; endpoint C uses a
+    /// different authority entirely, so it can be pruned for joins with A.
+    fn build() -> (Federation, Vec<Arc<LocalEndpoint>>, TripleStore) {
+        let dict = Dictionary::shared();
+        let mut oracle = TripleStore::new(Arc::clone(&dict));
+        let p = Term::iri("http://x/p");
+        let q = Term::iri("http://x/q");
+
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        let mut c = TripleStore::new(Arc::clone(&dict));
+        for i in 0..6 {
+            let s = Term::iri(format!("http://a.org/s{i}"));
+            let m = Term::iri(format!("http://b.org/m{i}"));
+            a.insert_terms(&s, &p, &m);
+            oracle.insert_terms(&s, &p, &m);
+            let o = Term::iri(format!("http://b.org/o{i}"));
+            b.insert_terms(&m, &q, &o);
+            oracle.insert_terms(&m, &q, &o);
+            // C has q-triples with unrelated authority.
+            let cs = Term::iri(format!("http://c.org/z{i}"));
+            let co = Term::iri(format!("http://c.org/w{i}"));
+            c.insert_terms(&cs, &q, &co);
+            oracle.insert_terms(&cs, &q, &co);
+        }
+        let ea = Arc::new(LocalEndpoint::new("A", a));
+        let eb = Arc::new(LocalEndpoint::new("B", b));
+        let ec = Arc::new(LocalEndpoint::new("C", c));
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::clone(&ea) as Arc<dyn SparqlEndpoint>);
+        fed.add(Arc::clone(&eb) as Arc<dyn SparqlEndpoint>);
+        fed.add(Arc::clone(&ec) as Arc<dyn SparqlEndpoint>);
+        (fed, vec![ea, eb, ec], oracle)
+    }
+
+    #[test]
+    fn pruning_drops_disjoint_authority_sources() {
+        let (fed, eps, _) = build();
+        let refs: Vec<&LocalEndpoint> = eps.iter().map(|e| e.as_ref()).collect();
+        let index = HibiscusIndex::build(&refs);
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?m . ?m <http://x/q> ?o }",
+            fed.dict(),
+        )
+        .unwrap();
+        let handler = RequestHandler::new();
+        let cache = ProbeCache::new(true);
+        let raw = select_sources(&fed, &q.pattern, &cache, &handler);
+        // Raw: q-pattern relevant at B and C.
+        assert_eq!(raw.sources(&q.pattern.triples[1]), &[1, 2]);
+        let pruned = index.prune(&q.pattern.triples, &raw);
+        // Pruned: C's subject authorities (c.org) don't intersect A's
+        // object authorities (b.org).
+        assert_eq!(pruned.sources(&q.pattern.triples[1]), &[1]);
+    }
+
+    #[test]
+    fn results_match_oracle_despite_pruning() {
+        let (fed, eps, oracle) = build();
+        let refs: Vec<&LocalEndpoint> = eps.iter().map(|e| e.as_ref()).collect();
+        let engine = HiBisCus::new(HibiscusIndex::build(&refs));
+        let q = parse_query(
+            "SELECT ?s ?o WHERE { ?s <http://x/p> ?m . ?m <http://x/q> ?o }",
+            fed.dict(),
+        )
+        .unwrap();
+        let got = engine.execute(&fed, &q);
+        let want = lusail_store::eval::evaluate(&oracle, &q);
+        assert_eq!(got.canonicalize(), want.canonicalize());
+        assert_eq!(got.len(), 6);
+    }
+
+    #[test]
+    fn pruning_reduces_requests_vs_fedx() {
+        let (fed, eps, _) = build();
+        let refs: Vec<&LocalEndpoint> = eps.iter().map(|e| e.as_ref()).collect();
+        let q = parse_query(
+            "SELECT ?s ?o WHERE { ?s <http://x/p> ?m . ?m <http://x/q> ?o }",
+            fed.dict(),
+        )
+        .unwrap();
+
+        let fedx = crate::fedx::FedX::default();
+        let before = fed.stats_snapshot();
+        fedx.run(&fed, &q);
+        let fedx_requests = fed.stats_snapshot().since(&before).select_requests;
+
+        let hib = HiBisCus::new(HibiscusIndex::build(&refs));
+        let before = fed.stats_snapshot();
+        hib.run(&fed, &q);
+        let hib_requests = fed.stats_snapshot().since(&before).select_requests;
+        assert!(
+            hib_requests < fedx_requests,
+            "hibiscus {hib_requests} !< fedx {fedx_requests}"
+        );
+    }
+}

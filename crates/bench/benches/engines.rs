@@ -1,0 +1,84 @@
+//! Criterion end-to-end benchmarks: one per evaluation setting, each
+//! comparing the four engines on a representative query (caches warm, as
+//! in the paper's measurement protocol).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
+use lusail_benchdata::{lubm, qfed};
+use lusail_core::Lusail;
+use lusail_endpoint::FederatedEngine;
+use std::sync::Arc;
+
+fn engines(w: &lusail_benchdata::Workload) -> Vec<(&'static str, Arc<dyn FederatedEngine>)> {
+    vec![
+        ("lusail", Arc::new(Lusail::default())),
+        ("fedx", Arc::new(FedX::default())),
+        (
+            "hibiscus",
+            Arc::new(HiBisCus::new(HibiscusIndex::build(&w.endpoint_refs()))),
+        ),
+        (
+            "splendid",
+            Arc::new(Splendid::new(VoidIndex::build(&w.endpoint_refs()))),
+        ),
+    ]
+}
+
+fn bench_lubm(c: &mut Criterion) {
+    let w = lubm::generate(&lubm::LubmConfig::new(4));
+    for qname in ["Q2", "Q4"] {
+        let mut group = c.benchmark_group(format!("lubm4/{qname}"));
+        group.sample_size(10);
+        let query = &w.query(qname).query;
+        for (name, engine) in engines(&w) {
+            // Warm the caches once so the measurement matches the paper's
+            // protocol (source selection cached).
+            let _ = engine.run(&w.federation, query);
+            group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+                b.iter(|| black_box(engine.run(&w.federation, query).len()))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_qfed(c: &mut Criterion) {
+    let w = qfed::generate(&qfed::QfedConfig::default());
+    for qname in ["C2P2", "C2P2B", "Drug"] {
+        let mut group = c.benchmark_group(format!("qfed/{qname}"));
+        group.sample_size(10);
+        let query = &w.query(qname).query;
+        for (name, engine) in engines(&w) {
+            let _ = engine.run(&w.federation, query);
+            group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+                b.iter(|| black_box(engine.run(&w.federation, query).len()))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_lusail_phases(c: &mut Criterion) {
+    // Ablation bench: LADE on vs off on a query where grouping matters.
+    let w = lubm::generate(&lubm::LubmConfig::new(4));
+    let q2 = &w.query("Q2").query;
+    let mut group = c.benchmark_group("ablation/lade_q2");
+    group.sample_size(10);
+    let lade = Lusail::default();
+    let _ = lade.run(&w.federation, q2);
+    group.bench_function("with_lade", |b| {
+        b.iter(|| black_box(lade.run(&w.federation, q2).len()))
+    });
+    let nolade = Lusail::new(lusail_core::LusailConfig {
+        disable_lade: true,
+        ..Default::default()
+    });
+    let _ = nolade.run(&w.federation, q2);
+    group.bench_function("without_lade", |b| {
+        b.iter(|| black_box(nolade.run(&w.federation, q2).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lubm, bench_qfed, bench_lusail_phases);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the substrate components: store pattern
+//! scans, SPARQL parsing/writing, solution joins, and the LADE analysis
+//! passes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lusail_core::cache::{KeyedCache, ProbeCache};
+use lusail_core::exec::RequestHandler;
+use lusail_core::gjv::detect_gjvs;
+use lusail_core::source_selection::select_sources;
+use lusail_rdf::{Dictionary, Term, TermId};
+use lusail_sparql::{parse_query, write_query, SolutionSet};
+use lusail_store::TripleStore;
+
+fn store_with_triples(n: usize) -> TripleStore {
+    let dict = Dictionary::shared();
+    let mut st = TripleStore::new(dict);
+    for i in 0..n {
+        st.insert_terms(
+            &Term::iri(format!("http://b/s{}", i % (n / 10).max(1))),
+            &Term::iri(format!("http://b/p{}", i % 8)),
+            &Term::iri(format!("http://b/o{i}")),
+        );
+    }
+    st
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    for n in [10_000usize, 100_000] {
+        let st = store_with_triples(n);
+        let p = st.dict().lookup(&Term::iri("http://b/p3")).unwrap();
+        group.bench_with_input(BenchmarkId::new("scan_by_predicate", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0u64;
+                st.scan(None, Some(p), None, |_| {
+                    count += 1;
+                    true
+                });
+                black_box(count)
+            })
+        });
+        let s = st.dict().lookup(&Term::iri("http://b/s1")).unwrap();
+        group.bench_with_input(BenchmarkId::new("scan_by_subject", n), &n, |b, _| {
+            b.iter(|| black_box(st.matches(Some(s), None, None).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparql(c: &mut Criterion) {
+    let dict = Dictionary::new();
+    let text = "PREFIX ub: <http://lubm.org/ub#> \
+                SELECT ?x ?y ?z WHERE { \
+                ?x a ub:GraduateStudent . ?y a ub:Professor . ?z a ub:Course . \
+                ?x ub:advisor ?y . ?y ub:teacherOf ?z . ?x ub:takesCourse ?z . \
+                FILTER (?x != ?y) OPTIONAL { ?x ub:name ?n } }";
+    c.bench_function("sparql/parse", |b| {
+        b.iter(|| black_box(parse_query(text, &dict).unwrap()))
+    });
+    let q = parse_query(text, &dict).unwrap();
+    c.bench_function("sparql/write", |b| {
+        b.iter(|| black_box(write_query(&q, &dict)))
+    });
+}
+
+fn solutions(n: usize, vars: [&str; 2], stride: u32) -> SolutionSet {
+    SolutionSet {
+        vars: vars.iter().map(|s| s.to_string()).collect(),
+        rows: (0..n as u32)
+            .map(|i| vec![Some(TermId(i)), Some(TermId(i * stride))])
+            .collect(),
+    }
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    for n in [1_000usize, 50_000] {
+        let a = solutions(n, ["x", "y"], 2);
+        let b = solutions(n, ["y", "z"], 1);
+        group.bench_with_input(BenchmarkId::new("hash_join", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.hash_join(&b).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("par_hash_join", n), &n, |bch, _| {
+            bch.iter(|| {
+                black_box(lusail_core::join::par_hash_join(&a, &b, 4, 10_000).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lade(c: &mut Criterion) {
+    let w = lusail_benchdata::lubm::generate(&lusail_benchdata::lubm::LubmConfig::new(4));
+    let q4 = &w.query("Q4").query;
+    let handler = RequestHandler::new();
+    c.bench_function("lade/source_selection_cold", |b| {
+        b.iter(|| {
+            let cache = ProbeCache::new(true);
+            black_box(select_sources(&w.federation, &q4.pattern, &cache, &handler))
+        })
+    });
+    let ask_cache = ProbeCache::new(true);
+    let sources = select_sources(&w.federation, &q4.pattern, &ask_cache, &handler);
+    c.bench_function("lade/gjv_detection_cold", |b| {
+        b.iter(|| {
+            let check_cache = KeyedCache::new(true);
+            black_box(detect_gjvs(
+                &w.federation,
+                &q4.pattern.triples,
+                &sources,
+                &check_cache,
+                &handler,
+            ))
+        })
+    });
+    let check_cache = KeyedCache::new(true);
+    let analysis = detect_gjvs(&w.federation, &q4.pattern.triples, &sources, &check_cache, &handler);
+    c.bench_function("lade/decompose", |b| {
+        b.iter(|| {
+            black_box(lusail_core::decompose::decompose(
+                &q4.pattern.triples,
+                &sources,
+                &analysis,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_store, bench_sparql, bench_join, bench_lade
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 11 — QFed query performance: Lusail vs FedX, HiBISCuS, and
+//! SPLENDID on the C2P2 family and the Drug query.
+//!
+//! ```sh
+//! cargo run --release -p lusail-bench --bin fig11_qfed [timeout_secs]
+//! ```
+
+use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
+use lusail_bench::compare_engines;
+use lusail_benchdata::qfed::{generate, QfedConfig};
+use lusail_core::Lusail;
+use lusail_endpoint::FederatedEngine;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let timeout_secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    println!("Figure 11 — QFed query runtimes (timeout {timeout_secs}s)\n");
+
+    let w = generate(&QfedConfig::default());
+    let engines: Vec<(&str, Arc<dyn FederatedEngine>)> = vec![
+        ("Lusail", Arc::new(Lusail::default())),
+        ("FedX", Arc::new(FedX::default())),
+        (
+            "HiBISCuS",
+            Arc::new(HiBisCus::new(HibiscusIndex::build(&w.endpoint_refs()))),
+        ),
+        (
+            "SPLENDID",
+            Arc::new(Splendid::new(VoidIndex::build(&w.endpoint_refs()))),
+        ),
+    ];
+    let queries: Vec<(&str, &lusail_sparql::Query)> = w
+        .queries
+        .iter()
+        .map(|nq| (nq.name.as_str(), &nq.query))
+        .collect();
+    let table = compare_engines(
+        "fig11_qfed",
+        &w.federation,
+        &engines,
+        &queries,
+        Duration::from_secs(timeout_secs),
+    );
+    table.finish();
+    println!(
+        "\nPaper shape: Lusail leads throughout; filter variants (…F) are \
+         fast everywhere (selective); big-literal variants (C2P2B, C2P2BO) \
+         hurt the bound-join systems badly — FedX/HiBISCuS moved so much \
+         literal data there that they timed out in the paper."
+    );
+}

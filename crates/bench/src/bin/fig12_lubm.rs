@@ -1,0 +1,62 @@
+//! Figure 12 — LUBM query performance on (a) two and (b) four university
+//! endpoints, all systems.
+//!
+//! ```sh
+//! cargo run --release -p lusail-bench --bin fig12_lubm [timeout_secs]
+//! ```
+
+use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
+use lusail_bench::compare_engines;
+use lusail_benchdata::lubm::{generate, LubmConfig};
+use lusail_core::Lusail;
+use lusail_endpoint::FederatedEngine;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let timeout_secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    for n in [2usize, 4] {
+        println!(
+            "Figure 12({}) — LUBM Q1–Q4 on {n} endpoints (timeout {timeout_secs}s)\n",
+            if n == 2 { "a" } else { "b" }
+        );
+        let w = generate(&LubmConfig::new(n));
+        let engines: Vec<(&str, Arc<dyn FederatedEngine>)> = vec![
+            ("Lusail", Arc::new(Lusail::default())),
+            ("FedX", Arc::new(FedX::default())),
+            (
+                "HiBISCuS",
+                Arc::new(HiBisCus::new(HibiscusIndex::build(&w.endpoint_refs()))),
+            ),
+            (
+                "SPLENDID",
+                Arc::new(Splendid::new(VoidIndex::build(&w.endpoint_refs()))),
+            ),
+        ];
+        let queries: Vec<(&str, &lusail_sparql::Query)> = w
+            .queries
+            .iter()
+            .map(|nq| (nq.name.as_str(), &nq.query))
+            .collect();
+        let table = compare_engines(
+            &format!("fig12_lubm_{n}ep"),
+            &w.federation,
+            &engines,
+            &queries,
+            Duration::from_secs(timeout_secs),
+        );
+        table.finish();
+        println!();
+    }
+    println!(
+        "Paper shape: identical schemas stop FedX/HiBISCuS from forming \
+         exclusive groups, so Q1/Q2 run one-pattern-at-a-time there while \
+         Lusail detects them as disjoint (one request per endpoint) — up \
+         to three orders of magnitude apart in the paper. Q3/Q4 join \
+         across endpoints; Lusail delays the generic subquery."
+    );
+}

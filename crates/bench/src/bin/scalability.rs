@@ -1,0 +1,79 @@
+//! Endpoint-count scalability (§VI, footnote 8): "The competitors do not
+//! scale to more than four [universities] while Lusail scales to 256."
+//!
+//! Runs LUBM Q2 (the disjoint triangle) and Q4 (cross-endpoint join) on a
+//! doubling number of endpoints for every engine, with a soft timeout.
+//! The baselines' bound joins multiply requests with endpoints and
+//! intermediate rows; Lusail's request count stays linear in endpoints.
+//!
+//! ```sh
+//! cargo run --release -p lusail-bench --bin scalability [max_endpoints] [timeout_secs]
+//! ```
+
+use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
+use lusail_bench::{compare_engines, Table};
+use lusail_benchdata::lubm::{generate, LubmConfig};
+use lusail_core::Lusail;
+use lusail_endpoint::FederatedEngine;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let max_endpoints: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let timeout_secs: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    println!(
+        "Scalability with endpoint count (LUBM; timeout {timeout_secs}s per engine/query)\n"
+    );
+
+    for qname in ["Q2", "Q4"] {
+        println!("--- {qname} ---\n");
+        let mut n = 2usize;
+        let mut rows_tables: Vec<Table> = Vec::new();
+        while n <= max_endpoints {
+            let w = generate(&LubmConfig::new(n));
+            let engines: Vec<(&str, Arc<dyn FederatedEngine>)> = vec![
+                ("Lusail", Arc::new(Lusail::default())),
+                ("FedX", Arc::new(FedX::default())),
+                (
+                    "HiBISCuS",
+                    Arc::new(HiBisCus::new(HibiscusIndex::build(&w.endpoint_refs()))),
+                ),
+                (
+                    "SPLENDID",
+                    Arc::new(Splendid::new(VoidIndex::build(&w.endpoint_refs()))),
+                ),
+            ];
+            let q = &w.query(qname).query;
+            let queries = [(format!("{n} endpoints"), q)];
+            let query_refs: Vec<(&str, &lusail_sparql::Query)> = queries
+                .iter()
+                .map(|(name, q)| (name.as_str(), *q))
+                .collect();
+            let table = compare_engines(
+                &format!("scalability_{qname}_{n}"),
+                &w.federation,
+                &engines,
+                &query_refs,
+                Duration::from_secs(timeout_secs),
+            );
+            rows_tables.push(table);
+            n *= 2;
+        }
+        for t in &rows_tables {
+            t.finish();
+        }
+        println!();
+    }
+    println!(
+        "Expected: Lusail's time and requests grow ~linearly with \
+         endpoints; the bound-join systems grow superlinearly (requests ∝ \
+         endpoints × intermediate rows) until they hit the timeout — the \
+         paper's footnote-8 claim."
+    );
+}

@@ -1,0 +1,284 @@
+//! Harness utilities shared by the per-figure experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the index). The helpers here run an engine on a
+//! query with request accounting and a soft timeout, and print/persist
+//! result tables.
+
+use lusail_endpoint::{FederatedEngine, Federation, StatsSnapshot};
+use lusail_sparql::{Query, SolutionSet};
+use std::io::Write as _;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The outcome of one engine/query run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Wall time.
+    pub elapsed: Duration,
+    /// Network counters accumulated during the run (all endpoints).
+    pub requests: StatsSnapshot,
+    /// The solutions (`None` on timeout).
+    pub solutions: Option<SolutionSet>,
+}
+
+impl RunResult {
+    /// True if the soft timeout fired (no solutions came back).
+    pub fn timed_out(&self) -> bool {
+        self.solutions.is_none()
+    }
+
+    /// Result rows (`None` on timeout).
+    pub fn rows(&self) -> Option<usize> {
+        self.solutions.as_ref().map(|s| s.len())
+    }
+
+    /// Milliseconds for table printing; `f64::NAN` on timeout.
+    pub fn ms(&self) -> f64 {
+        if self.timed_out() {
+            f64::NAN
+        } else {
+            self.elapsed.as_secs_f64() * 1e3
+        }
+    }
+
+    /// A compact display cell: time in ms, or `TIMEOUT`.
+    pub fn cell(&self) -> String {
+        if self.timed_out() {
+            "TIMEOUT".to_string()
+        } else {
+            format!("{:.1}", self.ms())
+        }
+    }
+}
+
+/// Runs `engine` on `query`, measuring wall time and the federation's
+/// request counters. If the run exceeds `timeout`, returns a timed-out
+/// result; the worker thread is detached and left to finish (the paper's
+/// harness likewise abandons runs at its one-hour limit).
+pub fn run_with_timeout(
+    engine: &Arc<dyn FederatedEngine>,
+    fed: &Federation,
+    query: &Query,
+    timeout: Duration,
+) -> RunResult {
+    let before = fed.stats_snapshot();
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    {
+        let engine = Arc::clone(engine);
+        let fed = fed.clone();
+        let query = query.clone();
+        std::thread::spawn(move || {
+            let sols = engine.run(&fed, &query);
+            let _ = tx.send(sols);
+        });
+    }
+    match rx.recv_timeout(timeout) {
+        Ok(sols) => RunResult {
+            elapsed: start.elapsed(),
+            requests: fed.stats_snapshot().since(&before),
+            solutions: Some(sols),
+        },
+        Err(_) => RunResult {
+            elapsed: start.elapsed(),
+            requests: fed.stats_snapshot().since(&before),
+            solutions: None,
+        },
+    }
+}
+
+/// Runs without a timeout (trusted-fast paths).
+pub fn run(engine: &dyn FederatedEngine, fed: &Federation, query: &Query) -> RunResult {
+    let before = fed.stats_snapshot();
+    let start = Instant::now();
+    let sols = engine.run(fed, query);
+    RunResult {
+        elapsed: start.elapsed(),
+        requests: fed.stats_snapshot().since(&before),
+        solutions: Some(sols),
+    }
+}
+
+/// Repeats a run `n` times (after one warm-up that primes the caches, as
+/// the paper does: "Lusail as well as its competitors are allowed to cache
+/// the results of the source selection phase ... we run each query three
+/// times and report their average") and averages the wall time. Counters
+/// are taken from the *last* repetition (steady state).
+pub fn run_averaged(
+    engine: &dyn FederatedEngine,
+    fed: &Federation,
+    query: &Query,
+    n: usize,
+) -> RunResult {
+    let _ = run(engine, fed, query); // warm-up primes ASK/check caches
+    let mut total = Duration::ZERO;
+    let mut last = None;
+    for _ in 0..n.max(1) {
+        let r = run(engine, fed, query);
+        total += r.elapsed;
+        last = Some(r);
+    }
+    let mut result = last.expect("n >= 1");
+    result.elapsed = total / n.max(1) as u32;
+    result
+}
+
+/// A simple fixed-width table writer that also saves CSV under
+/// `results/<name>.csv`.
+pub struct Table {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given CSV stem and column headers.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table to stdout and writes `results/<name>.csv`.
+    pub fn finish(&self) {
+        let widths: Vec<usize> = self
+            .header
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+            }
+            s
+        };
+        println!("{}", line(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for r in &self.rows {
+            println!("{}", line(r));
+        }
+        // CSV (cells containing commas — e.g. grouped counts — are quoted).
+        let csv_cell = |c: &String| -> String {
+            if c.contains(',') {
+                format!("\"{c}\"")
+            } else {
+                c.clone()
+            }
+        };
+        if std::fs::create_dir_all("results").is_ok() {
+            if let Ok(mut f) = std::fs::File::create(format!("results/{}.csv", self.name)) {
+                let _ = writeln!(f, "{}", self.header.join(","));
+                for r in &self.rows {
+                    let cells: Vec<String> = r.iter().map(csv_cell).collect();
+                    let _ = writeln!(f, "{}", cells.join(","));
+                }
+            }
+        }
+    }
+}
+
+/// Runs a list of engines over a list of queries with timeout and result
+/// verification, producing one table row per (query, engine). Engines
+/// that finish must agree with each other (multiset equality); the first
+/// finisher's canonical result is the reference.
+pub fn compare_engines(
+    table_name: &str,
+    fed: &Federation,
+    engines: &[(&str, Arc<dyn FederatedEngine>)],
+    queries: &[(&str, &Query)],
+    timeout: Duration,
+) -> Table {
+    let mut header = vec!["query".to_string()];
+    for (name, _) in engines {
+        header.push(format!("{name} (ms)"));
+        header.push(format!("{name} reqs"));
+    }
+    header.push("rows".to_string());
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(table_name, &header_refs);
+
+    for (qname, query) in queries {
+        let mut cells = vec![qname.to_string()];
+        let mut reference: Option<SolutionSet> = None;
+        let mut rows = String::from("-");
+        for (ename, engine) in engines {
+            // Warm-up primes caches (the paper lets every system cache its
+            // source selection), then the measured run.
+            let warm = run_with_timeout(engine, fed, query, timeout);
+            let r = if warm.timed_out() {
+                warm
+            } else {
+                run_with_timeout(engine, fed, query, timeout)
+            };
+            if let Some(sols) = &r.solutions {
+                let canon = sols.canonicalize();
+                match &reference {
+                    None => {
+                        rows = sols.len().to_string();
+                        reference = Some(canon);
+                    }
+                    // With LIMIT, any k-subset is a valid answer: engines
+                    // need only agree on the row count.
+                    Some(refsols) if query.limit.is_some() => assert_eq!(
+                        refsols.len(),
+                        canon.len(),
+                        "{ename} returns a different row count on {qname}"
+                    ),
+                    Some(refsols) => assert_eq!(
+                        *refsols, canon,
+                        "{ename} disagrees with reference on {qname}"
+                    ),
+                }
+            }
+            cells.push(r.cell());
+            cells.push(fmt_count(r.requests.total_requests()));
+        }
+        cells.push(rows);
+        table.row(cells);
+    }
+    table
+}
+
+/// Formats a request count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_count_groups_thousands() {
+        assert_eq!(fmt_count(5), "5");
+        assert_eq!(fmt_count(1234), "1,234");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic workload generators for the Lusail reproduction.
+//!
+//! The paper evaluates on four data settings (Table I); each module here
+//! builds a scaled-down, structurally faithful stand-in:
+//!
+//! * [`lubm`] — the LUBM benchmark: one university per endpoint, shared
+//!   ontology everywhere, and **degree interlinks** (professors/students
+//!   whose alma mater is another university's endpoint). Queries Q1–Q4
+//!   as used in the paper (§VI-C): Q1/Q2 disjoint triangles, Q3/Q4
+//!   cross-endpoint joins.
+//! * [`qfed`] — a QFed-style federation of four life-science sources
+//!   (DrugBank, Diseasome, Sider, DailyMed) with `owl:sameAs`-style
+//!   interlinks and the C2P2 query family (filter / big-literal /
+//!   optional variants) plus the Drug query.
+//! * [`lrb`] — a LargeRDFBench-style federation of 13 sources with the
+//!   benchmark's three query categories: simple (S), complex (C), and
+//!   large (B).
+//! * [`bio2rdf`] — a Bio2RDF-style federation (DrugBank, HGNC, MGI,
+//!   PharmGKB, OMIM) and the three real-workload queries R1–R3 of §VI-D.
+//!
+//! Every generator is seeded and deterministic: the same configuration
+//! always produces the same federation, so experiments are reproducible
+//! run-to-run. All queries are verified against a centralized *oracle*
+//! store (the union of all endpoints) in the workspace integration tests.
+
+pub mod bio2rdf;
+pub mod common;
+pub mod lrb;
+pub mod lubm;
+pub mod qfed;
+
+pub use common::{NamedQuery, Workload};

@@ -1,0 +1,196 @@
+//! Memoization of ASK, check-query, and COUNT probes.
+//!
+//! Lusail "caches the results of previously submitted ASK queries in a hash
+//! table" (§III). The cache key is a *normalized* triple pattern — variable
+//! names are canonicalized by order of first appearance — so syntactically
+//! different queries share probe results. Fig. 10(b,c) measures query
+//! response time with and without this cache.
+
+use lusail_endpoint::EndpointId;
+use lusail_rdf::{FxHashMap, TermId};
+use lusail_sparql::ast::{PatternTerm, TriplePattern};
+use parking_lot::Mutex;
+
+/// A canonical form of a triple pattern: variables replaced by their index
+/// of first appearance, constants kept.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternKey([KeyTerm; 3]);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KeyTerm {
+    Var(u8),
+    Const(TermId),
+}
+
+/// Normalizes a pattern into its cache key.
+pub fn pattern_key(tp: &TriplePattern) -> PatternKey {
+    let mut seen: Vec<String> = Vec::with_capacity(3);
+    let mut norm = |t: &PatternTerm| match t {
+        PatternTerm::Const(id) => KeyTerm::Const(*id),
+        PatternTerm::Var(v) => {
+            let idx = match seen.iter().position(|s| s == v) {
+                Some(i) => i,
+                None => {
+                    seen.push(v.clone());
+                    seen.len() - 1
+                }
+            };
+            KeyTerm::Var(idx as u8)
+        }
+    };
+    // Borrow checker: normalize in order.
+    let s = norm(&tp.s);
+    let p = norm(&tp.p);
+    let o = norm(&tp.o);
+    PatternKey([s, p, o])
+}
+
+/// A thread-safe memo table keyed by `(PatternKey, EndpointId)`.
+pub struct ProbeCache<V: Copy> {
+    enabled: bool,
+    map: Mutex<FxHashMap<(PatternKey, EndpointId), V>>,
+    hits: Mutex<u64>,
+}
+
+impl<V: Copy> ProbeCache<V> {
+    /// Creates a cache; if `enabled` is false, every lookup misses.
+    pub fn new(enabled: bool) -> Self {
+        ProbeCache {
+            enabled,
+            map: Mutex::new(FxHashMap::default()),
+            hits: Mutex::new(0),
+        }
+    }
+
+    /// Looks up a memoized probe result.
+    pub fn get(&self, key: &PatternKey, ep: EndpointId) -> Option<V> {
+        if !self.enabled {
+            return None;
+        }
+        let found = self.map.lock().get(&(key.clone(), ep)).copied();
+        if found.is_some() {
+            *self.hits.lock() += 1;
+        }
+        found
+    }
+
+    /// Stores a probe result.
+    pub fn put(&self, key: PatternKey, ep: EndpointId, value: V) {
+        if self.enabled {
+            self.map.lock().insert((key, ep), value);
+        }
+    }
+
+    /// Number of cache hits so far (diagnostics).
+    pub fn hits(&self) -> u64 {
+        *self.hits.lock()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (used between benchmark repetitions).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+        *self.hits.lock() = 0;
+    }
+}
+
+/// A generic string-keyed memo (used for check queries, whose identity
+/// involves two patterns plus an optional type constraint).
+pub struct KeyedCache<V: Copy> {
+    enabled: bool,
+    map: Mutex<FxHashMap<(String, EndpointId), V>>,
+}
+
+impl<V: Copy> KeyedCache<V> {
+    /// Creates a cache; if `enabled` is false, every lookup misses.
+    pub fn new(enabled: bool) -> Self {
+        KeyedCache {
+            enabled,
+            map: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Looks up a memoized result.
+    pub fn get(&self, key: &str, ep: EndpointId) -> Option<V> {
+        if !self.enabled {
+            return None;
+        }
+        self.map.lock().get(&(key.to_string(), ep)).copied()
+    }
+
+    /// Stores a result.
+    pub fn put(&self, key: String, ep: EndpointId, value: V) {
+        if self.enabled {
+            self.map.lock().insert((key, ep), value);
+        }
+    }
+
+    /// Drops all entries.
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> PatternTerm {
+        PatternTerm::Var(name.into())
+    }
+
+    fn c(id: u32) -> PatternTerm {
+        PatternTerm::Const(TermId(id))
+    }
+
+    #[test]
+    fn keys_ignore_variable_names() {
+        let a = TriplePattern::new(v("x"), c(1), v("y"));
+        let b = TriplePattern::new(v("s"), c(1), v("o"));
+        assert_eq!(pattern_key(&a), pattern_key(&b));
+    }
+
+    #[test]
+    fn keys_distinguish_repeated_variables() {
+        let a = TriplePattern::new(v("x"), c(1), v("x"));
+        let b = TriplePattern::new(v("x"), c(1), v("y"));
+        assert_ne!(pattern_key(&a), pattern_key(&b));
+    }
+
+    #[test]
+    fn keys_distinguish_constants() {
+        let a = TriplePattern::new(v("x"), c(1), v("y"));
+        let b = TriplePattern::new(v("x"), c(2), v("y"));
+        assert_ne!(pattern_key(&a), pattern_key(&b));
+    }
+
+    #[test]
+    fn cache_roundtrip_and_hits() {
+        let cache: ProbeCache<bool> = ProbeCache::new(true);
+        let key = pattern_key(&TriplePattern::new(v("x"), c(1), v("y")));
+        assert_eq!(cache.get(&key, 0), None);
+        cache.put(key.clone(), 0, true);
+        assert_eq!(cache.get(&key, 0), Some(true));
+        assert_eq!(cache.get(&key, 1), None); // different endpoint
+        assert_eq!(cache.hits(), 1);
+        cache.clear();
+        assert_eq!(cache.get(&key, 0), None);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache: ProbeCache<u64> = ProbeCache::new(false);
+        let key = pattern_key(&TriplePattern::new(v("x"), c(1), v("y")));
+        cache.put(key.clone(), 0, 42);
+        assert_eq!(cache.get(&key, 0), None);
+    }
+}

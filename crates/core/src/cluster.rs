@@ -1,0 +1,152 @@
+//! Multi-machine execution (§V: "Lusail also supports … multi-machine
+//! execution", detailed in the paper's extended version).
+//!
+//! A [`LusailCluster`] models several mediator machines, each running its
+//! own [`Lusail`] instance (own probe caches, own request handler worker
+//! threads), sharing nothing but the remote endpoints. A query *workload*
+//! is distributed across the machines round-robin and executed in
+//! parallel — the extended version's throughput experiment: adding
+//! mediator machines scales queries/second because the mediator's local
+//! work (joins, planning) parallelizes while the endpoints serve
+//! independent connections.
+
+use crate::engine::{Lusail, LusailConfig, QueryResult};
+use lusail_endpoint::Federation;
+use lusail_sparql::Query;
+
+/// A set of Lusail mediator machines executing workloads in parallel.
+pub struct LusailCluster {
+    machines: Vec<Lusail>,
+}
+
+impl LusailCluster {
+    /// Creates a cluster of `machines` mediators with identical
+    /// configuration. Each machine has independent caches.
+    pub fn new(machines: usize, config: LusailConfig) -> Self {
+        assert!(machines >= 1, "a cluster needs at least one machine");
+        LusailCluster {
+            machines: (0..machines).map(|_| Lusail::new(config.clone())).collect(),
+        }
+    }
+
+    /// Number of mediator machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True if the cluster has no machines (never: construction asserts).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Executes a workload, assigning query `i` to machine `i % M`, all
+    /// machines running concurrently. Results come back in input order.
+    pub fn execute_workload(&self, fed: &Federation, queries: &[Query]) -> Vec<QueryResult> {
+        let m = self.machines.len();
+        if m == 1 || queries.len() <= 1 {
+            return queries
+                .iter()
+                .map(|q| self.machines[0].execute(fed, q))
+                .collect();
+        }
+        let mut slots: Vec<Option<QueryResult>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(m);
+            for (mi, machine) in self.machines.iter().enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    let mut out: Vec<(usize, QueryResult)> = Vec::new();
+                    for (qi, q) in queries.iter().enumerate() {
+                        if qi % m == mi {
+                            out.push((qi, machine.execute(fed, q)));
+                        }
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                for (qi, r) in h.join().expect("mediator machine panicked") {
+                    slots[qi] = Some(r);
+                }
+            }
+        })
+        .expect("cluster scope");
+        slots.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+
+    /// Drops every machine's caches (between benchmark repetitions).
+    pub fn clear_caches(&self) {
+        for m in &self.machines {
+            m.clear_caches();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_endpoint::LocalEndpoint;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::parse_query;
+    use lusail_store::TripleStore;
+    use std::sync::Arc;
+
+    fn fed() -> (Federation, Vec<Query>) {
+        let dict = Dictionary::shared();
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        for i in 0..40 {
+            let s = Term::iri(format!("http://a/s{i}"));
+            let v = Term::iri(format!("http://shared/v{}", i % 8));
+            a.insert_terms(&s, &Term::iri("http://x/p"), &v);
+            b.insert_terms(&v, &Term::iri("http://x/q"), &Term::int(i));
+        }
+        let mut fed = Federation::new(Arc::clone(&dict));
+        fed.add(Arc::new(LocalEndpoint::new("A", a)));
+        fed.add(Arc::new(LocalEndpoint::new("B", b)));
+        let queries: Vec<Query> = (0..8)
+            .map(|i| {
+                parse_query(
+                    &format!(
+                        "SELECT * WHERE {{ ?s <http://x/p> ?v . ?v <http://x/q> ?n . \
+                         FILTER (?n > {i}) }}"
+                    ),
+                    &dict,
+                )
+                .unwrap()
+            })
+            .collect();
+        (fed, queries)
+    }
+
+    #[test]
+    fn cluster_matches_single_machine() {
+        let (fed, queries) = fed();
+        let single = LusailCluster::new(1, LusailConfig::default());
+        let quad = LusailCluster::new(4, LusailConfig::default());
+        let a = single.execute_workload(&fed, &queries);
+        let b = quad.execute_workload(&fed, &queries);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.solutions.canonicalize(), y.solutions.canonicalize());
+        }
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let (fed, queries) = fed();
+        let cluster = LusailCluster::new(3, LusailConfig::default());
+        let results = cluster.execute_workload(&fed, &queries);
+        // FILTER (?n > i) — result sizes strictly decrease with i.
+        let sizes: Vec<usize> = results.iter().map(|r| r.solutions.len()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "results out of order: {sizes:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_panics() {
+        let _ = LusailCluster::new(0, LusailConfig::default());
+    }
+}

@@ -1,0 +1,729 @@
+//! The Lusail engine: orchestrates source selection, LADE, and SAPE for a
+//! full SPARQL query (conjunctive core plus FILTER / OPTIONAL / UNION /
+//! FILTER NOT EXISTS / VALUES / DISTINCT / LIMIT).
+//!
+//! Clause placement follows §IV-C "Generic SPARQL Queries": filters whose
+//! variables live entirely inside one subquery are pushed to the
+//! endpoints; everything else is applied during global join evaluation.
+//! `OPTIONAL`, `UNION`, and `FILTER NOT EXISTS` groups are evaluated
+//! recursively with the same machinery and combined with left / union /
+//! anti joins at the global level. A query whose pattern is *disjoint*
+//! (no global join variables, identical sources) ships unchanged to every
+//! relevant endpoint and the results are concatenated — the paper's
+//! fast path for LUBM Q1/Q2.
+
+use crate::cache::{KeyedCache, ProbeCache};
+use crate::cost::{decide_delays, estimate_cardinalities, DelayPolicy, SubqueryCosts};
+use crate::decompose::{decompose, is_disjoint};
+use crate::exec::{evaluate_subqueries, ExecConfig, RequestHandler};
+use crate::gjv::detect_gjvs;
+use crate::metrics::QueryMetrics;
+use crate::source_selection::{select_sources, SourceMap};
+use crate::subquery::Subquery;
+use lusail_endpoint::{EndpointId, Federation};
+use lusail_sparql::ast::{Expression, GroupPattern, Query};
+use lusail_sparql::SolutionSet;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct LusailConfig {
+    /// Threshold policy for delayed subqueries (Fig. 9; default `μ+σ`).
+    pub delay_policy: DelayPolicy,
+    /// Bindings per `VALUES` block in bound subqueries.
+    pub block_size: usize,
+    /// Memoize ASK / COUNT / check-query results across queries.
+    pub use_cache: bool,
+    /// Row-count threshold for parallel hash-join probing.
+    pub parallel_join_threshold: usize,
+    /// Ablation switch: disable locality-aware decomposition. Every triple
+    /// pattern becomes its own subquery (the §II strawman of evaluating
+    /// each pattern independently); SAPE still schedules and joins them.
+    pub disable_lade: bool,
+}
+
+impl Default for LusailConfig {
+    fn default() -> Self {
+        LusailConfig {
+            delay_policy: DelayPolicy::MuSigma,
+            block_size: 100,
+            use_cache: true,
+            parallel_join_threshold: 50_000,
+            disable_lade: false,
+        }
+    }
+}
+
+/// A query result: solutions plus the metrics the harnesses report.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The solution set.
+    pub solutions: SolutionSet,
+    /// Phase timings and network counters.
+    pub metrics: QueryMetrics,
+}
+
+/// The Lusail federated query engine. One instance may serve many queries;
+/// its caches persist across them (cleared with [`Lusail::clear_caches`]).
+///
+/// ```
+/// use lusail_core::Lusail;
+/// use lusail_endpoint::{Federation, LocalEndpoint};
+/// use lusail_rdf::{Dictionary, Term};
+/// use lusail_sparql::parse_query;
+/// use lusail_store::TripleStore;
+/// use std::sync::Arc;
+///
+/// // Two endpoints with an interlink: the author lives at A, the book
+/// // (with its title) at B.
+/// let dict = Dictionary::shared();
+/// let mut a = TripleStore::new(Arc::clone(&dict));
+/// a.insert_terms(
+///     &Term::iri("http://a/alice"),
+///     &Term::iri("http://x/wrote"),
+///     &Term::iri("http://b/book1"),
+/// );
+/// let mut b = TripleStore::new(Arc::clone(&dict));
+/// b.insert_terms(
+///     &Term::iri("http://b/book1"),
+///     &Term::iri("http://x/title"),
+///     &Term::lit("Decentralized Graphs"),
+/// );
+/// let mut fed = Federation::new(Arc::clone(&dict));
+/// fed.add(Arc::new(LocalEndpoint::new("A", a)));
+/// fed.add(Arc::new(LocalEndpoint::new("B", b)));
+///
+/// let q = parse_query(
+///     "SELECT ?who ?title WHERE { ?who <http://x/wrote> ?b . \
+///      ?b <http://x/title> ?title }",
+///     &dict,
+/// )
+/// .unwrap();
+/// let result = Lusail::default().execute(&fed, &q);
+/// assert_eq!(result.solutions.len(), 1); // the cross-endpoint join row
+/// assert_eq!(result.metrics.gjvs, ["b"]); // ?b is a global join variable
+/// ```
+pub struct Lusail {
+    config: LusailConfig,
+    handler: RequestHandler,
+    ask_cache: ProbeCache<bool>,
+    count_cache: ProbeCache<u64>,
+    check_cache: KeyedCache<bool>,
+}
+
+impl Default for Lusail {
+    fn default() -> Self {
+        Lusail::new(LusailConfig::default())
+    }
+}
+
+impl Lusail {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: LusailConfig) -> Self {
+        let caching = config.use_cache;
+        Lusail {
+            config,
+            handler: RequestHandler::new(),
+            ask_cache: ProbeCache::new(caching),
+            count_cache: ProbeCache::new(caching),
+            check_cache: KeyedCache::new(caching),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &LusailConfig {
+        &self.config
+    }
+
+    /// Drops every memoized probe (between benchmark repetitions).
+    pub fn clear_caches(&self) {
+        self.ask_cache.clear();
+        self.count_cache.clear();
+        self.check_cache.clear();
+    }
+
+    /// Executes a query against the federation.
+    pub fn execute(&self, fed: &Federation, query: &Query) -> QueryResult {
+        // A federated `SELECT (COUNT(*) AS ?c)` must count the *global*
+        // result, not concatenate per-endpoint counts: normalize it to an
+        // aggregate query handled at the mediator.
+        if let Some(rewritten) = query.count_star_as_aggregate() {
+            return self.execute(fed, &rewritten);
+        }
+        let mut metrics = QueryMetrics::default();
+        let t_total = Instant::now();
+
+        // ---- Phase 1: source selection --------------------------------
+        let s0 = fed.stats_snapshot();
+        let t0 = Instant::now();
+        let sources = select_sources(fed, &query.pattern, &self.ask_cache, &self.handler);
+        metrics.source_selection = t0.elapsed();
+        let s1 = fed.stats_snapshot();
+        metrics.requests_source_selection = s1.since(&s0);
+
+        // A required pattern with no source ⇒ empty result, no more work.
+        if sources.any_required_empty(&query.pattern.triples) {
+            metrics.total = t_total.elapsed();
+            return QueryResult {
+                solutions: SolutionSet::empty(query.output_vars()),
+                metrics,
+            };
+        }
+
+        // ---- Phase 2: analysis (LADE + cost model) ---------------------
+        let t1 = Instant::now();
+        let analysis = if self.config.disable_lade {
+            crate::gjv::GjvAnalysis::default()
+        } else {
+            detect_gjvs(
+                fed,
+                &query.pattern.triples,
+                &sources,
+                &self.check_cache,
+                &self.handler,
+            )
+        };
+        metrics.check_queries = analysis.check_queries;
+        metrics.gjvs = analysis.gjvs.clone();
+
+        // Disjoint fast path (Algorithm 3, line 2): the entire query can be
+        // answered independently at each endpoint.
+        let order_vars_projected = {
+            let out = query.output_vars();
+            query.order_by.iter().all(|k| out.contains(&k.var))
+        };
+        let simple_pattern = query.pattern.optionals.is_empty()
+            && query.pattern.unions.is_empty()
+            && query.pattern.not_exists.is_empty()
+            && query.pattern.values.is_none()
+            && query.aggregates.is_empty()
+            && order_vars_projected
+            && !query.pattern.triples.is_empty();
+        if !self.config.disable_lade
+            && simple_pattern
+            && is_disjoint(&query.pattern.triples, &sources, &analysis)
+        {
+            metrics.analysis = t1.elapsed();
+            let s2 = fed.stats_snapshot();
+            metrics.requests_analysis = s2.since(&s1);
+            metrics.subqueries = 1;
+            let t2 = Instant::now();
+            let solutions = self.execute_disjoint(fed, query, &sources);
+            metrics.execution = t2.elapsed();
+            metrics.requests_execution = fed.stats_snapshot().since(&s2);
+            metrics.result_rows = solutions.len();
+            metrics.total = t_total.elapsed();
+            return QueryResult { solutions, metrics };
+        }
+
+        // General path: decompose, estimate, and plan the top-level group.
+        let mut subqueries = if self.config.disable_lade {
+            singleton_subqueries(&query.pattern.triples, &sources)
+        } else {
+            decompose(&query.pattern.triples, &sources, &analysis)
+        };
+        let global_filters =
+            push_filters(&query.pattern.filters, &mut subqueries);
+        shrink_projections(query, &mut subqueries, &global_filters);
+        metrics.subqueries = subqueries.len();
+
+        let costs = if subqueries.len() > 1 {
+            let cardinality =
+                estimate_cardinalities(fed, &self.handler, &subqueries, &self.count_cache);
+            let fanouts: Vec<usize> = subqueries.iter().map(|sq| sq.sources.len()).collect();
+            let delayed = decide_delays(&cardinality, &fanouts, self.config.delay_policy);
+            SubqueryCosts {
+                cardinality,
+                delayed,
+            }
+        } else {
+            SubqueryCosts {
+                cardinality: vec![0; subqueries.len()],
+                delayed: vec![false; subqueries.len()],
+            }
+        };
+        metrics.analysis = t1.elapsed();
+        let s2 = fed.stats_snapshot();
+        metrics.requests_analysis = s2.since(&s1);
+
+        // ---- Phase 3: execution (SAPE) ---------------------------------
+        let t2 = Instant::now();
+        let exec_cfg = ExecConfig {
+            block_size: self.config.block_size,
+            parallel_join_threshold: self.config.parallel_join_threshold,
+        };
+        let (mut solutions, report) =
+            evaluate_subqueries(fed, &self.handler, &subqueries, &costs, &exec_cfg);
+        metrics.delayed_subqueries = report.delayed;
+
+        // Combine the nested groups at the global level.
+        solutions = self.apply_nested(fed, &query.pattern, solutions, &global_filters);
+
+        // Query-level modifiers (aggregation, ORDER BY over the full
+        // schema, projection, DISTINCT, LIMIT) happen here, at the
+        // mediator, over the complete federated solution sequence. The
+        // paper notes Lusail's LIMIT is naive: compute everything, return
+        // the first `limit` rows (see the C4 discussion, §VI-C).
+        solutions = lusail_store::eval::apply_modifiers(solutions, query, fed.dict());
+
+        metrics.execution = t2.elapsed();
+        metrics.requests_execution = fed.stats_snapshot().since(&s2);
+        metrics.result_rows = solutions.len();
+        metrics.total = t_total.elapsed();
+        QueryResult { solutions, metrics }
+    }
+
+    /// Disjoint fast path: the original query (projection, filters,
+    /// DISTINCT, LIMIT and all) goes verbatim to every relevant endpoint;
+    /// results are concatenated.
+    fn execute_disjoint(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        sources: &SourceMap,
+    ) -> SolutionSet {
+        let eps: Vec<EndpointId> = sources.sources(&query.pattern.triples[0]).to_vec();
+        let tasks: Vec<(EndpointId, ())> = eps.iter().map(|&ep| (ep, ())).collect();
+        let results = self.handler.run(fed, tasks, |ep, _| ep.select(query));
+        let mut out = SolutionSet::empty(query.output_vars());
+        for (_, _, sols) in results {
+            out.append(sols);
+        }
+        // Endpoints already projected; re-establish the global ordering
+        // and modifiers over the concatenation.
+        lusail_store::eval::apply_order(&mut out, &query.order_by, fed.dict());
+        if query.distinct {
+            out.dedup();
+        }
+        if let Some(limit) = query.limit {
+            out.truncate(limit);
+        }
+        out
+    }
+
+    /// Evaluates a nested group (OPTIONAL / UNION / NOT EXISTS bodies)
+    /// recursively: its own decomposition and SAPE execution, producing a
+    /// solution set over the group's variables.
+    fn execute_group(&self, fed: &Federation, group: &GroupPattern) -> SolutionSet {
+        // Source selection for this group's patterns (cache-served when the
+        // engine probed them already during the main pass).
+        let sources = select_sources(fed, group, &self.ask_cache, &self.handler);
+        if sources.any_required_empty(&group.triples) {
+            return SolutionSet::empty(group.all_vars());
+        }
+        let analysis = detect_gjvs(fed, &group.triples, &sources, &self.check_cache, &self.handler);
+        let mut subqueries = decompose(&group.triples, &sources, &analysis);
+        let global_filters = push_filters(&group.filters, &mut subqueries);
+        // Nested groups keep full projections: their consumers are joins.
+        let costs = if subqueries.len() > 1 {
+            let cardinality =
+                estimate_cardinalities(fed, &self.handler, &subqueries, &self.count_cache);
+            let fanouts: Vec<usize> = subqueries.iter().map(|sq| sq.sources.len()).collect();
+            let delayed = decide_delays(&cardinality, &fanouts, self.config.delay_policy);
+            SubqueryCosts {
+                cardinality,
+                delayed,
+            }
+        } else {
+            SubqueryCosts {
+                cardinality: vec![0; subqueries.len()],
+                delayed: vec![false; subqueries.len()],
+            }
+        };
+        let exec_cfg = ExecConfig {
+            block_size: self.config.block_size,
+            parallel_join_threshold: self.config.parallel_join_threshold,
+        };
+        let (solutions, _) =
+            evaluate_subqueries(fed, &self.handler, &subqueries, &costs, &exec_cfg);
+        self.apply_nested(fed, group, solutions, &global_filters)
+    }
+
+    /// Applies a group's nested clauses to already-computed BGP solutions:
+    /// VALUES join, UNION joins, OPTIONAL left joins, NOT EXISTS anti
+    /// joins, and the remaining (un-pushed) filters.
+    fn apply_nested(
+        &self,
+        fed: &Federation,
+        group: &GroupPattern,
+        mut solutions: SolutionSet,
+        global_filters: &[Expression],
+    ) -> SolutionSet {
+        if let Some(v) = &group.values {
+            let values_rel = SolutionSet {
+                vars: v.vars.clone(),
+                rows: v.rows.clone(),
+            };
+            solutions = solutions.hash_join(&values_rel);
+        }
+        solutions = lusail_store::eval::join_nested_groups(
+            solutions,
+            group,
+            fed.dict(),
+            |sub| self.execute_group(fed, sub),
+        );
+        lusail_store::eval::retain_filtered(&mut solutions, global_filters, fed.dict());
+        solutions
+    }
+}
+
+impl Lusail {
+    /// Compile-time planning for a *conjunctive* query: source selection,
+    /// LADE, filter pushdown, projection shrinking, and the cost model.
+    /// Returns `None` when the query should take a different path
+    /// (no sources, disjoint fast path, or filters that could not be
+    /// pushed into any subquery) — callers fall back to
+    /// [`Lusail::execute`]. Used by the multi-query optimizer.
+    pub(crate) fn plan_conjunctive(
+        &self,
+        fed: &Federation,
+        query: &Query,
+    ) -> Option<(Vec<Subquery>, SubqueryCosts, SourceMap)> {
+        let sources = select_sources(fed, &query.pattern, &self.ask_cache, &self.handler);
+        if sources.any_required_empty(&query.pattern.triples) {
+            return None;
+        }
+        let analysis = if self.config.disable_lade {
+            crate::gjv::GjvAnalysis::default()
+        } else {
+            detect_gjvs(
+                fed,
+                &query.pattern.triples,
+                &sources,
+                &self.check_cache,
+                &self.handler,
+            )
+        };
+        if query.pattern.triples.is_empty()
+            || is_disjoint(&query.pattern.triples, &sources, &analysis)
+        {
+            return None;
+        }
+        let mut subqueries = decompose(&query.pattern.triples, &sources, &analysis);
+        let global_filters = push_filters(&query.pattern.filters, &mut subqueries);
+        if !global_filters.is_empty() {
+            return None;
+        }
+        shrink_projections(query, &mut subqueries, &global_filters);
+        let costs = if subqueries.len() > 1 {
+            let cardinality =
+                estimate_cardinalities(fed, &self.handler, &subqueries, &self.count_cache);
+            let fanouts: Vec<usize> = subqueries.iter().map(|sq| sq.sources.len()).collect();
+            let delayed = decide_delays(&cardinality, &fanouts, self.config.delay_policy);
+            SubqueryCosts {
+                cardinality,
+                delayed,
+            }
+        } else {
+            SubqueryCosts {
+                cardinality: vec![0; subqueries.len()],
+                delayed: vec![false; subqueries.len()],
+            }
+        };
+        Some((subqueries, costs, sources))
+    }
+}
+
+impl lusail_endpoint::FederatedEngine for Lusail {
+    fn engine_name(&self) -> &str {
+        "Lusail"
+    }
+
+    fn run(&self, fed: &Federation, query: &Query) -> SolutionSet {
+        self.execute(fed, query).solutions
+    }
+
+    fn reset(&self) {
+        self.clear_caches();
+    }
+}
+
+/// One subquery per triple pattern (LADE disabled): the §II strawman.
+fn singleton_subqueries(
+    triples: &[lusail_sparql::ast::TriplePattern],
+    sources: &SourceMap,
+) -> Vec<Subquery> {
+    triples
+        .iter()
+        .map(|tp| Subquery::new(vec![tp.clone()], sources.sources(tp).to_vec()))
+        .collect()
+}
+
+/// Pushes each filter into every subquery containing all its variables;
+/// returns the filters that could not be pushed (applied globally).
+fn push_filters(filters: &[Expression], subqueries: &mut [Subquery]) -> Vec<Expression> {
+    crate::subquery::push_filters_into(filters, subqueries)
+}
+
+/// Shrinks each subquery's projection to the variables actually needed
+/// downstream: query outputs, global filter variables, and join variables
+/// shared with other subqueries or nested groups.
+fn shrink_projections(query: &Query, subqueries: &mut [Subquery], global_filters: &[Expression]) {
+    let mut needed: Vec<String> = query.output_vars();
+    // Aggregate *input* variables and ORDER BY keys are consumed at the
+    // mediator but are not output columns; they must still be shipped.
+    for a in &query.aggregates {
+        if let Some(v) = &a.var {
+            if !needed.contains(v) {
+                needed.push(v.clone());
+            }
+        }
+    }
+    for k in &query.order_by {
+        if !needed.contains(&k.var) {
+            needed.push(k.var.clone());
+        }
+    }
+    for f in global_filters {
+        for v in f.vars() {
+            if !needed.contains(&v) {
+                needed.push(v);
+            }
+        }
+    }
+    // Join variables: appearing in ≥2 subqueries or in a nested group.
+    let mut nested_vars: Vec<String> = Vec::new();
+    for g in query
+        .pattern
+        .optionals
+        .iter()
+        .chain(query.pattern.not_exists.iter())
+        .chain(query.pattern.unions.iter().flatten())
+    {
+        g.collect_vars(&mut nested_vars);
+    }
+    if let Some(v) = &query.pattern.values {
+        nested_vars.extend(v.vars.iter().cloned());
+    }
+    let n = subqueries.len();
+    for i in 0..n {
+        let vars = subqueries[i].vars();
+        let keep: Vec<String> = vars
+            .into_iter()
+            .filter(|v| {
+                needed.contains(v)
+                    || nested_vars.contains(v)
+                    || (0..n).any(|j| j != i && subqueries[j].mentions(v))
+            })
+            .collect();
+        if !keep.is_empty() {
+            subqueries[i].projection = keep;
+        }
+        // An all-constant or fully-local subquery keeps its default
+        // projection so the relation still witnesses existence.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_endpoint::LocalEndpoint;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::parse_query;
+    use lusail_store::TripleStore;
+    use std::sync::Arc;
+
+    /// Two universities with a degree interlink (the paper's Fig. 1/2
+    /// running example), plus the oracle union store.
+    fn universities() -> (Federation, TripleStore) {
+        let dict = Dictionary::shared();
+        let ub = |l: &str| Term::iri(format!("http://ub/{l}"));
+        let e1 = |l: &str| Term::iri(format!("http://ep1/{l}"));
+        let e2 = |l: &str| Term::iri(format!("http://ep2/{l}"));
+
+        let mut all = TripleStore::new(Arc::clone(&dict));
+        let mut ep1 = TripleStore::new(Arc::clone(&dict));
+        let mut ep2 = TripleStore::new(Arc::clone(&dict));
+        {
+            let mut add1 = |s: &Term, p: &Term, o: &Term| {
+                ep1.insert_terms(s, p, o);
+                all.insert_terms(s, p, o);
+            };
+            add1(&e1("Kim"), &ub("advisor"), &e1("Joy"));
+            add1(&e1("Kim"), &ub("takesCourse"), &e1("c1"));
+            add1(&e1("Joy"), &ub("teacherOf"), &e1("c1"));
+            add1(&e1("Joy"), &ub("PhDDegreeFrom"), &e1("CMU"));
+            add1(&e1("CMU"), &ub("address"), &Term::lit("CCCC"));
+            add1(&e1("MIT"), &ub("address"), &Term::lit("XXX"));
+        }
+        {
+            let mut add2 = |s: &Term, p: &Term, o: &Term| {
+                ep2.insert_terms(s, p, o);
+                all.insert_terms(s, p, o);
+            };
+            add2(&e2("Lee"), &ub("advisor"), &e2("Tim"));
+            add2(&e2("Lee"), &ub("takesCourse"), &e2("c3"));
+            add2(&e2("Tim"), &ub("teacherOf"), &e2("c3"));
+            add2(&e2("Tim"), &ub("PhDDegreeFrom"), &e1("MIT"));
+            add2(&e2("Kim2"), &ub("advisor"), &e2("Tim"));
+            add2(&e2("Kim2"), &ub("takesCourse"), &e2("c3"));
+        }
+        let mut fed = Federation::new(Arc::clone(&dict));
+        fed.add(Arc::new(LocalEndpoint::new("EP1", ep1)));
+        fed.add(Arc::new(LocalEndpoint::new("EP2", ep2)));
+        (fed, all)
+    }
+
+    fn check_against_oracle(fed: &Federation, oracle: &TripleStore, text: &str) -> QueryResult {
+        let q = parse_query(text, fed.dict()).unwrap();
+        let engine = Lusail::default();
+        let result = engine.execute(fed, &q);
+        let expected = lusail_store::eval::evaluate(oracle, &q);
+        assert_eq!(
+            result.solutions.canonicalize(),
+            expected.canonicalize(),
+            "federated result differs from centralized oracle for {text}"
+        );
+        result
+    }
+
+    #[test]
+    fn qa_traverses_the_interlink() {
+        let (fed, oracle) = universities();
+        // The paper's Qa: advisors' alma mater and its address. The
+        // (Tim, MIT, "XXX") row requires joining EP2 data with EP1 data.
+        let r = check_against_oracle(
+            &fed,
+            &oracle,
+            "PREFIX ub: <http://ub/> SELECT ?S ?P ?U ?A WHERE { \
+               ?S ub:advisor ?P . ?S ub:takesCourse ?C . \
+               ?P ub:PhDDegreeFrom ?U . ?U ub:address ?A }",
+        );
+        assert_eq!(r.solutions.len(), 3); // Kim, Lee, Kim2 rows
+        assert!(r.metrics.gjvs.contains(&"U".to_string()));
+        assert!(r.metrics.subqueries >= 2);
+    }
+
+    #[test]
+    fn disjoint_query_uses_fast_path() {
+        let (fed, oracle) = universities();
+        let r = check_against_oracle(
+            &fed,
+            &oracle,
+            "PREFIX ub: <http://ub/> SELECT ?S ?P WHERE { \
+               ?S ub:advisor ?P . ?S ub:takesCourse ?C }",
+        );
+        assert_eq!(r.metrics.subqueries, 1);
+        assert!(r.metrics.gjvs.is_empty());
+        assert_eq!(r.solutions.len(), 3);
+    }
+
+    #[test]
+    fn optional_query_matches_oracle() {
+        let (fed, oracle) = universities();
+        let r = check_against_oracle(
+            &fed,
+            &oracle,
+            "PREFIX ub: <http://ub/> SELECT ?P ?U ?A WHERE { \
+               ?P ub:PhDDegreeFrom ?U . OPTIONAL { ?U ub:address ?A } }",
+        );
+        assert_eq!(r.solutions.len(), 2);
+    }
+
+    #[test]
+    fn union_query_matches_oracle() {
+        let (fed, oracle) = universities();
+        check_against_oracle(
+            &fed,
+            &oracle,
+            "PREFIX ub: <http://ub/> SELECT ?x ?y WHERE { \
+               { ?x ub:advisor ?y } UNION { ?x ub:teacherOf ?y } }",
+        );
+    }
+
+    #[test]
+    fn filter_pushdown_matches_oracle() {
+        let (fed, oracle) = universities();
+        let r = check_against_oracle(
+            &fed,
+            &oracle,
+            "PREFIX ub: <http://ub/> SELECT ?U ?A WHERE { \
+               ?P ub:PhDDegreeFrom ?U . ?U ub:address ?A . FILTER (?A = \"XXX\") }",
+        );
+        assert_eq!(r.solutions.len(), 1);
+    }
+
+    #[test]
+    fn not_exists_matches_oracle() {
+        let (fed, oracle) = universities();
+        // Advisors who teach nothing: none in this data (Joy and Tim both
+        // teach), so empty.
+        let r = check_against_oracle(
+            &fed,
+            &oracle,
+            "PREFIX ub: <http://ub/> SELECT ?P WHERE { \
+               ?S ub:advisor ?P . FILTER NOT EXISTS { ?P ub:teacherOf ?c } }",
+        );
+        assert_eq!(r.solutions.len(), 0);
+    }
+
+    #[test]
+    fn distinct_and_limit_apply_globally() {
+        let (fed, oracle) = universities();
+        let r = check_against_oracle(
+            &fed,
+            &oracle,
+            "PREFIX ub: <http://ub/> SELECT DISTINCT ?P WHERE { ?S ub:advisor ?P }",
+        );
+        assert_eq!(r.solutions.len(), 2);
+        let q = parse_query(
+            "PREFIX ub: <http://ub/> SELECT ?S WHERE { ?S ub:advisor ?P } LIMIT 2",
+            fed.dict(),
+        )
+        .unwrap();
+        let engine = Lusail::default();
+        let r = engine.execute(&fed, &q);
+        assert_eq!(r.solutions.len(), 2);
+    }
+
+    #[test]
+    fn no_source_pattern_yields_empty() {
+        let (fed, _) = universities();
+        let q = parse_query(
+            "SELECT ?x WHERE { ?x <http://nowhere/p> ?y }",
+            fed.dict(),
+        )
+        .unwrap();
+        let engine = Lusail::default();
+        let r = engine.execute(&fed, &q);
+        assert!(r.solutions.is_empty());
+        assert_eq!(r.metrics.total_requests(), 2); // two ASKs
+    }
+
+    #[test]
+    fn values_in_query_restricts_results() {
+        let (fed, oracle) = universities();
+        check_against_oracle(
+            &fed,
+            &oracle,
+            "PREFIX ub: <http://ub/> SELECT ?S ?P WHERE { \
+               ?S ub:advisor ?P . VALUES ?P { <http://ep2/Tim> } }",
+        );
+    }
+
+    #[test]
+    fn caches_reduce_requests_on_repeat() {
+        let (fed, _) = universities();
+        let q = parse_query(
+            "PREFIX ub: <http://ub/> SELECT ?S ?P ?U ?A WHERE { \
+               ?S ub:advisor ?P . ?S ub:takesCourse ?C . \
+               ?P ub:PhDDegreeFrom ?U . ?U ub:address ?A }",
+            fed.dict(),
+        )
+        .unwrap();
+        let engine = Lusail::default();
+        let r1 = engine.execute(&fed, &q);
+        let r2 = engine.execute(&fed, &q);
+        assert_eq!(
+            r1.solutions.canonicalize(),
+            r2.solutions.canonicalize()
+        );
+        // Second run: all probes cached.
+        assert_eq!(r2.metrics.requests_source_selection.total_requests(), 0);
+        assert!(
+            r2.metrics.requests_analysis.total_requests()
+                < r1.metrics.requests_analysis.total_requests()
+                || r1.metrics.requests_analysis.total_requests() == 0
+        );
+    }
+}

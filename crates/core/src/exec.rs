@@ -1,0 +1,525 @@
+//! The elastic request handler and SAPE's two-phase subquery evaluation
+//! (Algorithm 3 in the paper).
+//!
+//! The request handler gives each endpoint its own worker thread: requests
+//! to *different* endpoints proceed in parallel, requests to the *same*
+//! endpoint are serialized on its worker — the behaviour of one HTTP
+//! connection per endpoint that the paper's "thread per endpoint" design
+//! assumes.
+//!
+//! Subquery evaluation then follows the paper:
+//! 1. non-delayed subqueries are submitted concurrently to all their
+//!    relevant endpoints and their partitioned results joined;
+//! 2. delayed subqueries are evaluated one at a time, most selective
+//!    first, as bound subqueries: the already-found bindings of a shared
+//!    variable are attached in fixed-size `VALUES` blocks (one request per
+//!    block per endpoint), with source refinement for variable-predicate
+//!    patterns.
+
+use crate::cost::SubqueryCosts;
+use crate::join::{join_components, par_hash_join, Relation};
+use crate::subquery::Subquery;
+use lusail_endpoint::{EndpointId, EndpointRef, Federation};
+use lusail_sparql::ast::{Query, ValuesBlock};
+use lusail_sparql::SolutionSet;
+
+/// Executes batches of per-endpoint tasks with one worker per endpoint.
+#[derive(Default)]
+pub struct RequestHandler;
+
+impl RequestHandler {
+    /// Creates a request handler.
+    pub fn new() -> Self {
+        RequestHandler
+    }
+
+    /// Runs every `(endpoint, task)` pair, returning `(endpoint, task,
+    /// result)` triples. Tasks for one endpoint run serially on that
+    /// endpoint's worker thread; distinct endpoints run in parallel.
+    pub fn run<T, R, F>(
+        &self,
+        fed: &Federation,
+        tasks: Vec<(EndpointId, T)>,
+        f: F,
+    ) -> Vec<(EndpointId, T, R)>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&EndpointRef, &T) -> R + Sync,
+    {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        // Group tasks by endpoint, preserving submission order per endpoint.
+        let mut by_ep: Vec<(EndpointId, Vec<T>)> = Vec::new();
+        for (ep, t) in tasks {
+            match by_ep.iter_mut().find(|(e, _)| *e == ep) {
+                Some((_, v)) => v.push(t),
+                None => by_ep.push((ep, vec![t])),
+            }
+        }
+        if by_ep.len() == 1 {
+            // Single endpoint: run inline, no thread overhead.
+            let (ep_id, ts) = by_ep.pop().unwrap();
+            let ep = fed.endpoint(ep_id);
+            return ts
+                .into_iter()
+                .map(|t| {
+                    let r = f(ep, &t);
+                    (ep_id, t, r)
+                })
+                .collect();
+        }
+        let f = &f;
+        let mut out = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = by_ep
+                .into_iter()
+                .map(|(ep_id, ts)| {
+                    let ep = fed.endpoint(ep_id);
+                    scope.spawn(move |_| {
+                        ts.into_iter()
+                            .map(|t| {
+                                let r = f(ep, &t);
+                                (ep_id, t, r)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("endpoint worker panicked"));
+            }
+        })
+        .expect("request handler scope");
+        out
+    }
+}
+
+/// Execution tuning knobs used by [`evaluate_subqueries`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Number of bindings per `VALUES` block in bound subqueries.
+    pub block_size: usize,
+    /// Row-count threshold above which hash-join probing is parallelized.
+    pub parallel_join_threshold: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            block_size: 100,
+            parallel_join_threshold: 50_000,
+        }
+    }
+}
+
+/// Counters reported back to the engine's metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecReport {
+    /// How many subqueries were delayed by the cost model.
+    pub delayed: usize,
+}
+
+/// SAPE subquery evaluation (Algorithm 3): evaluates all subqueries and
+/// joins their results. `costs` supplies the delay decisions and estimated
+/// cardinalities. Returns the joined solution set (one relation; genuinely
+/// disconnected components are cross-joined at the end) plus a report.
+pub fn evaluate_subqueries(
+    fed: &Federation,
+    handler: &RequestHandler,
+    subqueries: &[Subquery],
+    costs: &SubqueryCosts,
+    config: &ExecConfig,
+) -> (SolutionSet, ExecReport) {
+    assert_eq!(subqueries.len(), costs.delayed.len());
+    let mut delayed_idx: Vec<usize> = (0..subqueries.len())
+        .filter(|&i| costs.delayed[i])
+        .collect();
+    let mut non_delayed: Vec<usize> = (0..subqueries.len())
+        .filter(|&i| !costs.delayed[i])
+        .collect();
+
+    // Never start with an empty concurrent phase: promote the most
+    // selective delayed subquery.
+    if non_delayed.is_empty() && !delayed_idx.is_empty() {
+        let best = *delayed_idx
+            .iter()
+            .min_by_key(|&&i| costs.cardinality[i])
+            .unwrap();
+        delayed_idx.retain(|&i| i != best);
+        non_delayed.push(best);
+    }
+    let report = ExecReport {
+        delayed: delayed_idx.len(),
+    };
+
+    // Phase 1: concurrent evaluation of non-delayed subqueries.
+    let tasks: Vec<(EndpointId, usize)> = non_delayed
+        .iter()
+        .flat_map(|&i| subqueries[i].sources.iter().map(move |&ep| (ep, i)))
+        .collect();
+    let results = handler.run(fed, tasks, |ep, &i| {
+        ep.select(&subqueries[i].to_query(None))
+    });
+
+    // Regroup per subquery, consuming the results (no clones).
+    let mut by_subquery: lusail_rdf::FxHashMap<usize, Vec<SolutionSet>> =
+        lusail_rdf::FxHashMap::default();
+    for (_, i, sols) in results {
+        by_subquery.entry(i).or_default().push(sols);
+    }
+    let mut relations: Vec<Relation> = Vec::new();
+    for &i in &non_delayed {
+        let parts = by_subquery.remove(&i).unwrap_or_default();
+        relations.push(concat_partitions(&subqueries[i], parts));
+    }
+
+    // Join whatever is joinable so the found bindings are already reduced.
+    let mut components = join_components(relations, config.parallel_join_threshold);
+
+    // Phase 2: delayed subqueries, most selective (refined) first.
+    while !delayed_idx.is_empty() {
+        let pick = pick_most_selective(&delayed_idx, subqueries, costs, &components);
+        delayed_idx.retain(|&i| i != pick);
+        let sq = &subqueries[pick];
+
+        // Choose the binding variable: a subquery variable bound in some
+        // component, preferring the fewest distinct values.
+        let binding = best_binding(sq, &components);
+        let relation = match binding {
+            Some((var, values)) => {
+                let mut sources = sq.sources.clone();
+                if sq.triples.iter().any(|t| t.p.is_var()) && sources.len() > 1 {
+                    // Source refinement: re-check relevance with the found
+                    // bindings before shipping every block everywhere.
+                    sources = refine_sources(fed, handler, sq, &var, &values, &sources);
+                }
+                let blocks: Vec<ValuesBlock> = values
+                    .chunks(config.block_size)
+                    .map(|chunk| ValuesBlock {
+                        vars: vec![var.clone()],
+                        rows: chunk.iter().map(|&id| vec![Some(id)]).collect(),
+                    })
+                    .collect();
+                let tasks: Vec<(EndpointId, ValuesBlock)> = sources
+                    .iter()
+                    .flat_map(|&ep| blocks.iter().cloned().map(move |b| (ep, b)))
+                    .collect();
+                let results = handler.run(fed, tasks, |ep, block: &ValuesBlock| {
+                    ep.select(&sq.to_query(Some(block.clone())))
+                });
+                let parts: Vec<SolutionSet> =
+                    results.into_iter().map(|(_, _, sols)| sols).collect();
+                // Blocks partition *distinct* values of one variable, so a
+                // row matches exactly one block: concatenation introduces
+                // no duplicates beyond what unbound evaluation would have.
+                let mut rel = concat_partitions(sq, parts);
+                // The cost model's `threads` term is endpoint streams, not
+                // endpoint × block request count.
+                rel.partitions = sq.sources.len().max(1);
+                rel
+            }
+            None => {
+                // No usable bindings: evaluate unbound.
+                let tasks: Vec<(EndpointId, ())> =
+                    sq.sources.iter().map(|&ep| (ep, ())).collect();
+                let results =
+                    handler.run(fed, tasks, |ep, _| ep.select(&sq.to_query(None)));
+                let parts: Vec<SolutionSet> =
+                    results.into_iter().map(|(_, _, sols)| sols).collect();
+                concat_partitions(sq, parts)
+            }
+        };
+
+        components.push(relation);
+        components = join_components(components, config.parallel_join_threshold);
+    }
+
+    // Cross-join any genuinely disconnected components.
+    let mut iter = components.into_iter();
+    let mut acc = match iter.next() {
+        Some(r) => r.sols,
+        None => SolutionSet {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        },
+    };
+    for r in iter {
+        acc = par_hash_join(&acc, &r.sols, 1, config.parallel_join_threshold);
+    }
+    (acc, report)
+}
+
+/// Concatenates per-endpoint partitions into one relation, remembering the
+/// partition count for the join cost model.
+fn concat_partitions(sq: &Subquery, parts: Vec<SolutionSet>) -> Relation {
+    let mut sols = SolutionSet::empty(sq.projection.clone());
+    let partitions = parts.len().max(1);
+    for p in parts {
+        sols.append(p);
+    }
+    Relation { sols, partitions }
+}
+
+/// The next delayed subquery: smallest cardinality after refinement by the
+/// bindings it can join with (§V-B).
+fn pick_most_selective(
+    delayed: &[usize],
+    subqueries: &[Subquery],
+    costs: &SubqueryCosts,
+    components: &[Relation],
+) -> usize {
+    *delayed
+        .iter()
+        .min_by_key(|&&i| {
+            let sq = &subqueries[i];
+            let mut refined = costs.cardinality[i];
+            for comp in components {
+                for v in &comp.sols.vars {
+                    if sq.mentions(v) {
+                        let n = comp.sols.len() as u64;
+                        refined = refined.min(n);
+                    }
+                }
+            }
+            refined
+        })
+        .unwrap()
+}
+
+/// Picks the best variable to bind a delayed subquery with: among subquery
+/// variables present in some joined component, the one with the fewest
+/// distinct values.
+fn best_binding(sq: &Subquery, components: &[Relation]) -> Option<(String, Vec<lusail_rdf::TermId>)> {
+    let mut best: Option<(String, Vec<lusail_rdf::TermId>)> = None;
+    for comp in components {
+        for v in &comp.sols.vars {
+            if !sq.mentions(v) {
+                continue;
+            }
+            let values = comp.sols.distinct_values(v);
+            if values.is_empty() {
+                continue;
+            }
+            match &best {
+                Some((_, cur)) if cur.len() <= values.len() => {}
+                _ => best = Some((v.clone(), values)),
+            }
+        }
+    }
+    best
+}
+
+/// Source refinement for variable-predicate subqueries: one bound `ASK`
+/// per candidate endpoint, dropping endpoints with no matching data. The
+/// paper found this far cheaper than shipping every block everywhere.
+fn refine_sources(
+    fed: &Federation,
+    handler: &RequestHandler,
+    sq: &Subquery,
+    var: &str,
+    values: &[lusail_rdf::TermId],
+    sources: &[EndpointId],
+) -> Vec<EndpointId> {
+    let block = ValuesBlock {
+        vars: vec![var.to_string()],
+        rows: values.iter().map(|&id| vec![Some(id)]).collect(),
+    };
+    let mut pattern = lusail_sparql::ast::GroupPattern::bgp(sq.triples.clone());
+    pattern.filters = sq.filters.clone();
+    pattern.values = Some(block);
+    let ask = Query::ask(pattern);
+    let tasks: Vec<(EndpointId, ())> = sources.iter().map(|&ep| (ep, ())).collect();
+    let results = handler.run(fed, tasks, |ep, _| ep.ask(&ask));
+    let refined: Vec<EndpointId> = results
+        .into_iter()
+        .filter(|(_, _, ok)| *ok)
+        .map(|(ep, _, _)| ep)
+        .collect();
+    if refined.is_empty() {
+        sources.to_vec()
+    } else {
+        refined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_endpoint::LocalEndpoint;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_store::TripleStore;
+    use std::sync::Arc;
+
+    fn two_endpoint_fed() -> Federation {
+        let dict = Dictionary::shared();
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        a.insert_terms(
+            &Term::iri("http://a/s"),
+            &Term::iri("http://x/p"),
+            &Term::iri("http://a/o"),
+        );
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        b.insert_terms(
+            &Term::iri("http://b/s"),
+            &Term::iri("http://x/p"),
+            &Term::iri("http://b/o"),
+        );
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::new(LocalEndpoint::new("A", a)));
+        fed.add(Arc::new(LocalEndpoint::new("B", b)));
+        fed
+    }
+
+    #[test]
+    fn handler_runs_tasks_grouped_by_endpoint() {
+        let fed = two_endpoint_fed();
+        let handler = RequestHandler::new();
+        let tasks = vec![(0usize, 1u32), (1, 2), (0, 3), (1, 4)];
+        let mut results = handler.run(&fed, tasks, |ep, &t| format!("{}-{}", ep.name(), t));
+        results.sort_by_key(|(_, t, _)| *t);
+        let strings: Vec<&str> = results.iter().map(|(_, _, s)| s.as_str()).collect();
+        assert_eq!(strings, ["A-1", "B-2", "A-3", "B-4"]);
+    }
+
+    #[test]
+    fn handler_empty_tasks() {
+        let fed = two_endpoint_fed();
+        let handler = RequestHandler::new();
+        let out: Vec<(EndpointId, u32, u32)> = handler.run(&fed, Vec::new(), |_, &t| t);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn handler_single_endpoint_runs_inline() {
+        let fed = two_endpoint_fed();
+        let handler = RequestHandler::new();
+        let out = handler.run(&fed, vec![(1usize, 10u32), (1, 20)], |_, &t| t * 2);
+        assert_eq!(out, vec![(1, 10, 20), (1, 20, 40)]);
+    }
+}
+
+#[cfg(test)]
+mod sape_tests {
+    use super::*;
+    use crate::cost::SubqueryCosts;
+    use crate::subquery::Subquery;
+    use lusail_endpoint::LocalEndpoint;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::ast::{PatternTerm, TriplePattern};
+    use lusail_store::TripleStore;
+    use std::sync::Arc;
+
+    /// Chain data split over two endpoints: A holds p-edges, B holds
+    /// q-edges for half the midpoints.
+    fn chain_fed() -> (Federation, Arc<Dictionary>) {
+        let dict = Dictionary::shared();
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        for i in 0..20 {
+            let s = Term::iri(format!("http://a/s{i}"));
+            let m = Term::iri(format!("http://m/v{i}"));
+            a.insert_terms(&s, &Term::iri("http://x/p"), &m);
+            if i % 2 == 0 {
+                b.insert_terms(&m, &Term::iri("http://x/q"), &Term::int(i));
+            }
+        }
+        let mut fed = Federation::new(Arc::clone(&dict));
+        fed.add(Arc::new(LocalEndpoint::new("A", a)));
+        fed.add(Arc::new(LocalEndpoint::new("B", b)));
+        (fed, dict)
+    }
+
+    fn tp(dict: &Dictionary, s: &str, p: &str, o: &str) -> TriplePattern {
+        let term = |t: &str| {
+            if let Some(v) = t.strip_prefix('?') {
+                PatternTerm::Var(v.to_string())
+            } else {
+                PatternTerm::Const(dict.encode(&Term::iri(t)))
+            }
+        };
+        TriplePattern::new(term(s), term(p), term(o))
+    }
+
+    fn subqueries(dict: &Dictionary) -> Vec<Subquery> {
+        vec![
+            Subquery::new(vec![tp(dict, "?s", "http://x/p", "?m")], vec![0]),
+            Subquery::new(vec![tp(dict, "?m", "http://x/q", "?n")], vec![1]),
+        ]
+    }
+
+    #[test]
+    fn delayed_subquery_is_bound_with_values_blocks() {
+        let (fed, dict) = chain_fed();
+        let sqs = subqueries(&dict);
+        let costs = SubqueryCosts {
+            cardinality: vec![20, 10],
+            delayed: vec![false, true],
+        };
+        let handler = RequestHandler::new();
+        let config = ExecConfig {
+            block_size: 4,
+            parallel_join_threshold: usize::MAX,
+        };
+        let before = fed.stats_snapshot();
+        let (sols, report) = evaluate_subqueries(&fed, &handler, &sqs, &costs, &config);
+        let window = fed.stats_snapshot().since(&before);
+        assert_eq!(report.delayed, 1);
+        assert_eq!(sols.len(), 10);
+        // Phase 1: one select at A. Phase 2: 20 bindings / 4 per block =
+        // 5 selects at B.
+        assert_eq!(window.select_requests, 1 + 5);
+    }
+
+    #[test]
+    fn all_delayed_promotes_the_most_selective() {
+        let (fed, dict) = chain_fed();
+        let sqs = subqueries(&dict);
+        let costs = SubqueryCosts {
+            cardinality: vec![20, 10],
+            delayed: vec![true, true],
+        };
+        let handler = RequestHandler::new();
+        let config = ExecConfig::default();
+        let (sols, report) = evaluate_subqueries(&fed, &handler, &sqs, &costs, &config);
+        // One was promoted to the concurrent phase; one stayed delayed.
+        assert_eq!(report.delayed, 1);
+        assert_eq!(sols.len(), 10);
+    }
+
+    #[test]
+    fn no_delays_joins_concurrent_results() {
+        let (fed, dict) = chain_fed();
+        let sqs = subqueries(&dict);
+        let costs = SubqueryCosts {
+            cardinality: vec![20, 10],
+            delayed: vec![false, false],
+        };
+        let handler = RequestHandler::new();
+        let config = ExecConfig::default();
+        let before = fed.stats_snapshot();
+        let (sols, report) = evaluate_subqueries(&fed, &handler, &sqs, &costs, &config);
+        let window = fed.stats_snapshot().since(&before);
+        assert_eq!(report.delayed, 0);
+        assert_eq!(sols.len(), 10);
+        // Both subqueries run unbound: exactly 2 selects.
+        assert_eq!(window.select_requests, 2);
+    }
+
+    #[test]
+    fn empty_subquery_list_yields_single_empty_row() {
+        let (fed, _) = chain_fed();
+        let handler = RequestHandler::new();
+        let (sols, report) = evaluate_subqueries(
+            &fed,
+            &handler,
+            &[],
+            &SubqueryCosts::default(),
+            &ExecConfig::default(),
+        );
+        assert_eq!(report.delayed, 0);
+        assert_eq!(sols.len(), 1);
+        assert!(sols.vars.is_empty());
+    }
+}

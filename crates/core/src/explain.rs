@@ -1,0 +1,252 @@
+//! `EXPLAIN`: run Lusail's compile-time pipeline (source selection, LADE,
+//! cost model) without executing, and render the resulting plan.
+//!
+//! Used by the CLI's `explain` subcommand and by tests that assert on
+//! planning decisions without paying for execution.
+
+use crate::cache::{KeyedCache, ProbeCache};
+use crate::cost::{decide_delays, estimate_cardinalities};
+use crate::decompose::{decompose, is_disjoint};
+use crate::engine::Lusail;
+use crate::exec::RequestHandler;
+use crate::gjv::detect_gjvs;
+use crate::source_selection::select_sources;
+use lusail_endpoint::Federation;
+use lusail_rdf::Dictionary;
+use lusail_sparql::ast::{PatternTerm, Query, TriplePattern};
+use std::fmt::Write as _;
+
+/// One subquery in the plan.
+#[derive(Debug, Clone)]
+pub struct SubqueryPlan {
+    /// The subquery's patterns, rendered as SPARQL.
+    pub triples: Vec<String>,
+    /// Names of its relevant endpoints.
+    pub sources: Vec<String>,
+    /// The projected variables.
+    pub projection: Vec<String>,
+    /// Estimated cardinality `C(sq)`.
+    pub cardinality: u64,
+    /// Whether SAPE delays it.
+    pub delayed: bool,
+}
+
+/// The compile-time plan for a query.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Per-pattern relevant endpoint names.
+    pub sources: Vec<(String, Vec<String>)>,
+    /// Detected global join variables.
+    pub gjvs: Vec<String>,
+    /// True if the whole query ships unchanged to every endpoint.
+    pub disjoint: bool,
+    /// The subqueries (empty when `disjoint`).
+    pub subqueries: Vec<SubqueryPlan>,
+    /// Check queries evaluated during analysis.
+    pub check_queries: u64,
+}
+
+impl QueryPlan {
+    /// Renders the plan as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "source selection:");
+        for (tp, srcs) in &self.sources {
+            let _ = writeln!(out, "  {tp}  @ [{}]", srcs.join(", "));
+        }
+        let _ = writeln!(
+            out,
+            "global join variables: [{}]  ({} check queries)",
+            self.gjvs.join(", "),
+            self.check_queries
+        );
+        if self.disjoint {
+            let _ = writeln!(
+                out,
+                "plan: DISJOINT — ship the whole query to every relevant \
+                 endpoint and concatenate"
+            );
+            return out;
+        }
+        let _ = writeln!(out, "plan: {} subqueries", self.subqueries.len());
+        for (i, sq) in self.subqueries.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  subquery {} {}  est. cardinality {}  @ [{}]",
+                i + 1,
+                if sq.delayed {
+                    "[DELAYED: bound VALUES evaluation]"
+                } else {
+                    "[concurrent]"
+                },
+                sq.cardinality,
+                sq.sources.join(", ")
+            );
+            for tp in &sq.triples {
+                let _ = writeln!(out, "      {tp}");
+            }
+            let _ = writeln!(out, "      project: ?{}", sq.projection.join(" ?"));
+        }
+        out
+    }
+}
+
+fn render_pattern(tp: &TriplePattern, dict: &Dictionary) -> String {
+    let term = |t: &PatternTerm| match t {
+        PatternTerm::Var(v) => format!("?{v}"),
+        PatternTerm::Const(id) => dict.decode(*id).to_string(),
+    };
+    format!("{} {} {}", term(&tp.s), term(&tp.p), term(&tp.o))
+}
+
+impl Lusail {
+    /// Produces the compile-time plan for `query` without executing it.
+    /// Probes (ASK / check / COUNT) do run against the endpoints, exactly
+    /// as the execution path would issue them, and are cached the same
+    /// way.
+    pub fn explain(&self, fed: &Federation, query: &Query) -> QueryPlan {
+        // Use private-but-crate-visible caches through fresh ones when the
+        // engine's are disabled; the engine's caches are reachable via the
+        // same execution path, so reuse them by running the same phases.
+        let handler = RequestHandler::new();
+        let ask_cache = ProbeCache::new(true);
+        let check_cache = KeyedCache::new(true);
+        let count_cache = ProbeCache::new(true);
+
+        let dict = fed.dict();
+        let sources = select_sources(fed, &query.pattern, &ask_cache, &handler);
+        let rendered_sources: Vec<(String, Vec<String>)> = sources
+            .iter()
+            .map(|(tp, srcs)| {
+                (
+                    render_pattern(tp, dict),
+                    srcs.iter()
+                        .map(|&id| fed.endpoint(id).name().to_string())
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let analysis = detect_gjvs(fed, &query.pattern.triples, &sources, &check_cache, &handler);
+        let simple_pattern = query.pattern.optionals.is_empty()
+            && query.pattern.unions.is_empty()
+            && query.pattern.not_exists.is_empty()
+            && query.pattern.values.is_none()
+            && !query.pattern.triples.is_empty();
+        let disjoint = simple_pattern && is_disjoint(&query.pattern.triples, &sources, &analysis);
+
+        let mut plan = QueryPlan {
+            sources: rendered_sources,
+            gjvs: analysis.gjvs.clone(),
+            disjoint,
+            subqueries: Vec::new(),
+            check_queries: analysis.check_queries,
+        };
+        if disjoint {
+            return plan;
+        }
+
+        let subqueries = decompose(&query.pattern.triples, &sources, &analysis);
+        let cardinality = if subqueries.len() > 1 {
+            estimate_cardinalities(fed, &handler, &subqueries, &count_cache)
+        } else {
+            vec![0; subqueries.len()]
+        };
+        let fanouts: Vec<usize> = subqueries.iter().map(|sq| sq.sources.len()).collect();
+        let delayed = if subqueries.len() > 1 {
+            decide_delays(&cardinality, &fanouts, self.config().delay_policy)
+        } else {
+            vec![false; subqueries.len()]
+        };
+        plan.subqueries = subqueries
+            .iter()
+            .enumerate()
+            .map(|(i, sq)| SubqueryPlan {
+                triples: sq.triples.iter().map(|tp| render_pattern(tp, dict)).collect(),
+                sources: sq
+                    .sources
+                    .iter()
+                    .map(|&id| fed.endpoint(id).name().to_string())
+                    .collect(),
+                projection: sq.projection.clone(),
+                cardinality: cardinality[i],
+                delayed: delayed[i],
+            })
+            .collect();
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_endpoint::LocalEndpoint;
+    use lusail_rdf::Term;
+    use lusail_sparql::parse_query;
+    use lusail_store::TripleStore;
+    use std::sync::Arc;
+
+    fn fed() -> Federation {
+        let dict = Dictionary::shared();
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        a.insert_terms(
+            &Term::iri("http://a/s"),
+            &Term::iri("http://x/p"),
+            &Term::iri("http://a/v"),
+        );
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        b.insert_terms(
+            &Term::iri("http://a/v"),
+            &Term::iri("http://x/q"),
+            &Term::iri("http://b/o"),
+        );
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::new(LocalEndpoint::new("A", a)));
+        fed.add(Arc::new(LocalEndpoint::new("B", b)));
+        fed
+    }
+
+    #[test]
+    fn explain_renders_gjvs_and_subqueries() {
+        let f = fed();
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+            f.dict(),
+        )
+        .unwrap();
+        let engine = Lusail::default();
+        let plan = engine.explain(&f, &q);
+        assert_eq!(plan.gjvs, ["v"]);
+        assert!(!plan.disjoint);
+        assert_eq!(plan.subqueries.len(), 2);
+        let text = plan.render();
+        assert!(text.contains("global join variables: [v]"));
+        assert!(text.contains("subquery 1"));
+        assert!(text.contains("?v <http://x/q> ?o"));
+    }
+
+    #[test]
+    fn explain_detects_disjoint_plan() {
+        let f = fed();
+        let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?v }", f.dict()).unwrap();
+        let engine = Lusail::default();
+        let plan = engine.explain(&f, &q);
+        assert!(plan.disjoint);
+        assert!(plan.render().contains("DISJOINT"));
+    }
+
+    #[test]
+    fn explain_does_not_fetch_data() {
+        let f = fed();
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+            f.dict(),
+        )
+        .unwrap();
+        let before = f.stats_snapshot();
+        let _ = Lusail::default().explain(&f, &q);
+        let window = f.stats_snapshot().since(&before);
+        // Probes only: ASK + check + COUNT, no unbounded SELECT rows.
+        assert!(window.rows_returned <= window.total_requests());
+    }
+}

@@ -1,0 +1,498 @@
+//! Detecting global join variables (Algorithm 1 in the paper).
+//!
+//! A *global join variable* (GJV) is a variable shared by two triple
+//! patterns that cannot be solved together by a single endpoint: either
+//! the two patterns have different relevant sources, or the data instances
+//! matching the variable in the two patterns are not co-located at some
+//! endpoint.
+//!
+//! Co-location is established by *check queries* — lightweight
+//! `SELECT … FILTER NOT EXISTS { … } LIMIT 1` probes computing the set
+//! difference of the variable's instances under the two patterns (Fig. 6
+//! in the paper). For a variable appearing as object in `TPᵢ` and subject
+//! in `TPⱼ`, one difference (`vᵢ − vⱼ`, evaluated at every relevant
+//! endpoint) suffices; for subject-only or object-only variables both
+//! differences are checked. Constants in the inner pattern are replaced
+//! with fresh variables; a known `rdf:type` constraint on the variable is
+//! added to narrow the probe.
+//!
+//! False positives (a variable flagged global although grouping would have
+//! been safe) cost extra remote joins but never correctness — exactly the
+//! trade-off the paper describes.
+//!
+//! Two paper-inherited caveats, both documented in DESIGN.md: (1) the
+//! probes establish co-location only under entity-partitioned data (each
+//! subject's triples at its authority's endpoint — the setting of Fig. 1);
+//! (2) adding the `rdf:type` constraint to the outer pattern makes checks
+//! *against the type pattern itself* vacuous by construction. Both follow
+//! the paper's Fig. 6 exactly — dropping the type constraint would flag
+//! every remote-referenced entity and destroy the disjointness of LUBM
+//! Q1/Q2 that §VI-C reports.
+
+use crate::cache::KeyedCache;
+use crate::exec::RequestHandler;
+use crate::source_selection::SourceMap;
+use lusail_endpoint::{EndpointId, Federation};
+use lusail_rdf::{vocab, FxHashSet, TermId};
+use lusail_sparql::ast::{GroupPattern, PatternTerm, Query, TriplePattern};
+
+
+/// The result of GJV analysis over one basic graph pattern.
+#[derive(Debug, Clone, Default)]
+pub struct GjvAnalysis {
+    /// The global join variables, in detection order.
+    pub gjvs: Vec<String>,
+    /// Unordered index pairs (into the analyzed pattern slice) that caused
+    /// some variable to be global. Patterns in a conflicting pair must not
+    /// share a subquery.
+    pub conflicts: FxHashSet<(usize, usize)>,
+    /// Number of check queries evaluated at endpoints (diagnostics; the
+    /// paper bounds this by `O(|V|·|T|²)` and it is small in practice).
+    pub check_queries: u64,
+}
+
+impl GjvAnalysis {
+    /// True if the pair `(i, j)` conflicts (order-insensitive).
+    pub fn conflicting(&self, i: usize, j: usize) -> bool {
+        self.conflicts.contains(&key(i, j))
+    }
+}
+
+fn key(i: usize, j: usize) -> (usize, usize) {
+    if i < j {
+        (i, j)
+    } else {
+        (j, i)
+    }
+}
+
+/// How a variable occurs in a pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Subject,
+    Object,
+    Predicate,
+}
+
+/// Runs Algorithm 1 over the triple patterns of one conjunctive block.
+pub fn detect_gjvs(
+    fed: &Federation,
+    triples: &[TriplePattern],
+    sources: &SourceMap,
+    cache: &KeyedCache<bool>,
+    handler: &RequestHandler,
+) -> GjvAnalysis {
+    let mut analysis = GjvAnalysis::default();
+    let rdf_type = fed.dict().encode_iri(vocab::RDF_TYPE);
+
+    // Map var -> (pattern index, role) occurrences.
+    let mut vars: Vec<(String, Vec<(usize, Role)>)> = Vec::new();
+    for (i, tp) in triples.iter().enumerate() {
+        let add = |name: &str, role: Role, vars: &mut Vec<(String, Vec<(usize, Role)>)>| {
+            match vars.iter_mut().find(|(v, _)| v == name) {
+                Some((_, occ)) => occ.push((i, role)),
+                None => vars.push((name.to_string(), vec![(i, role)])),
+            }
+        };
+        if let PatternTerm::Var(v) = &tp.s {
+            add(v, Role::Subject, &mut vars);
+        }
+        if let PatternTerm::Var(v) = &tp.p {
+            add(v, Role::Predicate, &mut vars);
+        }
+        if let PatternTerm::Var(v) = &tp.o {
+            add(v, Role::Object, &mut vars);
+        }
+    }
+
+    // A known type constraint per variable: (?v rdf:type <T>) with T const.
+    let type_of = |v: &str| -> Option<(usize, TermId)> {
+        triples.iter().enumerate().find_map(|(i, tp)| {
+            if tp.s.as_var() == Some(v)
+                && tp.p.as_const() == Some(rdf_type)
+                && !tp.o.is_var()
+            {
+                Some((i, tp.o.as_const().unwrap()))
+            } else {
+                None
+            }
+        })
+    };
+
+    for (var, occurrences) in &vars {
+        // Occurrences in distinct patterns only (a repeated variable inside
+        // one pattern is a local constraint, not a join).
+        let patterns: Vec<(usize, Role)> = occurrences.clone();
+        let distinct: FxHashSet<usize> = patterns.iter().map(|(i, _)| *i).collect();
+        if distinct.len() < 2 {
+            continue;
+        }
+
+        let mut is_gjv = false;
+
+        // Pairs of distinct patterns sharing the variable.
+        let idxs: Vec<usize> = {
+            let mut v: Vec<usize> = distinct.into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+
+        // Case 1 (lines 8–11): differing relevant sources ⇒ GJV, no check
+        // queries needed for those pairs. Unlike the paper's Algorithm 1
+        // (which skips all remaining checks once the variable is known
+        // global), same-source pairs of the variable are still checked
+        // below — otherwise an unchecked pair could be grouped although
+        // its instances straddle endpoints.
+        for (a, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[a + 1..] {
+                if sources.sources(&triples[i]) != sources.sources(&triples[j]) {
+                    analysis.conflicts.insert(key(i, j));
+                    is_gjv = true;
+                }
+            }
+        }
+        {
+            // Case 2: same sources everywhere — formulate check queries.
+            // Predicate-position joins cannot be checked with the paper's
+            // probe shapes; treat them conservatively as global.
+            let has_predicate_role = patterns.iter().any(|(_, r)| *r == Role::Predicate);
+            if has_predicate_role {
+                for (a, &i) in idxs.iter().enumerate() {
+                    for &j in &idxs[a + 1..] {
+                        analysis.conflicts.insert(key(i, j));
+                    }
+                }
+                is_gjv = true;
+            } else {
+                let type_info = type_of(var);
+                let mut checks: Vec<(usize, usize, Query, String)> = Vec::new();
+                let push_check = |i: usize, j: usize, keep: usize, probe: usize,
+                                      checks: &mut Vec<(usize, usize, Query, String)>| {
+                    let (q, sig) =
+                        check_query(var, &triples[keep], &triples[probe], type_info, triples);
+                    if !checks.iter().any(|(a, b, _, s)| (*a, *b) == (i, j) && *s == sig) {
+                        checks.push((i, j, q, sig));
+                    }
+                };
+                // Enumerate occurrence pairs. For an (object TPᵢ, subject
+                // TPⱼ) pair the paper's single difference vᵢ − vⱼ suffices
+                // (the probe runs at every relevant endpoint). For
+                // same-role pairs both differences are checked. The paper
+                // skips same-role pairs when the variable also has a
+                // mixed-role pair; checking them too is a strict superset
+                // — it can only add (safe) conflicts.
+                for a in 0..patterns.len() {
+                    for b in a + 1..patterns.len() {
+                        let (i, ri) = patterns[a];
+                        let (j, rj) = patterns[b];
+                        if i == j || analysis.conflicting(i, j) {
+                            // Same pattern, or already conflicting via the
+                            // source-mismatch case: no check query needed.
+                            continue;
+                        }
+                        match (ri, rj) {
+                            (Role::Object, Role::Subject) => {
+                                push_check(i, j, i, j, &mut checks);
+                            }
+                            (Role::Subject, Role::Object) => {
+                                push_check(i, j, j, i, &mut checks);
+                            }
+                            _ => {
+                                push_check(i, j, i, j, &mut checks);
+                                push_check(i, j, j, i, &mut checks);
+                            }
+                        }
+                    }
+                }
+
+                // Evaluate check queries at all relevant endpoints
+                // (identical source lists for both patterns of a pair).
+                let mut tasks: Vec<(EndpointId, usize)> = Vec::new();
+                let mut outcomes: Vec<bool> = vec![false; checks.len()];
+                for (ci, (i, _, _, sig)) in checks.iter().enumerate() {
+                    for &ep in sources.sources(&triples[*i]) {
+                        match cache.get(sig, ep) {
+                            Some(nonempty) => outcomes[ci] |= nonempty,
+                            None => tasks.push((ep, ci)),
+                        }
+                    }
+                }
+                analysis.check_queries += tasks.len() as u64;
+                let results = handler.run(fed, tasks, |ep, &ci| {
+                    !ep.select(&checks[ci].2).is_empty()
+                });
+                for (ep, ci, nonempty) in results {
+                    cache.put(checks[ci].3.clone(), ep, nonempty);
+                    outcomes[ci] |= nonempty;
+                }
+                for (ci, (i, j, _, _)) in checks.iter().enumerate() {
+                    if outcomes[ci] {
+                        analysis.conflicts.insert(key(*i, *j));
+                        is_gjv = true;
+                    }
+                }
+            }
+        }
+
+        if is_gjv {
+            analysis.gjvs.push(var.clone());
+        }
+    }
+    analysis
+}
+
+/// Builds the paper's check query (Fig. 6): instances of `var` matching
+/// `keep` that have **no** local match in `probe`. Constants (other than
+/// the predicate) inside the probe pattern are replaced with fresh
+/// variables; a known type constraint is added. Returns the query and a
+/// stable signature for caching.
+fn check_query(
+    var: &str,
+    keep: &TriplePattern,
+    probe: &TriplePattern,
+    type_info: Option<(usize, TermId)>,
+    triples: &[TriplePattern],
+) -> (Query, String) {
+    let mut outer = vec![keep.clone()];
+    if let Some((ti, ty)) = type_info {
+        let type_tp = &triples[ti];
+        // Add the type constraint unless it *is* the kept pattern.
+        if type_tp != keep {
+            outer.insert(
+                0,
+                TriplePattern::new(
+                    PatternTerm::Var(var.to_string()),
+                    type_tp.p.clone(),
+                    PatternTerm::Const(ty),
+                ),
+            );
+        }
+    }
+    // Probe pattern: keep the analyzed variable, the predicate, and any
+    // variable shared with the kept pattern (preserving multi-variable
+    // join correlation makes the NOT EXISTS stricter, i.e. strictly more
+    // conservative); generalize constants and unrelated variables to
+    // fresh names so the check is about *locality*, not specific values.
+    let fresh = |tag: &str, t: &PatternTerm| -> PatternTerm {
+        match t {
+            PatternTerm::Var(v) if v == var || keep.mentions(v) => {
+                PatternTerm::Var(v.clone())
+            }
+            _ => PatternTerm::Var(format!("__chk_{tag}")),
+        }
+    };
+    let inner = TriplePattern::new(
+        fresh("s", &probe.s),
+        probe.p.clone(),
+        fresh("o", &probe.o),
+    );
+    let mut pattern = GroupPattern::bgp(outer);
+    pattern.not_exists.push(GroupPattern::bgp(vec![inner]));
+    let q = Query {
+        form: lusail_sparql::ast::QueryForm::Select,
+        distinct: false,
+        projection: vec![var.to_string()],
+        pattern,
+        aggregates: Vec::new(),
+        group_by: Vec::new(),
+        having: Vec::new(),
+        order_by: Vec::new(),
+        limit: Some(1),
+    };
+    // Signature: the serialized text is stable and canonical enough for
+    // memoization (term ids are stable within a dictionary).
+    let sig = write_query_for_sig(&q);
+    (q, sig)
+}
+
+/// A dictionary-free signature: serialize structure with raw term ids.
+fn write_query_for_sig(q: &Query) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let tp = |t: &TriplePattern, s: &mut String| {
+        for x in [&t.s, &t.p, &t.o] {
+            match x {
+                PatternTerm::Var(v) => {
+                    let _ = write!(s, "?{v} ");
+                }
+                PatternTerm::Const(id) => {
+                    let _ = write!(s, "#{} ", id.0);
+                }
+            }
+        }
+        s.push('|');
+    };
+    for t in &q.pattern.triples {
+        tp(t, &mut s);
+    }
+    s.push_str("^^");
+    for g in &q.pattern.not_exists {
+        for t in &g.triples {
+            tp(t, &mut s);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ProbeCache;
+    use crate::source_selection::select_sources;
+    use lusail_endpoint::LocalEndpoint;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::parse_query;
+    use lusail_store::TripleStore;
+    use std::sync::Arc;
+
+    /// Builds the paper's running example (Fig. 1): two universities.
+    /// EP1 (MIT-like): all professors got their PhD locally; EP2 has Tim,
+    /// whose PhD university (incl. its address) lives at EP1.
+    fn universities() -> Federation {
+        let dict = Dictionary::shared();
+        let ub = |l: &str| Term::iri(format!("http://ub/{l}"));
+        let e1 = |l: &str| Term::iri(format!("http://ep1/{l}"));
+        let e2 = |l: &str| Term::iri(format!("http://ep2/{l}"));
+
+        let mut ep1 = TripleStore::new(Arc::clone(&dict));
+        // EP1: professor Joy advises Kim; Joy's PhD from CMU (local entity
+        // with address); university MIT with address (referenced by EP2).
+        ep1.insert_terms(&e1("Kim"), &ub("advisor"), &e1("Joy"));
+        ep1.insert_terms(&e1("Kim"), &ub("takesCourse"), &e1("c1"));
+        ep1.insert_terms(&e1("Joy"), &ub("teacherOf"), &e1("c1"));
+        ep1.insert_terms(&e1("Joy"), &ub("type"), &ub("Professor"));
+        ep1.insert_terms(&e1("Joy"), &ub("PhDDegreeFrom"), &e1("CMU"));
+        ep1.insert_terms(&e1("CMU"), &ub("address"), &Term::lit("CCCC"));
+        ep1.insert_terms(&e1("MIT"), &ub("address"), &Term::lit("XXX"));
+        // Ann advises nobody yet but has joined; causes the ?P false
+        // positive in the paper (advisor without teacherOf).
+        ep1.insert_terms(&e1("Bob"), &ub("advisor"), &e1("Ann"));
+        ep1.insert_terms(&e1("Bob"), &ub("takesCourse"), &e1("c2"));
+        ep1.insert_terms(&e1("Ann"), &ub("type"), &ub("Professor"));
+        ep1.insert_terms(&e1("Ann"), &ub("PhDDegreeFrom"), &e1("CMU"));
+
+        let mut ep2 = TripleStore::new(Arc::clone(&dict));
+        // EP2: Tim's PhD is from MIT — which lives at EP1 (the interlink).
+        ep2.insert_terms(&e2("Lee"), &ub("advisor"), &e2("Tim"));
+        ep2.insert_terms(&e2("Lee"), &ub("takesCourse"), &e2("c3"));
+        ep2.insert_terms(&e2("Tim"), &ub("teacherOf"), &e2("c3"));
+        ep2.insert_terms(&e2("Tim"), &ub("type"), &ub("Professor"));
+        ep2.insert_terms(&e2("Tim"), &ub("PhDDegreeFrom"), &e1("MIT"));
+        ep2.insert_terms(&e2("UoQ"), &ub("address"), &Term::lit("QQQ"));
+
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::new(LocalEndpoint::new("EP1", ep1)));
+        fed.add(Arc::new(LocalEndpoint::new("EP2", ep2)));
+        fed
+    }
+
+    fn qa(fed: &Federation) -> lusail_sparql::Query {
+        parse_query(
+            "PREFIX ub: <http://ub/> \
+             SELECT ?S ?P ?U ?A WHERE { \
+               ?S ub:advisor ?P . \
+               ?S ub:takesCourse ?C . \
+               ?P ub:PhDDegreeFrom ?U . \
+               ?U ub:address ?A }",
+            fed.dict(),
+        )
+        .unwrap()
+    }
+
+    fn analyze(fed: &Federation, q: &lusail_sparql::Query) -> GjvAnalysis {
+        let handler = RequestHandler::new();
+        let ask_cache = ProbeCache::new(true);
+        let sources = select_sources(fed, &q.pattern, &ask_cache, &handler);
+        let check_cache = KeyedCache::new(true);
+        detect_gjvs(fed, &q.pattern.triples, &sources, &check_cache, &handler)
+    }
+
+    #[test]
+    fn paper_example_detects_u_as_gjv_but_not_s() {
+        let fed = universities();
+        let q = qa(&fed);
+        let analysis = analyze(&fed, &q);
+        // ?U straddles EP1/EP2 (Tim's MIT) → global.
+        assert!(analysis.gjvs.contains(&"U".to_string()), "{analysis:?}");
+        // ?S is local everywhere (every advisee takes a course and vice
+        // versa at the same endpoint) → not global.
+        assert!(!analysis.gjvs.contains(&"S".to_string()), "{analysis:?}");
+        // The conflicting pair is (PhDDegreeFrom, address) = indices 2,3.
+        assert!(analysis.conflicting(2, 3));
+        assert!(!analysis.conflicting(0, 1));
+    }
+
+    #[test]
+    fn false_positive_on_p_is_allowed() {
+        // The paper's ?P example: Ann advises but teaches nothing, so the
+        // subject-only check for ?P over (advisor, teacherOf) reports a
+        // difference although grouping would have been safe. Lusail accepts
+        // this as a false positive.
+        let fed = universities();
+        let q = parse_query(
+            "PREFIX ub: <http://ub/> \
+             SELECT ?S ?P ?C WHERE { ?S ub:advisor ?P . ?P ub:teacherOf ?C }",
+            fed.dict(),
+        )
+        .unwrap();
+        let analysis = analyze(&fed, &q);
+        assert!(analysis.gjvs.contains(&"P".to_string()));
+    }
+
+    #[test]
+    fn colocated_subject_join_is_not_global() {
+        let fed = universities();
+        let q = parse_query(
+            "PREFIX ub: <http://ub/> \
+             SELECT * WHERE { ?S ub:advisor ?P . ?S ub:takesCourse ?C }",
+            fed.dict(),
+        )
+        .unwrap();
+        let analysis = analyze(&fed, &q);
+        assert!(analysis.gjvs.is_empty(), "{analysis:?}");
+        assert!(analysis.conflicts.is_empty());
+    }
+
+    #[test]
+    fn source_mismatch_is_gjv_without_check_queries() {
+        let dict = Dictionary::shared();
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        a.insert_terms(
+            &Term::iri("http://a/s"),
+            &Term::iri("http://x/p1"),
+            &Term::iri("http://a/v"),
+        );
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        b.insert_terms(
+            &Term::iri("http://a/v"),
+            &Term::iri("http://x/p2"),
+            &Term::iri("http://b/o"),
+        );
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::new(LocalEndpoint::new("A", a)));
+        fed.add(Arc::new(LocalEndpoint::new("B", b)));
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p1> ?v . ?v <http://x/p2> ?o }",
+            fed.dict(),
+        )
+        .unwrap();
+        let analysis = analyze(&fed, &q);
+        assert_eq!(analysis.gjvs, ["v"]);
+        assert!(analysis.conflicting(0, 1));
+        assert_eq!(analysis.check_queries, 0);
+    }
+
+    #[test]
+    fn variable_predicate_join_is_conservatively_global() {
+        let fed = universities();
+        let q = parse_query(
+            "SELECT * WHERE { ?s ?p ?v . ?v <http://ub/address> ?a }",
+            fed.dict(),
+        )
+        .unwrap();
+        let analysis = analyze(&fed, &q);
+        // ?v occurs with a variable-predicate pattern → conservative GJV
+        // (or source-mismatch GJV, depending on data); either way global.
+        assert!(analysis.gjvs.contains(&"v".to_string()));
+    }
+}

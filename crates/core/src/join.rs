@@ -1,0 +1,493 @@
+//! Global join evaluation: DP-ordered, partitioned hash joins (§V-B "Join
+//! Evaluation").
+//!
+//! Each subquery result is a relation whose *true* cardinality is known
+//! and whose rows arrived in per-endpoint partitions. Join order within a
+//! connected component (relations sharing variables) is chosen by the
+//! dynamic-programming enumeration of bushy trees without cross products
+//! (Moerkotte & Neumann), with the paper's cost function
+//!
+//! ```text
+//! JoinCost(S, R) = |S| / S.threads  +  |R| / R.threads
+//! ```
+//!
+//! (hash + probe, each parallel over its partitions). Probing is
+//! parallelized across row chunks when a side is large.
+
+use lusail_rdf::{FxHashMap, TermId};
+use lusail_sparql::solution::{Row, SolutionSet};
+
+/// A subquery result at the global level.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// The rows.
+    pub sols: SolutionSet,
+    /// How many partitions (endpoint result streams / worker threads)
+    /// back the relation — the `threads` term of the cost model.
+    pub partitions: usize,
+}
+
+impl Relation {
+    /// The paper's per-relation parallel-work term `|R| / R.threads`.
+    fn work(&self) -> f64 {
+        self.sols.len() as f64 / self.partitions.max(1) as f64
+    }
+
+    fn shares_var(&self, other: &Relation) -> bool {
+        self.sols.vars.iter().any(|v| other.sols.col(v).is_some())
+    }
+}
+
+/// Joins every *connected component* of the relation graph (edges =
+/// shared variables) down to a single relation, using DP join ordering
+/// inside each component. Disconnected components are returned separately
+/// — the caller decides whether a cross product is actually needed.
+pub fn join_components(relations: Vec<Relation>, parallel_threshold: usize) -> Vec<Relation> {
+    let n = relations.len();
+    if n <= 1 {
+        return relations;
+    }
+    // Union-find over shared-variable edges.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if relations[i].shares_var(&relations[j]) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut components: Vec<Vec<Relation>> = Vec::new();
+    let mut roots: Vec<usize> = Vec::new();
+    let rels: Vec<Relation> = relations;
+    for (i, rel) in rels.into_iter().enumerate() {
+        let root = find(&mut parent, i);
+        let idx = match roots.iter().position(|&r| r == root) {
+            Some(idx) => idx,
+            None => {
+                roots.push(root);
+                components.push(Vec::new());
+                components.len() - 1
+            }
+        };
+        components[idx].push(rel);
+    }
+    components
+        .into_iter()
+        .map(|c| join_connected(c, parallel_threshold))
+        .collect()
+}
+
+/// Joins a connected set of relations into one, ordering by DP when small
+/// enough and by greedy smallest-pair otherwise.
+fn join_connected(mut relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
+    if relations.len() == 1 {
+        return relations.pop().unwrap();
+    }
+    if relations.len() <= 12 {
+        dp_join(relations, parallel_threshold)
+    } else {
+        greedy_join(relations, parallel_threshold)
+    }
+}
+
+/// Bushy DP over subsets: `best[mask]` is the cheapest plan joining the
+/// relations in `mask`, considering only connected splits (no cross
+/// products within a component).
+fn dp_join(relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
+    #[derive(Clone)]
+    struct Plan {
+        cost: f64,
+        // (left mask, right mask); single relations have no split.
+        split: Option<(u32, u32)>,
+        rows: f64,
+        partitions: usize,
+    }
+    let n = relations.len();
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut plans: FxHashMap<u32, Plan> = FxHashMap::default();
+    for (i, r) in relations.iter().enumerate() {
+        plans.insert(
+            1 << i,
+            Plan {
+                cost: 0.0,
+                split: None,
+                rows: r.sols.len() as f64,
+                partitions: r.partitions,
+            },
+        );
+    }
+    // Precomputed adjacency bitmasks: neighbors[i] has bit j set when
+    // relation i shares a variable with relation j. Mask connectivity is
+    // then a couple of bit operations instead of repeated string compares.
+    let neighbors: Vec<u32> = (0..n)
+        .map(|i| {
+            let mut mask = 0u32;
+            for j in 0..n {
+                if i != j && relations[i].shares_var(&relations[j]) {
+                    mask |= 1 << j;
+                }
+            }
+            mask
+        })
+        .collect();
+    let connected = |a: u32, b: u32| -> bool {
+        (0..n).any(|i| a & (1 << i) != 0 && neighbors[i] & b != 0)
+    };
+
+    // Enumerate masks in increasing popcount order.
+    let mut masks: Vec<u32> = (1..=full).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    for &mask in &masks {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let mut best: Option<Plan> = None;
+        // Enumerate proper sub-splits (left < right to halve the work).
+        let mut left = (mask - 1) & mask;
+        while left > 0 {
+            let right = mask & !left;
+            if left < right {
+                if let (Some(pl), Some(pr)) = (plans.get(&left), plans.get(&right)) {
+                    if connected(left, right) {
+                        // JoinCost: hash the smaller side, probe the other.
+                        let (s_rows, s_parts, r_rows, r_parts) = if pl.rows <= pr.rows {
+                            (pl.rows, pl.partitions, pr.rows, pr.partitions)
+                        } else {
+                            (pr.rows, pr.partitions, pl.rows, pl.partitions)
+                        };
+                        let step = s_rows / s_parts.max(1) as f64
+                            + r_rows / r_parts.max(1) as f64;
+                        let cost = pl.cost + pr.cost + step;
+                        // Optimistic output estimate: the smaller input (a
+                        // key join usually reduces); exact sizes are only
+                        // known after execution.
+                        let rows = s_rows.min(r_rows).max(1.0);
+                        let partitions = s_parts.max(r_parts);
+                        if best.as_ref().is_none_or(|b| cost < b.cost) {
+                            best = Some(Plan {
+                                cost,
+                                split: Some((left, right)),
+                                rows,
+                                partitions,
+                            });
+                        }
+                    }
+                }
+            }
+            left = (left - 1) & mask;
+        }
+        if let Some(plan) = best {
+            plans.insert(mask, plan);
+        }
+    }
+
+    // Execute the chosen plan bottom-up. If DP never connected the full
+    // mask (shouldn't happen for a connected component), fall back to
+    // greedy.
+    if !plans.contains_key(&full) {
+        return greedy_join(relations, parallel_threshold);
+    }
+
+    fn execute(
+        mask: u32,
+        plans: &FxHashMap<u32, Plan>,
+        relations: &mut [Option<Relation>],
+        threshold: usize,
+    ) -> Relation {
+        let plan = &plans[&mask];
+        match plan.split {
+            None => {
+                // Each leaf participates in exactly one place of the plan
+                // tree: take ownership instead of cloning its rows.
+                let i = mask.trailing_zeros() as usize;
+                relations[i].take().expect("leaf used once")
+            }
+            Some((l, r)) => {
+                let left = execute(l, plans, relations, threshold);
+                let right = execute(r, plans, relations, threshold);
+                let partitions = left.partitions.max(right.partitions);
+                let sols = par_hash_join(&left.sols, &right.sols, partitions, threshold);
+                Relation { sols, partitions }
+            }
+        }
+    }
+    let mut slots: Vec<Option<Relation>> = relations.into_iter().map(Some).collect();
+    execute(full, &plans, &mut slots, parallel_threshold)
+}
+
+/// Greedy fallback: repeatedly join the connected pair with the smallest
+/// combined work.
+fn greedy_join(mut relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
+    while relations.len() > 1 {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..relations.len() {
+            for j in i + 1..relations.len() {
+                if !relations[i].shares_var(&relations[j]) {
+                    continue;
+                }
+                let cost = relations[i].work() + relations[j].work();
+                if best.is_none_or(|(_, _, c)| cost < c) {
+                    best = Some((i, j, cost));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else {
+            // Not connected after all: cross-join the first two.
+            let b = relations.remove(1);
+            let a = relations.remove(0);
+            let partitions = a.partitions.max(b.partitions);
+            let sols = par_hash_join(&a.sols, &b.sols, partitions, parallel_threshold);
+            relations.insert(0, Relation { sols, partitions });
+            continue;
+        };
+        let b = relations.remove(j);
+        let a = relations.remove(i);
+        let partitions = a.partitions.max(b.partitions);
+        let sols = par_hash_join(&a.sols, &b.sols, partitions, parallel_threshold);
+        relations.push(Relation { sols, partitions });
+    }
+    relations.pop().unwrap_or(Relation {
+        sols: SolutionSet {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        },
+        partitions: 1,
+    })
+}
+
+/// Hash join with parallel probing: the probe side is split into chunks
+/// processed by scoped threads against a shared build table. Falls back
+/// to the sequential [`SolutionSet::hash_join`] when the inputs are small
+/// or any join-key cell is unbound (the rare OPTIONAL-produced case, which
+/// needs the compatibility fallback).
+pub fn par_hash_join(
+    a: &SolutionSet,
+    b: &SolutionSet,
+    partitions: usize,
+    threshold: usize,
+) -> SolutionSet {
+    let shared: Vec<String> = a
+        .vars
+        .iter()
+        .filter(|v| b.col(v).is_some())
+        .cloned()
+        .collect();
+    let threads = partitions
+        .max(1)
+        .min(std::thread::available_parallelism().map_or(4, |n| n.get()));
+    if shared.is_empty() || threads == 1 || a.len().max(b.len()) < threshold {
+        return a.hash_join(b);
+    }
+
+    let (build, probe, build_is_a) = if a.len() <= b.len() {
+        (a, b, true)
+    } else {
+        (b, a, false)
+    };
+    let build_cols: Vec<usize> = shared.iter().map(|v| build.col(v).unwrap()).collect();
+    let probe_cols: Vec<usize> = shared.iter().map(|v| probe.col(v).unwrap()).collect();
+
+    // Unbound key cells require the compatibility fallback.
+    let any_unbound = build
+        .rows
+        .iter()
+        .any(|r| build_cols.iter().any(|&c| r[c].is_none()))
+        || probe
+            .rows
+            .iter()
+            .any(|r| probe_cols.iter().any(|&c| r[c].is_none()));
+    if any_unbound {
+        return a.hash_join(b);
+    }
+
+    let mut table: FxHashMap<Vec<TermId>, Vec<usize>> = FxHashMap::default();
+    for (i, row) in build.rows.iter().enumerate() {
+        let key: Vec<TermId> = build_cols.iter().map(|&c| row[c].unwrap()).collect();
+        table.entry(key).or_default().push(i);
+    }
+
+    let out_vars: Vec<String> = a
+        .vars
+        .iter()
+        .cloned()
+        .chain(b.vars.iter().filter(|v| a.col(v).is_none()).cloned())
+        .collect();
+    // Precompute output column sources: (from_a, col).
+    let col_src: Vec<(bool, usize)> = out_vars
+        .iter()
+        .map(|v| match a.col(v) {
+            Some(c) => (true, c),
+            None => (false, b.col(v).unwrap()),
+        })
+        .collect();
+
+    let chunk = probe.rows.len().div_ceil(threads);
+    let mut rows: Vec<Row> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let table = &table;
+        let col_src = &col_src;
+        let probe_cols = &probe_cols;
+        let handles: Vec<_> = probe
+            .rows
+            .chunks(chunk.max(1))
+            .map(|chunk_rows| {
+                scope.spawn(move |_| {
+                    let mut out: Vec<Row> = Vec::new();
+                    for prow in chunk_rows {
+                        let key: Vec<TermId> =
+                            probe_cols.iter().map(|&c| prow[c].unwrap()).collect();
+                        if let Some(matches) = table.get(&key) {
+                            for &bi in matches {
+                                let brow = &build.rows[bi];
+                                let (arow, brow2): (&Row, &Row) = if build_is_a {
+                                    (brow, prow)
+                                } else {
+                                    (prow, brow)
+                                };
+                                let row: Row = col_src
+                                    .iter()
+                                    .map(|&(from_a, c)| if from_a { arow[c] } else { brow2[c] })
+                                    .collect();
+                                out.push(row);
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.extend(h.join().expect("join worker panicked"));
+        }
+    })
+    .expect("join scope");
+    SolutionSet {
+        vars: out_vars,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(vars: &[&str], rows: Vec<Vec<u32>>, partitions: usize) -> Relation {
+        Relation {
+            sols: SolutionSet {
+                vars: vars.iter().map(|s| s.to_string()).collect(),
+                rows: rows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(|x| Some(TermId(x))).collect())
+                    .collect(),
+            },
+            partitions,
+        }
+    }
+
+    #[test]
+    fn chain_join_produces_expected_rows() {
+        let a = rel(&["x", "y"], vec![vec![1, 10], vec![2, 20]], 1);
+        let b = rel(&["y", "z"], vec![vec![10, 100], vec![20, 200]], 1);
+        let c = rel(&["z", "w"], vec![vec![100, 7]], 1);
+        let out = join_components(vec![a, b, c], usize::MAX);
+        assert_eq!(out.len(), 1);
+        let sols = &out[0].sols;
+        assert_eq!(sols.len(), 1);
+        let canon = sols.canonicalize();
+        assert_eq!(canon.vars, ["w", "x", "y", "z"]);
+        assert_eq!(
+            canon.rows[0],
+            vec![Some(TermId(7)), Some(TermId(1)), Some(TermId(10)), Some(TermId(100))]
+        );
+    }
+
+    #[test]
+    fn disconnected_components_stay_apart() {
+        let a = rel(&["x"], vec![vec![1]], 1);
+        let b = rel(&["y"], vec![vec![2]], 1);
+        let out = join_components(vec![a, b], usize::MAX);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn star_join_with_many_relations() {
+        // A center relation joined with 5 satellites.
+        let mut rels = vec![rel(
+            &["c", "a0"],
+            vec![vec![1, 10], vec![2, 20]],
+            2,
+        )];
+        for i in 0..5 {
+            rels.push(rel(
+                &["c", &format!("s{i}")],
+                vec![vec![1, 100 + i], vec![2, 200 + i]],
+                1,
+            ));
+        }
+        let out = join_components(rels, usize::MAX);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sols.len(), 2);
+        assert_eq!(out[0].sols.vars.len(), 7);
+    }
+
+    #[test]
+    fn par_join_matches_sequential() {
+        let n = 2_000u32;
+        let a = rel(
+            &["x", "y"],
+            (0..n).map(|i| vec![i, i * 2]).collect(),
+            4,
+        );
+        let b = rel(
+            &["y", "z"],
+            (0..n).map(|i| vec![i, i + 1]).collect(),
+            4,
+        );
+        let seq = a.sols.hash_join(&b.sols).canonicalize();
+        let par = par_hash_join(&a.sols, &b.sols, 4, 100).canonicalize();
+        assert_eq!(seq, par);
+        // y values 0..2n step 2 that are < n: n/2 matches.
+        assert_eq!(par.len(), (n / 2) as usize);
+    }
+
+    #[test]
+    fn par_join_falls_back_on_unbound_keys() {
+        let a = Relation {
+            sols: SolutionSet {
+                vars: vec!["x".into(), "y".into()],
+                rows: vec![vec![Some(TermId(1)), None]],
+            },
+            partitions: 2,
+        };
+        let b = rel(&["y", "z"], vec![vec![10, 100]], 2);
+        let out = par_hash_join(&a.sols, &b.sols, 2, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0], vec![Some(TermId(1)), Some(TermId(10)), Some(TermId(100))]);
+    }
+
+    #[test]
+    fn greedy_join_used_for_large_sets() {
+        // 14 relations in a chain exceed the DP width.
+        let mut rels = Vec::new();
+        for i in 0..14 {
+            rels.push(rel(
+                &[&format!("v{i}"), &format!("v{}", i + 1)],
+                vec![vec![1, 1], vec![2, 2]],
+                1,
+            ));
+        }
+        let out = join_components(rels, usize::MAX);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sols.len(), 2);
+    }
+}

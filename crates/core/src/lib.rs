@@ -1,0 +1,47 @@
+//! Lusail: scalable SPARQL query processing over decentralized RDF graphs
+//! (Abdelaziz et al., ICDE 2017).
+//!
+//! The engine processes a federated query in three phases, mirroring the
+//! paper's architecture (Fig. 4):
+//!
+//! 1. **Source selection** ([`source_selection`]) — one `ASK` per triple
+//!    pattern per endpoint, memoized in a cache shared across queries.
+//! 2. **Query analysis / LADE** ([`gjv`], [`decompose`]) — locality-aware
+//!    decomposition. Check queries (`FILTER NOT EXISTS … LIMIT 1`) detect
+//!    *global join variables*: join variables whose instances are not
+//!    co-located at the endpoints. Triple patterns are grouped into
+//!    maximal subqueries that endpoints can answer locally without losing
+//!    results (Algorithms 1 and 2).
+//! 3. **Query execution / SAPE** ([`cost`], [`exec`], [`join`]) —
+//!    selectivity-aware parallel execution. Per-pattern `COUNT` probes
+//!    feed a cost model; subqueries with outlying estimated cardinality or
+//!    endpoint fan-out (threshold `μ+σ` after Chauvenet outlier
+//!    rejection) are *delayed* and later evaluated as bound subqueries
+//!    over `VALUES` blocks of already-found bindings. Non-delayed
+//!    subqueries run concurrently, one worker per endpoint, and results
+//!    are combined with dynamic-programming-ordered partitioned hash
+//!    joins.
+//!
+//! Entry point: [`Lusail::execute`].
+
+pub mod cache;
+pub mod cluster;
+pub mod cost;
+pub mod decompose;
+pub mod engine;
+pub mod explain;
+pub mod exec;
+pub mod gjv;
+pub mod join;
+pub mod metrics;
+pub mod mqo;
+pub mod source_selection;
+pub mod subquery;
+
+pub use cluster::LusailCluster;
+pub use cost::DelayPolicy;
+pub use explain::{QueryPlan, SubqueryPlan};
+pub use mqo::BatchReport;
+pub use engine::{Lusail, LusailConfig, QueryResult};
+pub use metrics::QueryMetrics;
+pub use subquery::Subquery;

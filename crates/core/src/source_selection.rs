@@ -1,0 +1,212 @@
+//! Source selection: which endpoints are relevant to each triple pattern.
+//!
+//! Like FedX and the paper's §III, Lusail probes every triple pattern with
+//! an `ASK` at every endpoint, memoizing the answers. The probes for the
+//! patterns of one query are issued in parallel through the elastic
+//! request handler (one worker per endpoint).
+
+use crate::cache::{pattern_key, ProbeCache};
+use crate::exec::RequestHandler;
+use lusail_endpoint::{EndpointId, Federation};
+use lusail_sparql::ast::{GroupPattern, Query, TriplePattern};
+
+/// Relevant endpoints for every triple pattern of a query, in
+/// `GroupPattern::all_triples` order.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    entries: Vec<(TriplePattern, Vec<EndpointId>)>,
+}
+
+impl SourceMap {
+    /// Adds an entry directly (used by tests and by engines that compute
+    /// relevance through other means, e.g. the index-based baselines).
+    pub fn push_entry(&mut self, tp: TriplePattern, mut sources: Vec<EndpointId>) {
+        sources.sort_unstable();
+        sources.dedup();
+        self.entries.push((tp, sources));
+    }
+
+    /// The sorted endpoint set relevant to `tp`. Patterns not probed (not
+    /// part of the analyzed query) return the empty set.
+    pub fn sources(&self, tp: &TriplePattern) -> &[EndpointId] {
+        self.entries
+            .iter()
+            .find(|(t, _)| t == tp)
+            .map(|(_, s)| s.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over `(pattern, sources)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(TriplePattern, Vec<EndpointId>)> {
+        self.entries.iter()
+    }
+
+    /// True if some *required* pattern has no relevant source (the query
+    /// is guaranteed empty).
+    pub fn any_required_empty(&self, required: &[TriplePattern]) -> bool {
+        required.iter().any(|tp| self.sources(tp).is_empty())
+    }
+
+    /// The union of all patterns' sources.
+    pub fn all_sources(&self) -> Vec<EndpointId> {
+        let mut out: Vec<EndpointId> = Vec::new();
+        for (_, s) in &self.entries {
+            for id in s {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The intersection of the sources of the given patterns (endpoints
+    /// able to answer all of them).
+    pub fn common_sources(&self, patterns: &[TriplePattern]) -> Vec<EndpointId> {
+        let mut iter = patterns.iter();
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
+        let mut acc: Vec<EndpointId> = self.sources(first).to_vec();
+        for tp in iter {
+            let s = self.sources(tp);
+            acc.retain(|id| s.contains(id));
+        }
+        acc
+    }
+}
+
+/// Runs source selection for every triple pattern of `pattern` (including
+/// nested OPTIONAL/UNION/NOT EXISTS groups) against all endpoints.
+pub fn select_sources(
+    fed: &Federation,
+    pattern: &GroupPattern,
+    cache: &ProbeCache<bool>,
+    handler: &RequestHandler,
+) -> SourceMap {
+    let triples: Vec<TriplePattern> = pattern.all_triples().into_iter().cloned().collect();
+    let mut entries: Vec<(TriplePattern, Vec<EndpointId>)> = Vec::with_capacity(triples.len());
+
+    // Deduplicate patterns: repeated patterns share one probe set.
+    let mut unique: Vec<TriplePattern> = Vec::new();
+    for tp in &triples {
+        if !unique.contains(tp) {
+            unique.push(tp.clone());
+        }
+    }
+
+    // Build the probe task list, skipping cached answers.
+    let mut tasks: Vec<(EndpointId, TriplePattern)> = Vec::new();
+    let mut known: Vec<(TriplePattern, EndpointId, bool)> = Vec::new();
+    for tp in &unique {
+        let key = pattern_key(tp);
+        for (ep_id, _) in fed.iter() {
+            match cache.get(&key, ep_id) {
+                Some(answer) => known.push((tp.clone(), ep_id, answer)),
+                None => tasks.push((ep_id, tp.clone())),
+            }
+        }
+    }
+
+    // Probe uncached (endpoint, pattern) pairs in parallel by endpoint.
+    let probed: Vec<(EndpointId, TriplePattern, bool)> =
+        handler.run(fed, tasks, |ep, tp: &TriplePattern| {
+            let q = Query::ask(GroupPattern::bgp(vec![tp.clone()]));
+            ep.ask(&q)
+        });
+    for (ep_id, tp, answer) in probed {
+        cache.put(pattern_key(&tp), ep_id, answer);
+        known.push((tp, ep_id, answer));
+    }
+
+    for tp in triples {
+        let mut sources: Vec<EndpointId> = known
+            .iter()
+            .filter(|(t, _, ans)| *ans && *t == tp)
+            .map(|(_, ep, _)| *ep)
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        entries.push((tp, sources));
+    }
+    SourceMap { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_endpoint::LocalEndpoint;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::parse_query;
+    use lusail_store::TripleStore;
+    use std::sync::Arc;
+
+    fn fed() -> Federation {
+        let dict = Dictionary::shared();
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        a.insert_terms(
+            &Term::iri("http://x/s1"),
+            &Term::iri("http://x/p"),
+            &Term::iri("http://x/o1"),
+        );
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        b.insert_terms(
+            &Term::iri("http://x/s2"),
+            &Term::iri("http://x/q"),
+            &Term::iri("http://x/o2"),
+        );
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::new(LocalEndpoint::new("A", a)));
+        fed.add(Arc::new(LocalEndpoint::new("B", b)));
+        fed
+    }
+
+    #[test]
+    fn selects_only_answering_endpoints() {
+        let f = fed();
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?o . ?s <http://x/q> ?o2 . ?s <http://x/r> ?o3 }",
+            f.dict(),
+        )
+        .unwrap();
+        let cache = ProbeCache::new(true);
+        let handler = RequestHandler::new();
+        let sm = select_sources(&f, &q.pattern, &cache, &handler);
+        assert_eq!(sm.sources(&q.pattern.triples[0]), &[0]);
+        assert_eq!(sm.sources(&q.pattern.triples[1]), &[1]);
+        assert!(sm.sources(&q.pattern.triples[2]).is_empty());
+        assert!(sm.any_required_empty(&q.pattern.triples));
+        assert_eq!(sm.all_sources(), vec![0, 1]);
+        assert!(sm.common_sources(&q.pattern.triples[0..2]).is_empty());
+    }
+
+    #[test]
+    fn cache_avoids_repeat_asks() {
+        let f = fed();
+        let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", f.dict()).unwrap();
+        let cache = ProbeCache::new(true);
+        let handler = RequestHandler::new();
+        let before = f.stats_snapshot();
+        select_sources(&f, &q.pattern, &cache, &handler);
+        let mid = f.stats_snapshot();
+        assert_eq!(mid.since(&before).ask_requests, 2);
+        // Second run: fully cached, zero asks.
+        select_sources(&f, &q.pattern, &cache, &handler);
+        let after = f.stats_snapshot();
+        assert_eq!(after.since(&mid).ask_requests, 0);
+    }
+
+    #[test]
+    fn disabled_cache_probes_again() {
+        let f = fed();
+        let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", f.dict()).unwrap();
+        let cache = ProbeCache::new(false);
+        let handler = RequestHandler::new();
+        let before = f.stats_snapshot();
+        select_sources(&f, &q.pattern, &cache, &handler);
+        select_sources(&f, &q.pattern, &cache, &handler);
+        let after = f.stats_snapshot();
+        assert_eq!(after.since(&before).ask_requests, 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! A federation: the named set of endpoints a query runs against.
+
+use crate::network::StatsSnapshot;
+use crate::{EndpointRef, SparqlEndpoint};
+use lusail_rdf::Dictionary;
+use std::sync::Arc;
+
+/// Index of an endpoint within a [`Federation`]. Engines carry endpoint
+/// sets as sorted `Vec<EndpointId>`.
+pub type EndpointId = usize;
+
+/// An ordered collection of SPARQL endpoints sharing one term dictionary.
+#[derive(Clone)]
+pub struct Federation {
+    dict: Arc<Dictionary>,
+    endpoints: Vec<EndpointRef>,
+}
+
+impl Federation {
+    /// Creates an empty federation over the given dictionary.
+    pub fn new(dict: Arc<Dictionary>) -> Self {
+        Federation {
+            dict,
+            endpoints: Vec::new(),
+        }
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &Arc<Dictionary> {
+        &self.dict
+    }
+
+    /// Adds an endpoint, returning its id.
+    pub fn add(&mut self, ep: EndpointRef) -> EndpointId {
+        self.endpoints.push(ep);
+        self.endpoints.len() - 1
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True if the federation has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// The endpoint with the given id. Panics on out-of-range ids (ids are
+    /// only produced by [`Federation::add`]).
+    pub fn endpoint(&self, id: EndpointId) -> &EndpointRef {
+        &self.endpoints[id]
+    }
+
+    /// Looks an endpoint up by name.
+    pub fn by_name(&self, name: &str) -> Option<(EndpointId, &EndpointRef)> {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .find(|(_, ep)| ep.name() == name)
+    }
+
+    /// Iterates over `(id, endpoint)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (EndpointId, &EndpointRef)> {
+        self.endpoints.iter().enumerate()
+    }
+
+    /// All endpoint ids.
+    pub fn all_ids(&self) -> Vec<EndpointId> {
+        (0..self.endpoints.len()).collect()
+    }
+
+    /// Sum of all endpoints' counters (snapshot).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.endpoints
+            .iter()
+            .map(|ep| ep.stats().snapshot())
+            .fold(StatsSnapshot::default(), |acc, s| acc.plus(&s))
+    }
+
+    /// Total triples across the federation.
+    pub fn total_triples(&self) -> usize {
+        self.endpoints.iter().map(|ep| ep.triple_count()).sum()
+    }
+}
+
+/// Builds a federation directly from named stores (test/bench helper).
+pub fn federation_from_stores(
+    dict: Arc<Dictionary>,
+    stores: Vec<(String, lusail_store::TripleStore)>,
+) -> Federation {
+    let mut fed = Federation::new(dict);
+    for (name, store) in stores {
+        fed.add(Arc::new(crate::LocalEndpoint::new(name, store)) as Arc<dyn SparqlEndpoint>);
+    }
+    fed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalEndpoint;
+    use lusail_rdf::Term;
+    use lusail_sparql::parse_query;
+    use lusail_store::TripleStore;
+
+    fn fed() -> Federation {
+        let dict = Dictionary::shared();
+        let mut st1 = TripleStore::new(Arc::clone(&dict));
+        st1.insert_terms(
+            &Term::iri("http://a/s"),
+            &Term::iri("http://a/p"),
+            &Term::iri("http://a/o"),
+        );
+        let mut st2 = TripleStore::new(Arc::clone(&dict));
+        st2.insert_terms(
+            &Term::iri("http://b/s"),
+            &Term::iri("http://b/p"),
+            &Term::iri("http://b/o"),
+        );
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::new(LocalEndpoint::new("A", st1)));
+        fed.add(Arc::new(LocalEndpoint::new("B", st2)));
+        fed
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let f = fed();
+        assert_eq!(f.len(), 2);
+        let (id, ep) = f.by_name("B").unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(ep.name(), "B");
+        assert_eq!(f.endpoint(0).name(), "A");
+        assert!(f.by_name("C").is_none());
+    }
+
+    #[test]
+    fn ask_routes_to_the_right_store() {
+        let f = fed();
+        let q = parse_query("ASK { ?s <http://a/p> ?o }", f.dict()).unwrap();
+        assert!(f.endpoint(0).ask(&q));
+        assert!(!f.endpoint(1).ask(&q));
+    }
+
+    #[test]
+    fn stats_aggregate_across_endpoints() {
+        let f = fed();
+        let before = f.stats_snapshot();
+        let q = parse_query("SELECT * WHERE { ?s ?p ?o }", f.dict()).unwrap();
+        let r0 = f.endpoint(0).select(&q);
+        let r1 = f.endpoint(1).select(&q);
+        assert_eq!(r0.len(), 1);
+        assert_eq!(r1.len(), 1);
+        let window = f.stats_snapshot().since(&before);
+        assert_eq!(window.select_requests, 2);
+        assert_eq!(window.rows_returned, 2);
+        assert!(window.bytes_sent > 0);
+    }
+
+    #[test]
+    fn total_triples_sums_endpoints() {
+        assert_eq!(fed().total_triples(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! SPARQL endpoint abstraction for decentralized RDF graphs.
+//!
+//! In the paper every data source is an independent SPARQL endpoint
+//! (Jena Fuseki or Virtuoso behind HTTP). Here an endpoint is a
+//! [`TripleStore`] behind the [`SparqlEndpoint`] trait, with a simulated
+//! network in front of it:
+//!
+//! * every request is **counted** (ASK / SELECT / COUNT separately) and the
+//!   serialized request & response sizes are accumulated — these counters
+//!   are exactly the "number of remote requests" and "intermediate data"
+//!   metrics driving the paper's analysis (Figs. 3, 11–14);
+//! * an optional [`NetworkProfile`] adds real latency (`thread::sleep`) and
+//!   bandwidth delay per request, used for the geo-distributed experiments
+//!   (Fig. 14); the same virtual time is always *accumulated* so harnesses
+//!   can compute modeled response times without sleeping.
+//!
+//! A [`Federation`] is a named, ordered collection of endpoints sharing a
+//! term dictionary.
+
+pub mod federation;
+pub mod network;
+
+pub use federation::{EndpointId, Federation};
+pub use network::{NetworkProfile, NetworkStats, StatsSnapshot};
+
+use lusail_sparql::{write_query, Query, SolutionSet};
+use lusail_store::TripleStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The interface a federated query engine sees for one remote source.
+pub trait SparqlEndpoint: Send + Sync {
+    /// The endpoint's stable name (e.g. `"DrugBank"` or `"univ-0"`).
+    fn name(&self) -> &str;
+    /// Executes an `ASK`: does the query's pattern have any solution here?
+    fn ask(&self, q: &Query) -> bool;
+    /// Executes a `SELECT`, returning the solutions.
+    fn select(&self, q: &Query) -> SolutionSet;
+    /// Executes a `SELECT (COUNT(*) …)`, returning the count.
+    fn count(&self, q: &Query) -> u64;
+    /// Request/byte counters for this endpoint.
+    fn stats(&self) -> &NetworkStats;
+    /// Number of triples stored at this endpoint.
+    fn triple_count(&self) -> usize;
+}
+
+/// An in-process SPARQL endpoint over a [`TripleStore`], with simulated
+/// network costs.
+pub struct LocalEndpoint {
+    name: String,
+    store: TripleStore,
+    profile: NetworkProfile,
+    stats: NetworkStats,
+}
+
+impl LocalEndpoint {
+    /// Creates an endpoint with no network delay (local-cluster setting).
+    pub fn new(name: impl Into<String>, store: TripleStore) -> Self {
+        LocalEndpoint {
+            name: name.into(),
+            store,
+            profile: NetworkProfile::default(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Creates an endpoint with the given network profile (geo-distributed
+    /// setting).
+    pub fn with_profile(
+        name: impl Into<String>,
+        store: TripleStore,
+        profile: NetworkProfile,
+    ) -> Self {
+        LocalEndpoint {
+            name: name.into(),
+            store,
+            profile,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Read access to the underlying store (used by index-building
+    /// baselines, whose preprocessing cost the paper measures).
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// The endpoint's network profile.
+    pub fn profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+
+    /// Accounts for one request: serialized request size, latency and
+    /// transfer delay, sleeping if the profile says to.
+    fn charge(&self, q: &Query, response_bytes: u64, rows: u64) {
+        let request_bytes = write_query(q, self.store.dict()).len() as u64;
+        let virtual_time =
+            self.profile.latency + self.profile.transfer_time(request_bytes + response_bytes);
+        self.stats
+            .record(request_bytes, response_bytes, rows, virtual_time);
+        if self.profile.sleep && virtual_time > Duration::ZERO {
+            std::thread::sleep(virtual_time);
+        }
+    }
+}
+
+impl SparqlEndpoint for LocalEndpoint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ask(&self, q: &Query) -> bool {
+        let result = lusail_store::eval::ask(&self.store, q);
+        self.stats.bump_ask();
+        self.charge(q, 1, 1);
+        result
+    }
+
+    fn select(&self, q: &Query) -> SolutionSet {
+        let result = lusail_store::eval::evaluate(&self.store, q);
+        self.stats.bump_select();
+        self.charge(q, result.wire_bytes(), result.len() as u64);
+        result
+    }
+
+    fn count(&self, q: &Query) -> u64 {
+        let result = lusail_store::eval::count(&self.store, q);
+        self.stats.bump_count();
+        self.charge(q, 8, 1);
+        result
+    }
+
+    fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    fn triple_count(&self) -> usize {
+        self.store.len()
+    }
+}
+
+/// Convenience alias used throughout the engines.
+pub type EndpointRef = Arc<dyn SparqlEndpoint>;
+
+/// A federated SPARQL query engine — implemented by Lusail and by the
+/// FedX / SPLENDID / HiBISCuS baselines so harnesses can drive them
+/// uniformly. Request counts and byte volumes are read from the
+/// federation's [`NetworkStats`] around the call.
+pub trait FederatedEngine: Send + Sync {
+    /// A short display name ("Lusail", "FedX", …).
+    fn engine_name(&self) -> &str;
+    /// Executes the query and returns its solutions.
+    fn run(&self, fed: &Federation, query: &Query) -> SolutionSet;
+    /// Clears any memoized probe results (between benchmark repetitions).
+    fn reset(&self) {}
+}
+
+#[cfg(test)]
+mod wire_tests {
+    use super::*;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::parse_query;
+    use std::time::Instant;
+
+    fn endpoint(profile: NetworkProfile) -> LocalEndpoint {
+        let dict = Dictionary::shared();
+        let mut st = TripleStore::new(std::sync::Arc::clone(&dict));
+        for i in 0..50 {
+            st.insert_terms(
+                &Term::iri(format!("http://x/s{i}")),
+                &Term::iri("http://x/p"),
+                &Term::lit(format!("value {i}")),
+            );
+        }
+        LocalEndpoint::with_profile("T", st, profile)
+    }
+
+    #[test]
+    fn accounting_without_sleep_is_fast_but_counted() {
+        let mut profile = NetworkProfile::wan(50, 1);
+        profile.sleep = false; // accounting only
+        let ep = endpoint(profile);
+        let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", ep.store().dict()).unwrap();
+        let t0 = Instant::now();
+        let sols = ep.select(&q);
+        assert_eq!(sols.len(), 50);
+        assert!(
+            t0.elapsed().as_millis() < 40,
+            "accounting-only profile slept"
+        );
+        let s = ep.stats().snapshot();
+        assert_eq!(s.select_requests, 1);
+        assert_eq!(s.rows_returned, 50);
+        // Virtual time includes the 50 ms latency even without sleeping.
+        assert!(s.virtual_time_ns >= 50_000_000);
+    }
+
+    #[test]
+    fn wan_profile_actually_sleeps() {
+        let ep = endpoint(NetworkProfile::wan(30, 100));
+        let q = parse_query("ASK { ?s <http://x/p> ?o }", ep.store().dict()).unwrap();
+        let t0 = Instant::now();
+        assert!(ep.ask(&q));
+        assert!(
+            t0.elapsed().as_millis() >= 30,
+            "WAN profile did not sleep for its latency"
+        );
+    }
+
+    #[test]
+    fn bigger_results_cost_more_virtual_time_under_bandwidth() {
+        let mut profile = NetworkProfile::wan(0, 1); // 1 Mbit/s, no latency
+        profile.sleep = false;
+        let ep = endpoint(profile);
+        let dict = ep.store().dict();
+        let small = parse_query("SELECT * WHERE { ?s <http://x/p> ?o } LIMIT 1", dict).unwrap();
+        let large = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", dict).unwrap();
+        let _ = ep.select(&small);
+        let after_small = ep.stats().snapshot().virtual_time_ns;
+        let _ = ep.select(&large);
+        let after_large = ep.stats().snapshot().virtual_time_ns - after_small;
+        assert!(
+            after_large > after_small,
+            "transfer time did not grow with result size: {after_small} vs {after_large}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Dictionary-encoded RDF triples.
+
+use crate::dictionary::TermId;
+
+/// A dictionary-encoded RDF triple `(subject, predicate, object)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject term id.
+    pub s: TermId,
+    /// Predicate term id.
+    pub p: TermId,
+    /// Object term id.
+    pub o: TermId,
+}
+
+impl Triple {
+    /// Creates a triple from its three component ids.
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_spo() {
+        let t1 = Triple::new(TermId(1), TermId(9), TermId(9));
+        let t2 = Triple::new(TermId(2), TermId(0), TermId(0));
+        assert!(t1 < t2);
+    }
+}

@@ -1,0 +1,31 @@
+//! A SPARQL subset sufficient for federated query processing à la Lusail
+//! (ICDE 2017).
+//!
+//! The crate provides:
+//!
+//! * [`ast`] — the query algebra: `SELECT`/`ASK`/`SELECT (COUNT(*) …)`
+//!   forms over group graph patterns with basic graph patterns, `FILTER`
+//!   (including `FILTER NOT EXISTS`), `OPTIONAL`, `UNION`, `VALUES`,
+//!   `DISTINCT` and `LIMIT`;
+//! * [`parser`] — a hand-written recursive-descent parser that interns all
+//!   constant terms into a shared [`Dictionary`](lusail_rdf::Dictionary);
+//! * [`writer`] — a serializer back to SPARQL text, used to simulate the
+//!   wire format between the federated engine and the endpoints;
+//! * [`solution`] — result sets (`SolutionSet`) exchanged between engines
+//!   and endpoints.
+//!
+//! The subset is exactly what the paper's workloads exercise; anything
+//! outside it is a parse error rather than a silent misinterpretation.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod solution;
+pub mod writer;
+
+pub use ast::{
+    CmpOp, Expression, GroupPattern, PatternTerm, Query, QueryForm, TriplePattern, ValuesBlock,
+};
+pub use parser::{parse_query, ParseError};
+pub use solution::{Row, SolutionSet};
+pub use writer::write_query;

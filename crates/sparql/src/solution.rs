@@ -1,0 +1,585 @@
+//! Solution sets: the tabular results exchanged between endpoints and
+//! federated engines.
+
+use lusail_rdf::{FxHashMap, TermId};
+
+/// One solution row; column order follows [`SolutionSet::vars`]. `None`
+/// means the variable is unbound in this solution (e.g. OPTIONAL misses).
+pub type Row = Vec<Option<TermId>>;
+
+/// A set of solutions over a fixed variable schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolutionSet {
+    /// Column names (variable names without `?`), in column order.
+    pub vars: Vec<String>,
+    /// The solution rows.
+    pub rows: Vec<Row>,
+}
+
+impl SolutionSet {
+    /// An empty solution set over the given variables.
+    pub fn empty(vars: Vec<String>) -> Self {
+        SolutionSet {
+            vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column index of a variable, if present.
+    pub fn col(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// Reads the binding of `var` in row `i`.
+    pub fn get(&self, i: usize, var: &str) -> Option<TermId> {
+        self.col(var).and_then(|c| self.rows[i][c])
+    }
+
+    /// Appends all rows of `other`, aligning columns by variable name.
+    /// Variables missing from `other` become unbound; variables new in
+    /// `other` are added as columns (unbound in existing rows).
+    pub fn append(&mut self, other: SolutionSet) {
+        if self.vars == other.vars {
+            self.rows.extend(other.rows);
+            return;
+        }
+        // Add any new columns.
+        for v in &other.vars {
+            if self.col(v).is_none() {
+                self.vars.push(v.clone());
+                for row in &mut self.rows {
+                    row.push(None);
+                }
+            }
+        }
+        let mapping: Vec<usize> = other
+            .vars
+            .iter()
+            .map(|v| self.col(v).expect("column just added"))
+            .collect();
+        for orow in other.rows {
+            let mut row = vec![None; self.vars.len()];
+            for (j, val) in orow.into_iter().enumerate() {
+                row[mapping[j]] = val;
+            }
+            self.rows.push(row);
+        }
+    }
+
+    /// Projects onto the given variables (in the given order). Variables
+    /// absent from the schema yield all-unbound columns, matching SPARQL's
+    /// treatment of projecting an unbound variable.
+    pub fn project(&self, vars: &[String]) -> SolutionSet {
+        let cols: Vec<Option<usize>> = vars.iter().map(|v| self.col(v)).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| cols.iter().map(|c| c.and_then(|c| row[c])).collect())
+            .collect();
+        SolutionSet {
+            vars: vars.to_vec(),
+            rows,
+        }
+    }
+
+    /// Removes duplicate rows, preserving first-seen order.
+    pub fn dedup(&mut self) {
+        let mut seen = lusail_rdf::FxHashSet::default();
+        self.rows.retain(|row| seen.insert(row.clone()));
+    }
+
+    /// Truncates to at most `n` rows.
+    pub fn truncate(&mut self, n: usize) {
+        self.rows.truncate(n);
+    }
+
+    /// The distinct binding tuples over the given (present) columns, in
+    /// first-seen order. Used by bound joins to build `VALUES` blocks.
+    pub fn distinct_tuples(&self, vars: &[String]) -> Vec<Row> {
+        let cols: Vec<usize> = vars
+            .iter()
+            .filter_map(|v| self.col(v))
+            .collect();
+        let mut seen = lusail_rdf::FxHashSet::default();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let tuple: Row = cols.iter().map(|&c| row[c]).collect();
+            if seen.insert(tuple.clone()) {
+                out.push(tuple);
+            }
+        }
+        out
+    }
+
+    /// The distinct bound values of `var` across all rows.
+    pub fn distinct_values(&self, var: &str) -> Vec<TermId> {
+        let Some(c) = self.col(var) else {
+            return Vec::new();
+        };
+        let mut seen = lusail_rdf::FxHashSet::default();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if let Some(id) = row[c] {
+                if seen.insert(id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Canonicalizes for multiset comparison in tests: projects columns in
+    /// sorted-variable order and sorts rows. Two solution sets are
+    /// SPARQL-equivalent iff their canonical forms are equal.
+    pub fn canonicalize(&self) -> SolutionSet {
+        let mut vars = self.vars.clone();
+        vars.sort();
+        let mut out = self.project(&vars);
+        out.rows.sort();
+        out
+    }
+
+    /// Estimates the wire size of this solution set in bytes (used by the
+    /// simulated network layer): 8 bytes per cell plus schema overhead.
+    pub fn wire_bytes(&self) -> u64 {
+        let header: u64 = self.vars.iter().map(|v| v.len() as u64 + 1).sum();
+        header + (self.rows.len() as u64) * (self.vars.len() as u64) * 8
+    }
+
+    /// Hash-joins two solution sets on their shared variables. Rows join if
+    /// all shared variables that are bound on both sides agree; the SPARQL
+    /// compatibility rule (unbound matches anything) applies.
+    ///
+    /// For the common case where shared variables are bound on both sides
+    /// this is a standard build/probe hash join on the key of shared
+    /// variables; rows with unbound key parts fall back to a scan bucket.
+    /// A single shared variable (the overwhelmingly common case) avoids
+    /// per-row key allocations entirely.
+    pub fn hash_join(&self, other: &SolutionSet) -> SolutionSet {
+        let shared: Vec<String> = self
+            .vars
+            .iter()
+            .filter(|v| other.col(v).is_some())
+            .cloned()
+            .collect();
+        if shared.is_empty() {
+            return self.cross_join(other);
+        }
+        if shared.len() == 1 {
+            return self.hash_join_single(other, &shared[0]);
+        }
+        let out_vars: Vec<String> = self
+            .vars
+            .iter()
+            .cloned()
+            .chain(other.vars.iter().filter(|v| self.col(v).is_none()).cloned())
+            .collect();
+
+        // Build side: smaller relation.
+        let (build, probe, build_is_self) = if self.rows.len() <= other.rows.len() {
+            (self, other, true)
+        } else {
+            (other, self, false)
+        };
+        let build_key_cols: Vec<usize> =
+            shared.iter().map(|v| build.col(v).unwrap()).collect();
+        let probe_key_cols: Vec<usize> =
+            shared.iter().map(|v| probe.col(v).unwrap()).collect();
+
+        let mut table: FxHashMap<Vec<TermId>, Vec<usize>> = FxHashMap::default();
+        let mut unbound_keys: Vec<usize> = Vec::new();
+        for (i, row) in build.rows.iter().enumerate() {
+            let key: Option<Vec<TermId>> =
+                build_key_cols.iter().map(|&c| row[c]).collect();
+            match key {
+                Some(key) => table.entry(key).or_default().push(i),
+                None => unbound_keys.push(i),
+            }
+        }
+
+        // Precompute output column sources once: (self column, other
+        // column); the join column may be unbound on one side, so both are
+        // consulted.
+        let col_src: Vec<(Option<usize>, Option<usize>)> = out_vars
+            .iter()
+            .map(|v| (self.col(v), other.col(v)))
+            .collect();
+        let mut out = SolutionSet::empty(out_vars);
+        let mut emit = |self_row: &Row, other_row: &Row| {
+            let row: Row = col_src
+                .iter()
+                .map(|&(sc, oc)| {
+                    let a = sc.and_then(|c| self_row[c]);
+                    let b = oc.and_then(|c| other_row[c]);
+                    a.or(b)
+                })
+                .collect();
+            out.rows.push(row);
+        };
+
+        for prow in &probe.rows {
+            let key: Option<Vec<TermId>> = probe_key_cols.iter().map(|&c| prow[c]).collect();
+            if let Some(key) = key {
+                if let Some(matches) = table.get(&key) {
+                    for &bi in matches {
+                        let brow = &build.rows[bi];
+                        let (srow, orow) = if build_is_self { (brow, prow) } else { (prow, brow) };
+                        emit(srow, orow);
+                    }
+                }
+                // Build rows with unbound key parts are compatible with any
+                // probe row whose remaining values agree.
+                for &bi in &unbound_keys {
+                    let brow = &build.rows[bi];
+                    if compatible(brow, &build_key_cols, prow, &probe_key_cols) {
+                        let (srow, orow) = if build_is_self { (brow, prow) } else { (prow, brow) };
+                        emit(srow, orow);
+                    }
+                }
+            } else {
+                // Probe row has unbound key parts: scan the whole build side.
+                for brow in &build.rows {
+                    if compatible(brow, &build_key_cols, prow, &probe_key_cols) {
+                        let (srow, orow) = if build_is_self { (brow, prow) } else { (prow, brow) };
+                        emit(srow, orow);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Single-shared-variable hash join: keys are raw `TermId`s, no
+    /// per-row allocation.
+    fn hash_join_single(&self, other: &SolutionSet, var: &str) -> SolutionSet {
+        let out_vars: Vec<String> = self
+            .vars
+            .iter()
+            .cloned()
+            .chain(other.vars.iter().filter(|v| self.col(v).is_none()).cloned())
+            .collect();
+        let (build, probe, build_is_self) = if self.rows.len() <= other.rows.len() {
+            (self, other, true)
+        } else {
+            (other, self, false)
+        };
+        let bc = build.col(var).expect("shared var");
+        let pc = probe.col(var).expect("shared var");
+
+        let mut table: FxHashMap<TermId, Vec<usize>> = FxHashMap::default();
+        let mut unbound_keys: Vec<usize> = Vec::new();
+        for (i, row) in build.rows.iter().enumerate() {
+            match row[bc] {
+                Some(key) => table.entry(key).or_default().push(i),
+                None => unbound_keys.push(i),
+            }
+        }
+
+        // Precompute output column sources: (from_self, column).
+        let col_src: Vec<(bool, usize)> = out_vars
+            .iter()
+            .map(|v| match self.col(v) {
+                Some(c) => (true, c),
+                None => (false, other.col(v).expect("var from other")),
+            })
+            .collect();
+        let mut out = SolutionSet::empty(out_vars);
+        let jc = out.col(var).expect("join var in schema");
+        let emit =
+            |self_row: &Row, other_row: &Row, key: Option<TermId>, out: &mut SolutionSet| {
+                let mut row: Row = col_src
+                    .iter()
+                    .map(|&(from_self, c)| if from_self { self_row[c] } else { other_row[c] })
+                    .collect();
+                // The join column may have been copied from the side where
+                // it was unbound; patch it with the agreed value.
+                if row[jc].is_none() {
+                    row[jc] = key;
+                }
+                out.rows.push(row);
+            };
+
+        for prow in &probe.rows {
+            match prow[pc] {
+                Some(key) => {
+                    if let Some(matches) = table.get(&key) {
+                        for &bi in matches {
+                            let brow = &build.rows[bi];
+                            let (srow, orow) =
+                                if build_is_self { (brow, prow) } else { (prow, brow) };
+                            emit(srow, orow, Some(key), &mut out);
+                        }
+                    }
+                    // Build rows unbound on the join var match any key.
+                    for &bi in &unbound_keys {
+                        let brow = &build.rows[bi];
+                        let (srow, orow) =
+                            if build_is_self { (brow, prow) } else { (prow, brow) };
+                        emit(srow, orow, Some(key), &mut out);
+                    }
+                }
+                None => {
+                    // Probe row unbound on the join var: compatible with
+                    // every build row.
+                    for brow in &build.rows {
+                        let (srow, orow) =
+                            if build_is_self { (brow, prow) } else { (prow, brow) };
+                        emit(srow, orow, brow[bc], &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Cross product (no shared variables).
+    fn cross_join(&self, other: &SolutionSet) -> SolutionSet {
+        let out_vars: Vec<String> = self
+            .vars
+            .iter()
+            .cloned()
+            .chain(other.vars.iter().cloned())
+            .collect();
+        let mut out = SolutionSet::empty(out_vars);
+        out.rows.reserve(self.rows.len() * other.rows.len());
+        for a in &self.rows {
+            for b in &other.rows {
+                let mut row = a.clone();
+                row.extend(b.iter().copied());
+                out.rows.push(row);
+            }
+        }
+        out
+    }
+
+    /// Left-joins `other` into `self` (OPTIONAL semantics): rows that find
+    /// no compatible partner keep their bindings with the right-hand columns
+    /// unbound.
+    pub fn left_join(&self, other: &SolutionSet) -> SolutionSet {
+        let shared: Vec<String> = self
+            .vars
+            .iter()
+            .filter(|v| other.col(v).is_some())
+            .cloned()
+            .collect();
+        let out_vars: Vec<String> = self
+            .vars
+            .iter()
+            .cloned()
+            .chain(other.vars.iter().filter(|v| self.col(v).is_none()).cloned())
+            .collect();
+        let mut out = SolutionSet::empty(out_vars);
+        let self_cols: Vec<usize> = shared.iter().map(|v| self.col(v).unwrap()).collect();
+        let other_cols: Vec<usize> = shared.iter().map(|v| other.col(v).unwrap()).collect();
+
+        // Index the right side by fully-bound key.
+        let mut table: FxHashMap<Vec<TermId>, Vec<usize>> = FxHashMap::default();
+        let mut loose: Vec<usize> = Vec::new();
+        for (i, row) in other.rows.iter().enumerate() {
+            let key: Option<Vec<TermId>> = other_cols.iter().map(|&c| row[c]).collect();
+            match key {
+                Some(k) => table.entry(k).or_default().push(i),
+                None => loose.push(i),
+            }
+        }
+
+        for srow in &self.rows {
+            let mut matched = false;
+            let key: Option<Vec<TermId>> = self_cols.iter().map(|&c| srow[c]).collect();
+            let mut candidates: Vec<usize> = Vec::new();
+            match key {
+                Some(ref k) => {
+                    if let Some(v) = table.get(k) {
+                        candidates.extend_from_slice(v);
+                    }
+                    candidates.extend_from_slice(&loose);
+                }
+                None => candidates.extend(0..other.rows.len()),
+            }
+            for oi in candidates {
+                let orow = &other.rows[oi];
+                if compatible(srow, &self_cols, orow, &other_cols) {
+                    matched = true;
+                    let mut row: Row = Vec::with_capacity(out.vars.len());
+                    for v in &out.vars {
+                        let a = self.col(v).and_then(|c| srow[c]);
+                        let b = other.col(v).and_then(|c| orow[c]);
+                        row.push(a.or(b));
+                    }
+                    out.rows.push(row);
+                }
+            }
+            if !matched {
+                let mut row: Row = Vec::with_capacity(out.vars.len());
+                for v in &out.vars {
+                    row.push(self.col(v).and_then(|c| srow[c]));
+                }
+                out.rows.push(row);
+            }
+        }
+        out
+    }
+
+    /// Anti-join: keeps rows of `self` with **no** compatible partner in
+    /// `other` (the semantics of `FILTER NOT EXISTS` joined on shared vars).
+    pub fn anti_join(&self, other: &SolutionSet) -> SolutionSet {
+        let shared: Vec<String> = self
+            .vars
+            .iter()
+            .filter(|v| other.col(v).is_some())
+            .cloned()
+            .collect();
+        if shared.is_empty() {
+            // NOT EXISTS with no shared variables: keep rows only if the
+            // other pattern has no solutions at all.
+            return if other.rows.is_empty() {
+                self.clone()
+            } else {
+                SolutionSet::empty(self.vars.clone())
+            };
+        }
+        let self_cols: Vec<usize> = shared.iter().map(|v| self.col(v).unwrap()).collect();
+        let other_cols: Vec<usize> = shared.iter().map(|v| other.col(v).unwrap()).collect();
+        let mut out = SolutionSet::empty(self.vars.clone());
+        for srow in &self.rows {
+            let has_match = other
+                .rows
+                .iter()
+                .any(|orow| compatible(srow, &self_cols, orow, &other_cols));
+            if !has_match {
+                out.rows.push(srow.clone());
+            }
+        }
+        out
+    }
+}
+
+/// SPARQL compatibility on the given key columns: every position where both
+/// rows are bound must agree.
+fn compatible(a: &Row, a_cols: &[usize], b: &Row, b_cols: &[usize]) -> bool {
+    a_cols
+        .iter()
+        .zip(b_cols)
+        .all(|(&ca, &cb)| match (a[ca], b[cb]) {
+            (Some(x), Some(y)) => x == y,
+            _ => true,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u32) -> Option<TermId> {
+        Some(TermId(n))
+    }
+
+    fn set(vars: &[&str], rows: Vec<Vec<Option<TermId>>>) -> SolutionSet {
+        SolutionSet {
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+            rows,
+        }
+    }
+
+    #[test]
+    fn hash_join_on_shared_var() {
+        let a = set(&["x", "y"], vec![vec![id(1), id(10)], vec![id(2), id(20)]]);
+        let b = set(&["y", "z"], vec![vec![id(10), id(100)], vec![id(10), id(101)]]);
+        let j = a.hash_join(&b);
+        assert_eq!(j.vars, ["x", "y", "z"]);
+        let mut rows = j.rows.clone();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![vec![id(1), id(10), id(100)], vec![id(1), id(10), id(101)]]
+        );
+    }
+
+    #[test]
+    fn hash_join_no_shared_is_cross() {
+        let a = set(&["x"], vec![vec![id(1)], vec![id(2)]]);
+        let b = set(&["y"], vec![vec![id(3)]]);
+        let j = a.hash_join(&b);
+        assert_eq!(j.rows.len(), 2);
+    }
+
+    #[test]
+    fn hash_join_with_unbound_is_compatible() {
+        let a = set(&["x", "y"], vec![vec![id(1), None]]);
+        let b = set(&["y", "z"], vec![vec![id(10), id(100)]]);
+        let j = a.hash_join(&b);
+        assert_eq!(j.rows, vec![vec![id(1), id(10), id(100)]]);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let a = set(&["x"], vec![vec![id(1)], vec![id(2)]]);
+        let b = set(&["x", "n"], vec![vec![id(1), id(9)]]);
+        let j = a.left_join(&b);
+        let mut rows = j.rows.clone();
+        rows.sort();
+        assert_eq!(rows, vec![vec![id(1), id(9)], vec![id(2), None]]);
+    }
+
+    #[test]
+    fn anti_join_filters_matches() {
+        let a = set(&["x"], vec![vec![id(1)], vec![id(2)]]);
+        let b = set(&["x"], vec![vec![id(1)]]);
+        let j = a.anti_join(&b);
+        assert_eq!(j.rows, vec![vec![id(2)]]);
+    }
+
+    #[test]
+    fn anti_join_disjoint_vars() {
+        let a = set(&["x"], vec![vec![id(1)]]);
+        let empty = set(&["z"], vec![]);
+        let nonempty = set(&["z"], vec![vec![id(5)]]);
+        assert_eq!(a.anti_join(&empty).rows.len(), 1);
+        assert_eq!(a.anti_join(&nonempty).rows.len(), 0);
+    }
+
+    #[test]
+    fn append_aligns_columns() {
+        let mut a = set(&["x", "y"], vec![vec![id(1), id(2)]]);
+        let b = set(&["y", "z"], vec![vec![id(3), id(4)]]);
+        a.append(b);
+        assert_eq!(a.vars, ["x", "y", "z"]);
+        assert_eq!(a.rows[0], vec![id(1), id(2), None]);
+        assert_eq!(a.rows[1], vec![None, id(3), id(4)]);
+    }
+
+    #[test]
+    fn project_and_dedup() {
+        let s = set(
+            &["x", "y"],
+            vec![vec![id(1), id(2)], vec![id(1), id(3)], vec![id(1), id(2)]],
+        );
+        let mut p = s.project(&["x".to_string()]);
+        assert_eq!(p.rows.len(), 3);
+        p.dedup();
+        assert_eq!(p.rows, vec![vec![id(1)]]);
+    }
+
+    #[test]
+    fn distinct_values_skips_unbound() {
+        let s = set(&["x"], vec![vec![id(1)], vec![None], vec![id(1)], vec![id(2)]]);
+        assert_eq!(s.distinct_values("x"), vec![TermId(1), TermId(2)]);
+    }
+
+    #[test]
+    fn canonicalize_is_order_insensitive() {
+        let a = set(&["x", "y"], vec![vec![id(1), id(2)], vec![id(3), id(4)]]);
+        let b = set(&["y", "x"], vec![vec![id(4), id(3)], vec![id(2), id(1)]]);
+        assert_eq!(a.canonicalize(), b.canonicalize());
+    }
+}

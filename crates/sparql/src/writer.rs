@@ -1,0 +1,284 @@
+//! Serializing queries back to SPARQL text.
+//!
+//! Used to simulate the wire format between the federated engine and the
+//! endpoints (byte counting) and for human-readable diagnostics. The writer
+//! emits full IRIs (no prefixes), so `parse(write(q))` reproduces `q`.
+
+use crate::ast::*;
+use lusail_rdf::{Dictionary, TermId};
+use std::fmt::Write;
+
+/// Serializes a query to SPARQL text.
+pub fn write_query(q: &Query, dict: &Dictionary) -> String {
+    let mut out = String::new();
+    match &q.form {
+        QueryForm::Select => {
+            out.push_str("SELECT ");
+            if q.distinct {
+                out.push_str("DISTINCT ");
+            }
+            if q.projection.is_empty() && q.aggregates.is_empty() {
+                out.push_str("* ");
+            } else {
+                for v in &q.projection {
+                    let _ = write!(out, "?{v} ");
+                }
+                for a in &q.aggregates {
+                    let func = match a.func {
+                        AggFunc::Count => "COUNT",
+                        AggFunc::Sum => "SUM",
+                        AggFunc::Min => "MIN",
+                        AggFunc::Max => "MAX",
+                        AggFunc::Avg => "AVG",
+                    };
+                    let _ = write!(out, "({func}(");
+                    if a.distinct {
+                        out.push_str("DISTINCT ");
+                    }
+                    match &a.var {
+                        Some(v) => {
+                            let _ = write!(out, "?{v}");
+                        }
+                        None => out.push('*'),
+                    }
+                    let _ = write!(out, ") AS ?{}) ", a.alias);
+                }
+            }
+        }
+        QueryForm::Ask => out.push_str("ASK "),
+        QueryForm::CountStar(alias) => {
+            let _ = write!(out, "SELECT (COUNT(*) AS ?{alias}) ");
+        }
+    }
+    if !matches!(q.form, QueryForm::Ask) {
+        out.push_str("WHERE ");
+    }
+    write_group(&mut out, &q.pattern, dict);
+    if !q.group_by.is_empty() {
+        out.push_str(" GROUP BY");
+        for v in &q.group_by {
+            let _ = write!(out, " ?{v}");
+        }
+    }
+    for h in &q.having {
+        out.push_str(" HAVING (");
+        write_expr(&mut out, h, dict);
+        out.push(')');
+    }
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY");
+        for key in &q.order_by {
+            if key.descending {
+                let _ = write!(out, " DESC(?{})", key.var);
+            } else {
+                let _ = write!(out, " ?{}", key.var);
+            }
+        }
+    }
+    if let Some(limit) = q.limit {
+        let _ = write!(out, " LIMIT {limit}");
+    }
+    out
+}
+
+fn write_group(out: &mut String, g: &GroupPattern, dict: &Dictionary) {
+    out.push_str("{ ");
+    for t in &g.triples {
+        write_pattern_term(out, &t.s, dict);
+        out.push(' ');
+        write_pattern_term(out, &t.p, dict);
+        out.push(' ');
+        write_pattern_term(out, &t.o, dict);
+        out.push_str(" . ");
+    }
+    if let Some(values) = &g.values {
+        write_values(out, values, dict);
+    }
+    for branches in &g.unions {
+        for (i, b) in branches.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" UNION ");
+            }
+            write_group(out, b, dict);
+        }
+        out.push(' ');
+    }
+    for opt in &g.optionals {
+        out.push_str("OPTIONAL ");
+        write_group(out, opt, dict);
+        out.push(' ');
+    }
+    for ne in &g.not_exists {
+        out.push_str("FILTER NOT EXISTS ");
+        write_group(out, ne, dict);
+        out.push(' ');
+    }
+    for f in &g.filters {
+        out.push_str("FILTER (");
+        write_expr(out, f, dict);
+        out.push_str(") ");
+    }
+    out.push('}');
+}
+
+fn write_values(out: &mut String, v: &ValuesBlock, dict: &Dictionary) {
+    out.push_str("VALUES (");
+    for var in &v.vars {
+        let _ = write!(out, "?{var} ");
+    }
+    out.push_str(") { ");
+    for row in &v.rows {
+        out.push('(');
+        for cell in row {
+            match cell {
+                Some(id) => write_const(out, *id, dict),
+                None => out.push_str("UNDEF"),
+            }
+            out.push(' ');
+        }
+        out.push_str(") ");
+    }
+    out.push_str("} ");
+}
+
+fn write_pattern_term(out: &mut String, t: &PatternTerm, dict: &Dictionary) {
+    match t {
+        PatternTerm::Var(v) => {
+            let _ = write!(out, "?{v}");
+        }
+        PatternTerm::Const(id) => write_const(out, *id, dict),
+    }
+}
+
+fn write_const(out: &mut String, id: TermId, dict: &Dictionary) {
+    let _ = write!(out, "{}", dict.decode(id));
+}
+
+fn write_expr(out: &mut String, e: &Expression, dict: &Dictionary) {
+    match e {
+        Expression::Var(v) => {
+            let _ = write!(out, "?{v}");
+        }
+        Expression::Const(id) => write_const(out, *id, dict),
+        Expression::Cmp(op, a, b) => {
+            out.push('(');
+            write_expr(out, a, dict);
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            let _ = write!(out, " {sym} ");
+            write_expr(out, b, dict);
+            out.push(')');
+        }
+        Expression::And(a, b) => {
+            out.push('(');
+            write_expr(out, a, dict);
+            out.push_str(" && ");
+            write_expr(out, b, dict);
+            out.push(')');
+        }
+        Expression::Or(a, b) => {
+            out.push('(');
+            write_expr(out, a, dict);
+            out.push_str(" || ");
+            write_expr(out, b, dict);
+            out.push(')');
+        }
+        Expression::Not(a) => {
+            out.push_str("!(");
+            write_expr(out, a, dict);
+            out.push(')');
+        }
+        Expression::Bound(v) => {
+            let _ = write!(out, "BOUND(?{v})");
+        }
+        Expression::Regex(a, pat, ci) => {
+            out.push_str("REGEX(");
+            write_expr(out, a, dict);
+            let _ = write!(out, ", \"{pat}\"");
+            if *ci {
+                out.push_str(", \"i\"");
+            }
+            out.push(')');
+        }
+        Expression::Contains(a, s) => {
+            out.push_str("CONTAINS(");
+            write_expr(out, a, dict);
+            let _ = write!(out, ", \"{s}\")");
+        }
+        Expression::Str(a) => {
+            out.push_str("STR(");
+            write_expr(out, a, dict);
+            out.push(')');
+        }
+        Expression::Lang(a) => {
+            out.push_str("LANG(");
+            write_expr(out, a, dict);
+            out.push(')');
+        }
+        Expression::LangMatches(a, r) => {
+            out.push_str("LANGMATCHES(");
+            write_expr(out, a, dict);
+            let _ = write!(out, ", \"{r}\")");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use lusail_rdf::Dictionary;
+
+    fn roundtrip(query: &str) {
+        let dict = Dictionary::new();
+        let q1 = parse_query(query, &dict).unwrap();
+        let text = write_query(&q1, &dict);
+        let q2 = parse_query(&text, &dict)
+            .unwrap_or_else(|e| panic!("re-parse of {text:?} failed: {e}"));
+        assert_eq!(q1, q2, "roundtrip mismatch for {text:?}");
+    }
+
+    #[test]
+    fn roundtrip_select() {
+        roundtrip("SELECT ?s ?o WHERE { ?s <http://x/p> ?o . ?o <http://x/q> \"v\"@en }");
+    }
+
+    #[test]
+    fn roundtrip_ask_and_count() {
+        roundtrip("ASK { ?s ?p ?o }");
+        roundtrip("SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }");
+    }
+
+    #[test]
+    fn roundtrip_filters() {
+        roundtrip(
+            "SELECT ?x WHERE { ?x <http://x/age> ?a . FILTER ((?a >= 18 && !(?a > 65)) || BOUND(?x)) }",
+        );
+        roundtrip(
+            "SELECT ?x WHERE { ?x <http://x/n> ?n . FILTER REGEX(STR(?n), \"ab\", \"i\") }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_structure() {
+        roundtrip(
+            "SELECT * WHERE { ?s <http://x/p> ?o . OPTIONAL { ?o <http://x/q> ?z } \
+             FILTER NOT EXISTS { ?o <http://x/r> ?w } }",
+        );
+        roundtrip("SELECT ?x WHERE { { ?x <http://x/a> ?y } UNION { ?x <http://x/b> ?y } }");
+        roundtrip(
+            "SELECT ?x WHERE { ?x <http://x/p> ?y . VALUES (?x ?y) { (<http://x/1> UNDEF) (<http://x/2> \"s\") } } LIMIT 3",
+        );
+    }
+
+    #[test]
+    fn roundtrip_distinct_limit() {
+        roundtrip("SELECT DISTINCT ?s WHERE { ?s ?p ?o } LIMIT 10");
+    }
+}

@@ -1,0 +1,928 @@
+//! The local SPARQL evaluator backing every endpoint.
+//!
+//! Evaluation strategy:
+//!
+//! * **BGP** — index nested-loop join: triple patterns are ordered greedily
+//!   by boundness (constants plus already-bound variables) with predicate
+//!   statistics as tie-breaker, then each solution row is extended by an
+//!   index range scan. A `LIMIT` on a simple group (no filters/optionals/
+//!   unions) is pushed into the scan, which makes `ASK` and Lusail's
+//!   `LIMIT 1` check queries cheap.
+//! * **UNION** — branches evaluated independently, concatenated, then
+//!   joined with the surrounding solutions.
+//! * **OPTIONAL** — left join.
+//! * **FILTER NOT EXISTS** — anti join on shared variables.
+//! * **FILTER** — row predicate via [`crate::expr`].
+
+use crate::expr::eval_filter;
+use crate::store::TripleStore;
+use lusail_rdf::TermId;
+use lusail_sparql::ast::{GroupPattern, PatternTerm, Query, QueryForm, TriplePattern};
+use lusail_sparql::solution::{Row, SolutionSet};
+
+/// Evaluates a query against a store, producing its solution set.
+///
+/// * For `SELECT`, applies projection, `DISTINCT`, and `LIMIT`.
+/// * For `ASK`, returns a one-row/zero-row set over no variables.
+/// * For `SELECT (COUNT(*) AS ?alias)`, returns one row binding the alias
+///   to an integer literal.
+pub fn evaluate(store: &TripleStore, q: &Query) -> SolutionSet {
+    match &q.form {
+        QueryForm::Ask => {
+            let sols = eval_group(store, &q.pattern, Some(1));
+            let mut out = SolutionSet::empty(Vec::new());
+            if !sols.is_empty() {
+                out.rows.push(Vec::new());
+            }
+            out
+        }
+        QueryForm::CountStar(alias) => {
+            let n = eval_group(store, &q.pattern, None).len() as i64;
+            let id = store.dict().encode(&lusail_rdf::Term::int(n));
+            SolutionSet {
+                vars: vec![alias.clone()],
+                rows: vec![vec![Some(id)]],
+            }
+        }
+        QueryForm::Select => {
+            // LIMIT can only be pushed into matching when there is no
+            // DISTINCT (which collapses rows afterwards), no ORDER BY, and
+            // no aggregation (both must see every row before truncation).
+            let push_limit =
+                if q.distinct || !q.order_by.is_empty() || !q.aggregates.is_empty() {
+                    None
+                } else {
+                    q.limit
+                };
+            let sols = eval_group(store, &q.pattern, push_limit);
+            apply_modifiers(sols, q, store.dict())
+        }
+    }
+}
+
+/// Applies a query's solution modifiers to already-computed pattern
+/// solutions, in SPARQL's order: aggregation (GROUP BY + HAVING), ORDER
+/// BY (over the *full* schema — sort keys need not be projected),
+/// projection, DISTINCT, LIMIT. Shared by the local evaluator, the Lusail
+/// engine, and the baseline engines.
+pub fn apply_modifiers(
+    mut sols: SolutionSet,
+    q: &Query,
+    dict: &lusail_rdf::Dictionary,
+) -> SolutionSet {
+    if !q.aggregates.is_empty() {
+        sols = apply_group_by(&sols, &q.group_by, &q.aggregates, dict);
+        apply_having(&mut sols, &q.having, dict);
+        apply_order(&mut sols, &q.order_by, dict);
+    } else {
+        // ORDER BY before projection: its keys may be non-projected vars.
+        apply_order(&mut sols, &q.order_by, dict);
+        // Always project onto the query's output schema — `SELECT *` must
+        // expose every pattern variable as a column even when the BGP
+        // short-circuited to an empty result.
+        let projection = q.output_vars();
+        if !projection.is_empty() {
+            sols = sols.project(&projection);
+        }
+    }
+    if q.distinct {
+        sols.dedup();
+    }
+    if let Some(limit) = q.limit {
+        sols.truncate(limit);
+    }
+    sols
+}
+
+/// Groups solutions by the `GROUP BY` keys and computes the aggregate
+/// projection (`COUNT`/`SUM`/`MIN`/`MAX`/`AVG`). With no keys, everything
+/// aggregates into a single row (SPARQL's implicit group). `COUNT` counts
+/// bound values of its variable (or all rows for `*`); `SUM`/`AVG` skip
+/// non-numeric bindings; `MIN`/`MAX` use numeric order when both sides are
+/// numeric and term order otherwise.
+pub fn apply_group_by(
+    sols: &SolutionSet,
+    group_by: &[String],
+    aggregates: &[lusail_sparql::ast::Aggregate],
+    dict: &lusail_rdf::Dictionary,
+) -> SolutionSet {
+    use lusail_rdf::FxHashMap;
+    use lusail_sparql::ast::AggFunc;
+
+    let key_cols: Vec<Option<usize>> = group_by.iter().map(|v| sols.col(v)).collect();
+    let agg_cols: Vec<Option<usize>> = aggregates
+        .iter()
+        .map(|a| a.var.as_deref().and_then(|v| sols.col(v)))
+        .collect();
+
+    // Group rows by key; preserve first-seen group order.
+    let mut groups: FxHashMap<Vec<Option<TermId>>, Vec<usize>> = FxHashMap::default();
+    let mut order: Vec<Vec<Option<TermId>>> = Vec::new();
+    if sols.rows.is_empty() && group_by.is_empty() {
+        // SPARQL: aggregating an empty solution sequence with no GROUP BY
+        // yields one row (COUNT = 0).
+        groups.insert(Vec::new(), Vec::new());
+        order.push(Vec::new());
+    }
+    for (i, row) in sols.rows.iter().enumerate() {
+        let key: Vec<Option<TermId>> = key_cols
+            .iter()
+            .map(|c| c.and_then(|c| row[c]))
+            .collect();
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key.clone());
+                Vec::new()
+            })
+            .push(i);
+    }
+
+    let mut out_vars: Vec<String> = group_by.to_vec();
+    out_vars.extend(aggregates.iter().map(|a| a.alias.clone()));
+    let mut out = SolutionSet::empty(out_vars);
+
+    for key in order {
+        let members = &groups[&key];
+        let mut row: Row = key.clone();
+        for (ai, agg) in aggregates.iter().enumerate() {
+            let value: Option<TermId> = match agg.func {
+                AggFunc::Count => {
+                    let n = match agg_cols[ai] {
+                        // COUNT(?v): bound values only, DISTINCT-aware.
+                        Some(c) => {
+                            if agg.distinct {
+                                let set: lusail_rdf::FxHashSet<TermId> = members
+                                    .iter()
+                                    .filter_map(|&i| sols.rows[i][c])
+                                    .collect();
+                                set.len() as i64
+                            } else {
+                                members.iter().filter(|&&i| sols.rows[i][c].is_some()).count()
+                                    as i64
+                            }
+                        }
+                        // COUNT(*) — or COUNT of a var absent from the
+                        // schema, which counts nothing.
+                        None if agg.var.is_none() => members.len() as i64,
+                        None => 0,
+                    };
+                    Some(dict.encode(&lusail_rdf::Term::int(n)))
+                }
+                AggFunc::Sum | AggFunc::Avg => {
+                    let nums: Vec<f64> = agg_cols[ai]
+                        .map(|c| {
+                            members
+                                .iter()
+                                .filter_map(|&i| sols.rows[i][c])
+                                .filter_map(|id| dict.decode(id).as_f64())
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    if agg.func == AggFunc::Avg && nums.is_empty() {
+                        None
+                    } else {
+                        let total: f64 = nums.iter().sum();
+                        let value = if agg.func == AggFunc::Avg {
+                            total / nums.len() as f64
+                        } else {
+                            total
+                        };
+                        // Integral results stay integers for readability.
+                        let term = if value.fract() == 0.0 && value.abs() < 1e15 {
+                            lusail_rdf::Term::int(value as i64)
+                        } else {
+                            lusail_rdf::Term::Literal {
+                                lexical: format!("{value}"),
+                                lang: None,
+                                datatype: Some(lusail_rdf::vocab::XSD_DECIMAL.to_string()),
+                            }
+                        };
+                        Some(dict.encode(&term))
+                    }
+                }
+                AggFunc::Min | AggFunc::Max => {
+                    let mut best: Option<TermId> = None;
+                    if let Some(c) = agg_cols[ai] {
+                        for &i in members {
+                            let Some(id) = sols.rows[i][c] else { continue };
+                            best = Some(match best {
+                                None => id,
+                                Some(cur) => {
+                                    let ord = compare_cells(Some(id), Some(cur), dict);
+                                    let take = if agg.func == AggFunc::Min {
+                                        ord == std::cmp::Ordering::Less
+                                    } else {
+                                        ord == std::cmp::Ordering::Greater
+                                    };
+                                    if take {
+                                        id
+                                    } else {
+                                        cur
+                                    }
+                                }
+                            });
+                        }
+                    }
+                    best
+                }
+            };
+            row.push(value);
+        }
+        out.rows.push(row);
+    }
+    out
+}
+
+/// Joins a group's nested clauses into already-computed solutions:
+/// `UNION` blocks (branch concatenation then join), `OPTIONAL` groups
+/// (left join with correlated filters lifted into the join condition),
+/// and `FILTER NOT EXISTS` groups (anti join, likewise correlated).
+/// `eval_subgroup` supplies the evaluation of one nested group — the
+/// local evaluator recurses into the store, the federated engines recurse
+/// into their own pipelines.
+pub fn join_nested_groups(
+    mut sols: SolutionSet,
+    group: &lusail_sparql::ast::GroupPattern,
+    dict: &lusail_rdf::Dictionary,
+    mut eval_subgroup: impl FnMut(&lusail_sparql::ast::GroupPattern) -> SolutionSet,
+) -> SolutionSet {
+    for branches in &group.unions {
+        let mut union_sols: Option<SolutionSet> = None;
+        for b in branches {
+            let bs = eval_subgroup(b);
+            match &mut union_sols {
+                None => union_sols = Some(bs),
+                Some(u) => u.append(bs),
+            }
+        }
+        if let Some(u) = union_sols {
+            sols = sols.hash_join(&u);
+        }
+    }
+    for opt in &group.optionals {
+        let (inner, correlated) = opt.split_correlated_filters();
+        let os = eval_subgroup(&inner);
+        sols = left_join_filtered(&sols, &os, &correlated, dict);
+    }
+    for ne in &group.not_exists {
+        let (inner, correlated) = ne.split_correlated_filters();
+        let ns = eval_subgroup(&inner);
+        sols = anti_join_filtered(&sols, &ns, &correlated, dict);
+    }
+    sols
+}
+
+/// Drops rows failing any of the filters (the FILTER retain loop shared
+/// by every engine).
+pub fn retain_filtered(
+    sols: &mut SolutionSet,
+    filters: &[lusail_sparql::ast::Expression],
+    dict: &lusail_rdf::Dictionary,
+) {
+    if filters.is_empty() {
+        return;
+    }
+    let vars = sols.vars.clone();
+    sols.rows.retain(|row| {
+        let ctx: (&[String], &[Option<TermId>]) = (&vars, row);
+        filters.iter().all(|f| eval_filter(f, &ctx, dict))
+    });
+}
+
+/// SPARQL `LeftJoin(P1, P2, F)`: a left row extends with a compatible
+/// right row only when the *merged* row satisfies every filter; left rows
+/// with no surviving partner are kept with the right-hand columns
+/// unbound. Needed for filters inside `OPTIONAL` that reference outer
+/// variables (correlated filters); with no filters this is
+/// [`SolutionSet::left_join`].
+pub fn left_join_filtered(
+    left: &SolutionSet,
+    right: &SolutionSet,
+    filters: &[lusail_sparql::ast::Expression],
+    dict: &lusail_rdf::Dictionary,
+) -> SolutionSet {
+    if filters.is_empty() {
+        return left.left_join(right);
+    }
+    let out_vars: Vec<String> = left
+        .vars
+        .iter()
+        .cloned()
+        .chain(right.vars.iter().filter(|v| left.col(v).is_none()).cloned())
+        .collect();
+    let shared: Vec<(usize, usize)> = left
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| right.col(v).map(|j| (i, j)))
+        .collect();
+    let mut out = SolutionSet::empty(out_vars);
+    for lrow in &left.rows {
+        let mut matched = false;
+        for rrow in &right.rows {
+            let compatible = shared.iter().all(|&(i, j)| match (lrow[i], rrow[j]) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            });
+            if !compatible {
+                continue;
+            }
+            let merged: Row = out
+                .vars
+                .iter()
+                .map(|v| {
+                    let a = left.col(v).and_then(|c| lrow[c]);
+                    let b = right.col(v).and_then(|c| rrow[c]);
+                    a.or(b)
+                })
+                .collect();
+            let ctx: (&[String], &[Option<TermId>]) = (&out.vars, &merged);
+            if filters.iter().all(|f| eval_filter(f, &ctx, dict)) {
+                matched = true;
+                out.rows.push(merged);
+            }
+        }
+        if !matched {
+            let row: Row = out
+                .vars
+                .iter()
+                .map(|v| left.col(v).and_then(|c| lrow[c]))
+                .collect();
+            out.rows.push(row);
+        }
+    }
+    out
+}
+
+/// `FILTER NOT EXISTS` with correlated filters: a left row is dropped
+/// when some compatible right row makes the merged row satisfy every
+/// filter. With no filters this is [`SolutionSet::anti_join`].
+pub fn anti_join_filtered(
+    left: &SolutionSet,
+    right: &SolutionSet,
+    filters: &[lusail_sparql::ast::Expression],
+    dict: &lusail_rdf::Dictionary,
+) -> SolutionSet {
+    if filters.is_empty() {
+        return left.anti_join(right);
+    }
+    let merged_vars: Vec<String> = left
+        .vars
+        .iter()
+        .cloned()
+        .chain(right.vars.iter().filter(|v| left.col(v).is_none()).cloned())
+        .collect();
+    let shared: Vec<(usize, usize)> = left
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| right.col(v).map(|j| (i, j)))
+        .collect();
+    let mut out = SolutionSet::empty(left.vars.clone());
+    for lrow in &left.rows {
+        let exists = right.rows.iter().any(|rrow| {
+            let compatible = shared.iter().all(|&(i, j)| match (lrow[i], rrow[j]) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            });
+            if !compatible {
+                return false;
+            }
+            let merged: Row = merged_vars
+                .iter()
+                .map(|v| {
+                    let a = left.col(v).and_then(|c| lrow[c]);
+                    let b = right.col(v).and_then(|c| rrow[c]);
+                    a.or(b)
+                })
+                .collect();
+            let ctx: (&[String], &[Option<TermId>]) = (&merged_vars, &merged);
+            filters.iter().all(|f| eval_filter(f, &ctx, dict))
+        });
+        if !exists {
+            out.rows.push(lrow.clone());
+        }
+    }
+    out
+}
+
+/// Filters grouped rows by `HAVING` constraints (aggregate aliases are in
+/// scope as ordinary columns at this point).
+pub fn apply_having(
+    sols: &mut SolutionSet,
+    having: &[lusail_sparql::ast::Expression],
+    dict: &lusail_rdf::Dictionary,
+) {
+    if having.is_empty() {
+        return;
+    }
+    let vars = sols.vars.clone();
+    sols.rows.retain(|row| {
+        let ctx: (&[String], &[Option<TermId>]) = (&vars, row);
+        having.iter().all(|h| eval_filter(h, &ctx, dict))
+    });
+}
+
+/// Sorts solutions by `ORDER BY` keys: unbound first, then numeric order
+/// when both values are numeric, then full term order.
+pub fn apply_order(
+    sols: &mut SolutionSet,
+    keys: &[lusail_sparql::ast::OrderKey],
+    dict: &lusail_rdf::Dictionary,
+) {
+    if keys.is_empty() {
+        return;
+    }
+    let cols: Vec<(Option<usize>, bool)> = keys
+        .iter()
+        .map(|k| (sols.col(&k.var), k.descending))
+        .collect();
+    sols.rows.sort_by(|a, b| {
+        for &(col, descending) in &cols {
+            let Some(c) = col else { continue };
+            let ord = compare_cells(a[c], b[c], dict);
+            if ord != std::cmp::Ordering::Equal {
+                return if descending { ord.reverse() } else { ord };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn compare_cells(
+    a: Option<TermId>,
+    b: Option<TermId>,
+    dict: &lusail_rdf::Dictionary,
+) -> std::cmp::Ordering {
+    match (a, b) {
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, Some(_)) => std::cmp::Ordering::Less,
+        (Some(_), None) => std::cmp::Ordering::Greater,
+        (Some(x), Some(y)) => {
+            if x == y {
+                return std::cmp::Ordering::Equal;
+            }
+            let tx = dict.decode(x);
+            let ty = dict.decode(y);
+            match (tx.as_f64(), ty.as_f64()) {
+                (Some(nx), Some(ny)) => nx.total_cmp(&ny),
+                _ => tx.cmp(&ty),
+            }
+        }
+    }
+}
+
+/// Evaluates an `ASK`-style existence check for the query's pattern.
+pub fn ask(store: &TripleStore, q: &Query) -> bool {
+    !eval_group(store, &q.pattern, Some(1)).is_empty()
+}
+
+/// Counts the solutions of the query's pattern.
+pub fn count(store: &TripleStore, q: &Query) -> u64 {
+    eval_group(store, &q.pattern, None).len() as u64
+}
+
+/// Evaluates a group pattern. `limit` is an upper bound on the number of
+/// rows the caller needs; it is only *pushed into* the scan when the group
+/// is simple enough that early rows are final rows.
+pub fn eval_group(store: &TripleStore, g: &GroupPattern, limit: Option<usize>) -> SolutionSet {
+    let simple =
+        g.filters.is_empty() && g.optionals.is_empty() && g.unions.is_empty() && g.not_exists.is_empty();
+    let scan_limit = if simple { limit } else { None };
+
+    // Seed solutions from the VALUES block, if any.
+    let mut sols = match &g.values {
+        Some(v) => SolutionSet {
+            vars: v.vars.clone(),
+            rows: v.rows.clone(),
+        },
+        None => SolutionSet {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        },
+    };
+
+    sols = eval_bgp(store, &g.triples, sols, scan_limit);
+    sols = join_nested_groups(sols, g, store.dict(), |sub| eval_group(store, sub, None));
+    retain_filtered(&mut sols, &g.filters, store.dict());
+
+    if let Some(l) = limit {
+        sols.truncate(l);
+    }
+    sols
+}
+
+/// Extends `sols` by the conjunctive triple patterns using greedy ordering
+/// and index nested-loop joins. Stops early once `limit` rows exist after
+/// the final pattern.
+fn eval_bgp(
+    store: &TripleStore,
+    triples: &[TriplePattern],
+    mut sols: SolutionSet,
+    limit: Option<usize>,
+) -> SolutionSet {
+    let mut remaining: Vec<&TriplePattern> = triples.iter().collect();
+    while !remaining.is_empty() {
+        // Pick the most selective pattern given currently-bound variables.
+        let idx = pick_next(store, &remaining, &sols.vars);
+        let tp = remaining.swap_remove(idx);
+        let is_last = remaining.is_empty();
+        let row_cap = if is_last { limit } else { None };
+        sols = extend(store, &sols, tp, row_cap);
+        if sols.is_empty() {
+            return sols; // Short-circuit: the BGP has no solutions.
+        }
+    }
+    sols
+}
+
+fn pick_next(store: &TripleStore, remaining: &[&TriplePattern], bound: &[String]) -> usize {
+    let mut best = 0usize;
+    let mut best_key = (usize::MAX, u64::MAX);
+    for (i, tp) in remaining.iter().enumerate() {
+        let is_bound = |t: &PatternTerm| match t {
+            PatternTerm::Const(_) => true,
+            PatternTerm::Var(v) => bound.iter().any(|b| b == v),
+        };
+        let free = [&tp.s, &tp.p, &tp.o]
+            .into_iter()
+            .filter(|t| !is_bound(t))
+            .count();
+        // Estimate with constants only (bound vars vary per row).
+        let est = store.estimate(
+            tp.s.as_const(),
+            tp.p.as_const(),
+            tp.o.as_const(),
+        );
+        let key = (free, est);
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Joins the current solutions with one triple pattern via index lookups.
+fn extend(
+    store: &TripleStore,
+    sols: &SolutionSet,
+    tp: &TriplePattern,
+    limit: Option<usize>,
+) -> SolutionSet {
+    // Output schema: existing vars plus any new ones from this pattern.
+    let mut vars = sols.vars.clone();
+    for v in tp.vars() {
+        if !vars.iter().any(|x| x == v) {
+            vars.push(v.to_string());
+        }
+    }
+    let mut out = SolutionSet::empty(vars);
+
+    // Precompute column resolution for the pattern positions.
+    let resolve = |t: &PatternTerm, row: &Row| -> Resolved {
+        match t {
+            PatternTerm::Const(id) => Resolved::Bound(*id),
+            PatternTerm::Var(v) => match sols.col(v).and_then(|c| row[c]) {
+                Some(id) => Resolved::Bound(id),
+                None => Resolved::Free(out_col(&out.vars, v)),
+            },
+        }
+    };
+
+    'rows: for row in &sols.rows {
+        let rs = resolve(&tp.s, row);
+        let rp = resolve(&tp.p, row);
+        let ro = resolve(&tp.o, row);
+        let (qs, qp, qo) = (rs.bound(), rp.bound(), ro.bound());
+        let done = !store.scan(qs, qp, qo, |t| {
+            // Consistency for repeated free variables within the pattern
+            // (e.g. `?x ?p ?x`): positions sharing a column must agree.
+            let mut new_row: Row = vec![None; out.vars.len()];
+            for (i, val) in row.iter().enumerate() {
+                new_row[i] = *val;
+            }
+            for (r, actual) in [(&rs, t.s), (&rp, t.p), (&ro, t.o)] {
+                if let Resolved::Free(c) = r {
+                    match new_row[*c] {
+                        None => new_row[*c] = Some(actual),
+                        Some(prev) if prev == actual => {}
+                        Some(_) => return true, // inconsistent; skip match
+                    }
+                }
+            }
+            out.rows.push(new_row);
+            match limit {
+                Some(l) => out.rows.len() < l,
+                None => true,
+            }
+        });
+        if done {
+            break 'rows;
+        }
+    }
+    out
+}
+
+fn out_col(vars: &[String], v: &str) -> usize {
+    vars.iter().position(|x| x == v).expect("var in schema")
+}
+
+#[derive(Clone, Copy)]
+enum Resolved {
+    Bound(TermId),
+    Free(usize),
+}
+
+impl Resolved {
+    fn bound(&self) -> Option<TermId> {
+        match self {
+            Resolved::Bound(id) => Some(*id),
+            Resolved::Free(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::parse_query;
+
+    /// A small two-department graph for evaluator tests.
+    fn fixture() -> TripleStore {
+        let dict = Dictionary::shared();
+        let mut st = TripleStore::new(dict);
+        let data = [
+            ("alice", "type", "Student"),
+            ("bob", "type", "Student"),
+            ("carol", "type", "Professor"),
+            ("alice", "advisor", "carol"),
+            ("bob", "advisor", "carol"),
+            ("alice", "takesCourse", "db"),
+            ("bob", "takesCourse", "os"),
+            ("carol", "teacherOf", "db"),
+            ("db", "type", "Course"),
+            ("os", "type", "Course"),
+        ];
+        for (s, p, o) in data {
+            st.insert_terms(
+                &Term::iri(format!("http://u/{s}")),
+                &Term::iri(format!("http://u/{p}")),
+                &Term::iri(format!("http://u/{o}")),
+            );
+        }
+        // Names as literals.
+        st.insert_terms(
+            &Term::iri("http://u/alice"),
+            &Term::iri("http://u/name"),
+            &Term::lit("Alice"),
+        );
+        st
+    }
+
+    fn run(st: &TripleStore, q: &str) -> SolutionSet {
+        let query = parse_query(q, st.dict()).unwrap();
+        evaluate(st, &query)
+    }
+
+    #[test]
+    fn single_pattern() {
+        let st = fixture();
+        let s = run(&st, "SELECT ?x WHERE { ?x <http://u/type> <http://u/Student> }");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn triangle_join() {
+        let st = fixture();
+        // Students taking a course taught by their advisor: only alice (db).
+        let s = run(
+            &st,
+            "SELECT ?x ?c WHERE { ?x <http://u/advisor> ?p . ?x <http://u/takesCourse> ?c . ?p <http://u/teacherOf> ?c }",
+        );
+        assert_eq!(s.len(), 1);
+        let dict = st.dict();
+        let x = s.get(0, "x").unwrap();
+        assert_eq!(*dict.decode(x), Term::iri("http://u/alice"));
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let st = fixture();
+        let s = run(
+            &st,
+            "SELECT ?x ?n WHERE { ?x <http://u/type> <http://u/Student> . OPTIONAL { ?x <http://u/name> ?n } }",
+        );
+        assert_eq!(s.len(), 2);
+        let bound: Vec<bool> = (0..2).map(|i| s.get(i, "n").is_some()).collect();
+        assert_eq!(bound.iter().filter(|b| **b).count(), 1);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let st = fixture();
+        let s = run(
+            &st,
+            "SELECT ?x WHERE { { ?x <http://u/type> <http://u/Student> } UNION { ?x <http://u/type> <http://u/Professor> } }",
+        );
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn not_exists_excludes() {
+        let st = fixture();
+        // Students with no takesCourse triple: none (both take courses).
+        let s = run(
+            &st,
+            "SELECT ?x WHERE { ?x <http://u/type> <http://u/Student> . FILTER NOT EXISTS { ?x <http://u/takesCourse> ?c } }",
+        );
+        assert_eq!(s.len(), 0);
+        // Professors with no advisor triple pointing at them... check the
+        // inverse direction: professors who take no course = carol.
+        let s = run(
+            &st,
+            "SELECT ?x WHERE { ?x <http://u/type> <http://u/Professor> . FILTER NOT EXISTS { ?x <http://u/takesCourse> ?c } }",
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn filter_on_literal() {
+        let st = fixture();
+        let s = run(
+            &st,
+            "SELECT ?x WHERE { ?x <http://u/name> ?n . FILTER (?n = \"Alice\") }",
+        );
+        assert_eq!(s.len(), 1);
+        let s = run(
+            &st,
+            "SELECT ?x WHERE { ?x <http://u/name> ?n . FILTER (?n = \"Nobody\") }",
+        );
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn values_restricts() {
+        let st = fixture();
+        let s = run(
+            &st,
+            "SELECT ?x ?c WHERE { VALUES ?x { <http://u/alice> } ?x <http://u/takesCourse> ?c }",
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let st = fixture();
+        let s = run(&st, "SELECT DISTINCT ?p WHERE { ?x <http://u/advisor> ?p }");
+        assert_eq!(s.len(), 1);
+        let s = run(&st, "SELECT ?x WHERE { ?x ?p ?o } LIMIT 3");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn ask_and_count() {
+        let st = fixture();
+        let q = parse_query("ASK { ?x <http://u/type> <http://u/Student> }", st.dict()).unwrap();
+        assert!(ask(&st, &q));
+        let q = parse_query("ASK { ?x <http://u/type> <http://u/Robot> }", st.dict()).unwrap();
+        assert!(!ask(&st, &q));
+        let q = parse_query(
+            "SELECT (COUNT(*) AS ?c) WHERE { ?x <http://u/takesCourse> ?c2 }",
+            st.dict(),
+        )
+        .unwrap();
+        assert_eq!(count(&st, &q), 2);
+    }
+
+    #[test]
+    fn count_query_returns_literal_row() {
+        let st = fixture();
+        let s = run(&st, "SELECT (COUNT(*) AS ?n) WHERE { ?x <http://u/advisor> ?p }");
+        assert_eq!(s.vars, ["n"]);
+        let id = s.rows[0][0].unwrap();
+        assert_eq!(*st.dict().decode(id), Term::int(2));
+    }
+
+    #[test]
+    fn repeated_variable_in_pattern() {
+        let dict = Dictionary::shared();
+        let mut st = TripleStore::new(dict);
+        st.insert_terms(
+            &Term::iri("http://u/x"),
+            &Term::iri("http://u/rel"),
+            &Term::iri("http://u/x"),
+        );
+        st.insert_terms(
+            &Term::iri("http://u/y"),
+            &Term::iri("http://u/rel"),
+            &Term::iri("http://u/z"),
+        );
+        let s = run(&st, "SELECT ?a WHERE { ?a <http://u/rel> ?a }");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn cartesian_product_of_disconnected_patterns() {
+        let st = fixture();
+        let s = run(
+            &st,
+            "SELECT ?a ?b WHERE { ?a <http://u/type> <http://u/Student> . ?b <http://u/type> <http://u/Course> }",
+        );
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn empty_group_yields_one_empty_row() {
+        let st = fixture();
+        let s = run(&st, "SELECT * WHERE { }");
+        assert_eq!(s.len(), 1);
+        assert!(s.vars.is_empty());
+    }
+
+    #[test]
+    fn projection_of_missing_var_is_unbound() {
+        let st = fixture();
+        let s = run(&st, "SELECT ?ghost WHERE { ?x <http://u/advisor> ?p }");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0, "ghost"), None);
+    }
+}
+
+#[cfg(test)]
+mod order_tests {
+    use super::*;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::parse_query;
+
+    fn fixture() -> TripleStore {
+        let dict = Dictionary::shared();
+        let mut st = TripleStore::new(dict);
+        for (name, age) in [("carol", 41), ("alice", 29), ("bob", 35)] {
+            st.insert_terms(
+                &Term::iri(format!("http://u/{name}")),
+                &Term::iri("http://u/age"),
+                &Term::int(age),
+            );
+            st.insert_terms(
+                &Term::iri(format!("http://u/{name}")),
+                &Term::iri("http://u/name"),
+                &Term::lit(name),
+            );
+        }
+        st
+    }
+
+    fn names_in_order(st: &TripleStore, q: &str) -> Vec<String> {
+        let query = parse_query(q, st.dict()).unwrap();
+        let sols = evaluate(st, &query);
+        (0..sols.len())
+            .map(|i| st.dict().decode(sols.get(i, "n").unwrap()).lexical().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn order_by_string_ascending() {
+        let st = fixture();
+        let names = names_in_order(
+            &st,
+            "SELECT ?n WHERE { ?x <http://u/name> ?n } ORDER BY ?n",
+        );
+        assert_eq!(names, ["alice", "bob", "carol"]);
+    }
+
+    #[test]
+    fn order_by_numeric_descending() {
+        let st = fixture();
+        let names = names_in_order(
+            &st,
+            "SELECT ?n ?a WHERE { ?x <http://u/name> ?n . ?x <http://u/age> ?a } ORDER BY DESC(?a)",
+        );
+        assert_eq!(names, ["carol", "bob", "alice"]);
+    }
+
+    #[test]
+    fn order_by_with_limit_takes_smallest() {
+        let st = fixture();
+        let names = names_in_order(
+            &st,
+            "SELECT ?n ?a WHERE { ?x <http://u/name> ?n . ?x <http://u/age> ?a } ORDER BY ?a LIMIT 1",
+        );
+        assert_eq!(names, ["alice"]);
+    }
+
+    #[test]
+    fn order_by_roundtrips_through_writer() {
+        let st = fixture();
+        let q = parse_query(
+            "SELECT ?n WHERE { ?x <http://u/name> ?n } ORDER BY DESC(?n) ?x LIMIT 2",
+            st.dict(),
+        )
+        .unwrap();
+        let text = lusail_sparql::write_query(&q, st.dict());
+        let q2 = parse_query(&text, st.dict()).unwrap();
+        assert_eq!(q, q2);
+    }
+}

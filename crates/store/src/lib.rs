@@ -1,0 +1,21 @@
+//! An in-memory, dictionary-encoded RDF triple store with a SPARQL
+//! evaluator.
+//!
+//! Each decentralized endpoint in the federation is backed by one
+//! [`TripleStore`]. The store keeps three orderings of its triples —
+//! SPO, POS, and OSP — so that any triple-pattern access path is a
+//! contiguous range scan, mirroring the index layout of engines like
+//! RDF-3X. Per-predicate statistics are maintained on insert; they back
+//! both the endpoints' own query planning and the VOID-style descriptions
+//! used by the SPLENDID baseline.
+//!
+//! The [`eval`] module implements the SPARQL subset from
+//! [`lusail_sparql`]: BGPs (index nested-loop joins with greedy
+//! selectivity ordering), FILTER (including NOT EXISTS), OPTIONAL, UNION,
+//! VALUES, DISTINCT and LIMIT.
+
+pub mod eval;
+pub mod expr;
+pub mod store;
+
+pub use store::{PredicateStats, TripleStore};

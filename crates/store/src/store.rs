@@ -1,0 +1,332 @@
+//! The triple store: three sorted indexes plus predicate statistics.
+
+use lusail_rdf::{FxHashMap, FxHashSet, Dictionary, Term, TermId, Triple};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+type Key = (u32, u32, u32);
+
+/// Statistics maintained per predicate, updated on insert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// Number of triples with this predicate.
+    pub triples: u64,
+}
+
+/// An in-memory triple store over a shared [`Dictionary`].
+///
+/// Inserts maintain SPO/POS/OSP orderings so any combination of bound
+/// positions in a triple pattern maps to a contiguous range scan.
+///
+/// ```
+/// use lusail_rdf::{Dictionary, Term};
+/// use lusail_store::TripleStore;
+///
+/// let dict = Dictionary::shared();
+/// let mut store = TripleStore::new(std::sync::Arc::clone(&dict));
+/// store.insert_terms(
+///     &Term::iri("http://x/s"),
+///     &Term::iri("http://x/p"),
+///     &Term::lit("o"),
+/// );
+/// let p = dict.lookup(&Term::iri("http://x/p")).unwrap();
+/// assert_eq!(store.matches(None, Some(p), None).len(), 1);
+/// ```
+pub struct TripleStore {
+    dict: Arc<Dictionary>,
+    spo: BTreeSet<Key>,
+    pos: BTreeSet<Key>,
+    osp: BTreeSet<Key>,
+    pred_stats: FxHashMap<TermId, PredicateStats>,
+}
+
+impl TripleStore {
+    /// Creates an empty store over the given dictionary.
+    pub fn new(dict: Arc<Dictionary>) -> Self {
+        TripleStore {
+            dict,
+            spo: BTreeSet::new(),
+            pos: BTreeSet::new(),
+            osp: BTreeSet::new(),
+            pred_stats: FxHashMap::default(),
+        }
+    }
+
+    /// The store's dictionary.
+    pub fn dict(&self) -> &Arc<Dictionary> {
+        &self.dict
+    }
+
+    /// Inserts a triple. Returns true if it was not already present.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        let added = self.spo.insert((t.s.0, t.p.0, t.o.0));
+        if added {
+            self.pos.insert((t.p.0, t.o.0, t.s.0));
+            self.osp.insert((t.o.0, t.s.0, t.p.0));
+            self.pred_stats.entry(t.p).or_default().triples += 1;
+        }
+        added
+    }
+
+    /// Convenience: encodes three terms and inserts the triple.
+    pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let t = Triple::new(self.dict.encode(s), self.dict.encode(p), self.dict.encode(o));
+        self.insert(t)
+    }
+
+    /// Bulk-inserts triples.
+    pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+
+    /// Number of triples in the store.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// True if the exact triple is present.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.spo.contains(&(t.s.0, t.p.0, t.o.0))
+    }
+
+    /// Per-predicate statistics (None if the predicate never occurs).
+    pub fn predicate_stats(&self, p: TermId) -> Option<PredicateStats> {
+        self.pred_stats.get(&p).copied()
+    }
+
+    /// Iterates over all predicates with their statistics.
+    pub fn predicates(&self) -> impl Iterator<Item = (TermId, PredicateStats)> + '_ {
+        self.pred_stats.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of distinct subjects for a predicate (scan; used by the
+    /// SPLENDID-style VOID preprocessing pass, whose cost the paper
+    /// measures).
+    pub fn distinct_subjects(&self, p: TermId) -> u64 {
+        let mut set = FxHashSet::default();
+        for &(_, _, s) in self
+            .pos
+            .range((p.0, 0, 0)..=(p.0, u32::MAX, u32::MAX))
+        {
+            set.insert(s);
+        }
+        set.len() as u64
+    }
+
+    /// Number of distinct objects for a predicate (scan).
+    pub fn distinct_objects(&self, p: TermId) -> u64 {
+        let mut set = FxHashSet::default();
+        for &(_, o, _) in self
+            .pos
+            .range((p.0, 0, 0)..=(p.0, u32::MAX, u32::MAX))
+        {
+            set.insert(o);
+        }
+        set.len() as u64
+    }
+
+    /// Matches a triple pattern with optionally-bound positions, invoking
+    /// `f` for each matching triple. Returns early (with `false`) if `f`
+    /// returns `false`; returns `true` if the scan ran to completion.
+    pub fn scan(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        mut f: impl FnMut(Triple) -> bool,
+    ) -> bool {
+        const MAX: u32 = u32::MAX;
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s.0, p.0, o.0)) {
+                    f(Triple::new(s, p, o))
+                } else {
+                    true
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for &(a, b, c) in self.spo.range((s.0, p.0, 0)..=(s.0, p.0, MAX)) {
+                    if !f(Triple::new(TermId(a), TermId(b), TermId(c))) {
+                        return false;
+                    }
+                }
+                true
+            }
+            (Some(s), None, None) => {
+                for &(a, b, c) in self.spo.range((s.0, 0, 0)..=(s.0, MAX, MAX)) {
+                    if !f(Triple::new(TermId(a), TermId(b), TermId(c))) {
+                        return false;
+                    }
+                }
+                true
+            }
+            (None, Some(p), Some(o)) => {
+                for &(b, c, a) in self.pos.range((p.0, o.0, 0)..=(p.0, o.0, MAX)) {
+                    if !f(Triple::new(TermId(a), TermId(b), TermId(c))) {
+                        return false;
+                    }
+                }
+                true
+            }
+            (None, Some(p), None) => {
+                for &(b, c, a) in self.pos.range((p.0, 0, 0)..=(p.0, MAX, MAX)) {
+                    if !f(Triple::new(TermId(a), TermId(b), TermId(c))) {
+                        return false;
+                    }
+                }
+                true
+            }
+            (None, None, Some(o)) => {
+                for &(c, a, b) in self.osp.range((o.0, 0, 0)..=(o.0, MAX, MAX)) {
+                    if !f(Triple::new(TermId(a), TermId(b), TermId(c))) {
+                        return false;
+                    }
+                }
+                true
+            }
+            (Some(s), None, Some(o)) => {
+                // OSP gives all triples with object o; filter by subject.
+                for &(c, a, b) in self.osp.range((o.0, s.0, 0)..=(o.0, s.0, MAX)) {
+                    if !f(Triple::new(TermId(a), TermId(b), TermId(c))) {
+                        return false;
+                    }
+                }
+                true
+            }
+            (None, None, None) => {
+                for &(a, b, c) in self.spo.iter() {
+                    if !f(Triple::new(TermId(a), TermId(b), TermId(c))) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Collects all matches of a pattern into a vector (convenience for
+    /// tests and small scans).
+    pub fn matches(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<Triple> {
+        let mut out = Vec::new();
+        self.scan(s, p, o, |t| {
+            out.push(t);
+            true
+        });
+        out
+    }
+
+    /// Estimated number of matches for a pattern, used by the BGP join
+    /// orderer. Exact for (p)-bound patterns (from stats); heuristic
+    /// otherwise (variable-counting).
+    pub fn estimate(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> u64 {
+        let total = self.len() as u64;
+        match (s, p, o) {
+            (Some(_), Some(_), Some(_)) => 1,
+            (Some(_), Some(_), None) | (Some(_), None, Some(_)) => 2,
+            (None, Some(_), Some(_)) => 4,
+            (Some(_), None, None) => 8.min(total),
+            (None, Some(p), None) => self
+                .pred_stats
+                .get(&p)
+                .map_or(0, |st| st.triples),
+            (None, None, Some(_)) => 16.min(total),
+            (None, None, None) => total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(triples: &[(&str, &str, &str)]) -> TripleStore {
+        let dict = Dictionary::shared();
+        let mut st = TripleStore::new(dict);
+        for (s, p, o) in triples {
+            st.insert_terms(&Term::iri(*s), &Term::iri(*p), &Term::iri(*o));
+        }
+        st
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut st = store_with(&[("s", "p", "o")]);
+        assert_eq!(st.len(), 1);
+        let t = st.matches(None, None, None)[0];
+        assert!(!st.insert(t));
+        assert_eq!(st.len(), 1);
+        assert_eq!(
+            st.predicate_stats(t.p),
+            Some(PredicateStats { triples: 1 })
+        );
+    }
+
+    #[test]
+    fn all_access_paths_agree() {
+        let st = store_with(&[
+            ("s1", "p1", "o1"),
+            ("s1", "p1", "o2"),
+            ("s1", "p2", "o1"),
+            ("s2", "p1", "o1"),
+        ]);
+        let d = st.dict();
+        let s1 = d.lookup(&Term::iri("s1")).unwrap();
+        let p1 = d.lookup(&Term::iri("p1")).unwrap();
+        let o1 = d.lookup(&Term::iri("o1")).unwrap();
+
+        assert_eq!(st.matches(Some(s1), None, None).len(), 3);
+        assert_eq!(st.matches(None, Some(p1), None).len(), 3);
+        assert_eq!(st.matches(None, None, Some(o1)).len(), 3);
+        assert_eq!(st.matches(Some(s1), Some(p1), None).len(), 2);
+        assert_eq!(st.matches(None, Some(p1), Some(o1)).len(), 2);
+        assert_eq!(st.matches(Some(s1), None, Some(o1)).len(), 2);
+        assert_eq!(st.matches(Some(s1), Some(p1), Some(o1)).len(), 1);
+        assert_eq!(st.matches(None, None, None).len(), 4);
+    }
+
+    #[test]
+    fn scan_early_exit() {
+        let st = store_with(&[("s1", "p", "o1"), ("s2", "p", "o2"), ("s3", "p", "o3")]);
+        let mut seen = 0;
+        let completed = st.scan(None, None, None, |_| {
+            seen += 1;
+            seen < 2
+        });
+        assert!(!completed);
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn distinct_subject_object_counts() {
+        let st = store_with(&[
+            ("s1", "p", "o1"),
+            ("s1", "p", "o2"),
+            ("s2", "p", "o2"),
+        ]);
+        let p = st.dict().lookup(&Term::iri("p")).unwrap();
+        assert_eq!(st.distinct_subjects(p), 2);
+        assert_eq!(st.distinct_objects(p), 2);
+    }
+
+    #[test]
+    fn estimate_uses_predicate_stats() {
+        let st = store_with(&[("a", "p", "b"), ("c", "p", "d"), ("e", "q", "f")]);
+        let p = st.dict().lookup(&Term::iri("p")).unwrap();
+        let q = st.dict().lookup(&Term::iri("q")).unwrap();
+        assert_eq!(st.estimate(None, Some(p), None), 2);
+        assert_eq!(st.estimate(None, Some(q), None), 1);
+        assert_eq!(st.estimate(None, None, None), 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! `lusail-cli` — query decentralized RDF graphs from the command line.
+//!
+//! Subcommands:
+//!
+//! * `generate --workload lubm|qfed|lrb|bio2rdf --out DIR [--size N]` —
+//!   write a benchmark federation to disk, one N-Triples file per
+//!   endpoint, plus a `queries/` directory with the benchmark queries.
+//! * `query --endpoint FILE.nt ... (--query 'SPARQL' | --query-file F)
+//!   [--engine lusail|fedx]` — run a federated query over the given
+//!   endpoint files and print the results as a table.
+//! * `explain --endpoint FILE.nt ... (--query 'SPARQL' | --query-file F)`
+//!   — print Lusail's compile-time plan: sources, global join variables,
+//!   subqueries and delay decisions.
+//! * `demo` — the paper's two-university running example, end to end.
+//!
+//! Each `--endpoint` file becomes one SPARQL endpoint named after the
+//! file stem.
+
+use lusail_baselines::FedX;
+use lusail_benchdata::{bio2rdf, lrb, lubm, qfed, Workload};
+use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint, SparqlEndpoint};
+use lusail_rdf::{ntriples, Dictionary};
+use lusail_repro::lusail::{Lusail, LusailConfig};
+use lusail_sparql::{parse_query, SolutionSet};
+use lusail_store::TripleStore;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("query") => cmd_query(&args[1..], false),
+        Some("explain") => cmd_query(&args[1..], true),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!(
+                "usage: lusail-cli <generate|query|explain|demo> [options]\n\
+                 \n\
+                 generate --workload lubm|qfed|lrb|bio2rdf --out DIR [--size N]\n\
+                 query    --endpoint F.nt ... (--query SPARQL | --query-file F) [--engine lusail|fedx]\n\
+                 explain  --endpoint F.nt ... (--query SPARQL | --query-file F)\n\
+                 demo"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if args[i] == name {
+            out.push(args[i + 1].as_str());
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let workload = flag_value(args, "--workload").ok_or("missing --workload")?;
+    let out = PathBuf::from(flag_value(args, "--out").ok_or("missing --out")?);
+    let size: usize = flag_value(args, "--size")
+        .map(|s| s.parse().map_err(|_| "bad --size"))
+        .transpose()?
+        .unwrap_or(4);
+
+    let w: Workload = match workload {
+        "lubm" => lubm::generate(&lubm::LubmConfig::new(size)),
+        "qfed" => qfed::generate(&qfed::QfedConfig::default()),
+        "lrb" => lrb::generate(&lrb::LrbConfig {
+            scale: size as f64 / 4.0,
+            ..Default::default()
+        }),
+        "bio2rdf" => bio2rdf::generate(&bio2rdf::Bio2RdfConfig::default()),
+        other => return Err(format!("unknown workload {other}")),
+    };
+    std::fs::create_dir_all(out.join("queries")).map_err(|e| e.to_string())?;
+    for ep in &w.endpoints {
+        let mut triples = Vec::with_capacity(ep.triple_count());
+        ep.store().scan(None, None, None, |t| {
+            triples.push(t);
+            true
+        });
+        let text = ntriples::serialize(&triples, &w.dict);
+        let fname = format!("{}.nt", ep.name().replace([' ', '/'], "_"));
+        std::fs::write(out.join(&fname), text).map_err(|e| e.to_string())?;
+        println!("wrote {} ({} triples)", out.join(&fname).display(), ep.triple_count());
+    }
+    for nq in &w.queries {
+        let path = out.join("queries").join(format!("{}.rq", nq.name));
+        std::fs::write(&path, &nq.text).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "wrote {} queries under {}",
+        w.queries.len(),
+        out.join("queries").display()
+    );
+    Ok(())
+}
+
+fn load_federation(paths: &[&str]) -> Result<(Federation, Arc<Dictionary>), String> {
+    if paths.is_empty() {
+        return Err("at least one --endpoint file is required".into());
+    }
+    let dict = Dictionary::shared();
+    let mut fed = Federation::new(Arc::clone(&dict));
+    for p in paths {
+        let path = Path::new(p);
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{p}: {e}"))?;
+        let triples = ntriples::parse_document(&text, &dict).map_err(|e| format!("{p}: {e}"))?;
+        let mut store = TripleStore::new(Arc::clone(&dict));
+        store.extend(triples);
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.to_string());
+        println!("loaded endpoint {name}: {} triples", store.len());
+        fed.add(Arc::new(LocalEndpoint::new(name, store)));
+    }
+    Ok((fed, dict))
+}
+
+fn read_query(args: &[String], dict: &Dictionary) -> Result<lusail_sparql::Query, String> {
+    let text = match (flag_value(args, "--query"), flag_value(args, "--query-file")) {
+        (Some(q), _) => q.to_string(),
+        (None, Some(f)) => std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?,
+        (None, None) => return Err("missing --query or --query-file".into()),
+    };
+    parse_query(&text, dict).map_err(|e| e.to_string())
+}
+
+fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
+    let endpoints = flag_values(args, "--endpoint");
+    let (fed, dict) = load_federation(&endpoints)?;
+    let query = read_query(args, &dict)?;
+
+    if explain_only {
+        let engine = Lusail::new(LusailConfig::default());
+        let plan = engine.explain(&fed, &query);
+        println!("\n{}", plan.render());
+        return Ok(());
+    }
+
+    let engine_name = flag_value(args, "--engine").unwrap_or("lusail");
+    let engine: Box<dyn FederatedEngine> = match engine_name {
+        "lusail" => Box::new(Lusail::default()),
+        "fedx" => Box::new(FedX::default()),
+        other => return Err(format!("unknown engine {other} (use lusail|fedx)")),
+    };
+    let before = fed.stats_snapshot();
+    let start = std::time::Instant::now();
+    let sols = engine.run(&fed, &query);
+    let elapsed = start.elapsed();
+    let window = fed.stats_snapshot().since(&before);
+    print_solutions(&sols, &dict);
+    println!(
+        "\n{} rows in {:.1} ms — {} remote requests, {} result rows \
+         fetched from endpoints",
+        sols.len(),
+        elapsed.as_secs_f64() * 1e3,
+        window.total_requests(),
+        window.rows_returned
+    );
+    Ok(())
+}
+
+fn print_solutions(sols: &SolutionSet, dict: &Dictionary) {
+    if sols.vars.is_empty() {
+        println!("(no variables)");
+        return;
+    }
+    println!("{}", sols.vars.join("\t"));
+    for row in sols.rows.iter().take(100) {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| match c {
+                Some(id) => dict.decode(*id).to_string(),
+                None => "UNDEF".to_string(),
+            })
+            .collect();
+        println!("{}", cells.join("\t"));
+    }
+    if sols.rows.len() > 100 {
+        println!("… ({} more rows)", sols.rows.len() - 100);
+    }
+}
+
+fn cmd_demo() -> Result<(), String> {
+    // A condensed version of examples/quickstart.rs.
+    use lusail_rdf::Term;
+    let dict = Dictionary::shared();
+    let ub = |l: &str| Term::iri(format!("http://ub/{l}"));
+    let e1 = |l: &str| Term::iri(format!("http://ep1/{l}"));
+    let e2 = |l: &str| Term::iri(format!("http://ep2/{l}"));
+    let mut ep1 = TripleStore::new(Arc::clone(&dict));
+    for (s, p, o) in [
+        (e1("Kim"), ub("advisor"), e1("Joy")),
+        (e1("Kim"), ub("takesCourse"), e1("c1")),
+        (e1("Joy"), ub("PhDDegreeFrom"), e1("CMU")),
+        (e1("CMU"), ub("address"), Term::lit("CCCC")),
+        (e1("MIT"), ub("address"), Term::lit("XXX")),
+    ] {
+        ep1.insert_terms(&s, &p, &o);
+    }
+    let mut ep2 = TripleStore::new(Arc::clone(&dict));
+    for (s, p, o) in [
+        (e2("Lee"), ub("advisor"), e2("Tim")),
+        (e2("Lee"), ub("takesCourse"), e2("c3")),
+        (e2("Tim"), ub("PhDDegreeFrom"), e1("MIT")),
+    ] {
+        ep2.insert_terms(&s, &p, &o);
+    }
+    let mut fed = Federation::new(Arc::clone(&dict));
+    fed.add(Arc::new(LocalEndpoint::new("EP1", ep1)));
+    fed.add(Arc::new(LocalEndpoint::new("EP2", ep2)));
+    let q = parse_query(
+        "PREFIX ub: <http://ub/> SELECT ?S ?P ?U ?A WHERE { \
+         ?S ub:advisor ?P . ?S ub:takesCourse ?C . \
+         ?P ub:PhDDegreeFrom ?U . ?U ub:address ?A }",
+        &dict,
+    )
+    .map_err(|e| e.to_string())?;
+    let engine = Lusail::default();
+    println!("plan:\n{}", engine.explain(&fed, &q).render());
+    let result = engine.execute(&fed, &q);
+    print_solutions(&result.solutions, &dict);
+    println!(
+        "\n{} rows; GJVs {:?}; {} subqueries; {} remote requests",
+        result.solutions.len(),
+        result.metrics.gjvs,
+        result.metrics.subqueries,
+        result.metrics.total_requests()
+    );
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the Lusail reproduction: re-exports the public API
+//! of every workspace crate so examples and downstream users can depend
+//! on one crate.
+//!
+//! * [`rdf`] — terms, dictionary, triples, N-Triples I/O.
+//! * [`sparql`] — the SPARQL subset: parser, AST, writer, solution sets.
+//! * [`store`] — the in-memory triple store and local evaluator.
+//! * [`endpoint`] — SPARQL endpoints, simulated networks, federations.
+//! * [`lusail`] — the Lusail engine (LADE + SAPE).
+//! * [`baselines`] — FedX-, SPLENDID-, and HiBISCuS-style engines.
+//! * [`benchdata`] — deterministic benchmark workload generators.
+
+pub use lusail_baselines as baselines;
+pub use lusail_benchdata as benchdata;
+pub use lusail_core as lusail;
+pub use lusail_endpoint as endpoint;
+pub use lusail_rdf as rdf;
+pub use lusail_sparql as sparql;
+pub use lusail_store as store;

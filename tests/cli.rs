@@ -1,0 +1,168 @@
+//! End-to-end tests of the `lusail-cli` binary: generate a federation to
+//! disk, query it back, explain a plan, and exercise the error paths.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lusail-cli"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lusail-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generate_query_explain_roundtrip() {
+    let dir = tempdir("roundtrip");
+    let out = cli()
+        .args(["generate", "--workload", "lubm", "--out", dir.to_str().unwrap(), "--size", "2"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Generated files exist.
+    assert!(dir.join("univ-0.nt").exists());
+    assert!(dir.join("univ-1.nt").exists());
+    assert!(dir.join("queries/Q3.rq").exists());
+
+    // Query them back.
+    let out = cli()
+        .args([
+            "query",
+            "--endpoint",
+            dir.join("univ-0.nt").to_str().unwrap(),
+            "--endpoint",
+            dir.join("univ-1.nt").to_str().unwrap(),
+            "--query-file",
+            dir.join("queries/Q3.rq").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rows in"), "no summary line:\n{stdout}");
+    assert!(stdout.contains("remote requests"));
+
+    // FedX returns the same row count.
+    let out_fedx = cli()
+        .args([
+            "query",
+            "--engine",
+            "fedx",
+            "--endpoint",
+            dir.join("univ-0.nt").to_str().unwrap(),
+            "--endpoint",
+            dir.join("univ-1.nt").to_str().unwrap(),
+            "--query-file",
+            dir.join("queries/Q3.rq").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out_fedx.status.success());
+    let rows = |s: &str| -> String {
+        s.lines()
+            .find(|l| l.contains("rows in"))
+            .unwrap_or("")
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string()
+    };
+    assert_eq!(
+        rows(&stdout),
+        rows(&String::from_utf8_lossy(&out_fedx.stdout)),
+        "engines disagree via CLI"
+    );
+
+    // Explain prints a plan.
+    let out = cli()
+        .args([
+            "explain",
+            "--endpoint",
+            dir.join("univ-0.nt").to_str().unwrap(),
+            "--endpoint",
+            dir.join("univ-1.nt").to_str().unwrap(),
+            "--query-file",
+            dir.join("queries/Q4.rq").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("global join variables"), "{stdout}");
+    assert!(stdout.contains("subquery 1"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn demo_prints_the_interlink_row() {
+    let out = cli().arg("demo").output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MIT"), "{stdout}");
+    assert!(stdout.contains("GJVs [\"U\"]"), "{stdout}");
+}
+
+#[test]
+fn error_paths_exit_nonzero_with_messages() {
+    // No subcommand.
+    let out = cli().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Unknown engine.
+    let dir = tempdir("errors");
+    std::fs::write(
+        dir.join("a.nt"),
+        "<http://x/s> <http://x/p> <http://x/o> .\n",
+    )
+    .unwrap();
+    let out = cli()
+        .args([
+            "query",
+            "--endpoint",
+            dir.join("a.nt").to_str().unwrap(),
+            "--query",
+            "SELECT * WHERE { ?s ?p ?o }",
+            "--engine",
+            "nope",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
+
+    // Malformed SPARQL.
+    let out = cli()
+        .args([
+            "query",
+            "--endpoint",
+            dir.join("a.nt").to_str().unwrap(),
+            "--query",
+            "SELECT WHERE {",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+
+    // Corrupt endpoint file.
+    std::fs::write(dir.join("bad.nt"), "not ntriples\n").unwrap();
+    let out = cli()
+        .args([
+            "query",
+            "--endpoint",
+            dir.join("bad.nt").to_str().unwrap(),
+            "--query",
+            "SELECT * WHERE { ?s ?p ?o }",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("N-Triples parse error"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

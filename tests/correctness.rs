@@ -1,0 +1,178 @@
+//! Cross-engine correctness: every federated engine must return exactly
+//! the solutions of evaluating the query centrally over the union of all
+//! endpoint graphs (the oracle), for every benchmark workload.
+//!
+//! This is the load-bearing guarantee behind the paper's §IV-C "Result
+//! Completeness" argument: locality-aware decomposition must never miss
+//! rows that require traversing an interlink.
+
+use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
+use lusail_benchdata::{bio2rdf, lrb, lubm, qfed, Workload};
+use lusail_core::Lusail;
+use lusail_endpoint::FederatedEngine;
+use std::sync::Arc;
+
+fn engines_for(w: &Workload) -> Vec<Arc<dyn FederatedEngine>> {
+    vec![
+        Arc::new(Lusail::default()),
+        Arc::new(FedX::default()),
+        Arc::new(HiBisCus::new(HibiscusIndex::build(&w.endpoint_refs()))),
+        Arc::new(Splendid::new(VoidIndex::build(&w.endpoint_refs()))),
+    ]
+}
+
+fn check_workload(w: &Workload) {
+    let engines = engines_for(w);
+    for nq in &w.queries {
+        let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
+        for engine in &engines {
+            let got = engine.run(&w.federation, &nq.query).canonicalize();
+            // LIMIT makes the result set nondeterministic (any k rows are
+            // valid); check size, and containment in the *unlimited*
+            // oracle result.
+            if let Some(limit) = nq.query.limit {
+                let mut unlimited_q = nq.query.clone();
+                unlimited_q.limit = None;
+                let unlimited =
+                    lusail_store::eval::evaluate(&w.oracle, &unlimited_q).canonicalize();
+                assert_eq!(
+                    got.len(),
+                    unlimited.len().min(limit),
+                    "{} row count wrong on {}",
+                    engine.engine_name(),
+                    nq.name
+                );
+                for row in &got.rows {
+                    assert!(
+                        unlimited.rows.contains(row),
+                        "{} produced a row not in the oracle for {}",
+                        engine.engine_name(),
+                        nq.name
+                    );
+                }
+            } else {
+                assert_eq!(
+                    got,
+                    expected,
+                    "{} differs from oracle on {}",
+                    engine.engine_name(),
+                    nq.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lubm_all_engines_match_oracle() {
+    check_workload(&lubm::generate(&lubm::LubmConfig::new(3)));
+}
+
+#[test]
+fn lubm_two_endpoints_all_engines_match_oracle() {
+    check_workload(&lubm::generate(&lubm::LubmConfig::new(2)));
+}
+
+#[test]
+fn qfed_all_engines_match_oracle() {
+    check_workload(&qfed::generate(&qfed::QfedConfig {
+        drugs: 120,
+        diseases: 40,
+        ..Default::default()
+    }));
+}
+
+#[test]
+fn lrb_all_engines_match_oracle() {
+    check_workload(&lrb::generate(&lrb::LrbConfig {
+        scale: 0.4,
+        ..Default::default()
+    }));
+}
+
+#[test]
+fn bio2rdf_all_engines_match_oracle() {
+    check_workload(&bio2rdf::generate(&bio2rdf::Bio2RdfConfig {
+        genes: 80,
+        drugs: 60,
+        ..Default::default()
+    }));
+}
+
+#[test]
+fn lusail_matches_oracle_with_every_delay_policy() {
+    use lusail_core::{DelayPolicy, LusailConfig};
+    let w = lubm::generate(&lubm::LubmConfig::new(3));
+    for policy in [
+        DelayPolicy::Mu,
+        DelayPolicy::MuSigma,
+        DelayPolicy::Mu2Sigma,
+        DelayPolicy::OutliersOnly,
+    ] {
+        let engine = Lusail::new(LusailConfig {
+            delay_policy: policy,
+            ..Default::default()
+        });
+        for nq in &w.queries {
+            let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
+            let got = engine.run(&w.federation, &nq.query).canonicalize();
+            assert_eq!(got, expected, "policy {policy:?} differs on {}", nq.name);
+        }
+    }
+}
+
+#[test]
+fn lusail_matches_oracle_without_lade_and_without_cache() {
+    use lusail_core::LusailConfig;
+    let w = qfed::generate(&qfed::QfedConfig {
+        drugs: 100,
+        diseases: 30,
+        ..Default::default()
+    });
+    for (disable_lade, use_cache) in [(true, true), (false, false), (true, false)] {
+        let engine = Lusail::new(LusailConfig {
+            disable_lade,
+            use_cache,
+            ..Default::default()
+        });
+        for nq in &w.queries {
+            let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
+            let got = engine.run(&w.federation, &nq.query).canonicalize();
+            assert_eq!(
+                got, expected,
+                "disable_lade={disable_lade} use_cache={use_cache} differs on {}",
+                nq.name
+            );
+        }
+    }
+}
+
+#[test]
+fn lusail_matches_oracle_with_tiny_blocks() {
+    use lusail_core::LusailConfig;
+    let w = lubm::generate(&lubm::LubmConfig::new(4));
+    let engine = Lusail::new(LusailConfig {
+        block_size: 3,
+        ..Default::default()
+    });
+    for nq in &w.queries {
+        let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
+        let got = engine.run(&w.federation, &nq.query).canonicalize();
+        assert_eq!(got, expected, "block_size=3 differs on {}", nq.name);
+    }
+}
+
+#[test]
+fn fedx_matches_oracle_with_tiny_blocks() {
+    use lusail_baselines::FedXConfig;
+    let w = lubm::generate(&lubm::LubmConfig::new(2));
+    let engine = FedX::new(FedXConfig {
+        block_size: 2,
+        use_cache: true,
+    });
+    for nq in &w.queries {
+        let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
+        let got = engine.run(&w.federation, &nq.query).canonicalize();
+        assert_eq!(got, expected, "fedx block_size=2 differs on {}", nq.name);
+    }
+}

@@ -1,0 +1,296 @@
+//! Integration tests for the extension features: ORDER BY across engines,
+//! EXPLAIN plans, and multi-query optimization.
+
+use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
+use lusail_benchdata::{lubm, qfed};
+use lusail_core::Lusail;
+use lusail_endpoint::FederatedEngine;
+use std::sync::Arc;
+
+#[test]
+fn order_by_is_respected_by_every_engine() {
+    let w = lubm::generate(&lubm::LubmConfig::new(2));
+    let q = lusail_sparql::parse_query(
+        &format!(
+            "PREFIX ub: <{}> SELECT ?n WHERE {{ ?u a ub:University . ?u ub:name ?n }} ORDER BY DESC(?n)",
+            lubm::UB
+        ),
+        w.federation.dict(),
+    )
+    .unwrap();
+    let engines: Vec<Arc<dyn FederatedEngine>> = vec![
+        Arc::new(Lusail::default()),
+        Arc::new(FedX::default()),
+        Arc::new(HiBisCus::new(HibiscusIndex::build(&w.endpoint_refs()))),
+        Arc::new(Splendid::new(VoidIndex::build(&w.endpoint_refs()))),
+    ];
+    for engine in engines {
+        let sols = engine.run(&w.federation, &q);
+        let names: Vec<String> = (0..sols.len())
+            .map(|i| {
+                w.dict
+                    .decode(sols.get(i, "n").unwrap())
+                    .lexical()
+                    .to_string()
+            })
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.reverse();
+        assert_eq!(names, sorted, "{} violates ORDER BY", engine.engine_name());
+        assert_eq!(names, ["University 1", "University 0"]);
+    }
+}
+
+#[test]
+fn order_by_with_limit_returns_global_top_k() {
+    // The disjoint fast path pushes ORDER BY + LIMIT to the endpoints and
+    // re-sorts globally; the result must be the *global* top-k, not some
+    // endpoint's.
+    let w = lubm::generate(&lubm::LubmConfig::new(3));
+    let q = lusail_sparql::parse_query(
+        &format!(
+            "PREFIX ub: <{}> SELECT ?n WHERE {{ ?u a ub:University . ?u ub:name ?n }} ORDER BY ?n LIMIT 2",
+            lubm::UB
+        ),
+        w.federation.dict(),
+    )
+    .unwrap();
+    let engine = Lusail::default();
+    let sols = engine.run(&w.federation, &q);
+    let names: Vec<String> = (0..sols.len())
+        .map(|i| {
+            w.dict
+                .decode(sols.get(i, "n").unwrap())
+                .lexical()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(names, ["University 0", "University 1"]);
+}
+
+#[test]
+fn explain_matches_execution_decisions() {
+    let w = lubm::generate(&lubm::LubmConfig::new(4));
+    let engine = Lusail::default();
+    for name in ["Q1", "Q2", "Q3", "Q4"] {
+        let q = &w.query(name).query;
+        let plan = engine.explain(&w.federation, q);
+        let result = engine.execute(&w.federation, q);
+        assert_eq!(
+            plan.gjvs, result.metrics.gjvs,
+            "{name}: explain and execute disagree on GJVs"
+        );
+        if plan.disjoint {
+            assert_eq!(result.metrics.subqueries, 1, "{name}");
+        } else {
+            assert_eq!(
+                plan.subqueries.len(),
+                result.metrics.subqueries,
+                "{name}: explain and execute disagree on subquery count"
+            );
+            let planned_delayed = plan.subqueries.iter().filter(|s| s.delayed).count();
+            assert_eq!(
+                planned_delayed, result.metrics.delayed_subqueries,
+                "{name}: explain and execute disagree on delays"
+            );
+        }
+    }
+}
+
+#[test]
+fn explain_render_mentions_every_endpoint_and_pattern() {
+    let w = qfed::generate(&qfed::QfedConfig::default());
+    let engine = Lusail::default();
+    let text = engine
+        .explain(&w.federation, &w.query("C2P2").query)
+        .render();
+    assert!(text.contains("DrugBank"));
+    assert!(text.contains("Sider"));
+    assert!(text.contains("sameAs"));
+    assert!(text.contains("subquery 1"));
+}
+
+#[test]
+fn mqo_batch_matches_individual_execution_on_benchmarks() {
+    let w = qfed::generate(&qfed::QfedConfig {
+        drugs: 100,
+        diseases: 30,
+        ..Default::default()
+    });
+    let queries: Vec<lusail_sparql::Query> =
+        w.queries.iter().map(|nq| nq.query.clone()).collect();
+    let batch_engine = Lusail::default();
+    let (batch_results, report) = batch_engine.execute_batch(&w.federation, &queries);
+    assert!(report.total_subqueries >= report.distinct_subqueries);
+    let single_engine = Lusail::default();
+    for (nq, br) in w.queries.iter().zip(&batch_results) {
+        let single = single_engine.execute(&w.federation, &nq.query);
+        assert_eq!(
+            br.solutions.canonicalize(),
+            single.solutions.canonicalize(),
+            "batch and single disagree on {}",
+            nq.name
+        );
+    }
+}
+
+#[test]
+fn mqo_shares_across_the_c2p2_family() {
+    // The C2P2 variants all share the drug/sameAs/sideEffect core:
+    // batching them should evaluate far fewer distinct subqueries than the
+    // total.
+    let w = qfed::generate(&qfed::QfedConfig::default());
+    let family: Vec<lusail_sparql::Query> = w
+        .queries
+        .iter()
+        .filter(|nq| nq.name.starts_with("C2P2"))
+        .map(|nq| nq.query.clone())
+        .collect();
+    assert!(family.len() >= 6);
+    let engine = Lusail::default();
+    let (_, report) = engine.execute_batch(&w.federation, &family);
+    assert!(
+        report.distinct_subqueries < report.total_subqueries,
+        "no sharing happened: {report:?}"
+    );
+}
+
+#[test]
+fn correlated_optional_filter_sees_outer_bindings() {
+    // SPARQL LeftJoin(P1, P2, F): the filter inside OPTIONAL references an
+    // outer variable. A per-group evaluation would make the filter error
+    // (unbound ?min) and drop every optional match.
+    use lusail_endpoint::{Federation, LocalEndpoint};
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_store::TripleStore;
+
+    let dict = lusail_rdf::Dictionary::shared();
+    let mut st = TripleStore::new(Arc::clone(&dict));
+    for (person, min, bid) in [("p1", 10, 15), ("p2", 20, 15), ("p3", 10, 5)] {
+        let s = Term::iri(format!("http://x/{person}"));
+        st.insert_terms(&s, &Term::iri("http://x/minimum"), &Term::int(min));
+        st.insert_terms(&s, &Term::iri("http://x/bid"), &Term::int(bid));
+    }
+    let q = lusail_sparql::parse_query(
+        "SELECT ?p ?b WHERE { ?p <http://x/minimum> ?min . \
+         OPTIONAL { ?p <http://x/bid> ?b . FILTER (?b > ?min) } } ORDER BY ?p",
+        &dict,
+    )
+    .unwrap();
+    // Local evaluation.
+    let sols = lusail_store::eval::evaluate(&st, &q);
+    let bound: Vec<bool> = (0..sols.len()).map(|i| sols.get(i, "b").is_some()).collect();
+    // p1: 15 > 10 → bound; p2: 15 > 20 fails → unbound; p3: 5 > 10 fails.
+    assert_eq!(bound, [true, false, false]);
+
+    // Federated evaluation agrees.
+    let mut st2 = TripleStore::new(Arc::clone(&dict));
+    st.scan(None, None, None, |t| {
+        st2.insert(t);
+        true
+    });
+    let mut fed = Federation::new(Arc::clone(&dict));
+    fed.add(Arc::new(LocalEndpoint::new("A", st2)));
+    let got = Lusail::default().run(&fed, &q);
+    assert_eq!(got.canonicalize(), sols.canonicalize());
+    let _ = Dictionary::new();
+}
+
+#[test]
+fn correlated_not_exists_filter_sees_outer_bindings() {
+    use lusail_rdf::Term;
+    use lusail_store::TripleStore;
+
+    let dict = lusail_rdf::Dictionary::shared();
+    let mut st = TripleStore::new(Arc::clone(&dict));
+    // People with ages; exclude anyone who has a friend *older than
+    // themselves* (correlated comparison).
+    for (person, age) in [("a", 30), ("b", 40), ("c", 50)] {
+        st.insert_terms(
+            &Term::iri(format!("http://x/{person}")),
+            &Term::iri("http://x/age"),
+            &Term::int(age),
+        );
+    }
+    st.insert_terms(
+        &Term::iri("http://x/a"),
+        &Term::iri("http://x/friend"),
+        &Term::iri("http://x/b"),
+    );
+    st.insert_terms(
+        &Term::iri("http://x/b"),
+        &Term::iri("http://x/friend"),
+        &Term::iri("http://x/a"),
+    );
+    let q = lusail_sparql::parse_query(
+        "SELECT ?p WHERE { ?p <http://x/age> ?age . \
+         FILTER NOT EXISTS { ?p <http://x/friend> ?f . ?f <http://x/age> ?fa . \
+         FILTER (?fa > ?age) } } ORDER BY ?p",
+        &dict,
+    )
+    .unwrap();
+    let sols = lusail_store::eval::evaluate(&st, &q);
+    let names: Vec<String> = (0..sols.len())
+        .map(|i| dict.decode(sols.get(i, "p").unwrap()).lexical().to_string())
+        .collect();
+    // a has friend b (40 > 30) → excluded; b's friend a is younger → kept;
+    // c has no friends → kept.
+    assert_eq!(names, ["http://x/b", "http://x/c"]);
+}
+
+#[test]
+fn order_by_non_projected_variable_sorts() {
+    use lusail_rdf::Term;
+    use lusail_store::TripleStore;
+    let dict = lusail_rdf::Dictionary::shared();
+    let mut st = TripleStore::new(Arc::clone(&dict));
+    for (name, rank) in [("carol", 2), ("alice", 3), ("bob", 1)] {
+        let s = Term::iri(format!("http://x/{name}"));
+        st.insert_terms(&s, &Term::iri("http://x/name"), &Term::lit(name));
+        st.insert_terms(&s, &Term::iri("http://x/rank"), &Term::int(rank));
+    }
+    // ?r is a sort key but NOT projected.
+    let q = lusail_sparql::parse_query(
+        "SELECT ?n WHERE { ?s <http://x/name> ?n . ?s <http://x/rank> ?r } ORDER BY ?r",
+        &dict,
+    )
+    .unwrap();
+    let sols = lusail_store::eval::evaluate(&st, &q);
+    let names: Vec<String> = (0..sols.len())
+        .map(|i| dict.decode(sols.get(i, "n").unwrap()).lexical().to_string())
+        .collect();
+    assert_eq!(names, ["bob", "carol", "alice"]);
+    assert_eq!(sols.vars, ["n"]); // sort key not leaked into the schema
+}
+
+#[test]
+fn federated_order_by_non_projected_variable() {
+    // The sort key ?r lives in a different subquery column that is not
+    // projected by the query; the engine must still ship and sort by it.
+    use lusail_endpoint::{Federation, LocalEndpoint};
+    use lusail_rdf::Term;
+    use lusail_store::TripleStore;
+    let dict = lusail_rdf::Dictionary::shared();
+    let mut a = TripleStore::new(Arc::clone(&dict));
+    let mut b = TripleStore::new(Arc::clone(&dict));
+    for (name, rank) in [("carol", 2), ("alice", 3), ("bob", 1)] {
+        let s = Term::iri(format!("http://people/{name}"));
+        a.insert_terms(&s, &Term::iri("http://x/name"), &Term::lit(name));
+        b.insert_terms(&s, &Term::iri("http://x/rank"), &Term::int(rank));
+    }
+    let mut fed = Federation::new(Arc::clone(&dict));
+    fed.add(Arc::new(LocalEndpoint::new("A", a)));
+    fed.add(Arc::new(LocalEndpoint::new("B", b)));
+    let q = lusail_sparql::parse_query(
+        "SELECT ?n WHERE { ?s <http://x/name> ?n . ?s <http://x/rank> ?r } ORDER BY ?r",
+        &dict,
+    )
+    .unwrap();
+    let sols = Lusail::default().run(&fed, &q);
+    let names: Vec<String> = (0..sols.len())
+        .map(|i| dict.decode(sols.get(i, "n").unwrap()).lexical().to_string())
+        .collect();
+    assert_eq!(names, ["bob", "carol", "alice"]);
+    assert_eq!(sols.vars, ["n"]);
+}

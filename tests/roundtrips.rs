@@ -1,0 +1,131 @@
+//! Property tests for the serialization boundaries: N-Triples documents
+//! (the CLI's on-disk format) and federated ORDER BY semantics.
+
+use lusail_core::Lusail;
+use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint};
+use lusail_rdf::{ntriples, Dictionary, Term, Triple};
+use lusail_sparql::parse_query;
+use lusail_store::TripleStore;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Arbitrary RDF terms spanning all kinds, including characters that need
+/// escaping.
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://x.org/{s}"))),
+        // Literals with escapes, unicode, and tabs.
+        "[ -~]{0,12}".prop_map(Term::lit),
+        Just(Term::lit("quote\" back\\slash \n tab\t")),
+        Just(Term::lit("ünïcødé ← →")),
+        ("[a-z]{1,6}", "[a-z]{2}").prop_map(|(l, t)| Term::lang_lit(l, t)),
+        (-1000i64..1000).prop_map(Term::int),
+        "[a-z0-9]{1,6}".prop_map(Term::Blank),
+    ]
+}
+
+fn arb_object() -> impl Strategy<Value = Term> {
+    arb_term()
+}
+
+fn arb_subject() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://x.org/{s}"))),
+        "[a-z0-9]{1,6}".prop_map(Term::Blank),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Term> {
+    "[a-z]{1,8}".prop_map(|s| Term::iri(format!("http://p.org/{s}")))
+}
+
+proptest! {
+    /// serialize → parse is the identity on triple sets, for every term
+    /// kind including escaped literals.
+    #[test]
+    fn ntriples_document_roundtrip(
+        triples in proptest::collection::vec(
+            (arb_subject(), arb_predicate(), arb_object()),
+            0..40,
+        )
+    ) {
+        let dict = Dictionary::shared();
+        let encoded: Vec<Triple> = triples
+            .iter()
+            .map(|(s, p, o)| Triple::new(dict.encode(s), dict.encode(p), dict.encode(o)))
+            .collect();
+        let text = ntriples::serialize(&encoded, &dict);
+        let reparsed = ntriples::parse_document(&text, &dict)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        let a: std::collections::BTreeSet<_> = encoded.into_iter().collect();
+        let b: std::collections::BTreeSet<_> = reparsed.into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Federated ORDER BY returns exactly the centralized ordering
+    /// (by value, for integer keys) however the data is spread.
+    #[test]
+    fn federated_order_by_matches_centralized(
+        values in proptest::collection::vec(-50i64..50, 1..25),
+        endpoints in 1usize..4,
+    ) {
+        let dict = Dictionary::shared();
+        let mut oracle = TripleStore::new(Arc::clone(&dict));
+        let mut stores: Vec<TripleStore> =
+            (0..endpoints).map(|_| TripleStore::new(Arc::clone(&dict))).collect();
+        let p = Term::iri("http://x/value");
+        for (i, v) in values.iter().enumerate() {
+            let s = Term::iri(format!("http://x/e{i}"));
+            oracle.insert_terms(&s, &p, &Term::int(*v));
+            stores[i % endpoints].insert_terms(&s, &p, &Term::int(*v));
+        }
+        let mut fed = Federation::new(Arc::clone(&dict));
+        for (i, st) in stores.into_iter().enumerate() {
+            fed.add(Arc::new(LocalEndpoint::new(format!("ep{i}"), st)));
+        }
+        let q = parse_query(
+            "SELECT ?v WHERE { ?s <http://x/value> ?v } ORDER BY ?v",
+            &dict,
+        ).unwrap();
+        let sols = Lusail::default().run(&fed, &q);
+        let got: Vec<i64> = (0..sols.len())
+            .map(|i| dict.decode(sols.get(i, "v").unwrap()).lexical().parse().unwrap())
+            .collect();
+        let mut want = values.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// SolutionSet::append over random shards then canonicalize equals the
+    /// canonicalized whole (the concatenation path of the disjoint fast
+    /// path).
+    #[test]
+    fn append_of_shards_equals_whole(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(proptest::option::of(0u32..10), 2),
+            0..30,
+        ),
+        cut in 0usize..30,
+    ) {
+        use lusail_sparql::SolutionSet;
+        use lusail_rdf::TermId;
+        let all = SolutionSet {
+            vars: vec!["a".into(), "b".into()],
+            rows: rows
+                .iter()
+                .map(|r| r.iter().map(|c| c.map(TermId)).collect())
+                .collect(),
+        };
+        let cut = cut.min(all.rows.len());
+        let mut left = SolutionSet {
+            vars: all.vars.clone(),
+            rows: all.rows[..cut].to_vec(),
+        };
+        let right = SolutionSet {
+            vars: all.vars.clone(),
+            rows: all.rows[cut..].to_vec(),
+        };
+        left.append(right);
+        prop_assert_eq!(left.canonicalize(), all.canonicalize());
+    }
+}
