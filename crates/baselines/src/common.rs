@@ -2,12 +2,11 @@
 //! groups), bound joins, and clause handling.
 
 use lusail_core::source_selection::SourceMap;
-use lusail_endpoint::{EndpointId, Federation};
+use lusail_endpoint::{EndpointId, Federation, ResilientClient};
 use lusail_rdf::FxHashSet;
-use lusail_sparql::ast::{
-    Expression, GroupPattern, Query, QueryForm, TriplePattern, ValuesBlock,
-};
+use lusail_sparql::ast::{Expression, GroupPattern, Query, QueryForm, TriplePattern, ValuesBlock};
 use lusail_sparql::SolutionSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// An evaluation unit: either an *exclusive group* (several patterns whose
 /// only relevant source is one identical endpoint) or a single pattern.
@@ -122,11 +121,21 @@ pub fn order_units(mut units: Vec<Unit>) -> Vec<Unit> {
 }
 
 /// Evaluates a unit with no bindings: one SELECT per relevant endpoint,
-/// results concatenated.
-pub fn evaluate_unbound(fed: &Federation, unit: &Unit) -> SolutionSet {
+/// results concatenated. An endpoint that fails (after the client's
+/// retries) contributes nothing and raises the `loss` flag — the engine
+/// reports the query incomplete instead of aborting.
+pub fn evaluate_unbound(
+    fed: &Federation,
+    unit: &Unit,
+    client: &ResilientClient,
+    loss: &AtomicBool,
+) -> SolutionSet {
     let mut out = SolutionSet::empty(unit.vars());
     for &ep in &unit.sources {
-        out.append(fed.endpoint(ep).select(&unit.to_query(None)));
+        match client.request(ep, || fed.endpoint(ep).select(&unit.to_query(None))) {
+            Ok(part) => out.append(part),
+            Err(_) => loss.store(true, Ordering::Relaxed),
+        }
     }
     out
 }
@@ -145,6 +154,8 @@ pub fn bound_join(
     unit: &Unit,
     block_size: usize,
     limit: Option<usize>,
+    client: &ResilientClient,
+    loss: &AtomicBool,
 ) -> SolutionSet {
     let unit_vars = unit.vars();
     let shared: Vec<String> = current
@@ -155,7 +166,7 @@ pub fn bound_join(
         .collect();
     if shared.is_empty() || current.is_empty() {
         // Cross product or empty input: fall back to unbound evaluation.
-        let fetched = evaluate_unbound(fed, unit);
+        let fetched = evaluate_unbound(fed, unit, client, loss);
         return current.hash_join(&fetched);
     }
 
@@ -172,8 +183,12 @@ pub fn bound_join(
         };
         let mut fetched = SolutionSet::empty(unit.vars());
         for &ep in &unit.sources {
-            let part = fed.endpoint(ep).select(&unit.to_query(Some(vb.clone())));
-            fetched.append(part);
+            match client.request(ep, || {
+                fed.endpoint(ep).select(&unit.to_query(Some(vb.clone())))
+            }) {
+                Ok(part) => fetched.append(part),
+                Err(_) => loss.store(true, Ordering::Relaxed),
+            }
         }
         let block_join = current.hash_join(&fetched);
         match &mut joined {
@@ -265,22 +280,21 @@ mod tests {
         }
         let p2id = dict.encode(&p2);
         let unit = Unit {
-            triples: vec![TriplePattern::new(
-                v("s"),
-                PatternTerm::Const(p2id),
-                v("o"),
-            )],
+            triples: vec![TriplePattern::new(v("s"), PatternTerm::Const(p2id), v("o"))],
             sources: vec![0],
             filters: Vec::new(),
         };
+        let client = ResilientClient::new(Default::default());
+        let loss = AtomicBool::new(false);
         let before = fed.stats_snapshot();
-        let joined = bound_join(&fed, &current, &unit, 3, None);
+        let joined = bound_join(&fed, &current, &unit, 3, None, &client, &loss);
         let window = fed.stats_snapshot().since(&before);
         // 10 bindings / block 3 = 4 blocks = 4 requests.
         assert_eq!(window.select_requests, 4);
         assert_eq!(joined.len(), 5);
+        assert!(!loss.load(Ordering::Relaxed));
         // Identical to evaluating unbound then joining.
-        let unbound = evaluate_unbound(&fed, &unit);
+        let unbound = evaluate_unbound(&fed, &unit, &client, &loss);
         assert_eq!(
             joined.canonicalize(),
             current.hash_join(&unbound).canonicalize()

@@ -19,12 +19,15 @@ use crate::common::{
     bound_join, evaluate_unbound, exclusive_groups, order_units, push_filters, Unit,
 };
 use lusail_core::cache::ProbeCache;
-use lusail_core::exec::RequestHandler;
+use lusail_core::exec::Net;
 use lusail_core::source_selection::{select_sources, SourceMap};
-use lusail_endpoint::{FederatedEngine, Federation};
+use lusail_endpoint::{
+    FederatedEngine, Federation, FederationError, QueryOutcome, RequestPolicy, ResilientClient,
+};
 use lusail_rdf::TermId;
 use lusail_sparql::ast::{Expression, GroupPattern, Query};
 use lusail_sparql::SolutionSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// FedX tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -47,8 +50,8 @@ impl Default for FedXConfig {
 /// The FedX-style engine.
 pub struct FedX {
     config: FedXConfig,
+    policy: RequestPolicy,
     ask_cache: ProbeCache<bool>,
-    handler: RequestHandler,
 }
 
 impl Default for FedX {
@@ -62,33 +65,62 @@ impl FedX {
     pub fn new(config: FedXConfig) -> Self {
         FedX {
             config,
+            policy: RequestPolicy::default(),
             ask_cache: ProbeCache::new(config.use_cache),
-            handler: RequestHandler::new(),
         }
     }
 
-    /// Executes a query, returning its solutions. A federated
-    /// `SELECT (COUNT(*) AS ?c)` is normalized to a mediator-side
-    /// aggregate so the count is global.
-    pub fn execute(&self, fed: &Federation, query: &Query) -> SolutionSet {
-        if let Some(rewritten) = query.count_star_as_aggregate() {
-            return self.execute(fed, &rewritten);
+    /// Replaces the retry/backoff/deadline policy for remote requests.
+    pub fn with_policy(mut self, policy: RequestPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Executes a query. A federated `SELECT (COUNT(*) AS ?c)` is
+    /// normalized to a mediator-side aggregate so the count is global.
+    /// Endpoint failures degrade into an incomplete [`QueryOutcome`];
+    /// only an empty federation is an `Err`.
+    pub fn execute(
+        &self,
+        fed: &Federation,
+        query: &Query,
+    ) -> Result<QueryOutcome, FederationError> {
+        if fed.is_empty() {
+            return Err(FederationError::EmptyFederation);
         }
-        let sources = select_sources(fed, &query.pattern, &self.ask_cache, &self.handler);
+        let net = Net::new(self.policy);
+        let loss = AtomicBool::new(false);
+        let solutions = self.execute_inner(fed, query, &net, &loss);
+        Ok(QueryOutcome {
+            solutions,
+            complete: !loss.load(Ordering::Relaxed) && !net.degradation.data_loss(),
+            failures: net.client.report(fed),
+        })
+    }
+
+    fn execute_inner(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        net: &Net,
+        loss: &AtomicBool,
+    ) -> SolutionSet {
+        if let Some(rewritten) = query.count_star_as_aggregate() {
+            return self.execute_inner(fed, &rewritten, net, loss);
+        }
+        let sources = select_sources(fed, &query.pattern, &self.ask_cache, net);
         if sources.any_required_empty(&query.pattern.triples) {
             return SolutionSet::empty(query.output_vars());
         }
         // The first-k cutoff is unsound under ORDER BY, DISTINCT, and
         // aggregation: all must see every row before truncation.
-        let cutoff = if query.order_by.is_empty()
-            && !query.distinct
-            && query.aggregates.is_empty()
+        let cutoff = if query.order_by.is_empty() && !query.distinct && query.aggregates.is_empty()
         {
             query.limit
         } else {
             None
         };
-        let solutions = self.evaluate_group(fed, &query.pattern, &sources, cutoff);
+        let solutions = self.evaluate_group(fed, &query.pattern, &sources, cutoff, net, loss);
         lusail_store::eval::apply_modifiers(solutions, query, fed.dict())
     }
 
@@ -99,6 +131,8 @@ impl FedX {
         group: &GroupPattern,
         sources: &SourceMap,
         limit: Option<usize>,
+        net: &Net,
+        loss: &AtomicBool,
     ) -> SolutionSet {
         let mut units = exclusive_groups(&group.triples, sources);
         let global_filters = push_filters(&group.filters, &mut units);
@@ -125,11 +159,23 @@ impl FedX {
         for (i, unit) in units.iter().enumerate() {
             let is_first = current.vars.is_empty() && current.len() == 1;
             if is_first {
-                let fetched = evaluate_unbound(fed, unit);
+                let fetched = evaluate_unbound(fed, unit, &net.client, loss);
                 current = fetched;
             } else {
-                let cutoff = if simple && i + 1 == n_units { limit } else { None };
-                current = bound_join(fed, &current, unit, self.config.block_size, cutoff);
+                let cutoff = if simple && i + 1 == n_units {
+                    limit
+                } else {
+                    None
+                };
+                current = bound_join(
+                    fed,
+                    &current,
+                    unit,
+                    self.config.block_size,
+                    cutoff,
+                    &net.client,
+                    loss,
+                );
             }
             if current.is_empty() {
                 // Short-circuit: downstream joins cannot revive rows, but
@@ -142,7 +188,7 @@ impl FedX {
         // through the shared nested-group machinery.
         for opt in &group.optionals {
             let (inner, correlated) = opt.split_correlated_filters();
-            let os = self.evaluate_optional(fed, &inner, sources, &current);
+            let os = self.evaluate_optional(fed, &inner, sources, &current, net, loss);
             current =
                 lusail_store::eval::left_join_filtered(&current, &os, &correlated, fed.dict());
         }
@@ -152,7 +198,7 @@ impl FedX {
             current,
             &without_optionals,
             fed.dict(),
-            |sub| self.evaluate_group(fed, sub, sources, None),
+            |sub| self.evaluate_group(fed, sub, sources, None, net, loss),
         );
         lusail_store::eval::retain_filtered(&mut current, &global_filters, fed.dict());
         current
@@ -167,6 +213,8 @@ impl FedX {
         group: &GroupPattern,
         sources: &SourceMap,
         current: &SolutionSet,
+        net: &Net,
+        loss: &AtomicBool,
     ) -> SolutionSet {
         // Single-unit optionals with shared vars: bound retrieval.
         let mut units = exclusive_groups(&group.triples, sources);
@@ -184,12 +232,19 @@ impl FedX {
                 .cloned()
                 .collect();
             if !shared.is_empty() && !current.is_empty() {
-                let fetched =
-                    bound_fetch(fed, current, unit, &shared, self.config.block_size);
+                let fetched = bound_fetch(
+                    fed,
+                    current,
+                    unit,
+                    &shared,
+                    self.config.block_size,
+                    &net.client,
+                    loss,
+                );
                 return apply_filters(fed, fetched, &global_filters);
             }
         }
-        self.evaluate_group(fed, group, sources, None)
+        self.evaluate_group(fed, group, sources, None, net, loss)
     }
 }
 
@@ -201,6 +256,8 @@ fn bound_fetch(
     unit: &Unit,
     shared: &[String],
     block_size: usize,
+    client: &ResilientClient,
+    loss: &AtomicBool,
 ) -> SolutionSet {
     let tuples = current.distinct_tuples(shared);
     let mut fetched = SolutionSet::empty(unit.vars());
@@ -210,18 +267,19 @@ fn bound_fetch(
             rows: block.to_vec(),
         };
         for &ep in &unit.sources {
-            fetched.append(fed.endpoint(ep).select(&unit.to_query(Some(vb.clone()))));
+            match client.request(ep, || {
+                fed.endpoint(ep).select(&unit.to_query(Some(vb.clone())))
+            }) {
+                Ok(part) => fetched.append(part),
+                Err(_) => loss.store(true, Ordering::Relaxed),
+            }
         }
     }
     fetched.dedup();
     fetched
 }
 
-fn apply_filters(
-    fed: &Federation,
-    mut sols: SolutionSet,
-    filters: &[Expression],
-) -> SolutionSet {
+fn apply_filters(fed: &Federation, mut sols: SolutionSet, filters: &[Expression]) -> SolutionSet {
     let vars = sols.vars.clone();
     let dict = fed.dict();
     sols.rows.retain(|row| {
@@ -238,7 +296,7 @@ impl FederatedEngine for FedX {
         "FedX"
     }
 
-    fn run(&self, fed: &Federation, query: &Query) -> SolutionSet {
+    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
         self.execute(fed, query)
     }
 
@@ -292,10 +350,11 @@ mod tests {
         )
         .unwrap();
         let engine = FedX::default();
-        let got = engine.execute(&fed, &q);
+        let outcome = engine.execute(&fed, &q).unwrap();
+        assert!(outcome.complete);
         let want = lusail_store::eval::evaluate(&oracle, &q);
-        assert_eq!(got.canonicalize(), want.canonicalize());
-        assert_eq!(got.len(), 20);
+        assert_eq!(outcome.solutions.canonicalize(), want.canonicalize());
+        assert_eq!(outcome.solutions.len(), 20);
     }
 
     #[test]
@@ -311,7 +370,7 @@ mod tests {
             use_cache: true,
         });
         let before = fed.stats_snapshot();
-        engine.execute(&fed, &q);
+        engine.execute(&fed, &q).unwrap();
         let window = fed.stats_snapshot().since(&before);
         // First unit: 2 selects. Second unit: 20 bindings / 5 per block =
         // 4 blocks × 2 endpoints = 8 selects. Plus 4 ASKs.
@@ -328,7 +387,7 @@ mod tests {
         )
         .unwrap();
         let engine = FedX::default();
-        let got = engine.execute(&fed, &q);
+        let got = engine.execute(&fed, &q).unwrap().solutions;
         let want = lusail_store::eval::evaluate(&oracle, &q);
         assert_eq!(got.canonicalize(), want.canonicalize());
     }
@@ -346,7 +405,7 @@ mod tests {
             use_cache: true,
         });
         let before = fed.stats_snapshot();
-        let got = engine.execute(&fed, &q);
+        let got = engine.execute(&fed, &q).unwrap().solutions;
         let window = fed.stats_snapshot().since(&before);
         assert_eq!(got.len(), 2);
         // Without the cutoff this would be 2 + 10*2 = 22 selects; with it,

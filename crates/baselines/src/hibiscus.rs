@@ -10,16 +10,18 @@
 //! Lusail's LADE — says nothing about whether the *instances* are
 //! co-located, so pattern-at-a-time execution remains.
 
-use crate::common::{
-    bound_join, evaluate_unbound, exclusive_groups, order_units, push_filters,
-};
+use crate::common::{bound_join, evaluate_unbound, exclusive_groups, order_units, push_filters};
 use lusail_core::cache::ProbeCache;
-use lusail_core::exec::RequestHandler;
+use lusail_core::exec::Net;
 use lusail_core::source_selection::{select_sources, SourceMap};
-use lusail_endpoint::{EndpointId, FederatedEngine, Federation, LocalEndpoint};
+use lusail_endpoint::{
+    EndpointId, FederatedEngine, Federation, FederationError, LocalEndpoint, QueryOutcome,
+    RequestPolicy,
+};
 use lusail_rdf::{FxHashMap, FxHashSet, TermId};
 use lusail_sparql::ast::{GroupPattern, Query, TriplePattern};
 use lusail_sparql::SolutionSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Subject and object authority sets for one predicate at one endpoint.
@@ -103,9 +105,10 @@ impl HibiscusIndex {
                 // Variable as object of i and subject of j: prune j's
                 // sources whose subject authorities miss all of i's object
                 // authorities.
-                let join_var = triples[i].o.as_var().filter(|v| {
-                    triples[j].s.as_var() == Some(v)
-                });
+                let join_var = triples[i]
+                    .o
+                    .as_var()
+                    .filter(|v| triples[j].s.as_var() == Some(v));
                 if join_var.is_none() {
                     continue;
                 }
@@ -123,9 +126,7 @@ impl HibiscusIndex {
                 let (_, srcs_j) = &mut pruned[j];
                 srcs_j.retain(|&ep| {
                     self.subject_authorities(ep, pj).is_none_or(|auths| {
-                        auths
-                            .iter()
-                            .any(|a| a == "*" || contributed.contains(a))
+                        auths.iter().any(|a| a == "*" || contributed.contains(a))
                     })
                 });
             }
@@ -143,8 +144,8 @@ impl HibiscusIndex {
 pub struct HiBisCus {
     index: HibiscusIndex,
     block_size: usize,
+    policy: RequestPolicy,
     ask_cache: ProbeCache<bool>,
-    handler: RequestHandler,
 }
 
 impl HiBisCus {
@@ -154,9 +155,15 @@ impl HiBisCus {
         HiBisCus {
             index,
             block_size: 15,
+            policy: RequestPolicy::default(),
             ask_cache: ProbeCache::new(true),
-            handler: RequestHandler::new(),
         }
+    }
+
+    /// Replaces the retry/backoff/deadline policy for remote requests.
+    pub fn with_policy(mut self, policy: RequestPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Index build time.
@@ -166,25 +173,49 @@ impl HiBisCus {
 
     /// Executes a query. A federated `SELECT (COUNT(*) AS ?c)` is
     /// normalized to a mediator-side aggregate so the count is global.
-    pub fn execute(&self, fed: &Federation, query: &Query) -> SolutionSet {
-        if let Some(rewritten) = query.count_star_as_aggregate() {
-            return self.execute(fed, &rewritten);
+    /// Endpoint failures degrade into an incomplete [`QueryOutcome`];
+    /// only an empty federation is an `Err`.
+    pub fn execute(
+        &self,
+        fed: &Federation,
+        query: &Query,
+    ) -> Result<QueryOutcome, FederationError> {
+        if fed.is_empty() {
+            return Err(FederationError::EmptyFederation);
         }
-        let raw_sources = select_sources(fed, &query.pattern, &self.ask_cache, &self.handler);
+        let net = Net::new(self.policy);
+        let loss = AtomicBool::new(false);
+        let solutions = self.execute_inner(fed, query, &net, &loss);
+        Ok(QueryOutcome {
+            solutions,
+            complete: !loss.load(Ordering::Relaxed) && !net.degradation.data_loss(),
+            failures: net.client.report(fed),
+        })
+    }
+
+    fn execute_inner(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        net: &Net,
+        loss: &AtomicBool,
+    ) -> SolutionSet {
+        if let Some(rewritten) = query.count_star_as_aggregate() {
+            return self.execute_inner(fed, &rewritten, net, loss);
+        }
+        let raw_sources = select_sources(fed, &query.pattern, &self.ask_cache, net);
         if raw_sources.any_required_empty(&query.pattern.triples) {
             return SolutionSet::empty(query.output_vars());
         }
         // The first-k cutoff is unsound under ORDER BY, DISTINCT, and
         // aggregation: all must see every row before truncation.
-        let cutoff = if query.order_by.is_empty()
-            && !query.distinct
-            && query.aggregates.is_empty()
+        let cutoff = if query.order_by.is_empty() && !query.distinct && query.aggregates.is_empty()
         {
             query.limit
         } else {
             None
         };
-        let solutions = self.evaluate_group(fed, &query.pattern, cutoff, &raw_sources);
+        let solutions = self.evaluate_group(fed, &query.pattern, cutoff, &raw_sources, net, loss);
         lusail_store::eval::apply_modifiers(solutions, query, fed.dict())
     }
 
@@ -194,6 +225,8 @@ impl HiBisCus {
         group: &GroupPattern,
         limit: Option<usize>,
         raw_sources: &SourceMap,
+        net: &Net,
+        loss: &AtomicBool,
     ) -> SolutionSet {
         // Authority pruning before unit formation: fewer sources can mean
         // more exclusive groups. Pruning only considers *this* group's
@@ -224,21 +257,30 @@ impl HiBisCus {
         for (i, unit) in units.iter().enumerate() {
             let is_first = current.vars.is_empty() && current.len() == 1;
             if is_first {
-                current = evaluate_unbound(fed, unit);
+                current = evaluate_unbound(fed, unit, &net.client, loss);
             } else {
-                let cutoff = if simple && i + 1 == n_units { limit } else { None };
-                current = bound_join(fed, &current, unit, self.block_size, cutoff);
+                let cutoff = if simple && i + 1 == n_units {
+                    limit
+                } else {
+                    None
+                };
+                current = bound_join(
+                    fed,
+                    &current,
+                    unit,
+                    self.block_size,
+                    cutoff,
+                    &net.client,
+                    loss,
+                );
             }
             if current.is_empty() {
                 break;
             }
         }
-        current = lusail_store::eval::join_nested_groups(
-            current,
-            group,
-            fed.dict(),
-            |sub| self.evaluate_group(fed, sub, None, raw_sources),
-        );
+        current = lusail_store::eval::join_nested_groups(current, group, fed.dict(), |sub| {
+            self.evaluate_group(fed, sub, None, raw_sources, net, loss)
+        });
         lusail_store::eval::retain_filtered(&mut current, &global_filters, fed.dict());
         current
     }
@@ -249,7 +291,7 @@ impl FederatedEngine for HiBisCus {
         "HiBISCuS"
     }
 
-    fn run(&self, fed: &Federation, query: &Query) -> SolutionSet {
+    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
         self.execute(fed, query)
     }
 
@@ -312,9 +354,9 @@ mod tests {
             fed.dict(),
         )
         .unwrap();
-        let handler = RequestHandler::new();
+        let net = Net::default();
         let cache = ProbeCache::new(true);
-        let raw = select_sources(&fed, &q.pattern, &cache, &handler);
+        let raw = select_sources(&fed, &q.pattern, &cache, &net);
         // Raw: q-pattern relevant at B and C.
         assert_eq!(raw.sources(&q.pattern.triples[1]), &[1, 2]);
         let pruned = index.prune(&q.pattern.triples, &raw);
@@ -333,10 +375,11 @@ mod tests {
             fed.dict(),
         )
         .unwrap();
-        let got = engine.execute(&fed, &q);
+        let outcome = engine.execute(&fed, &q).unwrap();
+        assert!(outcome.complete);
         let want = lusail_store::eval::evaluate(&oracle, &q);
-        assert_eq!(got.canonicalize(), want.canonicalize());
-        assert_eq!(got.len(), 6);
+        assert_eq!(outcome.solutions.canonicalize(), want.canonicalize());
+        assert_eq!(outcome.solutions.len(), 6);
     }
 
     #[test]
@@ -351,12 +394,12 @@ mod tests {
 
         let fedx = crate::fedx::FedX::default();
         let before = fed.stats_snapshot();
-        fedx.run(&fed, &q);
+        fedx.run(&fed, &q).unwrap();
         let fedx_requests = fed.stats_snapshot().since(&before).select_requests;
 
         let hib = HiBisCus::new(HibiscusIndex::build(&refs));
         let before = fed.stats_snapshot();
-        hib.run(&fed, &q);
+        hib.run(&fed, &q).unwrap();
         let hib_requests = fed.stats_snapshot().since(&before).select_requests;
         assert!(
             hib_requests < fedx_requests,

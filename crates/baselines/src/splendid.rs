@@ -17,12 +17,16 @@
 //! results, as the paper observes).
 
 use lusail_core::cache::ProbeCache;
-use lusail_core::exec::RequestHandler;
+use lusail_core::exec::Net;
 use lusail_core::source_selection::SourceMap;
-use lusail_endpoint::{EndpointId, FederatedEngine, Federation, LocalEndpoint};
+use lusail_endpoint::{
+    EndpointId, FederatedEngine, Federation, FederationError, LocalEndpoint, QueryOutcome,
+    RequestPolicy,
+};
 use lusail_rdf::{FxHashMap, TermId};
 use lusail_sparql::ast::{GroupPattern, Query, TriplePattern, ValuesBlock};
 use lusail_sparql::SolutionSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// VOID-style statistics for one endpoint.
@@ -123,19 +127,14 @@ impl Default for SplendidConfig {
 pub struct Splendid {
     index: VoidIndex,
     config: SplendidConfig,
+    policy: RequestPolicy,
     ask_cache: ProbeCache<bool>,
-    handler: RequestHandler,
 }
 
 impl Splendid {
     /// Creates the engine from a prebuilt index.
     pub fn new(index: VoidIndex) -> Self {
-        Splendid {
-            index,
-            config: SplendidConfig::default(),
-            ask_cache: ProbeCache::new(true),
-            handler: RequestHandler::new(),
-        }
+        Splendid::with_config(index, SplendidConfig::default())
     }
 
     /// Creates the engine with custom configuration.
@@ -143,9 +142,15 @@ impl Splendid {
         Splendid {
             index,
             config,
+            policy: RequestPolicy::default(),
             ask_cache: ProbeCache::new(true),
-            handler: RequestHandler::new(),
         }
+    }
+
+    /// Replaces the retry/backoff/deadline policy for remote requests.
+    pub fn with_policy(mut self, policy: RequestPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The index build time (reported by the preprocessing harness).
@@ -156,7 +161,7 @@ impl Splendid {
     /// Index-driven source selection: predicate presence, narrowed by ASK
     /// for constant-bearing patterns (mirroring SPLENDID's handling of
     /// `owl:sameAs`-style lookups).
-    fn select_sources(&self, fed: &Federation, pattern: &GroupPattern) -> SourceMap {
+    fn select_sources(&self, fed: &Federation, pattern: &GroupPattern, net: &Net) -> SourceMap {
         let mut map = SourceMap::default();
         for tp in pattern.all_triples() {
             let candidates = match tp.p.as_const() {
@@ -164,12 +169,13 @@ impl Splendid {
                 None => fed.all_ids(),
             };
             let sources = if tp.bound_positions() > 1 && candidates.len() > 1 {
-                // Verify constants with ASK.
-                let tasks: Vec<(EndpointId, ())> =
-                    candidates.iter().map(|&ep| (ep, ())).collect();
+                // Verify constants with ASK; a failed probe keeps the
+                // candidate (assume relevant — never loses answers).
+                let tasks: Vec<(EndpointId, ())> = candidates.iter().map(|&ep| (ep, ())).collect();
                 let tp_clone = tp.clone();
-                let results = self.handler.run(fed, tasks, move |ep, _| {
-                    ep.ask(&Query::ask(GroupPattern::bgp(vec![tp_clone.clone()])))
+                let results = net.handler.run(fed, tasks, move |ep_id, ep, _| {
+                    let q = Query::ask(GroupPattern::bgp(vec![tp_clone.clone()]));
+                    net.client.request(ep_id, || ep.ask(&q)).unwrap_or(true)
                 });
                 results
                     .into_iter()
@@ -186,15 +192,41 @@ impl Splendid {
 
     /// Executes a query. A federated `SELECT (COUNT(*) AS ?c)` is
     /// normalized to a mediator-side aggregate so the count is global.
-    pub fn execute(&self, fed: &Federation, query: &Query) -> SolutionSet {
-        if let Some(rewritten) = query.count_star_as_aggregate() {
-            return self.execute(fed, &rewritten);
+    /// Endpoint failures degrade into an incomplete [`QueryOutcome`];
+    /// only an empty federation is an `Err`.
+    pub fn execute(
+        &self,
+        fed: &Federation,
+        query: &Query,
+    ) -> Result<QueryOutcome, FederationError> {
+        if fed.is_empty() {
+            return Err(FederationError::EmptyFederation);
         }
-        let sources = self.select_sources(fed, &query.pattern);
+        let net = Net::new(self.policy);
+        let loss = AtomicBool::new(false);
+        let solutions = self.execute_inner(fed, query, &net, &loss);
+        Ok(QueryOutcome {
+            solutions,
+            complete: !loss.load(Ordering::Relaxed) && !net.degradation.data_loss(),
+            failures: net.client.report(fed),
+        })
+    }
+
+    fn execute_inner(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        net: &Net,
+        loss: &AtomicBool,
+    ) -> SolutionSet {
+        if let Some(rewritten) = query.count_star_as_aggregate() {
+            return self.execute_inner(fed, &rewritten, net, loss);
+        }
+        let sources = self.select_sources(fed, &query.pattern, net);
         if sources.any_required_empty(&query.pattern.triples) {
             return SolutionSet::empty(query.output_vars());
         }
-        let solutions = self.evaluate_group(fed, &query.pattern, &sources);
+        let solutions = self.evaluate_group(fed, &query.pattern, &sources, net, loss);
         lusail_store::eval::apply_modifiers(solutions, query, fed.dict())
     }
 
@@ -203,6 +235,8 @@ impl Splendid {
         fed: &Federation,
         group: &GroupPattern,
         sources: &SourceMap,
+        net: &Net,
+        loss: &AtomicBool,
     ) -> SolutionSet {
         // Order patterns greedily by total index estimate.
         let mut order: Vec<usize> = (0..group.triples.len()).collect();
@@ -241,12 +275,14 @@ impl Splendid {
             let fetched = if use_bind {
                 // SPLENDID's bind join: one request per binding (no
                 // blocking), per relevant endpoint.
-                self.bind_fetch(fed, &current, tp, &shared, srcs)
+                self.bind_fetch(fed, &current, tp, &shared, srcs, net, loss)
             } else {
                 // Hash join: full parallel retrieval of the pattern.
                 let tasks: Vec<(EndpointId, ())> = srcs.iter().map(|&ep| (ep, ())).collect();
                 let q = pattern_query(tp);
-                let results = self.handler.run(fed, tasks, move |ep, _| ep.select(&q));
+                let results = net.handler.run(fed, tasks, move |ep_id, ep, _| {
+                    net.select_or_lose(ep_id, ep, &q, pattern_vars(tp))
+                });
                 let mut out = SolutionSet::empty(pattern_vars(tp));
                 for (_, _, sols) in results {
                     out.append(sols);
@@ -259,17 +295,15 @@ impl Splendid {
             }
         }
 
-        current = lusail_store::eval::join_nested_groups(
-            current,
-            group,
-            fed.dict(),
-            |sub| self.evaluate_group(fed, sub, sources),
-        );
+        current = lusail_store::eval::join_nested_groups(current, group, fed.dict(), |sub| {
+            self.evaluate_group(fed, sub, sources, net, loss)
+        });
         lusail_store::eval::retain_filtered(&mut current, &group.filters, fed.dict());
         current
     }
 
     /// One request per distinct binding tuple per endpoint.
+    #[allow(clippy::too_many_arguments)]
     fn bind_fetch(
         &self,
         fed: &Federation,
@@ -277,6 +311,8 @@ impl Splendid {
         tp: &TriplePattern,
         shared: &[String],
         srcs: &[EndpointId],
+        net: &Net,
+        loss: &AtomicBool,
     ) -> SolutionSet {
         let mut out = SolutionSet::empty(pattern_vars(tp));
         for tuple in current.distinct_tuples(shared) {
@@ -298,7 +334,10 @@ impl Splendid {
                 limit: None,
             };
             for &ep in srcs {
-                out.append(fed.endpoint(ep).select(&q));
+                match net.client.request(ep, || fed.endpoint(ep).select(&q)) {
+                    Ok(part) => out.append(part),
+                    Err(_) => loss.store(true, Ordering::Relaxed),
+                }
             }
         }
         out.dedup();
@@ -329,7 +368,7 @@ impl FederatedEngine for Splendid {
         "SPLENDID"
     }
 
-    fn run(&self, fed: &Federation, query: &Query) -> SolutionSet {
+    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
         self.execute(fed, query)
     }
 
@@ -400,10 +439,11 @@ mod tests {
             fed.dict(),
         )
         .unwrap();
-        let got = engine.execute(&fed, &q);
+        let outcome = engine.execute(&fed, &q).unwrap();
+        assert!(outcome.complete);
         let want = lusail_store::eval::evaluate(&oracle, &q);
-        assert_eq!(got.canonicalize(), want.canonicalize());
-        assert_eq!(got.len(), 4);
+        assert_eq!(outcome.solutions.canonicalize(), want.canonicalize());
+        assert_eq!(outcome.solutions.len(), 4);
     }
 
     #[test]
@@ -413,7 +453,7 @@ mod tests {
         let engine = Splendid::new(VoidIndex::build(&refs));
         let q = parse_query("SELECT ?s ?m WHERE { ?s <http://x/p> ?m }", fed.dict()).unwrap();
         let before = fed.stats_snapshot();
-        engine.execute(&fed, &q);
+        engine.execute(&fed, &q).unwrap();
         let window = fed.stats_snapshot().since(&before);
         assert_eq!(window.ask_requests, 0); // pure index-based selection
         assert_eq!(window.select_requests, 1); // only endpoint A is relevant
@@ -435,7 +475,7 @@ mod tests {
         )
         .unwrap();
         let before = fed.stats_snapshot();
-        engine.execute(&fed, &q);
+        engine.execute(&fed, &q).unwrap();
         let window = fed.stats_snapshot().since(&before);
         // q side is smaller (4 triples at B): evaluated first with 1
         // request; then p side bind-joins with one request per binding (4)

@@ -1,13 +1,38 @@
-//! Criterion end-to-end benchmarks: one per evaluation setting, each
-//! comparing the four engines on a representative query (caches warm, as
-//! in the paper's measurement protocol).
+//! End-to-end benchmarks: one per evaluation setting, each comparing the
+//! four engines on a representative query (caches warm, as in the paper's
+//! measurement protocol).
+//!
+//! Runs as a plain harness (`harness = false`): each benchmark times a
+//! fixed number of iterations with `std::time::Instant` and prints the
+//! median, so the suite needs no external benchmarking crate.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_benchdata::{lubm, qfed};
 use lusail_core::Lusail;
 use lusail_endpoint::FederatedEngine;
+use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
+
+const SAMPLES: usize = 10;
+
+/// Times `f` over [`SAMPLES`] runs and prints `label: median (min..max)`.
+fn bench(label: &str, mut f: impl FnMut() -> usize) {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{label:<40} {:>9.3} ms  ({:.3} .. {:.3})",
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1]
+    );
+}
 
 fn engines(w: &lusail_benchdata::Workload) -> Vec<(&'static str, Arc<dyn FederatedEngine>)> {
     vec![
@@ -24,61 +49,70 @@ fn engines(w: &lusail_benchdata::Workload) -> Vec<(&'static str, Arc<dyn Federat
     ]
 }
 
-fn bench_lubm(c: &mut Criterion) {
+fn bench_lubm() {
     let w = lubm::generate(&lubm::LubmConfig::new(4));
     for qname in ["Q2", "Q4"] {
-        let mut group = c.benchmark_group(format!("lubm4/{qname}"));
-        group.sample_size(10);
         let query = &w.query(qname).query;
         for (name, engine) in engines(&w) {
             // Warm the caches once so the measurement matches the paper's
             // protocol (source selection cached).
             let _ = engine.run(&w.federation, query);
-            group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-                b.iter(|| black_box(engine.run(&w.federation, query).len()))
+            bench(&format!("lubm4/{qname}/{name}"), || {
+                engine
+                    .run(&w.federation, query)
+                    .expect("non-empty federation")
+                    .solutions
+                    .len()
             });
         }
-        group.finish();
     }
 }
 
-fn bench_qfed(c: &mut Criterion) {
+fn bench_qfed() {
     let w = qfed::generate(&qfed::QfedConfig::default());
     for qname in ["C2P2", "C2P2B", "Drug"] {
-        let mut group = c.benchmark_group(format!("qfed/{qname}"));
-        group.sample_size(10);
         let query = &w.query(qname).query;
         for (name, engine) in engines(&w) {
             let _ = engine.run(&w.federation, query);
-            group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-                b.iter(|| black_box(engine.run(&w.federation, query).len()))
+            bench(&format!("qfed/{qname}/{name}"), || {
+                engine
+                    .run(&w.federation, query)
+                    .expect("non-empty federation")
+                    .solutions
+                    .len()
             });
         }
-        group.finish();
     }
 }
 
-fn bench_lusail_phases(c: &mut Criterion) {
+fn bench_lusail_phases() {
     // Ablation bench: LADE on vs off on a query where grouping matters.
     let w = lubm::generate(&lubm::LubmConfig::new(4));
     let q2 = &w.query("Q2").query;
-    let mut group = c.benchmark_group("ablation/lade_q2");
-    group.sample_size(10);
     let lade = Lusail::default();
     let _ = lade.run(&w.federation, q2);
-    group.bench_function("with_lade", |b| {
-        b.iter(|| black_box(lade.run(&w.federation, q2).len()))
+    bench("ablation/lade_q2/with_lade", || {
+        lade.run(&w.federation, q2)
+            .expect("non-empty federation")
+            .solutions
+            .len()
     });
     let nolade = Lusail::new(lusail_core::LusailConfig {
         disable_lade: true,
         ..Default::default()
     });
     let _ = nolade.run(&w.federation, q2);
-    group.bench_function("without_lade", |b| {
-        b.iter(|| black_box(nolade.run(&w.federation, q2).len()))
+    bench("ablation/lade_q2/without_lade", || {
+        nolade
+            .run(&w.federation, q2)
+            .expect("non-empty federation")
+            .solutions
+            .len()
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_lubm, bench_qfed, bench_lusail_phases);
-criterion_main!(benches);
+fn main() {
+    bench_lubm();
+    bench_qfed();
+    bench_lusail_phases();
+}

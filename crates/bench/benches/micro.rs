@@ -1,15 +1,39 @@
-//! Criterion micro-benchmarks for the substrate components: store pattern
-//! scans, SPARQL parsing/writing, solution joins, and the LADE analysis
-//! passes.
+//! Micro-benchmarks for the substrate components: store pattern scans,
+//! SPARQL parsing/writing, solution joins, and the LADE analysis passes.
+//!
+//! Runs as a plain harness (`harness = false`): each benchmark times a
+//! fixed number of iterations with `std::time::Instant` and prints the
+//! median, so the suite needs no external benchmarking crate.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use lusail_core::cache::{KeyedCache, ProbeCache};
-use lusail_core::exec::RequestHandler;
+use lusail_core::exec::Net;
 use lusail_core::gjv::detect_gjvs;
 use lusail_core::source_selection::select_sources;
 use lusail_rdf::{Dictionary, Term, TermId};
 use lusail_sparql::{parse_query, write_query, SolutionSet};
 use lusail_store::TripleStore;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SAMPLES: usize = 20;
+
+/// Times `f` over [`SAMPLES`] runs and prints `label: median (min..max)`.
+fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{label:<40} {:>10.1} µs  ({:.1} .. {:.1})",
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1]
+    );
+}
 
 fn store_with_triples(n: usize) -> TripleStore {
     let dict = Dictionary::shared();
@@ -24,43 +48,35 @@ fn store_with_triples(n: usize) -> TripleStore {
     st
 }
 
-fn bench_store(c: &mut Criterion) {
-    let mut group = c.benchmark_group("store");
+fn bench_store() {
     for n in [10_000usize, 100_000] {
         let st = store_with_triples(n);
         let p = st.dict().lookup(&Term::iri("http://b/p3")).unwrap();
-        group.bench_with_input(BenchmarkId::new("scan_by_predicate", n), &n, |b, _| {
-            b.iter(|| {
-                let mut count = 0u64;
-                st.scan(None, Some(p), None, |_| {
-                    count += 1;
-                    true
-                });
-                black_box(count)
-            })
+        bench(&format!("store/scan_by_predicate/{n}"), || {
+            let mut count = 0u64;
+            st.scan(None, Some(p), None, |_| {
+                count += 1;
+                true
+            });
+            count
         });
         let s = st.dict().lookup(&Term::iri("http://b/s1")).unwrap();
-        group.bench_with_input(BenchmarkId::new("scan_by_subject", n), &n, |b, _| {
-            b.iter(|| black_box(st.matches(Some(s), None, None).len()))
+        bench(&format!("store/scan_by_subject/{n}"), || {
+            st.matches(Some(s), None, None).len()
         });
     }
-    group.finish();
 }
 
-fn bench_sparql(c: &mut Criterion) {
+fn bench_sparql() {
     let dict = Dictionary::new();
     let text = "PREFIX ub: <http://lubm.org/ub#> \
                 SELECT ?x ?y ?z WHERE { \
                 ?x a ub:GraduateStudent . ?y a ub:Professor . ?z a ub:Course . \
                 ?x ub:advisor ?y . ?y ub:teacherOf ?z . ?x ub:takesCourse ?z . \
                 FILTER (?x != ?y) OPTIONAL { ?x ub:name ?n } }";
-    c.bench_function("sparql/parse", |b| {
-        b.iter(|| black_box(parse_query(text, &dict).unwrap()))
-    });
+    bench("sparql/parse", || parse_query(text, &dict).unwrap());
     let q = parse_query(text, &dict).unwrap();
-    c.bench_function("sparql/write", |b| {
-        b.iter(|| black_box(write_query(&q, &dict)))
-    });
+    bench("sparql/write", || write_query(&q, &dict));
 }
 
 fn solutions(n: usize, vars: [&str; 2], stride: u32) -> SolutionSet {
@@ -72,63 +88,53 @@ fn solutions(n: usize, vars: [&str; 2], stride: u32) -> SolutionSet {
     }
 }
 
-fn bench_join(c: &mut Criterion) {
-    let mut group = c.benchmark_group("join");
+fn bench_join() {
     for n in [1_000usize, 50_000] {
         let a = solutions(n, ["x", "y"], 2);
         let b = solutions(n, ["y", "z"], 1);
-        group.bench_with_input(BenchmarkId::new("hash_join", n), &n, |bch, _| {
-            bch.iter(|| black_box(a.hash_join(&b).len()))
-        });
-        group.bench_with_input(BenchmarkId::new("par_hash_join", n), &n, |bch, _| {
-            bch.iter(|| {
-                black_box(lusail_core::join::par_hash_join(&a, &b, 4, 10_000).len())
-            })
+        bench(&format!("join/hash_join/{n}"), || a.hash_join(&b).len());
+        bench(&format!("join/par_hash_join/{n}"), || {
+            lusail_core::join::par_hash_join(&a, &b, 4, 10_000).len()
         });
     }
-    group.finish();
 }
 
-fn bench_lade(c: &mut Criterion) {
+fn bench_lade() {
     let w = lusail_benchdata::lubm::generate(&lusail_benchdata::lubm::LubmConfig::new(4));
     let q4 = &w.query("Q4").query;
-    let handler = RequestHandler::new();
-    c.bench_function("lade/source_selection_cold", |b| {
-        b.iter(|| {
-            let cache = ProbeCache::new(true);
-            black_box(select_sources(&w.federation, &q4.pattern, &cache, &handler))
-        })
+    let net = Net::default();
+    bench("lade/source_selection_cold", || {
+        let cache = ProbeCache::new(true);
+        select_sources(&w.federation, &q4.pattern, &cache, &net)
     });
     let ask_cache = ProbeCache::new(true);
-    let sources = select_sources(&w.federation, &q4.pattern, &ask_cache, &handler);
-    c.bench_function("lade/gjv_detection_cold", |b| {
-        b.iter(|| {
-            let check_cache = KeyedCache::new(true);
-            black_box(detect_gjvs(
-                &w.federation,
-                &q4.pattern.triples,
-                &sources,
-                &check_cache,
-                &handler,
-            ))
-        })
+    let sources = select_sources(&w.federation, &q4.pattern, &ask_cache, &net);
+    bench("lade/gjv_detection_cold", || {
+        let check_cache = KeyedCache::new(true);
+        detect_gjvs(
+            &w.federation,
+            &q4.pattern.triples,
+            &sources,
+            &check_cache,
+            &net,
+        )
     });
     let check_cache = KeyedCache::new(true);
-    let analysis = detect_gjvs(&w.federation, &q4.pattern.triples, &sources, &check_cache, &handler);
-    c.bench_function("lade/decompose", |b| {
-        b.iter(|| {
-            black_box(lusail_core::decompose::decompose(
-                &q4.pattern.triples,
-                &sources,
-                &analysis,
-            ))
-        })
+    let analysis = detect_gjvs(
+        &w.federation,
+        &q4.pattern.triples,
+        &sources,
+        &check_cache,
+        &net,
+    );
+    bench("lade/decompose", || {
+        lusail_core::decompose::decompose(&q4.pattern.triples, &sources, &analysis)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_store, bench_sparql, bench_join, bench_lade
+fn main() {
+    bench_store();
+    bench_sparql();
+    bench_join();
+    bench_lade();
 }
-criterion_main!(benches);

@@ -23,7 +23,14 @@ fn main() {
     println!("Ablation 1 — locality-aware decomposition on/off (LUBM, 4 endpoints)\n");
     let mut table = Table::new(
         "ablation_lade",
-        &["query", "LADE ms", "LADE reqs", "noLADE ms", "noLADE reqs", "rows"],
+        &[
+            "query",
+            "LADE ms",
+            "LADE reqs",
+            "noLADE ms",
+            "noLADE reqs",
+            "rows",
+        ],
     );
     let with_lade = Lusail::default();
     let without = Lusail::new(LusailConfig {

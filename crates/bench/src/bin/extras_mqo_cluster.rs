@@ -46,7 +46,7 @@ fn main() {
     let before = w.federation.stats_snapshot();
     let t0 = Instant::now();
     let engine = Lusail::default();
-    let (_, report) = engine.execute_batch(&w.federation, &family);
+    let (_, report) = engine.execute_batch(&w.federation, &family).unwrap();
     let mqo_ms = t0.elapsed().as_secs_f64() * 1e3;
     let mqo = w.federation.stats_snapshot().since(&before);
     table.row(vec![
@@ -80,7 +80,7 @@ fn main() {
         // Warm-up primes each machine's caches.
         let _ = cluster.execute_workload(&w.federation, &workload);
         let t0 = Instant::now();
-        let results = cluster.execute_workload(&w.federation, &workload);
+        let results = cluster.execute_workload(&w.federation, &workload).unwrap();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         assert_eq!(results.len(), workload.len());
         table.row(vec![

@@ -28,12 +28,18 @@ fn main() {
     let engine = Lusail::default();
     let mut table = Table::new(
         "fig10a_phases",
-        &["query", "source sel (ms)", "analysis (ms)", "execution (ms)", "total (ms)"],
+        &[
+            "query",
+            "source sel (ms)",
+            "analysis (ms)",
+            "execution (ms)",
+            "total (ms)",
+        ],
     );
     for name in ["S10", "C4", "B1"] {
         let nq = w.query(name);
         engine.clear_caches(); // cold, like the paper's profile runs
-        let r = engine.execute(&w.federation, &nq.query);
+        let r = engine.execute(&w.federation, &nq.query).unwrap();
         table.row(vec![
             name.to_string(),
             format!("{:.2}", r.metrics.source_selection.as_secs_f64() * 1e3),
@@ -76,14 +82,14 @@ fn main() {
             // measure.
             let cached_engine = Lusail::default();
             let _ = cached_engine.execute(&w.federation, &nq.query);
-            let r = cached_engine.execute(&w.federation, &nq.query);
+            let r = cached_engine.execute(&w.federation, &nq.query).unwrap();
 
             // Uncached: caches disabled entirely.
             let uncached_engine = Lusail::new(LusailConfig {
                 use_cache: false,
                 ..Default::default()
             });
-            let ru = uncached_engine.execute(&w.federation, &nq.query);
+            let ru = uncached_engine.execute(&w.federation, &nq.query).unwrap();
 
             table.row(vec![
                 n.to_string(),

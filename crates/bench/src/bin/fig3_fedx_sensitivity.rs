@@ -73,7 +73,7 @@ fn main() {
         let mut fed = Federation::new(Arc::clone(w.federation.dict()));
         let order = ["Diseasome", "DrugBank", "DailyMed", "Sider"];
         for name in order.iter().take(n) {
-            let (_, ep) = w.federation.by_name(name).expect("endpoint");
+            let (_, ep) = w.federation.endpoint_by_name(name).expect("endpoint");
             fed.add(Arc::clone(ep));
         }
         let drug = &w.query("Drug").query;

@@ -51,7 +51,13 @@ fn main() {
 
     let mut table = Table::new(
         "fig9_delay_thresholds",
-        &["category", "mu (s)", "mu+sigma (s)", "mu+2sigma (s)", "outliers (s)"],
+        &[
+            "category",
+            "mu (s)",
+            "mu+sigma (s)",
+            "mu+2sigma (s)",
+            "outliers (s)",
+        ],
     );
     for cat in ["simple", "complex", "large"] {
         let mut cells = vec![cat.to_string()];

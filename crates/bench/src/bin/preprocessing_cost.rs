@@ -19,7 +19,13 @@ fn main() {
     println!("Data preprocessing cost (index-based systems only)\n");
     let mut table = Table::new(
         "preprocessing_cost",
-        &["benchmark", "triples", "SPLENDID VOID (ms)", "HiBISCuS authorities (ms)", "Lusail/FedX"],
+        &[
+            "benchmark",
+            "triples",
+            "SPLENDID VOID (ms)",
+            "HiBISCuS authorities (ms)",
+            "Lusail/FedX",
+        ],
     );
 
     let q = qfed::generate(&qfed::QfedConfig::default());

@@ -27,9 +27,7 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
-    println!(
-        "Scalability with endpoint count (LUBM; timeout {timeout_secs}s per engine/query)\n"
-    );
+    println!("Scalability with endpoint count (LUBM; timeout {timeout_secs}s per engine/query)\n");
 
     for qname in ["Q2", "Q4"] {
         println!("--- {qname} ---\n");

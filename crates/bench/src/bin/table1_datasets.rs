@@ -15,7 +15,12 @@ use lusail_endpoint::SparqlEndpoint;
 fn main() {
     let mut table = Table::new(
         "table1_datasets",
-        &["benchmark", "endpoint", "triples (this repo)", "triples (paper)"],
+        &[
+            "benchmark",
+            "endpoint",
+            "triples (this repo)",
+            "triples (paper)",
+        ],
     );
 
     let q = qfed::generate(&qfed::QfedConfig::default());

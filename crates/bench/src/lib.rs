@@ -21,6 +21,9 @@ pub struct RunResult {
     pub requests: StatsSnapshot,
     /// The solutions (`None` on timeout).
     pub solutions: Option<SolutionSet>,
+    /// False when endpoint failures degraded the run to a partial answer
+    /// (also false on timeout).
+    pub complete: bool,
 }
 
 impl RunResult {
@@ -71,20 +74,24 @@ pub fn run_with_timeout(
         let fed = fed.clone();
         let query = query.clone();
         std::thread::spawn(move || {
-            let sols = engine.run(&fed, &query);
-            let _ = tx.send(sols);
+            let outcome = engine
+                .run(&fed, &query)
+                .expect("bench federations are non-empty");
+            let _ = tx.send(outcome);
         });
     }
     match rx.recv_timeout(timeout) {
-        Ok(sols) => RunResult {
+        Ok(outcome) => RunResult {
             elapsed: start.elapsed(),
             requests: fed.stats_snapshot().since(&before),
-            solutions: Some(sols),
+            solutions: Some(outcome.solutions),
+            complete: outcome.complete,
         },
         Err(_) => RunResult {
             elapsed: start.elapsed(),
             requests: fed.stats_snapshot().since(&before),
             solutions: None,
+            complete: false,
         },
     }
 }
@@ -93,11 +100,14 @@ pub fn run_with_timeout(
 pub fn run(engine: &dyn FederatedEngine, fed: &Federation, query: &Query) -> RunResult {
     let before = fed.stats_snapshot();
     let start = Instant::now();
-    let sols = engine.run(fed, query);
+    let outcome = engine
+        .run(fed, query)
+        .expect("bench federations are non-empty");
     RunResult {
         elapsed: start.elapsed(),
         requests: fed.stats_snapshot().since(&before),
-        solutions: Some(sols),
+        solutions: Some(outcome.solutions),
+        complete: outcome.complete,
     }
 }
 
@@ -172,7 +182,10 @@ impl Table {
             s
         };
         println!("{}", line(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for r in &self.rows {
             println!("{}", line(r));
         }
@@ -229,7 +242,9 @@ pub fn compare_engines(
             } else {
                 run_with_timeout(engine, fed, query, timeout)
             };
-            if let Some(sols) = &r.solutions {
+            // Incomplete (degraded) answers are legitimately partial:
+            // they neither set the reference nor get cross-checked.
+            if let (Some(sols), true) = (&r.solutions, r.complete) {
                 let canon = sols.canonicalize();
                 match &reference {
                     None => {

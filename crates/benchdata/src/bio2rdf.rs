@@ -62,8 +62,22 @@ pub fn generate(config: &Bio2RdfConfig) -> Workload {
         let gene = iri(HGNC, format!("gene/{g}"));
         add(&mut hgnc, &gene, &rdf_type, &c_gene);
         add(&mut hgnc, &gene, &p_symbol, &symbol(g));
-        add(&mut hgnc, &gene, &p_hname, &Term::lit(format!("human gene {g}")));
-        add(&mut hgnc, &gene, &p_status, &Term::lit(if g % 10 == 0 { "provisional" } else { "approved" }));
+        add(
+            &mut hgnc,
+            &gene,
+            &p_hname,
+            &Term::lit(format!("human gene {g}")),
+        );
+        add(
+            &mut hgnc,
+            &gene,
+            &p_status,
+            &Term::lit(if g % 10 == 0 {
+                "provisional"
+            } else {
+                "approved"
+            }),
+        );
     }
 
     // --- MGI: mouse orthologs (shares the symbol pool) ------------------
@@ -78,7 +92,12 @@ pub fn generate(config: &Bio2RdfConfig) -> Workload {
         let marker = iri(MGI, format!("marker/{g}"));
         add(&mut mgi, &marker, &rdf_type, &c_marker);
         add(&mut mgi, &marker, &p_msymbol, &symbol(g));
-        add(&mut mgi, &marker, &p_mname, &Term::lit(format!("mouse marker {g}")));
+        add(
+            &mut mgi,
+            &marker,
+            &p_mname,
+            &Term::lit(format!("mouse marker {g}")),
+        );
     }
 
     // --- DrugBank: drugs with gene targets ------------------------------
@@ -89,9 +108,19 @@ pub fn generate(config: &Bio2RdfConfig) -> Workload {
     for d in 0..config.drugs {
         let drug = iri(DRUGBANK, format!("drug/{d}"));
         add(&mut drugbank, &drug, &rdf_type, &c_drug);
-        add(&mut drugbank, &drug, &p_dname, &Term::lit(format!("biodrug {d}")));
+        add(
+            &mut drugbank,
+            &drug,
+            &p_dname,
+            &Term::lit(format!("biodrug {d}")),
+        );
         for _ in 0..1 + rng.below(3) {
-            add(&mut drugbank, &drug, &p_target_symbol, &symbol(rng.below(config.genes)));
+            add(
+                &mut drugbank,
+                &drug,
+                &p_target_symbol,
+                &symbol(rng.below(config.genes)),
+            );
         }
     }
 
@@ -107,8 +136,18 @@ pub fn generate(config: &Bio2RdfConfig) -> Workload {
         let ann = iri(PGKB, format!("ann/{a}"));
         add(&mut pgkb, &ann, &rdf_type, &c_ann);
         // Interlink: PharmGKB → HGNC.
-        add(&mut pgkb, &ann, &p_gene_xref, &iri(HGNC, format!("gene/{}", a % config.genes)));
-        add(&mut pgkb, &ann, &p_evidence, &Term::lit(format!("level {}", 1 + a % 4)));
+        add(
+            &mut pgkb,
+            &ann,
+            &p_gene_xref,
+            &iri(HGNC, format!("gene/{}", a % config.genes)),
+        );
+        add(
+            &mut pgkb,
+            &ann,
+            &p_evidence,
+            &Term::lit(format!("level {}", 1 + a % 4)),
+        );
     }
 
     // --- OMIM: disorders linked to genes and drugs -----------------------
@@ -123,12 +162,27 @@ pub fn generate(config: &Bio2RdfConfig) -> Workload {
         }
         let disorder = iri(OMIM, format!("disorder/{o}"));
         add(&mut omim, &disorder, &rdf_type, &c_disorder);
-        add(&mut omim, &disorder, &p_title, &Term::lit(format!("disorder {o}")));
+        add(
+            &mut omim,
+            &disorder,
+            &p_title,
+            &Term::lit(format!("disorder {o}")),
+        );
         // Interlink: OMIM → HGNC.
-        add(&mut omim, &disorder, &p_ogene, &iri(HGNC, format!("gene/{o}")));
+        add(
+            &mut omim,
+            &disorder,
+            &p_ogene,
+            &iri(HGNC, format!("gene/{o}")),
+        );
         // Interlink: OMIM → DrugBank.
         if rng.chance(0.5) {
-            add(&mut omim, &disorder, &p_odrug, &iri(DRUGBANK, format!("drug/{}", rng.below(config.drugs))));
+            add(
+                &mut omim,
+                &disorder,
+                &p_odrug,
+                &iri(DRUGBANK, format!("drug/{}", rng.below(config.drugs))),
+            );
         }
     }
 

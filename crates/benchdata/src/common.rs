@@ -51,16 +51,20 @@ impl Workload {
                 true
             });
         }
-        let mut federation = Federation::new(Arc::clone(&dict));
+        let mut builder = Federation::builder(Arc::clone(&dict));
         let mut endpoints = Vec::with_capacity(stores.len());
         for (i, (name, store)) in stores.into_iter().enumerate() {
+            // Endpoints are built outside the builder because the bench
+            // harness needs the concrete [`LocalEndpoint`] handles (the
+            // index-building baselines preprocess endpoint data directly).
             let ep = match &profiles {
                 Some(ps) => Arc::new(LocalEndpoint::with_profile(name, store, ps[i])),
                 None => Arc::new(LocalEndpoint::new(name, store)),
             };
-            federation.add(Arc::clone(&ep) as Arc<dyn SparqlEndpoint>);
+            builder = builder.custom(Arc::clone(&ep) as Arc<dyn SparqlEndpoint>);
             endpoints.push(ep);
         }
+        let federation = builder.build();
         let queries = queries
             .into_iter()
             .map(|(name, text)| {

@@ -121,10 +121,30 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for i in 0..n_patients {
         let p = iri(TCGA, format!("patient/{i}"));
         add(&mut tcga_a, &p, &rdf_type, &c_patient);
-        add(&mut tcga_a, &p, &p_barcode, &Term::lit(format!("TCGA-{i:05}")));
-        add(&mut tcga_a, &p, &p_disease, &Term::lit(DISEASES[i % DISEASES.len()]));
-        add(&mut tcga_a, &p, &p_gender, &Term::lit(if i % 2 == 0 { "male" } else { "female" }));
-        add(&mut tcga_a, &p, &p_country, &Term::lit(COUNTRIES[i % COUNTRIES.len()]));
+        add(
+            &mut tcga_a,
+            &p,
+            &p_barcode,
+            &Term::lit(format!("TCGA-{i:05}")),
+        );
+        add(
+            &mut tcga_a,
+            &p,
+            &p_disease,
+            &Term::lit(DISEASES[i % DISEASES.len()]),
+        );
+        add(
+            &mut tcga_a,
+            &p,
+            &p_gender,
+            &Term::lit(if i % 2 == 0 { "male" } else { "female" }),
+        );
+        add(
+            &mut tcga_a,
+            &p,
+            &p_country,
+            &Term::lit(COUNTRIES[i % COUNTRIES.len()]),
+        );
     }
 
     // --- LinkedTCGA-M: methylation results ------------------------------
@@ -135,7 +155,12 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for j in 0..n_meth {
         let m = iri(TCGA, format!("meth/{j}"));
         // Interlink: methylation results reference TCGA-A patient IRIs.
-        add(&mut tcga_m, &m, &p_meth_patient, &iri(TCGA, format!("patient/{}", j % n_patients)));
+        add(
+            &mut tcga_m,
+            &m,
+            &p_meth_patient,
+            &iri(TCGA, format!("patient/{}", j % n_patients)),
+        );
         add(&mut tcga_m, &m, &p_gene_symbol, &gene(rng.below(n_genes)));
         add(&mut tcga_m, &m, &p_beta, &Term::int(rng.below(100) as i64));
     }
@@ -146,7 +171,12 @@ pub fn generate(config: &LrbConfig) -> Workload {
     let p_rpkm = iri(TCGA, "rpkm".into());
     for j in 0..n_expr {
         let e = iri(TCGA, format!("expr/{j}"));
-        add(&mut tcga_e, &e, &p_expr_patient, &iri(TCGA, format!("patient/{}", j % n_patients)));
+        add(
+            &mut tcga_e,
+            &e,
+            &p_expr_patient,
+            &iri(TCGA, format!("patient/{}", j % n_patients)),
+        );
         add(&mut tcga_e, &e, &p_gene_symbol, &gene(rng.below(n_genes)));
         add(&mut tcga_e, &e, &p_rpkm, &Term::int(rng.below(120) as i64));
     }
@@ -159,8 +189,18 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for c in 0..n_chebi {
         let comp = iri(CHEBI, format!("compound/{c}"));
         add(&mut chebi, &comp, &rdf_type, &c_compound);
-        add(&mut chebi, &comp, &p_title, &Term::lit(format!("compound {c}")));
-        add(&mut chebi, &comp, &p_mass, &Term::int((50 + rng.below(900)) as i64));
+        add(
+            &mut chebi,
+            &comp,
+            &p_title,
+            &Term::lit(format!("compound {c}")),
+        );
+        add(
+            &mut chebi,
+            &comp,
+            &p_mass,
+            &Term::int((50 + rng.below(900)) as i64),
+        );
     }
 
     // --- KEGG --------------------------------------------------------------
@@ -171,10 +211,20 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for k in 0..n_kegg {
         let comp = iri(KEGG, format!("compound/{k}"));
         add(&mut kegg, &comp, &rdf_type, &c_kcompound);
-        add(&mut kegg, &comp, &p_formula, &Term::lit(format!("C{}H{}O{}", k % 30, k % 50, k % 10)));
+        add(
+            &mut kegg,
+            &comp,
+            &p_formula,
+            &Term::lit(format!("C{}H{}O{}", k % 30, k % 50, k % 10)),
+        );
         if rng.chance(0.7) {
             // Interlink: KEGG → ChEBI.
-            add(&mut kegg, &comp, &p_xref, &iri(CHEBI, format!("compound/{}", rng.below(n_chebi))));
+            add(
+                &mut kegg,
+                &comp,
+                &p_xref,
+                &iri(CHEBI, format!("compound/{}", rng.below(n_chebi))),
+            );
         }
     }
 
@@ -188,16 +238,36 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for i in 0..n_drugs {
         let d = iri(DRUGBANK, format!("drugs/{i}"));
         add(&mut drugbank, &d, &rdf_type, &c_drug);
-        add(&mut drugbank, &d, &p_generic, &Term::lit(format!("drugname {i}")));
-        add(&mut drugbank, &d, &p_cas, &Term::lit(format!("{}-{}-{}", 50 + i, i % 90, i % 9)));
+        add(
+            &mut drugbank,
+            &d,
+            &p_generic,
+            &Term::lit(format!("drugname {i}")),
+        );
+        add(
+            &mut drugbank,
+            &d,
+            &p_cas,
+            &Term::lit(format!("{}-{}-{}", 50 + i, i % 90, i % 9)),
+        );
         add(&mut drugbank, &d, &p_target_gene, &gene(rng.below(n_genes)));
         if rng.chance(0.6) {
             // Interlink: DrugBank → KEGG.
-            add(&mut drugbank, &d, &p_kegg_id, &iri(KEGG, format!("compound/{}", rng.below(n_kegg))));
+            add(
+                &mut drugbank,
+                &d,
+                &p_kegg_id,
+                &iri(KEGG, format!("compound/{}", rng.below(n_kegg))),
+            );
         }
         if rng.chance(0.5) {
             // Interlink: DrugBank → DBpedia.
-            add(&mut drugbank, &d, &same_as, &iri(DBP, format!("drug/{}", i % n_dbp_drugs)));
+            add(
+                &mut drugbank,
+                &d,
+                &same_as,
+                &iri(DBP, format!("drug/{}", i % n_dbp_drugs)),
+            );
         }
     }
 
@@ -210,27 +280,57 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for i in 0..n_dbp_drugs {
         let d = iri(DBP, format!("drug/{i}"));
         add(&mut dbpedia, &d, &rdf_type, &c_dbp_drug);
-        add(&mut dbpedia, &d, &rdfs_label, &Term::lit(format!("dbpedia drug {i}")));
+        add(
+            &mut dbpedia,
+            &d,
+            &rdfs_label,
+            &Term::lit(format!("dbpedia drug {i}")),
+        );
     }
     let p_director = iri(DBP, "director".into());
     for f in 0..n_films {
         let film = iri(DBP, format!("film/{f}"));
         add(&mut dbpedia, &film, &rdf_type, &c_film);
-        add(&mut dbpedia, &film, &rdfs_label, &Term::lit(format!("dbpedia film {f}")));
-        add(&mut dbpedia, &film, &p_director, &iri(DBP, format!("person/{}", f % n_persons)));
+        add(
+            &mut dbpedia,
+            &film,
+            &rdfs_label,
+            &Term::lit(format!("dbpedia film {f}")),
+        );
+        add(
+            &mut dbpedia,
+            &film,
+            &p_director,
+            &iri(DBP, format!("person/{}", f % n_persons)),
+        );
     }
     for p in 0..n_persons {
         let person = iri(DBP, format!("person/{p}"));
         add(&mut dbpedia, &person, &rdf_type, &c_person);
-        add(&mut dbpedia, &person, &rdfs_label, &Term::lit(format!("dbpedia person {p}")));
+        add(
+            &mut dbpedia,
+            &person,
+            &rdfs_label,
+            &Term::lit(format!("dbpedia person {p}")),
+        );
     }
     for l in 0..n_places {
         let place = iri(DBP, format!("place/{l}"));
         add(&mut dbpedia, &place, &rdf_type, &c_place);
-        add(&mut dbpedia, &place, &rdfs_label, &Term::lit(format!("dbpedia place {l}")));
+        add(
+            &mut dbpedia,
+            &place,
+            &rdfs_label,
+            &Term::lit(format!("dbpedia place {l}")),
+        );
         if rng.chance(0.5) {
             // Interlink: DBpedia → GeoNames.
-            add(&mut dbpedia, &place, &same_as, &iri(GEO, format!("loc/{}", rng.below(n_geo))));
+            add(
+                &mut dbpedia,
+                &place,
+                &same_as,
+                &iri(GEO, format!("loc/{}", rng.below(n_geo))),
+            );
         }
     }
 
@@ -243,9 +343,24 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for l in 0..n_geo {
         let loc = iri(GEO, format!("loc/{l}"));
         add(&mut geonames, &loc, &rdf_type, &c_feature);
-        add(&mut geonames, &loc, &p_gname, &Term::lit(format!("location {l}")));
-        add(&mut geonames, &loc, &p_cc, &Term::lit(COUNTRIES[l % COUNTRIES.len()]));
-        add(&mut geonames, &loc, &p_pop, &Term::int((rng.below(5_000_000)) as i64));
+        add(
+            &mut geonames,
+            &loc,
+            &p_gname,
+            &Term::lit(format!("location {l}")),
+        );
+        add(
+            &mut geonames,
+            &loc,
+            &p_cc,
+            &Term::lit(COUNTRIES[l % COUNTRIES.len()]),
+        );
+        add(
+            &mut geonames,
+            &loc,
+            &p_pop,
+            &Term::int((rng.below(5_000_000)) as i64),
+        );
     }
 
     // --- Jamendo -----------------------------------------------------------------
@@ -258,9 +373,19 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for a in 0..n_artists {
         let artist = iri(JAM, format!("artist/{a}"));
         add(&mut jamendo, &artist, &rdf_type, &c_artist);
-        add(&mut jamendo, &artist, &p_jname, &Term::lit(format!("artist {a}")));
+        add(
+            &mut jamendo,
+            &artist,
+            &p_jname,
+            &Term::lit(format!("artist {a}")),
+        );
         // Interlink: Jamendo → GeoNames.
-        add(&mut jamendo, &artist, &p_near, &iri(GEO, format!("loc/{}", rng.below(n_geo))));
+        add(
+            &mut jamendo,
+            &artist,
+            &p_near,
+            &iri(GEO, format!("loc/{}", rng.below(n_geo))),
+        );
         let record = iri(JAM, format!("record/{a}"));
         add(&mut jamendo, &record, &rdf_type, &c_record);
         add(&mut jamendo, &record, &p_maker, &artist);
@@ -275,13 +400,28 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for f in 0..n_mfilms {
         let film = iri(LMDB, format!("film/{f}"));
         add(&mut lmdb, &film, &rdf_type, &c_mfilm);
-        add(&mut lmdb, &film, &p_mtitle, &Term::lit(format!("movie {f}")));
+        add(
+            &mut lmdb,
+            &film,
+            &p_mtitle,
+            &Term::lit(format!("movie {f}")),
+        );
         let dir = iri(LMDB, format!("director/{}", f % (n_mfilms / 4).max(1)));
         add(&mut lmdb, &film, &p_mdirector, &dir);
-        add(&mut lmdb, &dir, &p_dname, &Term::lit(format!("director {}", f % (n_mfilms / 4).max(1))));
+        add(
+            &mut lmdb,
+            &dir,
+            &p_dname,
+            &Term::lit(format!("director {}", f % (n_mfilms / 4).max(1))),
+        );
         if rng.chance(0.6) {
             // Interlink: LinkedMDB → DBpedia.
-            add(&mut lmdb, &film, &same_as, &iri(DBP, format!("film/{}", f % n_films)));
+            add(
+                &mut lmdb,
+                &film,
+                &same_as,
+                &iri(DBP, format!("film/{}", f % n_films)),
+            );
         }
     }
 
@@ -293,13 +433,33 @@ pub fn generate(config: &LrbConfig) -> Workload {
     for e in 0..n_nyt {
         let ent = iri(NYT, format!("entity/{e}"));
         add(&mut nyt, &ent, &rdf_type, &c_entity);
-        add(&mut nyt, &ent, &p_nname, &Term::lit(format!("nyt entity {e}")));
-        add(&mut nyt, &ent, &p_articles, &Term::int(rng.below(500) as i64));
+        add(
+            &mut nyt,
+            &ent,
+            &p_nname,
+            &Term::lit(format!("nyt entity {e}")),
+        );
+        add(
+            &mut nyt,
+            &ent,
+            &p_articles,
+            &Term::int(rng.below(500) as i64),
+        );
         // Interlink: NYT → DBpedia persons or GeoNames locations.
         if e % 2 == 0 {
-            add(&mut nyt, &ent, &same_as, &iri(DBP, format!("person/{}", e % n_persons)));
+            add(
+                &mut nyt,
+                &ent,
+                &same_as,
+                &iri(DBP, format!("person/{}", e % n_persons)),
+            );
         } else {
-            add(&mut nyt, &ent, &same_as, &iri(GEO, format!("loc/{}", rng.below(n_geo))));
+            add(
+                &mut nyt,
+                &ent,
+                &same_as,
+                &iri(GEO, format!("loc/{}", rng.below(n_geo))),
+            );
         }
     }
 
@@ -311,19 +471,44 @@ pub fn generate(config: &LrbConfig) -> Workload {
     let p_aname = iri(SWDF, "name".into());
     for a in 0..n_authors {
         let author = iri(SWDF, format!("author/{a}"));
-        add(&mut swdf, &author, &p_aname, &Term::lit(format!("author {a}")));
+        add(
+            &mut swdf,
+            &author,
+            &p_aname,
+            &Term::lit(format!("author {a}")),
+        );
         if rng.chance(0.4) {
             // Interlink: SWDF → DBpedia.
-            add(&mut swdf, &author, &same_as, &iri(DBP, format!("person/{}", a % n_persons)));
+            add(
+                &mut swdf,
+                &author,
+                &same_as,
+                &iri(DBP, format!("person/{}", a % n_persons)),
+            );
         }
     }
     for p in 0..n_papers {
         let paper = iri(SWDF, format!("paper/{p}"));
         add(&mut swdf, &paper, &rdf_type, &c_paper);
-        add(&mut swdf, &paper, &p_ptitle, &Term::lit(format!("paper {p}")));
-        add(&mut swdf, &paper, &p_author, &iri(SWDF, format!("author/{}", p % n_authors)));
+        add(
+            &mut swdf,
+            &paper,
+            &p_ptitle,
+            &Term::lit(format!("paper {p}")),
+        );
+        add(
+            &mut swdf,
+            &paper,
+            &p_author,
+            &iri(SWDF, format!("author/{}", p % n_authors)),
+        );
         if p % 3 == 0 {
-            add(&mut swdf, &paper, &p_author, &iri(SWDF, format!("author/{}", (p + 1) % n_authors)));
+            add(
+                &mut swdf,
+                &paper,
+                &p_author,
+                &iri(SWDF, format!("author/{}", (p + 1) % n_authors)),
+            );
         }
     }
 
@@ -336,7 +521,12 @@ pub fn generate(config: &LrbConfig) -> Workload {
         let probe = iri(AFFY, format!("probe/{pr}"));
         add(&mut affy, &probe, &rdf_type, &c_probe);
         add(&mut affy, &probe, &p_symbol, &gene(pr % n_genes));
-        add(&mut affy, &probe, &p_chromosome, &Term::lit(format!("chr{}", 1 + pr % 5)));
+        add(
+            &mut affy,
+            &probe,
+            &p_chromosome,
+            &Term::lit(format!("chr{}", 1 + pr % 5)),
+        );
     }
 
     let stores = vec![
@@ -374,58 +564,102 @@ pub fn queries() -> Vec<(&'static str, String)> {
     let q = |body: &str| format!("SELECT * WHERE {{ {body} }}");
     vec![
         // ---------------- simple ----------------
-        ("S1", q("?d a <http://drugbank.org/class/drugs> . \
+        (
+            "S1",
+            q("?d a <http://drugbank.org/class/drugs> . \
                   ?d <http://www.w3.org/2002/07/owl#sameAs> ?dbp . \
                   ?dbp a <http://dbpedia.org/Drug> . \
-                  ?dbp <http://www.w3.org/2000/01/rdf-schema#label> ?l")),
-        ("S2", q("?e a <http://nytimes.org/Entity> . \
+                  ?dbp <http://www.w3.org/2000/01/rdf-schema#label> ?l"),
+        ),
+        (
+            "S2",
+            q("?e a <http://nytimes.org/Entity> . \
                   ?e <http://www.w3.org/2002/07/owl#sameAs> ?p . \
                   ?p a <http://dbpedia.org/Person> . \
-                  ?p <http://www.w3.org/2000/01/rdf-schema#label> ?n")),
-        ("S3", q("?f a <http://linkedmdb.org/Film> . \
+                  ?p <http://www.w3.org/2000/01/rdf-schema#label> ?n"),
+        ),
+        (
+            "S3",
+            q("?f a <http://linkedmdb.org/Film> . \
                   ?f <http://www.w3.org/2002/07/owl#sameAs> ?df . \
-                  ?df <http://www.w3.org/2000/01/rdf-schema#label> ?n")),
-        ("S4", q("?a a <http://jamendo.org/MusicArtist> . \
+                  ?df <http://www.w3.org/2000/01/rdf-schema#label> ?n"),
+        ),
+        (
+            "S4",
+            q("?a a <http://jamendo.org/MusicArtist> . \
                   ?a <http://jamendo.org/name> ?n . \
                   ?a <http://jamendo.org/based_near> ?loc . \
-                  ?loc <http://geonames.org/name> ?ln")),
-        ("S5", q("?d a <http://drugbank.org/class/drugs> . \
+                  ?loc <http://geonames.org/name> ?ln"),
+        ),
+        (
+            "S5",
+            q("?d a <http://drugbank.org/class/drugs> . \
                   ?d <http://drugbank.org/p/keggCompoundId> ?k . \
-                  ?k <http://kegg.org/formula> ?f")),
-        ("S6", q("?k a <http://kegg.org/Compound> . \
+                  ?k <http://kegg.org/formula> ?f"),
+        ),
+        (
+            "S6",
+            q("?k a <http://kegg.org/Compound> . \
                   ?k <http://kegg.org/xRef> ?c . \
-                  ?c <http://chebi.org/title> ?t")),
-        ("S7", q("?d a <http://drugbank.org/class/drugs> . \
+                  ?c <http://chebi.org/title> ?t"),
+        ),
+        (
+            "S7",
+            q("?d a <http://drugbank.org/class/drugs> . \
                   ?d <http://drugbank.org/p/keggCompoundId> ?k . \
                   ?k <http://kegg.org/xRef> ?c . \
-                  ?c <http://chebi.org/title> ?t")),
-        ("S8", q("?p a <http://swdf.org/InProceedings> . \
+                  ?c <http://chebi.org/title> ?t"),
+        ),
+        (
+            "S8",
+            q("?p a <http://swdf.org/InProceedings> . \
                   ?p <http://swdf.org/author> ?a . \
-                  ?a <http://swdf.org/name> ?n")),
-        ("S9", q("?l <http://geonames.org/countryCode> \"US\" . \
+                  ?a <http://swdf.org/name> ?n"),
+        ),
+        (
+            "S9",
+            q("?l <http://geonames.org/countryCode> \"US\" . \
                   ?l <http://geonames.org/name> ?n . \
                   ?e <http://www.w3.org/2002/07/owl#sameAs> ?l . \
-                  ?e <http://nytimes.org/name> ?en")),
-        ("S10", q("?d <http://drugbank.org/p/genericName> ?n . \
+                  ?e <http://nytimes.org/name> ?en"),
+        ),
+        (
+            "S10",
+            q("?d <http://drugbank.org/p/genericName> ?n . \
                    ?d <http://www.w3.org/2002/07/owl#sameAs> ?dbp . \
-                   ?dbp <http://www.w3.org/2000/01/rdf-schema#label> ?l")),
-        ("S11", q("?f a <http://linkedmdb.org/Film> . \
+                   ?dbp <http://www.w3.org/2000/01/rdf-schema#label> ?l"),
+        ),
+        (
+            "S11",
+            q("?f a <http://linkedmdb.org/Film> . \
                    ?f <http://linkedmdb.org/director> ?dir . \
-                   ?dir <http://linkedmdb.org/directorName> ?n")),
-        ("S12", q("?p a <http://tcga.org/Patient> . \
+                   ?dir <http://linkedmdb.org/directorName> ?n"),
+        ),
+        (
+            "S12",
+            q("?p a <http://tcga.org/Patient> . \
                    ?p <http://tcga.org/disease> \"BRCA\" . \
                    ?p <http://tcga.org/gender> ?g . \
-                   ?p <http://tcga.org/bcr_patient_barcode> ?b")),
-        ("S13", q("?pr a <http://affymetrix.org/Probeset> . \
+                   ?p <http://tcga.org/bcr_patient_barcode> ?b"),
+        ),
+        (
+            "S13",
+            q("?pr a <http://affymetrix.org/Probeset> . \
                    ?pr <http://affymetrix.org/symbol> ?s . \
                    ?m <http://tcga.org/gene_symbol> ?s . \
-                   ?m <http://tcga.org/beta_value> ?v")),
-        ("S14", q("?p a <http://tcga.org/Patient> . \
+                   ?m <http://tcga.org/beta_value> ?v"),
+        ),
+        (
+            "S14",
+            q("?p a <http://tcga.org/Patient> . \
                    ?p <http://tcga.org/country> ?c . \
                    ?l <http://geonames.org/countryCode> ?c . \
-                   ?l <http://geonames.org/population> ?pop")),
+                   ?l <http://geonames.org/population> ?pop"),
+        ),
         // ---------------- complex ----------------
-        ("C1", q("?p a <http://tcga.org/Patient> . \
+        (
+            "C1",
+            q("?p a <http://tcga.org/Patient> . \
                   ?p <http://tcga.org/disease> \"GBM\" . \
                   ?p <http://tcga.org/bcr_patient_barcode> ?b . \
                   ?m <http://tcga.org/methPatient> ?p . \
@@ -433,22 +667,29 @@ pub fn queries() -> Vec<(&'static str, String)> {
                   ?m <http://tcga.org/beta_value> ?bv . \
                   ?pr <http://affymetrix.org/symbol> ?s . \
                   ?pr <http://affymetrix.org/chromosome> ?chr . \
-                  FILTER (?bv > 50)")),
-        ("C2", q("?d a <http://drugbank.org/class/drugs> . \
+                  FILTER (?bv > 50)"),
+        ),
+        (
+            "C2",
+            q("?d a <http://drugbank.org/class/drugs> . \
                   ?d <http://drugbank.org/p/genericName> ?n . \
                   ?d <http://drugbank.org/p/casRegistryNumber> ?cas . \
                   ?d <http://drugbank.org/p/keggCompoundId> ?k . \
                   ?k <http://kegg.org/formula> ?f . \
                   ?k <http://kegg.org/xRef> ?c . \
                   ?c <http://chebi.org/title> ?t . \
-                  FILTER (CONTAINS(STR(?n), \"drugname 11\"))")),
-        ("C3", q("?d a <http://drugbank.org/class/drugs> . \
+                  FILTER (CONTAINS(STR(?n), \"drugname 11\"))"),
+        ),
+        (
+            "C3",
+            q("?d a <http://drugbank.org/class/drugs> . \
                   ?d <http://drugbank.org/p/genericName> ?n . \
                   ?d <http://www.w3.org/2002/07/owl#sameAs> ?dbp . \
                   ?dbp a <http://dbpedia.org/Drug> . \
                   ?dbp <http://www.w3.org/2000/01/rdf-schema#label> ?l . \
                   OPTIONAL { ?d <http://drugbank.org/p/targetGene> ?g } \
-                  FILTER (CONTAINS(STR(?l), \"drug\"))")),
+                  FILTER (CONTAINS(STR(?l), \"drug\"))"),
+        ),
         (
             "C4",
             "SELECT * WHERE { \
@@ -458,69 +699,103 @@ pub fn queries() -> Vec<(&'static str, String)> {
                  ?dir <http://linkedmdb.org/directorName> ?dn . \
                  ?f <http://www.w3.org/2002/07/owl#sameAs> ?df . \
                  ?df a <http://dbpedia.org/Film> . \
-                 ?df <http://www.w3.org/2000/01/rdf-schema#label> ?l } LIMIT 50".to_string(),
+                 ?df <http://www.w3.org/2000/01/rdf-schema#label> ?l } LIMIT 50"
+                .to_string(),
         ),
-        ("C6", q("?a a <http://jamendo.org/MusicArtist> . \
+        (
+            "C6",
+            q("?a a <http://jamendo.org/MusicArtist> . \
                   ?a <http://jamendo.org/name> ?n . \
                   ?a <http://jamendo.org/based_near> ?loc . \
                   ?loc <http://geonames.org/name> ?ln . \
                   { ?loc <http://geonames.org/countryCode> \"US\" } UNION \
                   { ?loc <http://geonames.org/countryCode> \"DE\" } \
                   ?loc <http://geonames.org/population> ?pop . \
-                  FILTER (?pop > 1000)")),
-        ("C7", q("?p a <http://tcga.org/Patient> . \
+                  FILTER (?pop > 1000)"),
+        ),
+        (
+            "C7",
+            q("?p a <http://tcga.org/Patient> . \
                   ?p <http://tcga.org/disease> \"OV\" . \
                   ?e <http://tcga.org/exprPatient> ?p . \
                   ?e <http://tcga.org/gene_symbol> ?s . \
                   ?e <http://tcga.org/rpkm> ?r . \
-                  FILTER (?r > 80)")),
-        ("C8", q("?e a <http://nytimes.org/Entity> . \
+                  FILTER (?r > 80)"),
+        ),
+        (
+            "C8",
+            q("?e a <http://nytimes.org/Entity> . \
                   ?e <http://nytimes.org/name> ?n . \
                   ?e <http://www.w3.org/2002/07/owl#sameAs> ?l . \
                   ?l <http://geonames.org/name> ?gn . \
                   ?l <http://geonames.org/countryCode> ?cc . \
-                  OPTIONAL { ?l <http://geonames.org/population> ?pop }")),
-        ("C9", q("?x <http://www.w3.org/2002/07/owl#sameAs> ?y . \
+                  OPTIONAL { ?l <http://geonames.org/population> ?pop }"),
+        ),
+        (
+            "C9",
+            q("?x <http://www.w3.org/2002/07/owl#sameAs> ?y . \
                   ?y <http://www.w3.org/2000/01/rdf-schema#label> ?l . \
                   { ?x a <http://nytimes.org/Entity> } UNION \
-                  { ?x a <http://linkedmdb.org/Film> }")),
-        ("C10", q("?pa a <http://swdf.org/InProceedings> . \
+                  { ?x a <http://linkedmdb.org/Film> }"),
+        ),
+        (
+            "C10",
+            q("?pa a <http://swdf.org/InProceedings> . \
                    ?pa <http://swdf.org/title> ?t . \
                    ?pa <http://swdf.org/author> ?au . \
                    ?au <http://swdf.org/name> ?an . \
                    ?au <http://www.w3.org/2002/07/owl#sameAs> ?dp . \
                    ?dp a <http://dbpedia.org/Person> . \
-                   ?dp <http://www.w3.org/2000/01/rdf-schema#label> ?dl")),
+                   ?dp <http://www.w3.org/2000/01/rdf-schema#label> ?dl"),
+        ),
         // ---------------- large ----------------
-        ("B1", q("?m <http://tcga.org/gene_symbol> ?s . \
+        (
+            "B1",
+            q("?m <http://tcga.org/gene_symbol> ?s . \
                   ?m <http://tcga.org/beta_value> ?v . \
                   ?pr <http://affymetrix.org/symbol> ?s . \
                   { ?pr <http://affymetrix.org/chromosome> \"chr1\" } UNION \
-                  { ?pr <http://affymetrix.org/chromosome> \"chr2\" }")),
-        ("B2", q("?p a <http://tcga.org/Patient> . \
+                  { ?pr <http://affymetrix.org/chromosome> \"chr2\" }"),
+        ),
+        (
+            "B2",
+            q("?p a <http://tcga.org/Patient> . \
                   ?m <http://tcga.org/methPatient> ?p . \
                   ?m <http://tcga.org/gene_symbol> ?s1 . \
                   ?e <http://tcga.org/exprPatient> ?p . \
                   ?e <http://tcga.org/gene_symbol> ?s2 . \
-                  ?e <http://tcga.org/rpkm> ?r")),
-        ("B3", q("?d a <http://drugbank.org/class/drugs> . \
+                  ?e <http://tcga.org/rpkm> ?r"),
+        ),
+        (
+            "B3",
+            q("?d a <http://drugbank.org/class/drugs> . \
                   ?d <http://drugbank.org/p/genericName> ?n . \
                   ?d <http://drugbank.org/p/keggCompoundId> ?k . \
                   ?k <http://kegg.org/formula> ?f . \
                   ?d <http://www.w3.org/2002/07/owl#sameAs> ?dbp . \
-                  ?dbp <http://www.w3.org/2000/01/rdf-schema#label> ?l")),
-        ("B4", q("?l <http://geonames.org/name> ?n . \
+                  ?dbp <http://www.w3.org/2000/01/rdf-schema#label> ?l"),
+        ),
+        (
+            "B4",
+            q("?l <http://geonames.org/name> ?n . \
                   ?l <http://geonames.org/countryCode> ?cc . \
                   ?l <http://geonames.org/population> ?pop . \
                   ?e <http://www.w3.org/2002/07/owl#sameAs> ?l . \
-                  ?e <http://nytimes.org/name> ?en")),
-        ("B7", q("?m <http://tcga.org/gene_symbol> ?s . \
+                  ?e <http://nytimes.org/name> ?en"),
+        ),
+        (
+            "B7",
+            q("?m <http://tcga.org/gene_symbol> ?s . \
                   ?pr <http://affymetrix.org/symbol> ?s . \
-                  ?pr <http://affymetrix.org/chromosome> ?c")),
-        ("B8", q("?x <http://www.w3.org/2002/07/owl#sameAs> ?y . \
+                  ?pr <http://affymetrix.org/chromosome> ?c"),
+        ),
+        (
+            "B8",
+            q("?x <http://www.w3.org/2002/07/owl#sameAs> ?y . \
                   ?y <http://geonames.org/name> ?n . \
                   ?x <http://nytimes.org/name> ?xn . \
-                  OPTIONAL { ?y <http://geonames.org/population> ?pop }")),
+                  OPTIONAL { ?y <http://geonames.org/population> ?pop }"),
+        ),
     ]
 }
 

@@ -114,13 +114,23 @@ pub fn generate(config: &LubmConfig) -> Workload {
         let mut st = TripleStore::new(Arc::clone(&dict));
         let uni = entity(k, &format!("University{k}"));
         add(&mut st, &uni, &rdf_type, &c_university);
-        add(&mut st, &uni, &p_name, &Term::lit(format!("University {k}")));
+        add(
+            &mut st,
+            &uni,
+            &p_name,
+            &Term::lit(format!("University {k}")),
+        );
 
         for d in 0..config.departments {
             let dept = entity(k, &format!("Department{d}"));
             add(&mut st, &dept, &rdf_type, &c_department);
             add(&mut st, &dept, &p_suborg, &uni);
-            add(&mut st, &dept, &p_name, &Term::lit(format!("Dept {d} of U{k}")));
+            add(
+                &mut st,
+                &dept,
+                &p_name,
+                &Term::lit(format!("Dept {d} of U{k}")),
+            );
 
             // Professors and their courses.
             let mut courses: Vec<Term> = Vec::new();
@@ -129,16 +139,26 @@ pub fn generate(config: &LubmConfig) -> Workload {
                 let prof = entity(k, &format!("Dept{d}.Professor{i}"));
                 add(&mut st, &prof, &rdf_type, &c_professor);
                 add(&mut st, &prof, &p_works_for, &dept);
-                add(&mut st, &prof, &p_name, &Term::lit(format!("Professor {i} D{d} U{k}")));
-                add(&mut st, &prof, &p_email, &Term::lit(format!("prof{i}.d{d}@univ{k}.edu")));
+                add(
+                    &mut st,
+                    &prof,
+                    &p_name,
+                    &Term::lit(format!("Professor {i} D{d} U{k}")),
+                );
+                add(
+                    &mut st,
+                    &prof,
+                    &p_email,
+                    &Term::lit(format!("prof{i}.d{d}@univ{k}.edu")),
+                );
                 // Degrees: professor 0 of department 0 always graduated
                 // locally (keeps every university self-referenced).
-                let doctoral_univ = if (i == 0 && d == 0) || !rng.chance(config.remote_degree_fraction)
-                {
-                    k
-                } else {
-                    remote_univ(k, &mut rng)
-                };
+                let doctoral_univ =
+                    if (i == 0 && d == 0) || !rng.chance(config.remote_degree_fraction) {
+                        k
+                    } else {
+                        remote_univ(k, &mut rng)
+                    };
                 let target = entity(doctoral_univ, &format!("University{doctoral_univ}"));
                 add(&mut st, &prof, &p_doctoral, &target);
                 let ug_univ = if rng.chance(config.remote_degree_fraction / 2.0) {
@@ -155,7 +175,12 @@ pub fn generate(config: &LubmConfig) -> Workload {
                 for c in 0..config.courses_per_professor {
                     let course = entity(k, &format!("Dept{d}.Course{i}_{c}"));
                     add(&mut st, &course, &rdf_type, &c_course);
-                    add(&mut st, &course, &p_name, &Term::lit(format!("Course {i}.{c} D{d} U{k}")));
+                    add(
+                        &mut st,
+                        &course,
+                        &p_name,
+                        &Term::lit(format!("Course {i}.{c} D{d} U{k}")),
+                    );
                     add(&mut st, &prof, &p_teacher_of, &course);
                     courses.push(course);
                 }
@@ -167,15 +192,25 @@ pub fn generate(config: &LubmConfig) -> Workload {
                 let student = entity(k, &format!("Dept{d}.Student{s}"));
                 add(&mut st, &student, &rdf_type, &c_grad_student);
                 add(&mut st, &student, &p_member_of, &dept);
-                add(&mut st, &student, &p_name, &Term::lit(format!("Student {s} D{d} U{k}")));
-                add(&mut st, &student, &p_email, &Term::lit(format!("stud{s}.d{d}@univ{k}.edu")));
+                add(
+                    &mut st,
+                    &student,
+                    &p_name,
+                    &Term::lit(format!("Student {s} D{d} U{k}")),
+                );
+                add(
+                    &mut st,
+                    &student,
+                    &p_email,
+                    &Term::lit(format!("stud{s}.d{d}@univ{k}.edu")),
+                );
                 let advisor_idx = rng.below(professors.len());
                 add(&mut st, &student, &p_advisor, &professors[advisor_idx]);
                 // First course: one taught by the advisor (keeps the Q2
                 // triangle populated); second: round-robin so every course
                 // has at least one student (with students ≥ courses).
-                let advisor_course =
-                    &courses[advisor_idx * config.courses_per_professor + rng.below(config.courses_per_professor)];
+                let advisor_course = &courses[advisor_idx * config.courses_per_professor
+                    + rng.below(config.courses_per_professor)];
                 add(&mut st, &student, &p_takes, advisor_course);
                 let rr = &courses[s % courses.len()];
                 if rr != advisor_course {

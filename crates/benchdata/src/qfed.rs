@@ -81,12 +81,22 @@ pub fn generate(config: &QfedConfig) -> Workload {
     for t in 0..n_targets {
         let target = iri(DRUGBANK, format!("targets/{t}"));
         add(&mut drugbank, &target, &rdf_type, &c_db_target);
-        add(&mut drugbank, &target, &p_gene_name, &Term::lit(format!("GENE{t}")));
+        add(
+            &mut drugbank,
+            &target,
+            &p_gene_name,
+            &Term::lit(format!("GENE{t}")),
+        );
     }
     for i in 0..n_drugs {
         let drug = iri(DRUGBANK, format!("drugs/{i}"));
         add(&mut drugbank, &drug, &rdf_type, &c_db_drug);
-        add(&mut drugbank, &drug, &p_generic, &Term::lit(format!("drugname {i}")));
+        add(
+            &mut drugbank,
+            &drug,
+            &p_generic,
+            &Term::lit(format!("drugname {i}")),
+        );
         // The big literal: ~0.5 KB of text per drug.
         let description = format!(
             "Drug {i} long pharmacological description: {}",
@@ -103,11 +113,21 @@ pub fn generate(config: &QfedConfig) -> Workload {
         }
         // Interlink: DrugBank → Sider.
         if rng.chance(0.8) {
-            add(&mut drugbank, &drug, &same_as, &iri(SIDER, format!("drugs/{i}")));
+            add(
+                &mut drugbank,
+                &drug,
+                &same_as,
+                &iri(SIDER, format!("drugs/{i}")),
+            );
         }
         for _ in 0..1 + rng.below(2) {
             let t = rng.below(n_targets);
-            add(&mut drugbank, &drug, &p_target, &iri(DRUGBANK, format!("targets/{t}")));
+            add(
+                &mut drugbank,
+                &drug,
+                &p_target,
+                &iri(DRUGBANK, format!("targets/{t}")),
+            );
         }
     }
 
@@ -126,11 +146,21 @@ pub fn generate(config: &QfedConfig) -> Workload {
             format!("Disease {j}")
         };
         add(&mut diseasome, &disease, &p_dname, &Term::lit(name));
-        add(&mut diseasome, &disease, &p_degree, &Term::int((j % 17) as i64));
+        add(
+            &mut diseasome,
+            &disease,
+            &p_degree,
+            &Term::int((j % 17) as i64),
+        );
         // Interlink: Diseasome → DrugBank.
         for _ in 0..2 + rng.below(4) {
             let d = rng.below(n_drugs);
-            add(&mut diseasome, &disease, &p_possible, &iri(DRUGBANK, format!("drugs/{d}")));
+            add(
+                &mut diseasome,
+                &disease,
+                &p_possible,
+                &iri(DRUGBANK, format!("drugs/{d}")),
+            );
         }
     }
 
@@ -143,12 +173,22 @@ pub fn generate(config: &QfedConfig) -> Workload {
     for k in 0..n_side_effects {
         let se = iri(SIDER, format!("se/{k}"));
         add(&mut sider, &se, &rdf_type, &c_se);
-        add(&mut sider, &se, &rdfs_label, &Term::lit(format!("side effect {k}")));
+        add(
+            &mut sider,
+            &se,
+            &rdfs_label,
+            &Term::lit(format!("side effect {k}")),
+        );
     }
     for i in 0..n_drugs {
         let sdrug = iri(SIDER, format!("drugs/{i}"));
         add(&mut sider, &sdrug, &rdf_type, &c_s_drug);
-        add(&mut sider, &sdrug, &p_sname, &Term::lit(format!("drugname {i}")));
+        add(
+            &mut sider,
+            &sdrug,
+            &p_sname,
+            &Term::lit(format!("drugname {i}")),
+        );
         for _ in 0..1 + rng.below(4) {
             let k = rng.below(n_side_effects);
             add(&mut sider, &sdrug, &p_se, &iri(SIDER, format!("se/{k}")));
@@ -168,9 +208,24 @@ pub fn generate(config: &QfedConfig) -> Workload {
         let label = iri(DAILYMED, format!("labels/{i}"));
         add(&mut dailymed, &label, &rdf_type, &c_dm_drug);
         // Interlink: DailyMed → DrugBank.
-        add(&mut dailymed, &label, &p_gm, &iri(DRUGBANK, format!("drugs/{i}")));
-        add(&mut dailymed, &label, &p_full, &Term::lit(format!("Full label of drug {i}")));
-        add(&mut dailymed, &label, &p_org, &Term::lit(format!("Pharma {}", i % 12)));
+        add(
+            &mut dailymed,
+            &label,
+            &p_gm,
+            &iri(DRUGBANK, format!("drugs/{i}")),
+        );
+        add(
+            &mut dailymed,
+            &label,
+            &p_full,
+            &Term::lit(format!("Full label of drug {i}")),
+        );
+        add(
+            &mut dailymed,
+            &label,
+            &p_org,
+            &Term::lit(format!("Pharma {}", i % 12)),
+        );
     }
 
     let stores = vec![
@@ -198,9 +253,7 @@ pub fn queries() -> Vec<(&'static str, String)> {
     let filt = "FILTER (CONTAINS(STR(?name), \"drugname 1\")) ";
     let opt = "OPTIONAL { ?drug <http://drugbank.org/p/indication> ?ind } ";
 
-    let make = |extra: &str| -> String {
-        format!("{prefixes}SELECT * WHERE {{ {core}{extra}}}")
-    };
+    let make = |extra: &str| -> String { format!("{prefixes}SELECT * WHERE {{ {core}{extra}}}") };
 
     vec![
         ("C2P2", make("")),

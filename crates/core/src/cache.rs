@@ -9,7 +9,7 @@
 use lusail_endpoint::EndpointId;
 use lusail_rdf::{FxHashMap, TermId};
 use lusail_sparql::ast::{PatternTerm, TriplePattern};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A canonical form of a triple pattern: variables replaced by their index
 /// of first appearance, constants kept.
@@ -67,9 +67,9 @@ impl<V: Copy> ProbeCache<V> {
         if !self.enabled {
             return None;
         }
-        let found = self.map.lock().get(&(key.clone(), ep)).copied();
+        let found = self.map.lock().unwrap().get(&(key.clone(), ep)).copied();
         if found.is_some() {
-            *self.hits.lock() += 1;
+            *self.hits.lock().unwrap() += 1;
         }
         found
     }
@@ -77,18 +77,18 @@ impl<V: Copy> ProbeCache<V> {
     /// Stores a probe result.
     pub fn put(&self, key: PatternKey, ep: EndpointId, value: V) {
         if self.enabled {
-            self.map.lock().insert((key, ep), value);
+            self.map.lock().unwrap().insert((key, ep), value);
         }
     }
 
     /// Number of cache hits so far (diagnostics).
     pub fn hits(&self) -> u64 {
-        *self.hits.lock()
+        *self.hits.lock().unwrap()
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.map.lock().unwrap().len()
     }
 
     /// True if the cache holds no entries.
@@ -98,8 +98,8 @@ impl<V: Copy> ProbeCache<V> {
 
     /// Drops all entries (used between benchmark repetitions).
     pub fn clear(&self) {
-        self.map.lock().clear();
-        *self.hits.lock() = 0;
+        self.map.lock().unwrap().clear();
+        *self.hits.lock().unwrap() = 0;
     }
 }
 
@@ -124,19 +124,23 @@ impl<V: Copy> KeyedCache<V> {
         if !self.enabled {
             return None;
         }
-        self.map.lock().get(&(key.to_string(), ep)).copied()
+        self.map
+            .lock()
+            .unwrap()
+            .get(&(key.to_string(), ep))
+            .copied()
     }
 
     /// Stores a result.
     pub fn put(&self, key: String, ep: EndpointId, value: V) {
         if self.enabled {
-            self.map.lock().insert((key, ep), value);
+            self.map.lock().unwrap().insert((key, ep), value);
         }
     }
 
     /// Drops all entries.
     pub fn clear(&self) {
-        self.map.lock().clear();
+        self.map.lock().unwrap().clear();
     }
 }
 

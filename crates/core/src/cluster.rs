@@ -11,7 +11,7 @@
 //! independent connections.
 
 use crate::engine::{Lusail, LusailConfig, QueryResult};
-use lusail_endpoint::Federation;
+use lusail_endpoint::{Federation, FederationError};
 use lusail_sparql::Query;
 
 /// A set of Lusail mediator machines executing workloads in parallel.
@@ -41,7 +41,14 @@ impl LusailCluster {
 
     /// Executes a workload, assigning query `i` to machine `i % M`, all
     /// machines running concurrently. Results come back in input order.
-    pub fn execute_workload(&self, fed: &Federation, queries: &[Query]) -> Vec<QueryResult> {
+    pub fn execute_workload(
+        &self,
+        fed: &Federation,
+        queries: &[Query],
+    ) -> Result<Vec<QueryResult>, FederationError> {
+        if fed.is_empty() {
+            return Err(FederationError::EmptyFederation);
+        }
         let m = self.machines.len();
         if m == 1 || queries.len() <= 1 {
             return queries
@@ -51,11 +58,11 @@ impl LusailCluster {
         }
         let mut slots: Vec<Option<QueryResult>> = Vec::new();
         slots.resize_with(queries.len(), || None);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(m);
             for (mi, machine) in self.machines.iter().enumerate() {
-                handles.push(scope.spawn(move |_| {
-                    let mut out: Vec<(usize, QueryResult)> = Vec::new();
+                handles.push(scope.spawn(move || {
+                    let mut out: Vec<(usize, Result<QueryResult, FederationError>)> = Vec::new();
                     for (qi, q) in queries.iter().enumerate() {
                         if qi % m == mi {
                             out.push((qi, machine.execute(fed, q)));
@@ -66,12 +73,16 @@ impl LusailCluster {
             }
             for h in handles {
                 for (qi, r) in h.join().expect("mediator machine panicked") {
-                    slots[qi] = Some(r);
+                    // A non-empty federation was checked above, so execute
+                    // cannot fail; unwrap keeps the slot type simple.
+                    slots[qi] = Some(r.expect("execute on non-empty federation"));
                 }
             }
-        })
-        .expect("cluster scope");
-        slots.into_iter().map(|r| r.expect("all slots filled")).collect()
+        });
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect())
     }
 
     /// Drops every machine's caches (between benchmark repetitions).
@@ -124,8 +135,8 @@ mod tests {
         let (fed, queries) = fed();
         let single = LusailCluster::new(1, LusailConfig::default());
         let quad = LusailCluster::new(4, LusailConfig::default());
-        let a = single.execute_workload(&fed, &queries);
-        let b = quad.execute_workload(&fed, &queries);
+        let a = single.execute_workload(&fed, &queries).unwrap();
+        let b = quad.execute_workload(&fed, &queries).unwrap();
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.solutions.canonicalize(), y.solutions.canonicalize());
@@ -136,7 +147,7 @@ mod tests {
     fn results_preserve_input_order() {
         let (fed, queries) = fed();
         let cluster = LusailCluster::new(3, LusailConfig::default());
-        let results = cluster.execute_workload(&fed, &queries);
+        let results = cluster.execute_workload(&fed, &queries).unwrap();
         // FILTER (?n > i) — result sizes strictly decrease with i.
         let sizes: Vec<usize> = results.iter().map(|r| r.solutions.len()).collect();
         for w in sizes.windows(2) {

@@ -22,14 +22,14 @@
 //! reproduction.
 
 use crate::cache::{pattern_key, ProbeCache};
-use crate::exec::RequestHandler;
+use crate::exec::Net;
 use crate::subquery::Subquery;
 use lusail_endpoint::{EndpointId, Federation};
 use lusail_sparql::ast::{Expression, GroupPattern, Query, TriplePattern};
+use std::sync::atomic::Ordering;
 
 /// The delay-threshold policy (Fig. 9 in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DelayPolicy {
     /// Delay when the estimate exceeds `μ`.
     Mu,
@@ -42,7 +42,6 @@ pub enum DelayPolicy {
     OutliersOnly,
 }
 
-
 /// Per-subquery cost-model outputs.
 #[derive(Debug, Clone, Default)]
 pub struct SubqueryCosts {
@@ -52,10 +51,13 @@ pub struct SubqueryCosts {
     pub delayed: Vec<bool>,
 }
 
-/// Estimates `C(sq)` for every subquery using COUNT probes.
+/// Estimates `C(sq)` for every subquery using COUNT probes. A probe whose
+/// endpoint fails (after retries) degrades gracefully: the endpoint's
+/// total triple count stands in as a conservative upper bound — erring
+/// toward delaying the subquery — and the fallback is not cached.
 pub fn estimate_cardinalities(
     fed: &Federation,
-    handler: &RequestHandler,
+    net: &Net,
     subqueries: &[Subquery],
     cache: &ProbeCache<u64>,
 ) -> Vec<u64> {
@@ -80,29 +82,38 @@ pub fn estimate_cardinalities(
             }
         }
     }
-    let probed = handler.run(fed, needed, |ep, tp: &TriplePattern| {
-        ep.count(&Query::count(GroupPattern::bgp(vec![tp.clone()])))
-    });
+    let probed = net
+        .handler
+        .run(fed, needed, |ep_id, ep, tp: &TriplePattern| {
+            net.client.request(ep_id, || {
+                ep.count(&Query::count(GroupPattern::bgp(vec![tp.clone()])))
+            })
+        });
     for (ep, tp, c) in probed {
         let key = pattern_key(&tp);
-        cache.put(key.clone(), ep, c);
-        known.insert((key, ep), c);
+        match c {
+            Ok(c) => {
+                cache.put(key.clone(), ep, c);
+                known.insert((key, ep), c);
+            }
+            Err(_) => {
+                net.degradation
+                    .counts_defaulted
+                    .fetch_add(1, Ordering::Relaxed);
+                known.insert((key, ep), fed.endpoint(ep).triple_count() as u64);
+            }
+        }
     }
     let count_of = |tp: &TriplePattern, ep: EndpointId| -> u64 {
-        known
-            .get(&(pattern_key(tp), ep))
-            .copied()
-            .unwrap_or(0)
+        known.get(&(pattern_key(tp), ep)).copied().unwrap_or(0)
     };
 
     subqueries
         .iter()
         .map(|sq| {
             let vars = sq.vars();
-            let projected: Vec<&String> = vars
-                .iter()
-                .filter(|v| sq.projection.contains(v))
-                .collect();
+            let projected: Vec<&String> =
+                vars.iter().filter(|v| sq.projection.contains(v)).collect();
             let mut c_sq = 0u64;
             for v in projected {
                 // C(sq, v) = Σ_ep min over patterns containing v.

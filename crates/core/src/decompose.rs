@@ -33,19 +33,19 @@ pub fn decompose_indices(
         return Vec::new();
     }
 
-    let shares_var = |i: usize, j: usize| -> bool {
-        triples[i].vars().any(|v| triples[j].mentions(v))
+    let shares_var =
+        |i: usize, j: usize| -> bool { triples[i].vars().any(|v| triples[j].mentions(v)) };
+    let same_sources = |i: usize, j: usize| -> bool {
+        sources.sources(&triples[i]) == sources.sources(&triples[j])
     };
-    let same_sources =
-        |i: usize, j: usize| -> bool { sources.sources(&triples[i]) == sources.sources(&triples[j]) };
 
     // Greedy assignment in document order.
     let mut groups: Vec<Vec<usize>> = Vec::new();
     'next: for i in 0..n {
         for g in &mut groups {
-            let compatible = g.iter().all(|&j| {
-                same_sources(i, j) && !analysis.conflicting(i, j)
-            });
+            let compatible = g
+                .iter()
+                .all(|&j| same_sources(i, j) && !analysis.conflicting(i, j));
             let connected = g.iter().any(|&j| shares_var(i, j));
             if compatible && connected {
                 g.push(i);

@@ -15,14 +15,18 @@
 use crate::cache::{KeyedCache, ProbeCache};
 use crate::cost::{decide_delays, estimate_cardinalities, DelayPolicy, SubqueryCosts};
 use crate::decompose::{decompose, is_disjoint};
-use crate::exec::{evaluate_subqueries, ExecConfig, RequestHandler};
+use crate::exec::{evaluate_subqueries, ExecConfig, Net};
 use crate::gjv::detect_gjvs;
 use crate::metrics::QueryMetrics;
 use crate::source_selection::{select_sources, SourceMap};
 use crate::subquery::Subquery;
-use lusail_endpoint::{EndpointId, Federation};
+use lusail_endpoint::{
+    Clock, EndpointFailure, EndpointId, Federation, FederationError, QueryOutcome, RequestPolicy,
+};
 use lusail_sparql::ast::{Expression, GroupPattern, Query};
 use lusail_sparql::SolutionSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine configuration.
@@ -61,6 +65,12 @@ pub struct QueryResult {
     pub solutions: SolutionSet,
     /// Phase timings and network counters.
     pub metrics: QueryMetrics,
+    /// False when an endpoint failure (after retries) lost solution data.
+    /// Degraded *probes* (ASK / COUNT / check queries) never clear this —
+    /// they only cost extra work.
+    pub complete: bool,
+    /// Per-endpoint failure report for this query.
+    pub failures: Vec<EndpointFailure>,
 }
 
 /// The Lusail federated query engine. One instance may serve many queries;
@@ -99,13 +109,15 @@ pub struct QueryResult {
 ///     &dict,
 /// )
 /// .unwrap();
-/// let result = Lusail::default().execute(&fed, &q);
+/// let result = Lusail::default().execute(&fed, &q).unwrap();
 /// assert_eq!(result.solutions.len(), 1); // the cross-endpoint join row
 /// assert_eq!(result.metrics.gjvs, ["b"]); // ?b is a global join variable
+/// assert!(result.complete); // no endpoint failed
 /// ```
 pub struct Lusail {
     config: LusailConfig,
-    handler: RequestHandler,
+    policy: RequestPolicy,
+    clock: Option<Arc<dyn Clock>>,
     ask_cache: ProbeCache<bool>,
     count_cache: ProbeCache<u64>,
     check_cache: KeyedCache<bool>,
@@ -118,21 +130,40 @@ impl Default for Lusail {
 }
 
 impl Lusail {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration and the default
+    /// request policy.
     pub fn new(config: LusailConfig) -> Self {
         let caching = config.use_cache;
         Lusail {
             config,
-            handler: RequestHandler::new(),
+            policy: RequestPolicy::default(),
+            clock: None,
             ask_cache: ProbeCache::new(caching),
             count_cache: ProbeCache::new(caching),
             check_cache: KeyedCache::new(caching),
         }
     }
 
+    /// Sets the retry/backoff/deadline policy for remote requests.
+    pub fn with_policy(mut self, policy: RequestPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Injects a clock for backoff sleeps and deadlines (tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &LusailConfig {
         &self.config
+    }
+
+    /// The engine's request policy.
+    pub fn policy(&self) -> &RequestPolicy {
+        &self.policy
     }
 
     /// Drops every memoized probe (between benchmark repetitions).
@@ -142,13 +173,52 @@ impl Lusail {
         self.check_cache.clear();
     }
 
-    /// Executes a query against the federation.
-    pub fn execute(&self, fed: &Federation, query: &Query) -> QueryResult {
+    /// A fresh per-query network context: endpoint death (tripped circuit)
+    /// and degradation counters are scoped to one query.
+    pub(crate) fn fresh_net(&self) -> Net {
+        match &self.clock {
+            Some(clock) => Net::with_clock(self.policy, clock.clone()),
+            None => Net::new(self.policy),
+        }
+    }
+
+    /// Stamps the degradation counters into `metrics` and derives the
+    /// completeness flag and failure report for this query's [`Net`].
+    fn finish(
+        &self,
+        fed: &Federation,
+        net: &Net,
+        metrics: &mut QueryMetrics,
+    ) -> (bool, Vec<EndpointFailure>) {
+        metrics.degraded_ask_probes = net
+            .degradation
+            .asks_assumed_relevant
+            .load(Ordering::Relaxed);
+        metrics.degraded_check_queries = net
+            .degradation
+            .checks_assumed_conflict
+            .load(Ordering::Relaxed);
+        metrics.degraded_count_probes = net.degradation.counts_defaulted.load(Ordering::Relaxed);
+        (!net.degradation.data_loss(), net.client.report(fed))
+    }
+
+    /// Executes a query against the federation. Endpoint failures degrade
+    /// gracefully (see [`QueryResult::complete`]); only federation-level
+    /// misuse is an `Err`.
+    pub fn execute(&self, fed: &Federation, query: &Query) -> Result<QueryResult, FederationError> {
+        if fed.is_empty() {
+            return Err(FederationError::EmptyFederation);
+        }
+        let net = self.fresh_net();
+        Ok(self.execute_with_net(fed, query, &net))
+    }
+
+    fn execute_with_net(&self, fed: &Federation, query: &Query, net: &Net) -> QueryResult {
         // A federated `SELECT (COUNT(*) AS ?c)` must count the *global*
         // result, not concatenate per-endpoint counts: normalize it to an
         // aggregate query handled at the mediator.
         if let Some(rewritten) = query.count_star_as_aggregate() {
-            return self.execute(fed, &rewritten);
+            return self.execute_with_net(fed, &rewritten, net);
         }
         let mut metrics = QueryMetrics::default();
         let t_total = Instant::now();
@@ -156,7 +226,7 @@ impl Lusail {
         // ---- Phase 1: source selection --------------------------------
         let s0 = fed.stats_snapshot();
         let t0 = Instant::now();
-        let sources = select_sources(fed, &query.pattern, &self.ask_cache, &self.handler);
+        let sources = select_sources(fed, &query.pattern, &self.ask_cache, net);
         metrics.source_selection = t0.elapsed();
         let s1 = fed.stats_snapshot();
         metrics.requests_source_selection = s1.since(&s0);
@@ -164,9 +234,12 @@ impl Lusail {
         // A required pattern with no source ⇒ empty result, no more work.
         if sources.any_required_empty(&query.pattern.triples) {
             metrics.total = t_total.elapsed();
+            let (complete, failures) = self.finish(fed, net, &mut metrics);
             return QueryResult {
                 solutions: SolutionSet::empty(query.output_vars()),
                 metrics,
+                complete,
+                failures,
             };
         }
 
@@ -180,7 +253,7 @@ impl Lusail {
                 &query.pattern.triples,
                 &sources,
                 &self.check_cache,
-                &self.handler,
+                net,
             )
         };
         metrics.check_queries = analysis.check_queries;
@@ -208,12 +281,18 @@ impl Lusail {
             metrics.requests_analysis = s2.since(&s1);
             metrics.subqueries = 1;
             let t2 = Instant::now();
-            let solutions = self.execute_disjoint(fed, query, &sources);
+            let solutions = self.execute_disjoint(fed, query, &sources, net);
             metrics.execution = t2.elapsed();
             metrics.requests_execution = fed.stats_snapshot().since(&s2);
             metrics.result_rows = solutions.len();
             metrics.total = t_total.elapsed();
-            return QueryResult { solutions, metrics };
+            let (complete, failures) = self.finish(fed, net, &mut metrics);
+            return QueryResult {
+                solutions,
+                metrics,
+                complete,
+                failures,
+            };
         }
 
         // General path: decompose, estimate, and plan the top-level group.
@@ -222,14 +301,12 @@ impl Lusail {
         } else {
             decompose(&query.pattern.triples, &sources, &analysis)
         };
-        let global_filters =
-            push_filters(&query.pattern.filters, &mut subqueries);
+        let global_filters = push_filters(&query.pattern.filters, &mut subqueries);
         shrink_projections(query, &mut subqueries, &global_filters);
         metrics.subqueries = subqueries.len();
 
         let costs = if subqueries.len() > 1 {
-            let cardinality =
-                estimate_cardinalities(fed, &self.handler, &subqueries, &self.count_cache);
+            let cardinality = estimate_cardinalities(fed, net, &subqueries, &self.count_cache);
             let fanouts: Vec<usize> = subqueries.iter().map(|sq| sq.sources.len()).collect();
             let delayed = decide_delays(&cardinality, &fanouts, self.config.delay_policy);
             SubqueryCosts {
@@ -252,12 +329,11 @@ impl Lusail {
             block_size: self.config.block_size,
             parallel_join_threshold: self.config.parallel_join_threshold,
         };
-        let (mut solutions, report) =
-            evaluate_subqueries(fed, &self.handler, &subqueries, &costs, &exec_cfg);
+        let (mut solutions, report) = evaluate_subqueries(fed, net, &subqueries, &costs, &exec_cfg);
         metrics.delayed_subqueries = report.delayed;
 
         // Combine the nested groups at the global level.
-        solutions = self.apply_nested(fed, &query.pattern, solutions, &global_filters);
+        solutions = self.apply_nested(fed, &query.pattern, solutions, &global_filters, net);
 
         // Query-level modifiers (aggregation, ORDER BY over the full
         // schema, projection, DISTINCT, LIMIT) happen here, at the
@@ -270,7 +346,13 @@ impl Lusail {
         metrics.requests_execution = fed.stats_snapshot().since(&s2);
         metrics.result_rows = solutions.len();
         metrics.total = t_total.elapsed();
-        QueryResult { solutions, metrics }
+        let (complete, failures) = self.finish(fed, net, &mut metrics);
+        QueryResult {
+            solutions,
+            metrics,
+            complete,
+            failures,
+        }
     }
 
     /// Disjoint fast path: the original query (projection, filters,
@@ -281,10 +363,13 @@ impl Lusail {
         fed: &Federation,
         query: &Query,
         sources: &SourceMap,
+        net: &Net,
     ) -> SolutionSet {
         let eps: Vec<EndpointId> = sources.sources(&query.pattern.triples[0]).to_vec();
         let tasks: Vec<(EndpointId, ())> = eps.iter().map(|&ep| (ep, ())).collect();
-        let results = self.handler.run(fed, tasks, |ep, _| ep.select(query));
+        let results = net.handler.run(fed, tasks, |ep_id, ep, _| {
+            net.select_or_lose(ep_id, ep, query, query.output_vars())
+        });
         let mut out = SolutionSet::empty(query.output_vars());
         for (_, _, sols) in results {
             out.append(sols);
@@ -304,20 +389,19 @@ impl Lusail {
     /// Evaluates a nested group (OPTIONAL / UNION / NOT EXISTS bodies)
     /// recursively: its own decomposition and SAPE execution, producing a
     /// solution set over the group's variables.
-    fn execute_group(&self, fed: &Federation, group: &GroupPattern) -> SolutionSet {
+    fn execute_group(&self, fed: &Federation, group: &GroupPattern, net: &Net) -> SolutionSet {
         // Source selection for this group's patterns (cache-served when the
         // engine probed them already during the main pass).
-        let sources = select_sources(fed, group, &self.ask_cache, &self.handler);
+        let sources = select_sources(fed, group, &self.ask_cache, net);
         if sources.any_required_empty(&group.triples) {
             return SolutionSet::empty(group.all_vars());
         }
-        let analysis = detect_gjvs(fed, &group.triples, &sources, &self.check_cache, &self.handler);
+        let analysis = detect_gjvs(fed, &group.triples, &sources, &self.check_cache, net);
         let mut subqueries = decompose(&group.triples, &sources, &analysis);
         let global_filters = push_filters(&group.filters, &mut subqueries);
         // Nested groups keep full projections: their consumers are joins.
         let costs = if subqueries.len() > 1 {
-            let cardinality =
-                estimate_cardinalities(fed, &self.handler, &subqueries, &self.count_cache);
+            let cardinality = estimate_cardinalities(fed, net, &subqueries, &self.count_cache);
             let fanouts: Vec<usize> = subqueries.iter().map(|sq| sq.sources.len()).collect();
             let delayed = decide_delays(&cardinality, &fanouts, self.config.delay_policy);
             SubqueryCosts {
@@ -334,9 +418,8 @@ impl Lusail {
             block_size: self.config.block_size,
             parallel_join_threshold: self.config.parallel_join_threshold,
         };
-        let (solutions, _) =
-            evaluate_subqueries(fed, &self.handler, &subqueries, &costs, &exec_cfg);
-        self.apply_nested(fed, group, solutions, &global_filters)
+        let (solutions, _) = evaluate_subqueries(fed, net, &subqueries, &costs, &exec_cfg);
+        self.apply_nested(fed, group, solutions, &global_filters, net)
     }
 
     /// Applies a group's nested clauses to already-computed BGP solutions:
@@ -348,6 +431,7 @@ impl Lusail {
         group: &GroupPattern,
         mut solutions: SolutionSet,
         global_filters: &[Expression],
+        net: &Net,
     ) -> SolutionSet {
         if let Some(v) = &group.values {
             let values_rel = SolutionSet {
@@ -356,12 +440,9 @@ impl Lusail {
             };
             solutions = solutions.hash_join(&values_rel);
         }
-        solutions = lusail_store::eval::join_nested_groups(
-            solutions,
-            group,
-            fed.dict(),
-            |sub| self.execute_group(fed, sub),
-        );
+        solutions = lusail_store::eval::join_nested_groups(solutions, group, fed.dict(), |sub| {
+            self.execute_group(fed, sub, net)
+        });
         lusail_store::eval::retain_filtered(&mut solutions, global_filters, fed.dict());
         solutions
     }
@@ -378,8 +459,9 @@ impl Lusail {
         &self,
         fed: &Federation,
         query: &Query,
+        net: &Net,
     ) -> Option<(Vec<Subquery>, SubqueryCosts, SourceMap)> {
-        let sources = select_sources(fed, &query.pattern, &self.ask_cache, &self.handler);
+        let sources = select_sources(fed, &query.pattern, &self.ask_cache, net);
         if sources.any_required_empty(&query.pattern.triples) {
             return None;
         }
@@ -391,7 +473,7 @@ impl Lusail {
                 &query.pattern.triples,
                 &sources,
                 &self.check_cache,
-                &self.handler,
+                net,
             )
         };
         if query.pattern.triples.is_empty()
@@ -406,8 +488,7 @@ impl Lusail {
         }
         shrink_projections(query, &mut subqueries, &global_filters);
         let costs = if subqueries.len() > 1 {
-            let cardinality =
-                estimate_cardinalities(fed, &self.handler, &subqueries, &self.count_cache);
+            let cardinality = estimate_cardinalities(fed, net, &subqueries, &self.count_cache);
             let fanouts: Vec<usize> = subqueries.iter().map(|sq| sq.sources.len()).collect();
             let delayed = decide_delays(&cardinality, &fanouts, self.config.delay_policy);
             SubqueryCosts {
@@ -429,8 +510,13 @@ impl lusail_endpoint::FederatedEngine for Lusail {
         "Lusail"
     }
 
-    fn run(&self, fed: &Federation, query: &Query) -> SolutionSet {
-        self.execute(fed, query).solutions
+    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
+        let result = self.execute(fed, query)?;
+        Ok(QueryOutcome {
+            solutions: result.solutions,
+            complete: result.complete,
+            failures: result.failures,
+        })
     }
 
     fn reset(&self) {
@@ -567,7 +653,7 @@ mod tests {
     fn check_against_oracle(fed: &Federation, oracle: &TripleStore, text: &str) -> QueryResult {
         let q = parse_query(text, fed.dict()).unwrap();
         let engine = Lusail::default();
-        let result = engine.execute(fed, &q);
+        let result = engine.execute(fed, &q).unwrap();
         let expected = lusail_store::eval::evaluate(oracle, &q);
         assert_eq!(
             result.solutions.canonicalize(),
@@ -672,20 +758,16 @@ mod tests {
         )
         .unwrap();
         let engine = Lusail::default();
-        let r = engine.execute(&fed, &q);
+        let r = engine.execute(&fed, &q).unwrap();
         assert_eq!(r.solutions.len(), 2);
     }
 
     #[test]
     fn no_source_pattern_yields_empty() {
         let (fed, _) = universities();
-        let q = parse_query(
-            "SELECT ?x WHERE { ?x <http://nowhere/p> ?y }",
-            fed.dict(),
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?x WHERE { ?x <http://nowhere/p> ?y }", fed.dict()).unwrap();
         let engine = Lusail::default();
-        let r = engine.execute(&fed, &q);
+        let r = engine.execute(&fed, &q).unwrap();
         assert!(r.solutions.is_empty());
         assert_eq!(r.metrics.total_requests(), 2); // two ASKs
     }
@@ -712,12 +794,9 @@ mod tests {
         )
         .unwrap();
         let engine = Lusail::default();
-        let r1 = engine.execute(&fed, &q);
-        let r2 = engine.execute(&fed, &q);
-        assert_eq!(
-            r1.solutions.canonicalize(),
-            r2.solutions.canonicalize()
-        );
+        let r1 = engine.execute(&fed, &q).unwrap();
+        let r2 = engine.execute(&fed, &q).unwrap();
+        assert_eq!(r1.solutions.canonicalize(), r2.solutions.canonicalize());
         // Second run: all probes cached.
         assert_eq!(r2.metrics.requests_source_selection.total_requests(), 0);
         assert!(

@@ -19,9 +19,11 @@
 use crate::cost::SubqueryCosts;
 use crate::join::{join_components, par_hash_join, Relation};
 use crate::subquery::Subquery;
-use lusail_endpoint::{EndpointId, EndpointRef, Federation};
+use lusail_endpoint::{Clock, EndpointId, EndpointRef, Federation, RequestPolicy, ResilientClient};
 use lusail_sparql::ast::{Query, ValuesBlock};
 use lusail_sparql::SolutionSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Executes batches of per-endpoint tasks with one worker per endpoint.
 #[derive(Default)]
@@ -35,7 +37,9 @@ impl RequestHandler {
 
     /// Runs every `(endpoint, task)` pair, returning `(endpoint, task,
     /// result)` triples. Tasks for one endpoint run serially on that
-    /// endpoint's worker thread; distinct endpoints run in parallel.
+    /// endpoint's worker thread; distinct endpoints run in parallel. The
+    /// callback receives the endpoint's id so it can route the request
+    /// through a [`ResilientClient`].
     pub fn run<T, R, F>(
         &self,
         fed: &Federation,
@@ -45,7 +49,7 @@ impl RequestHandler {
     where
         T: Send,
         R: Send,
-        F: Fn(&EndpointRef, &T) -> R + Sync,
+        F: Fn(EndpointId, &EndpointRef, &T) -> R + Sync,
     {
         if tasks.is_empty() {
             return Vec::new();
@@ -65,22 +69,22 @@ impl RequestHandler {
             return ts
                 .into_iter()
                 .map(|t| {
-                    let r = f(ep, &t);
+                    let r = f(ep_id, ep, &t);
                     (ep_id, t, r)
                 })
                 .collect();
         }
         let f = &f;
         let mut out = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = by_ep
                 .into_iter()
                 .map(|(ep_id, ts)| {
                     let ep = fed.endpoint(ep_id);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         ts.into_iter()
                             .map(|t| {
-                                let r = f(ep, &t);
+                                let r = f(ep_id, ep, &t);
                                 (ep_id, t, r)
                             })
                             .collect::<Vec<_>>()
@@ -90,9 +94,94 @@ impl RequestHandler {
             for h in handles {
                 out.extend(h.join().expect("endpoint worker panicked"));
             }
-        })
-        .expect("request handler scope");
+        });
         out
+    }
+}
+
+/// Counters for graceful degradation: when a probe fails after retries,
+/// the engine takes the conservative choice instead of aborting, and
+/// records it here (surfaced in `QueryMetrics`). Lost *result* data — a
+/// failed execution `SELECT` — is tracked separately because only it makes
+/// the final answer incomplete.
+#[derive(Debug, Default)]
+pub struct Degradation {
+    /// Failed source-selection ASKs: the endpoint was assumed relevant.
+    pub asks_assumed_relevant: AtomicU64,
+    /// Failed GJV check queries: the variable was conservatively assumed
+    /// global (more GJVs never lose answers).
+    pub checks_assumed_conflict: AtomicU64,
+    /// Failed COUNT probes: cardinality fell back to the endpoint's total
+    /// triple count.
+    pub counts_defaulted: AtomicU64,
+    data_loss: AtomicBool,
+}
+
+impl Degradation {
+    /// Marks that result-bearing data was lost (a failed execution SELECT).
+    pub fn record_data_loss(&self) {
+        self.data_loss.store(true, Ordering::Relaxed);
+    }
+
+    /// True if any result-bearing request failed: the answer is incomplete.
+    pub fn data_loss(&self) -> bool {
+        self.data_loss.load(Ordering::Relaxed)
+    }
+}
+
+/// The per-query network context: the parallel [`RequestHandler`], the
+/// [`ResilientClient`] (whose tripped-endpoint state lives exactly as long
+/// as one query), and the [`Degradation`] scoreboard.
+pub struct Net {
+    /// Thread-per-endpoint scheduler.
+    pub handler: RequestHandler,
+    /// Retry/backoff/trip layer all remote calls go through.
+    pub client: ResilientClient,
+    /// Conservative-fallback counters for this query.
+    pub degradation: Degradation,
+}
+
+impl Default for Net {
+    fn default() -> Self {
+        Net::new(RequestPolicy::default())
+    }
+}
+
+impl Net {
+    /// A context over the real clock.
+    pub fn new(policy: RequestPolicy) -> Self {
+        Net {
+            handler: RequestHandler::new(),
+            client: ResilientClient::new(policy),
+            degradation: Degradation::default(),
+        }
+    }
+
+    /// A context over an injected clock (tests).
+    pub fn with_clock(policy: RequestPolicy, clock: Arc<dyn Clock>) -> Self {
+        Net {
+            handler: RequestHandler::new(),
+            client: ResilientClient::with_clock(policy, clock),
+            degradation: Degradation::default(),
+        }
+    }
+
+    /// A `SELECT` carrying result data: a failure (after retries) degrades
+    /// to an empty partition and marks the query incomplete.
+    pub fn select_or_lose(
+        &self,
+        ep_id: EndpointId,
+        ep: &EndpointRef,
+        q: &Query,
+        vars: Vec<String>,
+    ) -> SolutionSet {
+        match self.client.request(ep_id, || ep.select(q)) {
+            Ok(sols) => sols,
+            Err(_) => {
+                self.degradation.record_data_loss();
+                SolutionSet::empty(vars)
+            }
+        }
     }
 }
 
@@ -127,7 +216,7 @@ pub struct ExecReport {
 /// disconnected components are cross-joined at the end) plus a report.
 pub fn evaluate_subqueries(
     fed: &Federation,
-    handler: &RequestHandler,
+    net: &Net,
     subqueries: &[Subquery],
     costs: &SubqueryCosts,
     config: &ExecConfig,
@@ -159,8 +248,13 @@ pub fn evaluate_subqueries(
         .iter()
         .flat_map(|&i| subqueries[i].sources.iter().map(move |&ep| (ep, i)))
         .collect();
-    let results = handler.run(fed, tasks, |ep, &i| {
-        ep.select(&subqueries[i].to_query(None))
+    let results = net.handler.run(fed, tasks, |ep_id, ep, &i| {
+        net.select_or_lose(
+            ep_id,
+            ep,
+            &subqueries[i].to_query(None),
+            subqueries[i].projection.clone(),
+        )
     });
 
     // Regroup per subquery, consuming the results (no clones).
@@ -193,7 +287,7 @@ pub fn evaluate_subqueries(
                 if sq.triples.iter().any(|t| t.p.is_var()) && sources.len() > 1 {
                     // Source refinement: re-check relevance with the found
                     // bindings before shipping every block everywhere.
-                    sources = refine_sources(fed, handler, sq, &var, &values, &sources);
+                    sources = refine_sources(fed, net, sq, &var, &values, &sources);
                 }
                 let blocks: Vec<ValuesBlock> = values
                     .chunks(config.block_size)
@@ -206,9 +300,16 @@ pub fn evaluate_subqueries(
                     .iter()
                     .flat_map(|&ep| blocks.iter().cloned().map(move |b| (ep, b)))
                     .collect();
-                let results = handler.run(fed, tasks, |ep, block: &ValuesBlock| {
-                    ep.select(&sq.to_query(Some(block.clone())))
-                });
+                let results = net
+                    .handler
+                    .run(fed, tasks, |ep_id, ep, block: &ValuesBlock| {
+                        net.select_or_lose(
+                            ep_id,
+                            ep,
+                            &sq.to_query(Some(block.clone())),
+                            sq.projection.clone(),
+                        )
+                    });
                 let parts: Vec<SolutionSet> =
                     results.into_iter().map(|(_, _, sols)| sols).collect();
                 // Blocks partition *distinct* values of one variable, so a
@@ -222,10 +323,10 @@ pub fn evaluate_subqueries(
             }
             None => {
                 // No usable bindings: evaluate unbound.
-                let tasks: Vec<(EndpointId, ())> =
-                    sq.sources.iter().map(|&ep| (ep, ())).collect();
-                let results =
-                    handler.run(fed, tasks, |ep, _| ep.select(&sq.to_query(None)));
+                let tasks: Vec<(EndpointId, ())> = sq.sources.iter().map(|&ep| (ep, ())).collect();
+                let results = net.handler.run(fed, tasks, |ep_id, ep, _| {
+                    net.select_or_lose(ep_id, ep, &sq.to_query(None), sq.projection.clone())
+                });
                 let parts: Vec<SolutionSet> =
                     results.into_iter().map(|(_, _, sols)| sols).collect();
                 concat_partitions(sq, parts)
@@ -291,7 +392,10 @@ fn pick_most_selective(
 /// Picks the best variable to bind a delayed subquery with: among subquery
 /// variables present in some joined component, the one with the fewest
 /// distinct values.
-fn best_binding(sq: &Subquery, components: &[Relation]) -> Option<(String, Vec<lusail_rdf::TermId>)> {
+fn best_binding(
+    sq: &Subquery,
+    components: &[Relation],
+) -> Option<(String, Vec<lusail_rdf::TermId>)> {
     let mut best: Option<(String, Vec<lusail_rdf::TermId>)> = None;
     for comp in components {
         for v in &comp.sols.vars {
@@ -313,10 +417,11 @@ fn best_binding(sq: &Subquery, components: &[Relation]) -> Option<(String, Vec<l
 
 /// Source refinement for variable-predicate subqueries: one bound `ASK`
 /// per candidate endpoint, dropping endpoints with no matching data. The
-/// paper found this far cheaper than shipping every block everywhere.
+/// paper found this far cheaper than shipping every block everywhere. A
+/// failed ASK keeps its endpoint (assuming relevance never loses answers).
 fn refine_sources(
     fed: &Federation,
-    handler: &RequestHandler,
+    net: &Net,
     sq: &Subquery,
     var: &str,
     values: &[lusail_rdf::TermId],
@@ -331,7 +436,17 @@ fn refine_sources(
     pattern.values = Some(block);
     let ask = Query::ask(pattern);
     let tasks: Vec<(EndpointId, ())> = sources.iter().map(|&ep| (ep, ())).collect();
-    let results = handler.run(fed, tasks, |ep, _| ep.ask(&ask));
+    let results = net.handler.run(fed, tasks, |ep_id, ep, _| {
+        match net.client.request(ep_id, || ep.ask(&ask)) {
+            Ok(relevant) => relevant,
+            Err(_) => {
+                net.degradation
+                    .asks_assumed_relevant
+                    .fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+    });
     let refined: Vec<EndpointId> = results
         .into_iter()
         .filter(|(_, _, ok)| *ok)
@@ -377,7 +492,7 @@ mod tests {
         let fed = two_endpoint_fed();
         let handler = RequestHandler::new();
         let tasks = vec![(0usize, 1u32), (1, 2), (0, 3), (1, 4)];
-        let mut results = handler.run(&fed, tasks, |ep, &t| format!("{}-{}", ep.name(), t));
+        let mut results = handler.run(&fed, tasks, |_, ep, &t| format!("{}-{}", ep.name(), t));
         results.sort_by_key(|(_, t, _)| *t);
         let strings: Vec<&str> = results.iter().map(|(_, _, s)| s.as_str()).collect();
         assert_eq!(strings, ["A-1", "B-2", "A-3", "B-4"]);
@@ -387,7 +502,7 @@ mod tests {
     fn handler_empty_tasks() {
         let fed = two_endpoint_fed();
         let handler = RequestHandler::new();
-        let out: Vec<(EndpointId, u32, u32)> = handler.run(&fed, Vec::new(), |_, &t| t);
+        let out: Vec<(EndpointId, u32, u32)> = handler.run(&fed, Vec::new(), |_, _, &t| t);
         assert!(out.is_empty());
     }
 
@@ -395,7 +510,7 @@ mod tests {
     fn handler_single_endpoint_runs_inline() {
         let fed = two_endpoint_fed();
         let handler = RequestHandler::new();
-        let out = handler.run(&fed, vec![(1usize, 10u32), (1, 20)], |_, &t| t * 2);
+        let out = handler.run(&fed, vec![(1usize, 10u32), (1, 20)], |_, _, &t| t * 2);
         assert_eq!(out, vec![(1, 10, 20), (1, 20, 40)]);
     }
 }
@@ -457,13 +572,13 @@ mod sape_tests {
             cardinality: vec![20, 10],
             delayed: vec![false, true],
         };
-        let handler = RequestHandler::new();
+        let net = Net::default();
         let config = ExecConfig {
             block_size: 4,
             parallel_join_threshold: usize::MAX,
         };
         let before = fed.stats_snapshot();
-        let (sols, report) = evaluate_subqueries(&fed, &handler, &sqs, &costs, &config);
+        let (sols, report) = evaluate_subqueries(&fed, &net, &sqs, &costs, &config);
         let window = fed.stats_snapshot().since(&before);
         assert_eq!(report.delayed, 1);
         assert_eq!(sols.len(), 10);
@@ -480,9 +595,9 @@ mod sape_tests {
             cardinality: vec![20, 10],
             delayed: vec![true, true],
         };
-        let handler = RequestHandler::new();
+        let net = Net::default();
         let config = ExecConfig::default();
-        let (sols, report) = evaluate_subqueries(&fed, &handler, &sqs, &costs, &config);
+        let (sols, report) = evaluate_subqueries(&fed, &net, &sqs, &costs, &config);
         // One was promoted to the concurrent phase; one stayed delayed.
         assert_eq!(report.delayed, 1);
         assert_eq!(sols.len(), 10);
@@ -496,10 +611,10 @@ mod sape_tests {
             cardinality: vec![20, 10],
             delayed: vec![false, false],
         };
-        let handler = RequestHandler::new();
+        let net = Net::default();
         let config = ExecConfig::default();
         let before = fed.stats_snapshot();
-        let (sols, report) = evaluate_subqueries(&fed, &handler, &sqs, &costs, &config);
+        let (sols, report) = evaluate_subqueries(&fed, &net, &sqs, &costs, &config);
         let window = fed.stats_snapshot().since(&before);
         assert_eq!(report.delayed, 0);
         assert_eq!(sols.len(), 10);
@@ -510,10 +625,10 @@ mod sape_tests {
     #[test]
     fn empty_subquery_list_yields_single_empty_row() {
         let (fed, _) = chain_fed();
-        let handler = RequestHandler::new();
+        let net = Net::default();
         let (sols, report) = evaluate_subqueries(
             &fed,
-            &handler,
+            &net,
             &[],
             &SubqueryCosts::default(),
             &ExecConfig::default(),

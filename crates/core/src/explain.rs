@@ -8,7 +8,6 @@ use crate::cache::{KeyedCache, ProbeCache};
 use crate::cost::{decide_delays, estimate_cardinalities};
 use crate::decompose::{decompose, is_disjoint};
 use crate::engine::Lusail;
-use crate::exec::RequestHandler;
 use crate::gjv::detect_gjvs;
 use crate::source_selection::select_sources;
 use lusail_endpoint::Federation;
@@ -108,13 +107,13 @@ impl Lusail {
         // Use private-but-crate-visible caches through fresh ones when the
         // engine's are disabled; the engine's caches are reachable via the
         // same execution path, so reuse them by running the same phases.
-        let handler = RequestHandler::new();
+        let net = self.fresh_net();
         let ask_cache = ProbeCache::new(true);
         let check_cache = KeyedCache::new(true);
         let count_cache = ProbeCache::new(true);
 
         let dict = fed.dict();
-        let sources = select_sources(fed, &query.pattern, &ask_cache, &handler);
+        let sources = select_sources(fed, &query.pattern, &ask_cache, &net);
         let rendered_sources: Vec<(String, Vec<String>)> = sources
             .iter()
             .map(|(tp, srcs)| {
@@ -127,7 +126,7 @@ impl Lusail {
             })
             .collect();
 
-        let analysis = detect_gjvs(fed, &query.pattern.triples, &sources, &check_cache, &handler);
+        let analysis = detect_gjvs(fed, &query.pattern.triples, &sources, &check_cache, &net);
         let simple_pattern = query.pattern.optionals.is_empty()
             && query.pattern.unions.is_empty()
             && query.pattern.not_exists.is_empty()
@@ -148,7 +147,7 @@ impl Lusail {
 
         let subqueries = decompose(&query.pattern.triples, &sources, &analysis);
         let cardinality = if subqueries.len() > 1 {
-            estimate_cardinalities(fed, &handler, &subqueries, &count_cache)
+            estimate_cardinalities(fed, &net, &subqueries, &count_cache)
         } else {
             vec![0; subqueries.len()]
         };
@@ -162,7 +161,11 @@ impl Lusail {
             .iter()
             .enumerate()
             .map(|(i, sq)| SubqueryPlan {
-                triples: sq.triples.iter().map(|tp| render_pattern(tp, dict)).collect(),
+                triples: sq
+                    .triples
+                    .iter()
+                    .map(|tp| render_pattern(tp, dict))
+                    .collect(),
                 sources: sq
                     .sources
                     .iter()

@@ -30,12 +30,12 @@
 //! Q1/Q2 that §VI-C reports.
 
 use crate::cache::KeyedCache;
-use crate::exec::RequestHandler;
+use crate::exec::Net;
 use crate::source_selection::SourceMap;
 use lusail_endpoint::{EndpointId, Federation};
 use lusail_rdf::{vocab, FxHashSet, TermId};
 use lusail_sparql::ast::{GroupPattern, PatternTerm, Query, TriplePattern};
-
+use std::sync::atomic::Ordering;
 
 /// The result of GJV analysis over one basic graph pattern.
 #[derive(Debug, Clone, Default)]
@@ -75,12 +75,15 @@ enum Role {
 }
 
 /// Runs Algorithm 1 over the triple patterns of one conjunctive block.
+/// A check query whose endpoint fails (after retries) degrades gracefully:
+/// the pair is *assumed conflicting* — a false positive costs extra remote
+/// joins, never answers — and the assumption is not cached.
 pub fn detect_gjvs(
     fed: &Federation,
     triples: &[TriplePattern],
     sources: &SourceMap,
     cache: &KeyedCache<bool>,
-    handler: &RequestHandler,
+    net: &Net,
 ) -> GjvAnalysis {
     let mut analysis = GjvAnalysis::default();
     let rdf_type = fed.dict().encode_iri(vocab::RDF_TYPE);
@@ -88,11 +91,12 @@ pub fn detect_gjvs(
     // Map var -> (pattern index, role) occurrences.
     let mut vars: Vec<(String, Vec<(usize, Role)>)> = Vec::new();
     for (i, tp) in triples.iter().enumerate() {
-        let add = |name: &str, role: Role, vars: &mut Vec<(String, Vec<(usize, Role)>)>| {
-            match vars.iter_mut().find(|(v, _)| v == name) {
-                Some((_, occ)) => occ.push((i, role)),
-                None => vars.push((name.to_string(), vec![(i, role)])),
-            }
+        let add = |name: &str, role: Role, vars: &mut Vec<(String, Vec<(usize, Role)>)>| match vars
+            .iter_mut()
+            .find(|(v, _)| v == name)
+        {
+            Some((_, occ)) => occ.push((i, role)),
+            None => vars.push((name.to_string(), vec![(i, role)])),
         };
         if let PatternTerm::Var(v) = &tp.s {
             add(v, Role::Subject, &mut vars);
@@ -108,10 +112,7 @@ pub fn detect_gjvs(
     // A known type constraint per variable: (?v rdf:type <T>) with T const.
     let type_of = |v: &str| -> Option<(usize, TermId)> {
         triples.iter().enumerate().find_map(|(i, tp)| {
-            if tp.s.as_var() == Some(v)
-                && tp.p.as_const() == Some(rdf_type)
-                && !tp.o.is_var()
-            {
+            if tp.s.as_var() == Some(v) && tp.p.as_const() == Some(rdf_type) && !tp.o.is_var() {
                 Some((i, tp.o.as_const().unwrap()))
             } else {
                 None
@@ -166,14 +167,21 @@ pub fn detect_gjvs(
             } else {
                 let type_info = type_of(var);
                 let mut checks: Vec<(usize, usize, Query, String)> = Vec::new();
-                let push_check = |i: usize, j: usize, keep: usize, probe: usize,
-                                      checks: &mut Vec<(usize, usize, Query, String)>| {
-                    let (q, sig) =
-                        check_query(var, &triples[keep], &triples[probe], type_info, triples);
-                    if !checks.iter().any(|(a, b, _, s)| (*a, *b) == (i, j) && *s == sig) {
-                        checks.push((i, j, q, sig));
-                    }
-                };
+                let push_check =
+                    |i: usize,
+                     j: usize,
+                     keep: usize,
+                     probe: usize,
+                     checks: &mut Vec<(usize, usize, Query, String)>| {
+                        let (q, sig) =
+                            check_query(var, &triples[keep], &triples[probe], type_info, triples);
+                        if !checks
+                            .iter()
+                            .any(|(a, b, _, s)| (*a, *b) == (i, j) && *s == sig)
+                        {
+                            checks.push((i, j, q, sig));
+                        }
+                    };
                 // Enumerate occurrence pairs. For an (object TPᵢ, subject
                 // TPⱼ) pair the paper's single difference vᵢ − vⱼ suffices
                 // (the probe runs at every relevant endpoint). For
@@ -218,12 +226,24 @@ pub fn detect_gjvs(
                     }
                 }
                 analysis.check_queries += tasks.len() as u64;
-                let results = handler.run(fed, tasks, |ep, &ci| {
-                    !ep.select(&checks[ci].2).is_empty()
+                let results = net.handler.run(fed, tasks, |ep_id, ep, &ci| {
+                    net.client
+                        .request(ep_id, || ep.select(&checks[ci].2))
+                        .map(|sols| !sols.is_empty())
                 });
                 for (ep, ci, nonempty) in results {
-                    cache.put(checks[ci].3.clone(), ep, nonempty);
-                    outcomes[ci] |= nonempty;
+                    match nonempty {
+                        Ok(nonempty) => {
+                            cache.put(checks[ci].3.clone(), ep, nonempty);
+                            outcomes[ci] |= nonempty;
+                        }
+                        Err(_) => {
+                            net.degradation
+                                .checks_assumed_conflict
+                                .fetch_add(1, Ordering::Relaxed);
+                            outcomes[ci] = true;
+                        }
+                    }
                 }
                 for (ci, (i, j, _, _)) in checks.iter().enumerate() {
                     if outcomes[ci] {
@@ -275,17 +295,11 @@ fn check_query(
     // fresh names so the check is about *locality*, not specific values.
     let fresh = |tag: &str, t: &PatternTerm| -> PatternTerm {
         match t {
-            PatternTerm::Var(v) if v == var || keep.mentions(v) => {
-                PatternTerm::Var(v.clone())
-            }
+            PatternTerm::Var(v) if v == var || keep.mentions(v) => PatternTerm::Var(v.clone()),
             _ => PatternTerm::Var(format!("__chk_{tag}")),
         }
     };
-    let inner = TriplePattern::new(
-        fresh("s", &probe.s),
-        probe.p.clone(),
-        fresh("o", &probe.o),
-    );
+    let inner = TriplePattern::new(fresh("s", &probe.s), probe.p.clone(), fresh("o", &probe.o));
     let mut pattern = GroupPattern::bgp(outer);
     pattern.not_exists.push(GroupPattern::bgp(vec![inner]));
     let q = Query {
@@ -400,11 +414,11 @@ mod tests {
     }
 
     fn analyze(fed: &Federation, q: &lusail_sparql::Query) -> GjvAnalysis {
-        let handler = RequestHandler::new();
+        let net = Net::default();
         let ask_cache = ProbeCache::new(true);
-        let sources = select_sources(fed, &q.pattern, &ask_cache, &handler);
+        let sources = select_sources(fed, &q.pattern, &ask_cache, &net);
         let check_cache = KeyedCache::new(true);
-        detect_gjvs(fed, &q.pattern.triples, &sources, &check_cache, &handler)
+        detect_gjvs(fed, &q.pattern.triples, &sources, &check_cache, &net)
     }
 
     #[test]

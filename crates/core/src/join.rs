@@ -140,9 +140,8 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
             mask
         })
         .collect();
-    let connected = |a: u32, b: u32| -> bool {
-        (0..n).any(|i| a & (1 << i) != 0 && neighbors[i] & b != 0)
-    };
+    let connected =
+        |a: u32, b: u32| -> bool { (0..n).any(|i| a & (1 << i) != 0 && neighbors[i] & b != 0) };
 
     // Enumerate masks in increasing popcount order.
     let mut masks: Vec<u32> = (1..=full).collect();
@@ -165,8 +164,7 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
                         } else {
                             (pr.rows, pr.partitions, pl.rows, pl.partitions)
                         };
-                        let step = s_rows / s_parts.max(1) as f64
-                            + r_rows / r_parts.max(1) as f64;
+                        let step = s_rows / s_parts.max(1) as f64 + r_rows / r_parts.max(1) as f64;
                         let cost = pl.cost + pr.cost + step;
                         // Optimistic output estimate: the smaller input (a
                         // key join usually reduces); exact sizes are only
@@ -333,7 +331,7 @@ pub fn par_hash_join(
 
     let chunk = probe.rows.len().div_ceil(threads);
     let mut rows: Vec<Row> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let table = &table;
         let col_src = &col_src;
         let probe_cols = &probe_cols;
@@ -341,7 +339,7 @@ pub fn par_hash_join(
             .rows
             .chunks(chunk.max(1))
             .map(|chunk_rows| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut out: Vec<Row> = Vec::new();
                     for prow in chunk_rows {
                         let key: Vec<TermId> =
@@ -369,8 +367,7 @@ pub fn par_hash_join(
         for h in handles {
             rows.extend(h.join().expect("join worker panicked"));
         }
-    })
-    .expect("join scope");
+    });
     SolutionSet {
         vars: out_vars,
         rows,
@@ -407,7 +404,12 @@ mod tests {
         assert_eq!(canon.vars, ["w", "x", "y", "z"]);
         assert_eq!(
             canon.rows[0],
-            vec![Some(TermId(7)), Some(TermId(1)), Some(TermId(10)), Some(TermId(100))]
+            vec![
+                Some(TermId(7)),
+                Some(TermId(1)),
+                Some(TermId(10)),
+                Some(TermId(100))
+            ]
         );
     }
 
@@ -422,11 +424,7 @@ mod tests {
     #[test]
     fn star_join_with_many_relations() {
         // A center relation joined with 5 satellites.
-        let mut rels = vec![rel(
-            &["c", "a0"],
-            vec![vec![1, 10], vec![2, 20]],
-            2,
-        )];
+        let mut rels = vec![rel(&["c", "a0"], vec![vec![1, 10], vec![2, 20]], 2)];
         for i in 0..5 {
             rels.push(rel(
                 &["c", &format!("s{i}")],
@@ -443,16 +441,8 @@ mod tests {
     #[test]
     fn par_join_matches_sequential() {
         let n = 2_000u32;
-        let a = rel(
-            &["x", "y"],
-            (0..n).map(|i| vec![i, i * 2]).collect(),
-            4,
-        );
-        let b = rel(
-            &["y", "z"],
-            (0..n).map(|i| vec![i, i + 1]).collect(),
-            4,
-        );
+        let a = rel(&["x", "y"], (0..n).map(|i| vec![i, i * 2]).collect(), 4);
+        let b = rel(&["y", "z"], (0..n).map(|i| vec![i, i + 1]).collect(), 4);
         let seq = a.sols.hash_join(&b.sols).canonicalize();
         let par = par_hash_join(&a.sols, &b.sols, 4, 100).canonicalize();
         assert_eq!(seq, par);
@@ -472,7 +462,10 @@ mod tests {
         let b = rel(&["y", "z"], vec![vec![10, 100]], 2);
         let out = par_hash_join(&a.sols, &b.sols, 2, 0);
         assert_eq!(out.len(), 1);
-        assert_eq!(out.rows[0], vec![Some(TermId(1)), Some(TermId(10)), Some(TermId(100))]);
+        assert_eq!(
+            out.rows[0],
+            vec![Some(TermId(1)), Some(TermId(10)), Some(TermId(100))]
+        );
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod cluster;
 pub mod cost;
 pub mod decompose;
 pub mod engine;
-pub mod explain;
 pub mod exec;
+pub mod explain;
 pub mod gjv;
 pub mod join;
 pub mod metrics;
@@ -40,8 +40,8 @@ pub mod subquery;
 
 pub use cluster::LusailCluster;
 pub use cost::DelayPolicy;
-pub use explain::{QueryPlan, SubqueryPlan};
-pub use mqo::BatchReport;
 pub use engine::{Lusail, LusailConfig, QueryResult};
+pub use explain::{QueryPlan, SubqueryPlan};
 pub use metrics::QueryMetrics;
+pub use mqo::BatchReport;
 pub use subquery::Subquery;

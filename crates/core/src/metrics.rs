@@ -37,6 +37,14 @@ pub struct QueryMetrics {
     pub delayed_subqueries: usize,
     /// Rows in the final result.
     pub result_rows: usize,
+    /// ASK probes that failed and were degraded to "assume relevant".
+    pub degraded_ask_probes: u64,
+    /// LADE check queries that failed and were degraded to "assume
+    /// conflict".
+    pub degraded_check_queries: u64,
+    /// COUNT probes that failed and fell back to the endpoint's total
+    /// triple count.
+    pub degraded_count_probes: u64,
 }
 
 impl QueryMetrics {

@@ -15,7 +15,7 @@ use crate::cost::SubqueryCosts;
 use crate::engine::{Lusail, QueryResult};
 use crate::exec::evaluate_subqueries;
 use crate::subquery::Subquery;
-use lusail_endpoint::Federation;
+use lusail_endpoint::{Federation, FederationError};
 use lusail_sparql::ast::Query;
 use lusail_sparql::SolutionSet;
 use std::collections::HashMap;
@@ -29,14 +29,11 @@ fn subquery_signature(sq: &Subquery) -> String {
         .map(|tp| format!("{:?}", pattern_key(tp)))
         .collect();
     keys.sort();
-    format!(
-        "{:?}|{:?}|{:?}|{:?}",
-        keys, sq.sources, sq.filters, {
-            let mut p = sq.projection.clone();
-            p.sort();
-            p
-        }
-    )
+    format!("{:?}|{:?}|{:?}|{:?}", keys, sq.sources, sq.filters, {
+        let mut p = sq.projection.clone();
+        p.sort();
+        p
+    })
 }
 
 /// Statistics from a batch execution.
@@ -60,7 +57,10 @@ impl Lusail {
         &self,
         fed: &Federation,
         queries: &[Query],
-    ) -> (Vec<QueryResult>, BatchReport) {
+    ) -> Result<(Vec<QueryResult>, BatchReport), FederationError> {
+        if fed.is_empty() {
+            return Err(FederationError::EmptyFederation);
+        }
         // The shared-relation memo for this batch. Batch execution is
         // sequential (each query may reuse the previous ones' relations),
         // so a plain map suffices.
@@ -68,11 +68,11 @@ impl Lusail {
         let mut report = BatchReport::default();
         let mut results = Vec::with_capacity(queries.len());
         for q in queries {
-            let result = self.execute_with_shared(fed, q, &mut shared, &mut report);
+            let result = self.execute_with_shared(fed, q, &mut shared, &mut report)?;
             results.push(result);
         }
         report.distinct_subqueries = shared.len();
-        (results, report)
+        Ok((results, report))
     }
 
     /// Single-query execution that consults/extends the batch memo for
@@ -84,7 +84,7 @@ impl Lusail {
         query: &Query,
         shared: &mut HashMap<String, SolutionSet>,
         report: &mut BatchReport,
-    ) -> QueryResult {
+    ) -> Result<QueryResult, FederationError> {
         // Reuse the standard compile-time pipeline via explain-like calls,
         // then execute with memoized relations. To keep one code path, we
         // reuse `Lusail::execute` when the query has nested clauses (the
@@ -101,7 +101,8 @@ impl Lusail {
             return self.execute(fed, query);
         }
 
-        let plan = self.plan_conjunctive(fed, query);
+        let net = self.fresh_net();
+        let plan = self.plan_conjunctive(fed, query, &net);
         let (subqueries, costs, sources) = match plan {
             Some(parts) => parts,
             None => return self.execute(fed, query), // disjoint or empty
@@ -117,7 +118,6 @@ impl Lusail {
             block_size: self.config().block_size,
             parallel_join_threshold: self.config().parallel_join_threshold,
         };
-        let handler = crate::exec::RequestHandler::new();
 
         // One pass: cached relations come from the memo; missing
         // non-delayed subqueries are evaluated alone (concurrently per
@@ -137,9 +137,10 @@ impl Lusail {
                 relations.push(rel.clone());
                 continue;
             }
+            let loss_before = net.degradation.data_loss();
             let (rel, _) = evaluate_subqueries(
                 fed,
-                &handler,
+                &net,
                 std::slice::from_ref(sq),
                 &SubqueryCosts {
                     cardinality: vec![costs.cardinality[i]],
@@ -147,7 +148,11 @@ impl Lusail {
                 },
                 &exec_cfg,
             );
-            shared.insert(sig, rel.clone());
+            // Never memoize a relation that lost data to endpoint
+            // failures — later queries must not inherit the hole.
+            if net.degradation.data_loss() == loss_before {
+                shared.insert(sig, rel.clone());
+            }
             relations.push(rel);
         }
 
@@ -173,7 +178,7 @@ impl Lusail {
             // Delayed-only evaluation promotes the most selective one, so
             // bindings flow as usual; join its output in.
             let (delayed_rel, _) =
-                evaluate_subqueries(fed, &handler, &delayed_subqueries, &costs, &exec_cfg);
+                evaluate_subqueries(fed, &net, &delayed_subqueries, &costs, &exec_cfg);
             solutions = solutions.hash_join(&delayed_rel);
         }
 
@@ -191,7 +196,12 @@ impl Lusail {
             result_rows: solutions.len(),
             ..Default::default()
         };
-        QueryResult { solutions, metrics }
+        Ok(QueryResult {
+            solutions,
+            metrics,
+            complete: !net.degradation.data_loss(),
+            failures: net.client.report(fed),
+        })
     }
 }
 
@@ -240,7 +250,9 @@ mod tests {
         )
         .unwrap();
         let engine = Lusail::default();
-        let (results, report) = engine.execute_batch(&fed, &[q1.clone(), q2.clone()]);
+        let (results, report) = engine
+            .execute_batch(&fed, &[q1.clone(), q2.clone()])
+            .unwrap();
         // Both queries decompose into 2 subqueries; the (?s p ?v) subquery
         // is shared.
         assert_eq!(report.total_subqueries, 4);
@@ -275,7 +287,7 @@ mod tests {
 
         let before = fed.stats_snapshot();
         let e2 = Lusail::default();
-        let _ = e2.execute_batch(&fed, &[q1, q2]);
+        let _ = e2.execute_batch(&fed, &[q1, q2]).unwrap();
         let batched = fed.stats_snapshot().since(&before).select_requests;
         assert!(
             batched < sequential,
@@ -292,7 +304,9 @@ mod tests {
         )
         .unwrap();
         let engine = Lusail::default();
-        let (results, _) = engine.execute_batch(&fed, std::slice::from_ref(&q));
+        let (results, _) = engine
+            .execute_batch(&fed, std::slice::from_ref(&q))
+            .unwrap();
         let expected = lusail_store::eval::evaluate(&oracle, &q).canonicalize();
         assert_eq!(results[0].solutions.canonicalize(), expected);
     }

@@ -6,9 +6,10 @@
 //! request handler (one worker per endpoint).
 
 use crate::cache::{pattern_key, ProbeCache};
-use crate::exec::RequestHandler;
+use crate::exec::Net;
 use lusail_endpoint::{EndpointId, Federation};
 use lusail_sparql::ast::{GroupPattern, Query, TriplePattern};
+use std::sync::atomic::Ordering;
 
 /// Relevant endpoints for every triple pattern of a query, in
 /// `GroupPattern::all_triples` order.
@@ -78,12 +79,15 @@ impl SourceMap {
 }
 
 /// Runs source selection for every triple pattern of `pattern` (including
-/// nested OPTIONAL/UNION/NOT EXISTS groups) against all endpoints.
+/// nested OPTIONAL/UNION/NOT EXISTS groups) against all endpoints. A probe
+/// whose endpoint fails (after retries) degrades gracefully: the endpoint
+/// is *assumed relevant* — a safe over-approximation that can only cost
+/// extra requests, never answers — and the assumption is not cached.
 pub fn select_sources(
     fed: &Federation,
     pattern: &GroupPattern,
     cache: &ProbeCache<bool>,
-    handler: &RequestHandler,
+    net: &Net,
 ) -> SourceMap {
     let triples: Vec<TriplePattern> = pattern.all_triples().into_iter().cloned().collect();
     let mut entries: Vec<(TriplePattern, Vec<EndpointId>)> = Vec::with_capacity(triples.len());
@@ -110,14 +114,25 @@ pub fn select_sources(
     }
 
     // Probe uncached (endpoint, pattern) pairs in parallel by endpoint.
-    let probed: Vec<(EndpointId, TriplePattern, bool)> =
-        handler.run(fed, tasks, |ep, tp: &TriplePattern| {
+    let probed = net
+        .handler
+        .run(fed, tasks, |ep_id, ep, tp: &TriplePattern| {
             let q = Query::ask(GroupPattern::bgp(vec![tp.clone()]));
-            ep.ask(&q)
+            net.client.request(ep_id, || ep.ask(&q))
         });
     for (ep_id, tp, answer) in probed {
-        cache.put(pattern_key(&tp), ep_id, answer);
-        known.push((tp, ep_id, answer));
+        match answer {
+            Ok(answer) => {
+                cache.put(pattern_key(&tp), ep_id, answer);
+                known.push((tp, ep_id, answer));
+            }
+            Err(_) => {
+                net.degradation
+                    .asks_assumed_relevant
+                    .fetch_add(1, Ordering::Relaxed);
+                known.push((tp, ep_id, true));
+            }
+        }
     }
 
     for tp in triples {
@@ -171,8 +186,8 @@ mod tests {
         )
         .unwrap();
         let cache = ProbeCache::new(true);
-        let handler = RequestHandler::new();
-        let sm = select_sources(&f, &q.pattern, &cache, &handler);
+        let net = Net::default();
+        let sm = select_sources(&f, &q.pattern, &cache, &net);
         assert_eq!(sm.sources(&q.pattern.triples[0]), &[0]);
         assert_eq!(sm.sources(&q.pattern.triples[1]), &[1]);
         assert!(sm.sources(&q.pattern.triples[2]).is_empty());
@@ -186,13 +201,13 @@ mod tests {
         let f = fed();
         let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", f.dict()).unwrap();
         let cache = ProbeCache::new(true);
-        let handler = RequestHandler::new();
+        let net = Net::default();
         let before = f.stats_snapshot();
-        select_sources(&f, &q.pattern, &cache, &handler);
+        select_sources(&f, &q.pattern, &cache, &net);
         let mid = f.stats_snapshot();
         assert_eq!(mid.since(&before).ask_requests, 2);
         // Second run: fully cached, zero asks.
-        select_sources(&f, &q.pattern, &cache, &handler);
+        select_sources(&f, &q.pattern, &cache, &net);
         let after = f.stats_snapshot();
         assert_eq!(after.since(&mid).ask_requests, 0);
     }
@@ -202,10 +217,10 @@ mod tests {
         let f = fed();
         let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", f.dict()).unwrap();
         let cache = ProbeCache::new(false);
-        let handler = RequestHandler::new();
+        let net = Net::default();
         let before = f.stats_snapshot();
-        select_sources(&f, &q.pattern, &cache, &handler);
-        select_sources(&f, &q.pattern, &cache, &handler);
+        select_sources(&f, &q.pattern, &cache, &net);
+        select_sources(&f, &q.pattern, &cache, &net);
         let after = f.stats_snapshot();
         assert_eq!(after.since(&before).ask_requests, 4);
     }

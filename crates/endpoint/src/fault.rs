@@ -1,0 +1,290 @@
+//! Fault injection: wrap any endpoint in a [`FlakyEndpoint`] that fails,
+//! times out, or slows down a seeded fraction of requests.
+//!
+//! This is how the reproduction tests the engines against the unreliable
+//! WANs the paper's geo-distributed setting (Fig. 14) implies. Injection is
+//! fully deterministic: the same seed produces the same fault sequence on
+//! every platform, and scripted mode replays an exact per-request schedule
+//! for unit tests of the retry machinery.
+
+use crate::error::EndpointError;
+use crate::network::{NetworkStats, StatsSnapshot};
+use crate::{EndpointRef, SparqlEndpoint};
+use lusail_sparql::{Query, SolutionSet};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A deterministic SplitMix64 stream (independent of the workload
+/// generators so the endpoint crate stays dependency-free).
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Describes how often and how an endpoint misbehaves.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultProfile {
+    /// Seed for the per-endpoint fault stream.
+    pub seed: u64,
+    /// Probability a request drops mid-flight ([`EndpointError::Interrupted`]).
+    pub failure_rate: f64,
+    /// Probability a request times out ([`EndpointError::Timeout`]).
+    pub timeout_rate: f64,
+    /// Probability a request is slowed down by [`FaultProfile::slowdown`]
+    /// of extra virtual network time (the request still succeeds).
+    pub slowdown_rate: f64,
+    /// Extra virtual time charged on a slowdown.
+    pub slowdown: Duration,
+    /// If true, every request fails with [`EndpointError::Unavailable`] —
+    /// the endpoint is permanently down.
+    pub dead: bool,
+}
+
+impl Default for FaultProfile {
+    /// A profile that never injects anything.
+    fn default() -> Self {
+        FaultProfile {
+            seed: 0,
+            failure_rate: 0.0,
+            timeout_rate: 0.0,
+            slowdown_rate: 0.0,
+            slowdown: Duration::ZERO,
+            dead: false,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A profile injecting transient connection drops at the given rate.
+    pub fn transient(seed: u64, failure_rate: f64) -> Self {
+        FaultProfile {
+            seed,
+            failure_rate,
+            ..FaultProfile::default()
+        }
+    }
+
+    /// A permanently unavailable endpoint.
+    pub fn dead() -> Self {
+        FaultProfile {
+            dead: true,
+            ..FaultProfile::default()
+        }
+    }
+}
+
+/// Wraps an endpoint and injects faults per a [`FaultProfile`], or per an
+/// explicit per-request script. Failed requests are counted both in the
+/// request-kind counter (an attempt crossed the wire) and in the
+/// `faults_injected` counter of the wrapper's stats.
+pub struct FlakyEndpoint {
+    inner: EndpointRef,
+    profile: FaultProfile,
+    rng: Mutex<SplitMix64>,
+    script: Mutex<VecDeque<Option<EndpointError>>>,
+    fault_stats: NetworkStats,
+}
+
+impl FlakyEndpoint {
+    /// Wraps `inner`, injecting faults according to `profile`.
+    pub fn new(inner: EndpointRef, profile: FaultProfile) -> Self {
+        FlakyEndpoint {
+            inner,
+            rng: Mutex::new(SplitMix64::new(profile.seed)),
+            profile,
+            script: Mutex::new(VecDeque::new()),
+            fault_stats: NetworkStats::default(),
+        }
+    }
+
+    /// Wraps `inner` with an exact per-request schedule: entry `i` decides
+    /// request `i` (`Some(e)` fails it, `None` passes it through). Once the
+    /// script drains, the profile (here: no faults) takes over.
+    pub fn scripted(
+        inner: EndpointRef,
+        script: impl IntoIterator<Item = Option<EndpointError>>,
+    ) -> Self {
+        let ep = FlakyEndpoint::new(inner, FaultProfile::default());
+        ep.script.lock().unwrap().extend(script);
+        ep
+    }
+
+    /// Appends entries to the fault script.
+    pub fn push_script(&self, entries: impl IntoIterator<Item = Option<EndpointError>>) {
+        self.script.lock().unwrap().extend(entries);
+    }
+
+    /// Decides one request's fate. `bump` records a failed attempt of the
+    /// right request kind on the wrapper's stats.
+    fn intercept(&self, bump: impl Fn(&NetworkStats)) -> Result<(), EndpointError> {
+        let scripted = self.script.lock().unwrap().pop_front();
+        let fault = match scripted {
+            Some(decision) => decision,
+            None => {
+                if self.profile.dead {
+                    Some(EndpointError::Unavailable)
+                } else {
+                    let mut rng = self.rng.lock().unwrap();
+                    if rng.chance(self.profile.failure_rate) {
+                        Some(EndpointError::Interrupted)
+                    } else if rng.chance(self.profile.timeout_rate) {
+                        Some(EndpointError::Timeout)
+                    } else {
+                        if rng.chance(self.profile.slowdown_rate) {
+                            self.fault_stats.bump_slowdown();
+                            self.fault_stats.record(0, 0, 0, self.profile.slowdown);
+                        }
+                        None
+                    }
+                }
+            }
+        };
+        match fault {
+            Some(e) => {
+                bump(&self.fault_stats);
+                self.fault_stats.bump_fault();
+                Err(e)
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+impl SparqlEndpoint for FlakyEndpoint {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn ask(&self, q: &Query) -> Result<bool, EndpointError> {
+        self.intercept(|s| s.bump_ask())?;
+        self.inner.ask(q)
+    }
+
+    fn select(&self, q: &Query) -> Result<SolutionSet, EndpointError> {
+        self.intercept(|s| s.bump_select())?;
+        self.inner.select(q)
+    }
+
+    fn count(&self, q: &Query) -> Result<u64, EndpointError> {
+        self.intercept(|s| s.bump_count())?;
+        self.inner.count(q)
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.inner
+            .stats_snapshot()
+            .plus(&self.fault_stats.snapshot())
+    }
+
+    fn triple_count(&self) -> usize {
+        self.inner.triple_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalEndpoint;
+    use lusail_rdf::{Dictionary, Term};
+    use lusail_sparql::parse_query;
+    use lusail_store::TripleStore;
+    use std::sync::Arc;
+
+    fn inner() -> (EndpointRef, Query) {
+        let dict = Dictionary::shared();
+        let mut st = TripleStore::new(Arc::clone(&dict));
+        st.insert_terms(
+            &Term::iri("http://x/s"),
+            &Term::iri("http://x/p"),
+            &Term::iri("http://x/o"),
+        );
+        let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", &dict).unwrap();
+        (Arc::new(LocalEndpoint::new("A", st)), q)
+    }
+
+    #[test]
+    fn seeded_injection_is_deterministic() {
+        let outcomes = |seed| {
+            let (ep, q) = inner();
+            let flaky = FlakyEndpoint::new(ep, FaultProfile::transient(seed, 0.4));
+            (0..64)
+                .map(|_| flaky.select(&q).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outcomes(7), outcomes(7));
+        assert_ne!(outcomes(7), outcomes(8));
+        assert!(outcomes(7).iter().any(|ok| !ok), "no fault ever injected");
+        assert!(outcomes(7).iter().any(|ok| *ok), "every request failed");
+    }
+
+    #[test]
+    fn scripted_faults_fire_in_order_then_pass_through() {
+        let (ep, q) = inner();
+        let flaky = FlakyEndpoint::scripted(
+            ep,
+            [
+                Some(EndpointError::Interrupted),
+                None,
+                Some(EndpointError::Timeout),
+            ],
+        );
+        assert_eq!(flaky.select(&q), Err(EndpointError::Interrupted));
+        assert!(flaky.select(&q).is_ok());
+        assert_eq!(flaky.ask(&q), Err(EndpointError::Timeout));
+        assert!(flaky.count(&q).is_ok());
+    }
+
+    #[test]
+    fn dead_profile_fails_everything() {
+        let (ep, q) = inner();
+        let flaky = FlakyEndpoint::new(ep, FaultProfile::dead());
+        for _ in 0..3 {
+            assert_eq!(flaky.select(&q), Err(EndpointError::Unavailable));
+        }
+    }
+
+    #[test]
+    fn faults_are_counted_as_requests_and_faults() {
+        let (ep, q) = inner();
+        let flaky = FlakyEndpoint::scripted(ep, [Some(EndpointError::Interrupted), None]);
+        let _ = flaky.select(&q);
+        let _ = flaky.select(&q);
+        let s = flaky.stats_snapshot();
+        // Both the failed attempt and the successful one count as selects.
+        assert_eq!(s.select_requests, 2);
+        assert_eq!(s.faults_injected, 1);
+    }
+
+    #[test]
+    fn slowdowns_add_virtual_time() {
+        let (ep, q) = inner();
+        let profile = FaultProfile {
+            seed: 3,
+            slowdown_rate: 1.0,
+            slowdown: Duration::from_millis(25),
+            ..FaultProfile::default()
+        };
+        let flaky = FlakyEndpoint::new(ep, profile);
+        assert!(flaky.select(&q).is_ok());
+        let s = flaky.stats_snapshot();
+        assert_eq!(s.slowdowns_injected, 1);
+        assert!(s.virtual_time_ns >= 25_000_000);
+    }
+}

@@ -1,8 +1,10 @@
 //! A federation: the named set of endpoints a query runs against.
 
-use crate::network::StatsSnapshot;
-use crate::{EndpointRef, SparqlEndpoint};
+use crate::fault::{FaultProfile, FlakyEndpoint};
+use crate::network::{NetworkProfile, StatsSnapshot};
+use crate::{EndpointRef, LocalEndpoint};
 use lusail_rdf::Dictionary;
+use lusail_store::TripleStore;
 use std::sync::Arc;
 
 /// Index of an endpoint within a [`Federation`]. Engines carry endpoint
@@ -22,6 +24,14 @@ impl Federation {
         Federation {
             dict,
             endpoints: Vec::new(),
+        }
+    }
+
+    /// Starts a [`FederationBuilder`] over the given dictionary.
+    pub fn builder(dict: Arc<Dictionary>) -> FederationBuilder {
+        FederationBuilder {
+            dict,
+            entries: Vec::new(),
         }
     }
 
@@ -53,7 +63,7 @@ impl Federation {
     }
 
     /// Looks an endpoint up by name.
-    pub fn by_name(&self, name: &str) -> Option<(EndpointId, &EndpointRef)> {
+    pub fn endpoint_by_name(&self, name: &str) -> Option<(EndpointId, &EndpointRef)> {
         self.endpoints
             .iter()
             .enumerate()
@@ -74,7 +84,7 @@ impl Federation {
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         self.endpoints
             .iter()
-            .map(|ep| ep.stats().snapshot())
+            .map(|ep| ep.stats_snapshot())
             .fold(StatsSnapshot::default(), |acc, s| acc.plus(&s))
     }
 
@@ -84,22 +94,140 @@ impl Federation {
     }
 }
 
+/// Fluent construction of a [`Federation`]: each [`endpoint`] call adds a
+/// [`LocalEndpoint`], and [`profile`]/[`faults`] decorate the most recently
+/// added endpoint.
+///
+/// [`endpoint`]: FederationBuilder::endpoint
+/// [`profile`]: FederationBuilder::profile
+/// [`faults`]: FederationBuilder::faults
+///
+/// ```
+/// # use lusail_endpoint::{FaultProfile, Federation, NetworkProfile};
+/// # use lusail_rdf::Dictionary;
+/// # use lusail_store::TripleStore;
+/// # let dict = Dictionary::shared();
+/// # let (a, b) = (TripleStore::new(dict.clone()), TripleStore::new(dict.clone()));
+/// let fed = Federation::builder(dict)
+///     .endpoint("stable", a)
+///     .endpoint("flaky", b)
+///     .profile(NetworkProfile::wan(30, 100))
+///     .faults(FaultProfile::transient(42, 0.2))
+///     .build();
+/// assert_eq!(fed.len(), 2);
+/// assert!(fed.endpoint_by_name("flaky").is_some());
+/// ```
+pub struct FederationBuilder {
+    dict: Arc<Dictionary>,
+    entries: Vec<BuilderEntry>,
+}
+
+enum BuilderEntry {
+    Local {
+        name: String,
+        store: TripleStore,
+        profile: NetworkProfile,
+        faults: Option<FaultProfile>,
+    },
+    Custom {
+        ep: EndpointRef,
+        faults: Option<FaultProfile>,
+    },
+}
+
+impl FederationBuilder {
+    /// Adds a [`LocalEndpoint`] over the store, with the default (zero
+    /// delay, no faults) network.
+    pub fn endpoint(mut self, name: impl Into<String>, store: TripleStore) -> Self {
+        self.entries.push(BuilderEntry::Local {
+            name: name.into(),
+            store,
+            profile: NetworkProfile::default(),
+            faults: None,
+        });
+        self
+    }
+
+    /// Adds a pre-built endpoint (e.g. a custom [`SparqlEndpoint`] impl).
+    pub fn custom(mut self, ep: EndpointRef) -> Self {
+        self.entries.push(BuilderEntry::Custom { ep, faults: None });
+        self
+    }
+
+    /// Sets the network profile of the most recently added endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no endpoint has been added, or the last endpoint was
+    /// added via [`FederationBuilder::custom`] (its network behaviour is
+    /// its own business).
+    pub fn profile(mut self, profile: NetworkProfile) -> Self {
+        match self.entries.last_mut() {
+            Some(BuilderEntry::Local { profile: p, .. }) => *p = profile,
+            Some(BuilderEntry::Custom { .. }) => {
+                panic!("profile() cannot decorate an externally built endpoint")
+            }
+            None => panic!("profile() before any endpoint()"),
+        }
+        self
+    }
+
+    /// Wraps the most recently added endpoint in a [`FlakyEndpoint`] with
+    /// the given fault profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no endpoint has been added yet.
+    pub fn faults(mut self, faults: FaultProfile) -> Self {
+        match self.entries.last_mut() {
+            Some(BuilderEntry::Local { faults: f, .. })
+            | Some(BuilderEntry::Custom { faults: f, .. }) => *f = Some(faults),
+            None => panic!("faults() before any endpoint()"),
+        }
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Federation {
+        let mut fed = Federation::new(self.dict);
+        for entry in self.entries {
+            let (base, faults): (EndpointRef, Option<FaultProfile>) = match entry {
+                BuilderEntry::Local {
+                    name,
+                    store,
+                    profile,
+                    faults,
+                } => (
+                    Arc::new(LocalEndpoint::with_profile(name, store, profile)),
+                    faults,
+                ),
+                BuilderEntry::Custom { ep, faults } => (ep, faults),
+            };
+            let ep = match faults {
+                Some(f) => Arc::new(FlakyEndpoint::new(base, f)) as EndpointRef,
+                None => base,
+            };
+            fed.add(ep);
+        }
+        fed
+    }
+}
+
 /// Builds a federation directly from named stores (test/bench helper).
 pub fn federation_from_stores(
     dict: Arc<Dictionary>,
-    stores: Vec<(String, lusail_store::TripleStore)>,
+    stores: Vec<(String, TripleStore)>,
 ) -> Federation {
-    let mut fed = Federation::new(dict);
+    let mut builder = Federation::builder(dict);
     for (name, store) in stores {
-        fed.add(Arc::new(crate::LocalEndpoint::new(name, store)) as Arc<dyn SparqlEndpoint>);
+        builder = builder.endpoint(name, store);
     }
-    fed
+    builder.build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LocalEndpoint;
     use lusail_rdf::Term;
     use lusail_sparql::parse_query;
     use lusail_store::TripleStore;
@@ -118,29 +246,29 @@ mod tests {
             &Term::iri("http://b/p"),
             &Term::iri("http://b/o"),
         );
-        let mut fed = Federation::new(dict);
-        fed.add(Arc::new(LocalEndpoint::new("A", st1)));
-        fed.add(Arc::new(LocalEndpoint::new("B", st2)));
-        fed
+        Federation::builder(dict)
+            .endpoint("A", st1)
+            .endpoint("B", st2)
+            .build()
     }
 
     #[test]
     fn lookup_by_name_and_id() {
         let f = fed();
         assert_eq!(f.len(), 2);
-        let (id, ep) = f.by_name("B").unwrap();
+        let (id, ep) = f.endpoint_by_name("B").unwrap();
         assert_eq!(id, 1);
         assert_eq!(ep.name(), "B");
         assert_eq!(f.endpoint(0).name(), "A");
-        assert!(f.by_name("C").is_none());
+        assert!(f.endpoint_by_name("C").is_none());
     }
 
     #[test]
     fn ask_routes_to_the_right_store() {
         let f = fed();
         let q = parse_query("ASK { ?s <http://a/p> ?o }", f.dict()).unwrap();
-        assert!(f.endpoint(0).ask(&q));
-        assert!(!f.endpoint(1).ask(&q));
+        assert!(f.endpoint(0).ask(&q).unwrap());
+        assert!(!f.endpoint(1).ask(&q).unwrap());
     }
 
     #[test]
@@ -148,8 +276,8 @@ mod tests {
         let f = fed();
         let before = f.stats_snapshot();
         let q = parse_query("SELECT * WHERE { ?s ?p ?o }", f.dict()).unwrap();
-        let r0 = f.endpoint(0).select(&q);
-        let r1 = f.endpoint(1).select(&q);
+        let r0 = f.endpoint(0).select(&q).unwrap();
+        let r1 = f.endpoint(1).select(&q).unwrap();
         assert_eq!(r0.len(), 1);
         assert_eq!(r1.len(), 1);
         let window = f.stats_snapshot().since(&before);
@@ -161,5 +289,30 @@ mod tests {
     #[test]
     fn total_triples_sums_endpoints() {
         assert_eq!(fed().total_triples(), 2);
+    }
+
+    #[test]
+    fn builder_applies_profiles_and_faults() {
+        let dict = Dictionary::shared();
+        let mut st = TripleStore::new(Arc::clone(&dict));
+        st.insert_terms(
+            &Term::iri("http://a/s"),
+            &Term::iri("http://a/p"),
+            &Term::iri("http://a/o"),
+        );
+        let mut profile = NetworkProfile::wan(10, 100);
+        profile.sleep = false;
+        let f = Federation::builder(Arc::clone(&dict))
+            .endpoint("A", st)
+            .profile(profile)
+            .faults(FaultProfile::dead())
+            .endpoint("B", TripleStore::new(dict))
+            .build();
+        assert_eq!(f.len(), 2);
+        // The dead fault profile wraps the profiled endpoint.
+        let q = parse_query("ASK { ?s <http://a/p> ?o }", f.dict()).unwrap();
+        assert!(f.endpoint(0).ask(&q).is_err());
+        assert!(!f.endpoint(1).ask(&q).unwrap());
+        assert_eq!(f.endpoint(0).triple_count(), 1);
     }
 }

@@ -12,16 +12,26 @@
 //! * an optional [`NetworkProfile`] adds real latency (`thread::sleep`) and
 //!   bandwidth delay per request, used for the geo-distributed experiments
 //!   (Fig. 14); the same virtual time is always *accumulated* so harnesses
-//!   can compute modeled response times without sleeping.
+//!   can compute modeled response times without sleeping;
+//! * every request is **fallible**: `ask`/`select`/`count` return
+//!   `Result<_, EndpointError>`, a [`FlakyEndpoint`] wrapper injects
+//!   deterministic faults, and engines route calls through a
+//!   [`ResilientClient`] that retries, backs off, and trips dead endpoints.
 //!
 //! A [`Federation`] is a named, ordered collection of endpoints sharing a
 //! term dictionary.
 
+pub mod error;
+pub mod fault;
 pub mod federation;
 pub mod network;
+pub mod resilience;
 
-pub use federation::{EndpointId, Federation};
+pub use error::{EndpointError, EndpointFailure, FederationError, QueryOutcome};
+pub use fault::{FaultProfile, FlakyEndpoint};
+pub use federation::{EndpointId, Federation, FederationBuilder};
 pub use network::{NetworkProfile, NetworkStats, StatsSnapshot};
+pub use resilience::{Clock, ManualClock, RequestPolicy, ResilientClient, SystemClock};
 
 use lusail_sparql::{write_query, Query, SolutionSet};
 use lusail_store::TripleStore;
@@ -33,19 +43,22 @@ pub trait SparqlEndpoint: Send + Sync {
     /// The endpoint's stable name (e.g. `"DrugBank"` or `"univ-0"`).
     fn name(&self) -> &str;
     /// Executes an `ASK`: does the query's pattern have any solution here?
-    fn ask(&self, q: &Query) -> bool;
+    fn ask(&self, q: &Query) -> Result<bool, EndpointError>;
     /// Executes a `SELECT`, returning the solutions.
-    fn select(&self, q: &Query) -> SolutionSet;
+    fn select(&self, q: &Query) -> Result<SolutionSet, EndpointError>;
     /// Executes a `SELECT (COUNT(*) …)`, returning the count.
-    fn count(&self, q: &Query) -> u64;
-    /// Request/byte counters for this endpoint.
-    fn stats(&self) -> &NetworkStats;
-    /// Number of triples stored at this endpoint.
+    fn count(&self, q: &Query) -> Result<u64, EndpointError>;
+    /// A point-in-time copy of this endpoint's request/byte counters.
+    fn stats_snapshot(&self) -> StatsSnapshot;
+    /// Number of triples stored at this endpoint (catalog metadata, not a
+    /// remote request — engines use it as a conservative cardinality
+    /// fallback when COUNT probes fail).
     fn triple_count(&self) -> usize;
 }
 
 /// An in-process SPARQL endpoint over a [`TripleStore`], with simulated
-/// network costs.
+/// network costs. Never fails on its own; wrap it in a [`FlakyEndpoint`]
+/// to inject faults.
 pub struct LocalEndpoint {
     name: String,
     store: TripleStore,
@@ -109,29 +122,32 @@ impl SparqlEndpoint for LocalEndpoint {
         &self.name
     }
 
-    fn ask(&self, q: &Query) -> bool {
+    fn ask(&self, q: &Query) -> Result<bool, EndpointError> {
         let result = lusail_store::eval::ask(&self.store, q);
         self.stats.bump_ask();
-        self.charge(q, 1, 1);
-        result
+        // The serialized response is the boolean literal itself.
+        let body = if result { "true" } else { "false" };
+        self.charge(q, body.len() as u64, 0);
+        Ok(result)
     }
 
-    fn select(&self, q: &Query) -> SolutionSet {
+    fn select(&self, q: &Query) -> Result<SolutionSet, EndpointError> {
         let result = lusail_store::eval::evaluate(&self.store, q);
         self.stats.bump_select();
         self.charge(q, result.wire_bytes(), result.len() as u64);
-        result
+        Ok(result)
     }
 
-    fn count(&self, q: &Query) -> u64 {
+    fn count(&self, q: &Query) -> Result<u64, EndpointError> {
         let result = lusail_store::eval::count(&self.store, q);
         self.stats.bump_count();
-        self.charge(q, 8, 1);
-        result
+        // The serialized response is the count's decimal digits.
+        self.charge(q, result.to_string().len() as u64, 1);
+        Ok(result)
     }
 
-    fn stats(&self) -> &NetworkStats {
-        &self.stats
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
     }
 
     fn triple_count(&self) -> usize {
@@ -145,12 +161,14 @@ pub type EndpointRef = Arc<dyn SparqlEndpoint>;
 /// A federated SPARQL query engine — implemented by Lusail and by the
 /// FedX / SPLENDID / HiBISCuS baselines so harnesses can drive them
 /// uniformly. Request counts and byte volumes are read from the
-/// federation's [`NetworkStats`] around the call.
+/// federation's [`StatsSnapshot`] around the call.
 pub trait FederatedEngine: Send + Sync {
     /// A short display name ("Lusail", "FedX", …).
     fn engine_name(&self) -> &str;
-    /// Executes the query and returns its solutions.
-    fn run(&self, fed: &Federation, query: &Query) -> SolutionSet;
+    /// Executes the query. Endpoint failures degrade gracefully into an
+    /// incomplete [`QueryOutcome`]; only federation-level misuse (e.g. an
+    /// empty federation) is an `Err`.
+    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError>;
     /// Clears any memoized probe results (between benchmark repetitions).
     fn reset(&self) {}
 }
@@ -182,13 +200,13 @@ mod wire_tests {
         let ep = endpoint(profile);
         let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", ep.store().dict()).unwrap();
         let t0 = Instant::now();
-        let sols = ep.select(&q);
+        let sols = ep.select(&q).unwrap();
         assert_eq!(sols.len(), 50);
         assert!(
             t0.elapsed().as_millis() < 40,
             "accounting-only profile slept"
         );
-        let s = ep.stats().snapshot();
+        let s = ep.stats_snapshot();
         assert_eq!(s.select_requests, 1);
         assert_eq!(s.rows_returned, 50);
         // Virtual time includes the 50 ms latency even without sleeping.
@@ -200,7 +218,7 @@ mod wire_tests {
         let ep = endpoint(NetworkProfile::wan(30, 100));
         let q = parse_query("ASK { ?s <http://x/p> ?o }", ep.store().dict()).unwrap();
         let t0 = Instant::now();
-        assert!(ep.ask(&q));
+        assert!(ep.ask(&q).unwrap());
         assert!(
             t0.elapsed().as_millis() >= 30,
             "WAN profile did not sleep for its latency"
@@ -216,12 +234,36 @@ mod wire_tests {
         let small = parse_query("SELECT * WHERE { ?s <http://x/p> ?o } LIMIT 1", dict).unwrap();
         let large = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", dict).unwrap();
         let _ = ep.select(&small);
-        let after_small = ep.stats().snapshot().virtual_time_ns;
+        let after_small = ep.stats_snapshot().virtual_time_ns;
         let _ = ep.select(&large);
-        let after_large = ep.stats().snapshot().virtual_time_ns - after_small;
+        let after_large = ep.stats_snapshot().virtual_time_ns - after_small;
         assert!(
             after_large > after_small,
             "transfer time did not grow with result size: {after_small} vs {after_large}"
         );
+    }
+
+    #[test]
+    fn ask_and_count_charge_real_response_sizes() {
+        let ep = endpoint(NetworkProfile::default());
+        let dict = ep.store().dict();
+        let hit = parse_query("ASK { ?s <http://x/p> ?o }", dict).unwrap();
+        let miss = parse_query("ASK { ?s <http://x/q> ?o }", dict).unwrap();
+        let before = ep.stats_snapshot();
+        assert!(ep.ask(&hit).unwrap());
+        let true_bytes = ep.stats_snapshot().since(&before).bytes_returned;
+        assert_eq!(true_bytes, 4); // "true"
+
+        let before = ep.stats_snapshot();
+        assert!(!ep.ask(&miss).unwrap());
+        let false_bytes = ep.stats_snapshot().since(&before).bytes_returned;
+        assert_eq!(false_bytes, 5); // "false"
+
+        let count_q =
+            parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }", dict).unwrap();
+        let before = ep.stats_snapshot();
+        assert_eq!(ep.count(&count_q).unwrap(), 50);
+        let count_bytes = ep.stats_snapshot().since(&before).bytes_returned;
+        assert_eq!(count_bytes, 2); // "50"
     }
 }

@@ -58,6 +58,8 @@ pub struct NetworkStats {
     bytes_returned: AtomicU64,
     rows_returned: AtomicU64,
     virtual_time_ns: AtomicU64,
+    faults_injected: AtomicU64,
+    slowdowns_injected: AtomicU64,
 }
 
 impl NetworkStats {
@@ -71,6 +73,14 @@ impl NetworkStats {
 
     pub(crate) fn bump_count(&self) {
         self.count_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_fault(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_slowdown(&self) {
+        self.slowdowns_injected.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record(&self, sent: u64, returned: u64, rows: u64, time: Duration) {
@@ -91,6 +101,8 @@ impl NetworkStats {
             bytes_returned: self.bytes_returned.load(Ordering::Relaxed),
             rows_returned: self.rows_returned.load(Ordering::Relaxed),
             virtual_time_ns: self.virtual_time_ns.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            slowdowns_injected: self.slowdowns_injected.load(Ordering::Relaxed),
         }
     }
 }
@@ -113,6 +125,10 @@ pub struct StatsSnapshot {
     pub rows_returned: u64,
     /// Accumulated simulated network time, in nanoseconds.
     pub virtual_time_ns: u64,
+    /// Requests that were failed by injected faults (flaky endpoints).
+    pub faults_injected: u64,
+    /// Requests that were slowed down by injected faults.
+    pub slowdowns_injected: u64,
 }
 
 impl StatsSnapshot {
@@ -131,6 +147,8 @@ impl StatsSnapshot {
             bytes_returned: self.bytes_returned - earlier.bytes_returned,
             rows_returned: self.rows_returned - earlier.rows_returned,
             virtual_time_ns: self.virtual_time_ns - earlier.virtual_time_ns,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            slowdowns_injected: self.slowdowns_injected - earlier.slowdowns_injected,
         }
     }
 
@@ -144,6 +162,8 @@ impl StatsSnapshot {
             bytes_returned: self.bytes_returned + other.bytes_returned,
             rows_returned: self.rows_returned + other.rows_returned,
             virtual_time_ns: self.virtual_time_ns + other.virtual_time_ns,
+            faults_injected: self.faults_injected + other.faults_injected,
+            slowdowns_injected: self.slowdowns_injected + other.slowdowns_injected,
         }
     }
 }

@@ -1,0 +1,485 @@
+//! The resilience layer every engine routes remote calls through:
+//! retries with exponential backoff and jitter, per-request deadlines,
+//! and a per-endpoint consecutive-failure trip.
+//!
+//! A [`ResilientClient`] is created per query execution, so an endpoint
+//! tripped dead stays dead *for the rest of that query* — matching the
+//! paper's autonomy assumption that an engine cannot repair remote
+//! sources, only route around them. Time is abstracted behind [`Clock`]
+//! so the retry schedule is testable without real sleeping.
+
+use crate::error::{EndpointError, EndpointFailure};
+use crate::fault::SplitMix64;
+use crate::federation::{EndpointId, Federation};
+use lusail_sparql::{Query, SolutionSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source the client schedules retries against.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's origin.
+    fn now(&self) -> Duration;
+    /// Blocks (or pretends to block) for the given duration.
+    fn sleep(&self, d: Duration);
+}
+
+/// The real clock: `Instant`-based, actually sleeps.
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if d > Duration::ZERO {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A manually-advanced clock for deterministic tests: `sleep` advances
+/// virtual time instantly, so a test can assert the exact backoff
+/// schedule the client produced.
+#[derive(Default)]
+pub struct ManualClock {
+    now: Mutex<Duration>,
+}
+
+impl ManualClock {
+    /// A clock at time zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ManualClock::default())
+    }
+
+    /// Advances virtual time.
+    pub fn advance(&self, d: Duration) {
+        *self.now.lock().unwrap() += d;
+    }
+
+    /// Virtual time elapsed so far (sum of all sleeps and advances).
+    pub fn elapsed(&self) -> Duration {
+        *self.now.lock().unwrap()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock().unwrap()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.advance(d);
+    }
+}
+
+/// Retry/backoff/deadline policy for remote requests.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestPolicy {
+    /// Retries per request after the first attempt (transient errors only).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub backoff_multiplier: f64,
+    /// Cap on any single backoff.
+    pub max_backoff: Duration,
+    /// Jitter fraction: each backoff is scaled by a deterministic factor
+    /// uniform in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Budget for one request including all its retries and backoffs;
+    /// `Duration::ZERO` disables the deadline.
+    pub deadline: Duration,
+    /// Consecutive failed requests before the endpoint is tripped dead for
+    /// the rest of the query; `0` disables tripping.
+    pub trip_threshold: u32,
+}
+
+impl Default for RequestPolicy {
+    fn default() -> Self {
+        RequestPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(10),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.2,
+            deadline: Duration::from_secs(10),
+            trip_threshold: 3,
+        }
+    }
+}
+
+impl RequestPolicy {
+    /// A policy that never retries, never waits, and never trips — the
+    /// legacy fail-fast behaviour.
+    pub fn no_retries() -> Self {
+        RequestPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            trip_threshold: 0,
+            ..RequestPolicy::default()
+        }
+    }
+
+    /// The backoff before retry number `attempt` (0-based), with the
+    /// deterministic jitter stream keyed by `nonce`.
+    pub fn backoff_for(&self, attempt: u32, nonce: u64) -> Duration {
+        let base = self.base_backoff.as_secs_f64()
+            * self
+                .backoff_multiplier
+                .powi(attempt.min(i32::MAX as u32) as i32);
+        let capped = base.min(self.max_backoff.as_secs_f64());
+        let factor = if self.jitter > 0.0 {
+            let r = SplitMix64::new(nonce).next_u64() as f64 / u64::MAX as f64;
+            1.0 - self.jitter + 2.0 * self.jitter * r
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct EpState {
+    consecutive_failures: u32,
+    failed_requests: u64,
+    retries: u64,
+    dead: bool,
+    last_error: Option<EndpointError>,
+}
+
+/// Routes requests to endpoints with retry, backoff, deadline, and
+/// trip-to-dead semantics. One instance per query execution.
+pub struct ResilientClient {
+    policy: RequestPolicy,
+    clock: Arc<dyn Clock>,
+    states: Mutex<Vec<EpState>>,
+    nonce: AtomicU64,
+}
+
+impl Default for ResilientClient {
+    fn default() -> Self {
+        ResilientClient::new(RequestPolicy::default())
+    }
+}
+
+impl ResilientClient {
+    /// A client over the real clock.
+    pub fn new(policy: RequestPolicy) -> Self {
+        ResilientClient::with_clock(policy, Arc::new(SystemClock::default()))
+    }
+
+    /// A client over an injected clock (tests).
+    pub fn with_clock(policy: RequestPolicy, clock: Arc<dyn Clock>) -> Self {
+        ResilientClient {
+            policy,
+            clock,
+            states: Mutex::new(Vec::new()),
+            nonce: AtomicU64::new(0),
+        }
+    }
+
+    /// The client's policy.
+    pub fn policy(&self) -> &RequestPolicy {
+        &self.policy
+    }
+
+    fn with_state<R>(&self, ep: EndpointId, f: impl FnOnce(&mut EpState) -> R) -> R {
+        let mut states = self.states.lock().unwrap();
+        if states.len() <= ep {
+            states.resize_with(ep + 1, EpState::default);
+        }
+        f(&mut states[ep])
+    }
+
+    /// True if the endpoint has been tripped dead for this query.
+    pub fn is_dead(&self, ep: EndpointId) -> bool {
+        self.with_state(ep, |s| s.dead)
+    }
+
+    /// Retries spent on the endpoint so far.
+    pub fn retries(&self, ep: EndpointId) -> u64 {
+        self.with_state(ep, |s| s.retries)
+    }
+
+    /// Requests that ultimately failed at the endpoint.
+    pub fn failed_requests(&self, ep: EndpointId) -> u64 {
+        self.with_state(ep, |s| s.failed_requests)
+    }
+
+    fn record_failure(&self, ep: EndpointId, e: EndpointError) {
+        let trip = self.policy.trip_threshold;
+        self.with_state(ep, |s| {
+            s.consecutive_failures += 1;
+            s.failed_requests += 1;
+            s.last_error = Some(e);
+            if trip > 0 && s.consecutive_failures >= trip {
+                s.dead = true;
+            }
+        });
+    }
+
+    /// Runs one logical request against endpoint `ep`, retrying transient
+    /// failures per the policy. Tripped endpoints fail immediately with
+    /// [`EndpointError::Unavailable`] without counting a new failure.
+    pub fn request<T>(
+        &self,
+        ep: EndpointId,
+        op: impl Fn() -> Result<T, EndpointError>,
+    ) -> Result<T, EndpointError> {
+        if self.is_dead(ep) {
+            return Err(EndpointError::Unavailable);
+        }
+        let start = self.clock.now();
+        let mut attempt: u32 = 0;
+        loop {
+            match op() {
+                Ok(v) => {
+                    self.with_state(ep, |s| s.consecutive_failures = 0);
+                    return Ok(v);
+                }
+                Err(e) => {
+                    if !e.is_transient() || attempt >= self.policy.max_retries {
+                        self.record_failure(ep, e);
+                        return Err(e);
+                    }
+                    let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.policy.backoff_for(attempt, nonce);
+                    if !self.policy.deadline.is_zero() {
+                        let elapsed = self.clock.now().saturating_sub(start);
+                        if elapsed + backoff > self.policy.deadline {
+                            self.record_failure(ep, EndpointError::Timeout);
+                            return Err(EndpointError::Timeout);
+                        }
+                    }
+                    self.with_state(ep, |s| s.retries += 1);
+                    self.clock.sleep(backoff);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// An `ASK` through the resilience layer.
+    pub fn ask(&self, fed: &Federation, ep: EndpointId, q: &Query) -> Result<bool, EndpointError> {
+        self.request(ep, || fed.endpoint(ep).ask(q))
+    }
+
+    /// A `SELECT` through the resilience layer.
+    pub fn select(
+        &self,
+        fed: &Federation,
+        ep: EndpointId,
+        q: &Query,
+    ) -> Result<SolutionSet, EndpointError> {
+        self.request(ep, || fed.endpoint(ep).select(q))
+    }
+
+    /// A `COUNT` through the resilience layer.
+    pub fn count(&self, fed: &Federation, ep: EndpointId, q: &Query) -> Result<u64, EndpointError> {
+        self.request(ep, || fed.endpoint(ep).count(q))
+    }
+
+    /// The per-endpoint failure report for this query: one entry per
+    /// endpoint that failed a request, spent retries, or was tripped.
+    pub fn report(&self, fed: &Federation) -> Vec<EndpointFailure> {
+        let states = self.states.lock().unwrap();
+        states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.failed_requests > 0 || s.retries > 0 || s.dead)
+            .map(|(ep, s)| EndpointFailure {
+                endpoint: ep,
+                name: fed.endpoint(ep).name().to_string(),
+                failed_requests: s.failed_requests,
+                retries: s.retries,
+                dead: s.dead,
+                last_error: s.last_error,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counting_op(
+        outcomes: Vec<Result<u32, EndpointError>>,
+    ) -> (Arc<AtomicUsize>, impl Fn() -> Result<u32, EndpointError>) {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let op = move || {
+            let i = c.fetch_add(1, Ordering::Relaxed);
+            outcomes.get(i).copied().unwrap_or(Ok(0))
+        };
+        (calls, op)
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let clock = ManualClock::new();
+        let client = ResilientClient::with_clock(RequestPolicy::default(), clock);
+        let (calls, op) = counting_op(vec![
+            Err(EndpointError::Interrupted),
+            Err(EndpointError::TooManyRequests),
+            Ok(42),
+        ]);
+        assert_eq!(client.request(0, op), Ok(42));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(client.retries(0), 2);
+        assert_eq!(client.failed_requests(0), 0);
+    }
+
+    #[test]
+    fn unavailable_fails_fast_without_retry() {
+        let clock = ManualClock::new();
+        let client = ResilientClient::with_clock(RequestPolicy::default(), clock.clone());
+        let (calls, op) = counting_op(vec![Err(EndpointError::Unavailable)]);
+        assert_eq!(client.request(0, op), Err(EndpointError::Unavailable));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(client.retries(0), 0);
+        assert_eq!(client.failed_requests(0), 1);
+        assert_eq!(clock.elapsed(), Duration::ZERO, "no backoff was slept");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RequestPolicy {
+            base_backoff: Duration::from_millis(10),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_millis(60),
+            jitter: 0.0,
+            ..RequestPolicy::default()
+        };
+        assert_eq!(policy.backoff_for(0, 0), Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(1, 0), Duration::from_millis(20));
+        assert_eq!(policy.backoff_for(2, 0), Duration::from_millis(40));
+        assert_eq!(policy.backoff_for(3, 0), Duration::from_millis(60)); // capped
+        assert_eq!(policy.backoff_for(9, 0), Duration::from_millis(60));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_deterministic() {
+        let policy = RequestPolicy {
+            base_backoff: Duration::from_millis(100),
+            jitter: 0.2,
+            ..RequestPolicy::default()
+        };
+        for nonce in 0..50 {
+            let b = policy.backoff_for(0, nonce);
+            assert!(b >= Duration::from_millis(80), "{b:?} below jitter floor");
+            assert!(
+                b <= Duration::from_millis(120),
+                "{b:?} above jitter ceiling"
+            );
+            assert_eq!(b, policy.backoff_for(0, nonce));
+        }
+        // Not all nonces land on the same value.
+        assert_ne!(policy.backoff_for(0, 1), policy.backoff_for(0, 2));
+    }
+
+    #[test]
+    fn retries_sleep_the_backoff_schedule() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(10),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            trip_threshold: 0,
+        };
+        let client = ResilientClient::with_clock(policy, clock.clone());
+        let (_, op) = counting_op(vec![
+            Err(EndpointError::Interrupted),
+            Err(EndpointError::Interrupted),
+            Err(EndpointError::Interrupted),
+            Ok(1),
+        ]);
+        assert_eq!(client.request(0, op), Ok(1));
+        // 10 + 20 + 40 ms of backoff slept on the virtual clock.
+        assert_eq!(clock.elapsed(), Duration::from_millis(70));
+    }
+
+    #[test]
+    fn deadline_aborts_the_retry_loop() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(30),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_secs(10),
+            jitter: 0.0,
+            deadline: Duration::from_millis(100),
+            trip_threshold: 0,
+        };
+        let client = ResilientClient::with_clock(policy, clock.clone());
+        let (calls, op) = counting_op(vec![Err(EndpointError::Interrupted); 20]);
+        assert_eq!(client.request(0, op), Err(EndpointError::Timeout));
+        // Backoffs 30 + 60 fit in the 100 ms budget; the third (120) would
+        // blow it, so the request aborts after 3 attempts.
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(clock.elapsed(), Duration::from_millis(90));
+        assert_eq!(client.failed_requests(0), 1);
+    }
+
+    #[test]
+    fn consecutive_failures_trip_the_endpoint_dead() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 0,
+            trip_threshold: 3,
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            ..RequestPolicy::default()
+        };
+        let client = ResilientClient::with_clock(policy, clock);
+        for _ in 0..3 {
+            let _ = client.request(1, || Err::<u32, _>(EndpointError::Interrupted));
+        }
+        assert!(client.is_dead(1));
+        // Further requests fail fast without invoking the operation.
+        let (calls, op) = counting_op(vec![Ok(5)]);
+        assert_eq!(client.request(1, op), Err(EndpointError::Unavailable));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        // Other endpoints are unaffected.
+        assert!(!client.is_dead(0));
+        assert_eq!(client.request(0, || Ok(7)), Ok(7));
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_counter() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 0,
+            trip_threshold: 3,
+            deadline: Duration::ZERO,
+            ..RequestPolicy::default()
+        };
+        let client = ResilientClient::with_clock(policy, clock);
+        for _ in 0..2 {
+            let _ = client.request(0, || Err::<u32, _>(EndpointError::Interrupted));
+        }
+        assert_eq!(client.request(0, || Ok(1)), Ok(1));
+        for _ in 0..2 {
+            let _ = client.request(0, || Err::<u32, _>(EndpointError::Interrupted));
+        }
+        assert!(!client.is_dead(0), "success did not reset the trip counter");
+    }
+}

@@ -9,8 +9,7 @@
 
 use crate::fx::FxHashMap;
 use crate::term::Term;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A dense identifier for an interned [`Term`]. `TermId(0)` is the first
 /// interned term; ids are assigned in interning order.
@@ -35,7 +34,7 @@ struct Inner {
 ///
 /// Interning is write-locked; lookups are read-locked. Workloads intern
 /// during data generation and then run read-mostly, so a `RwLock` is the
-/// right tradeoff (per the perf-book guidance, `parking_lot` locks).
+/// right tradeoff.
 #[derive(Default)]
 pub struct Dictionary {
     inner: RwLock<Inner>,
@@ -55,10 +54,10 @@ impl Dictionary {
 
     /// Interns a term, returning its id. Idempotent.
     pub fn encode(&self, term: &Term) -> TermId {
-        if let Some(id) = self.inner.read().ids.get(term) {
+        if let Some(id) = self.inner.read().unwrap().ids.get(term) {
             return *id;
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         // Re-check under the write lock: another thread may have interned it.
         if let Some(id) = inner.ids.get(term) {
             return *id;
@@ -83,18 +82,18 @@ impl Dictionary {
     /// Looks up a term id without interning. Returns `None` if the term has
     /// never been seen.
     pub fn lookup(&self, term: &Term) -> Option<TermId> {
-        self.inner.read().ids.get(term).copied()
+        self.inner.read().unwrap().ids.get(term).copied()
     }
 
     /// Decodes an id back to its term. Panics on an id that was never issued
     /// by this dictionary (a program logic error, not a data error).
     pub fn decode(&self, id: TermId) -> Arc<Term> {
-        Arc::clone(&self.inner.read().terms[id.index()])
+        Arc::clone(&self.inner.read().unwrap().terms[id.index()])
     }
 
     /// Number of interned terms.
     pub fn len(&self) -> usize {
-        self.inner.read().terms.len()
+        self.inner.read().unwrap().terms.len()
     }
 
     /// True if nothing has been interned.

@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "N-Triples parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -40,7 +44,11 @@ pub fn parse_document(text: &str, dict: &Dictionary) -> Result<Vec<Triple>, Pars
             line: line_no,
             message,
         })?;
-        triples.push(Triple::new(dict.encode(&s), dict.encode(&p), dict.encode(&o)));
+        triples.push(Triple::new(
+            dict.encode(&s),
+            dict.encode(&p),
+            dict.encode(&o),
+        ));
     }
     Ok(triples)
 }
@@ -211,8 +219,7 @@ mod tests {
 
     #[test]
     fn parse_simple_triple() {
-        let (s, p, o) =
-            parse_line("<http://x/a> <http://x/p> <http://x/b> .").unwrap();
+        let (s, p, o) = parse_line("<http://x/a> <http://x/p> <http://x/b> .").unwrap();
         assert_eq!(s, Term::iri("http://x/a"));
         assert_eq!(p, Term::iri("http://x/p"));
         assert_eq!(o, Term::iri("http://x/b"));

@@ -147,7 +147,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 let start = i;
                 let mut j = i + 1;
                 while j < bytes.len()
-                    && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.' || bytes[j] == b'e'
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
                         || bytes[j] == b'E')
                 {
                     // Don't swallow a trailing '.' (triple terminator).
@@ -290,8 +292,7 @@ fn lex_string(input: &str, start: usize) -> Result<(Token, usize), LexError> {
         ));
     }
     if i + 1 < bytes.len() && bytes[i] == b'^' && bytes[i + 1] == b'^' {
-        let (iri, next) =
-            try_iri(input, i + 2).ok_or_else(|| err(i, "expected IRI after '^^'"))?;
+        let (iri, next) = try_iri(input, i + 2).ok_or_else(|| err(i, "expected IRI after '^^'"))?;
         return Ok((
             Token::Literal {
                 lexical,

@@ -391,10 +391,7 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses a triples block: `s p o (; p o)* (, o)* .?`
-    fn parse_triples_block(
-        &mut self,
-        triples: &mut Vec<TriplePattern>,
-    ) -> Result<(), ParseError> {
+    fn parse_triples_block(&mut self, triples: &mut Vec<TriplePattern>) -> Result<(), ParseError> {
         let s = self.parse_pattern_term(Position::Subject)?;
         loop {
             let p = self.parse_pattern_term(Position::Predicate)?;
@@ -432,13 +429,13 @@ impl<'a> Parser<'a> {
                 lexical,
                 lang,
                 datatype,
-            } if position == Position::Object => Ok(PatternTerm::Const(self.dict.encode(
-                &Term::Literal {
+            } if position == Position::Object => {
+                Ok(PatternTerm::Const(self.dict.encode(&Term::Literal {
                     lexical,
                     lang,
                     datatype,
-                },
-            ))),
+                })))
+            }
             Token::Number(n) if position == Position::Object => {
                 Ok(PatternTerm::Const(self.encode_number(&n)))
             }
@@ -738,11 +735,7 @@ mod tests {
     #[test]
     fn parse_basic_select() {
         let d = dict();
-        let q = parse_query(
-            "SELECT ?s ?o WHERE { ?s <http://x/p> ?o . }",
-            &d,
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o . }", &d).unwrap();
         assert_eq!(q.form, QueryForm::Select);
         assert_eq!(q.projection, ["s", "o"]);
         assert_eq!(q.pattern.triples.len(), 1);
@@ -780,7 +773,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.pattern.triples.len(), 3);
-        assert!(q.pattern.triples.iter().all(|t| t.s == PatternTerm::Var("s".into())));
+        assert!(q
+            .pattern
+            .triples
+            .iter()
+            .all(|t| t.s == PatternTerm::Var("s".into())));
     }
 
     #[test]
@@ -997,9 +994,7 @@ mod aggregate_tests {
     #[test]
     fn empty_group_by_is_rejected() {
         let d = dict();
-        assert!(
-            parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o } GROUP BY", &d).is_err()
-        );
+        assert!(parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o } GROUP BY", &d).is_err());
     }
 
     #[test]

@@ -106,10 +106,7 @@ impl SolutionSet {
     /// The distinct binding tuples over the given (present) columns, in
     /// first-seen order. Used by bound joins to build `VALUES` blocks.
     pub fn distinct_tuples(&self, vars: &[String]) -> Vec<Row> {
-        let cols: Vec<usize> = vars
-            .iter()
-            .filter_map(|v| self.col(v))
-            .collect();
+        let cols: Vec<usize> = vars.iter().filter_map(|v| self.col(v)).collect();
         let mut seen = lusail_rdf::FxHashSet::default();
         let mut out = Vec::new();
         for row in &self.rows {
@@ -191,16 +188,13 @@ impl SolutionSet {
         } else {
             (other, self, false)
         };
-        let build_key_cols: Vec<usize> =
-            shared.iter().map(|v| build.col(v).unwrap()).collect();
-        let probe_key_cols: Vec<usize> =
-            shared.iter().map(|v| probe.col(v).unwrap()).collect();
+        let build_key_cols: Vec<usize> = shared.iter().map(|v| build.col(v).unwrap()).collect();
+        let probe_key_cols: Vec<usize> = shared.iter().map(|v| probe.col(v).unwrap()).collect();
 
         let mut table: FxHashMap<Vec<TermId>, Vec<usize>> = FxHashMap::default();
         let mut unbound_keys: Vec<usize> = Vec::new();
         for (i, row) in build.rows.iter().enumerate() {
-            let key: Option<Vec<TermId>> =
-                build_key_cols.iter().map(|&c| row[c]).collect();
+            let key: Option<Vec<TermId>> = build_key_cols.iter().map(|&c| row[c]).collect();
             match key {
                 Some(key) => table.entry(key).or_default().push(i),
                 None => unbound_keys.push(i),
@@ -233,7 +227,11 @@ impl SolutionSet {
                 if let Some(matches) = table.get(&key) {
                     for &bi in matches {
                         let brow = &build.rows[bi];
-                        let (srow, orow) = if build_is_self { (brow, prow) } else { (prow, brow) };
+                        let (srow, orow) = if build_is_self {
+                            (brow, prow)
+                        } else {
+                            (prow, brow)
+                        };
                         emit(srow, orow);
                     }
                 }
@@ -242,7 +240,11 @@ impl SolutionSet {
                 for &bi in &unbound_keys {
                     let brow = &build.rows[bi];
                     if compatible(brow, &build_key_cols, prow, &probe_key_cols) {
-                        let (srow, orow) = if build_is_self { (brow, prow) } else { (prow, brow) };
+                        let (srow, orow) = if build_is_self {
+                            (brow, prow)
+                        } else {
+                            (prow, brow)
+                        };
                         emit(srow, orow);
                     }
                 }
@@ -250,7 +252,11 @@ impl SolutionSet {
                 // Probe row has unbound key parts: scan the whole build side.
                 for brow in &build.rows {
                     if compatible(brow, &build_key_cols, prow, &probe_key_cols) {
-                        let (srow, orow) = if build_is_self { (brow, prow) } else { (prow, brow) };
+                        let (srow, orow) = if build_is_self {
+                            (brow, prow)
+                        } else {
+                            (prow, brow)
+                        };
                         emit(srow, orow);
                     }
                 }
@@ -295,19 +301,18 @@ impl SolutionSet {
             .collect();
         let mut out = SolutionSet::empty(out_vars);
         let jc = out.col(var).expect("join var in schema");
-        let emit =
-            |self_row: &Row, other_row: &Row, key: Option<TermId>, out: &mut SolutionSet| {
-                let mut row: Row = col_src
-                    .iter()
-                    .map(|&(from_self, c)| if from_self { self_row[c] } else { other_row[c] })
-                    .collect();
-                // The join column may have been copied from the side where
-                // it was unbound; patch it with the agreed value.
-                if row[jc].is_none() {
-                    row[jc] = key;
-                }
-                out.rows.push(row);
-            };
+        let emit = |self_row: &Row, other_row: &Row, key: Option<TermId>, out: &mut SolutionSet| {
+            let mut row: Row = col_src
+                .iter()
+                .map(|&(from_self, c)| if from_self { self_row[c] } else { other_row[c] })
+                .collect();
+            // The join column may have been copied from the side where
+            // it was unbound; patch it with the agreed value.
+            if row[jc].is_none() {
+                row[jc] = key;
+            }
+            out.rows.push(row);
+        };
 
         for prow in &probe.rows {
             match prow[pc] {
@@ -315,16 +320,22 @@ impl SolutionSet {
                     if let Some(matches) = table.get(&key) {
                         for &bi in matches {
                             let brow = &build.rows[bi];
-                            let (srow, orow) =
-                                if build_is_self { (brow, prow) } else { (prow, brow) };
+                            let (srow, orow) = if build_is_self {
+                                (brow, prow)
+                            } else {
+                                (prow, brow)
+                            };
                             emit(srow, orow, Some(key), &mut out);
                         }
                     }
                     // Build rows unbound on the join var match any key.
                     for &bi in &unbound_keys {
                         let brow = &build.rows[bi];
-                        let (srow, orow) =
-                            if build_is_self { (brow, prow) } else { (prow, brow) };
+                        let (srow, orow) = if build_is_self {
+                            (brow, prow)
+                        } else {
+                            (prow, brow)
+                        };
                         emit(srow, orow, Some(key), &mut out);
                     }
                 }
@@ -332,8 +343,11 @@ impl SolutionSet {
                     // Probe row unbound on the join var: compatible with
                     // every build row.
                     for brow in &build.rows {
-                        let (srow, orow) =
-                            if build_is_self { (brow, prow) } else { (prow, brow) };
+                        let (srow, orow) = if build_is_self {
+                            (brow, prow)
+                        } else {
+                            (prow, brow)
+                        };
                         emit(srow, orow, brow[bc], &mut out);
                     }
                 }
@@ -494,7 +508,10 @@ mod tests {
     #[test]
     fn hash_join_on_shared_var() {
         let a = set(&["x", "y"], vec![vec![id(1), id(10)], vec![id(2), id(20)]]);
-        let b = set(&["y", "z"], vec![vec![id(10), id(100)], vec![id(10), id(101)]]);
+        let b = set(
+            &["y", "z"],
+            vec![vec![id(10), id(100)], vec![id(10), id(101)]],
+        );
         let j = a.hash_join(&b);
         assert_eq!(j.vars, ["x", "y", "z"]);
         let mut rows = j.rows.clone();
@@ -572,7 +589,10 @@ mod tests {
 
     #[test]
     fn distinct_values_skips_unbound() {
-        let s = set(&["x"], vec![vec![id(1)], vec![None], vec![id(1)], vec![id(2)]]);
+        let s = set(
+            &["x"],
+            vec![vec![id(1)], vec![None], vec![id(1)], vec![id(2)]],
+        );
         assert_eq!(s.distinct_values("x"), vec![TermId(1), TermId(2)]);
     }
 

@@ -260,9 +260,7 @@ mod tests {
         roundtrip(
             "SELECT ?x WHERE { ?x <http://x/age> ?a . FILTER ((?a >= 18 && !(?a > 65)) || BOUND(?x)) }",
         );
-        roundtrip(
-            "SELECT ?x WHERE { ?x <http://x/n> ?n . FILTER REGEX(STR(?n), \"ab\", \"i\") }",
-        );
+        roundtrip("SELECT ?x WHERE { ?x <http://x/n> ?n . FILTER REGEX(STR(?n), \"ab\", \"i\") }");
     }
 
     #[test]

@@ -48,12 +48,11 @@ pub fn evaluate(store: &TripleStore, q: &Query) -> SolutionSet {
             // LIMIT can only be pushed into matching when there is no
             // DISTINCT (which collapses rows afterwards), no ORDER BY, and
             // no aggregation (both must see every row before truncation).
-            let push_limit =
-                if q.distinct || !q.order_by.is_empty() || !q.aggregates.is_empty() {
-                    None
-                } else {
-                    q.limit
-                };
+            let push_limit = if q.distinct || !q.order_by.is_empty() || !q.aggregates.is_empty() {
+                None
+            } else {
+                q.limit
+            };
             let sols = eval_group(store, &q.pattern, push_limit);
             apply_modifiers(sols, q, store.dict())
         }
@@ -125,10 +124,7 @@ pub fn apply_group_by(
         order.push(Vec::new());
     }
     for (i, row) in sols.rows.iter().enumerate() {
-        let key: Vec<Option<TermId>> = key_cols
-            .iter()
-            .map(|c| c.and_then(|c| row[c]))
-            .collect();
+        let key: Vec<Option<TermId>> = key_cols.iter().map(|c| c.and_then(|c| row[c])).collect();
         groups
             .entry(key.clone())
             .or_insert_with(|| {
@@ -152,14 +148,14 @@ pub fn apply_group_by(
                         // COUNT(?v): bound values only, DISTINCT-aware.
                         Some(c) => {
                             if agg.distinct {
-                                let set: lusail_rdf::FxHashSet<TermId> = members
-                                    .iter()
-                                    .filter_map(|&i| sols.rows[i][c])
-                                    .collect();
+                                let set: lusail_rdf::FxHashSet<TermId> =
+                                    members.iter().filter_map(|&i| sols.rows[i][c]).collect();
                                 set.len() as i64
                             } else {
-                                members.iter().filter(|&&i| sols.rows[i][c].is_some()).count()
-                                    as i64
+                                members
+                                    .iter()
+                                    .filter(|&&i| sols.rows[i][c].is_some())
+                                    .count() as i64
                             }
                         }
                         // COUNT(*) — or COUNT of a var absent from the
@@ -487,8 +483,10 @@ pub fn count(store: &TripleStore, q: &Query) -> u64 {
 /// rows the caller needs; it is only *pushed into* the scan when the group
 /// is simple enough that early rows are final rows.
 pub fn eval_group(store: &TripleStore, g: &GroupPattern, limit: Option<usize>) -> SolutionSet {
-    let simple =
-        g.filters.is_empty() && g.optionals.is_empty() && g.unions.is_empty() && g.not_exists.is_empty();
+    let simple = g.filters.is_empty()
+        && g.optionals.is_empty()
+        && g.unions.is_empty()
+        && g.not_exists.is_empty();
     let scan_limit = if simple { limit } else { None };
 
     // Seed solutions from the VALUES block, if any.
@@ -550,11 +548,7 @@ fn pick_next(store: &TripleStore, remaining: &[&TriplePattern], bound: &[String]
             .filter(|t| !is_bound(t))
             .count();
         // Estimate with constants only (bound vars vary per row).
-        let est = store.estimate(
-            tp.s.as_const(),
-            tp.p.as_const(),
-            tp.o.as_const(),
-        );
+        let est = store.estimate(tp.s.as_const(), tp.p.as_const(), tp.o.as_const());
         let key = (free, est);
         if key < best_key {
             best_key = key;
@@ -690,7 +684,10 @@ mod tests {
     #[test]
     fn single_pattern() {
         let st = fixture();
-        let s = run(&st, "SELECT ?x WHERE { ?x <http://u/type> <http://u/Student> }");
+        let s = run(
+            &st,
+            "SELECT ?x WHERE { ?x <http://u/type> <http://u/Student> }",
+        );
         assert_eq!(s.len(), 2);
     }
 
@@ -800,7 +797,10 @@ mod tests {
     #[test]
     fn count_query_returns_literal_row() {
         let st = fixture();
-        let s = run(&st, "SELECT (COUNT(*) AS ?n) WHERE { ?x <http://u/advisor> ?p }");
+        let s = run(
+            &st,
+            "SELECT (COUNT(*) AS ?n) WHERE { ?x <http://u/advisor> ?p }",
+        );
         assert_eq!(s.vars, ["n"]);
         let id = s.rows[0][0].unwrap();
         assert_eq!(*st.dict().decode(id), Term::int(2));
@@ -879,17 +879,19 @@ mod order_tests {
         let query = parse_query(q, st.dict()).unwrap();
         let sols = evaluate(st, &query);
         (0..sols.len())
-            .map(|i| st.dict().decode(sols.get(i, "n").unwrap()).lexical().to_string())
+            .map(|i| {
+                st.dict()
+                    .decode(sols.get(i, "n").unwrap())
+                    .lexical()
+                    .to_string()
+            })
             .collect()
     }
 
     #[test]
     fn order_by_string_ascending() {
         let st = fixture();
-        let names = names_in_order(
-            &st,
-            "SELECT ?n WHERE { ?x <http://u/name> ?n } ORDER BY ?n",
-        );
+        let names = names_in_order(&st, "SELECT ?n WHERE { ?x <http://u/name> ?n } ORDER BY ?n");
         assert_eq!(names, ["alice", "bob", "carol"]);
     }
 

@@ -28,10 +28,7 @@ pub trait VarContext {
 
 impl VarContext for (&[String], &[Option<TermId>]) {
     fn value_of(&self, var: &str) -> Option<TermId> {
-        self.0
-            .iter()
-            .position(|v| v == var)
-            .and_then(|i| self.1[i])
+        self.0.iter().position(|v| v == var).and_then(|i| self.1[i])
     }
 }
 
@@ -55,10 +52,9 @@ fn term_ebv(t: &Term) -> bool {
             // literals by value; plain and xsd:string literals are false
             // only when empty. A plain "0" is a *string* and therefore
             // true.
-            let numeric = datatype
-                .as_deref()
-                .is_some_and(|dt| dt.starts_with("http://www.w3.org/2001/XMLSchema#")
-                    && !dt.ends_with("#string"));
+            let numeric = datatype.as_deref().is_some_and(|dt| {
+                dt.starts_with("http://www.w3.org/2001/XMLSchema#") && !dt.ends_with("#string")
+            });
             if numeric {
                 match lexical.as_str() {
                     "true" => true,
@@ -302,7 +298,9 @@ mod tests {
     fn numeric_compare_across_datatypes() {
         let dict = Dictionary::new();
         let v = dict.encode(&Term::lit("3.5"));
-        let ctx = Ctx { vars: vec![("a", v)] };
+        let ctx = Ctx {
+            vars: vec![("a", v)],
+        };
         assert!(eval_filter(&expr(&dict, "?a > 3"), &ctx, &dict));
     }
 
@@ -319,12 +317,26 @@ mod tests {
     fn and_or_error_propagation() {
         let dict = Dictionary::new();
         let v = dict.encode(&Term::int(1));
-        let ctx = Ctx { vars: vec![("a", v)] };
+        let ctx = Ctx {
+            vars: vec![("a", v)],
+        };
         // false && error = false; true || error = true.
-        assert!(!eval_filter(&expr(&dict, "?a = 2 && ?missing = 1"), &ctx, &dict));
-        assert!(eval_filter(&expr(&dict, "?a = 1 || ?missing = 1"), &ctx, &dict));
+        assert!(!eval_filter(
+            &expr(&dict, "?a = 2 && ?missing = 1"),
+            &ctx,
+            &dict
+        ));
+        assert!(eval_filter(
+            &expr(&dict, "?a = 1 || ?missing = 1"),
+            &ctx,
+            &dict
+        ));
         // true && error = error → filter false.
-        assert!(!eval_filter(&expr(&dict, "?a = 1 && ?missing = 1"), &ctx, &dict));
+        assert!(!eval_filter(
+            &expr(&dict, "?a = 1 && ?missing = 1"),
+            &ctx,
+            &dict
+        ));
     }
 
     #[test]
@@ -334,21 +346,51 @@ mod tests {
         let ctx = Ctx {
             vars: vec![("n", name)],
         };
-        assert!(eval_filter(&expr(&dict, "CONTAINS(STR(?n), \"Smith\")"), &ctx, &dict));
-        assert!(!eval_filter(&expr(&dict, "CONTAINS(STR(?n), \"Bob\")"), &ctx, &dict));
-        assert!(eval_filter(&expr(&dict, "REGEX(?n, \"smith\", \"i\")"), &ctx, &dict));
-        assert!(eval_filter(&expr(&dict, "REGEX(?n, \"^Alice\")"), &ctx, &dict));
-        assert!(!eval_filter(&expr(&dict, "REGEX(?n, \"^Smith\")"), &ctx, &dict));
+        assert!(eval_filter(
+            &expr(&dict, "CONTAINS(STR(?n), \"Smith\")"),
+            &ctx,
+            &dict
+        ));
+        assert!(!eval_filter(
+            &expr(&dict, "CONTAINS(STR(?n), \"Bob\")"),
+            &ctx,
+            &dict
+        ));
+        assert!(eval_filter(
+            &expr(&dict, "REGEX(?n, \"smith\", \"i\")"),
+            &ctx,
+            &dict
+        ));
+        assert!(eval_filter(
+            &expr(&dict, "REGEX(?n, \"^Alice\")"),
+            &ctx,
+            &dict
+        ));
+        assert!(!eval_filter(
+            &expr(&dict, "REGEX(?n, \"^Smith\")"),
+            &ctx,
+            &dict
+        ));
         assert!(eval_filter(&expr(&dict, "LANG(?n) = \"en\""), &ctx, &dict));
-        assert!(eval_filter(&expr(&dict, "LANGMATCHES(LANG(?n), \"en\")"), &ctx, &dict));
-        assert!(eval_filter(&expr(&dict, "LANGMATCHES(LANG(?n), \"*\")"), &ctx, &dict));
+        assert!(eval_filter(
+            &expr(&dict, "LANGMATCHES(LANG(?n), \"en\")"),
+            &ctx,
+            &dict
+        ));
+        assert!(eval_filter(
+            &expr(&dict, "LANGMATCHES(LANG(?n), \"*\")"),
+            &ctx,
+            &dict
+        ));
     }
 
     #[test]
     fn iri_equality() {
         let dict = Dictionary::new();
         let x = dict.encode(&Term::iri("http://x/a"));
-        let ctx = Ctx { vars: vec![("x", x)] };
+        let ctx = Ctx {
+            vars: vec![("x", x)],
+        };
         assert!(eval_filter(&expr(&dict, "?x = <http://x/a>"), &ctx, &dict));
         assert!(!eval_filter(&expr(&dict, "?x = <http://x/b>"), &ctx, &dict));
         assert!(eval_filter(&expr(&dict, "?x != <http://x/b>"), &ctx, &dict));
@@ -358,7 +400,9 @@ mod tests {
     fn lexicographic_string_compare() {
         let dict = Dictionary::new();
         let v = dict.encode(&Term::lit("banana"));
-        let ctx = Ctx { vars: vec![("s", v)] };
+        let ctx = Ctx {
+            vars: vec![("s", v)],
+        };
         assert!(eval_filter(&expr(&dict, "?s > \"apple\""), &ctx, &dict));
         assert!(eval_filter(&expr(&dict, "?s < \"cherry\""), &ctx, &dict));
     }

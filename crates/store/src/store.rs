@@ -1,6 +1,6 @@
 //! The triple store: three sorted indexes plus predicate statistics.
 
-use lusail_rdf::{FxHashMap, FxHashSet, Dictionary, Term, TermId, Triple};
+use lusail_rdf::{Dictionary, FxHashMap, FxHashSet, Term, TermId, Triple};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -70,7 +70,11 @@ impl TripleStore {
 
     /// Convenience: encodes three terms and inserts the triple.
     pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
-        let t = Triple::new(self.dict.encode(s), self.dict.encode(p), self.dict.encode(o));
+        let t = Triple::new(
+            self.dict.encode(s),
+            self.dict.encode(p),
+            self.dict.encode(o),
+        );
         self.insert(t)
     }
 
@@ -111,10 +115,7 @@ impl TripleStore {
     /// measures).
     pub fn distinct_subjects(&self, p: TermId) -> u64 {
         let mut set = FxHashSet::default();
-        for &(_, _, s) in self
-            .pos
-            .range((p.0, 0, 0)..=(p.0, u32::MAX, u32::MAX))
-        {
+        for &(_, _, s) in self.pos.range((p.0, 0, 0)..=(p.0, u32::MAX, u32::MAX)) {
             set.insert(s);
         }
         set.len() as u64
@@ -123,10 +124,7 @@ impl TripleStore {
     /// Number of distinct objects for a predicate (scan).
     pub fn distinct_objects(&self, p: TermId) -> u64 {
         let mut set = FxHashSet::default();
-        for &(_, o, _) in self
-            .pos
-            .range((p.0, 0, 0)..=(p.0, u32::MAX, u32::MAX))
-        {
+        for &(_, o, _) in self.pos.range((p.0, 0, 0)..=(p.0, u32::MAX, u32::MAX)) {
             set.insert(o);
         }
         set.len() as u64
@@ -213,12 +211,7 @@ impl TripleStore {
 
     /// Collects all matches of a pattern into a vector (convenience for
     /// tests and small scans).
-    pub fn matches(
-        &self,
-        s: Option<TermId>,
-        p: Option<TermId>,
-        o: Option<TermId>,
-    ) -> Vec<Triple> {
+    pub fn matches(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Vec<Triple> {
         let mut out = Vec::new();
         self.scan(s, p, o, |t| {
             out.push(t);
@@ -237,10 +230,7 @@ impl TripleStore {
             (Some(_), Some(_), None) | (Some(_), None, Some(_)) => 2,
             (None, Some(_), Some(_)) => 4,
             (Some(_), None, None) => 8.min(total),
-            (None, Some(p), None) => self
-                .pred_stats
-                .get(&p)
-                .map_or(0, |st| st.triples),
+            (None, Some(p), None) => self.pred_stats.get(&p).map_or(0, |st| st.triples),
             (None, None, Some(_)) => 16.min(total),
             (None, None, None) => total,
         }
@@ -267,10 +257,7 @@ mod tests {
         let t = st.matches(None, None, None)[0];
         assert!(!st.insert(t));
         assert_eq!(st.len(), 1);
-        assert_eq!(
-            st.predicate_stats(t.p),
-            Some(PredicateStats { triples: 1 })
-        );
+        assert_eq!(st.predicate_stats(t.p), Some(PredicateStats { triples: 1 }));
     }
 
     #[test]
@@ -310,11 +297,7 @@ mod tests {
 
     #[test]
     fn distinct_subject_object_counts() {
-        let st = store_with(&[
-            ("s1", "p", "o1"),
-            ("s1", "p", "o2"),
-            ("s2", "p", "o2"),
-        ]);
+        let st = store_with(&[("s1", "p", "o1"), ("s1", "p", "o2"), ("s2", "p", "o2")]);
         let p = st.dict().lookup(&Term::iri("p")).unwrap();
         assert_eq!(st.distinct_subjects(p), 2);
         assert_eq!(st.distinct_objects(p), 2);

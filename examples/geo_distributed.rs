@@ -20,7 +20,10 @@ use std::time::Instant;
 fn main() {
     // Two endpoints in "different regions": 4 ms and 8 ms round trips.
     let mut config = LubmConfig::new(2);
-    config.profiles = Some(vec![NetworkProfile::wan(4, 100), NetworkProfile::wan(8, 100)]);
+    config.profiles = Some(vec![
+        NetworkProfile::wan(4, 100),
+        NetworkProfile::wan(8, 100),
+    ]);
     let w = generate(&config);
     println!(
         "geo-distributed LUBM: {} endpoints, {} triples, WAN latencies 4/8 ms\n",
@@ -38,15 +41,23 @@ fn main() {
     for nq in &w.queries {
         let before = w.federation.stats_snapshot();
         let t0 = Instant::now();
-        let lu = lusail.execute(&w.federation, &nq.query);
+        let lu = lusail.execute(&w.federation, &nq.query).unwrap();
         let lu_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let lu_reqs = w.federation.stats_snapshot().since(&before).total_requests();
+        let lu_reqs = w
+            .federation
+            .stats_snapshot()
+            .since(&before)
+            .total_requests();
 
         let before = w.federation.stats_snapshot();
         let t0 = Instant::now();
-        let fx = fedx.run(&w.federation, &nq.query);
+        let fx = fedx.run(&w.federation, &nq.query).unwrap().solutions;
         let fx_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let fx_reqs = w.federation.stats_snapshot().since(&before).total_requests();
+        let fx_reqs = w
+            .federation
+            .stats_snapshot()
+            .since(&before)
+            .total_requests();
 
         assert_eq!(
             lu.solutions.canonicalize(),

@@ -53,9 +53,13 @@ fn main() {
         for engine in &engines {
             let before = w.federation.stats_snapshot();
             let t0 = Instant::now();
-            let sols = engine.run(&w.federation, &nq.query);
+            let sols = engine.run(&w.federation, &nq.query).unwrap().solutions;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
-            let reqs = w.federation.stats_snapshot().since(&before).total_requests();
+            let reqs = w
+                .federation
+                .stats_snapshot()
+                .since(&before)
+                .total_requests();
             match &reference {
                 None => reference = Some(sols.canonicalize()),
                 Some(r) => assert_eq!(

@@ -7,8 +7,8 @@
 //! ```
 
 use lusail_endpoint::{Federation, LocalEndpoint};
-use lusail_repro::lusail::{Lusail, LusailConfig};
 use lusail_rdf::{Dictionary, Term};
+use lusail_repro::lusail::{Lusail, LusailConfig};
 use lusail_sparql::parse_query;
 use lusail_store::TripleStore;
 use std::sync::Arc;
@@ -65,7 +65,7 @@ fn main() {
     .expect("Qa parses");
 
     let engine = Lusail::new(LusailConfig::default());
-    let result = engine.execute(&fed, &qa);
+    let result = engine.execute(&fed, &qa).expect("non-empty federation");
 
     println!("=== Lusail quickstart: the paper's running example ===\n");
     println!(
@@ -110,7 +110,7 @@ fn main() {
 
     // The per-endpoint counters show where requests went.
     for (_, ep) in fed.iter() {
-        let s = ep.stats().snapshot();
+        let s = ep.stats_snapshot();
         println!(
             "endpoint {:>4}: {} ASK, {} SELECT, {} COUNT",
             ep.name(),

@@ -36,16 +36,24 @@ fn main() {
         // Lusail.
         let before = w.federation.stats_snapshot();
         let t0 = Instant::now();
-        let lu = lusail.execute(&w.federation, &nq.query);
+        let lu = lusail.execute(&w.federation, &nq.query).unwrap();
         let lu_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let lu_reqs = w.federation.stats_snapshot().since(&before).total_requests();
+        let lu_reqs = w
+            .federation
+            .stats_snapshot()
+            .since(&before)
+            .total_requests();
 
         // FedX.
         let before = w.federation.stats_snapshot();
         let t0 = Instant::now();
-        let fx = fedx.run(&w.federation, &nq.query);
+        let fx = fedx.run(&w.federation, &nq.query).unwrap().solutions;
         let fx_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let fx_reqs = w.federation.stats_snapshot().since(&before).total_requests();
+        let fx_reqs = w
+            .federation
+            .stats_snapshot()
+            .since(&before)
+            .total_requests();
 
         assert_eq!(
             lu.solutions.canonicalize(),

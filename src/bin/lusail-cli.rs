@@ -104,7 +104,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         let text = ntriples::serialize(&triples, &w.dict);
         let fname = format!("{}.nt", ep.name().replace([' ', '/'], "_"));
         std::fs::write(out.join(&fname), text).map_err(|e| e.to_string())?;
-        println!("wrote {} ({} triples)", out.join(&fname).display(), ep.triple_count());
+        println!(
+            "wrote {} ({} triples)",
+            out.join(&fname).display(),
+            ep.triple_count()
+        );
     }
     for nq in &w.queries {
         let path = out.join("queries").join(format!("{}.rq", nq.name));
@@ -123,7 +127,7 @@ fn load_federation(paths: &[&str]) -> Result<(Federation, Arc<Dictionary>), Stri
         return Err("at least one --endpoint file is required".into());
     }
     let dict = Dictionary::shared();
-    let mut fed = Federation::new(Arc::clone(&dict));
+    let mut builder = Federation::builder(Arc::clone(&dict));
     for p in paths {
         let path = Path::new(p);
         let text = std::fs::read_to_string(path).map_err(|e| format!("{p}: {e}"))?;
@@ -135,13 +139,16 @@ fn load_federation(paths: &[&str]) -> Result<(Federation, Arc<Dictionary>), Stri
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| p.to_string());
         println!("loaded endpoint {name}: {} triples", store.len());
-        fed.add(Arc::new(LocalEndpoint::new(name, store)));
+        builder = builder.endpoint(name, store);
     }
-    Ok((fed, dict))
+    Ok((builder.build(), dict))
 }
 
 fn read_query(args: &[String], dict: &Dictionary) -> Result<lusail_sparql::Query, String> {
-    let text = match (flag_value(args, "--query"), flag_value(args, "--query-file")) {
+    let text = match (
+        flag_value(args, "--query"),
+        flag_value(args, "--query-file"),
+    ) {
         (Some(q), _) => q.to_string(),
         (None, Some(f)) => std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?,
         (None, None) => return Err("missing --query or --query-file".into()),
@@ -169,19 +176,44 @@ fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
     };
     let before = fed.stats_snapshot();
     let start = std::time::Instant::now();
-    let sols = engine.run(&fed, &query);
+    let outcome = engine.run(&fed, &query).map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
     let window = fed.stats_snapshot().since(&before);
-    print_solutions(&sols, &dict);
+    print_solutions(&outcome.solutions, &dict);
     println!(
         "\n{} rows in {:.1} ms — {} remote requests, {} result rows \
          fetched from endpoints",
-        sols.len(),
+        outcome.solutions.len(),
         elapsed.as_secs_f64() * 1e3,
         window.total_requests(),
         window.rows_returned
     );
+    report_failures(&outcome);
     Ok(())
+}
+
+/// Prints the per-endpoint failure report and the completeness warning.
+fn report_failures(outcome: &lusail_endpoint::QueryOutcome) {
+    for f in &outcome.failures {
+        println!(
+            "endpoint {}: {} failed request(s), {} retr{}{}",
+            f.name,
+            f.failed_requests,
+            f.retries,
+            if f.retries == 1 { "y" } else { "ies" },
+            if f.dead {
+                " — marked dead for the rest of the query"
+            } else {
+                ""
+            }
+        );
+    }
+    if !outcome.complete {
+        println!(
+            "WARNING: the result is INCOMPLETE — data-bearing requests \
+             failed after retries; rows from those endpoints are missing"
+        );
+    }
 }
 
 fn print_solutions(sols: &SolutionSet, dict: &Dictionary) {
@@ -242,14 +274,15 @@ fn cmd_demo() -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let engine = Lusail::default();
     println!("plan:\n{}", engine.explain(&fed, &q).render());
-    let result = engine.execute(&fed, &q);
+    let result = engine.execute(&fed, &q).map_err(|e| e.to_string())?;
     print_solutions(&result.solutions, &dict);
     println!(
-        "\n{} rows; GJVs {:?}; {} subqueries; {} remote requests",
+        "\n{} rows; GJVs {:?}; {} subqueries; {} remote requests; complete: {}",
         result.solutions.len(),
         result.metrics.gjvs,
         result.metrics.subqueries,
-        result.metrics.total_requests()
+        result.metrics.total_requests(),
+        result.complete
     );
     Ok(())
 }

@@ -139,7 +139,7 @@ fn federated_group_by_aggregates_globally() {
         Box::new(Lusail::default()) as Box<dyn FederatedEngine>,
         Box::new(FedX::default()),
     ] {
-        let got = engine.run(&fed, &q);
+        let got = engine.run(&fed, &q).unwrap().solutions;
         assert_eq!(
             got.canonicalize(),
             expected.canonicalize(),
@@ -167,7 +167,7 @@ fn federated_count_star_is_global() {
         Box::new(Lusail::default()) as Box<dyn FederatedEngine>,
         Box::new(FedX::default()),
     ] {
-        let got = engine.run(&w.federation, &q);
+        let got = engine.run(&w.federation, &q).unwrap().solutions;
         assert_eq!(got.len(), 1, "{}", engine.engine_name());
         assert_eq!(
             got.canonicalize(),
@@ -241,7 +241,7 @@ fn having_works_federated() {
     )
     .unwrap();
     let expected = lusail_store::eval::evaluate(&w.oracle, &q);
-    let got = Lusail::default().run(&w.federation, &q);
+    let got = Lusail::default().run(&w.federation, &q).unwrap().solutions;
     assert_eq!(got.canonicalize(), expected.canonicalize());
     assert!(!got.is_empty());
 }

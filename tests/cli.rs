@@ -19,10 +19,22 @@ fn tempdir(tag: &str) -> PathBuf {
 fn generate_query_explain_roundtrip() {
     let dir = tempdir("roundtrip");
     let out = cli()
-        .args(["generate", "--workload", "lubm", "--out", dir.to_str().unwrap(), "--size", "2"])
+        .args([
+            "generate",
+            "--workload",
+            "lubm",
+            "--out",
+            dir.to_str().unwrap(),
+            "--size",
+            "2",
+        ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Generated files exist.
     assert!(dir.join("univ-0.nt").exists());
@@ -42,7 +54,11 @@ fn generate_query_explain_roundtrip() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("rows in"), "no summary line:\n{stdout}");
     assert!(stdout.contains("remote requests"));

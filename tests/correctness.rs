@@ -26,7 +26,11 @@ fn check_workload(w: &Workload) {
     for nq in &w.queries {
         let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
         for engine in &engines {
-            let got = engine.run(&w.federation, &nq.query).canonicalize();
+            let got = engine
+                .run(&w.federation, &nq.query)
+                .unwrap()
+                .solutions
+                .canonicalize();
             // LIMIT makes the result set nondeterministic (any k rows are
             // valid); check size, and containment in the *unlimited*
             // oracle result.
@@ -115,7 +119,11 @@ fn lusail_matches_oracle_with_every_delay_policy() {
         });
         for nq in &w.queries {
             let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
-            let got = engine.run(&w.federation, &nq.query).canonicalize();
+            let got = engine
+                .run(&w.federation, &nq.query)
+                .unwrap()
+                .solutions
+                .canonicalize();
             assert_eq!(got, expected, "policy {policy:?} differs on {}", nq.name);
         }
     }
@@ -137,7 +145,11 @@ fn lusail_matches_oracle_without_lade_and_without_cache() {
         });
         for nq in &w.queries {
             let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
-            let got = engine.run(&w.federation, &nq.query).canonicalize();
+            let got = engine
+                .run(&w.federation, &nq.query)
+                .unwrap()
+                .solutions
+                .canonicalize();
             assert_eq!(
                 got, expected,
                 "disable_lade={disable_lade} use_cache={use_cache} differs on {}",
@@ -157,7 +169,11 @@ fn lusail_matches_oracle_with_tiny_blocks() {
     });
     for nq in &w.queries {
         let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
-        let got = engine.run(&w.federation, &nq.query).canonicalize();
+        let got = engine
+            .run(&w.federation, &nq.query)
+            .unwrap()
+            .solutions
+            .canonicalize();
         assert_eq!(got, expected, "block_size=3 differs on {}", nq.name);
     }
 }
@@ -172,7 +188,11 @@ fn fedx_matches_oracle_with_tiny_blocks() {
     });
     for nq in &w.queries {
         let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
-        let got = engine.run(&w.federation, &nq.query).canonicalize();
+        let got = engine
+            .run(&w.federation, &nq.query)
+            .unwrap()
+            .solutions
+            .canonicalize();
         assert_eq!(got, expected, "fedx block_size=2 differs on {}", nq.name);
     }
 }

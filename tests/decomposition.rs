@@ -10,7 +10,7 @@ fn lubm_q1_q2_are_disjoint() {
     let w = lubm::generate(&lubm::LubmConfig::new(4));
     let engine = Lusail::default();
     for name in ["Q1", "Q2"] {
-        let r = engine.execute(&w.federation, &w.query(name).query);
+        let r = engine.execute(&w.federation, &w.query(name).query).unwrap();
         assert!(
             r.metrics.gjvs.is_empty(),
             "{name} should have no GJVs, got {:?}",
@@ -30,13 +30,13 @@ fn lubm_q1_q2_are_disjoint() {
 fn lubm_q3_q4_decompose_into_two_subqueries() {
     let w = lubm::generate(&lubm::LubmConfig::new(4));
     let engine = Lusail::default();
-    let r3 = engine.execute(&w.federation, &w.query("Q3").query);
+    let r3 = engine.execute(&w.federation, &w.query("Q3").query).unwrap();
     assert_eq!(r3.metrics.gjvs, ["x"]);
     assert_eq!(r3.metrics.subqueries, 2);
     // The generic (?x a GraduateStudent) subquery is delayed, as in §VI-C.
     assert_eq!(r3.metrics.delayed_subqueries, 1);
 
-    let r4 = engine.execute(&w.federation, &w.query("Q4").query);
+    let r4 = engine.execute(&w.federation, &w.query("Q4").query).unwrap();
     assert_eq!(r4.metrics.gjvs, ["u"]);
     assert_eq!(r4.metrics.subqueries, 2);
 }
@@ -57,7 +57,7 @@ fn qa_example_detects_u_not_s() {
         w.federation.dict(),
     )
     .unwrap();
-    let r = engine.execute(&w.federation, &qa);
+    let r = engine.execute(&w.federation, &qa).unwrap();
     assert!(r.metrics.gjvs.contains(&"U".to_string()));
     assert!(!r.metrics.gjvs.contains(&"S".to_string()));
     assert!(!r.solutions.is_empty());
@@ -68,18 +68,15 @@ fn cache_eliminates_probe_requests_on_second_run() {
     let w = qfed::generate(&qfed::QfedConfig::default());
     let engine = Lusail::default();
     let q = &w.query("C2P2").query;
-    let r1 = engine.execute(&w.federation, q);
-    let r2 = engine.execute(&w.federation, q);
+    let r1 = engine.execute(&w.federation, q).unwrap();
+    let r2 = engine.execute(&w.federation, q).unwrap();
     assert!(r1.metrics.requests_source_selection.ask_requests > 0);
     assert_eq!(r2.metrics.requests_source_selection.ask_requests, 0);
     assert!(
         r2.metrics.requests_analysis.total_requests()
             <= r1.metrics.requests_analysis.total_requests()
     );
-    assert_eq!(
-        r1.solutions.canonicalize(),
-        r2.solutions.canonicalize()
-    );
+    assert_eq!(r1.solutions.canonicalize(), r2.solutions.canonicalize());
 }
 
 #[test]
@@ -87,9 +84,9 @@ fn clear_caches_restores_cold_behaviour() {
     let w = qfed::generate(&qfed::QfedConfig::default());
     let engine = Lusail::default();
     let q = &w.query("C2P2").query;
-    let r1 = engine.execute(&w.federation, q);
+    let r1 = engine.execute(&w.federation, q).unwrap();
     engine.clear_caches();
-    let r3 = engine.execute(&w.federation, q);
+    let r3 = engine.execute(&w.federation, q).unwrap();
     assert_eq!(
         r1.metrics.requests_source_selection.ask_requests,
         r3.metrics.requests_source_selection.ask_requests
@@ -101,7 +98,7 @@ fn metrics_are_coherent() {
     let w = lubm::generate(&lubm::LubmConfig::new(3));
     let engine = Lusail::default();
     for nq in &w.queries {
-        let r = engine.execute(&w.federation, &nq.query);
+        let r = engine.execute(&w.federation, &nq.query).unwrap();
         let m = &r.metrics;
         assert_eq!(m.result_rows, r.solutions.len());
         assert!(m.total >= m.execution, "{}: total < execution", nq.name);
@@ -124,12 +121,9 @@ fn disabling_lade_increases_requests_on_disjoint_queries() {
         ..Default::default()
     });
     let q = &w.query("Q2").query;
-    let a = lade.execute(&w.federation, q);
-    let b = nolade.execute(&w.federation, q);
-    assert_eq!(
-        a.solutions.canonicalize(),
-        b.solutions.canonicalize()
-    );
+    let a = lade.execute(&w.federation, q).unwrap();
+    let b = nolade.execute(&w.federation, q).unwrap();
+    assert_eq!(a.solutions.canonicalize(), b.solutions.canonicalize());
     assert!(
         b.metrics.requests_execution.total_requests()
             > a.metrics.requests_execution.total_requests(),
@@ -150,12 +144,9 @@ fn smaller_blocks_mean_more_requests_for_delayed_subqueries() {
         block_size: 500,
         ..Default::default()
     });
-    let rs = small.execute(&w.federation, q);
-    let rl = large.execute(&w.federation, q);
-    assert_eq!(
-        rs.solutions.canonicalize(),
-        rl.solutions.canonicalize()
-    );
+    let rs = small.execute(&w.federation, q).unwrap();
+    let rl = large.execute(&w.federation, q).unwrap();
+    assert_eq!(rs.solutions.canonicalize(), rl.solutions.canonicalize());
     assert!(
         rs.metrics.requests_execution.select_requests
             > rl.metrics.requests_execution.select_requests
@@ -172,7 +163,7 @@ fn check_queries_are_bounded_by_paper_formula() {
         ..Default::default()
     });
     for nq in &w.queries {
-        let r = engine.execute(&w.federation, &nq.query);
+        let r = engine.execute(&w.federation, &nq.query).unwrap();
         let t = nq.query.pattern.triples.len() as u64;
         let v = nq.query.pattern.all_vars().len() as u64;
         let n = w.federation.len() as u64;
@@ -195,7 +186,7 @@ fn empty_federation_source_yields_empty_results_quickly() {
         w.federation.dict(),
     )
     .unwrap();
-    let r = engine.execute(&w.federation, &q);
+    let r = engine.execute(&w.federation, &q).unwrap();
     assert!(r.solutions.is_empty());
     assert_eq!(r.metrics.requests_execution.total_requests(), 0);
 }

@@ -25,7 +25,7 @@ fn order_by_is_respected_by_every_engine() {
         Arc::new(Splendid::new(VoidIndex::build(&w.endpoint_refs()))),
     ];
     for engine in engines {
-        let sols = engine.run(&w.federation, &q);
+        let sols = engine.run(&w.federation, &q).unwrap().solutions;
         let names: Vec<String> = (0..sols.len())
             .map(|i| {
                 w.dict
@@ -57,7 +57,7 @@ fn order_by_with_limit_returns_global_top_k() {
     )
     .unwrap();
     let engine = Lusail::default();
-    let sols = engine.run(&w.federation, &q);
+    let sols = engine.run(&w.federation, &q).unwrap().solutions;
     let names: Vec<String> = (0..sols.len())
         .map(|i| {
             w.dict
@@ -76,7 +76,7 @@ fn explain_matches_execution_decisions() {
     for name in ["Q1", "Q2", "Q3", "Q4"] {
         let q = &w.query(name).query;
         let plan = engine.explain(&w.federation, q);
-        let result = engine.execute(&w.federation, q);
+        let result = engine.execute(&w.federation, q).unwrap();
         assert_eq!(
             plan.gjvs, result.metrics.gjvs,
             "{name}: explain and execute disagree on GJVs"
@@ -118,14 +118,13 @@ fn mqo_batch_matches_individual_execution_on_benchmarks() {
         diseases: 30,
         ..Default::default()
     });
-    let queries: Vec<lusail_sparql::Query> =
-        w.queries.iter().map(|nq| nq.query.clone()).collect();
+    let queries: Vec<lusail_sparql::Query> = w.queries.iter().map(|nq| nq.query.clone()).collect();
     let batch_engine = Lusail::default();
-    let (batch_results, report) = batch_engine.execute_batch(&w.federation, &queries);
+    let (batch_results, report) = batch_engine.execute_batch(&w.federation, &queries).unwrap();
     assert!(report.total_subqueries >= report.distinct_subqueries);
     let single_engine = Lusail::default();
     for (nq, br) in w.queries.iter().zip(&batch_results) {
-        let single = single_engine.execute(&w.federation, &nq.query);
+        let single = single_engine.execute(&w.federation, &nq.query).unwrap();
         assert_eq!(
             br.solutions.canonicalize(),
             single.solutions.canonicalize(),
@@ -149,7 +148,7 @@ fn mqo_shares_across_the_c2p2_family() {
         .collect();
     assert!(family.len() >= 6);
     let engine = Lusail::default();
-    let (_, report) = engine.execute_batch(&w.federation, &family);
+    let (_, report) = engine.execute_batch(&w.federation, &family).unwrap();
     assert!(
         report.distinct_subqueries < report.total_subqueries,
         "no sharing happened: {report:?}"
@@ -180,7 +179,9 @@ fn correlated_optional_filter_sees_outer_bindings() {
     .unwrap();
     // Local evaluation.
     let sols = lusail_store::eval::evaluate(&st, &q);
-    let bound: Vec<bool> = (0..sols.len()).map(|i| sols.get(i, "b").is_some()).collect();
+    let bound: Vec<bool> = (0..sols.len())
+        .map(|i| sols.get(i, "b").is_some())
+        .collect();
     // p1: 15 > 10 → bound; p2: 15 > 20 fails → unbound; p3: 5 > 10 fails.
     assert_eq!(bound, [true, false, false]);
 
@@ -192,7 +193,7 @@ fn correlated_optional_filter_sees_outer_bindings() {
     });
     let mut fed = Federation::new(Arc::clone(&dict));
     fed.add(Arc::new(LocalEndpoint::new("A", st2)));
-    let got = Lusail::default().run(&fed, &q);
+    let got = Lusail::default().run(&fed, &q).unwrap().solutions;
     assert_eq!(got.canonicalize(), sols.canonicalize());
     let _ = Dictionary::new();
 }
@@ -287,7 +288,7 @@ fn federated_order_by_non_projected_variable() {
         &dict,
     )
     .unwrap();
-    let sols = Lusail::default().run(&fed, &q);
+    let sols = Lusail::default().run(&fed, &q).unwrap().solutions;
     let names: Vec<String> = (0..sols.len())
         .map(|i| dict.decode(sols.get(i, "n").unwrap()).lexical().to_string())
         .collect();

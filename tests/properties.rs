@@ -1,104 +1,130 @@
-//! Property-based tests on the core invariants:
+//! Randomized-but-deterministic tests on the core invariants:
 //!
 //! * solution-set algebra (join commutativity, left-join/anti-join
 //!   partitioning, dedup idempotence),
 //! * parser ↔ writer round-trips over randomly generated queries,
 //! * the flagship federation property: however a random graph is
 //!   *partitioned across endpoints*, every engine returns exactly the
-//!   centralized result for random chain/star queries.
+//!   centralized result for random chain queries.
+//!
+//! Each test drives a seeded SplitMix64 generator through a fixed number
+//! of cases, so failures reproduce from the case index alone.
 
 use lusail_baselines::FedX;
+use lusail_benchdata::common::Rng;
 use lusail_core::Lusail;
 use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint};
 use lusail_rdf::{Dictionary, Term, TermId};
 use lusail_sparql::ast::{GroupPattern, PatternTerm, Query, TriplePattern};
 use lusail_sparql::{parse_query, write_query, SolutionSet};
 use lusail_store::TripleStore;
-use proptest::prelude::*;
 use std::sync::Arc;
 
 // ---------- solution-set algebra -------------------------------------------
 
-fn arb_solutions(vars: Vec<&'static str>) -> impl Strategy<Value = SolutionSet> {
+fn rand_solutions(rng: &mut Rng, vars: &[&str]) -> SolutionSet {
     let width = vars.len();
-    let vars: Vec<String> = vars.into_iter().map(|s| s.to_string()).collect();
-    proptest::collection::vec(
-        proptest::collection::vec(proptest::option::of(0u32..8), width),
-        0..20,
-    )
-    .prop_map(move |rows| SolutionSet {
-        vars: vars.clone(),
-        rows: rows
-            .into_iter()
-            .map(|r| r.into_iter().map(|c| c.map(TermId)).collect())
+    let n = rng.below(20);
+    SolutionSet {
+        vars: vars.iter().map(|s| s.to_string()).collect(),
+        rows: (0..n)
+            .map(|_| {
+                (0..width)
+                    .map(|_| {
+                        if rng.chance(0.2) {
+                            None
+                        } else {
+                            Some(TermId(rng.below(8) as u32))
+                        }
+                    })
+                    .collect()
+            })
             .collect(),
-    })
+    }
 }
 
-proptest! {
-    #[test]
-    fn hash_join_is_commutative(
-        a in arb_solutions(vec!["x", "y"]),
-        b in arb_solutions(vec!["y", "z"]),
-    ) {
+#[test]
+fn hash_join_is_commutative() {
+    let mut rng = Rng::new(0xA1);
+    for case in 0..200 {
+        let a = rand_solutions(&mut rng, &["x", "y"]);
+        let b = rand_solutions(&mut rng, &["y", "z"]);
         let ab = a.hash_join(&b).canonicalize();
         let ba = b.hash_join(&a).canonicalize();
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba, "case {case}");
     }
+}
 
-    #[test]
-    fn join_with_empty_is_empty(a in arb_solutions(vec!["x", "y"])) {
+#[test]
+fn join_with_empty_is_empty() {
+    let mut rng = Rng::new(0xA2);
+    for case in 0..100 {
+        let a = rand_solutions(&mut rng, &["x", "y"]);
         let empty = SolutionSet::empty(vec!["y".into(), "z".into()]);
-        prop_assert_eq!(a.hash_join(&empty).len(), 0);
+        assert_eq!(a.hash_join(&empty).len(), 0, "case {case}");
     }
+}
 
-    #[test]
-    fn left_join_preserves_left_rows(
-        a in arb_solutions(vec!["x", "y"]),
-        b in arb_solutions(vec!["y", "z"]),
-    ) {
+#[test]
+fn left_join_preserves_left_rows() {
+    let mut rng = Rng::new(0xA3);
+    for case in 0..200 {
+        let a = rand_solutions(&mut rng, &["x", "y"]);
+        let b = rand_solutions(&mut rng, &["y", "z"]);
         // Every left row appears at least once in the left join.
         let lj = a.left_join(&b);
-        prop_assert!(lj.len() >= a.len());
+        assert!(lj.len() >= a.len(), "case {case}");
         // And the left join contains the inner join.
         let inner = a.hash_join(&b);
-        prop_assert!(lj.len() >= inner.len());
+        assert!(lj.len() >= inner.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn anti_join_and_semi_join_partition(
-        a in arb_solutions(vec!["x", "y"]),
-        b in arb_solutions(vec!["y"]),
-    ) {
+#[test]
+fn anti_join_and_semi_join_partition() {
+    let mut rng = Rng::new(0xA4);
+    for case in 0..200 {
+        let a = rand_solutions(&mut rng, &["x", "y"]);
+        let b = rand_solutions(&mut rng, &["y"]);
         // Rows either have a compatible partner in b or they don't.
         let anti = a.anti_join(&b);
         let joined = a.hash_join(&b);
         // Every anti row is an original row.
         for row in &anti.rows {
-            prop_assert!(a.rows.contains(row));
+            assert!(a.rows.contains(row), "case {case}");
         }
         // A row can't be in both the join (projected back) and the anti join.
         let joined_back = joined.project(&a.vars);
         for row in &anti.rows {
-            prop_assert!(!joined_back.rows.contains(row),
-                "row in both join and anti-join");
+            assert!(
+                !joined_back.rows.contains(row),
+                "case {case}: row in both join and anti-join"
+            );
         }
     }
+}
 
-    #[test]
-    fn dedup_is_idempotent(a in arb_solutions(vec!["x", "y"])) {
+#[test]
+fn dedup_is_idempotent() {
+    let mut rng = Rng::new(0xA5);
+    for case in 0..200 {
+        let a = rand_solutions(&mut rng, &["x", "y"]);
         let mut once = a.clone();
         once.dedup();
         let mut twice = once.clone();
         twice.dedup();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
+}
 
-    #[test]
-    fn canonicalize_is_stable(a in arb_solutions(vec!["x", "y"])) {
+#[test]
+fn canonicalize_is_stable() {
+    let mut rng = Rng::new(0xA6);
+    for case in 0..200 {
+        let a = rand_solutions(&mut rng, &["x", "y"]);
         let c1 = a.canonicalize();
         let c2 = c1.canonicalize();
-        prop_assert_eq!(c1, c2);
+        assert_eq!(c1, c2, "case {case}");
     }
 }
 
@@ -106,79 +132,75 @@ proptest! {
 
 /// A random (tiny) SPARQL query as text, built from a constrained grammar
 /// so it is always valid.
-fn arb_query_text() -> impl Strategy<Value = String> {
-    let var = proptest::sample::select(vec!["?a", "?b", "?c", "?d"]);
-    let term = prop_oneof![
-        Just("<http://x/e1>".to_string()),
-        Just("<http://x/e2>".to_string()),
-        Just("\"lit one\"".to_string()),
-        Just("\"v\"@en".to_string()),
-        Just("42".to_string()),
-        proptest::sample::select(vec!["?a", "?b", "?c", "?d"]).prop_map(|v| v.to_string()),
+fn rand_query_text(rng: &mut Rng) -> String {
+    const VARS: [&str; 4] = ["?a", "?b", "?c", "?d"];
+    const PREDS: [&str; 3] = ["<http://x/p>", "<http://x/q>", "a"];
+    const TERMS: [&str; 5] = [
+        "<http://x/e1>",
+        "<http://x/e2>",
+        "\"lit one\"",
+        "\"v\"@en",
+        "42",
     ];
-    let pred = prop_oneof![
-        Just("<http://x/p>".to_string()),
-        Just("<http://x/q>".to_string()),
-        Just("a".to_string()),
-    ];
-    let triple = (var, pred, term).prop_map(|(s, p, o)| format!("{s} {p} {o} ."));
-    (
-        proptest::collection::vec(triple, 1..4),
-        proptest::bool::ANY,
-        proptest::option::of(1usize..10),
-    )
-        .prop_map(|(triples, distinct, limit)| {
-            let mut q = String::from("SELECT ");
-            if distinct {
-                q.push_str("DISTINCT ");
-            }
-            q.push_str("* WHERE { ");
-            for t in &triples {
-                q.push_str(t);
-                q.push(' ');
-            }
-            q.push('}');
-            if let Some(l) = limit {
-                q.push_str(&format!(" LIMIT {l}"));
-            }
-            q
-        })
+    let n = 1 + rng.below(3);
+    let mut q = String::from("SELECT ");
+    if rng.chance(0.5) {
+        q.push_str("DISTINCT ");
+    }
+    q.push_str("* WHERE { ");
+    for _ in 0..n {
+        let s = VARS[rng.below(VARS.len())];
+        let p = PREDS[rng.below(PREDS.len())];
+        let o = if rng.chance(0.4) {
+            VARS[rng.below(VARS.len())]
+        } else {
+            TERMS[rng.below(TERMS.len())]
+        };
+        q.push_str(&format!("{s} {p} {o} . "));
+    }
+    q.push('}');
+    if rng.chance(0.5) {
+        q.push_str(&format!(" LIMIT {}", 1 + rng.below(9)));
+    }
+    q
 }
 
-proptest! {
-    #[test]
-    fn parse_write_parse_is_identity(text in arb_query_text()) {
+#[test]
+fn parse_write_parse_is_identity() {
+    let mut rng = Rng::new(0xB1);
+    for case in 0..300 {
+        let text = rand_query_text(&mut rng);
         let dict = Dictionary::new();
         let q1 = parse_query(&text, &dict).expect("generated query parses");
         let written = write_query(&q1, &dict);
         let q2 = parse_query(&written, &dict)
-            .unwrap_or_else(|e| panic!("round-trip failed: {e}\n{written}"));
-        prop_assert_eq!(q1, q2);
+            .unwrap_or_else(|e| panic!("case {case}: round-trip failed: {e}\n{written}"));
+        assert_eq!(q1, q2, "case {case}:\n{text}\n{written}");
     }
 }
 
 // ---------- store vs naive matcher ------------------------------------------
 
-proptest! {
-    #[test]
-    fn store_scan_matches_naive_filter(
-        triples in proptest::collection::vec((0u32..6, 0u32..4, 0u32..6), 0..60),
-        s in proptest::option::of(0u32..6),
-        p in proptest::option::of(0u32..4),
-        o in proptest::option::of(0u32..6),
-    ) {
+#[test]
+fn store_scan_matches_naive_filter() {
+    let mut rng = Rng::new(0xC1);
+    for case in 0..150 {
         let dict = Dictionary::shared();
         let mut st = TripleStore::new(Arc::clone(&dict));
-        let id = |n: u32, kind: &str| dict.encode(&Term::iri(format!("http://x/{kind}{n}")));
+        let id = |n: usize, kind: &str| dict.encode(&Term::iri(format!("http://x/{kind}{n}")));
         let mut naive = std::collections::BTreeSet::new();
-        for (a, b, c) in triples {
-            let t = lusail_rdf::Triple::new(id(a, "s"), id(b, "p"), id(c, "o"));
+        for _ in 0..rng.below(60) {
+            let t = lusail_rdf::Triple::new(
+                id(rng.below(6), "s"),
+                id(rng.below(4), "p"),
+                id(rng.below(6), "o"),
+            );
             st.insert(t);
             naive.insert((t.s, t.p, t.o));
         }
-        let qs = s.map(|n| id(n, "s"));
-        let qp = p.map(|n| id(n, "p"));
-        let qo = o.map(|n| id(n, "o"));
+        let qs = rng.chance(0.5).then(|| id(rng.below(6), "s"));
+        let qp = rng.chance(0.5).then(|| id(rng.below(4), "p"));
+        let qo = rng.chance(0.5).then(|| id(rng.below(6), "o"));
         let got: std::collections::BTreeSet<_> = st
             .matches(qs, qp, qo)
             .into_iter()
@@ -193,7 +215,7 @@ proptest! {
             })
             .copied()
             .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
 }
 
@@ -210,15 +232,13 @@ proptest! {
 // ours — cannot see cross-endpoint combinations of such split lists.
 // That assumption is inherent to the algorithm and documented in
 // DESIGN.md.)
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-    #[test]
-    fn any_subject_partition_yields_centralized_results(
-        edges in proptest::collection::vec((0u32..12, 0u32..3, 0u32..12), 1..80),
-        assignment_seed in 0u64..1000,
-        endpoints in 2usize..4,
-        chain_len in 2usize..4,
-    ) {
+#[test]
+fn any_subject_partition_yields_centralized_results() {
+    let mut rng = Rng::new(0xF1);
+    for case in 0..24 {
+        let endpoints = 2 + rng.below(2);
+        let chain_len = 2 + rng.below(2);
+        let assignment_seed = rng.next_u64() % 1000;
         let dict = Dictionary::shared();
         let mut oracle = TripleStore::new(Arc::clone(&dict));
         let mut stores: Vec<TripleStore> = (0..endpoints)
@@ -230,13 +250,20 @@ proptest! {
         // live there.
         let home = |n: u32| -> usize {
             let mut h = (n as u64 + 1).wrapping_mul(assignment_seed.wrapping_add(7));
-            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h = h
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((h >> 33) as usize) % endpoints
         };
-        for (a, p, b) in &edges {
-            let t = lusail_rdf::Triple::new(node(*a, &dict), pred(*p, &dict), node(*b, &dict));
+        for _ in 0..1 + rng.below(79) {
+            let (a, p, b) = (
+                rng.below(12) as u32,
+                rng.below(3) as u32,
+                rng.below(12) as u32,
+            );
+            let t = lusail_rdf::Triple::new(node(a, &dict), pred(p, &dict), node(b, &dict));
             oracle.insert(t);
-            stores[home(*a)].insert(t);
+            stores[home(a)].insert(t);
         }
         let mut fed = Federation::new(Arc::clone(&dict));
         for (i, st) in stores.into_iter().enumerate() {
@@ -256,16 +283,16 @@ proptest! {
         let expected = lusail_store::eval::evaluate(&oracle, &query).canonicalize();
 
         let lusail = Lusail::default();
-        prop_assert_eq!(
-            lusail.run(&fed, &query).canonicalize(),
-            expected.clone(),
-            "Lusail differs from centralized evaluation"
+        assert_eq!(
+            lusail.run(&fed, &query).unwrap().solutions.canonicalize(),
+            expected,
+            "case {case}: Lusail differs from centralized evaluation"
         );
         let fedx = FedX::default();
-        prop_assert_eq!(
-            fedx.run(&fed, &query).canonicalize(),
+        assert_eq!(
+            fedx.run(&fed, &query).unwrap().solutions.canonicalize(),
             expected,
-            "FedX differs from centralized evaluation"
+            "case {case}: FedX differs from centralized evaluation"
         );
     }
 }

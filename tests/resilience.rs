@@ -1,0 +1,244 @@
+//! Fault-tolerance integration tests: engines against flaky and dead
+//! endpoints (the failure modes the decentralized setting implies — no
+//! engine controls the remote sources, it can only retry and route
+//! around them).
+//!
+//! * A seeded 20% transient failure rate on one endpoint must be fully
+//!   absorbed by the retry layer: all four engines still return exactly
+//!   the oracle result and report the query as complete.
+//! * A permanently dead endpoint must degrade gracefully: partial
+//!   results, `complete: false`, and a failure report naming the dead
+//!   endpoint.
+
+use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
+use lusail_benchdata::lubm;
+use lusail_core::Lusail;
+use lusail_endpoint::{
+    EndpointError, FaultProfile, FederatedEngine, Federation, FlakyEndpoint, LocalEndpoint,
+    ManualClock, RequestPolicy, ResilientClient,
+};
+use lusail_rdf::{Dictionary, Term};
+use lusail_sparql::parse_query;
+use lusail_store::TripleStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rebuilds the workload's federation with `target` wrapped in a
+/// [`FlakyEndpoint`] carrying the given fault profile.
+fn flaky_federation(
+    w: &lusail_benchdata::Workload,
+    target: &str,
+    profile: FaultProfile,
+) -> Federation {
+    let mut builder = Federation::builder(Arc::clone(&w.dict));
+    for (_, ep) in w.federation.iter() {
+        builder = builder.custom(ep.clone());
+        if ep.name() == target {
+            builder = builder.faults(profile);
+        }
+    }
+    builder.build()
+}
+
+/// A retry policy generous enough that a 20% transient failure rate is
+/// (for all practical purposes) always absorbed, with backoffs too small
+/// to slow the test down.
+fn patient_policy() -> RequestPolicy {
+    RequestPolicy {
+        max_retries: 8,
+        base_backoff: Duration::from_micros(10),
+        max_backoff: Duration::from_millis(1),
+        deadline: Duration::ZERO,
+        trip_threshold: 0,
+        ..RequestPolicy::default()
+    }
+}
+
+fn engines(
+    w: &lusail_benchdata::Workload,
+    policy: RequestPolicy,
+) -> Vec<(&'static str, Box<dyn FederatedEngine>)> {
+    vec![
+        ("Lusail", Box::new(Lusail::default().with_policy(policy))),
+        ("FedX", Box::new(FedX::default().with_policy(policy))),
+        (
+            "HiBISCuS",
+            Box::new(HiBisCus::new(HibiscusIndex::build(&w.endpoint_refs())).with_policy(policy)),
+        ),
+        (
+            "SPLENDID",
+            Box::new(Splendid::new(VoidIndex::build(&w.endpoint_refs())).with_policy(policy)),
+        ),
+    ]
+}
+
+#[test]
+fn transient_faults_are_absorbed_by_retries() {
+    let w = lubm::generate(&lubm::LubmConfig::new(4));
+    let fed = flaky_federation(&w, "univ-1", FaultProfile::transient(42, 0.2));
+    let q = &w.query("Q2").query;
+    let expected = lusail_store::eval::evaluate(&w.oracle, q).canonicalize();
+    assert!(!expected.is_empty(), "Q2 oracle result is empty");
+
+    for (name, engine) in engines(&w, patient_policy()) {
+        let outcome = engine.run(&fed, q).unwrap();
+        assert!(
+            outcome.complete,
+            "{name}: query incomplete under transient faults: {:?}",
+            outcome.failures
+        );
+        assert_eq!(
+            outcome.solutions.canonicalize(),
+            expected,
+            "{name}: wrong answer under transient faults"
+        );
+    }
+    // The fault stream really fired: the flaky endpoint counted injections.
+    let (_, flaky) = fed.endpoint_by_name("univ-1").unwrap();
+    assert!(
+        flaky.stats_snapshot().faults_injected > 0,
+        "no transient fault was ever injected"
+    );
+}
+
+#[test]
+fn dead_endpoint_degrades_to_partial_results() {
+    let w = lubm::generate(&lubm::LubmConfig::new(4));
+    let fed = flaky_federation(&w, "univ-1", FaultProfile::dead());
+    let q = &w.query("Q2").query;
+    let expected = lusail_store::eval::evaluate(&w.oracle, q).canonicalize();
+
+    for (name, engine) in engines(&w, RequestPolicy::default()) {
+        let outcome = engine.run(&fed, q).unwrap();
+        assert!(
+            !outcome.complete,
+            "{name}: query reported complete despite a dead endpoint"
+        );
+        assert!(
+            outcome.failures.iter().any(|f| f.name == "univ-1"),
+            "{name}: failure report does not name the dead endpoint: {:?}",
+            outcome.failures
+        );
+        let partial = outcome.solutions.canonicalize();
+        assert!(
+            !partial.is_empty(),
+            "{name}: live endpoints contributed no rows"
+        );
+        assert!(
+            partial.len() < expected.len(),
+            "{name}: no rows went missing although an endpoint is dead"
+        );
+        for row in &partial.rows {
+            assert!(
+                expected.rows.contains(row),
+                "{name}: spurious row not in the oracle result"
+            );
+        }
+    }
+}
+
+#[test]
+fn dead_endpoint_degradation_is_recorded_in_metrics() {
+    let w = lubm::generate(&lubm::LubmConfig::new(4));
+    let fed = flaky_federation(&w, "univ-1", FaultProfile::dead());
+    let q = &w.query("Q2").query;
+    let engine = Lusail::default();
+    let result = engine.execute(&fed, q).unwrap();
+    assert!(!result.complete);
+    // Failed ASK probes degraded to "assume relevant" and were counted.
+    assert!(
+        result.metrics.degraded_ask_probes > 0,
+        "no degraded ASK probe recorded: {:?}",
+        result.metrics
+    );
+}
+
+// ---------- the retry machinery end-to-end over a scripted endpoint --------
+
+fn tiny_endpoint() -> (Arc<Dictionary>, TripleStore) {
+    let dict = Dictionary::shared();
+    let mut st = TripleStore::new(Arc::clone(&dict));
+    for i in 0..5 {
+        st.insert_terms(
+            &Term::iri(format!("http://x/s{i}")),
+            &Term::iri("http://x/p"),
+            &Term::int(i),
+        );
+    }
+    (dict, st)
+}
+
+#[test]
+fn scripted_faults_are_retried_and_reported() {
+    let (dict, st) = tiny_endpoint();
+    let flaky = FlakyEndpoint::scripted(
+        Arc::new(LocalEndpoint::new("S", st)),
+        [
+            Some(EndpointError::Interrupted),
+            Some(EndpointError::TooManyRequests),
+            None, // third attempt succeeds
+        ],
+    );
+    let mut fed = Federation::new(Arc::clone(&dict));
+    let ep = fed.add(Arc::new(flaky));
+    let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", &dict).unwrap();
+
+    let clock = ManualClock::new();
+    let client = ResilientClient::with_clock(patient_policy(), clock.clone());
+    let rows = client.select(&fed, ep, &q).unwrap();
+    assert_eq!(rows.len(), 5);
+    assert_eq!(client.retries(ep), 2);
+    assert_eq!(client.failed_requests(ep), 0);
+    assert!(clock.elapsed() > Duration::ZERO, "backoffs were not slept");
+
+    let report = client.report(&fed);
+    assert_eq!(report.len(), 1);
+    assert_eq!(report[0].name, "S");
+    assert_eq!(report[0].retries, 2);
+    assert!(!report[0].dead);
+}
+
+#[test]
+fn engine_retries_on_injected_clock_without_wall_sleep() {
+    let (dict, st) = tiny_endpoint();
+    let flaky = FlakyEndpoint::scripted(
+        Arc::new(LocalEndpoint::new("S", st)),
+        // Fail the first few requests, whatever order the engine issues
+        // them in; everything afterwards passes.
+        [Some(EndpointError::Interrupted); 3],
+    );
+    let mut fed = Federation::new(Arc::clone(&dict));
+    fed.add(Arc::new(flaky));
+    let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", &dict).unwrap();
+
+    // Deliberately huge backoffs: only tolerable because the injected
+    // clock sleeps virtually.
+    let policy = RequestPolicy {
+        max_retries: 5,
+        base_backoff: Duration::from_secs(60),
+        max_backoff: Duration::from_secs(60),
+        deadline: Duration::ZERO,
+        trip_threshold: 0,
+        ..RequestPolicy::default()
+    };
+    let clock = ManualClock::new();
+    let engine = Lusail::default()
+        .with_policy(policy)
+        .with_clock(clock.clone());
+    let started = std::time::Instant::now();
+    let result = engine.execute(&fed, &q).unwrap();
+    assert!(
+        result.complete,
+        "retries did not absorb the scripted faults"
+    );
+    assert_eq!(result.solutions.len(), 5);
+    assert!(
+        clock.elapsed() >= Duration::from_secs(60),
+        "backoff never reached the virtual clock: {:?}",
+        clock.elapsed()
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "engine slept on the wall clock despite the injected clock"
+    );
+}
