@@ -331,4 +331,75 @@ mod tests {
         assert_eq!(decide_delays(&[1_000_000], &[50], DelayPolicy::Mu), [false]);
         assert!(decide_delays(&[], &[], DelayPolicy::MuSigma).is_empty());
     }
+
+    #[test]
+    fn chauvenet_tiny_samples_keep_everything() {
+        assert!(chauvenet_inliers(&[]).is_empty());
+        assert_eq!(chauvenet_inliers(&[7.0]), [true]);
+        // Two points within the dominance factor: both kept.
+        assert_eq!(chauvenet_inliers(&[10.0, 15.0]), [true, true]);
+        assert_eq!(chauvenet_inliers(&[15.0, 10.0]), [true, true]);
+    }
+
+    #[test]
+    fn two_point_dominance_rejects_the_large_one() {
+        // A two-point sample always sits exactly 1σ from its mean, so
+        // plain Chauvenet can never reject; the >2× dominance rule stands
+        // in (the paper's two-subquery LUBM Q3/Q4 shape).
+        assert_eq!(chauvenet_inliers(&[10.0, 100.0]), [true, false]);
+        assert_eq!(chauvenet_inliers(&[100.0, 10.0]), [false, true]);
+        // The dominant subquery is then delayed under every threshold.
+        for policy in [DelayPolicy::Mu, DelayPolicy::MuSigma, DelayPolicy::Mu2Sigma] {
+            assert_eq!(
+                decide_delays(&[10, 100], &[1, 1], policy),
+                [false, true],
+                "{policy:?}"
+            );
+        }
+        // Exactly 2× is *not* dominant: threshold math over both points.
+        assert_eq!(chauvenet_inliers(&[10.0, 20.0]), [true, true]);
+    }
+
+    #[test]
+    fn zero_variance_delays_nothing() {
+        // Identical estimates: σ = 0, threshold = μ, and no value exceeds
+        // its own mean — nothing may be delayed, under any policy.
+        let cards = [42, 42, 42, 42];
+        let fans = [3, 3, 3, 3];
+        for policy in [
+            DelayPolicy::Mu,
+            DelayPolicy::MuSigma,
+            DelayPolicy::Mu2Sigma,
+            DelayPolicy::OutliersOnly,
+        ] {
+            assert_eq!(
+                decide_delays(&cards, &fans, policy),
+                [false; 4],
+                "{policy:?}"
+            );
+        }
+        // Same for a zero-variance two-point sample.
+        assert_eq!(
+            decide_delays(&[7, 7], &[2, 2], DelayPolicy::MuSigma),
+            [false, false]
+        );
+    }
+
+    #[test]
+    fn uniform_single_endpoint_fanouts_never_delay() {
+        // Every subquery resolved by one endpoint: the fan-out channel is
+        // all-ones (zero variance) and must not trigger delays on its own.
+        assert_eq!(
+            decide_delays(&[10, 10, 10, 10], &[1, 1, 1, 1], DelayPolicy::MuSigma),
+            [false; 4]
+        );
+        // With varying cardinalities the decision comes from the
+        // cardinality channel alone: any uniform fan-out vector gives the
+        // same answer as all-ones.
+        let cards = [10, 12, 11, 9];
+        assert_eq!(
+            decide_delays(&cards, &[1, 1, 1, 1], DelayPolicy::MuSigma),
+            decide_delays(&cards, &[5, 5, 5, 5], DelayPolicy::MuSigma)
+        );
+    }
 }

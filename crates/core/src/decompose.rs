@@ -102,7 +102,11 @@ pub fn decompose(
 
 /// True when the whole conjunctive block can run as **one** subquery at
 /// every relevant endpoint (the paper's "disjoint query" case, Algorithm 3
-/// line 2): no conflicts and identical sources throughout.
+/// line 2): no conflicts, identical sources throughout, and the patterns
+/// connected through shared variables. A disconnected BGP is a Cartesian
+/// product; concatenating per-endpoint local products would drop the
+/// cross-endpoint combinations, so disconnected blocks take the fast path
+/// only when a single endpoint holds everything.
 pub fn is_disjoint(triples: &[TriplePattern], sources: &SourceMap, analysis: &GjvAnalysis) -> bool {
     if triples.is_empty() {
         return true;
@@ -111,7 +115,33 @@ pub fn is_disjoint(triples: &[TriplePattern], sources: &SourceMap, analysis: &Gj
         return false;
     }
     let first = sources.sources(&triples[0]);
-    triples.iter().all(|tp| sources.sources(tp) == first)
+    if !triples.iter().all(|tp| sources.sources(tp) == first) {
+        return false;
+    }
+    first.len() == 1 || is_connected(triples)
+}
+
+/// True when the join graph (patterns as nodes, shared variables as edges)
+/// has a single connected component.
+fn is_connected(triples: &[TriplePattern]) -> bool {
+    let n = triples.len();
+    if n <= 1 {
+        return true;
+    }
+    let shares_var =
+        |i: usize, j: usize| -> bool { triples[i].vars().any(|v| triples[j].mentions(v)) };
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(i) = stack.pop() {
+        for (j, seen_j) in seen.iter_mut().enumerate() {
+            if !*seen_j && shares_var(i, j) {
+                *seen_j = true;
+                stack.push(j);
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
 }
 
 #[cfg(test)]
@@ -232,6 +262,24 @@ mod tests {
         let a = analysis(&[]);
         let groups = decompose_indices(&triples, &sm, &a);
         assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn disconnected_patterns_are_not_disjoint_across_endpoints() {
+        // Found by the differential fuzzer (seed 0xa60589ebc76d7f10): a
+        // Cartesian product whose factors both match at two endpoints.
+        // Concatenating local products yields 2 rows where the oracle has
+        // 4 — the block must go through decomposition + global join.
+        let triples = vec![
+            TriplePattern::new(v("a"), c(1), v("b")),
+            TriplePattern::new(v("x"), c(2), v("x")),
+        ];
+        let sm = sources_for(&triples, &[]);
+        let a = analysis(&[]);
+        assert!(!is_disjoint(&triples, &sm, &a));
+        // At a single endpoint the local product *is* the global product.
+        let sm1 = sources_for(&triples, &[(0, vec![0]), (1, vec![0])]);
+        assert!(is_disjoint(&triples, &sm1, &a));
     }
 
     #[test]

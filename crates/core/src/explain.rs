@@ -239,6 +239,68 @@ mod tests {
     }
 
     #[test]
+    fn golden_render_with_delayed_and_concurrent_phases() {
+        // A deterministic plan exercising both execution phases: subquery
+        // 1 matches ten triples at A while subquery 2 matches one at B, so
+        // the two-point dominance rule delays the big one. The render is
+        // pinned verbatim — it is the CLI `explain` output and the
+        // differential repro's plan section, so format drift should be a
+        // conscious choice.
+        let dict = Dictionary::shared();
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        for i in 0..10 {
+            a.insert_terms(
+                &Term::iri(format!("http://a/s{i}")),
+                &Term::iri("http://x/p"),
+                &Term::iri("http://b/v"),
+            );
+        }
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        b.insert_terms(
+            &Term::iri("http://b/v"),
+            &Term::iri("http://x/q"),
+            &Term::iri("http://b/o"),
+        );
+        let mut f = Federation::new(dict);
+        f.add(Arc::new(LocalEndpoint::new("A", a)));
+        f.add(Arc::new(LocalEndpoint::new("B", b)));
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+            f.dict(),
+        )
+        .unwrap();
+        let plan = Lusail::default().explain(&f, &q);
+        let expected = "\
+source selection:
+  ?s <http://x/p> ?v  @ [A]
+  ?v <http://x/q> ?o  @ [B]
+global join variables: [v]  (0 check queries)
+plan: 2 subqueries
+  subquery 1 [DELAYED: bound VALUES evaluation]  est. cardinality 10  @ [A]
+      ?s <http://x/p> ?v
+      project: ?s ?v
+  subquery 2 [concurrent]  est. cardinality 1  @ [B]
+      ?v <http://x/q> ?o
+      project: ?v ?o
+";
+        assert_eq!(plan.render(), expected);
+    }
+
+    #[test]
+    fn golden_render_disjoint_plan() {
+        let f = fed();
+        let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?v }", f.dict()).unwrap();
+        let plan = Lusail::default().explain(&f, &q);
+        let expected = "\
+source selection:
+  ?s <http://x/p> ?v  @ [A]
+global join variables: []  (0 check queries)
+plan: DISJOINT — ship the whole query to every relevant endpoint and concatenate
+";
+        assert_eq!(plan.render(), expected);
+    }
+
+    #[test]
     fn explain_does_not_fetch_data() {
         let f = fed();
         let q = parse_query(

@@ -16,6 +16,11 @@
 //! with fresh variables; a known `rdf:type` constraint on the variable is
 //! added to narrow the probe.
 //!
+//! Object–object joins additionally run a *home check* (`?v` matching the
+//! pattern with no local subject triple): object instances are references
+//! that may occur at several endpoints, so empty mutual differences alone
+//! do not rule out a cross-endpoint join. See [`home_check_query`].
+//!
 //! False positives (a variable flagged global although grouping would have
 //! been safe) cost extra remote joins but never correctness — exactly the
 //! trade-off the paper describes.
@@ -182,6 +187,19 @@ pub fn detect_gjvs(
                             checks.push((i, j, q, sig));
                         }
                     };
+                let push_home_check =
+                    |i: usize,
+                     j: usize,
+                     keep: usize,
+                     checks: &mut Vec<(usize, usize, Query, String)>| {
+                        let (q, sig) = home_check_query(var, &triples[keep], type_info, triples);
+                        if !checks
+                            .iter()
+                            .any(|(a, b, _, s)| (*a, *b) == (i, j) && *s == sig)
+                        {
+                            checks.push((i, j, q, sig));
+                        }
+                    };
                 // Enumerate occurrence pairs. For an (object TPᵢ, subject
                 // TPⱼ) pair the paper's single difference vᵢ − vⱼ suffices
                 // (the probe runs at every relevant endpoint). For
@@ -189,6 +207,17 @@ pub fn detect_gjvs(
                 // skips same-role pairs when the variable also has a
                 // mixed-role pair; checking them too is a strict superset
                 // — it can only add (safe) conflicts.
+                //
+                // Object–object pairs need one probe beyond the paper's
+                // differences: an object instance is a *reference* and may
+                // occur at several endpoints, so empty mutual differences
+                // do not rule out a cross-endpoint join (both endpoints
+                // bind the same value with different subjects). Under
+                // entity partitioning a value that is a local subject
+                // everywhere it matches is homed at a single endpoint and
+                // thus cannot match at two; the home check asks for an
+                // instance with **no** local subject triple and flags the
+                // pair when one exists.
                 for a in 0..patterns.len() {
                     for b in a + 1..patterns.len() {
                         let (i, ri) = patterns[a];
@@ -204,6 +233,12 @@ pub fn detect_gjvs(
                             }
                             (Role::Subject, Role::Object) => {
                                 push_check(i, j, j, i, &mut checks);
+                            }
+                            (Role::Object, Role::Object) => {
+                                push_check(i, j, i, j, &mut checks);
+                                push_check(i, j, j, i, &mut checks);
+                                push_home_check(i, j, i, &mut checks);
+                                push_home_check(i, j, j, &mut checks);
                             }
                             _ => {
                                 push_check(i, j, i, j, &mut checks);
@@ -315,6 +350,52 @@ fn check_query(
     };
     // Signature: the serialized text is stable and canonical enough for
     // memoization (term ids are stable within a dictionary).
+    let sig = write_query_for_sig(&q);
+    (q, sig)
+}
+
+/// Builds the home-check probe used for object–object joins: instances of
+/// `var` matching `keep` that are **not** the subject of any local triple.
+/// A non-empty result means some instance is a remote reference whose home
+/// endpoint may contribute further matches — the pair must not be grouped.
+fn home_check_query(
+    var: &str,
+    keep: &TriplePattern,
+    type_info: Option<(usize, TermId)>,
+    triples: &[TriplePattern],
+) -> (Query, String) {
+    let mut outer = vec![keep.clone()];
+    if let Some((ti, ty)) = type_info {
+        let type_tp = &triples[ti];
+        if type_tp != keep {
+            outer.insert(
+                0,
+                TriplePattern::new(
+                    PatternTerm::Var(var.to_string()),
+                    type_tp.p.clone(),
+                    PatternTerm::Const(ty),
+                ),
+            );
+        }
+    }
+    let inner = TriplePattern::new(
+        PatternTerm::Var(var.to_string()),
+        PatternTerm::Var("__chk_hp".to_string()),
+        PatternTerm::Var("__chk_ho".to_string()),
+    );
+    let mut pattern = GroupPattern::bgp(outer);
+    pattern.not_exists.push(GroupPattern::bgp(vec![inner]));
+    let q = Query {
+        form: lusail_sparql::ast::QueryForm::Select,
+        distinct: false,
+        projection: vec![var.to_string()],
+        pattern,
+        aggregates: Vec::new(),
+        group_by: Vec::new(),
+        having: Vec::new(),
+        order_by: Vec::new(),
+        limit: Some(1),
+    };
     let sig = write_query_for_sig(&q);
     (q, sig)
 }
@@ -494,6 +575,61 @@ mod tests {
         assert_eq!(analysis.gjvs, ["v"]);
         assert!(analysis.conflicting(0, 1));
         assert_eq!(analysis.check_queries, 0);
+    }
+
+    #[test]
+    fn object_object_join_straddling_endpoints_is_global() {
+        // Found by the differential fuzzer (seed 0x990cd70b12c5d084):
+        // ep0 holds (e11 p0 e12), ep1 holds (e12 p0 e12). Both endpoints
+        // bind ?v0 = e12, with empty mutual set differences — yet the
+        // cross-endpoint combinations (?v2 at ep0 × ?v3 at ep1) exist, so
+        // ?v0 must be global. The home check catches it: at ep0 the
+        // instance e12 has no local subject triple.
+        let dict = Dictionary::shared();
+        let e = |l: &str| Term::iri(format!("http://fuzz/{l}"));
+        let mut ep0 = TripleStore::new(Arc::clone(&dict));
+        ep0.insert_terms(&e("e11"), &e("p0"), &e("e12"));
+        let mut ep1 = TripleStore::new(Arc::clone(&dict));
+        ep1.insert_terms(&e("e12"), &e("p0"), &e("e12"));
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::new(LocalEndpoint::new("ep0", ep0)));
+        fed.add(Arc::new(LocalEndpoint::new("ep1", ep1)));
+        let q = parse_query(
+            "SELECT * WHERE { ?v2 <http://fuzz/p0> ?v0 . ?v3 <http://fuzz/p0> ?v0 . }",
+            fed.dict(),
+        )
+        .unwrap();
+        let analysis = analyze(&fed, &q);
+        assert_eq!(analysis.gjvs, ["v0"], "{analysis:?}");
+        assert!(analysis.conflicting(0, 1));
+    }
+
+    #[test]
+    fn object_object_join_on_homed_instances_stays_local() {
+        // Every object instance is a local subject at the only endpoint
+        // where it matches, so the home check is empty and the pair may be
+        // grouped (each endpoint computes its own complete cross product).
+        let dict = Dictionary::shared();
+        let e = |l: &str| Term::iri(format!("http://fuzz/{l}"));
+        let mut ep0 = TripleStore::new(Arc::clone(&dict));
+        ep0.insert_terms(&e("a"), &e("p"), &e("x"));
+        ep0.insert_terms(&e("b"), &e("q"), &e("x"));
+        ep0.insert_terms(&e("x"), &e("r"), &Term::lit("home"));
+        let mut ep1 = TripleStore::new(Arc::clone(&dict));
+        ep1.insert_terms(&e("c"), &e("p"), &e("y"));
+        ep1.insert_terms(&e("d"), &e("q"), &e("y"));
+        ep1.insert_terms(&e("y"), &e("r"), &Term::lit("home"));
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::new(LocalEndpoint::new("ep0", ep0)));
+        fed.add(Arc::new(LocalEndpoint::new("ep1", ep1)));
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://fuzz/p> ?v . ?t <http://fuzz/q> ?v . }",
+            fed.dict(),
+        )
+        .unwrap();
+        let analysis = analyze(&fed, &q);
+        assert!(analysis.gjvs.is_empty(), "{analysis:?}");
+        assert!(analysis.conflicts.is_empty());
     }
 
     #[test]

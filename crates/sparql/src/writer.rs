@@ -279,4 +279,73 @@ mod tests {
     fn roundtrip_distinct_limit() {
         roundtrip("SELECT DISTINCT ?s WHERE { ?s ?p ?o } LIMIT 10");
     }
+
+    #[test]
+    fn values_block_literal_escaping_roundtrips() {
+        // VALUES cells carry arbitrary constants across the wire (bound
+        // execution ships bindings this way), so the writer's escaping
+        // must survive a parse for every awkward literal shape.
+        use lusail_rdf::Term;
+        let dict = Dictionary::new();
+        let tricky = [
+            Term::lit("he said \"hi\""),
+            Term::lit("line one\nline two"),
+            Term::lit("tab\there, cr\rthere"),
+            Term::lit("backslash \\ then quote \""),
+            Term::lit(""),
+            Term::lang_lit("gr\u{fc}\u{df}e \"quoted\"", "de"),
+            Term::lang_lit("newline\nin tagged", "en"),
+            Term::int(-42),
+        ];
+        let mut rows: Vec<Vec<Option<TermId>>> = tricky
+            .iter()
+            .map(|t| vec![Some(dict.encode(t)), None])
+            .collect();
+        rows.push(vec![None, Some(dict.encode(&Term::lit("\\\"\n")))]);
+        let mut pattern = GroupPattern::bgp(vec![TriplePattern::new(
+            PatternTerm::Var("x".into()),
+            PatternTerm::Const(dict.encode(&Term::iri("http://x/p"))),
+            PatternTerm::Var("y".into()),
+        )]);
+        pattern.values = Some(ValuesBlock {
+            vars: vec!["x".into(), "y".into()],
+            rows,
+        });
+        let q1 = Query::select_all(pattern);
+        let text = write_query(&q1, &dict);
+        let q2 = parse_query(&text, &dict)
+            .unwrap_or_else(|e| panic!("re-parse of {text:?} failed: {e}"));
+        assert_eq!(q1, q2, "roundtrip mismatch for {text:?}");
+    }
+
+    #[test]
+    fn values_block_unusual_iris_roundtrip() {
+        // IRIs with legal-but-uncommon characters (the lexer admits
+        // anything except whitespace, braces, and '>').
+        use lusail_rdf::Term;
+        let dict = Dictionary::new();
+        let iris = [
+            Term::iri("http://x/ok?query=a&b=c#frag"),
+            Term::iri("http://x/percent%20encoded"),
+            Term::iri("http://x/odd'chars!$()*+,;=[]@"),
+            Term::iri("http://x/caret^pipe|backtick`quote\""),
+            Term::iri("urn:uuid:6e8bc430-9c3a-11d9-9669-0800200c9a66"),
+        ];
+        let rows: Vec<Vec<Option<TermId>>> =
+            iris.iter().map(|t| vec![Some(dict.encode(t))]).collect();
+        let mut pattern = GroupPattern::bgp(vec![TriplePattern::new(
+            PatternTerm::Var("x".into()),
+            PatternTerm::Const(dict.encode(&Term::iri("http://x/p"))),
+            PatternTerm::Var("o".into()),
+        )]);
+        pattern.values = Some(ValuesBlock {
+            vars: vec!["x".into()],
+            rows,
+        });
+        let q1 = Query::select_all(pattern);
+        let text = write_query(&q1, &dict);
+        let q2 = parse_query(&text, &dict)
+            .unwrap_or_else(|e| panic!("re-parse of {text:?} failed: {e}"));
+        assert_eq!(q1, q2, "roundtrip mismatch for {text:?}");
+    }
 }

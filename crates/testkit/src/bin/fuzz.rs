@@ -1,0 +1,166 @@
+//! Long-running differential fuzzer.
+//!
+//! Drives the testkit case generator for as many iterations as asked,
+//! checking every engine against the single-store oracle in clean mode
+//! and (unless `--no-faults`) under a seeded fault plan. On the first
+//! violation it shrinks the case and prints a self-contained repro, then
+//! exits nonzero.
+//!
+//! ```text
+//! cargo run --release -p lusail-testkit --bin fuzz -- --seed 1 --iters 10000
+//! cargo run --release -p lusail-testkit --bin fuzz -- --engine fedx --straddle 1.0
+//! ```
+
+use lusail_benchdata::common::Rng;
+use lusail_testkit::{run_case, seed_from_env, EngineKind, GenConfig};
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    case_seed: Option<u64>,
+    iters: u64,
+    engines: Vec<EngineKind>,
+    faulty: bool,
+    config: GenConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--seed N|0xHEX] [--iters N] [--engine lusail|fedx|hibiscus|splendid]\n\
+         \x20           [--no-faults] [--straddle F] [--max-endpoints N] [--max-triples N]\n\
+         \x20           [--max-patterns N] [--case-seed N|0xHEX]\n\
+         --seed seeds the stream of generated cases (default $LUSAIL_TEST_SEED, then 1);\n\
+         --case-seed replays exactly one case printed by a repro and ignores --seed/--iters."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: seed_from_env(1),
+        case_seed: None,
+        iters: 1000,
+        engines: EngineKind::ALL.to_vec(),
+        faulty: true,
+        config: GenConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = lusail_testkit::parse_seed(&value("--seed")).unwrap_or_else(|| usage())
+            }
+            "--case-seed" => {
+                args.case_seed = Some(
+                    lusail_testkit::parse_seed(&value("--case-seed")).unwrap_or_else(|| usage()),
+                )
+            }
+            "--iters" => args.iters = value("--iters").parse().unwrap_or_else(|_| usage()),
+            "--engine" => {
+                args.engines =
+                    vec![EngineKind::parse(&value("--engine")).unwrap_or_else(|| usage())]
+            }
+            "--no-faults" => args.faulty = false,
+            "--straddle" => {
+                args.config.straddle = value("--straddle").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-endpoints" => {
+                args.config.max_endpoints =
+                    value("--max-endpoints").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-triples" => {
+                args.config.max_triples = value("--max-triples").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-patterns" => {
+                args.config.max_patterns =
+                    value("--max-patterns").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+/// Checks one case seed for every selected engine × mode. Returns `Err`
+/// after printing the repro on the first violation.
+fn run_one(case_seed: u64, iteration: u64, args: &Args, runs: &mut u64) -> Result<(), ()> {
+    for &engine in &args.engines {
+        for faulty in [false, true] {
+            if faulty && !args.faulty {
+                continue;
+            }
+            *runs += 1;
+            if let Err(repro) = run_case(case_seed, &args.config, engine, faulty) {
+                eprintln!(
+                    "\nFAILURE at iteration {iteration} (case seed {case_seed:#x}, {} mode):\n",
+                    if faulty { "faulty" } else { "clean" }
+                );
+                println!("{repro}");
+                return Err(());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut runs = 0u64;
+    if let Some(case_seed) = args.case_seed {
+        eprintln!(
+            "fuzz: replaying case seed {case_seed:#x}, engines [{}], faults {}",
+            args.engines
+                .iter()
+                .map(|e| e.name())
+                .collect::<Vec<_>>()
+                .join(", "),
+            if args.faulty { "on" } else { "off" }
+        );
+        if run_one(case_seed, 0, &args, &mut runs).is_err() {
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fuzz: case {case_seed:#x} ({runs} runs) matched the oracle");
+        return ExitCode::SUCCESS;
+    }
+    let mut stream = Rng::new(args.seed);
+    eprintln!(
+        "fuzz: seed {:#x}, {} iterations, engines [{}], faults {}",
+        args.seed,
+        args.iters,
+        args.engines
+            .iter()
+            .map(|e| e.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        if args.faulty { "on" } else { "off" }
+    );
+    for i in 0..args.iters {
+        let case_seed = stream.next_u64();
+        if run_one(case_seed, i, &args, &mut runs).is_err() {
+            return ExitCode::FAILURE;
+        }
+        if (i + 1) % 100 == 0 {
+            eprintln!(
+                "fuzz: {} / {} iterations ({} runs) ok",
+                i + 1,
+                args.iters,
+                runs
+            );
+        }
+    }
+    eprintln!(
+        "fuzz: all {} iterations ({} runs) matched the oracle",
+        args.iters, runs
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,318 @@
+//! Differential execution: every federated engine against the merged
+//! single-store oracle.
+//!
+//! * **Clean mode** (no faults): the engine's solutions must equal the
+//!   centralized evaluation exactly (multiset equality after
+//!   canonicalization). `LIMIT k` is the one modifier without a unique
+//!   answer — any `k` oracle rows are correct — so limited queries are
+//!   checked as *oracle-subset of the un-limited result* plus the exact
+//!   row count `min(k, |oracle|)`.
+//! * **Faulty mode**: endpoints misbehave, so rows may legitimately go
+//!   missing. The contract is honesty: every reported row is backed by an
+//!   oracle row (exactly, or — in an outcome flagged incomplete — by
+//!   subsumption, where variables bound only inside a lost OPTIONAL group
+//!   may come back unbound), and an outcome flagged `complete` must be
+//!   indistinguishable from a clean run.
+
+use crate::gen::{Case, FaultSpec};
+use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
+use lusail_core::Lusail;
+use lusail_endpoint::{FederatedEngine, LocalEndpoint, RequestPolicy};
+use lusail_sparql::SolutionSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The four engines under differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The Lusail engine (LADE + SAPE).
+    Lusail,
+    /// The FedX baseline (exclusive groups + bound joins).
+    FedX,
+    /// The HiBISCuS baseline (authority-based source pruning over FedX).
+    Hibiscus,
+    /// The SPLENDID baseline (VOID statistics + DP join ordering).
+    Splendid,
+}
+
+impl EngineKind {
+    /// All four engines.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Lusail,
+        EngineKind::FedX,
+        EngineKind::Hibiscus,
+        EngineKind::Splendid,
+    ];
+
+    /// The engine's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Lusail => "Lusail",
+            EngineKind::FedX => "FedX",
+            EngineKind::Hibiscus => "HiBISCuS",
+            EngineKind::Splendid => "SPLENDID",
+        }
+    }
+
+    /// Parses a `--engine` argument (case-insensitive).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        EngineKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Instantiates the engine. The index-building baselines preprocess
+    /// the given endpoint handles (their offline phase sees clean data
+    /// even when the federation injects faults at query time).
+    pub fn build(
+        self,
+        endpoints: &[Arc<LocalEndpoint>],
+        policy: RequestPolicy,
+    ) -> Box<dyn FederatedEngine> {
+        let refs: Vec<&LocalEndpoint> = endpoints.iter().map(|e| e.as_ref()).collect();
+        match self {
+            EngineKind::Lusail => Box::new(Lusail::default().with_policy(policy)),
+            EngineKind::FedX => Box::new(FedX::default().with_policy(policy)),
+            EngineKind::Hibiscus => {
+                Box::new(HiBisCus::new(HibiscusIndex::build(&refs)).with_policy(policy))
+            }
+            EngineKind::Splendid => {
+                Box::new(Splendid::new(VoidIndex::build(&refs)).with_policy(policy))
+            }
+        }
+    }
+}
+
+/// The ways a differential run can disagree with the oracle.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// Clean run: the multiset of solutions differs from the oracle's.
+    Mismatch {
+        /// Rows the engine returned (canonicalized).
+        got: usize,
+        /// Rows the oracle returned (canonicalized).
+        want: usize,
+    },
+    /// `LIMIT k`: wrong number of rows (must be `min(k, |oracle|)`).
+    WrongLimitCount {
+        /// Rows the engine returned.
+        got: usize,
+        /// The required count.
+        want: usize,
+    },
+    /// A returned row does not appear in the oracle result at all.
+    SpuriousRow {
+        /// Rendered binding row.
+        row: String,
+    },
+    /// The outcome claimed `complete` although rows are missing.
+    FalseComplete {
+        /// Rows the engine returned.
+        got: usize,
+        /// Rows the oracle returned.
+        want: usize,
+    },
+    /// The engine returned a federation-level error on a legal input.
+    EngineError(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Mismatch { got, want } => {
+                write!(
+                    f,
+                    "result mismatch: engine returned {got} rows, oracle {want}"
+                )
+            }
+            Violation::WrongLimitCount { got, want } => {
+                write!(f, "LIMIT produced {got} rows, expected exactly {want}")
+            }
+            Violation::SpuriousRow { row } => {
+                write!(f, "spurious row not in the oracle result: {row}")
+            }
+            Violation::FalseComplete { got, want } => write!(
+                f,
+                "outcome flagged complete but rows are missing ({got} of {want})"
+            ),
+            Violation::EngineError(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+/// Request policy for clean runs: nothing fails, so retries never fire.
+pub fn clean_policy() -> RequestPolicy {
+    RequestPolicy::default()
+}
+
+/// Request policy for faulty runs: a couple of fast retries with
+/// microsecond backoffs (so injected faults are *sometimes* absorbed and
+/// sometimes leak through to the degradation paths), and circuit tripping
+/// after three consecutive failures.
+pub fn faulty_policy() -> RequestPolicy {
+    RequestPolicy {
+        max_retries: 2,
+        base_backoff: Duration::from_micros(10),
+        backoff_multiplier: 2.0,
+        max_backoff: Duration::from_micros(100),
+        jitter: 0.0,
+        deadline: Duration::ZERO,
+        trip_threshold: 3,
+    }
+}
+
+/// Evaluates the case's query on the merged oracle store, without `LIMIT`
+/// (the caller accounts for it). Returns the canonicalized solutions.
+pub fn oracle_solutions(case: &Case) -> SolutionSet {
+    let mut q = case.query.clone();
+    q.limit = None;
+    lusail_store::eval::evaluate(&case.oracle(), &q).canonicalize()
+}
+
+/// Runs `engine` over the case's federation and checks it against the
+/// oracle. `faults.is_clean()` selects the strict equality contract;
+/// otherwise the subset + completeness-honesty contract applies.
+pub fn check(case: &Case, engine: EngineKind, faults: &FaultSpec) -> Result<(), Violation> {
+    let clean = faults.is_clean();
+    let (fed, locals) = case.federation(faults);
+    let policy = if clean {
+        clean_policy()
+    } else {
+        faulty_policy()
+    };
+    let runner = engine.build(&locals, policy);
+    let outcome = runner
+        .run(&fed, &case.query)
+        .map_err(|e| Violation::EngineError(format!("{e:?}")))?;
+    let got = outcome.solutions.canonicalize();
+    let full = oracle_solutions(case);
+
+    if clean || outcome.complete {
+        // A clean run — or a faulty one that *claims* completeness — must
+        // match the oracle exactly.
+        match case.query.limit {
+            None => {
+                if got != full {
+                    return Err(if clean {
+                        Violation::Mismatch {
+                            got: got.len(),
+                            want: full.len(),
+                        }
+                    } else {
+                        Violation::FalseComplete {
+                            got: got.len(),
+                            want: full.len(),
+                        }
+                    });
+                }
+            }
+            Some(k) => {
+                let want = k.min(full.len());
+                if got.len() != want {
+                    return Err(if clean {
+                        Violation::WrongLimitCount {
+                            got: got.len(),
+                            want,
+                        }
+                    } else {
+                        Violation::FalseComplete {
+                            got: got.len(),
+                            want,
+                        }
+                    });
+                }
+            }
+        }
+    } else if let Some(k) = case.query.limit {
+        if got.len() > k {
+            return Err(Violation::WrongLimitCount {
+                got: got.len(),
+                want: k.min(full.len()),
+            });
+        }
+    }
+
+    // Under faults (and with LIMIT in any mode) every returned row must
+    // still be backed by an oracle row: degradation may lose answers,
+    // never invent them. One wrinkle: when an OPTIONAL group's endpoint
+    // dies, engines legitimately degrade a row to its mandatory bindings
+    // with the optional variables unbound. An incomplete outcome may
+    // therefore report a row *subsumed* by an oracle row — every bound
+    // cell agrees, and unbound cells are confined to variables bound only
+    // inside OPTIONAL groups. Complete (and clean) outcomes get no such
+    // slack.
+    let optional_only: Vec<bool> = got
+        .vars
+        .iter()
+        .map(|v| {
+            !case.query.pattern.triples.iter().any(|tp| tp.mentions(v))
+                && mentioned_in_optionals(&case.query.pattern, v)
+        })
+        .collect();
+    let may_degrade = !clean && !outcome.complete;
+    for row in &got.rows {
+        let exact = full.rows.contains(row);
+        let subsumed = may_degrade
+            && full.rows.iter().any(|oracle_row| {
+                row.iter()
+                    .zip(oracle_row)
+                    .enumerate()
+                    .all(|(i, (r, o))| match r {
+                        None => optional_only[i] || o.is_none(),
+                        Some(_) => r == o,
+                    })
+            });
+        if !exact && !subsumed {
+            return Err(Violation::SpuriousRow {
+                row: render_row(&got.vars, row, case),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// True when `var` occurs in some OPTIONAL group (recursively) of `g`.
+fn mentioned_in_optionals(g: &lusail_sparql::ast::GroupPattern, var: &str) -> bool {
+    g.optionals.iter().any(|opt| {
+        opt.triples.iter().any(|tp| tp.mentions(var)) || mentioned_in_optionals(opt, var)
+    })
+}
+
+fn render_row(vars: &[String], row: &[Option<lusail_rdf::TermId>], case: &Case) -> String {
+    vars.iter()
+        .zip(row)
+        .map(|(v, cell)| match cell {
+            Some(id) => format!("?{v}={}", case.dict.decode(*id)),
+            None => format!("?{v}=UNDEF"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenConfig;
+
+    #[test]
+    fn engine_kind_parses_case_insensitively() {
+        assert_eq!(EngineKind::parse("lusail"), Some(EngineKind::Lusail));
+        assert_eq!(EngineKind::parse("FEDX"), Some(EngineKind::FedX));
+        assert_eq!(EngineKind::parse("HiBisCuS"), Some(EngineKind::Hibiscus));
+        assert_eq!(EngineKind::parse("splendid"), Some(EngineKind::Splendid));
+        assert_eq!(EngineKind::parse("virtuoso"), None);
+    }
+
+    #[test]
+    fn a_handful_of_clean_cases_pass_for_every_engine() {
+        let cfg = GenConfig::default();
+        for seed in 0..6 {
+            let case = Case::generate(seed, &cfg);
+            for engine in EngineKind::ALL {
+                if let Err(v) = check(&case, engine, &FaultSpec::default()) {
+                    panic!("seed {seed} engine {}: {v}", engine.name());
+                }
+            }
+        }
+    }
+}

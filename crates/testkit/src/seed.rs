@@ -1,0 +1,51 @@
+//! Seed plumbing shared by the workspace's randomized suites.
+//!
+//! Every randomized test derives its stream from a compiled-in default
+//! seed, overridable at run time through the `LUSAIL_TEST_SEED`
+//! environment variable — so a failure printed by the differential
+//! harness (which reports its seed) replays in the ordinary test suites
+//! without recompiling:
+//!
+//! ```text
+//! LUSAIL_TEST_SEED=0xdeadbeef cargo test -q
+//! ```
+
+/// The environment variable consulted by [`seed_from_env`].
+pub const SEED_ENV_VAR: &str = "LUSAIL_TEST_SEED";
+
+/// Parses a seed written in decimal (`12345`) or hex (`0xdeadbeef`).
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Returns the seed from `LUSAIL_TEST_SEED` when set (panicking on an
+/// unparsable value — a silently ignored override would be worse), or
+/// `default` otherwise.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var(SEED_ENV_VAR) {
+        Ok(s) => parse_seed(&s)
+            .unwrap_or_else(|| panic!("{SEED_ENV_VAR}={s:?} is not a decimal or 0x-hex u64")),
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 42 "), Some(42));
+        assert_eq!(parse_seed("0xA1"), Some(0xA1));
+        assert_eq!(parse_seed("0Xdeadbeef"), Some(0xdead_beef));
+        assert_eq!(parse_seed("zzz"), None);
+        assert_eq!(parse_seed("0x"), None);
+        assert_eq!(parse_seed(""), None);
+    }
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full local verification: everything CI would ask, in dependency order.
+# A 30-second-capped fuzz smoke run rides along; hitting the cap counts
+# as success (the cap exists to bound verify time, not coverage).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> fuzz smoke (200 iterations, 30 s cap)"
+set +e
+timeout 30 cargo run --release -q -p lusail-testkit --bin fuzz -- --iters 200
+status=$?
+set -e
+if [ "$status" -ne 0 ] && [ "$status" -ne 124 ]; then
+    echo "fuzz smoke failed (exit $status)" >&2
+    exit "$status"
+fi
+[ "$status" -eq 124 ] && echo "fuzz smoke: 30 s cap reached (ok)"
+
+echo "verify: all checks passed"

@@ -1,0 +1,101 @@
+//! Tier-1 differential suite: every federated engine against the merged
+//! single-store oracle, over seeded random cases (see `lusail-testkit`).
+//!
+//! Each engine runs a bounded stream of generated cases twice — clean
+//! (exact oracle equality) and under a seeded fault plan (honesty: no
+//! invented rows, `complete` only when nothing is missing). A failure
+//! prints a shrunk, self-contained repro whose seed replays here via
+//!
+//! ```text
+//! LUSAIL_TEST_SEED=0x<case seed> cargo test -q differential
+//! ```
+//!
+//! (when the variable is set, the suite runs that one case for every
+//! engine *in addition to* seeding the regular stream with it). The
+//! long-running exploration lives in the `fuzz` binary of
+//! `lusail-testkit`; this suite pins a fixed budget so `cargo test -q`
+//! stays fast.
+
+use lusail_benchdata::common::Rng;
+use lusail_testkit::{run_case, seed_from_env, EngineKind, GenConfig, SEED_ENV_VAR};
+
+/// Default stream seed; overridable via `LUSAIL_TEST_SEED`.
+const DEFAULT_STREAM_SEED: u64 = 0xD1FF_0001;
+
+/// Cases per engine; each case runs clean *and* faulty.
+const CASES_PER_ENGINE: usize = 60;
+
+fn drive(engine: EngineKind) {
+    let config = GenConfig::default();
+    let env_override = std::env::var(SEED_ENV_VAR).is_ok();
+    let stream_seed = seed_from_env(DEFAULT_STREAM_SEED);
+
+    // A seed printed by a repro is a *case* seed: replay it directly
+    // first so the printed rerun line is honest.
+    if env_override {
+        for faulty in [false, true] {
+            if let Err(repro) = run_case(stream_seed, &config, engine, faulty) {
+                panic!(
+                    "replayed case {stream_seed:#x} ({} mode):\n{repro}",
+                    if faulty { "faulty" } else { "clean" }
+                );
+            }
+        }
+    }
+
+    let mut stream = Rng::new(stream_seed);
+    for i in 0..CASES_PER_ENGINE {
+        let case_seed = stream.next_u64();
+        for faulty in [false, true] {
+            if let Err(repro) = run_case(case_seed, &config, engine, faulty) {
+                panic!(
+                    "case {i} (seed {case_seed:#x}, {} mode):\n{repro}",
+                    if faulty { "faulty" } else { "clean" }
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lusail_matches_the_oracle() {
+    drive(EngineKind::Lusail);
+}
+
+#[test]
+fn fedx_matches_the_oracle() {
+    drive(EngineKind::FedX);
+}
+
+#[test]
+fn hibiscus_matches_the_oracle() {
+    drive(EngineKind::Hibiscus);
+}
+
+#[test]
+fn splendid_matches_the_oracle() {
+    drive(EngineKind::Splendid);
+}
+
+/// High-straddle configuration: join instances cross endpoints as often
+/// as the generator can arrange, so the GJV/decomposition machinery (not
+/// the disjoint fast path) carries the load.
+#[test]
+fn high_straddle_cases_match_the_oracle() {
+    let config = GenConfig {
+        straddle: 1.0,
+        ..GenConfig::default()
+    };
+    let mut stream = Rng::new(seed_from_env(DEFAULT_STREAM_SEED) ^ 0x57AD_D1E5);
+    for i in 0..20 {
+        let case_seed = stream.next_u64();
+        for engine in EngineKind::ALL {
+            if let Err(repro) = run_case(case_seed, &config, engine, false) {
+                panic!(
+                    "case {i} (seed {case_seed:#x}, {}):\n{repro}",
+                    engine.name()
+                );
+            }
+        }
+    }
+}

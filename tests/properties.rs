@@ -8,7 +8,10 @@
 //!   centralized result for random chain queries.
 //!
 //! Each test drives a seeded SplitMix64 generator through a fixed number
-//! of cases, so failures reproduce from the case index alone.
+//! of cases, so failures reproduce from the case index alone. The default
+//! per-test seeds below can be overridden through `LUSAIL_TEST_SEED`
+//! (decimal or `0x`-hex) to replay a seed reported by the differential
+//! harness or to widen coverage.
 
 use lusail_baselines::FedX;
 use lusail_benchdata::common::Rng;
@@ -18,6 +21,7 @@ use lusail_rdf::{Dictionary, Term, TermId};
 use lusail_sparql::ast::{GroupPattern, PatternTerm, Query, TriplePattern};
 use lusail_sparql::{parse_query, write_query, SolutionSet};
 use lusail_store::TripleStore;
+use lusail_testkit::seed_from_env;
 use std::sync::Arc;
 
 // ---------- solution-set algebra -------------------------------------------
@@ -45,7 +49,7 @@ fn rand_solutions(rng: &mut Rng, vars: &[&str]) -> SolutionSet {
 
 #[test]
 fn hash_join_is_commutative() {
-    let mut rng = Rng::new(0xA1);
+    let mut rng = Rng::new(seed_from_env(0xA1));
     for case in 0..200 {
         let a = rand_solutions(&mut rng, &["x", "y"]);
         let b = rand_solutions(&mut rng, &["y", "z"]);
@@ -57,7 +61,7 @@ fn hash_join_is_commutative() {
 
 #[test]
 fn join_with_empty_is_empty() {
-    let mut rng = Rng::new(0xA2);
+    let mut rng = Rng::new(seed_from_env(0xA2));
     for case in 0..100 {
         let a = rand_solutions(&mut rng, &["x", "y"]);
         let empty = SolutionSet::empty(vec!["y".into(), "z".into()]);
@@ -67,7 +71,7 @@ fn join_with_empty_is_empty() {
 
 #[test]
 fn left_join_preserves_left_rows() {
-    let mut rng = Rng::new(0xA3);
+    let mut rng = Rng::new(seed_from_env(0xA3));
     for case in 0..200 {
         let a = rand_solutions(&mut rng, &["x", "y"]);
         let b = rand_solutions(&mut rng, &["y", "z"]);
@@ -82,7 +86,7 @@ fn left_join_preserves_left_rows() {
 
 #[test]
 fn anti_join_and_semi_join_partition() {
-    let mut rng = Rng::new(0xA4);
+    let mut rng = Rng::new(seed_from_env(0xA4));
     for case in 0..200 {
         let a = rand_solutions(&mut rng, &["x", "y"]);
         let b = rand_solutions(&mut rng, &["y"]);
@@ -106,7 +110,7 @@ fn anti_join_and_semi_join_partition() {
 
 #[test]
 fn dedup_is_idempotent() {
-    let mut rng = Rng::new(0xA5);
+    let mut rng = Rng::new(seed_from_env(0xA5));
     for case in 0..200 {
         let a = rand_solutions(&mut rng, &["x", "y"]);
         let mut once = a.clone();
@@ -119,7 +123,7 @@ fn dedup_is_idempotent() {
 
 #[test]
 fn canonicalize_is_stable() {
-    let mut rng = Rng::new(0xA6);
+    let mut rng = Rng::new(seed_from_env(0xA6));
     for case in 0..200 {
         let a = rand_solutions(&mut rng, &["x", "y"]);
         let c1 = a.canonicalize();
@@ -167,7 +171,7 @@ fn rand_query_text(rng: &mut Rng) -> String {
 
 #[test]
 fn parse_write_parse_is_identity() {
-    let mut rng = Rng::new(0xB1);
+    let mut rng = Rng::new(seed_from_env(0xB1));
     for case in 0..300 {
         let text = rand_query_text(&mut rng);
         let dict = Dictionary::new();
@@ -183,7 +187,7 @@ fn parse_write_parse_is_identity() {
 
 #[test]
 fn store_scan_matches_naive_filter() {
-    let mut rng = Rng::new(0xC1);
+    let mut rng = Rng::new(seed_from_env(0xC1));
     for case in 0..150 {
         let dict = Dictionary::shared();
         let mut st = TripleStore::new(Arc::clone(&dict));
@@ -234,7 +238,7 @@ fn store_scan_matches_naive_filter() {
 // DESIGN.md.)
 #[test]
 fn any_subject_partition_yields_centralized_results() {
-    let mut rng = Rng::new(0xF1);
+    let mut rng = Rng::new(seed_from_env(0xF1));
     for case in 0..24 {
         let endpoints = 2 + rng.below(2);
         let chain_len = 2 + rng.below(2);

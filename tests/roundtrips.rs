@@ -2,7 +2,8 @@
 //! N-Triples documents (the CLI's on-disk format) and federated ORDER BY
 //! semantics. Each test drives a seeded SplitMix64 generator through a
 //! fixed number of cases, so failures are reproducible from the case
-//! index alone.
+//! index alone. The default per-test seeds can be overridden through
+//! `LUSAIL_TEST_SEED` (decimal or `0x`-hex).
 
 use lusail_benchdata::common::Rng;
 use lusail_core::Lusail;
@@ -10,6 +11,7 @@ use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint};
 use lusail_rdf::{ntriples, Dictionary, Term, Triple};
 use lusail_sparql::parse_query;
 use lusail_store::TripleStore;
+use lusail_testkit::seed_from_env;
 use std::sync::Arc;
 
 fn rand_ascii(rng: &mut Rng, max_len: usize) -> String {
@@ -57,7 +59,7 @@ fn rand_predicate(rng: &mut Rng) -> Term {
 /// including escaped literals.
 #[test]
 fn ntriples_document_roundtrip() {
-    let mut rng = Rng::new(0xD0C5);
+    let mut rng = Rng::new(seed_from_env(0xD0C5));
     for case in 0..200 {
         let dict = Dictionary::shared();
         let n = rng.below(40);
@@ -82,7 +84,7 @@ fn ntriples_document_roundtrip() {
 /// for integer keys) however the data is spread.
 #[test]
 fn federated_order_by_matches_centralized() {
-    let mut rng = Rng::new(0x02DE2);
+    let mut rng = Rng::new(seed_from_env(0x02DE2));
     for case in 0..60 {
         let values: Vec<i64> = (0..1 + rng.below(24))
             .map(|_| rng.below(100) as i64 - 50)
@@ -130,7 +132,7 @@ fn federated_order_by_matches_centralized() {
 fn append_of_shards_equals_whole() {
     use lusail_rdf::TermId;
     use lusail_sparql::SolutionSet;
-    let mut rng = Rng::new(0x5A2D5);
+    let mut rng = Rng::new(seed_from_env(0x5A2D5));
     for case in 0..200 {
         let n = rng.below(30);
         let rows: Vec<Vec<Option<TermId>>> = (0..n)
