@@ -23,11 +23,13 @@ use lusail_core::exec::Net;
 use lusail_core::source_selection::{select_sources, SourceMap};
 use lusail_endpoint::{
     FederatedEngine, Federation, FederationError, QueryOutcome, RequestPolicy, ResilientClient,
+    SystemClock, TraceEvent, TraceSink,
 };
 use lusail_rdf::TermId;
 use lusail_sparql::ast::{Expression, GroupPattern, Query};
 use lusail_sparql::SolutionSet;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// FedX tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -85,15 +87,32 @@ impl FedX {
         fed: &Federation,
         query: &Query,
     ) -> Result<QueryOutcome, FederationError> {
+        self.execute_traced(fed, query, &TraceSink::disabled())
+    }
+
+    /// [`FedX::execute`] with request-level tracing: every remote request
+    /// is recorded into `trace`, and an enabled trace always ends with
+    /// [`TraceEvent::QueryFinished`].
+    pub fn execute_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        trace: &TraceSink,
+    ) -> Result<QueryOutcome, FederationError> {
         if fed.is_empty() {
             return Err(FederationError::EmptyFederation);
         }
-        let net = Net::new(self.policy);
+        let net = Net::build(self.policy, Arc::new(SystemClock::default()), trace.clone());
         let loss = AtomicBool::new(false);
         let solutions = self.execute_inner(fed, query, &net, &loss);
+        let complete = !loss.load(Ordering::Relaxed) && !net.degradation.data_loss();
+        trace.emit(|| TraceEvent::QueryFinished {
+            rows: solutions.len(),
+            complete,
+        });
         Ok(QueryOutcome {
             solutions,
-            complete: !loss.load(Ordering::Relaxed) && !net.degradation.data_loss(),
+            complete,
             failures: net.client.report(fed),
         })
     }
@@ -298,6 +317,15 @@ impl FederatedEngine for FedX {
 
     fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
         self.execute(fed, query)
+    }
+
+    fn run_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        sink: &TraceSink,
+    ) -> Result<QueryOutcome, FederationError> {
+        self.execute_traced(fed, query, sink)
     }
 
     fn reset(&self) {

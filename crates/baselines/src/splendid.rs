@@ -21,12 +21,13 @@ use lusail_core::exec::Net;
 use lusail_core::source_selection::SourceMap;
 use lusail_endpoint::{
     EndpointId, FederatedEngine, Federation, FederationError, LocalEndpoint, QueryOutcome,
-    RequestPolicy,
+    RequestKind, RequestPolicy, SystemClock, TraceEvent, TraceSink,
 };
 use lusail_rdf::{FxHashMap, TermId};
 use lusail_sparql::ast::{GroupPattern, Query, TriplePattern, ValuesBlock};
 use lusail_sparql::SolutionSet;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// VOID-style statistics for one endpoint.
@@ -175,7 +176,9 @@ impl Splendid {
                 let tp_clone = tp.clone();
                 let results = net.handler.run(fed, tasks, move |ep_id, ep, _| {
                     let q = Query::ask(GroupPattern::bgp(vec![tp_clone.clone()]));
-                    net.client.request(ep_id, || ep.ask(&q)).unwrap_or(true)
+                    net.client
+                        .request_kind(ep_id, RequestKind::Ask, || ep.ask(&q))
+                        .unwrap_or(true)
                 });
                 results
                     .into_iter()
@@ -199,15 +202,32 @@ impl Splendid {
         fed: &Federation,
         query: &Query,
     ) -> Result<QueryOutcome, FederationError> {
+        self.execute_traced(fed, query, &TraceSink::disabled())
+    }
+
+    /// [`Splendid::execute`] with request-level tracing: every remote
+    /// request is recorded into `trace`, and an enabled trace always ends
+    /// with [`TraceEvent::QueryFinished`].
+    pub fn execute_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        trace: &TraceSink,
+    ) -> Result<QueryOutcome, FederationError> {
         if fed.is_empty() {
             return Err(FederationError::EmptyFederation);
         }
-        let net = Net::new(self.policy);
+        let net = Net::build(self.policy, Arc::new(SystemClock::default()), trace.clone());
         let loss = AtomicBool::new(false);
         let solutions = self.execute_inner(fed, query, &net, &loss);
+        let complete = !loss.load(Ordering::Relaxed) && !net.degradation.data_loss();
+        trace.emit(|| TraceEvent::QueryFinished {
+            rows: solutions.len(),
+            complete,
+        });
         Ok(QueryOutcome {
             solutions,
-            complete: !loss.load(Ordering::Relaxed) && !net.degradation.data_loss(),
+            complete,
             failures: net.client.report(fed),
         })
     }
@@ -370,6 +390,15 @@ impl FederatedEngine for Splendid {
 
     fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
         self.execute(fed, query)
+    }
+
+    fn run_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        sink: &TraceSink,
+    ) -> Result<QueryOutcome, FederationError> {
+        self.execute_traced(fed, query, sink)
     }
 
     fn reset(&self) {

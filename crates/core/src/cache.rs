@@ -9,6 +9,7 @@
 use lusail_endpoint::EndpointId;
 use lusail_rdf::{FxHashMap, TermId};
 use lusail_sparql::ast::{PatternTerm, TriplePattern};
+use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// A canonical form of a triple pattern: variables replaced by their index
@@ -46,49 +47,100 @@ pub fn pattern_key(tp: &TriplePattern) -> PatternKey {
 }
 
 /// A thread-safe memo table keyed by `(PatternKey, EndpointId)`.
+///
+/// Optionally capacity-bounded: when full, inserting a *new* key evicts
+/// the oldest-inserted entry (FIFO), so memory stays proportional to the
+/// bound rather than the probe history. `new` builds an unbounded cache
+/// (the paper's hash table); `with_capacity` bounds it.
 pub struct ProbeCache<V: Copy> {
     enabled: bool,
-    map: Mutex<FxHashMap<(PatternKey, EndpointId), V>>,
-    hits: Mutex<u64>,
+    capacity: Option<usize>,
+    inner: Mutex<ProbeCacheInner<V>>,
+}
+
+struct ProbeCacheInner<V> {
+    map: FxHashMap<(PatternKey, EndpointId), V>,
+    order: VecDeque<(PatternKey, EndpointId)>,
+    hits: u64,
+    misses: u64,
 }
 
 impl<V: Copy> ProbeCache<V> {
-    /// Creates a cache; if `enabled` is false, every lookup misses.
+    /// Creates an unbounded cache; if `enabled` is false, every lookup
+    /// misses (and is not counted — the cache is never consulted).
     pub fn new(enabled: bool) -> Self {
+        Self::build(enabled, None)
+    }
+
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn with_capacity(enabled: bool, capacity: usize) -> Self {
+        Self::build(enabled, Some(capacity))
+    }
+
+    fn build(enabled: bool, capacity: Option<usize>) -> Self {
         ProbeCache {
             enabled,
-            map: Mutex::new(FxHashMap::default()),
-            hits: Mutex::new(0),
+            capacity,
+            inner: Mutex::new(ProbeCacheInner {
+                map: FxHashMap::default(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
         }
     }
 
-    /// Looks up a memoized probe result.
+    /// Looks up a memoized probe result, bumping the hit or miss counter.
     pub fn get(&self, key: &PatternKey, ep: EndpointId) -> Option<V> {
         if !self.enabled {
             return None;
         }
-        let found = self.map.lock().unwrap().get(&(key.clone(), ep)).copied();
+        let mut inner = self.inner.lock().unwrap();
+        let found = inner.map.get(&(key.clone(), ep)).copied();
         if found.is_some() {
-            *self.hits.lock().unwrap() += 1;
+            inner.hits += 1;
+        } else {
+            inner.misses += 1;
         }
         found
     }
 
-    /// Stores a probe result.
+    /// Stores a probe result, evicting the oldest entry when a capacity
+    /// bound is exceeded. Overwriting an existing key never evicts.
     pub fn put(&self, key: PatternKey, ep: EndpointId, value: V) {
-        if self.enabled {
-            self.map.lock().unwrap().insert((key, ep), value);
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let entry = (key, ep);
+        if inner.map.insert(entry.clone(), value).is_none() {
+            inner.order.push_back(entry);
+            if let Some(cap) = self.capacity {
+                while inner.map.len() > cap {
+                    match inner.order.pop_front() {
+                        Some(oldest) => {
+                            inner.map.remove(&oldest);
+                        }
+                        None => break,
+                    }
+                }
+            }
         }
     }
 
     /// Number of cache hits so far (diagnostics).
     pub fn hits(&self) -> u64 {
-        *self.hits.lock().unwrap()
+        self.inner.lock().unwrap().hits
+    }
+
+    /// Number of consulted-but-absent lookups so far (diagnostics).
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().unwrap().misses
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.inner.lock().unwrap().map.len()
     }
 
     /// True if the cache holds no entries.
@@ -96,10 +148,14 @@ impl<V: Copy> ProbeCache<V> {
         self.len() == 0
     }
 
-    /// Drops all entries (used between benchmark repetitions).
+    /// Drops all entries and resets the counters (used between benchmark
+    /// repetitions).
     pub fn clear(&self) {
-        self.map.lock().unwrap().clear();
-        *self.hits.lock().unwrap() = 0;
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.clear();
+        inner.order.clear();
+        inner.hits = 0;
+        inner.misses = 0;
     }
 }
 
@@ -191,10 +247,65 @@ mod tests {
     }
 
     #[test]
+    fn hit_and_miss_accounting_is_exact() {
+        let cache: ProbeCache<u64> = ProbeCache::new(true);
+        let key = pattern_key(&TriplePattern::new(v("x"), c(1), v("y")));
+        assert_eq!(cache.get(&key, 0), None); // miss 1
+        cache.put(key.clone(), 0, 7);
+        assert_eq!(cache.get(&key, 0), Some(7)); // hit 1
+        assert_eq!(cache.get(&key, 0), Some(7)); // hit 2
+        assert_eq!(cache.get(&key, 1), None); // miss 2 (other endpoint)
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        cache.clear();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
     fn disabled_cache_never_hits() {
         let cache: ProbeCache<u64> = ProbeCache::new(false);
         let key = pattern_key(&TriplePattern::new(v("x"), c(1), v("y")));
         cache.put(key.clone(), 0, 42);
         assert_eq!(cache.get(&key, 0), None);
+        // A disabled cache is never consulted, so nothing is counted.
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_insertion_first() {
+        let cache: ProbeCache<u64> = ProbeCache::with_capacity(true, 2);
+        let k1 = pattern_key(&TriplePattern::new(v("x"), c(1), v("y")));
+        let k2 = pattern_key(&TriplePattern::new(v("x"), c(2), v("y")));
+        let k3 = pattern_key(&TriplePattern::new(v("x"), c(3), v("y")));
+        cache.put(k1.clone(), 0, 1);
+        cache.put(k2.clone(), 0, 2);
+        assert_eq!(cache.len(), 2);
+        cache.put(k3.clone(), 0, 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&k1, 0), None); // oldest entry evicted
+        assert_eq!(cache.get(&k2, 0), Some(2));
+        assert_eq!(cache.get(&k3, 0), Some(3));
+    }
+
+    #[test]
+    fn overwriting_an_existing_key_does_not_evict() {
+        let cache: ProbeCache<u64> = ProbeCache::with_capacity(true, 2);
+        let k1 = pattern_key(&TriplePattern::new(v("x"), c(1), v("y")));
+        let k2 = pattern_key(&TriplePattern::new(v("x"), c(2), v("y")));
+        cache.put(k1.clone(), 0, 1);
+        cache.put(k2.clone(), 0, 2);
+        cache.put(k1.clone(), 0, 10); // overwrite while full
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&k1, 0), Some(10));
+        assert_eq!(cache.get(&k2, 0), Some(2));
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache: ProbeCache<u64> = ProbeCache::new(true);
+        for i in 0..100 {
+            let k = pattern_key(&TriplePattern::new(v("x"), c(i), v("y")));
+            cache.put(k, 0, u64::from(i));
+        }
+        assert_eq!(cache.len(), 100);
     }
 }

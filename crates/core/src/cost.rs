@@ -24,7 +24,7 @@
 use crate::cache::{pattern_key, ProbeCache};
 use crate::exec::Net;
 use crate::subquery::Subquery;
-use lusail_endpoint::{EndpointId, Federation};
+use lusail_endpoint::{EndpointId, Federation, RequestKind};
 use lusail_sparql::ast::{Expression, GroupPattern, Query, TriplePattern};
 use std::sync::atomic::Ordering;
 
@@ -85,7 +85,7 @@ pub fn estimate_cardinalities(
     let probed = net
         .handler
         .run(fed, needed, |ep_id, ep, tp: &TriplePattern| {
-            net.client.request(ep_id, || {
+            net.client.request_kind(ep_id, RequestKind::Count, || {
                 ep.count(&Query::count(GroupPattern::bgp(vec![tp.clone()])))
             })
         });
@@ -145,27 +145,88 @@ pub fn estimate_cardinalities(
         .collect()
 }
 
+/// The full delay decision, with the per-channel thresholds that caused
+/// it — the payload behind trace delay-reason events.
+#[derive(Debug, Clone, Default)]
+pub struct DelayDecision {
+    /// Whether each subquery is delayed (either channel).
+    pub delayed: Vec<bool>,
+    /// Whether the *cardinality* channel flagged each subquery.
+    pub by_cardinality: Vec<bool>,
+    /// Whether the *fan-out* channel flagged each subquery.
+    pub by_fanout: Vec<bool>,
+    /// The `μ + kσ` threshold of the cardinality channel (`None` for
+    /// [`DelayPolicy::OutliersOnly`], where Chauvenet rejection itself is
+    /// the criterion, and for trivially small inputs).
+    pub cardinality_threshold: Option<f64>,
+    /// The `μ + kσ` threshold of the fan-out channel.
+    pub fanout_threshold: Option<f64>,
+}
+
+impl DelayDecision {
+    /// A human-readable reason for subquery `i`'s delay, naming the
+    /// channel and the threshold that flagged it. `None` when `i` is not
+    /// delayed.
+    pub fn reason(&self, i: usize, cardinality: u64, fanout: usize) -> Option<String> {
+        if self.by_cardinality.get(i).copied().unwrap_or(false) {
+            return Some(match self.cardinality_threshold {
+                Some(t) => format!("cardinality {cardinality} > μ+kσ threshold {t:.1}"),
+                None => format!("cardinality {cardinality} is a Chauvenet outlier"),
+            });
+        }
+        if self.by_fanout.get(i).copied().unwrap_or(false) {
+            return Some(match self.fanout_threshold {
+                Some(t) => format!("fan-out {fanout} > μ+kσ threshold {t:.1}"),
+                None => format!("fan-out {fanout} is a Chauvenet outlier"),
+            });
+        }
+        None
+    }
+}
+
 /// Decides which subqueries to delay given cardinalities and endpoint
 /// fan-outs.
 pub fn decide_delays(cardinalities: &[u64], fanouts: &[usize], policy: DelayPolicy) -> Vec<bool> {
+    decide_delays_detailed(cardinalities, fanouts, policy).delayed
+}
+
+/// [`decide_delays`] plus the per-channel verdicts and thresholds.
+pub fn decide_delays_detailed(
+    cardinalities: &[u64],
+    fanouts: &[usize],
+    policy: DelayPolicy,
+) -> DelayDecision {
     assert_eq!(cardinalities.len(), fanouts.len());
     let n = cardinalities.len();
     if n <= 1 {
-        return vec![false; n];
+        return DelayDecision {
+            delayed: vec![false; n],
+            by_cardinality: vec![false; n],
+            by_fanout: vec![false; n],
+            cardinality_threshold: None,
+            fanout_threshold: None,
+        };
     }
     let cards: Vec<f64> = cardinalities.iter().map(|&c| c as f64).collect();
     let fans: Vec<f64> = fanouts.iter().map(|&f| f as f64).collect();
-    let by_card = threshold_exceeders(&cards, policy);
-    let by_fan = threshold_exceeders(&fans, policy);
-    (0..n).map(|i| by_card[i] || by_fan[i]).collect()
+    let (by_cardinality, cardinality_threshold) = threshold_exceeders(&cards, policy);
+    let (by_fanout, fanout_threshold) = threshold_exceeders(&fans, policy);
+    DelayDecision {
+        delayed: (0..n).map(|i| by_cardinality[i] || by_fanout[i]).collect(),
+        by_cardinality,
+        by_fanout,
+        cardinality_threshold,
+        fanout_threshold,
+    }
 }
 
 /// Marks the values exceeding the policy threshold computed over the
-/// Chauvenet inliers.
-fn threshold_exceeders(xs: &[f64], policy: DelayPolicy) -> Vec<bool> {
+/// Chauvenet inliers, returning the threshold itself alongside (`None`
+/// for the outliers-only policy, which has no numeric threshold).
+fn threshold_exceeders(xs: &[f64], policy: DelayPolicy) -> (Vec<bool>, Option<f64>) {
     let inliers = chauvenet_inliers(xs);
     if let DelayPolicy::OutliersOnly = policy {
-        return inliers.iter().map(|&keep| !keep).collect();
+        return (inliers.iter().map(|&keep| !keep).collect(), None);
     }
     let kept: Vec<f64> = xs
         .iter()
@@ -181,7 +242,7 @@ fn threshold_exceeders(xs: &[f64], policy: DelayPolicy) -> Vec<bool> {
         DelayPolicy::OutliersOnly => unreachable!(),
     };
     let threshold = mu + k * sigma;
-    xs.iter().map(|&x| x > threshold).collect()
+    (xs.iter().map(|&x| x > threshold).collect(), Some(threshold))
 }
 
 /// Chauvenet's criterion: a sample is rejected when the expected number of
@@ -358,6 +419,41 @@ mod tests {
         }
         // Exactly 2× is *not* dominant: threshold math over both points.
         assert_eq!(chauvenet_inliers(&[10.0, 20.0]), [true, true]);
+    }
+
+    #[test]
+    fn detailed_decision_surfaces_threshold_and_reason() {
+        let cards = [100, 100, 100, 100, 100_000];
+        let fans = [2, 2, 2, 2, 2];
+        let d = decide_delays_detailed(&cards, &fans, DelayPolicy::MuSigma);
+        assert_eq!(d.delayed, [false, false, false, false, true]);
+        assert_eq!(d.by_cardinality, d.delayed);
+        assert!(d.by_fanout.iter().all(|&b| !b));
+        // Chauvenet rejects the outlier, so the threshold is computed over
+        // the four identical inliers: μ = 100, σ = 0.
+        assert_eq!(d.cardinality_threshold, Some(100.0));
+        let reason = d.reason(4, cards[4], fans[4]).unwrap();
+        assert!(
+            reason.contains("cardinality 100000") && reason.contains("100.0"),
+            "unexpected reason: {reason}"
+        );
+        assert_eq!(d.reason(0, cards[0], fans[0]), None);
+        // Every delayed index must have a reason, under every policy.
+        for policy in [
+            DelayPolicy::Mu,
+            DelayPolicy::MuSigma,
+            DelayPolicy::Mu2Sigma,
+            DelayPolicy::OutliersOnly,
+        ] {
+            let d = decide_delays_detailed(&cards, &fans, policy);
+            for (i, &delayed) in d.delayed.iter().enumerate() {
+                assert_eq!(
+                    d.reason(i, cards[i], fans[i]).is_some(),
+                    delayed,
+                    "{policy:?} index {i}"
+                );
+            }
+        }
     }
 
     #[test]

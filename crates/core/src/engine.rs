@@ -13,21 +13,24 @@
 //! fast path for LUBM Q1/Q2.
 
 use crate::cache::{KeyedCache, ProbeCache};
-use crate::cost::{decide_delays, estimate_cardinalities, DelayPolicy, SubqueryCosts};
-use crate::decompose::{decompose, is_disjoint};
+use crate::cost::{
+    decide_delays, decide_delays_detailed, estimate_cardinalities, DelayPolicy, SubqueryCosts,
+};
+use crate::decompose::{decompose, decompose_traced, is_disjoint};
 use crate::exec::{evaluate_subqueries, ExecConfig, Net};
+use crate::explain::render_pattern;
 use crate::gjv::detect_gjvs;
 use crate::metrics::QueryMetrics;
 use crate::source_selection::{select_sources, SourceMap};
 use crate::subquery::Subquery;
 use lusail_endpoint::{
     Clock, EndpointFailure, EndpointId, Federation, FederationError, QueryOutcome, RequestPolicy,
+    SystemClock, TraceEvent, TraceSink,
 };
 use lusail_sparql::ast::{Expression, GroupPattern, Query};
 use lusail_sparql::SolutionSet;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -176,9 +179,21 @@ impl Lusail {
     /// A fresh per-query network context: endpoint death (tripped circuit)
     /// and degradation counters are scoped to one query.
     pub(crate) fn fresh_net(&self) -> Net {
+        self.fresh_net_traced(TraceSink::disabled())
+    }
+
+    /// [`Lusail::fresh_net`] with a trace sink threaded through the
+    /// request client and handler.
+    pub(crate) fn fresh_net_traced(&self, trace: TraceSink) -> Net {
+        Net::build(self.policy, self.timing_clock(), trace)
+    }
+
+    /// The clock phase timings (and retry backoff) are measured against:
+    /// the injected test clock when present, otherwise the system clock.
+    fn timing_clock(&self) -> Arc<dyn Clock> {
         match &self.clock {
-            Some(clock) => Net::with_clock(self.policy, clock.clone()),
-            None => Net::new(self.policy),
+            Some(clock) => clock.clone(),
+            None => Arc::new(SystemClock::default()),
         }
     }
 
@@ -206,11 +221,29 @@ impl Lusail {
     /// gracefully (see [`QueryResult::complete`]); only federation-level
     /// misuse is an `Err`.
     pub fn execute(&self, fed: &Federation, query: &Query) -> Result<QueryResult, FederationError> {
+        self.execute_traced(fed, query, &TraceSink::disabled())
+    }
+
+    /// [`Lusail::execute`] with structured tracing: every remote request,
+    /// planning decision, and join step is recorded into `trace` (a no-op
+    /// when the sink is disabled). The final event of an enabled trace is
+    /// always [`TraceEvent::QueryFinished`].
+    pub fn execute_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        trace: &TraceSink,
+    ) -> Result<QueryResult, FederationError> {
         if fed.is_empty() {
             return Err(FederationError::EmptyFederation);
         }
-        let net = self.fresh_net();
-        Ok(self.execute_with_net(fed, query, &net))
+        let net = self.fresh_net_traced(trace.clone());
+        let result = self.execute_with_net(fed, query, &net);
+        trace.emit(|| TraceEvent::QueryFinished {
+            rows: result.solutions.len(),
+            complete: result.complete,
+        });
+        Ok(result)
     }
 
     fn execute_with_net(&self, fed: &Federation, query: &Query, net: &Net) -> QueryResult {
@@ -221,19 +254,23 @@ impl Lusail {
             return self.execute_with_net(fed, &rewritten, net);
         }
         let mut metrics = QueryMetrics::default();
-        let t_total = Instant::now();
+        // Phase timings come from the same (injectable) clock the request
+        // client uses, so EXPLAIN ANALYZE is deterministic under the test
+        // clock: a `ManualClock` only advances on simulated sleeps.
+        let clock = self.timing_clock();
+        let t_total = clock.now();
 
         // ---- Phase 1: source selection --------------------------------
         let s0 = fed.stats_snapshot();
-        let t0 = Instant::now();
+        let t0 = clock.now();
         let sources = select_sources(fed, &query.pattern, &self.ask_cache, net);
-        metrics.source_selection = t0.elapsed();
+        metrics.source_selection = clock.now().saturating_sub(t0);
         let s1 = fed.stats_snapshot();
         metrics.requests_source_selection = s1.since(&s0);
 
         // A required pattern with no source ⇒ empty result, no more work.
         if sources.any_required_empty(&query.pattern.triples) {
-            metrics.total = t_total.elapsed();
+            metrics.total = clock.now().saturating_sub(t_total);
             let (complete, failures) = self.finish(fed, net, &mut metrics);
             return QueryResult {
                 solutions: SolutionSet::empty(query.output_vars()),
@@ -244,7 +281,7 @@ impl Lusail {
         }
 
         // ---- Phase 2: analysis (LADE + cost model) ---------------------
-        let t1 = Instant::now();
+        let t1 = clock.now();
         let analysis = if self.config.disable_lade {
             crate::gjv::GjvAnalysis::default()
         } else {
@@ -276,16 +313,20 @@ impl Lusail {
             && simple_pattern
             && is_disjoint(&query.pattern.triples, &sources, &analysis)
         {
-            metrics.analysis = t1.elapsed();
+            metrics.analysis = clock.now().saturating_sub(t1);
             let s2 = fed.stats_snapshot();
             metrics.requests_analysis = s2.since(&s1);
             metrics.subqueries = 1;
-            let t2 = Instant::now();
+            net.trace.emit(|| TraceEvent::Decomposed {
+                subqueries: 1,
+                gjvs: analysis.gjvs.len(),
+            });
+            let t2 = clock.now();
             let solutions = self.execute_disjoint(fed, query, &sources, net);
-            metrics.execution = t2.elapsed();
+            metrics.execution = clock.now().saturating_sub(t2);
             metrics.requests_execution = fed.stats_snapshot().since(&s2);
             metrics.result_rows = solutions.len();
-            metrics.total = t_total.elapsed();
+            metrics.total = clock.now().saturating_sub(t_total);
             let (complete, failures) = self.finish(fed, net, &mut metrics);
             return QueryResult {
                 solutions,
@@ -297,9 +338,14 @@ impl Lusail {
 
         // General path: decompose, estimate, and plan the top-level group.
         let mut subqueries = if self.config.disable_lade {
-            singleton_subqueries(&query.pattern.triples, &sources)
+            let subqueries = singleton_subqueries(&query.pattern.triples, &sources);
+            net.trace.emit(|| TraceEvent::Decomposed {
+                subqueries: subqueries.len(),
+                gjvs: analysis.gjvs.len(),
+            });
+            subqueries
         } else {
-            decompose(&query.pattern.triples, &sources, &analysis)
+            decompose_traced(&query.pattern.triples, &sources, &analysis, &net.trace)
         };
         let global_filters = push_filters(&query.pattern.filters, &mut subqueries);
         shrink_projections(query, &mut subqueries, &global_filters);
@@ -308,23 +354,53 @@ impl Lusail {
         let costs = if subqueries.len() > 1 {
             let cardinality = estimate_cardinalities(fed, net, &subqueries, &self.count_cache);
             let fanouts: Vec<usize> = subqueries.iter().map(|sq| sq.sources.len()).collect();
-            let delayed = decide_delays(&cardinality, &fanouts, self.config.delay_policy);
+            let decision = decide_delays_detailed(&cardinality, &fanouts, self.config.delay_policy);
+            for (i, sq) in subqueries.iter().enumerate() {
+                net.trace.emit(|| TraceEvent::SubqueryPlanned {
+                    index: i,
+                    patterns: sq
+                        .triples
+                        .iter()
+                        .map(|tp| render_pattern(tp, fed.dict()))
+                        .collect(),
+                    sources: sq.sources.len(),
+                    cardinality: cardinality[i],
+                    fanout: fanouts[i],
+                    delayed: decision.delayed[i],
+                    delay_reason: decision.reason(i, cardinality[i], fanouts[i]),
+                });
+            }
             SubqueryCosts {
                 cardinality,
-                delayed,
+                delayed: decision.delayed,
             }
         } else {
+            for (i, sq) in subqueries.iter().enumerate() {
+                net.trace.emit(|| TraceEvent::SubqueryPlanned {
+                    index: i,
+                    patterns: sq
+                        .triples
+                        .iter()
+                        .map(|tp| render_pattern(tp, fed.dict()))
+                        .collect(),
+                    sources: sq.sources.len(),
+                    cardinality: 0,
+                    fanout: sq.sources.len(),
+                    delayed: false,
+                    delay_reason: None,
+                });
+            }
             SubqueryCosts {
                 cardinality: vec![0; subqueries.len()],
                 delayed: vec![false; subqueries.len()],
             }
         };
-        metrics.analysis = t1.elapsed();
+        metrics.analysis = clock.now().saturating_sub(t1);
         let s2 = fed.stats_snapshot();
         metrics.requests_analysis = s2.since(&s1);
 
         // ---- Phase 3: execution (SAPE) ---------------------------------
-        let t2 = Instant::now();
+        let t2 = clock.now();
         let exec_cfg = ExecConfig {
             block_size: self.config.block_size,
             parallel_join_threshold: self.config.parallel_join_threshold,
@@ -342,10 +418,10 @@ impl Lusail {
         // the first `limit` rows (see the C4 discussion, §VI-C).
         solutions = lusail_store::eval::apply_modifiers(solutions, query, fed.dict());
 
-        metrics.execution = t2.elapsed();
+        metrics.execution = clock.now().saturating_sub(t2);
         metrics.requests_execution = fed.stats_snapshot().since(&s2);
         metrics.result_rows = solutions.len();
-        metrics.total = t_total.elapsed();
+        metrics.total = clock.now().saturating_sub(t_total);
         let (complete, failures) = self.finish(fed, net, &mut metrics);
         QueryResult {
             solutions,
@@ -512,6 +588,20 @@ impl lusail_endpoint::FederatedEngine for Lusail {
 
     fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
         let result = self.execute(fed, query)?;
+        Ok(QueryOutcome {
+            solutions: result.solutions,
+            complete: result.complete,
+            failures: result.failures,
+        })
+    }
+
+    fn run_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        sink: &TraceSink,
+    ) -> Result<QueryOutcome, FederationError> {
+        let result = self.execute_traced(fed, query, sink)?;
         Ok(QueryOutcome {
             solutions: result.solutions,
             complete: result.complete,

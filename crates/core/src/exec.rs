@@ -19,7 +19,10 @@
 use crate::cost::SubqueryCosts;
 use crate::join::{join_components, par_hash_join, Relation};
 use crate::subquery::Subquery;
-use lusail_endpoint::{Clock, EndpointId, EndpointRef, Federation, RequestPolicy, ResilientClient};
+use lusail_endpoint::{
+    Clock, EndpointId, EndpointRef, Federation, RequestKind, RequestPolicy, ResilientClient,
+    SystemClock, TraceEvent, TraceSink,
+};
 use lusail_sparql::ast::{Query, ValuesBlock};
 use lusail_sparql::SolutionSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -27,12 +30,22 @@ use std::sync::Arc;
 
 /// Executes batches of per-endpoint tasks with one worker per endpoint.
 #[derive(Default)]
-pub struct RequestHandler;
+pub struct RequestHandler {
+    trace: TraceSink,
+}
 
 impl RequestHandler {
-    /// Creates a request handler.
+    /// Creates a request handler with tracing disabled.
     pub fn new() -> Self {
-        RequestHandler
+        RequestHandler {
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Creates a request handler that records one
+    /// [`TraceEvent::Dispatch`] per task batch into `trace`.
+    pub fn traced(trace: TraceSink) -> Self {
+        RequestHandler { trace }
     }
 
     /// Runs every `(endpoint, task)` pair, returning `(endpoint, task,
@@ -54,6 +67,7 @@ impl RequestHandler {
         if tasks.is_empty() {
             return Vec::new();
         }
+        let n_tasks = tasks.len();
         // Group tasks by endpoint, preserving submission order per endpoint.
         let mut by_ep: Vec<(EndpointId, Vec<T>)> = Vec::new();
         for (ep, t) in tasks {
@@ -62,6 +76,10 @@ impl RequestHandler {
                 None => by_ep.push((ep, vec![t])),
             }
         }
+        self.trace.emit(|| TraceEvent::Dispatch {
+            tasks: n_tasks,
+            endpoints: by_ep.len(),
+        });
         if by_ep.len() == 1 {
             // Single endpoint: run inline, no thread overhead.
             let (ep_id, ts) = by_ep.pop().unwrap();
@@ -139,6 +157,8 @@ pub struct Net {
     pub client: ResilientClient,
     /// Conservative-fallback counters for this query.
     pub degradation: Degradation,
+    /// The trace sink the whole context emits into (disabled by default).
+    pub trace: TraceSink,
 }
 
 impl Default for Net {
@@ -150,19 +170,26 @@ impl Default for Net {
 impl Net {
     /// A context over the real clock.
     pub fn new(policy: RequestPolicy) -> Self {
-        Net {
-            handler: RequestHandler::new(),
-            client: ResilientClient::new(policy),
-            degradation: Degradation::default(),
-        }
+        Net::build(
+            policy,
+            Arc::new(SystemClock::default()),
+            TraceSink::disabled(),
+        )
     }
 
     /// A context over an injected clock (tests).
     pub fn with_clock(policy: RequestPolicy, clock: Arc<dyn Clock>) -> Self {
+        Net::build(policy, clock, TraceSink::disabled())
+    }
+
+    /// A context over an injected clock and trace sink: the handler and
+    /// client share the sink, so one enabled sink sees the whole query.
+    pub fn build(policy: RequestPolicy, clock: Arc<dyn Clock>, trace: TraceSink) -> Self {
         Net {
-            handler: RequestHandler::new(),
-            client: ResilientClient::with_clock(policy, clock),
+            handler: RequestHandler::traced(trace.clone()),
+            client: ResilientClient::traced(policy, clock, trace.clone()),
             degradation: Degradation::default(),
+            trace,
         }
     }
 
@@ -238,6 +265,8 @@ pub fn evaluate_subqueries(
             .unwrap();
         delayed_idx.retain(|&i| i != best);
         non_delayed.push(best);
+        net.trace
+            .emit(|| TraceEvent::SubqueryPromoted { index: best });
     }
     let report = ExecReport {
         delayed: delayed_idx.len(),
@@ -266,11 +295,17 @@ pub fn evaluate_subqueries(
     let mut relations: Vec<Relation> = Vec::new();
     for &i in &non_delayed {
         let parts = by_subquery.remove(&i).unwrap_or_default();
-        relations.push(concat_partitions(&subqueries[i], parts));
+        let rel = concat_partitions(&subqueries[i], parts);
+        net.trace.emit(|| TraceEvent::SubqueryEvaluated {
+            index: i,
+            rows: rel.sols.len(),
+            partitions: rel.partitions,
+        });
+        relations.push(rel);
     }
 
     // Join whatever is joinable so the found bindings are already reduced.
-    let mut components = join_components(relations, config.parallel_join_threshold);
+    let mut components = join_components(relations, config.parallel_join_threshold, &net.trace);
 
     // Phase 2: delayed subqueries, most selective (refined) first.
     while !delayed_idx.is_empty() {
@@ -300,6 +335,13 @@ pub fn evaluate_subqueries(
                     .iter()
                     .flat_map(|&ep| blocks.iter().cloned().map(move |b| (ep, b)))
                     .collect();
+                for (ep, block) in &tasks {
+                    net.trace.emit(|| TraceEvent::ValuesBatch {
+                        subquery: pick,
+                        endpoint: *ep,
+                        bindings: block.rows.len(),
+                    });
+                }
                 let results = net
                     .handler
                     .run(fed, tasks, |ep_id, ep, block: &ValuesBlock| {
@@ -333,8 +375,13 @@ pub fn evaluate_subqueries(
             }
         };
 
+        net.trace.emit(|| TraceEvent::SubqueryEvaluated {
+            index: pick,
+            rows: relation.sols.len(),
+            partitions: relation.partitions,
+        });
         components.push(relation);
-        components = join_components(components, config.parallel_join_threshold);
+        components = join_components(components, config.parallel_join_threshold, &net.trace);
     }
 
     // Cross-join any genuinely disconnected components.
@@ -347,7 +394,16 @@ pub fn evaluate_subqueries(
         },
     };
     for r in iter {
+        let (left_rows, right_rows) = (acc.len(), r.sols.len());
         acc = par_hash_join(&acc, &r.sols, 1, config.parallel_join_threshold);
+        net.trace.emit(|| TraceEvent::JoinStep {
+            left_rows,
+            right_rows,
+            output_rows: acc.len(),
+            // Cross products are unordered by the DP: their cost is the
+            // plain sequential work of both sides.
+            cost: left_rows as f64 + right_rows as f64,
+        });
     }
     (acc, report)
 }
@@ -437,7 +493,10 @@ fn refine_sources(
     let ask = Query::ask(pattern);
     let tasks: Vec<(EndpointId, ())> = sources.iter().map(|&ep| (ep, ())).collect();
     let results = net.handler.run(fed, tasks, |ep_id, ep, _| {
-        match net.client.request(ep_id, || ep.ask(&ask)) {
+        match net
+            .client
+            .request_kind(ep_id, RequestKind::Ask, || ep.ask(&ask))
+        {
             Ok(relevant) => relevant,
             Err(_) => {
                 net.degradation

@@ -1,6 +1,15 @@
 //! `EXPLAIN`: run Lusail's compile-time pipeline (source selection, LADE,
 //! cost model) without executing, and render the resulting plan.
 //!
+//! `EXPLAIN ANALYZE` goes further: it *executes* the query with an
+//! enabled [`TraceSink`] and renders the plan tree annotated with what
+//! actually happened — request counts per kind (aggregated, because
+//! concurrent request events arrive unordered), actual cardinalities,
+//! VALUES-block traffic, each hash-join step with its planned cost, and
+//! the phase wall times. All wall times come from the engine's
+//! injectable [`Clock`](lusail_endpoint::Clock), so under the test
+//! `ManualClock` the render is byte-identical across runs.
+//!
 //! Used by the CLI's `explain` subcommand and by tests that assert on
 //! planning decisions without paying for execution.
 
@@ -9,10 +18,13 @@ use crate::cost::{decide_delays, estimate_cardinalities};
 use crate::decompose::{decompose, is_disjoint};
 use crate::engine::Lusail;
 use crate::gjv::detect_gjvs;
+use crate::metrics::QueryMetrics;
 use crate::source_selection::select_sources;
-use lusail_endpoint::Federation;
+use crate::trace::{QueryTrace, RequestKind, TraceEvent, TraceSink};
+use lusail_endpoint::{Federation, FederationError};
 use lusail_rdf::Dictionary;
 use lusail_sparql::ast::{PatternTerm, Query, TriplePattern};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One subquery in the plan.
@@ -90,7 +102,7 @@ impl QueryPlan {
     }
 }
 
-fn render_pattern(tp: &TriplePattern, dict: &Dictionary) -> String {
+pub(crate) fn render_pattern(tp: &TriplePattern, dict: &Dictionary) -> String {
     let term = |t: &PatternTerm| match t {
         PatternTerm::Var(v) => format!("?{v}"),
         PatternTerm::Const(id) => dict.decode(*id).to_string(),
@@ -178,6 +190,175 @@ impl Lusail {
             .collect();
         plan
     }
+
+    /// `EXPLAIN ANALYZE`: executes `query` with tracing enabled and
+    /// renders the annotated plan. The query *does* run in full — results
+    /// are discarded, the trace is kept.
+    pub fn explain_analyze(
+        &self,
+        fed: &Federation,
+        query: &Query,
+    ) -> Result<String, FederationError> {
+        let sink = TraceSink::enabled();
+        let result = self.execute_traced(fed, query, &sink)?;
+        let trace = QueryTrace::from_sink(&sink);
+        Ok(render_analyze(&trace, Some(&result.metrics)))
+    }
+}
+
+/// Renders a finished [`QueryTrace`] as the `EXPLAIN ANALYZE` report.
+/// Request events are aggregated per kind (their emission order is not
+/// deterministic under concurrency); everything else is rendered in the
+/// deterministic order the engine's sequential planning path emitted it.
+/// `metrics` adds the phase wall-time line; baseline engines, which trace
+/// requests but keep no phase metrics, pass `None`.
+pub fn render_analyze(trace: &QueryTrace, metrics: Option<&QueryMetrics>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "EXPLAIN ANALYZE");
+
+    let _ = writeln!(out, "requests:");
+    for kind in RequestKind::ALL {
+        let s = trace.requests(kind);
+        let _ = writeln!(
+            out,
+            "  {:<6}  {} requests  {} wire attempts  {} failed",
+            kind.name(),
+            s.requests,
+            s.attempts,
+            s.failures
+        );
+    }
+
+    if let Some(TraceEvent::Decomposed { subqueries, gjvs }) = trace
+        .events
+        .iter()
+        .find(|ev| matches!(ev, TraceEvent::Decomposed { .. }))
+    {
+        let _ = writeln!(
+            out,
+            "decomposition: {subqueries} subqueries  ({gjvs} global join variables)"
+        );
+    }
+
+    // Actual per-subquery outcomes, keyed by index. At the top level each
+    // subquery is evaluated exactly once (concurrent in phase 1 or bound
+    // in phase 2); nested-group re-evaluations overwrite, which keeps the
+    // render small rather than exhaustive.
+    let mut actual: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    let mut promoted: Vec<usize> = Vec::new();
+    for ev in &trace.events {
+        match ev {
+            TraceEvent::SubqueryEvaluated {
+                index,
+                rows,
+                partitions,
+            } => {
+                actual.insert(*index, (*rows, *partitions));
+            }
+            TraceEvent::SubqueryPromoted { index } => promoted.push(*index),
+            _ => {}
+        }
+    }
+
+    let mut planned: Vec<&TraceEvent> = trace
+        .events
+        .iter()
+        .filter(|ev| matches!(ev, TraceEvent::SubqueryPlanned { .. }))
+        .collect();
+    planned.sort_by_key(|ev| match ev {
+        TraceEvent::SubqueryPlanned { index, .. } => *index,
+        _ => usize::MAX,
+    });
+    for ev in planned {
+        let TraceEvent::SubqueryPlanned {
+            index,
+            patterns,
+            sources,
+            cardinality,
+            delayed,
+            delay_reason,
+            ..
+        } = ev
+        else {
+            continue;
+        };
+        let mode = match delay_reason {
+            Some(reason) => format!("[DELAYED: {reason}]"),
+            None if *delayed => "[DELAYED]".to_string(),
+            None if promoted.contains(index) => "[promoted to concurrent]".to_string(),
+            None => "[concurrent]".to_string(),
+        };
+        let actual_part = match actual.get(index) {
+            Some((rows, parts)) => format!("actual rows {rows} in {parts} partition(s)"),
+            None => "not evaluated".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  subquery {} {}  est. cardinality {}  {}  @ {} endpoint(s)",
+            index + 1,
+            mode,
+            cardinality,
+            actual_part,
+            sources
+        );
+        for tp in patterns {
+            let _ = writeln!(out, "      {tp}");
+        }
+    }
+
+    let (blocks, bindings) = trace.values_batch_totals();
+    if blocks > 0 {
+        let _ = writeln!(
+            out,
+            "values traffic: {blocks} block(s), {bindings} binding(s)"
+        );
+    }
+
+    let joins = trace.join_steps();
+    if !joins.is_empty() {
+        let _ = writeln!(out, "joins:");
+        for (i, ev) in joins.iter().enumerate() {
+            if let TraceEvent::JoinStep {
+                left_rows,
+                right_rows,
+                output_rows,
+                cost,
+            } = ev
+            {
+                let _ = writeln!(
+                    out,
+                    "  step {}: {} x {} -> {} rows  (cost {:.1})",
+                    i + 1,
+                    left_rows,
+                    right_rows,
+                    output_rows,
+                    cost
+                );
+            }
+        }
+    }
+
+    if let Some(m) = metrics {
+        let _ = writeln!(
+            out,
+            "phases: source selection {:?}, analysis {:?}, execution {:?}, total {:?}",
+            m.source_selection, m.analysis, m.execution, m.total
+        );
+    }
+
+    match trace
+        .events
+        .iter()
+        .find(|ev| matches!(ev, TraceEvent::QueryFinished { .. }))
+    {
+        Some(TraceEvent::QueryFinished { rows, complete }) => {
+            let _ = writeln!(out, "result: {rows} rows  complete: {complete}");
+        }
+        _ => {
+            let _ = writeln!(out, "result: <no query-finished event>");
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -298,6 +479,89 @@ global join variables: []  (0 check queries)
 plan: DISJOINT — ship the whole query to every relevant endpoint and concatenate
 ";
         assert_eq!(plan.render(), expected);
+    }
+
+    fn delayed_fed() -> Federation {
+        // The golden-plan federation: ten matches at A, one at B, so the
+        // two-point dominance rule delays subquery 1.
+        let dict = Dictionary::shared();
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        for i in 0..10 {
+            a.insert_terms(
+                &Term::iri(format!("http://a/s{i}")),
+                &Term::iri("http://x/p"),
+                &Term::iri("http://b/v"),
+            );
+        }
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        b.insert_terms(
+            &Term::iri("http://b/v"),
+            &Term::iri("http://x/q"),
+            &Term::iri("http://b/o"),
+        );
+        let mut f = Federation::new(dict);
+        f.add(Arc::new(LocalEndpoint::new("A", a)));
+        f.add(Arc::new(LocalEndpoint::new("B", b)));
+        f
+    }
+
+    fn delayed_query(f: &Federation) -> Query {
+        parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+            f.dict(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn explain_analyze_golden_under_manual_clock() {
+        use lusail_endpoint::ManualClock;
+        let f = delayed_fed();
+        let q = delayed_query(&f);
+        // Fresh engine + fresh manual clock per run: the report must be
+        // byte-identical, and is pinned verbatim like the plan goldens.
+        let run = || {
+            Lusail::default()
+                .with_clock(ManualClock::new())
+                .explain_analyze(&f, &q)
+                .unwrap()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "EXPLAIN ANALYZE must be deterministic");
+        let expected = "\
+EXPLAIN ANALYZE
+requests:
+  ask     4 requests  4 wire attempts  0 failed
+  select  2 requests  2 wire attempts  0 failed
+  count   2 requests  2 wire attempts  0 failed
+  check   0 requests  0 wire attempts  0 failed
+decomposition: 2 subqueries  (1 global join variables)
+  subquery 1 [DELAYED: cardinality 10 > μ+kσ threshold 1.0]  \
+est. cardinality 10  actual rows 10 in 1 partition(s)  @ 1 endpoint(s)
+      ?s <http://x/p> ?v
+  subquery 2 [concurrent]  est. cardinality 1  actual rows 1 in 1 partition(s)  @ 1 endpoint(s)
+      ?v <http://x/q> ?o
+values traffic: 1 block(s), 1 binding(s)
+joins:
+  step 1: 1 x 10 -> 10 rows  (cost 11.0)
+phases: source selection 0ns, analysis 0ns, execution 0ns, total 0ns
+result: 10 rows  complete: true
+";
+        assert_eq!(first, expected);
+    }
+
+    #[test]
+    fn disabled_sink_records_no_events_during_execution() {
+        let f = delayed_fed();
+        let q = delayed_query(&f);
+        let sink = TraceSink::disabled();
+        let result = Lusail::default().execute_traced(&f, &q, &sink).unwrap();
+        assert!(!result.solutions.is_empty());
+        // The zero-sink path records (and allocates) nothing.
+        assert!(!sink.is_enabled());
+        assert!(sink.is_empty());
+        assert!(sink.events().is_empty());
     }
 
     #[test]

@@ -37,7 +37,7 @@
 use crate::cache::KeyedCache;
 use crate::exec::Net;
 use crate::source_selection::SourceMap;
-use lusail_endpoint::{EndpointId, Federation};
+use lusail_endpoint::{EndpointId, Federation, RequestKind};
 use lusail_rdf::{vocab, FxHashSet, TermId};
 use lusail_sparql::ast::{GroupPattern, PatternTerm, Query, TriplePattern};
 use std::sync::atomic::Ordering;
@@ -51,8 +51,10 @@ pub struct GjvAnalysis {
     /// some variable to be global. Patterns in a conflicting pair must not
     /// share a subquery.
     pub conflicts: FxHashSet<(usize, usize)>,
-    /// Number of check queries evaluated at endpoints (diagnostics; the
-    /// paper bounds this by `O(|V|·|T|²)` and it is small in practice).
+    /// Check-query wire attempts at endpoints — one per select that
+    /// actually reached an endpoint, so retried checks count per attempt
+    /// (diagnostics; the paper bounds the probe count by `O(|V|·|T|²)`
+    /// and it is small in practice).
     pub check_queries: u64,
 }
 
@@ -260,12 +262,18 @@ pub fn detect_gjvs(
                         }
                     }
                 }
-                analysis.check_queries += tasks.len() as u64;
+                let attempts_before = net.client.wire_attempts(RequestKind::Check);
                 let results = net.handler.run(fed, tasks, |ep_id, ep, &ci| {
                     net.client
-                        .request(ep_id, || ep.select(&checks[ci].2))
+                        .request_kind(ep_id, RequestKind::Check, || ep.select(&checks[ci].2))
                         .map(|sols| !sols.is_empty())
                 });
+                // `check_queries` counts wire attempts, exactly like the
+                // endpoint-side select counter it is documented as a part
+                // of: a retried check counts once per attempt and a
+                // circuit-broken one not at all.
+                analysis.check_queries +=
+                    net.client.wire_attempts(RequestKind::Check) - attempts_before;
                 for (ep, ci, nonempty) in results {
                     match nonempty {
                         Ok(nonempty) => {

@@ -14,6 +14,7 @@
 //! (hash + probe, each parallel over its partitions). Probing is
 //! parallelized across row chunks when a side is large.
 
+use lusail_endpoint::{TraceEvent, TraceSink};
 use lusail_rdf::{FxHashMap, TermId};
 use lusail_sparql::solution::{Row, SolutionSet};
 
@@ -42,7 +43,14 @@ impl Relation {
 /// shared variables) down to a single relation, using DP join ordering
 /// inside each component. Disconnected components are returned separately
 /// — the caller decides whether a cross product is actually needed.
-pub fn join_components(relations: Vec<Relation>, parallel_threshold: usize) -> Vec<Relation> {
+/// Each executed hash join emits one [`TraceEvent::JoinStep`] into
+/// `trace` with its input/output cardinalities and the `JoinCost` that
+/// ordered it.
+pub fn join_components(
+    relations: Vec<Relation>,
+    parallel_threshold: usize,
+    trace: &TraceSink,
+) -> Vec<Relation> {
     let n = relations.len();
     if n <= 1 {
         return relations;
@@ -83,27 +91,31 @@ pub fn join_components(relations: Vec<Relation>, parallel_threshold: usize) -> V
     }
     components
         .into_iter()
-        .map(|c| join_connected(c, parallel_threshold))
+        .map(|c| join_connected(c, parallel_threshold, trace))
         .collect()
 }
 
 /// Joins a connected set of relations into one, ordering by DP when small
 /// enough and by greedy smallest-pair otherwise.
-fn join_connected(mut relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
+fn join_connected(
+    mut relations: Vec<Relation>,
+    parallel_threshold: usize,
+    trace: &TraceSink,
+) -> Relation {
     if relations.len() == 1 {
         return relations.pop().unwrap();
     }
     if relations.len() <= 12 {
-        dp_join(relations, parallel_threshold)
+        dp_join(relations, parallel_threshold, trace)
     } else {
-        greedy_join(relations, parallel_threshold)
+        greedy_join(relations, parallel_threshold, trace)
     }
 }
 
 /// Bushy DP over subsets: `best[mask]` is the cheapest plan joining the
 /// relations in `mask`, considering only connected splits (no cross
 /// products within a component).
-fn dp_join(relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
+fn dp_join(relations: Vec<Relation>, parallel_threshold: usize, trace: &TraceSink) -> Relation {
     #[derive(Clone)]
     struct Plan {
         cost: f64,
@@ -193,7 +205,7 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
     // mask (shouldn't happen for a connected component), fall back to
     // greedy.
     if !plans.contains_key(&full) {
-        return greedy_join(relations, parallel_threshold);
+        return greedy_join(relations, parallel_threshold, trace);
     }
 
     fn execute(
@@ -201,6 +213,7 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
         plans: &FxHashMap<u32, Plan>,
         relations: &mut [Option<Relation>],
         threshold: usize,
+        trace: &TraceSink,
     ) -> Relation {
         let plan = &plans[&mask];
         match plan.split {
@@ -211,21 +224,32 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
                 relations[i].take().expect("leaf used once")
             }
             Some((l, r)) => {
-                let left = execute(l, plans, relations, threshold);
-                let right = execute(r, plans, relations, threshold);
+                let left = execute(l, plans, relations, threshold, trace);
+                let right = execute(r, plans, relations, threshold, trace);
                 let partitions = left.partitions.max(right.partitions);
                 let sols = par_hash_join(&left.sols, &right.sols, partitions, threshold);
+                trace.emit(|| TraceEvent::JoinStep {
+                    left_rows: left.sols.len(),
+                    right_rows: right.sols.len(),
+                    output_rows: sols.len(),
+                    // The marginal DP step cost that ordered this join.
+                    cost: plan.cost - plans[&l].cost - plans[&r].cost,
+                });
                 Relation { sols, partitions }
             }
         }
     }
     let mut slots: Vec<Option<Relation>> = relations.into_iter().map(Some).collect();
-    execute(full, &plans, &mut slots, parallel_threshold)
+    execute(full, &plans, &mut slots, parallel_threshold, trace)
 }
 
 /// Greedy fallback: repeatedly join the connected pair with the smallest
 /// combined work.
-fn greedy_join(mut relations: Vec<Relation>, parallel_threshold: usize) -> Relation {
+fn greedy_join(
+    mut relations: Vec<Relation>,
+    parallel_threshold: usize,
+    trace: &TraceSink,
+) -> Relation {
     while relations.len() > 1 {
         let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..relations.len() {
@@ -243,15 +267,29 @@ fn greedy_join(mut relations: Vec<Relation>, parallel_threshold: usize) -> Relat
             // Not connected after all: cross-join the first two.
             let b = relations.remove(1);
             let a = relations.remove(0);
+            let cost = a.work() + b.work();
             let partitions = a.partitions.max(b.partitions);
             let sols = par_hash_join(&a.sols, &b.sols, partitions, parallel_threshold);
+            trace.emit(|| TraceEvent::JoinStep {
+                left_rows: a.sols.len(),
+                right_rows: b.sols.len(),
+                output_rows: sols.len(),
+                cost,
+            });
             relations.insert(0, Relation { sols, partitions });
             continue;
         };
         let b = relations.remove(j);
         let a = relations.remove(i);
+        let cost = a.work() + b.work();
         let partitions = a.partitions.max(b.partitions);
         let sols = par_hash_join(&a.sols, &b.sols, partitions, parallel_threshold);
+        trace.emit(|| TraceEvent::JoinStep {
+            left_rows: a.sols.len(),
+            right_rows: b.sols.len(),
+            output_rows: sols.len(),
+            cost,
+        });
         relations.push(Relation { sols, partitions });
     }
     relations.pop().unwrap_or(Relation {
@@ -396,7 +434,7 @@ mod tests {
         let a = rel(&["x", "y"], vec![vec![1, 10], vec![2, 20]], 1);
         let b = rel(&["y", "z"], vec![vec![10, 100], vec![20, 200]], 1);
         let c = rel(&["z", "w"], vec![vec![100, 7]], 1);
-        let out = join_components(vec![a, b, c], usize::MAX);
+        let out = join_components(vec![a, b, c], usize::MAX, &TraceSink::disabled());
         assert_eq!(out.len(), 1);
         let sols = &out[0].sols;
         assert_eq!(sols.len(), 1);
@@ -417,7 +455,7 @@ mod tests {
     fn disconnected_components_stay_apart() {
         let a = rel(&["x"], vec![vec![1]], 1);
         let b = rel(&["y"], vec![vec![2]], 1);
-        let out = join_components(vec![a, b], usize::MAX);
+        let out = join_components(vec![a, b], usize::MAX, &TraceSink::disabled());
         assert_eq!(out.len(), 2);
     }
 
@@ -432,7 +470,7 @@ mod tests {
                 1,
             ));
         }
-        let out = join_components(rels, usize::MAX);
+        let out = join_components(rels, usize::MAX, &TraceSink::disabled());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].sols.len(), 2);
         assert_eq!(out[0].sols.vars.len(), 7);
@@ -479,8 +517,40 @@ mod tests {
                 1,
             ));
         }
-        let out = join_components(rels, usize::MAX);
+        let out = join_components(rels, usize::MAX, &TraceSink::disabled());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].sols.len(), 2);
+    }
+
+    #[test]
+    fn join_steps_are_traced_with_cardinalities_and_cost() {
+        let a = rel(&["x", "y"], vec![vec![1, 10], vec![2, 20]], 1);
+        let b = rel(&["y", "z"], vec![vec![10, 100], vec![20, 200]], 1);
+        let c = rel(&["z", "w"], vec![vec![100, 7]], 1);
+        let sink = TraceSink::enabled();
+        let out = join_components(vec![a, b, c], usize::MAX, &sink);
+        assert_eq!(out.len(), 1);
+        let events = sink.events();
+        // Three relations join in exactly two steps, innermost first.
+        assert_eq!(events.len(), 2);
+        for ev in &events {
+            let TraceEvent::JoinStep {
+                left_rows,
+                right_rows,
+                output_rows,
+                cost,
+            } = ev
+            else {
+                panic!("unexpected event {ev:?}");
+            };
+            assert!(*left_rows >= 1 && *right_rows >= 1);
+            assert!(*output_rows <= left_rows * right_rows);
+            assert!(*cost > 0.0);
+        }
+        // The final step produced the component's result cardinality.
+        let TraceEvent::JoinStep { output_rows, .. } = events[1] else {
+            unreachable!()
+        };
+        assert_eq!(output_rows, out[0].sols.len());
     }
 }

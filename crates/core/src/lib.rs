@@ -37,11 +37,13 @@ pub mod metrics;
 pub mod mqo;
 pub mod source_selection;
 pub mod subquery;
+pub mod trace;
 
 pub use cluster::LusailCluster;
 pub use cost::DelayPolicy;
 pub use engine::{Lusail, LusailConfig, QueryResult};
-pub use explain::{QueryPlan, SubqueryPlan};
+pub use explain::{render_analyze, QueryPlan, SubqueryPlan};
 pub use metrics::QueryMetrics;
 pub use mqo::BatchReport;
 pub use subquery::Subquery;
+pub use trace::{QueryTrace, RequestKind, RequestSummary, TraceEvent, TraceSink};

@@ -296,6 +296,83 @@ mod tests {
     }
 
     #[test]
+    fn repeating_a_query_shares_all_its_subqueries() {
+        let (fed, oracle) = fed();
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+            fed.dict(),
+        )
+        .unwrap();
+        let engine = Lusail::default();
+        let (results, report) = engine
+            .execute_batch(&fed, &[q.clone(), q.clone(), q.clone()])
+            .unwrap();
+        // Three copies of a 2-subquery query: only the distinct pair is
+        // evaluated (delayed subqueries are per-query and not memoized, so
+        // the distinct count stays at most the per-query subquery count).
+        assert_eq!(report.total_subqueries, 6);
+        assert!(report.distinct_subqueries <= 2, "{report:?}");
+        let expected = lusail_store::eval::evaluate(&oracle, &q).canonicalize();
+        for r in &results {
+            assert_eq!(r.solutions.canonicalize(), expected);
+        }
+    }
+
+    #[test]
+    fn batch_results_match_single_query_execution() {
+        // Sharing must be invisible in the answers: every query in an
+        // overlapping batch returns exactly what a standalone `execute`
+        // returns (which the differential suite pins to the oracle).
+        let (fed, _) = fed();
+        let texts = [
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/r> ?n }",
+            "SELECT ?v WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+        ];
+        let queries: Vec<Query> = texts
+            .iter()
+            .map(|t| parse_query(t, fed.dict()).unwrap())
+            .collect();
+        let batch_engine = Lusail::default();
+        let (results, _) = batch_engine.execute_batch(&fed, &queries).unwrap();
+        for (r, q) in results.iter().zip(&queries) {
+            let solo = Lusail::default().execute(&fed, q).unwrap();
+            assert_eq!(
+                r.solutions.canonicalize(),
+                solo.solutions.canonicalize(),
+                "batched answers diverged from standalone execution"
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_variant_is_not_served_from_unfiltered_relation() {
+        // Two queries over the same patterns where one pushes a FILTER
+        // into its subquery: the signatures differ, so the filtered query
+        // must not inherit the unfiltered relation (or vice versa).
+        let (fed, oracle) = fed();
+        let q_all = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/r> ?n }",
+            fed.dict(),
+        )
+        .unwrap();
+        let q_filtered = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/r> ?n . FILTER (?n > 24) }",
+            fed.dict(),
+        )
+        .unwrap();
+        let engine = Lusail::default();
+        let (results, _) = engine
+            .execute_batch(&fed, &[q_all.clone(), q_filtered.clone()])
+            .unwrap();
+        let expect_all = lusail_store::eval::evaluate(&oracle, &q_all).canonicalize();
+        let expect_filtered = lusail_store::eval::evaluate(&oracle, &q_filtered).canonicalize();
+        assert_eq!(results[0].solutions.canonicalize(), expect_all);
+        assert_eq!(results[1].solutions.canonicalize(), expect_filtered);
+        assert!(results[1].solutions.len() < results[0].solutions.len());
+    }
+
+    #[test]
     fn batch_falls_back_for_nested_queries() {
         let (fed, oracle) = fed();
         let q = parse_query(

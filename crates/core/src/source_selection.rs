@@ -118,7 +118,8 @@ pub fn select_sources(
         .handler
         .run(fed, tasks, |ep_id, ep, tp: &TriplePattern| {
             let q = Query::ask(GroupPattern::bgp(vec![tp.clone()]));
-            net.client.request(ep_id, || ep.ask(&q))
+            net.client
+                .request_kind(ep_id, lusail_endpoint::RequestKind::Ask, || ep.ask(&q))
         });
     for (ep_id, tp, answer) in probed {
         match answer {

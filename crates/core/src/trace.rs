@@ -1,0 +1,207 @@
+//! Query-trace aggregation: the finalized view of a [`TraceSink`]'s
+//! event log, with the summaries the EXPLAIN ANALYZE renderer and the
+//! trace-invariant checks in `lusail-testkit` are built on.
+//!
+//! The event types themselves live in `lusail-endpoint` (the
+//! [`ResilientClient`](lusail_endpoint::ResilientClient) emits
+//! [`TraceEvent::Request`] directly); this module re-exports them and
+//! adds [`QueryTrace`].
+
+pub use lusail_endpoint::{RequestKind, TraceEvent, TraceSink};
+
+/// Aggregate of the [`TraceEvent::Request`] events of one kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestSummary {
+    /// Logical requests (one event each).
+    pub requests: u64,
+    /// Wire attempts across those requests (retries count per attempt;
+    /// circuit-broken requests contribute zero).
+    pub attempts: u64,
+    /// Requests that ultimately failed.
+    pub failures: u64,
+}
+
+/// A finalized query trace: the events a [`TraceSink`] collected during
+/// one engine run, snapshotted for inspection.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTrace {
+    /// The recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl QueryTrace {
+    /// Snapshots the sink's current event log.
+    pub fn from_sink(sink: &TraceSink) -> QueryTrace {
+        QueryTrace {
+            events: sink.events(),
+        }
+    }
+
+    /// Aggregates the request events of one kind.
+    pub fn requests(&self, kind: RequestKind) -> RequestSummary {
+        let mut summary = RequestSummary::default();
+        for ev in &self.events {
+            if let TraceEvent::Request {
+                kind: k,
+                attempts,
+                ok,
+                ..
+            } = ev
+            {
+                if *k == kind {
+                    summary.requests += 1;
+                    summary.attempts += attempts;
+                    summary.failures += u64::from(!ok);
+                }
+            }
+        }
+        summary
+    }
+
+    /// Sum of wire attempts over every request kind whose wire form is a
+    /// SELECT (data selects *and* LADE check queries) — the number that
+    /// must equal the federation's `select_requests` counter.
+    pub fn select_wire_attempts(&self) -> u64 {
+        self.requests(RequestKind::Select).attempts + self.requests(RequestKind::Check).attempts
+    }
+
+    /// Indices of subqueries recorded as delayed *without* a delay
+    /// reason — always empty for a well-formed trace.
+    pub fn delayed_without_reason(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::SubqueryPlanned {
+                    index,
+                    delayed: true,
+                    delay_reason: None,
+                    ..
+                } => Some(*index),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Position of the [`TraceEvent::QueryFinished`] event, if any.
+    pub fn finish_index(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .position(|ev| matches!(ev, TraceEvent::QueryFinished { .. }))
+    }
+
+    /// Number of events recorded *after* the query-finished event —
+    /// nonzero only for a malformed trace.
+    pub fn events_after_finish(&self) -> usize {
+        match self.finish_index() {
+            Some(i) => self.events.len() - i - 1,
+            None => 0,
+        }
+    }
+
+    /// All recorded join steps, in execution order.
+    pub fn join_steps(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::JoinStep { .. }))
+            .collect()
+    }
+
+    /// Total VALUES blocks and bindings shipped for delayed subqueries.
+    pub fn values_batch_totals(&self) -> (usize, usize) {
+        let mut blocks = 0;
+        let mut bindings = 0;
+        for ev in &self.events {
+            if let TraceEvent::ValuesBatch {
+                bindings: b_count, ..
+            } = ev
+            {
+                blocks += 1;
+                bindings += b_count;
+            }
+        }
+        (blocks, bindings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(kind: RequestKind, attempts: u64, ok: bool) -> TraceEvent {
+        TraceEvent::Request {
+            endpoint: 0,
+            kind,
+            attempts,
+            ok,
+            error: if ok { None } else { Some("x".into()) },
+        }
+    }
+
+    #[test]
+    fn request_summary_sums_attempts_and_failures() {
+        let trace = QueryTrace {
+            events: vec![
+                request(RequestKind::Ask, 1, true),
+                request(RequestKind::Ask, 3, false),
+                request(RequestKind::Select, 2, true),
+                request(RequestKind::Check, 1, true),
+            ],
+        };
+        assert_eq!(
+            trace.requests(RequestKind::Ask),
+            RequestSummary {
+                requests: 2,
+                attempts: 4,
+                failures: 1,
+            }
+        );
+        assert_eq!(trace.select_wire_attempts(), 3);
+        assert_eq!(
+            trace.requests(RequestKind::Count),
+            RequestSummary::default()
+        );
+    }
+
+    #[test]
+    fn finish_position_and_trailing_events() {
+        let finished = TraceEvent::QueryFinished {
+            rows: 1,
+            complete: true,
+        };
+        let trace = QueryTrace {
+            events: vec![
+                request(RequestKind::Select, 1, true),
+                finished.clone(),
+                request(RequestKind::Select, 1, true),
+            ],
+        };
+        assert_eq!(trace.finish_index(), Some(1));
+        assert_eq!(trace.events_after_finish(), 1);
+        let ok = QueryTrace {
+            events: vec![request(RequestKind::Select, 1, true), finished],
+        };
+        assert_eq!(ok.events_after_finish(), 0);
+        assert_eq!(QueryTrace::default().finish_index(), None);
+    }
+
+    #[test]
+    fn delayed_without_reason_flags_only_malformed_entries() {
+        let planned = |index, delayed, reason: Option<&str>| TraceEvent::SubqueryPlanned {
+            index,
+            patterns: Vec::new(),
+            sources: 1,
+            cardinality: 10,
+            fanout: 1,
+            delayed,
+            delay_reason: reason.map(str::to_string),
+        };
+        let trace = QueryTrace {
+            events: vec![
+                planned(0, false, None),
+                planned(1, true, Some("cardinality 100 > threshold 10")),
+                planned(2, true, None),
+            ],
+        };
+        assert_eq!(trace.delayed_without_reason(), vec![2]);
+    }
+}

@@ -26,12 +26,14 @@ pub mod fault;
 pub mod federation;
 pub mod network;
 pub mod resilience;
+pub mod trace;
 
 pub use error::{EndpointError, EndpointFailure, FederationError, QueryOutcome};
 pub use fault::{FaultProfile, FlakyEndpoint};
 pub use federation::{EndpointId, Federation, FederationBuilder};
 pub use network::{NetworkProfile, NetworkStats, StatsSnapshot};
 pub use resilience::{Clock, ManualClock, RequestPolicy, ResilientClient, SystemClock};
+pub use trace::{RequestKind, TraceEvent, TraceSink};
 
 use lusail_sparql::{write_query, Query, SolutionSet};
 use lusail_store::TripleStore;
@@ -169,6 +171,19 @@ pub trait FederatedEngine: Send + Sync {
     /// incomplete [`QueryOutcome`]; only federation-level misuse (e.g. an
     /// empty federation) is an `Err`.
     fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError>;
+    /// Executes the query while emitting structured [`TraceEvent`]s into
+    /// `sink`. The default implementation ignores the sink; engines that
+    /// support tracing override it and guarantee that, with an enabled
+    /// sink, a [`TraceEvent::QueryFinished`] is the last event emitted.
+    fn run_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        sink: &TraceSink,
+    ) -> Result<QueryOutcome, FederationError> {
+        let _ = sink;
+        self.run(fed, query)
+    }
     /// Clears any memoized probe results (between benchmark repetitions).
     fn reset(&self) {}
 }

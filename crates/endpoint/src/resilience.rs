@@ -11,6 +11,7 @@
 use crate::error::{EndpointError, EndpointFailure};
 use crate::fault::SplitMix64;
 use crate::federation::{EndpointId, Federation};
+use crate::trace::{RequestKind, TraceEvent, TraceSink};
 use lusail_sparql::{Query, SolutionSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -168,6 +169,11 @@ pub struct ResilientClient {
     clock: Arc<dyn Clock>,
     states: Mutex<Vec<EpState>>,
     nonce: AtomicU64,
+    trace: TraceSink,
+    /// Wire attempts per [`RequestKind`] (indexed by `kind.index()`): each
+    /// increment corresponds to exactly one invocation of the request
+    /// operation, i.e. one bump of the endpoint's request counter.
+    wire_attempts: [AtomicU64; 4],
 }
 
 impl Default for ResilientClient {
@@ -184,12 +190,27 @@ impl ResilientClient {
 
     /// A client over an injected clock (tests).
     pub fn with_clock(policy: RequestPolicy, clock: Arc<dyn Clock>) -> Self {
+        ResilientClient::traced(policy, clock, TraceSink::disabled())
+    }
+
+    /// A client over an injected clock that emits one
+    /// [`TraceEvent::Request`] per logical request into `trace`.
+    pub fn traced(policy: RequestPolicy, clock: Arc<dyn Clock>, trace: TraceSink) -> Self {
         ResilientClient {
             policy,
             clock,
             states: Mutex::new(Vec::new()),
             nonce: AtomicU64::new(0),
+            trace,
+            wire_attempts: [const { AtomicU64::new(0) }; 4],
         }
+    }
+
+    /// Total wire attempts of the given kind routed through this client —
+    /// one per operation invocation, so retried requests count once per
+    /// attempt and circuit-broken requests count zero.
+    pub fn wire_attempts(&self, kind: RequestKind) -> u64 {
+        self.wire_attempts[kind.index()].load(Ordering::Relaxed)
     }
 
     /// The client's policy.
@@ -235,26 +256,52 @@ impl ResilientClient {
     /// Runs one logical request against endpoint `ep`, retrying transient
     /// failures per the policy. Tripped endpoints fail immediately with
     /// [`EndpointError::Unavailable`] without counting a new failure.
+    /// Equivalent to [`request_kind`](Self::request_kind) with
+    /// [`RequestKind::Select`] — the default for data-bearing calls.
     pub fn request<T>(
         &self,
         ep: EndpointId,
         op: impl Fn() -> Result<T, EndpointError>,
     ) -> Result<T, EndpointError> {
+        self.request_kind(ep, RequestKind::Select, op)
+    }
+
+    /// [`request`](Self::request) with an explicit [`RequestKind`] label,
+    /// so the trace (and the per-kind wire-attempt counters) distinguish
+    /// ASK probes, COUNT probes, and check queries from data selects.
+    pub fn request_kind<T>(
+        &self,
+        ep: EndpointId,
+        kind: RequestKind,
+        op: impl Fn() -> Result<T, EndpointError>,
+    ) -> Result<T, EndpointError> {
         if self.is_dead(ep) {
+            // The circuit breaker short-circuits without touching the
+            // wire: zero attempts, no endpoint counter moves.
+            self.trace.emit(|| TraceEvent::Request {
+                endpoint: ep,
+                kind,
+                attempts: 0,
+                ok: false,
+                error: Some(format!("{:?}", EndpointError::Unavailable)),
+            });
             return Err(EndpointError::Unavailable);
         }
         let start = self.clock.now();
         let mut attempt: u32 = 0;
-        loop {
+        let mut attempts: u64 = 0;
+        let result = loop {
+            attempts += 1;
+            self.wire_attempts[kind.index()].fetch_add(1, Ordering::Relaxed);
             match op() {
                 Ok(v) => {
                     self.with_state(ep, |s| s.consecutive_failures = 0);
-                    return Ok(v);
+                    break Ok(v);
                 }
                 Err(e) => {
                     if !e.is_transient() || attempt >= self.policy.max_retries {
                         self.record_failure(ep, e);
-                        return Err(e);
+                        break Err(e);
                     }
                     let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
                     let backoff = self.policy.backoff_for(attempt, nonce);
@@ -262,7 +309,7 @@ impl ResilientClient {
                         let elapsed = self.clock.now().saturating_sub(start);
                         if elapsed + backoff > self.policy.deadline {
                             self.record_failure(ep, EndpointError::Timeout);
-                            return Err(EndpointError::Timeout);
+                            break Err(EndpointError::Timeout);
                         }
                     }
                     self.with_state(ep, |s| s.retries += 1);
@@ -270,12 +317,20 @@ impl ResilientClient {
                     attempt += 1;
                 }
             }
-        }
+        };
+        self.trace.emit(|| TraceEvent::Request {
+            endpoint: ep,
+            kind,
+            attempts,
+            ok: result.is_ok(),
+            error: result.as_ref().err().map(|e| format!("{e:?}")),
+        });
+        result
     }
 
     /// An `ASK` through the resilience layer.
     pub fn ask(&self, fed: &Federation, ep: EndpointId, q: &Query) -> Result<bool, EndpointError> {
-        self.request(ep, || fed.endpoint(ep).ask(q))
+        self.request_kind(ep, RequestKind::Ask, || fed.endpoint(ep).ask(q))
     }
 
     /// A `SELECT` through the resilience layer.
@@ -285,12 +340,12 @@ impl ResilientClient {
         ep: EndpointId,
         q: &Query,
     ) -> Result<SolutionSet, EndpointError> {
-        self.request(ep, || fed.endpoint(ep).select(q))
+        self.request_kind(ep, RequestKind::Select, || fed.endpoint(ep).select(q))
     }
 
     /// A `COUNT` through the resilience layer.
     pub fn count(&self, fed: &Federation, ep: EndpointId, q: &Query) -> Result<u64, EndpointError> {
-        self.request(ep, || fed.endpoint(ep).count(q))
+        self.request_kind(ep, RequestKind::Count, || fed.endpoint(ep).count(q))
     }
 
     /// The per-endpoint failure report for this query: one entry per
@@ -461,6 +516,76 @@ mod tests {
         // Other endpoints are unaffected.
         assert!(!client.is_dead(0));
         assert_eq!(client.request(0, || Ok(7)), Ok(7));
+    }
+
+    #[test]
+    fn wire_attempts_count_once_per_operation_invocation() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 2,
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            ..RequestPolicy::default()
+        };
+        let sink = TraceSink::enabled();
+        let client = ResilientClient::traced(policy, clock, sink.clone());
+        let (_, op) = counting_op(vec![
+            Err(EndpointError::Interrupted),
+            Err(EndpointError::Interrupted),
+            Ok(9),
+        ]);
+        assert_eq!(client.request_kind(2, RequestKind::Ask, op), Ok(9));
+        assert_eq!(client.wire_attempts(RequestKind::Ask), 3);
+        assert_eq!(client.wire_attempts(RequestKind::Select), 0);
+        assert_eq!(
+            sink.events(),
+            vec![TraceEvent::Request {
+                endpoint: 2,
+                kind: RequestKind::Ask,
+                attempts: 3,
+                ok: true,
+                error: None,
+            }]
+        );
+    }
+
+    #[test]
+    fn tripped_endpoint_records_a_zero_attempt_request_event() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 0,
+            trip_threshold: 1,
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            ..RequestPolicy::default()
+        };
+        let sink = TraceSink::enabled();
+        let client = ResilientClient::traced(policy, clock, sink.clone());
+        let _ = client.request_kind(0, RequestKind::Count, || {
+            Err::<u32, _>(EndpointError::Interrupted)
+        });
+        assert!(client.is_dead(0));
+        let (calls, op) = counting_op(vec![Ok(5)]);
+        assert_eq!(
+            client.request_kind(0, RequestKind::Count, op),
+            Err(EndpointError::Unavailable)
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        // One wire attempt total (the tripping request), zero for the
+        // short-circuited one — and both requests left an event.
+        assert_eq!(client.wire_attempts(RequestKind::Count), 1);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[1],
+            TraceEvent::Request {
+                endpoint: 0,
+                kind: RequestKind::Count,
+                attempts: 0,
+                ok: false,
+                error: Some(format!("{:?}", EndpointError::Unavailable)),
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Structured query tracing: typed events and the sink handle that
+//! collects them.
+//!
+//! A [`TraceSink`] is a cheap, cloneable handle that is either *disabled*
+//! (the default — a `None`, so tracing is zero-cost: event constructors
+//! are closures that are never invoked) or *enabled* (a shared,
+//! mutex-guarded event log). Engines thread one sink through their whole
+//! request path; [`TraceEvent`]s are plain data (ids, counts, strings) so
+//! a finished trace can be inspected, aggregated, and rendered without
+//! holding any engine state.
+//!
+//! Determinism contract: events emitted from concurrent request workers
+//! ([`TraceEvent::Request`]) arrive in a nondeterministic order, so
+//! consumers must aggregate them (per endpoint and kind) rather than
+//! depend on their sequence. All other events are emitted from the
+//! engine's sequential planning/join path and their relative order *is*
+//! deterministic, as are all payload values when the engine runs under
+//! the test [`Clock`](crate::Clock).
+
+use crate::EndpointId;
+use std::sync::{Arc, Mutex};
+
+/// What a traced remote request was for.
+///
+/// `Check` is a LADE check query — carried on the wire as a SELECT (it
+/// bumps the endpoint's *select* counter) but recorded separately so
+/// traces can distinguish analysis probes from data-bearing selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// ASK source-selection (or bound source-refinement) probe.
+    Ask,
+    /// Data-bearing SELECT.
+    Select,
+    /// `SELECT (COUNT(*) …)` cardinality probe.
+    Count,
+    /// GJV check query (wire-level SELECT).
+    Check,
+}
+
+impl RequestKind {
+    /// All kinds, in display order.
+    pub const ALL: [RequestKind; 4] = [
+        RequestKind::Ask,
+        RequestKind::Select,
+        RequestKind::Count,
+        RequestKind::Check,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Ask => "ask",
+            RequestKind::Select => "select",
+            RequestKind::Count => "count",
+            RequestKind::Check => "check",
+        }
+    }
+
+    /// Dense index (for per-kind counters).
+    pub fn index(self) -> usize {
+        match self {
+            RequestKind::Ask => 0,
+            RequestKind::Select => 1,
+            RequestKind::Count => 2,
+            RequestKind::Check => 3,
+        }
+    }
+}
+
+/// One structured trace event. Variants are plain data so traces can
+/// outlive the engine run that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// One *logical* remote request (possibly several wire attempts under
+    /// the retry policy). `attempts` counts invocations that actually
+    /// reached the endpoint — it is `0` when the circuit breaker
+    /// fast-failed the request without touching the wire.
+    Request {
+        /// Target endpoint.
+        endpoint: EndpointId,
+        /// What the request was for.
+        kind: RequestKind,
+        /// Wire attempts (each bumps the endpoint's request counter).
+        attempts: u64,
+        /// Whether the request ultimately succeeded.
+        ok: bool,
+        /// The final error, when it did not.
+        error: Option<String>,
+    },
+    /// A batch of tasks handed to the request handler's fan-out.
+    Dispatch {
+        /// Number of tasks in the batch.
+        tasks: usize,
+        /// Distinct endpoints the batch touches.
+        endpoints: usize,
+    },
+    /// The query was decomposed into subqueries.
+    Decomposed {
+        /// Number of subqueries produced.
+        subqueries: usize,
+        /// Global join variables detected by LADE.
+        gjvs: usize,
+    },
+    /// The cost model's verdict for one subquery.
+    SubqueryPlanned {
+        /// Subquery index (position in the decomposition).
+        index: usize,
+        /// Rendered triple patterns.
+        patterns: Vec<String>,
+        /// Number of relevant endpoints.
+        sources: usize,
+        /// Estimated cardinality `C(sq)`.
+        cardinality: u64,
+        /// Endpoint fan-out used by the delay decision.
+        fanout: usize,
+        /// Whether the subquery is delayed.
+        delayed: bool,
+        /// Human-readable reason (the Chauvenet `μ+kσ` threshold the
+        /// estimate exceeded). `Some` exactly when `delayed`.
+        delay_reason: Option<String>,
+    },
+    /// A delayed subquery promoted to concurrent execution (all were
+    /// delayed, so the most selective one runs first).
+    SubqueryPromoted {
+        /// Subquery index.
+        index: usize,
+    },
+    /// A subquery finished evaluating.
+    SubqueryEvaluated {
+        /// Subquery index.
+        index: usize,
+        /// Actual rows returned (across endpoints).
+        rows: usize,
+        /// Result partitions (endpoint streams) backing the relation.
+        partitions: usize,
+    },
+    /// One VALUES-bound block dispatched for a delayed subquery.
+    ValuesBatch {
+        /// Subquery index.
+        subquery: usize,
+        /// Target endpoint.
+        endpoint: EndpointId,
+        /// Bindings in the block.
+        bindings: usize,
+    },
+    /// One executed hash join.
+    JoinStep {
+        /// Rows on the left input.
+        left_rows: usize,
+        /// Rows on the right input.
+        right_rows: usize,
+        /// Rows produced.
+        output_rows: usize,
+        /// The `JoinCost` that ordered this step (DP: planned step cost;
+        /// greedy: the combined parallel work of the pair).
+        cost: f64,
+    },
+    /// The engine finished. Always the last event of a trace.
+    QueryFinished {
+        /// Result rows.
+        rows: usize,
+        /// Whether the outcome was complete.
+        complete: bool,
+    },
+}
+
+/// A cloneable handle to an (optional) event log.
+///
+/// Disabled sinks ([`TraceSink::disabled`], also the `Default`) carry no
+/// allocation and never invoke the event-constructor closure passed to
+/// [`emit`](TraceSink::emit); enabled sinks ([`TraceSink::enabled`])
+/// share one mutex-guarded `Vec<TraceEvent>` across clones.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+}
+
+impl TraceSink {
+    /// A sink that records nothing and costs nothing.
+    pub fn disabled() -> TraceSink {
+        TraceSink { inner: None }
+    }
+
+    /// A sink that records events.
+    pub fn enabled() -> TraceSink {
+        TraceSink {
+            inner: Some(Arc::new(Mutex::new(Vec::new()))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records the event built by `f` — which is *not invoked* when the
+    /// sink is disabled, so arbitrary rendering work may sit inside it.
+    pub fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.lock().expect("trace sink poisoned").push(f());
+        }
+    }
+
+    /// Snapshot of the events recorded so far (empty when disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("trace sink poisoned").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("trace sink poisoned").len(),
+            None => 0,
+        }
+    }
+
+    /// True when no events have been recorded (always true when
+    /// disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_never_invokes_the_constructor() {
+        let sink = TraceSink::disabled();
+        let mut invoked = false;
+        sink.emit(|| {
+            invoked = true;
+            TraceEvent::QueryFinished {
+                rows: 0,
+                complete: true,
+            }
+        });
+        assert!(!invoked);
+        assert!(!sink.is_enabled());
+        assert!(sink.is_empty());
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_sink_shares_events_across_clones() {
+        let sink = TraceSink::enabled();
+        let clone = sink.clone();
+        clone.emit(|| TraceEvent::Dispatch {
+            tasks: 3,
+            endpoints: 2,
+        });
+        sink.emit(|| TraceEvent::QueryFinished {
+            rows: 1,
+            complete: true,
+        });
+        assert!(sink.is_enabled());
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events(), clone.events());
+        assert_eq!(
+            sink.events()[0],
+            TraceEvent::Dispatch {
+                tasks: 3,
+                endpoints: 2
+            }
+        );
+    }
+
+    #[test]
+    fn default_sink_is_disabled() {
+        assert!(!TraceSink::default().is_enabled());
+    }
+
+    #[test]
+    fn request_kind_indices_are_dense_and_distinct() {
+        let mut seen = [false; 4];
+        for kind in RequestKind::ALL {
+            assert!(!seen[kind.index()], "duplicate index for {kind:?}");
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

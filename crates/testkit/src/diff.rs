@@ -16,8 +16,8 @@
 
 use crate::gen::{Case, FaultSpec};
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
-use lusail_core::Lusail;
-use lusail_endpoint::{FederatedEngine, LocalEndpoint, RequestPolicy};
+use lusail_core::{Lusail, QueryTrace, RequestKind, TraceSink};
+use lusail_endpoint::{FederatedEngine, LocalEndpoint, RequestPolicy, StatsSnapshot};
 use lusail_sparql::SolutionSet;
 use std::sync::Arc;
 use std::time::Duration;
@@ -114,6 +114,28 @@ pub enum Violation {
     },
     /// The engine returned a federation-level error on a legal input.
     EngineError(String),
+    /// Trace invariant: the summed wire attempts of one request kind in
+    /// the trace disagree with the federation's request counters.
+    TraceRequestMismatch {
+        /// The request-kind label (`ask`, `count`, or `select+check`).
+        kind: &'static str,
+        /// Wire attempts summed over the trace's request events.
+        trace_attempts: u64,
+        /// Requests the federation counters recorded.
+        stats_requests: u64,
+    },
+    /// Trace invariant: a subquery was recorded delayed without a reason.
+    MissingDelayReason {
+        /// The offending subquery's index.
+        index: usize,
+    },
+    /// Trace invariant: an enabled trace has no query-finished event.
+    MissingFinish,
+    /// Trace invariant: events were recorded after query-finished.
+    EventsAfterFinish {
+        /// How many trailing events follow the finish.
+        count: usize,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -136,6 +158,25 @@ impl std::fmt::Display for Violation {
                 "outcome flagged complete but rows are missing ({got} of {want})"
             ),
             Violation::EngineError(e) => write!(f, "engine error: {e}"),
+            Violation::TraceRequestMismatch {
+                kind,
+                trace_attempts,
+                stats_requests,
+            } => write!(
+                f,
+                "trace/stats mismatch for {kind} requests: trace recorded \
+                 {trace_attempts} wire attempts, federation counted {stats_requests}"
+            ),
+            Violation::MissingDelayReason { index } => write!(
+                f,
+                "subquery {index} was delayed without a recorded delay reason"
+            ),
+            Violation::MissingFinish => {
+                write!(f, "trace has no query-finished event")
+            }
+            Violation::EventsAfterFinish { count } => {
+                write!(f, "{count} trace event(s) recorded after query-finished")
+            }
         }
     }
 }
@@ -181,9 +222,13 @@ pub fn check(case: &Case, engine: EngineKind, faults: &FaultSpec) -> Result<(), 
         faulty_policy()
     };
     let runner = engine.build(&locals, policy);
+    let before = fed.stats_snapshot();
+    let sink = TraceSink::enabled();
     let outcome = runner
-        .run(&fed, &case.query)
+        .run_traced(&fed, &case.query, &sink)
         .map_err(|e| Violation::EngineError(format!("{e:?}")))?;
+    let window = fed.stats_snapshot().since(&before);
+    check_trace_invariants(&QueryTrace::from_sink(&sink), &window)?;
     let got = outcome.solutions.canonicalize();
     let full = oracle_solutions(case);
 
@@ -267,6 +312,56 @@ pub fn check(case: &Case, engine: EngineKind, faults: &FaultSpec) -> Result<(), 
                 row: render_row(&got.vars, row, case),
             });
         }
+    }
+    Ok(())
+}
+
+/// The trace invariants every engine must uphold (clean *and* faulted):
+///
+/// 1. The wire attempts summed over the trace's request events equal the
+///    federation's request counters, per kind. Retried requests count
+///    once per attempt in both; circuit-broken requests count in
+///    neither. (`Check` queries are wire-level SELECTs, so their
+///    attempts merge into the select counter.)
+/// 2. Every subquery recorded as delayed carries a delay reason.
+/// 3. The trace ends with exactly one query-finished event — nothing is
+///    recorded after it.
+pub fn check_trace_invariants(trace: &QueryTrace, window: &StatsSnapshot) -> Result<(), Violation> {
+    let checks: [(&'static str, u64, u64); 3] = [
+        (
+            "ask",
+            trace.requests(RequestKind::Ask).attempts,
+            window.ask_requests,
+        ),
+        (
+            "count",
+            trace.requests(RequestKind::Count).attempts,
+            window.count_requests,
+        ),
+        (
+            "select+check",
+            trace.select_wire_attempts(),
+            window.select_requests,
+        ),
+    ];
+    for (kind, trace_attempts, stats_requests) in checks {
+        if trace_attempts != stats_requests {
+            return Err(Violation::TraceRequestMismatch {
+                kind,
+                trace_attempts,
+                stats_requests,
+            });
+        }
+    }
+    if let Some(&index) = trace.delayed_without_reason().first() {
+        return Err(Violation::MissingDelayReason { index });
+    }
+    if trace.finish_index().is_none() {
+        return Err(Violation::MissingFinish);
+    }
+    let count = trace.events_after_finish();
+    if count > 0 {
+        return Err(Violation::EventsAfterFinish { count });
     }
     Ok(())
 }

@@ -17,6 +17,18 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> EXPLAIN ANALYZE trace smoke (LUBM Q4, fixed clock)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q --bin lusail-cli -- \
+    generate --workload lubm --out "$tmpdir" --size 2 >/dev/null
+cargo run --release -q --bin lusail-cli -- query \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --query-file "$tmpdir/queries/Q4.rq" \
+    --explain-analyze --fixed-clock > "$tmpdir/explain_analyze.txt"
+diff -u tests/golden/explain_analyze_lubm_q4.txt "$tmpdir/explain_analyze.txt"
+echo "trace smoke: report matches the committed golden"
+
 echo "==> fuzz smoke (200 iterations, 30 s cap)"
 set +e
 timeout 30 cargo run --release -q -p lusail-testkit --bin fuzz -- --iters 200

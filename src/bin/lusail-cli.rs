@@ -6,8 +6,14 @@
 //!   write a benchmark federation to disk, one N-Triples file per
 //!   endpoint, plus a `queries/` directory with the benchmark queries.
 //! * `query --endpoint FILE.nt ... (--query 'SPARQL' | --query-file F)
-//!   [--engine lusail|fedx]` — run a federated query over the given
-//!   endpoint files and print the results as a table.
+//!   [--engine lusail|fedx] [--explain-analyze [--fixed-clock]]` — run a
+//!   federated query over the given endpoint files and print the results
+//!   as a table. With `--explain-analyze` the query still runs in full,
+//!   but the structured trace is rendered instead of the rows: per-kind
+//!   request/attempt counts, decomposition, per-subquery delay decisions
+//!   with their Chauvenet reasons, VALUES traffic, join steps, and phase
+//!   timings. `--fixed-clock` runs against a manual test clock so the
+//!   report is byte-stable (all durations render as 0ns).
 //! * `explain --endpoint FILE.nt ... (--query 'SPARQL' | --query-file F)`
 //!   — print Lusail's compile-time plan: sources, global join variables,
 //!   subqueries and delay decisions.
@@ -18,7 +24,7 @@
 
 use lusail_baselines::FedX;
 use lusail_benchdata::{bio2rdf, lrb, lubm, qfed, Workload};
-use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint, SparqlEndpoint};
+use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint, ManualClock, SparqlEndpoint};
 use lusail_rdf::{ntriples, Dictionary};
 use lusail_repro::lusail::{Lusail, LusailConfig};
 use lusail_sparql::{parse_query, SolutionSet};
@@ -40,6 +46,7 @@ fn main() -> ExitCode {
                  \n\
                  generate --workload lubm|qfed|lrb|bio2rdf --out DIR [--size N]\n\
                  query    --endpoint F.nt ... (--query SPARQL | --query-file F) [--engine lusail|fedx]\n\
+                 \x20        [--explain-analyze [--fixed-clock]]\n\
                  explain  --endpoint F.nt ... (--query SPARQL | --query-file F)\n\
                  demo"
             );
@@ -60,6 +67,10 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
@@ -169,6 +180,20 @@ fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
     }
 
     let engine_name = flag_value(args, "--engine").unwrap_or("lusail");
+    if has_flag(args, "--explain-analyze") {
+        if engine_name != "lusail" {
+            return Err("--explain-analyze is only available for the lusail engine".into());
+        }
+        let mut engine = Lusail::new(LusailConfig::default());
+        if has_flag(args, "--fixed-clock") {
+            engine = engine.with_clock(ManualClock::new());
+        }
+        let report = engine
+            .explain_analyze(&fed, &query)
+            .map_err(|e| e.to_string())?;
+        println!("\n{report}");
+        return Ok(());
+    }
     let engine: Box<dyn FederatedEngine> = match engine_name {
         "lusail" => Box::new(Lusail::default()),
         "fedx" => Box::new(FedX::default()),

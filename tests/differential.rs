@@ -3,7 +3,12 @@
 //!
 //! Each engine runs a bounded stream of generated cases twice — clean
 //! (exact oracle equality) and under a seeded fault plan (honesty: no
-//! invented rows, `complete` only when nothing is missing). A failure
+//! invented rows, `complete` only when nothing is missing). Every run is
+//! traced, and the trace invariants of
+//! `lusail_testkit::check_trace_invariants` are enforced alongside the
+//! oracle contract: per-kind wire attempts must equal the federation's
+//! request counters, delayed subqueries must carry a delay reason, and
+//! the trace must end with its query-finished event. A failure
 //! prints a shrunk, self-contained repro whose seed replays here via
 //!
 //! ```text
