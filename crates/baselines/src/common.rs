@@ -132,8 +132,8 @@ pub fn evaluate_unbound(
 ) -> SolutionSet {
     let mut out = SolutionSet::empty(unit.vars());
     for &ep in &unit.sources {
-        match client.request(ep, || fed.endpoint(ep).select(&unit.to_query(None))) {
-            Ok(part) => out.append(part),
+        match client.select_failover(fed, ep, &unit.to_query(None)) {
+            Ok((_, part)) => out.append(part),
             Err(_) => loss.store(true, Ordering::Relaxed),
         }
     }
@@ -183,10 +183,8 @@ pub fn bound_join(
         };
         let mut fetched = SolutionSet::empty(unit.vars());
         for &ep in &unit.sources {
-            match client.request(ep, || {
-                fed.endpoint(ep).select(&unit.to_query(Some(vb.clone())))
-            }) {
-                Ok(part) => fetched.append(part),
+            match client.select_failover(fed, ep, &unit.to_query(Some(vb.clone()))) {
+                Ok((_, part)) => fetched.append(part),
                 Err(_) => loss.store(true, Ordering::Relaxed),
             }
         }

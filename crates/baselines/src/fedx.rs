@@ -286,10 +286,8 @@ fn bound_fetch(
             rows: block.to_vec(),
         };
         for &ep in &unit.sources {
-            match client.request(ep, || {
-                fed.endpoint(ep).select(&unit.to_query(Some(vb.clone())))
-            }) {
-                Ok(part) => fetched.append(part),
+            match client.select_failover(fed, ep, &unit.to_query(Some(vb.clone()))) {
+                Ok((_, part)) => fetched.append(part),
                 Err(_) => loss.store(true, Ordering::Relaxed),
             }
         }

@@ -167,7 +167,7 @@ impl Splendid {
         for tp in pattern.all_triples() {
             let candidates = match tp.p.as_const() {
                 Some(p) => self.index.sources_for_predicate(p),
-                None => fed.all_ids(),
+                None => fed.logical_ids(),
             };
             let sources = if tp.bound_positions() > 1 && candidates.len() > 1 {
                 // Verify constants with ASK; a failed probe keeps the
@@ -300,8 +300,8 @@ impl Splendid {
                 // Hash join: full parallel retrieval of the pattern.
                 let tasks: Vec<(EndpointId, ())> = srcs.iter().map(|&ep| (ep, ())).collect();
                 let q = pattern_query(tp);
-                let results = net.handler.run(fed, tasks, move |ep_id, ep, _| {
-                    net.select_or_lose(ep_id, ep, &q, pattern_vars(tp))
+                let results = net.handler.run(fed, tasks, move |ep_id, _, _| {
+                    net.select_or_lose(fed, ep_id, &q, pattern_vars(tp))
                 });
                 let mut out = SolutionSet::empty(pattern_vars(tp));
                 for (_, _, sols) in results {
@@ -354,8 +354,8 @@ impl Splendid {
                 limit: None,
             };
             for &ep in srcs {
-                match net.client.request(ep, || fed.endpoint(ep).select(&q)) {
-                    Ok(part) => out.append(part),
+                match net.client.select_failover(fed, ep, &q) {
+                    Ok((_, part)) => out.append(part),
                     Err(_) => loss.store(true, Ordering::Relaxed),
                 }
             }

@@ -157,6 +157,15 @@ impl<V: Copy> ProbeCache<V> {
         inner.hits = 0;
         inner.misses = 0;
     }
+
+    /// Drops every entry keyed to the given endpoint. Called when a query
+    /// failed over away from the endpoint: probes answered before it went
+    /// down are stale, and must not route the next query back to it.
+    pub fn invalidate_endpoint(&self, ep: EndpointId) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.retain(|(_, e), _| *e != ep);
+        inner.order.retain(|(_, e)| *e != ep);
+    }
 }
 
 /// A generic string-keyed memo (used for check queries, whose identity
@@ -197,6 +206,12 @@ impl<V: Copy> KeyedCache<V> {
     /// Drops all entries.
     pub fn clear(&self) {
         self.map.lock().unwrap().clear();
+    }
+
+    /// Drops every entry keyed to the given endpoint (stale after the
+    /// endpoint failed mid-query).
+    pub fn invalidate_endpoint(&self, ep: EndpointId) {
+        self.map.lock().unwrap().retain(|(_, e), _| *e != ep);
     }
 }
 
@@ -297,6 +312,26 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(&k1, 0), Some(10));
         assert_eq!(cache.get(&k2, 0), Some(2));
+    }
+
+    #[test]
+    fn invalidate_endpoint_drops_only_that_endpoints_entries() {
+        let cache: ProbeCache<u64> = ProbeCache::with_capacity(true, 4);
+        let k1 = pattern_key(&TriplePattern::new(v("x"), c(1), v("y")));
+        let k2 = pattern_key(&TriplePattern::new(v("x"), c(2), v("y")));
+        cache.put(k1.clone(), 0, 1);
+        cache.put(k1.clone(), 1, 2);
+        cache.put(k2.clone(), 0, 3);
+        cache.invalidate_endpoint(0);
+        assert_eq!(cache.get(&k1, 0), None);
+        assert_eq!(cache.get(&k2, 0), None);
+        assert_eq!(cache.get(&k1, 1), Some(2));
+        // The eviction order stays consistent: filling the cache after
+        // invalidation still evicts oldest-first without panicking.
+        for i in 10..14 {
+            cache.put(pattern_key(&TriplePattern::new(v("x"), c(i), v("y"))), 2, 0);
+        }
+        assert_eq!(cache.len(), 4);
     }
 
     #[test]

@@ -214,7 +214,18 @@ impl Lusail {
             .checks_assumed_conflict
             .load(Ordering::Relaxed);
         metrics.degraded_count_probes = net.degradation.counts_defaulted.load(Ordering::Relaxed);
-        (!net.degradation.data_loss(), net.client.report(fed))
+        let report = net.client.report(fed);
+        // Any endpoint whose circuit opened during this query may have
+        // answered probes *before* it started failing; those memoized
+        // answers are suspect (the endpoint may come back with different
+        // data, or its group may be served by a replica next time), so
+        // per-endpoint cache entries are dropped rather than trusted.
+        for failure in report.iter().filter(|f| f.dead) {
+            self.ask_cache.invalidate_endpoint(failure.endpoint);
+            self.count_cache.invalidate_endpoint(failure.endpoint);
+            self.check_cache.invalidate_endpoint(failure.endpoint);
+        }
+        (!net.degradation.data_loss(), report)
     }
 
     /// Executes a query against the federation. Endpoint failures degrade
@@ -443,8 +454,8 @@ impl Lusail {
     ) -> SolutionSet {
         let eps: Vec<EndpointId> = sources.sources(&query.pattern.triples[0]).to_vec();
         let tasks: Vec<(EndpointId, ())> = eps.iter().map(|&ep| (ep, ())).collect();
-        let results = net.handler.run(fed, tasks, |ep_id, ep, _| {
-            net.select_or_lose(ep_id, ep, query, query.output_vars())
+        let results = net.handler.run(fed, tasks, |ep_id, _, _| {
+            net.select_or_lose(fed, ep_id, query, query.output_vars())
         });
         let mut out = SolutionSet::empty(query.output_vars());
         for (_, _, sols) in results {

@@ -193,17 +193,20 @@ impl Net {
         }
     }
 
-    /// A `SELECT` carrying result data: a failure (after retries) degrades
-    /// to an empty partition and marks the query incomplete.
+    /// A `SELECT` carrying result data, with replica-aware failover: a
+    /// request that exhausts its retries on one replica-group member is
+    /// transparently re-issued against the next healthy member. Only when
+    /// every member has failed does it degrade to an empty partition and
+    /// mark the query incomplete.
     pub fn select_or_lose(
         &self,
+        fed: &Federation,
         ep_id: EndpointId,
-        ep: &EndpointRef,
         q: &Query,
         vars: Vec<String>,
     ) -> SolutionSet {
-        match self.client.request(ep_id, || ep.select(q)) {
-            Ok(sols) => sols,
+        match self.client.select_failover(fed, ep_id, q) {
+            Ok((_, sols)) => sols,
             Err(_) => {
                 self.degradation.record_data_loss();
                 SolutionSet::empty(vars)
@@ -277,10 +280,10 @@ pub fn evaluate_subqueries(
         .iter()
         .flat_map(|&i| subqueries[i].sources.iter().map(move |&ep| (ep, i)))
         .collect();
-    let results = net.handler.run(fed, tasks, |ep_id, ep, &i| {
+    let results = net.handler.run(fed, tasks, |ep_id, _, &i| {
         net.select_or_lose(
+            fed,
             ep_id,
-            ep,
             &subqueries[i].to_query(None),
             subqueries[i].projection.clone(),
         )
@@ -344,10 +347,10 @@ pub fn evaluate_subqueries(
                 }
                 let results = net
                     .handler
-                    .run(fed, tasks, |ep_id, ep, block: &ValuesBlock| {
+                    .run(fed, tasks, |ep_id, _, block: &ValuesBlock| {
                         net.select_or_lose(
+                            fed,
                             ep_id,
-                            ep,
                             &sq.to_query(Some(block.clone())),
                             sq.projection.clone(),
                         )
@@ -366,8 +369,8 @@ pub fn evaluate_subqueries(
             None => {
                 // No usable bindings: evaluate unbound.
                 let tasks: Vec<(EndpointId, ())> = sq.sources.iter().map(|&ep| (ep, ())).collect();
-                let results = net.handler.run(fed, tasks, |ep_id, ep, _| {
-                    net.select_or_lose(ep_id, ep, &sq.to_query(None), sq.projection.clone())
+                let results = net.handler.run(fed, tasks, |ep_id, _, _| {
+                    net.select_or_lose(fed, ep_id, &sq.to_query(None), sq.projection.clone())
                 });
                 let parts: Vec<SolutionSet> =
                     results.into_iter().map(|(_, _, sols)| sols).collect();

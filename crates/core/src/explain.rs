@@ -338,6 +338,46 @@ pub fn render_analyze(trace: &QueryTrace, metrics: Option<&QueryMetrics>) -> Str
         }
     }
 
+    // Resilience activity (circuit transitions, failovers, hedges) is
+    // aggregated into sorted counts: the events are emitted by concurrent
+    // workers, so their order is not deterministic but their multiset is.
+    // The section is omitted entirely on a fault-free run, keeping the
+    // fault-free goldens byte-identical.
+    if trace.has_resilience_events() {
+        let _ = writeln!(out, "resilience:");
+        let mut health: BTreeMap<(usize, &str, &str), u64> = BTreeMap::new();
+        let mut failovers: BTreeMap<(usize, usize, &str), u64> = BTreeMap::new();
+        let mut hedges: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for ev in &trace.events {
+            match ev {
+                TraceEvent::HealthTransition { endpoint, from, to } => {
+                    *health
+                        .entry((*endpoint, from.name(), to.name()))
+                        .or_default() += 1;
+                }
+                TraceEvent::FailedOver { from, to, kind, .. } => {
+                    *failovers.entry((*from, *to, kind.name())).or_default() += 1;
+                }
+                TraceEvent::Hedged { primary, replica } => {
+                    *hedges.entry((*primary, *replica)).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        for ((ep, from, to), n) in &health {
+            let _ = writeln!(out, "  health: endpoint {ep} {from} -> {to}  ({n}x)");
+        }
+        for ((from, to, kind), n) in &failovers {
+            let _ = writeln!(out, "  failover: endpoint {from} -> {to} on {kind}  ({n}x)");
+        }
+        for ((primary, replica), n) in &hedges {
+            let _ = writeln!(
+                out,
+                "  hedged: endpoint {primary} raced replica {replica}  ({n}x)"
+            );
+        }
+    }
+
     if let Some(m) = metrics {
         let _ = writeln!(
             out,
@@ -547,6 +587,75 @@ joins:
   step 1: 1 x 10 -> 10 rows  (cost 11.0)
 phases: source selection 0ns, analysis 0ns, execution 0ns, total 0ns
 result: 10 rows  complete: true
+";
+        assert_eq!(first, expected);
+    }
+
+    #[test]
+    fn explain_analyze_golden_with_failover_to_replica() {
+        use lusail_endpoint::{FaultProfile, FlakyEndpoint, ManualClock, RequestPolicy};
+        use std::time::Duration;
+        // A dead primary with a healthy replica: the ASK probe fails
+        // terminally and trips the circuit (assumed relevant, degraded),
+        // then the SELECT short-circuits on the open breaker, fails over
+        // to the replica, and the query still completes. The render is
+        // pinned verbatim like the fault-free golden above.
+        let dict = Dictionary::shared();
+        let triple = |st: &mut TripleStore| {
+            st.insert_terms(
+                &Term::iri("http://a/s"),
+                &Term::iri("http://x/p"),
+                &Term::iri("http://a/v"),
+            );
+        };
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        triple(&mut a);
+        let mut a2 = TripleStore::new(Arc::clone(&dict));
+        triple(&mut a2);
+        let mut f = Federation::new(dict);
+        let primary = f.add(Arc::new(FlakyEndpoint::new(
+            Arc::new(LocalEndpoint::new("A", a)),
+            FaultProfile::dead(),
+        )));
+        f.add_replica(primary, Arc::new(LocalEndpoint::new("A-replica", a2)));
+        assert_eq!(f.endpoint(primary).name(), "A");
+
+        let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?v }", f.dict()).unwrap();
+        let policy = RequestPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_micros(10),
+            backoff_multiplier: 2.0,
+            max_backoff: Duration::from_micros(100),
+            jitter: 0.0,
+            trip_threshold: 1,
+            ..RequestPolicy::default()
+        };
+        let run = || {
+            Lusail::default()
+                .with_policy(policy)
+                .with_clock(ManualClock::new())
+                .explain_analyze(&f, &q)
+                .unwrap()
+        };
+        let first = run();
+        assert_eq!(
+            first,
+            run(),
+            "failover EXPLAIN ANALYZE must be deterministic"
+        );
+        let expected = "\
+EXPLAIN ANALYZE
+requests:
+  ask     1 requests  1 wire attempts  1 failed
+  select  2 requests  1 wire attempts  1 failed
+  count   0 requests  0 wire attempts  0 failed
+  check   0 requests  0 wire attempts  0 failed
+decomposition: 1 subqueries  (0 global join variables)
+resilience:
+  health: endpoint 0 closed -> open  (1x)
+  failover: endpoint 0 -> 1 on select  (1x)
+phases: source selection 0ns, analysis 0ns, execution 0ns, total 0ns
+result: 1 rows  complete: true
 ";
         assert_eq!(first, expected);
     }

@@ -100,12 +100,17 @@ pub fn select_sources(
         }
     }
 
-    // Build the probe task list, skipping cached answers.
+    // Build the probe task list, skipping cached answers. Only *logical*
+    // endpoints (replica-group primaries) are probed: replicas hold the
+    // same data, so probing them as independent sources would duplicate
+    // every result row. Failover reaches them through the replica group,
+    // not through source selection.
+    let logical = fed.logical_ids();
     let mut tasks: Vec<(EndpointId, TriplePattern)> = Vec::new();
     let mut known: Vec<(TriplePattern, EndpointId, bool)> = Vec::new();
     for tp in &unique {
         let key = pattern_key(tp);
-        for (ep_id, _) in fed.iter() {
+        for &ep_id in &logical {
             match cache.get(&key, ep_id) {
                 Some(answer) => known.push((tp.clone(), ep_id, answer)),
                 None => tasks.push((ep_id, tp.clone())),
@@ -195,6 +200,34 @@ mod tests {
         assert!(sm.any_required_empty(&q.pattern.triples));
         assert_eq!(sm.all_sources(), vec![0, 1]);
         assert!(sm.common_sources(&q.pattern.triples[0..2]).is_empty());
+    }
+
+    #[test]
+    fn replicas_are_not_probed_as_independent_sources() {
+        let dict = Dictionary::shared();
+        let triple = |st: &mut TripleStore| {
+            st.insert_terms(
+                &Term::iri("http://x/s1"),
+                &Term::iri("http://x/p"),
+                &Term::iri("http://x/o1"),
+            );
+        };
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        triple(&mut a);
+        let mut a2 = TripleStore::new(Arc::clone(&dict));
+        triple(&mut a2);
+        let mut f = Federation::new(Arc::clone(&dict));
+        let primary = f.add(Arc::new(LocalEndpoint::new("A", a)));
+        f.add_replica(primary, Arc::new(LocalEndpoint::new("A-replica", a2)));
+        let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", f.dict()).unwrap();
+        let cache = ProbeCache::new(true);
+        let net = Net::default();
+        let before = f.stats_snapshot();
+        let sm = select_sources(&f, &q.pattern, &cache, &net);
+        // Only the primary is probed and only it is a relevant source —
+        // otherwise every row would be fetched twice.
+        assert_eq!(sm.sources(&q.pattern.triples[0]), &[primary]);
+        assert_eq!(f.stats_snapshot().since(&before).ask_requests, 1);
     }
 
     #[test]

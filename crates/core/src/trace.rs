@@ -106,6 +106,43 @@ impl QueryTrace {
             .collect()
     }
 
+    /// All recorded failover hops, in emission order.
+    pub fn failovers(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::FailedOver { .. }))
+            .collect()
+    }
+
+    /// All recorded hedged requests, in emission order.
+    pub fn hedges(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::Hedged { .. }))
+            .collect()
+    }
+
+    /// All recorded circuit-health transitions, in emission order.
+    pub fn health_transitions(&self) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::HealthTransition { .. }))
+            .collect()
+    }
+
+    /// True when the trace records any resilience activity (failover,
+    /// hedging, or a circuit transition) worth rendering.
+    pub fn has_resilience_events(&self) -> bool {
+        self.events.iter().any(|ev| {
+            matches!(
+                ev,
+                TraceEvent::FailedOver { .. }
+                    | TraceEvent::Hedged { .. }
+                    | TraceEvent::HealthTransition { .. }
+            )
+        })
+    }
+
     /// Total VALUES blocks and bindings shipped for delayed subqueries.
     pub fn values_batch_totals(&self) -> (usize, usize) {
         let mut blocks = 0;
@@ -203,5 +240,38 @@ mod tests {
             ],
         };
         assert_eq!(trace.delayed_without_reason(), vec![2]);
+    }
+
+    #[test]
+    fn resilience_events_are_extracted() {
+        use lusail_endpoint::HealthState;
+        let plain = QueryTrace {
+            events: vec![request(RequestKind::Select, 1, true)],
+        };
+        assert!(!plain.has_resilience_events());
+        let trace = QueryTrace {
+            events: vec![
+                TraceEvent::HealthTransition {
+                    endpoint: 0,
+                    from: HealthState::Closed,
+                    to: HealthState::Open,
+                },
+                TraceEvent::FailedOver {
+                    from: 0,
+                    to: 1,
+                    kind: RequestKind::Select,
+                    error: "Unavailable".into(),
+                },
+                TraceEvent::Hedged {
+                    primary: 0,
+                    replica: 1,
+                },
+                request(RequestKind::Select, 1, true),
+            ],
+        };
+        assert!(trace.has_resilience_events());
+        assert_eq!(trace.failovers().len(), 1);
+        assert_eq!(trace.hedges().len(), 1);
+        assert_eq!(trace.health_transitions().len(), 1);
     }
 }

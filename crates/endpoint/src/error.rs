@@ -26,11 +26,30 @@ pub enum EndpointError {
 }
 
 impl EndpointError {
+    /// All error kinds, in taxonomy order (the order deduped failure
+    /// reports list them in).
+    pub const ALL: [EndpointError; 4] = [
+        EndpointError::Timeout,
+        EndpointError::Unavailable,
+        EndpointError::TooManyRequests,
+        EndpointError::Interrupted,
+    ];
+
     /// True if an immediate retry has a reasonable chance of succeeding.
     /// `Unavailable` is the one terminal class: retrying a down endpoint
     /// only burns the deadline budget.
     pub fn is_transient(&self) -> bool {
         !matches!(self, EndpointError::Unavailable)
+    }
+
+    /// Dense index (for per-kind sets carried as bitmasks).
+    pub fn index(self) -> usize {
+        match self {
+            EndpointError::Timeout => 0,
+            EndpointError::Unavailable => 1,
+            EndpointError::TooManyRequests => 2,
+            EndpointError::Interrupted => 3,
+        }
     }
 }
 
@@ -79,10 +98,16 @@ pub struct EndpointFailure {
     pub failed_requests: u64,
     /// Retries spent on this endpoint.
     pub retries: u64,
-    /// True if the endpoint was tripped dead for the rest of the query.
+    /// True if the endpoint's circuit was opened (tripped) at some point
+    /// during the query, even if it later recovered through a half-open
+    /// probe.
     pub dead: bool,
     /// The most recent error observed.
     pub last_error: Option<EndpointError>,
+    /// The distinct error kinds observed, deduped, in
+    /// [`EndpointError::ALL`] order — deterministic regardless of the
+    /// order failures arrived in.
+    pub errors: Vec<EndpointError>,
 }
 
 /// What a federated engine returns: the solutions, whether they are

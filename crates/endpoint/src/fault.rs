@@ -12,6 +12,7 @@ use crate::network::{NetworkStats, StatsSnapshot};
 use crate::{EndpointRef, SparqlEndpoint};
 use lusail_sparql::{Query, SolutionSet};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -55,6 +56,11 @@ pub struct FaultProfile {
     /// If true, every request fails with [`EndpointError::Unavailable`] —
     /// the endpoint is permanently down.
     pub dead: bool,
+    /// If nonzero, the endpoint serves its first `dead_after` requests
+    /// normally (still subject to the rates above) and then goes
+    /// permanently [`EndpointError::Unavailable`] — a primary killed
+    /// mid-query.
+    pub dead_after: u64,
 }
 
 impl Default for FaultProfile {
@@ -67,6 +73,7 @@ impl Default for FaultProfile {
             slowdown_rate: 0.0,
             slowdown: Duration::ZERO,
             dead: false,
+            dead_after: 0,
         }
     }
 }
@@ -88,6 +95,15 @@ impl FaultProfile {
             ..FaultProfile::default()
         }
     }
+
+    /// An endpoint that dies permanently after serving `n` requests —
+    /// the "primary killed mid-query" scenario failover tests exercise.
+    pub fn dies_after(n: u64) -> Self {
+        FaultProfile {
+            dead_after: n,
+            ..FaultProfile::default()
+        }
+    }
 }
 
 /// Wraps an endpoint and injects faults per a [`FaultProfile`], or per an
@@ -100,6 +116,8 @@ pub struct FlakyEndpoint {
     rng: Mutex<SplitMix64>,
     script: Mutex<VecDeque<Option<EndpointError>>>,
     fault_stats: NetworkStats,
+    /// Requests seen so far, for the `dead_after` kill switch.
+    requests_seen: AtomicU64,
 }
 
 impl FlakyEndpoint {
@@ -111,6 +129,7 @@ impl FlakyEndpoint {
             profile,
             script: Mutex::new(VecDeque::new()),
             fault_stats: NetworkStats::default(),
+            requests_seen: AtomicU64::new(0),
         }
     }
 
@@ -134,11 +153,14 @@ impl FlakyEndpoint {
     /// Decides one request's fate. `bump` records a failed attempt of the
     /// right request kind on the wrapper's stats.
     fn intercept(&self, bump: impl Fn(&NetworkStats)) -> Result<(), EndpointError> {
+        let seen = self.requests_seen.fetch_add(1, Ordering::Relaxed) + 1;
         let scripted = self.script.lock().unwrap().pop_front();
         let fault = match scripted {
             Some(decision) => decision,
             None => {
-                if self.profile.dead {
+                if self.profile.dead
+                    || (self.profile.dead_after > 0 && seen > self.profile.dead_after)
+                {
                     Some(EndpointError::Unavailable)
                 } else {
                     let mut rng = self.rng.lock().unwrap();
@@ -270,6 +292,20 @@ mod tests {
         // Both the failed attempt and the successful one count as selects.
         assert_eq!(s.select_requests, 2);
         assert_eq!(s.faults_injected, 1);
+    }
+
+    #[test]
+    fn dies_after_serves_then_fails_permanently() {
+        let (ep, q) = inner();
+        let flaky = FlakyEndpoint::new(ep, FaultProfile::dies_after(2));
+        assert!(flaky.select(&q).is_ok());
+        assert!(flaky.ask(&q).is_ok());
+        for _ in 0..3 {
+            assert_eq!(flaky.select(&q), Err(EndpointError::Unavailable));
+        }
+        // Failed attempts still count as requests plus injected faults.
+        let s = flaky.stats_snapshot();
+        assert_eq!(s.faults_injected, 3);
     }
 
     #[test]

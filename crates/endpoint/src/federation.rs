@@ -12,10 +12,21 @@ use std::sync::Arc;
 pub type EndpointId = usize;
 
 /// An ordered collection of SPARQL endpoints sharing one term dictionary.
+///
+/// Endpoints are organized into *replica groups*: a group is one logical
+/// partition served by a primary plus zero or more replicas holding the
+/// same data. [`Federation::add`] creates a singleton group (the endpoint
+/// is its own primary); [`Federation::add_replica`] joins an existing
+/// group. By convention replicas are added *after* all primaries, so a
+/// federation with replication factor 1 is id-for-id identical to an
+/// unreplicated one.
 #[derive(Clone)]
 pub struct Federation {
     dict: Arc<Dictionary>,
     endpoints: Vec<EndpointRef>,
+    /// `group_of[id]` is the id of the group's primary; an endpoint is a
+    /// primary iff `group_of[id] == id`.
+    group_of: Vec<EndpointId>,
 }
 
 impl Federation {
@@ -24,6 +35,7 @@ impl Federation {
         Federation {
             dict,
             endpoints: Vec::new(),
+            group_of: Vec::new(),
         }
     }
 
@@ -40,10 +52,62 @@ impl Federation {
         &self.dict
     }
 
-    /// Adds an endpoint, returning its id.
+    /// Adds an endpoint as the primary of a new singleton replica group,
+    /// returning its id.
     pub fn add(&mut self, ep: EndpointRef) -> EndpointId {
         self.endpoints.push(ep);
-        self.endpoints.len() - 1
+        let id = self.endpoints.len() - 1;
+        self.group_of.push(id);
+        id
+    }
+
+    /// Adds an endpoint as a replica of the given primary's group,
+    /// returning the replica's id. The replica must serve the same logical
+    /// partition as the primary (the caller's responsibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primary` is out of range or is itself a replica
+    /// (replica groups are one level deep).
+    pub fn add_replica(&mut self, primary: EndpointId, ep: EndpointRef) -> EndpointId {
+        assert!(primary < self.endpoints.len(), "unknown primary {primary}");
+        assert_eq!(
+            self.group_of[primary], primary,
+            "primary {primary} is itself a replica"
+        );
+        self.endpoints.push(ep);
+        let id = self.endpoints.len() - 1;
+        self.group_of.push(primary);
+        id
+    }
+
+    /// The id of the primary of the endpoint's replica group (the
+    /// endpoint itself when it is a primary).
+    pub fn primary_of(&self, id: EndpointId) -> EndpointId {
+        self.group_of[id]
+    }
+
+    /// All members of the endpoint's replica group, in id order (the
+    /// primary first, since replicas are always added after it).
+    pub fn replica_group(&self, id: EndpointId) -> Vec<EndpointId> {
+        let primary = self.group_of[id];
+        (0..self.endpoints.len())
+            .filter(|&i| self.group_of[i] == primary)
+            .collect()
+    }
+
+    /// Ids of all primaries — one per logical partition. Source selection
+    /// probes these and only these: probing replicas as independent
+    /// sources would duplicate every result row.
+    pub fn logical_ids(&self) -> Vec<EndpointId> {
+        (0..self.endpoints.len())
+            .filter(|&i| self.group_of[i] == i)
+            .collect()
+    }
+
+    /// True if any replica group has more than one member.
+    pub fn is_replicated(&self) -> bool {
+        self.group_of.iter().enumerate().any(|(i, &p)| i != p)
     }
 
     /// Number of endpoints.
@@ -122,35 +186,47 @@ pub struct FederationBuilder {
     entries: Vec<BuilderEntry>,
 }
 
-enum BuilderEntry {
+struct BuilderEntry {
+    kind: EntryKind,
+    faults: Option<FaultProfile>,
+    /// Name of the primary this entry replicates, if any.
+    replica_of: Option<String>,
+}
+
+enum EntryKind {
     Local {
         name: String,
         store: TripleStore,
         profile: NetworkProfile,
-        faults: Option<FaultProfile>,
     },
     Custom {
         ep: EndpointRef,
-        faults: Option<FaultProfile>,
     },
 }
 
 impl FederationBuilder {
+    fn push(&mut self, kind: EntryKind) {
+        self.entries.push(BuilderEntry {
+            kind,
+            faults: None,
+            replica_of: None,
+        });
+    }
+
     /// Adds a [`LocalEndpoint`] over the store, with the default (zero
     /// delay, no faults) network.
     pub fn endpoint(mut self, name: impl Into<String>, store: TripleStore) -> Self {
-        self.entries.push(BuilderEntry::Local {
+        self.push(EntryKind::Local {
             name: name.into(),
             store,
             profile: NetworkProfile::default(),
-            faults: None,
         });
         self
     }
 
     /// Adds a pre-built endpoint (e.g. a custom [`SparqlEndpoint`] impl).
     pub fn custom(mut self, ep: EndpointRef) -> Self {
-        self.entries.push(BuilderEntry::Custom { ep, faults: None });
+        self.push(EntryKind::Custom { ep });
         self
     }
 
@@ -162,9 +238,9 @@ impl FederationBuilder {
     /// added via [`FederationBuilder::custom`] (its network behaviour is
     /// its own business).
     pub fn profile(mut self, profile: NetworkProfile) -> Self {
-        match self.entries.last_mut() {
-            Some(BuilderEntry::Local { profile: p, .. }) => *p = profile,
-            Some(BuilderEntry::Custom { .. }) => {
+        match self.entries.last_mut().map(|e| &mut e.kind) {
+            Some(EntryKind::Local { profile: p, .. }) => *p = profile,
+            Some(EntryKind::Custom { .. }) => {
                 panic!("profile() cannot decorate an externally built endpoint")
             }
             None => panic!("profile() before any endpoint()"),
@@ -180,36 +256,68 @@ impl FederationBuilder {
     /// Panics if no endpoint has been added yet.
     pub fn faults(mut self, faults: FaultProfile) -> Self {
         match self.entries.last_mut() {
-            Some(BuilderEntry::Local { faults: f, .. })
-            | Some(BuilderEntry::Custom { faults: f, .. }) => *f = Some(faults),
+            Some(entry) => entry.faults = Some(faults),
             None => panic!("faults() before any endpoint()"),
         }
         self
     }
 
-    /// Finishes construction.
+    /// Marks the most recently added endpoint as a replica of the named
+    /// primary. Primaries are always added to the built federation before
+    /// replicas, whatever order the builder calls arrived in, so ids
+    /// `0..n_primaries` are stable under replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no endpoint has been added yet. An unknown primary name
+    /// (or a primary that is itself a replica) panics in
+    /// [`FederationBuilder::build`].
+    pub fn replica_of(mut self, primary: impl Into<String>) -> Self {
+        match self.entries.last_mut() {
+            Some(entry) => entry.replica_of = Some(primary.into()),
+            None => panic!("replica_of() before any endpoint()"),
+        }
+        self
+    }
+
+    /// Finishes construction: primaries first (in insertion order), then
+    /// replicas (in insertion order), each resolved to its primary by name.
     pub fn build(self) -> Federation {
         let mut fed = Federation::new(self.dict);
-        for entry in self.entries {
-            let (base, faults): (EndpointRef, Option<FaultProfile>) = match entry {
-                BuilderEntry::Local {
-                    name,
-                    store,
-                    profile,
-                    faults,
-                } => (
-                    Arc::new(LocalEndpoint::with_profile(name, store, profile)),
-                    faults,
-                ),
-                BuilderEntry::Custom { ep, faults } => (ep, faults),
-            };
-            let ep = match faults {
-                Some(f) => Arc::new(FlakyEndpoint::new(base, f)) as EndpointRef,
-                None => base,
-            };
+        let (primaries, replicas): (Vec<BuilderEntry>, Vec<BuilderEntry>) = self
+            .entries
+            .into_iter()
+            .partition(|e| e.replica_of.is_none());
+        for entry in primaries {
+            let ep = realize(entry.kind, entry.faults);
             fed.add(ep);
         }
+        for entry in replicas {
+            let primary_name = entry.replica_of.expect("partitioned as replica");
+            let (primary, _) = fed
+                .endpoint_by_name(&primary_name)
+                .unwrap_or_else(|| panic!("replica_of(): unknown primary {primary_name:?}"));
+            let ep = realize(entry.kind, entry.faults);
+            fed.add_replica(primary, ep);
+        }
         fed
+    }
+}
+
+/// Materializes one builder entry into an endpoint, applying the fault
+/// wrapper when requested.
+fn realize(kind: EntryKind, faults: Option<FaultProfile>) -> EndpointRef {
+    let base: EndpointRef = match kind {
+        EntryKind::Local {
+            name,
+            store,
+            profile,
+        } => Arc::new(LocalEndpoint::with_profile(name, store, profile)),
+        EntryKind::Custom { ep } => ep,
+    };
+    match faults {
+        Some(f) => Arc::new(FlakyEndpoint::new(base, f)) as EndpointRef,
+        None => base,
     }
 }
 
@@ -289,6 +397,55 @@ mod tests {
     #[test]
     fn total_triples_sums_endpoints() {
         assert_eq!(fed().total_triples(), 2);
+    }
+
+    #[test]
+    fn replica_groups_track_primaries() {
+        let dict = Dictionary::shared();
+        let mut f = Federation::new(Arc::clone(&dict));
+        let store = || TripleStore::new(Arc::clone(&dict));
+        let a = f.add(Arc::new(LocalEndpoint::new("A", store())));
+        let b = f.add(Arc::new(LocalEndpoint::new("B", store())));
+        assert!(!f.is_replicated());
+        let a2 = f.add_replica(a, Arc::new(LocalEndpoint::new("A-replica", store())));
+        assert!(f.is_replicated());
+        assert_eq!(f.primary_of(a2), a);
+        assert_eq!(f.primary_of(a), a);
+        assert_eq!(f.replica_group(a), vec![a, a2]);
+        assert_eq!(f.replica_group(a2), vec![a, a2]);
+        assert_eq!(f.replica_group(b), vec![b]);
+        assert_eq!(f.logical_ids(), vec![a, b]);
+        assert_eq!(f.all_ids(), vec![a, b, a2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is itself a replica")]
+    fn replica_of_a_replica_is_rejected() {
+        let dict = Dictionary::shared();
+        let mut f = Federation::new(Arc::clone(&dict));
+        let store = || TripleStore::new(Arc::clone(&dict));
+        let a = f.add(Arc::new(LocalEndpoint::new("A", store())));
+        let r = f.add_replica(a, Arc::new(LocalEndpoint::new("R", store())));
+        f.add_replica(r, Arc::new(LocalEndpoint::new("R2", store())));
+    }
+
+    #[test]
+    fn builder_orders_primaries_before_replicas() {
+        let dict = Dictionary::shared();
+        let store = || TripleStore::new(Arc::clone(&dict));
+        // The replica is declared in the middle; it must still land after
+        // every primary so primary ids are stable under replication.
+        let f = Federation::builder(Arc::clone(&dict))
+            .endpoint("A", store())
+            .endpoint("A-replica", store())
+            .replica_of("A")
+            .endpoint("B", store())
+            .build();
+        assert_eq!(f.endpoint(0).name(), "A");
+        assert_eq!(f.endpoint(1).name(), "B");
+        assert_eq!(f.endpoint(2).name(), "A-replica");
+        assert_eq!(f.logical_ids(), vec![0, 1]);
+        assert_eq!(f.replica_group(0), vec![0, 2]);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use fault::{FaultProfile, FlakyEndpoint};
 pub use federation::{EndpointId, Federation, FederationBuilder};
 pub use network::{NetworkProfile, NetworkStats, StatsSnapshot};
 pub use resilience::{Clock, ManualClock, RequestPolicy, ResilientClient, SystemClock};
-pub use trace::{RequestKind, TraceEvent, TraceSink};
+pub use trace::{HealthState, RequestKind, TraceEvent, TraceSink};
 
 use lusail_sparql::{write_query, Query, SolutionSet};
 use lusail_store::TripleStore;

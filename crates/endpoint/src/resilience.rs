@@ -1,17 +1,26 @@
 //! The resilience layer every engine routes remote calls through:
-//! retries with exponential backoff and jitter, per-request deadlines,
-//! and a per-endpoint consecutive-failure trip.
+//! retries with exponential backoff and jitter, per-request deadlines, a
+//! per-query deadline budget, and a per-endpoint circuit breaker.
 //!
-//! A [`ResilientClient`] is created per query execution, so an endpoint
-//! tripped dead stays dead *for the rest of that query* — matching the
-//! paper's autonomy assumption that an engine cannot repair remote
-//! sources, only route around them. Time is abstracted behind [`Clock`]
-//! so the retry schedule is testable without real sleeping.
+//! A [`ResilientClient`] is created per query execution. Each endpoint's
+//! circuit moves Closed → Open (after `trip_threshold` consecutive
+//! failures) → HalfOpen (once `open_cooldown` has elapsed on the
+//! injectable [`Clock`]) and back: the half-open state admits a single
+//! probe request whose success re-closes the circuit, so an endpoint
+//! that recovers mid-query is re-admitted instead of staying dead
+//! forever. When the federation replicates partitions, data-bearing
+//! selects additionally *fail over*: a request that exhausts its retries
+//! on one replica-group member is transparently re-issued against the
+//! next healthy member ([`ResilientClient::select_failover`]), and slow
+//! primaries are *hedged* — demoted behind a healthy replica when their
+//! last observed latency exceeds the policy's hedge threshold. Time is
+//! abstracted behind [`Clock`] so every schedule is testable without
+//! real sleeping.
 
 use crate::error::{EndpointError, EndpointFailure};
 use crate::fault::SplitMix64;
 use crate::federation::{EndpointId, Federation};
-use crate::trace::{RequestKind, TraceEvent, TraceSink};
+use crate::trace::{HealthState, RequestKind, TraceEvent, TraceSink};
 use lusail_sparql::{Query, SolutionSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -102,9 +111,25 @@ pub struct RequestPolicy {
     /// Budget for one request including all its retries and backoffs;
     /// `Duration::ZERO` disables the deadline.
     pub deadline: Duration,
-    /// Consecutive failed requests before the endpoint is tripped dead for
-    /// the rest of the query; `0` disables tripping.
+    /// Consecutive failed requests before the endpoint's circuit opens
+    /// (requests short-circuit without a wire attempt); `0` disables
+    /// tripping.
     pub trip_threshold: u32,
+    /// How long an open circuit stays open before the next request is
+    /// admitted as a half-open recovery probe. `Duration::ZERO` keeps an
+    /// opened circuit open forever (the legacy one-way trip).
+    pub open_cooldown: Duration,
+    /// Hedging threshold: when an endpoint's last observed latency
+    /// exceeds this, [`ResilientClient::select_failover`] demotes it
+    /// behind a healthy replica (the duplicate request "wins" by going
+    /// first). `Duration::ZERO` disables hedging.
+    pub hedge_threshold: Duration,
+    /// Per-*query* deadline budget shared by every request this client
+    /// issues, measured from the client's construction: no wire attempt
+    /// starts once the budget is spent, so hedges, retries, and failovers
+    /// can never exceed the caller's deadline. `Duration::ZERO` disables
+    /// the budget.
+    pub query_budget: Duration,
 }
 
 impl Default for RequestPolicy {
@@ -117,6 +142,9 @@ impl Default for RequestPolicy {
             jitter: 0.2,
             deadline: Duration::from_secs(10),
             trip_threshold: 3,
+            open_cooldown: Duration::from_secs(30),
+            hedge_threshold: Duration::ZERO,
+            query_budget: Duration::ZERO,
         }
     }
 }
@@ -153,13 +181,41 @@ impl RequestPolicy {
     }
 }
 
+/// Internal circuit state; `Open` remembers *when* it opened so the
+/// cooldown can be measured on the clock.
+#[derive(Debug, Clone, Copy, Default)]
+enum Health {
+    #[default]
+    Closed,
+    Open {
+        since: Duration,
+    },
+    HalfOpen,
+}
+
+impl Health {
+    fn state(self) -> HealthState {
+        match self {
+            Health::Closed => HealthState::Closed,
+            Health::Open { .. } => HealthState::Open,
+            Health::HalfOpen => HealthState::HalfOpen,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct EpState {
     consecutive_failures: u32,
     failed_requests: u64,
     retries: u64,
-    dead: bool,
+    health: Health,
+    /// True if the circuit was ever opened, even if it later recovered.
+    ever_opened: bool,
     last_error: Option<EndpointError>,
+    /// Bitmask over [`EndpointError::index`] of every error kind seen.
+    error_kinds: u8,
+    /// Latency of the last successful wire attempt, on the clock.
+    last_latency: Option<Duration>,
 }
 
 /// Routes requests to endpoints with retry, backoff, deadline, and
@@ -167,6 +223,9 @@ struct EpState {
 pub struct ResilientClient {
     policy: RequestPolicy,
     clock: Arc<dyn Clock>,
+    /// When the query started (clock time at construction) — the origin
+    /// the per-query deadline budget is measured from.
+    origin: Duration,
     states: Mutex<Vec<EpState>>,
     nonce: AtomicU64,
     trace: TraceSink,
@@ -196,9 +255,11 @@ impl ResilientClient {
     /// A client over an injected clock that emits one
     /// [`TraceEvent::Request`] per logical request into `trace`.
     pub fn traced(policy: RequestPolicy, clock: Arc<dyn Clock>, trace: TraceSink) -> Self {
+        let origin = clock.now();
         ResilientClient {
             policy,
             clock,
+            origin,
             states: Mutex::new(Vec::new()),
             nonce: AtomicU64::new(0),
             trace,
@@ -226,9 +287,21 @@ impl ResilientClient {
         f(&mut states[ep])
     }
 
-    /// True if the endpoint has been tripped dead for this query.
+    /// True if a request to this endpoint would currently short-circuit:
+    /// the circuit is open and its cooldown has not yet elapsed (a zero
+    /// cooldown keeps it open forever).
     pub fn is_dead(&self, ep: EndpointId) -> bool {
-        self.with_state(ep, |s| s.dead)
+        let now = self.clock.now();
+        let cooldown = self.policy.open_cooldown;
+        self.with_state(ep, |s| match s.health {
+            Health::Open { since } => cooldown.is_zero() || now.saturating_sub(since) < cooldown,
+            _ => false,
+        })
+    }
+
+    /// The endpoint's current circuit state.
+    pub fn health(&self, ep: EndpointId) -> HealthState {
+        self.with_state(ep, |s| s.health.state())
     }
 
     /// Retries spent on the endpoint so far.
@@ -241,16 +314,96 @@ impl ResilientClient {
         self.with_state(ep, |s| s.failed_requests)
     }
 
+    /// Latency of the endpoint's last successful wire attempt, measured
+    /// on the clock — the signal the hedging policy reads.
+    pub fn last_latency(&self, ep: EndpointId) -> Option<Duration> {
+        self.with_state(ep, |s| s.last_latency)
+    }
+
+    /// True once the per-query deadline budget is spent (always false
+    /// when the policy disables it).
+    pub fn budget_exhausted(&self) -> bool {
+        let budget = self.policy.query_budget;
+        !budget.is_zero() && self.clock.now().saturating_sub(self.origin) >= budget
+    }
+
+    fn emit_transition(&self, ep: EndpointId, from: HealthState, to: HealthState) {
+        self.trace.emit(|| TraceEvent::HealthTransition {
+            endpoint: ep,
+            from,
+            to,
+        });
+    }
+
+    /// Admission control: decides whether a request may touch the wire,
+    /// moving an open circuit to half-open once its cooldown has elapsed
+    /// (that request becomes the recovery probe). While a probe is in
+    /// flight (half-open), further requests are short-circuited.
+    fn admit(&self, ep: EndpointId) -> bool {
+        let now = self.clock.now();
+        let cooldown = self.policy.open_cooldown;
+        let mut transition = None;
+        let admitted = self.with_state(ep, |s| match s.health {
+            Health::Closed => true,
+            Health::HalfOpen => false,
+            Health::Open { since } => {
+                if !cooldown.is_zero() && now.saturating_sub(since) >= cooldown {
+                    transition = Some((HealthState::Open, HealthState::HalfOpen));
+                    s.health = Health::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        });
+        if let Some((from, to)) = transition {
+            self.emit_transition(ep, from, to);
+        }
+        admitted
+    }
+
+    fn record_success(&self, ep: EndpointId, latency: Duration) {
+        let mut transition = None;
+        self.with_state(ep, |s| {
+            s.consecutive_failures = 0;
+            s.last_latency = Some(latency);
+            if matches!(s.health, Health::HalfOpen) {
+                transition = Some((HealthState::HalfOpen, HealthState::Closed));
+                s.health = Health::Closed;
+            }
+        });
+        if let Some((from, to)) = transition {
+            self.emit_transition(ep, from, to);
+        }
+    }
+
     fn record_failure(&self, ep: EndpointId, e: EndpointError) {
         let trip = self.policy.trip_threshold;
+        let now = self.clock.now();
+        let mut transition = None;
         self.with_state(ep, |s| {
             s.consecutive_failures += 1;
             s.failed_requests += 1;
             s.last_error = Some(e);
-            if trip > 0 && s.consecutive_failures >= trip {
-                s.dead = true;
+            s.error_kinds |= 1 << e.index();
+            match s.health {
+                // A failed half-open probe re-opens the circuit.
+                Health::HalfOpen => {
+                    transition = Some((HealthState::HalfOpen, HealthState::Open));
+                    s.health = Health::Open { since: now };
+                    s.ever_opened = true;
+                }
+                Health::Closed if trip > 0 && s.consecutive_failures >= trip => {
+                    transition = Some((HealthState::Closed, HealthState::Open));
+                    s.health = Health::Open { since: now };
+                    s.ever_opened = true;
+                }
+                _ => {}
             }
         });
+        if let Some((from, to)) = transition {
+            self.emit_transition(ep, from, to);
+        }
     }
 
     /// Runs one logical request against endpoint `ep`, retrying transient
@@ -275,7 +428,7 @@ impl ResilientClient {
         kind: RequestKind,
         op: impl Fn() -> Result<T, EndpointError>,
     ) -> Result<T, EndpointError> {
-        if self.is_dead(ep) {
+        if !self.admit(ep) {
             // The circuit breaker short-circuits without touching the
             // wire: zero attempts, no endpoint counter moves.
             self.trace.emit(|| TraceEvent::Request {
@@ -291,11 +444,21 @@ impl ResilientClient {
         let mut attempt: u32 = 0;
         let mut attempts: u64 = 0;
         let result = loop {
+            if self.budget_exhausted() {
+                // The per-query budget is spent: no wire attempt may
+                // start. The endpoint is blameless when it never got an
+                // attempt, so only record a failure against it otherwise.
+                if attempts > 0 {
+                    self.record_failure(ep, EndpointError::Timeout);
+                }
+                break Err(EndpointError::Timeout);
+            }
             attempts += 1;
             self.wire_attempts[kind.index()].fetch_add(1, Ordering::Relaxed);
+            let sent = self.clock.now();
             match op() {
                 Ok(v) => {
-                    self.with_state(ep, |s| s.consecutive_failures = 0);
+                    self.record_success(ep, self.clock.now().saturating_sub(sent));
                     break Ok(v);
                 }
                 Err(e) => {
@@ -308,6 +471,15 @@ impl ResilientClient {
                     if !self.policy.deadline.is_zero() {
                         let elapsed = self.clock.now().saturating_sub(start);
                         if elapsed + backoff > self.policy.deadline {
+                            self.record_failure(ep, EndpointError::Timeout);
+                            break Err(EndpointError::Timeout);
+                        }
+                    }
+                    if !self.policy.query_budget.is_zero() {
+                        // Sleeping past the query budget would let the
+                        // next attempt start after the deadline.
+                        let spent = self.clock.now().saturating_sub(self.origin);
+                        if spent + backoff >= self.policy.query_budget {
                             self.record_failure(ep, EndpointError::Timeout);
                             break Err(EndpointError::Timeout);
                         }
@@ -348,23 +520,103 @@ impl ResilientClient {
         self.request_kind(ep, RequestKind::Count, || fed.endpoint(ep).count(q))
     }
 
+    /// The candidate order a data-bearing select tries the endpoint's
+    /// replica group in: the requested member first, then every other
+    /// *healthy* member in id order — unless the requested member is
+    /// slow (last observed latency above the hedge threshold) and a
+    /// healthy replica exists, in which case the replica is hedged in
+    /// front of it.
+    fn failover_candidates(&self, fed: &Federation, ep: EndpointId) -> Vec<EndpointId> {
+        let mut candidates: Vec<EndpointId> = vec![ep];
+        candidates.extend(
+            fed.replica_group(ep)
+                .into_iter()
+                .filter(|&m| m != ep && !self.is_dead(m)),
+        );
+        let hedge = self.policy.hedge_threshold;
+        if !hedge.is_zero() && candidates.len() > 1 {
+            if let Some(latency) = self.last_latency(ep) {
+                if latency > hedge {
+                    let replica = candidates[1];
+                    self.trace.emit(|| TraceEvent::Hedged {
+                        primary: ep,
+                        replica,
+                    });
+                    candidates.swap(0, 1);
+                }
+            }
+        }
+        candidates
+    }
+
+    /// A data-bearing `SELECT` with replica-aware failover: the request
+    /// is issued to the endpoint's replica group one member at a time
+    /// (see [`failover_candidates`](Self::failover_candidates) for the
+    /// order; each member gets the full retry policy), and the first
+    /// success wins. Returns the winning member's id alongside the rows
+    /// so callers can invalidate per-endpoint state for the losers. Errs
+    /// only when every candidate failed.
+    ///
+    /// Hedging is implemented as a deterministic refinement of
+    /// first-success-wins racing: the duplicate request goes first and
+    /// elides the slow primary's attempt entirely when it succeeds, so
+    /// traces and request counters stay reproducible under the test
+    /// clock.
+    pub fn select_failover(
+        &self,
+        fed: &Federation,
+        ep: EndpointId,
+        q: &Query,
+    ) -> Result<(EndpointId, SolutionSet), EndpointError> {
+        let candidates = self.failover_candidates(fed, ep);
+        let mut last_err = EndpointError::Unavailable;
+        for (i, &member) in candidates.iter().enumerate() {
+            match self.request_kind(member, RequestKind::Select, || {
+                fed.endpoint(member).select(q)
+            }) {
+                Ok(rows) => return Ok((member, rows)),
+                Err(e) => {
+                    last_err = e;
+                    if let Some(&next) = candidates.get(i + 1) {
+                        self.trace.emit(|| TraceEvent::FailedOver {
+                            from: member,
+                            to: next,
+                            kind: RequestKind::Select,
+                            error: format!("{e:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        Err(last_err)
+    }
+
     /// The per-endpoint failure report for this query: one entry per
-    /// endpoint that failed a request, spent retries, or was tripped.
+    /// endpoint that failed a request, spent retries, or had its circuit
+    /// opened — sorted by endpoint id, with the distinct error kinds
+    /// deduped in [`EndpointError::ALL`] order, so the report is
+    /// deterministic however the failures interleaved.
     pub fn report(&self, fed: &Federation) -> Vec<EndpointFailure> {
         let states = self.states.lock().unwrap();
-        states
+        let mut out: Vec<EndpointFailure> = states
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.failed_requests > 0 || s.retries > 0 || s.dead)
+            .filter(|(_, s)| s.failed_requests > 0 || s.retries > 0 || s.ever_opened)
             .map(|(ep, s)| EndpointFailure {
                 endpoint: ep,
                 name: fed.endpoint(ep).name().to_string(),
                 failed_requests: s.failed_requests,
                 retries: s.retries,
-                dead: s.dead,
+                dead: s.ever_opened,
                 last_error: s.last_error,
+                errors: EndpointError::ALL
+                    .into_iter()
+                    .filter(|e| s.error_kinds & (1 << e.index()) != 0)
+                    .collect(),
             })
-            .collect()
+            .collect();
+        out.sort_by_key(|f| f.endpoint);
+        out
     }
 }
 
@@ -459,6 +711,7 @@ mod tests {
             jitter: 0.0,
             deadline: Duration::ZERO,
             trip_threshold: 0,
+            ..RequestPolicy::default()
         };
         let client = ResilientClient::with_clock(policy, clock.clone());
         let (_, op) = counting_op(vec![
@@ -483,6 +736,7 @@ mod tests {
             jitter: 0.0,
             deadline: Duration::from_millis(100),
             trip_threshold: 0,
+            ..RequestPolicy::default()
         };
         let client = ResilientClient::with_clock(policy, clock.clone());
         let (calls, op) = counting_op(vec![Err(EndpointError::Interrupted); 20]);
@@ -572,12 +826,21 @@ mod tests {
         );
         assert_eq!(calls.load(Ordering::Relaxed), 0);
         // One wire attempt total (the tripping request), zero for the
-        // short-circuited one — and both requests left an event.
+        // short-circuited one — and both requests left an event, plus the
+        // circuit-open transition between them.
         assert_eq!(client.wire_attempts(RequestKind::Count), 1);
         let events = sink.events();
-        assert_eq!(events.len(), 2);
+        assert_eq!(events.len(), 3);
         assert_eq!(
-            events[1],
+            events[0],
+            TraceEvent::HealthTransition {
+                endpoint: 0,
+                from: HealthState::Closed,
+                to: HealthState::Open,
+            }
+        );
+        assert_eq!(
+            events[2],
             TraceEvent::Request {
                 endpoint: 0,
                 kind: RequestKind::Count,
@@ -586,6 +849,170 @@ mod tests {
                 error: Some(format!("{:?}", EndpointError::Unavailable)),
             }
         );
+    }
+
+    #[test]
+    fn open_circuit_half_opens_after_cooldown_and_recloses_on_success() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 0,
+            trip_threshold: 2,
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            open_cooldown: Duration::from_secs(5),
+            ..RequestPolicy::default()
+        };
+        let sink = TraceSink::enabled();
+        let client = ResilientClient::traced(policy, clock.clone(), sink.clone());
+        for _ in 0..2 {
+            let _ = client.request(0, || Err::<u32, _>(EndpointError::Interrupted));
+        }
+        assert!(client.is_dead(0));
+        assert_eq!(client.health(0), HealthState::Open);
+        // Before the cooldown, requests still short-circuit.
+        let (calls, op) = counting_op(vec![Ok(1)]);
+        assert_eq!(client.request(0, op), Err(EndpointError::Unavailable));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        // After the cooldown, the next request is the half-open probe.
+        clock.advance(Duration::from_secs(5));
+        assert!(!client.is_dead(0));
+        assert_eq!(client.request(0, || Ok(7)), Ok(7));
+        assert_eq!(client.health(0), HealthState::Closed);
+        // Subsequent requests flow normally again.
+        assert_eq!(client.request(0, || Ok(8)), Ok(8));
+        let transitions: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::HealthTransition { from, to, .. } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                (HealthState::Closed, HealthState::Open),
+                (HealthState::Open, HealthState::HalfOpen),
+                (HealthState::HalfOpen, HealthState::Closed),
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_the_circuit() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 0,
+            trip_threshold: 1,
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            open_cooldown: Duration::from_secs(5),
+            ..RequestPolicy::default()
+        };
+        let client = ResilientClient::with_clock(policy, clock.clone());
+        let _ = client.request(0, || Err::<u32, _>(EndpointError::Interrupted));
+        assert_eq!(client.health(0), HealthState::Open);
+        clock.advance(Duration::from_secs(5));
+        // The probe fails: open again, with the cooldown restarted.
+        let _ = client.request(0, || Err::<u32, _>(EndpointError::Interrupted));
+        assert_eq!(client.health(0), HealthState::Open);
+        assert!(client.is_dead(0));
+        clock.advance(Duration::from_secs(4));
+        assert!(client.is_dead(0), "cooldown was not restarted");
+        clock.advance(Duration::from_secs(1));
+        assert!(!client.is_dead(0));
+    }
+
+    #[test]
+    fn zero_cooldown_keeps_the_circuit_open_forever() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 0,
+            trip_threshold: 1,
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            open_cooldown: Duration::ZERO,
+            ..RequestPolicy::default()
+        };
+        let client = ResilientClient::with_clock(policy, clock.clone());
+        let _ = client.request(0, || Err::<u32, _>(EndpointError::Interrupted));
+        clock.advance(Duration::from_secs(3600));
+        assert!(client.is_dead(0));
+        let (calls, op) = counting_op(vec![Ok(1)]);
+        assert_eq!(client.request(0, op), Err(EndpointError::Unavailable));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn query_budget_blocks_wire_attempts_once_spent() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 10,
+            base_backoff: Duration::from_millis(40),
+            backoff_multiplier: 1.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            trip_threshold: 0,
+            query_budget: Duration::from_millis(100),
+            ..RequestPolicy::default()
+        };
+        let client = ResilientClient::with_clock(policy, clock.clone());
+        let (calls, op) = counting_op(vec![Err(EndpointError::Interrupted); 20]);
+        assert_eq!(client.request(0, op), Err(EndpointError::Timeout));
+        // Attempts at t=0, 40, 80; sleeping to 120 would pass the 100 ms
+        // budget, so the request stops after 3 attempts at t=80.
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert!(clock.elapsed() < Duration::from_millis(100));
+        // The budget is per *query*, not per request: a fresh request is
+        // refused before its first wire attempt once the budget is spent.
+        clock.advance(Duration::from_millis(100));
+        assert!(client.budget_exhausted());
+        let (calls2, op2) = counting_op(vec![Ok(5)]);
+        assert_eq!(client.request(0, op2), Err(EndpointError::Timeout));
+        assert_eq!(
+            calls2.load(Ordering::Relaxed),
+            0,
+            "wire attempt after deadline"
+        );
+    }
+
+    #[test]
+    fn report_is_sorted_by_endpoint_and_dedups_error_kinds() {
+        let clock = ManualClock::new();
+        let policy = RequestPolicy {
+            max_retries: 0,
+            jitter: 0.0,
+            deadline: Duration::ZERO,
+            trip_threshold: 0,
+            ..RequestPolicy::default()
+        };
+        let client = ResilientClient::with_clock(policy, clock);
+        // Failures arrive out of id order, with repeats of the same kind.
+        let _ = client.request(2, || Err::<u32, _>(EndpointError::Interrupted));
+        let _ = client.request(0, || Err::<u32, _>(EndpointError::Timeout));
+        let _ = client.request(2, || Err::<u32, _>(EndpointError::Interrupted));
+        let _ = client.request(2, || Err::<u32, _>(EndpointError::Timeout));
+        let mut fed = Federation::new(lusail_rdf::Dictionary::shared());
+        for name in ["A", "B", "C"] {
+            let store = lusail_store::TripleStore::new(fed.dict().clone());
+            fed.add(Arc::new(crate::LocalEndpoint::new(name, store)));
+        }
+        let report = client.report(&fed);
+        assert_eq!(report.len(), 2);
+        assert_eq!(
+            report.iter().map(|f| f.endpoint).collect::<Vec<_>>(),
+            vec![0, 2],
+            "report not sorted by endpoint id"
+        );
+        assert_eq!(report[0].errors, vec![EndpointError::Timeout]);
+        // Repeated Interrupted failures dedup to one entry; kinds are in
+        // taxonomy order (Timeout before Interrupted).
+        assert_eq!(
+            report[1].errors,
+            vec![EndpointError::Timeout, EndpointError::Interrupted]
+        );
+        assert_eq!(report[1].failed_requests, 3);
     }
 
     #[test]

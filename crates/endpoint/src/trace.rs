@@ -67,6 +67,33 @@ impl RequestKind {
     }
 }
 
+/// The circuit-breaker state of one endpoint, as recorded in
+/// [`TraceEvent::HealthTransition`] events.
+///
+/// `Closed` admits requests normally; `Open` short-circuits them without
+/// touching the wire; `HalfOpen` admits a single probe request whose
+/// outcome decides between re-closing and re-opening the circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Tripped: requests fail fast without a wire attempt.
+    Open,
+    /// Cooling down: the next request is admitted as a recovery probe.
+    HalfOpen,
+}
+
+impl HealthState {
+    /// Display name (lower-case, used by EXPLAIN ANALYZE).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Closed => "closed",
+            HealthState::Open => "open",
+            HealthState::HalfOpen => "half-open",
+        }
+    }
+}
+
 /// One structured trace event. Variants are plain data so traces can
 /// outlive the engine run that produced them.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,6 +181,36 @@ pub enum TraceEvent {
         /// The `JoinCost` that ordered this step (DP: planned step cost;
         /// greedy: the combined parallel work of the pair).
         cost: f64,
+    },
+    /// A request failed on one replica-group member and was re-issued
+    /// against the next healthy member.
+    FailedOver {
+        /// The member that failed.
+        from: EndpointId,
+        /// The member the request was re-issued against.
+        to: EndpointId,
+        /// What the request was for.
+        kind: RequestKind,
+        /// The error that triggered the failover.
+        error: String,
+    },
+    /// A slow primary was hedged: a duplicate request was issued to a
+    /// replica because the primary's last observed latency exceeded the
+    /// policy's hedge threshold.
+    Hedged {
+        /// The slow primary.
+        primary: EndpointId,
+        /// The replica the duplicate was sent to.
+        replica: EndpointId,
+    },
+    /// An endpoint's circuit-breaker state changed.
+    HealthTransition {
+        /// The endpoint whose circuit moved.
+        endpoint: EndpointId,
+        /// State before the transition.
+        from: HealthState,
+        /// State after the transition.
+        to: HealthState,
     },
     /// The engine finished. Always the last event of a trace.
     QueryFinished {

@@ -136,6 +136,9 @@ pub enum Violation {
         /// How many trailing events follow the finish.
         count: usize,
     },
+    /// Every replica group kept a healthy member, yet the outcome was
+    /// flagged incomplete — failover should have absorbed every kill.
+    DegradedDespiteReplicas,
 }
 
 impl std::fmt::Display for Violation {
@@ -177,6 +180,11 @@ impl std::fmt::Display for Violation {
             Violation::EventsAfterFinish { count } => {
                 write!(f, "{count} trace event(s) recorded after query-finished")
             }
+            Violation::DegradedDespiteReplicas => write!(
+                f,
+                "outcome flagged incomplete although every replica group \
+                 had a healthy member"
+            ),
         }
     }
 }
@@ -199,6 +207,12 @@ pub fn faulty_policy() -> RequestPolicy {
         jitter: 0.0,
         deadline: Duration::ZERO,
         trip_threshold: 3,
+        // Cooldown far above the µs-scale wall time of a differential run:
+        // a tripped endpoint stays tripped for the whole query, exactly the
+        // legacy one-way behavior the invariants were pinned against.
+        open_cooldown: Duration::from_secs(30),
+        hedge_threshold: Duration::ZERO,
+        query_budget: Duration::ZERO,
     }
 }
 
@@ -214,21 +228,60 @@ pub fn oracle_solutions(case: &Case) -> SolutionSet {
 /// oracle. `faults.is_clean()` selects the strict equality contract;
 /// otherwise the subset + completeness-honesty contract applies.
 pub fn check(case: &Case, engine: EngineKind, faults: &FaultSpec) -> Result<(), Violation> {
-    let clean = faults.is_clean();
     let (fed, locals) = case.federation(faults);
+    check_on(case, engine, &fed, &locals, faults.is_clean(), false)
+}
+
+/// [`check`] over a *replicated* federation (see
+/// [`Case::replicated_federation`]). `require_complete` encodes the
+/// failover guarantee: when the fault plan leaves every replica group a
+/// healthy member (e.g. a [`FaultSpec::random_primary_kill`] plan at
+/// replication ≥ 2), the engines must return the exact oracle answer
+/// *and* flag it complete — an incomplete outcome is itself a violation.
+/// With `require_complete` false (e.g. a whole group killed) the ordinary
+/// honesty contract applies.
+pub fn check_replicated(
+    case: &Case,
+    engine: EngineKind,
+    faults: &FaultSpec,
+    replication: usize,
+    require_complete: bool,
+) -> Result<(), Violation> {
+    let (fed, locals) = case.replicated_federation(faults, replication);
+    check_on(
+        case,
+        engine,
+        &fed,
+        &locals,
+        faults.is_clean(),
+        require_complete,
+    )
+}
+
+fn check_on(
+    case: &Case,
+    engine: EngineKind,
+    fed: &lusail_endpoint::Federation,
+    locals: &[Arc<LocalEndpoint>],
+    clean: bool,
+    require_complete: bool,
+) -> Result<(), Violation> {
     let policy = if clean {
         clean_policy()
     } else {
         faulty_policy()
     };
-    let runner = engine.build(&locals, policy);
+    let runner = engine.build(locals, policy);
     let before = fed.stats_snapshot();
     let sink = TraceSink::enabled();
     let outcome = runner
-        .run_traced(&fed, &case.query, &sink)
+        .run_traced(fed, &case.query, &sink)
         .map_err(|e| Violation::EngineError(format!("{e:?}")))?;
     let window = fed.stats_snapshot().since(&before);
     check_trace_invariants(&QueryTrace::from_sink(&sink), &window)?;
+    if require_complete && !outcome.complete {
+        return Err(Violation::DegradedDespiteReplicas);
+    }
     let got = outcome.solutions.canonicalize();
     let full = oracle_solutions(case);
 

@@ -97,6 +97,32 @@ impl FaultSpec {
         }
         FaultSpec { profiles }
     }
+
+    /// Draws a *primary-kill* plan for a federation of `n_endpoints`
+    /// logical endpoints replicated `replication` times. Profiles are
+    /// indexed by final endpoint id (see
+    /// [`Case::replicated_federation`]): only primaries (ids
+    /// `0..n_endpoints`) are ever killed — dead outright or dying after
+    /// serving a few requests — and at least one is. Replicas stay
+    /// healthy, so every group keeps a live member and failover must be
+    /// able to absorb every kill.
+    pub fn random_primary_kill(rng: &mut Rng, n_endpoints: usize, replication: usize) -> FaultSpec {
+        let mut profiles: Vec<Option<FaultProfile>> = vec![None; n_endpoints * replication];
+        for slot in profiles.iter_mut().take(n_endpoints) {
+            if rng.chance(0.5) {
+                *slot = Some(if rng.chance(0.5) {
+                    FaultProfile::dead()
+                } else {
+                    FaultProfile::dies_after(1 + rng.below(6) as u64)
+                });
+            }
+        }
+        if profiles[..n_endpoints].iter().all(|p| p.is_none()) {
+            let victim = rng.below(n_endpoints);
+            profiles[victim] = Some(FaultProfile::dies_after(1 + rng.below(6) as u64));
+        }
+        FaultSpec { profiles }
+    }
 }
 
 /// A fully materialized test case: the data, its partition, and the query.
@@ -214,6 +240,45 @@ impl Case {
                 builder = builder.faults(profile);
             }
             locals.push(ep);
+        }
+        (builder.build(), locals)
+    }
+
+    /// Builds the federation with every endpoint replicated `replication`
+    /// times. Primaries keep ids `0..n_endpoints` (so an unreplicated
+    /// federation is id-identical); copy `k ≥ 1` of endpoint `i` gets id
+    /// `k * n_endpoints + i` and serves the same partition.
+    /// `faults.profiles` is indexed by *final* endpoint id, so a plan can
+    /// kill primaries, replicas, or whole groups. Returns the primaries'
+    /// plain handles for the index-building baselines (indices cover
+    /// logical sources only; replicas hold no data of their own).
+    pub fn replicated_federation(
+        &self,
+        faults: &FaultSpec,
+        replication: usize,
+    ) -> (Federation, Vec<Arc<LocalEndpoint>>) {
+        assert!(replication >= 1, "replication must be at least 1");
+        let mut builder = Federation::builder(Arc::clone(&self.dict));
+        let mut locals = Vec::with_capacity(self.n_endpoints);
+        for (i, store) in self.stores().into_iter().enumerate() {
+            let ep = Arc::new(LocalEndpoint::new(format!("ep{i}"), store));
+            builder = builder.custom(Arc::clone(&ep) as Arc<dyn SparqlEndpoint>);
+            if let Some(profile) = faults.profiles.get(i).copied().flatten() {
+                builder = builder.faults(profile);
+            }
+            locals.push(ep);
+        }
+        for k in 1..replication {
+            for (i, store) in self.stores().into_iter().enumerate() {
+                let id = k * self.n_endpoints + i;
+                let ep = Arc::new(LocalEndpoint::new(format!("ep{i}r{k}"), store));
+                builder = builder
+                    .custom(ep as Arc<dyn SparqlEndpoint>)
+                    .replica_of(format!("ep{i}"));
+                if let Some(profile) = faults.profiles.get(id).copied().flatten() {
+                    builder = builder.faults(profile);
+                }
+            }
         }
         (builder.build(), locals)
     }
@@ -446,6 +511,38 @@ mod tests {
                 .sum()
         };
         assert!(interlinks(0.0) < interlinks(1.0));
+    }
+
+    #[test]
+    fn replicated_federation_keeps_primary_ids_and_appends_replicas() {
+        let case = Case::generate(3, &GenConfig::default());
+        let (plain, _) = case.federation(&FaultSpec::default());
+        let (fed, locals) = case.replicated_federation(&FaultSpec::default(), 2);
+        assert_eq!(locals.len(), case.n_endpoints);
+        assert_eq!(fed.len(), case.n_endpoints * 2);
+        assert_eq!(fed.logical_ids(), plain.all_ids());
+        for i in 0..case.n_endpoints {
+            assert_eq!(fed.endpoint(i).name(), format!("ep{i}"));
+            let replica = case.n_endpoints + i;
+            assert_eq!(fed.endpoint(replica).name(), format!("ep{i}r1"));
+            assert_eq!(fed.primary_of(replica), i);
+            assert_eq!(
+                fed.endpoint(replica).triple_count(),
+                fed.endpoint(i).triple_count()
+            );
+        }
+    }
+
+    #[test]
+    fn primary_kill_plans_never_touch_replicas() {
+        let mut rng = Rng::new(11);
+        for _ in 0..50 {
+            let spec = FaultSpec::random_primary_kill(&mut rng, 4, 2);
+            assert_eq!(spec.profiles.len(), 8);
+            assert!(spec.profiles[..4].iter().any(|p| p.is_some()));
+            assert!(spec.profiles[4..].iter().all(|p| p.is_none()));
+            assert!(!spec.is_clean());
+        }
     }
 
     #[test]

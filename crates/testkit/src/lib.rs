@@ -31,7 +31,9 @@ pub mod gen;
 pub mod seed;
 pub mod shrink;
 
-pub use diff::{check, check_trace_invariants, oracle_solutions, EngineKind, Violation};
+pub use diff::{
+    check, check_replicated, check_trace_invariants, oracle_solutions, EngineKind, Violation,
+};
 pub use gen::{Case, FaultSpec, GenConfig};
 pub use seed::{parse_seed, seed_from_env, SEED_ENV_VAR};
 pub use shrink::{shrink, Repro};

@@ -29,6 +29,26 @@ cargo run --release -q --bin lusail-cli -- query \
 diff -u tests/golden/explain_analyze_lubm_q4.txt "$tmpdir/explain_analyze.txt"
 echo "trace smoke: report matches the committed golden"
 
+echo "==> chaos smoke (LUBM, replica group, primary killed mid-query)"
+cp "$tmpdir/univ-0.nt" "$tmpdir/univ-0-replica.nt"
+cargo run --release -q --bin lusail-cli -- query \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --replica univ-0="$tmpdir/univ-0-replica.nt" \
+    --kill univ-0:2 \
+    --query-file "$tmpdir/queries/Q2.rq" \
+    --explain-analyze > "$tmpdir/chaos.txt"
+grep -q 'complete: true' "$tmpdir/chaos.txt" || {
+    echo "chaos smoke: result not complete despite a healthy replica" >&2
+    cat "$tmpdir/chaos.txt" >&2
+    exit 1
+}
+grep -q '^  failover: endpoint 0 -> 2 on ' "$tmpdir/chaos.txt" || {
+    echo "chaos smoke: no failover from the killed primary to its replica" >&2
+    cat "$tmpdir/chaos.txt" >&2
+    exit 1
+}
+echo "chaos smoke: killed primary absorbed by its replica, result complete"
+
 echo "==> fuzz smoke (200 iterations, 30 s cap)"
 set +e
 timeout 30 cargo run --release -q -p lusail-testkit --bin fuzz -- --iters 200

@@ -6,14 +6,20 @@
 //!   write a benchmark federation to disk, one N-Triples file per
 //!   endpoint, plus a `queries/` directory with the benchmark queries.
 //! * `query --endpoint FILE.nt ... (--query 'SPARQL' | --query-file F)
+//!   [--replica NAME=FILE.nt ...] [--kill NAME[:N] ...]
 //!   [--engine lusail|fedx] [--explain-analyze [--fixed-clock]]` — run a
 //!   federated query over the given endpoint files and print the results
-//!   as a table. With `--explain-analyze` the query still runs in full,
+//!   as a table. `--replica NAME=FILE.nt` registers FILE.nt as a replica
+//!   of the endpoint named NAME (same partition, failover target);
+//!   `--kill NAME` makes the named endpoint permanently unavailable and
+//!   `--kill NAME:N` kills it after serving N requests — a primary dying
+//!   mid-query. With `--explain-analyze` the query still runs in full,
 //!   but the structured trace is rendered instead of the rows: per-kind
 //!   request/attempt counts, decomposition, per-subquery delay decisions
-//!   with their Chauvenet reasons, VALUES traffic, join steps, and phase
-//!   timings. `--fixed-clock` runs against a manual test clock so the
-//!   report is byte-stable (all durations render as 0ns).
+//!   with their Chauvenet reasons, VALUES traffic, join steps, circuit /
+//!   failover / hedge activity, and phase timings. `--fixed-clock` runs
+//!   against a manual test clock so the report is byte-stable (all
+//!   durations render as 0ns).
 //! * `explain --endpoint FILE.nt ... (--query 'SPARQL' | --query-file F)`
 //!   — print Lusail's compile-time plan: sources, global join variables,
 //!   subqueries and delay decisions.
@@ -24,7 +30,9 @@
 
 use lusail_baselines::FedX;
 use lusail_benchdata::{bio2rdf, lrb, lubm, qfed, Workload};
-use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint, ManualClock, SparqlEndpoint};
+use lusail_endpoint::{
+    FaultProfile, FederatedEngine, Federation, LocalEndpoint, ManualClock, SparqlEndpoint,
+};
 use lusail_rdf::{ntriples, Dictionary};
 use lusail_repro::lusail::{Lusail, LusailConfig};
 use lusail_sparql::{parse_query, SolutionSet};
@@ -46,6 +54,7 @@ fn main() -> ExitCode {
                  \n\
                  generate --workload lubm|qfed|lrb|bio2rdf --out DIR [--size N]\n\
                  query    --endpoint F.nt ... (--query SPARQL | --query-file F) [--engine lusail|fedx]\n\
+                 \x20        [--replica NAME=F.nt ...] [--kill NAME[:N] ...]\n\
                  \x20        [--explain-analyze [--fixed-clock]]\n\
                  explain  --endpoint F.nt ... (--query SPARQL | --query-file F)\n\
                  demo"
@@ -133,13 +142,54 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load_federation(paths: &[&str]) -> Result<(Federation, Arc<Dictionary>), String> {
+/// Parses one `--kill` spec: `NAME` (permanently unavailable) or
+/// `NAME:N` (dies after serving N requests).
+fn parse_kill(spec: &str) -> Result<(String, FaultProfile), String> {
+    match spec.rsplit_once(':') {
+        Some((name, n)) => {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| format!("bad --kill spec {spec:?} (want NAME or NAME:N)"))?;
+            Ok((name.to_string(), FaultProfile::dies_after(n)))
+        }
+        None => Ok((spec.to_string(), FaultProfile::dead())),
+    }
+}
+
+/// Applies every `--kill` spec matching the endpoint that was just
+/// added to the builder (the fault wrapper attaches to the most recent
+/// entry), marking matched specs as used.
+fn apply_kills(
+    builder: lusail_endpoint::FederationBuilder,
+    name: &str,
+    kill_specs: &mut [(String, FaultProfile, bool)],
+) -> lusail_endpoint::FederationBuilder {
+    let mut builder = builder;
+    for (kill_name, profile, used) in kill_specs.iter_mut() {
+        if kill_name == name {
+            *used = true;
+            builder = builder.faults(*profile);
+            println!("killing endpoint {name}");
+        }
+    }
+    builder
+}
+
+fn load_federation(
+    paths: &[&str],
+    replicas: &[&str],
+    kills: &[&str],
+) -> Result<(Federation, Arc<Dictionary>), String> {
     if paths.is_empty() {
         return Err("at least one --endpoint file is required".into());
     }
+    let mut kill_specs: Vec<(String, FaultProfile, bool)> = kills
+        .iter()
+        .map(|spec| parse_kill(spec).map(|(name, profile)| (name, profile, false)))
+        .collect::<Result<_, _>>()?;
+
     let dict = Dictionary::shared();
-    let mut builder = Federation::builder(Arc::clone(&dict));
-    for p in paths {
+    let load = |p: &str| -> Result<(String, TripleStore), String> {
         let path = Path::new(p);
         let text = std::fs::read_to_string(path).map_err(|e| format!("{p}: {e}"))?;
         let triples = ntriples::parse_document(&text, &dict).map_err(|e| format!("{p}: {e}"))?;
@@ -149,8 +199,36 @@ fn load_federation(paths: &[&str]) -> Result<(Federation, Arc<Dictionary>), Stri
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| p.to_string());
+        Ok((name, store))
+    };
+    let mut builder = Federation::builder(Arc::clone(&dict));
+    let mut primary_names = Vec::new();
+    for p in paths {
+        let (name, store) = load(p)?;
         println!("loaded endpoint {name}: {} triples", store.len());
-        builder = builder.endpoint(name, store);
+        builder = apply_kills(builder.endpoint(&name, store), &name, &mut kill_specs);
+        primary_names.push(name);
+    }
+    for spec in replicas {
+        let (primary, file) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad --replica spec {spec:?} (want NAME=FILE.nt)"))?;
+        if !primary_names.iter().any(|n| n == primary) {
+            return Err(format!("--replica {spec:?}: no endpoint named {primary:?}"));
+        }
+        let (name, store) = load(file)?;
+        println!(
+            "loaded replica {name} of {primary}: {} triples",
+            store.len()
+        );
+        builder = apply_kills(
+            builder.endpoint(&name, store).replica_of(primary),
+            &name,
+            &mut kill_specs,
+        );
+    }
+    if let Some((name, _, _)) = kill_specs.iter().find(|(_, _, used)| !used) {
+        return Err(format!("--kill {name:?}: no endpoint with that name"));
     }
     Ok((builder.build(), dict))
 }
@@ -169,7 +247,9 @@ fn read_query(args: &[String], dict: &Dictionary) -> Result<lusail_sparql::Query
 
 fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
     let endpoints = flag_values(args, "--endpoint");
-    let (fed, dict) = load_federation(&endpoints)?;
+    let replicas = flag_values(args, "--replica");
+    let kills = flag_values(args, "--kill");
+    let (fed, dict) = load_federation(&endpoints, &replicas, &kills)?;
     let query = read_query(args, &dict)?;
 
     if explain_only {
@@ -227,7 +307,7 @@ fn report_failures(outcome: &lusail_endpoint::QueryOutcome) {
             f.retries,
             if f.retries == 1 { "y" } else { "ies" },
             if f.dead {
-                " — marked dead for the rest of the query"
+                " — circuit opened; replicas served its subqueries where available"
             } else {
                 ""
             }

@@ -22,7 +22,9 @@
 //! stays fast.
 
 use lusail_benchdata::common::Rng;
-use lusail_testkit::{run_case, seed_from_env, EngineKind, GenConfig, SEED_ENV_VAR};
+use lusail_testkit::{
+    check_replicated, run_case, seed_from_env, Case, EngineKind, FaultSpec, GenConfig, SEED_ENV_VAR,
+};
 
 /// Default stream seed; overridable via `LUSAIL_TEST_SEED`.
 const DEFAULT_STREAM_SEED: u64 = 0xD1FF_0001;
@@ -80,6 +82,63 @@ fn hibiscus_matches_the_oracle() {
 #[test]
 fn splendid_matches_the_oracle() {
     drive(EngineKind::Splendid);
+}
+
+/// Replicated-partition sweep: every endpoint gets one replica
+/// (replication 2) and a seeded fault plan kills one or more *primaries*
+/// — dead outright or dying after a few served requests, the
+/// "primary killed mid-query" scenario. Since every replica group keeps a
+/// healthy member, failover must absorb every kill: all four engines are
+/// required to return the exact oracle answer with `complete = true`
+/// (`check_replicated` turns an incomplete outcome into a violation).
+#[test]
+fn replicated_partitions_survive_primary_kills() {
+    const REPLICATION: usize = 2;
+    let config = GenConfig::default();
+    let mut stream = Rng::new(seed_from_env(DEFAULT_STREAM_SEED) ^ 0x5EB1_1CA7);
+    for i in 0..30 {
+        let case_seed = stream.next_u64();
+        let case = Case::generate(case_seed, &config);
+        let mut fault_rng = Rng::new(case_seed ^ 0xF417_0C11);
+        let faults = FaultSpec::random_primary_kill(&mut fault_rng, case.n_endpoints, REPLICATION);
+        for engine in EngineKind::ALL {
+            if let Err(v) = check_replicated(&case, engine, &faults, REPLICATION, true) {
+                panic!(
+                    "replicated case {i} (seed {case_seed:#x}, {}): {v}",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+/// Honesty when a *whole* replica group is dead: no replica can absorb
+/// the kill, so rows may go missing — the contract degrades to the
+/// faulty-mode one (no invented rows, `complete` only when nothing is
+/// actually missing), which `check_replicated` enforces with
+/// `require_complete = false`.
+#[test]
+fn whole_group_death_degrades_honestly() {
+    const REPLICATION: usize = 2;
+    let config = GenConfig::default();
+    let mut stream = Rng::new(seed_from_env(DEFAULT_STREAM_SEED) ^ 0xDEAD_97F0);
+    for i in 0..10 {
+        let case_seed = stream.next_u64();
+        let case = Case::generate(case_seed, &config);
+        // Kill endpoint 0's whole group: the primary and its replica.
+        let mut profiles = vec![None; case.n_endpoints * REPLICATION];
+        profiles[0] = Some(lusail_endpoint::FaultProfile::dead());
+        profiles[case.n_endpoints] = Some(lusail_endpoint::FaultProfile::dead());
+        let faults = FaultSpec { profiles };
+        for engine in EngineKind::ALL {
+            if let Err(v) = check_replicated(&case, engine, &faults, REPLICATION, false) {
+                panic!(
+                    "group-death case {i} (seed {case_seed:#x}, {}): {v}",
+                    engine.name()
+                );
+            }
+        }
+    }
 }
 
 /// High-straddle configuration: join instances cross endpoints as often

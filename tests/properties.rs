@@ -300,3 +300,63 @@ fn any_subject_partition_yields_centralized_results() {
         );
     }
 }
+
+// ---------- retry backoff ---------------------------------------------------
+
+/// The jittered exponential backoff schedule is a pure function of
+/// `(policy, attempt, nonce)`: deterministic (same inputs, same delay),
+/// jitter-bounded around the capped exponential base, monotone and
+/// exactly capped when jitter is off, and bit-identical across platforms
+/// (SplitMix64 plus IEEE-754 arithmetic — pinned below).
+#[test]
+fn backoff_schedule_is_deterministic_bounded_and_capped() {
+    use lusail_endpoint::RequestPolicy;
+    use std::time::Duration;
+
+    let policy = RequestPolicy::default();
+    let mut rng = Rng::new(seed_from_env(0xBAC0FF));
+    for case in 0..500 {
+        let attempt = rng.below(64) as u32;
+        let nonce = rng.next_u64();
+        let d = policy.backoff_for(attempt, nonce);
+        assert_eq!(
+            d,
+            policy.backoff_for(attempt, nonce),
+            "case {case}: same (attempt, nonce) must reproduce the delay"
+        );
+        let base =
+            policy.base_backoff.as_secs_f64() * policy.backoff_multiplier.powi(attempt as i32);
+        let capped = base.min(policy.max_backoff.as_secs_f64());
+        let got = d.as_secs_f64();
+        assert!(
+            got >= capped * (1.0 - policy.jitter) - 1e-12
+                && got <= capped * (1.0 + policy.jitter) + 1e-12,
+            "case {case}: delay {got} outside jitter bounds around {capped}"
+        );
+    }
+
+    // Jitter off: the schedule is non-decreasing and saturates exactly at
+    // the cap.
+    let flat = RequestPolicy {
+        jitter: 0.0,
+        ..RequestPolicy::default()
+    };
+    let mut prev = Duration::ZERO;
+    for attempt in 0..64 {
+        let d = flat.backoff_for(attempt, 12345);
+        assert!(d >= prev, "attempt {attempt}: schedule decreased");
+        assert!(d <= flat.max_backoff, "attempt {attempt}: cap exceeded");
+        prev = d;
+    }
+    assert_eq!(prev, flat.max_backoff, "schedule never reached the cap");
+
+    // Cross-platform pin: these exact nanosecond delays must come out on
+    // every platform, or seeded reproductions stop replaying elsewhere.
+    let pinned: Vec<u128> = (0..4)
+        .map(|i| policy.backoff_for(i, 0xC0FFEE).as_nanos())
+        .collect();
+    assert_eq!(
+        pinned,
+        vec![11_701_438u128, 23_402_876, 46_805_751, 93_611_503]
+    );
+}

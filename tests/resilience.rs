@@ -14,8 +14,9 @@ use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_benchdata::lubm;
 use lusail_core::Lusail;
 use lusail_endpoint::{
-    EndpointError, FaultProfile, FederatedEngine, Federation, FlakyEndpoint, LocalEndpoint,
-    ManualClock, RequestPolicy, ResilientClient,
+    EndpointError, FaultProfile, FederatedEngine, Federation, FlakyEndpoint, HealthState,
+    LocalEndpoint, ManualClock, RequestPolicy, ResilientClient, SparqlEndpoint, StatsSnapshot,
+    TraceEvent, TraceSink,
 };
 use lusail_rdf::{Dictionary, Term};
 use lusail_sparql::parse_query;
@@ -240,5 +241,202 @@ fn engine_retries_on_injected_clock_without_wall_sleep() {
     assert!(
         started.elapsed() < Duration::from_secs(30),
         "engine slept on the wall clock despite the injected clock"
+    );
+}
+
+// ---------- circuit recovery, hedging, and the per-query budget ------------
+
+#[test]
+fn tripped_endpoint_recovers_after_manual_clock_advance() {
+    let (dict, st) = tiny_endpoint();
+    let flaky = FlakyEndpoint::scripted(
+        Arc::new(LocalEndpoint::new("S", st)),
+        // Three failures trip the circuit; everything afterwards passes.
+        [Some(EndpointError::Interrupted); 3],
+    );
+    let mut fed = Federation::new(Arc::clone(&dict));
+    let ep = fed.add(Arc::new(flaky));
+    let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", &dict).unwrap();
+
+    let policy = RequestPolicy {
+        max_retries: 0,
+        trip_threshold: 3,
+        open_cooldown: Duration::from_secs(5),
+        ..RequestPolicy::default()
+    };
+    let clock = ManualClock::new();
+    let client = ResilientClient::with_clock(policy, clock.clone());
+    for _ in 0..3 {
+        assert!(client.select(&fed, ep, &q).is_err());
+    }
+    assert!(client.is_dead(ep));
+    assert_eq!(client.health(ep), HealthState::Open);
+
+    // While the cooldown runs, requests short-circuit without touching
+    // the wire.
+    let before = fed.endpoint(ep).stats_snapshot();
+    assert!(matches!(
+        client.select(&fed, ep, &q),
+        Err(EndpointError::Unavailable)
+    ));
+    assert_eq!(
+        fed.endpoint(ep)
+            .stats_snapshot()
+            .since(&before)
+            .select_requests,
+        0
+    );
+
+    // The regression this pins: `is_dead` used to be a one-way trip, so a
+    // recovered endpoint stayed banned forever. After the cooldown the
+    // circuit half-opens, the probe succeeds, and the endpoint is
+    // re-admitted for good.
+    clock.advance(Duration::from_secs(6));
+    assert!(!client.is_dead(ep));
+    let rows = client.select(&fed, ep, &q).unwrap();
+    assert_eq!(rows.len(), 5);
+    assert_eq!(client.health(ep), HealthState::Closed);
+    assert!(client.select(&fed, ep, &q).is_ok());
+}
+
+/// An endpoint that advances a [`ManualClock`] on every `SELECT` (so the
+/// resilience layer observes a latency) and optionally fails it.
+struct SlowEndpoint {
+    inner: LocalEndpoint,
+    clock: Arc<ManualClock>,
+    delay: Duration,
+    fail: Option<EndpointError>,
+}
+
+impl SparqlEndpoint for SlowEndpoint {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn ask(&self, q: &lusail_sparql::Query) -> Result<bool, EndpointError> {
+        self.inner.ask(q)
+    }
+    fn select(
+        &self,
+        q: &lusail_sparql::Query,
+    ) -> Result<lusail_sparql::SolutionSet, EndpointError> {
+        self.clock.advance(self.delay);
+        // Let the inner endpoint count the attempt either way: a failed
+        // request still crossed the wire.
+        let rows = self.inner.select(q)?;
+        match self.fail {
+            Some(e) => Err(e),
+            None => Ok(rows),
+        }
+    }
+    fn count(&self, q: &lusail_sparql::Query) -> Result<u64, EndpointError> {
+        self.inner.count(q)
+    }
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        self.inner.stats_snapshot()
+    }
+    fn triple_count(&self) -> usize {
+        self.inner.triple_count()
+    }
+}
+
+#[test]
+fn slow_primary_is_hedged_with_its_replica() {
+    let (dict, st) = tiny_endpoint();
+    let (_, replica_st) = {
+        let mut st2 = TripleStore::new(Arc::clone(&dict));
+        for i in 0..5 {
+            st2.insert_terms(
+                &Term::iri(format!("http://x/s{i}")),
+                &Term::iri("http://x/p"),
+                &Term::int(i),
+            );
+        }
+        (Arc::clone(&dict), st2)
+    };
+    let clock = ManualClock::new();
+    let mut fed = Federation::new(Arc::clone(&dict));
+    let primary = fed.add(Arc::new(SlowEndpoint {
+        inner: LocalEndpoint::new("P", st),
+        clock: clock.clone(),
+        delay: Duration::from_millis(50),
+        fail: None,
+    }));
+    let replica = fed.add_replica(primary, Arc::new(LocalEndpoint::new("R", replica_st)));
+    let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", &dict).unwrap();
+
+    let policy = RequestPolicy {
+        hedge_threshold: Duration::from_millis(10),
+        ..RequestPolicy::default()
+    };
+    let sink = TraceSink::enabled();
+    let client = ResilientClient::traced(policy, clock.clone(), sink.clone());
+
+    // First request: no latency observed yet, the primary serves it and
+    // its 50 ms response time is recorded.
+    let (winner, rows) = client.select_failover(&fed, primary, &q).unwrap();
+    assert_eq!((winner, rows.len()), (primary, 5));
+    assert_eq!(
+        client.last_latency(primary),
+        Some(Duration::from_millis(50))
+    );
+
+    // Second request: the primary is now known slow, so the replica is
+    // hedged in front of it and — succeeding — elides the primary's
+    // attempt entirely.
+    let (winner, rows) = client.select_failover(&fed, primary, &q).unwrap();
+    assert_eq!((winner, rows.len()), (replica, 5));
+    assert_eq!(fed.endpoint(primary).stats_snapshot().select_requests, 1);
+    assert_eq!(fed.endpoint(replica).stats_snapshot().select_requests, 1);
+    assert!(
+        sink.events().iter().any(
+            |ev| matches!(ev, TraceEvent::Hedged { primary: p, replica: r }
+                if *p == primary && *r == replica)
+        ),
+        "no Hedged event was emitted"
+    );
+}
+
+#[test]
+fn exhausted_query_budget_blocks_failover_wire_attempts() {
+    let (dict, st) = tiny_endpoint();
+    let mut replica_st = TripleStore::new(Arc::clone(&dict));
+    replica_st.insert_terms(
+        &Term::iri("http://x/s0"),
+        &Term::iri("http://x/p"),
+        &Term::int(0),
+    );
+    let clock = ManualClock::new();
+    let mut fed = Federation::new(Arc::clone(&dict));
+    // The primary burns 120 ms of virtual time and then times out — more
+    // than the whole 100 ms query budget in a single attempt.
+    let primary = fed.add(Arc::new(SlowEndpoint {
+        inner: LocalEndpoint::new("P", st),
+        clock: clock.clone(),
+        delay: Duration::from_millis(120),
+        fail: Some(EndpointError::Timeout),
+    }));
+    let replica = fed.add_replica(primary, Arc::new(LocalEndpoint::new("R", replica_st)));
+    let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", &dict).unwrap();
+
+    let policy = RequestPolicy {
+        max_retries: 3,
+        base_backoff: Duration::from_millis(1),
+        query_budget: Duration::from_millis(100),
+        trip_threshold: 0,
+        ..RequestPolicy::default()
+    };
+    let client = ResilientClient::with_clock(policy, clock.clone());
+
+    // The deadline pin: once the budget is spent, *no* wire attempt may
+    // start — not a retry on the primary, not the failover hop to the
+    // healthy replica.
+    let err = client.select_failover(&fed, primary, &q).unwrap_err();
+    assert_eq!(err, EndpointError::Timeout);
+    assert!(client.budget_exhausted());
+    assert_eq!(fed.endpoint(primary).stats_snapshot().select_requests, 1);
+    assert_eq!(
+        fed.endpoint(replica).stats_snapshot().select_requests,
+        0,
+        "failover crossed the wire after the query deadline"
     );
 }
