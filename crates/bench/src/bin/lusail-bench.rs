@@ -1,0 +1,167 @@
+//! `lusail-bench` — the deterministic benchmark harness.
+//!
+//! ```text
+//! lusail-bench run   [--out PATH] [--iters N] [--seed N] [--fixed-clock]
+//!                    [--workload NAME]... [--query NAME]...
+//! lusail-bench check --against PATH [--workload NAME]... [--query NAME]...
+//! ```
+//!
+//! `run` executes the suite (see `lusail_bench::suite`) and writes the
+//! schema-stable JSON report; it fails if the optimization regression
+//! gate does not hold. `check` re-runs the in-scope slice with the
+//! committed report's seed and compares the deterministic counter
+//! sections exactly, then re-validates the gate on the committed file —
+//! the CI smoke `scripts/verify.sh` runs.
+
+use lusail_bench::json;
+use lusail_bench::suite::{check_gate, compare_runs, run_suite, SuiteOptions};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lusail-bench run [--out PATH] [--iters N] [--seed N] [--fixed-clock]\n\
+         \x20                       [--workload NAME]... [--query NAME]...\n\
+         \x20      lusail-bench check --against PATH [--workload NAME]... [--query NAME]..."
+    );
+    std::process::exit(2);
+}
+
+struct Cli {
+    command: String,
+    out: Option<String>,
+    against: Option<String>,
+    opts: SuiteOptions,
+}
+
+fn parse_args() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let command = match args.next() {
+        Some(c) if c == "run" || c == "check" => c,
+        _ => usage(),
+    };
+    let mut cli = Cli {
+        command,
+        out: None,
+        against: None,
+        opts: SuiteOptions::default(),
+    };
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => cli.out = Some(need(&mut args, "--out")),
+            "--against" => cli.against = Some(need(&mut args, "--against")),
+            "--iters" => {
+                cli.opts.iters = need(&mut args, "--iters").parse().unwrap_or_else(|_| {
+                    eprintln!("--iters needs a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                cli.opts.seed = need(&mut args, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs an unsigned integer");
+                    std::process::exit(2);
+                })
+            }
+            "--fixed-clock" => cli.opts.fixed_clock = true,
+            "--workload" => cli.opts.workloads.push(need(&mut args, "--workload")),
+            "--query" => cli.opts.queries.push(need(&mut args, "--query")),
+            _ => usage(),
+        }
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+    match cli.command.as_str() {
+        "run" => cmd_run(&cli),
+        "check" => cmd_check(&cli),
+        _ => unreachable!(),
+    }
+}
+
+fn cmd_run(cli: &Cli) -> ExitCode {
+    let doc = run_suite(&cli.opts);
+    let text = doc.render();
+    match &cli.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    // The gate only applies when the scope covers its workloads in full.
+    if cli.opts.workloads.is_empty() && cli.opts.queries.is_empty() {
+        match check_gate(&doc) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("gate ok: {line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("regression gate FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(cli: &Cli) -> ExitCode {
+    let Some(path) = &cli.against else {
+        eprintln!("check needs --against PATH");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Re-run the in-scope slice with the committed seed: the counter
+    // sections must be exactly reproducible. Wall iterations are skipped
+    // (iters=1) — times are excluded from the comparison anyway.
+    let mut opts = cli.opts.clone();
+    opts.iters = 1;
+    opts.fixed_clock = true;
+    opts.seed = baseline
+        .get("seed")
+        .and_then(json::Value::as_u64)
+        .unwrap_or(0);
+    let fresh = run_suite(&opts);
+    match compare_runs(&fresh, &baseline) {
+        Ok(n) => println!("counters check ok: {n} run(s) reproduced exactly"),
+        Err(e) => {
+            eprintln!("counters check FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match check_gate(&baseline) {
+        Ok(lines) => {
+            for line in lines {
+                println!("gate ok: {line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("regression gate FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -5,6 +5,9 @@
 //! query with request accounting and a soft timeout, and print/persist
 //! result tables.
 
+pub mod json;
+pub mod suite;
+
 use lusail_endpoint::{FederatedEngine, Federation, StatsSnapshot};
 use lusail_sparql::{Query, SolutionSet};
 use std::io::Write as _;

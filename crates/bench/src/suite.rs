@@ -1,0 +1,534 @@
+//! The deterministic benchmark suite behind the `lusail-bench` binary.
+//!
+//! One suite run executes the LUBM, QFed, and Bio2RDF workloads against
+//! all four engines, under an instant federation and an accounting-only
+//! WAN profile (virtual latency, no real sleeps), in two configurations:
+//!
+//! * **baseline** — store-side triple-pattern reordering off, Lusail's
+//!   adaptive `VALUES` sizing off (the pre-optimization engine);
+//! * **optimized** — both on (the defaults).
+//!
+//! Every run records two kinds of measurement:
+//!
+//! * **wall-clock stats** (median / p95 over N iterations) — honest but
+//!   machine-dependent, excluded from determinism comparisons;
+//! * **work counters** — wire requests by kind, bytes, store rows
+//!   scanned, `VALUES` blocks/bindings, join probe rows, virtual network
+//!   time — all sourced from `StatsSnapshot` windows and the structured
+//!   trace, and exactly reproducible for a given seed.
+//!
+//! [`check_gate`] encodes the regression contract `scripts/verify.sh`
+//! enforces: on LUBM and QFed the optimized Lusail configuration must
+//! scan strictly fewer store rows than baseline without issuing more
+//! wire requests.
+
+use crate::json::Value;
+use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
+use lusail_benchdata::{bio2rdf, lubm, qfed, Workload};
+use lusail_core::{Lusail, LusailConfig, QueryTrace, RequestKind, TraceSink};
+use lusail_endpoint::{FederatedEngine, ManualClock, NetworkProfile, StatsSnapshot};
+use std::time::{Duration, Instant};
+
+/// Schema tag stamped into every report.
+pub const SCHEMA: &str = "lusail-bench/v1";
+
+/// The workload axis.
+pub const WORKLOADS: [&str; 3] = ["lubm", "qfed", "bio2rdf"];
+
+/// The network-profile axis: an instant federation and an accounting-only
+/// WAN (40 ms RTT, 10 Mbit/s — virtual time only, no real sleeps).
+pub const PROFILES: [&str; 2] = ["instant", "wan-sim"];
+
+/// The configuration axis (see module docs).
+pub const CONFIGS: [&str; 2] = ["baseline", "optimized"];
+
+/// The engine axis.
+pub const ENGINES: [&str; 4] = ["Lusail", "FedX", "HiBISCuS", "SPLENDID"];
+
+/// Options for one suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Wall-clock iterations per run (median/p95 are over these).
+    pub iters: usize,
+    /// Seed folded into every workload generator's seed.
+    pub seed: u64,
+    /// Drive Lusail's internal phase clock from a manual clock so engine
+    /// timing metrics are frozen (counters are deterministic either way).
+    pub fixed_clock: bool,
+    /// Workload filter (empty = all of [`WORKLOADS`]).
+    pub workloads: Vec<String>,
+    /// Query-name filter (empty = all queries of each workload).
+    pub queries: Vec<String>,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        SuiteOptions {
+            iters: 3,
+            seed: 0,
+            fixed_clock: false,
+            workloads: Vec::new(),
+            queries: Vec::new(),
+        }
+    }
+}
+
+impl SuiteOptions {
+    fn wants_workload(&self, name: &str) -> bool {
+        self.workloads.is_empty() || self.workloads.iter().any(|w| w.eq_ignore_ascii_case(name))
+    }
+
+    fn wants_query(&self, name: &str) -> bool {
+        self.queries.is_empty() || self.queries.iter().any(|q| q.eq_ignore_ascii_case(name))
+    }
+}
+
+/// The accounting-only WAN profile: virtual latency and bandwidth are
+/// charged into `virtual_time_ns` deterministically, nothing sleeps.
+fn wan_sim() -> NetworkProfile {
+    NetworkProfile {
+        latency: Duration::from_millis(40),
+        bandwidth_bytes_per_sec: Some(10 * 1_000_000 / 8),
+        sleep: false,
+    }
+}
+
+/// Builds one workload under one network profile, folding the suite seed
+/// into the generator seed.
+fn build_workload(name: &str, profile: &str, seed: u64) -> Workload {
+    let profiles = |n: usize| match profile {
+        "instant" => None,
+        _ => Some(vec![wan_sim(); n]),
+    };
+    match name {
+        "lubm" => {
+            let mut cfg = lubm::LubmConfig::new(3);
+            cfg.seed ^= seed;
+            cfg.profiles = profiles(3);
+            lubm::generate(&cfg)
+        }
+        "qfed" => {
+            let mut cfg = qfed::QfedConfig::default();
+            cfg.seed ^= seed;
+            cfg.profiles = profiles(4);
+            qfed::generate(&cfg)
+        }
+        "bio2rdf" => {
+            let mut cfg = bio2rdf::Bio2RdfConfig::default();
+            cfg.seed ^= seed;
+            cfg.profiles = profiles(5);
+            bio2rdf::generate(&cfg)
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// Instantiates one engine for one run. Index-building baselines
+/// preprocess the endpoint handles (offline phase, not counted in run
+/// windows because the engine is built before the window opens).
+fn build_engine(
+    engine: &str,
+    workload: &Workload,
+    optimized: bool,
+    fixed_clock: bool,
+) -> Box<dyn FederatedEngine> {
+    let refs = workload.endpoint_refs();
+    match engine {
+        "Lusail" => {
+            let config = LusailConfig {
+                adaptive_values: optimized,
+                ..LusailConfig::default()
+            };
+            let mut lusail = Lusail::new(config);
+            if fixed_clock {
+                lusail = lusail.with_clock(ManualClock::new());
+            }
+            Box::new(lusail)
+        }
+        "FedX" => Box::new(FedX::default()),
+        "HiBISCuS" => Box::new(HiBisCus::new(HibiscusIndex::build(&refs))),
+        "SPLENDID" => Box::new(Splendid::new(VoidIndex::build(&refs))),
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+/// One run's deterministic work counters.
+struct Counters {
+    window: StatsSnapshot,
+    values_blocks: usize,
+    values_bindings: usize,
+    join_probe_rows: u64,
+    trace_checks: u64,
+    rows: usize,
+    complete: bool,
+}
+
+fn counters_value(c: &Counters) -> Value {
+    let mut v = Value::object();
+    v.set("ask_requests", Value::U64(c.window.ask_requests));
+    v.set("select_requests", Value::U64(c.window.select_requests));
+    v.set("count_requests", Value::U64(c.window.count_requests));
+    v.set("check_queries", Value::U64(c.trace_checks));
+    v.set("total_requests", Value::U64(c.window.total_requests()));
+    v.set("bytes_sent", Value::U64(c.window.bytes_sent));
+    v.set("bytes_returned", Value::U64(c.window.bytes_returned));
+    v.set("rows_returned", Value::U64(c.window.rows_returned));
+    v.set("rows_scanned", Value::U64(c.window.rows_scanned));
+    v.set("virtual_time_ns", Value::U64(c.window.virtual_time_ns));
+    v.set("values_blocks", Value::U64(c.values_blocks as u64));
+    v.set("values_bindings", Value::U64(c.values_bindings as u64));
+    v.set("join_probe_rows", Value::U64(c.join_probe_rows));
+    v
+}
+
+/// One traced run on a fresh engine: the counter window plus trace-derived
+/// work totals.
+fn traced_run(
+    engine_name: &str,
+    workload: &Workload,
+    query: &lusail_sparql::Query,
+    optimized: bool,
+    fixed_clock: bool,
+) -> Counters {
+    let engine = build_engine(engine_name, workload, optimized, fixed_clock);
+    let sink = TraceSink::enabled();
+    let before = workload.federation.stats_snapshot();
+    let outcome = engine
+        .run_traced(&workload.federation, query, &sink)
+        .expect("bench federations are non-empty");
+    let window = workload.federation.stats_snapshot().since(&before);
+    let trace = QueryTrace::from_sink(&sink);
+    let (values_blocks, values_bindings) = trace.values_batch_totals();
+    Counters {
+        window,
+        values_blocks,
+        values_bindings,
+        join_probe_rows: trace.join_probe_rows(),
+        trace_checks: trace.requests(RequestKind::Check).requests,
+        rows: outcome.solutions.len(),
+        complete: outcome.complete,
+    }
+}
+
+/// Median and 95th percentile of wall times, in milliseconds.
+fn wall_stats(mut ms: Vec<f64>) -> (f64, f64) {
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = ms[ms.len() / 2];
+    let p95 = ms[((ms.len() * 95).div_ceil(100)).saturating_sub(1)];
+    (median, p95)
+}
+
+/// Runs the full suite and returns the report document.
+pub fn run_suite(opts: &SuiteOptions) -> Value {
+    let mut runs: Vec<Value> = Vec::new();
+    // Aggregated (rows_scanned, total_requests, select_requests) per
+    // (workload, engine, config), summed over profiles and queries.
+    let mut totals: Vec<(String, String, String, [u64; 3])> = Vec::new();
+
+    for workload_name in WORKLOADS {
+        if !opts.wants_workload(workload_name) {
+            continue;
+        }
+        for profile in PROFILES {
+            for config in CONFIGS {
+                let optimized = config == "optimized";
+                // A fresh federation per pass: counters start cold and the
+                // reorder flag applies to the whole pass.
+                let workload = build_workload(workload_name, profile, opts.seed);
+                for ep in &workload.endpoints {
+                    ep.store().set_reorder(optimized);
+                }
+                for engine_name in ENGINES {
+                    for nq in &workload.queries {
+                        if !opts.wants_query(&nq.name) {
+                            continue;
+                        }
+                        let counters = traced_run(
+                            engine_name,
+                            &workload,
+                            &nq.query,
+                            optimized,
+                            opts.fixed_clock,
+                        );
+                        let mut ms = Vec::with_capacity(opts.iters.max(1));
+                        for _ in 0..opts.iters.max(1) {
+                            let engine =
+                                build_engine(engine_name, &workload, optimized, opts.fixed_clock);
+                            let start = Instant::now();
+                            let _ = engine
+                                .run(&workload.federation, &nq.query)
+                                .expect("bench federations are non-empty");
+                            ms.push(start.elapsed().as_secs_f64() * 1e3);
+                        }
+                        let (median, p95) = wall_stats(ms);
+
+                        let mut run = Value::object();
+                        run.set("workload", Value::Str(workload_name.into()));
+                        run.set("profile", Value::Str(profile.into()));
+                        run.set("config", Value::Str(config.into()));
+                        run.set("engine", Value::Str(engine_name.into()));
+                        run.set("query", Value::Str(nq.name.clone()));
+                        run.set("rows", Value::U64(counters.rows as u64));
+                        run.set("complete", Value::Bool(counters.complete));
+                        run.set("counters", counters_value(&counters));
+                        let mut wall = Value::object();
+                        wall.set("median_ms", Value::F64(median));
+                        wall.set("p95_ms", Value::F64(p95));
+                        run.set("wall", wall);
+                        runs.push(run);
+
+                        let key = (
+                            workload_name.to_string(),
+                            engine_name.to_string(),
+                            config.to_string(),
+                        );
+                        let delta = [
+                            counters.window.rows_scanned,
+                            counters.window.total_requests(),
+                            counters.window.select_requests,
+                        ];
+                        match totals
+                            .iter_mut()
+                            .find(|(w, e, c, _)| (w, e, c) == (&key.0, &key.1, &key.2))
+                        {
+                            Some((_, _, _, sums)) => {
+                                for (s, d) in sums.iter_mut().zip(delta) {
+                                    *s += d;
+                                }
+                            }
+                            None => totals.push((key.0, key.1, key.2, delta)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Fold the per-config totals into one aggregate row per
+    // (workload, engine).
+    let mut aggregates: Vec<Value> = Vec::new();
+    for workload_name in WORKLOADS {
+        for engine_name in ENGINES {
+            let mut agg = Value::object();
+            agg.set("workload", Value::Str(workload_name.into()));
+            agg.set("engine", Value::Str(engine_name.into()));
+            let mut present = false;
+            for config in CONFIGS {
+                if let Some((_, _, _, sums)) = totals
+                    .iter()
+                    .find(|(w, e, c, _)| w == workload_name && e == engine_name && c == config)
+                {
+                    let mut side = Value::object();
+                    side.set("rows_scanned", Value::U64(sums[0]));
+                    side.set("total_requests", Value::U64(sums[1]));
+                    side.set("select_requests", Value::U64(sums[2]));
+                    agg.set(config, side);
+                    present = true;
+                }
+            }
+            if present {
+                aggregates.push(agg);
+            }
+        }
+    }
+
+    let mut doc = Value::object();
+    doc.set("schema", Value::Str(SCHEMA.into()));
+    doc.set("seed", Value::U64(opts.seed));
+    doc.set("iters", Value::U64(opts.iters as u64));
+    doc.set("fixed_clock", Value::Bool(opts.fixed_clock));
+    doc.set("runs", Value::Array(runs));
+    doc.set("aggregates", Value::Array(aggregates));
+    doc
+}
+
+/// Strips every wall-clock section from a report, leaving only the
+/// deterministic parts: the byte-identical payload two same-seed runs
+/// must agree on.
+pub fn counters_section(doc: &Value) -> Value {
+    fn strip(v: &Value) -> Value {
+        match v {
+            Value::Object(entries) => Value::Object(
+                entries
+                    .iter()
+                    .filter(|(k, _)| k != "wall")
+                    .map(|(k, v)| (k.clone(), strip(v)))
+                    .collect(),
+            ),
+            Value::Array(items) => Value::Array(items.iter().map(strip).collect()),
+            other => other.clone(),
+        }
+    }
+    strip(doc)
+}
+
+/// The regression gate: on LUBM and QFed, Lusail's optimized
+/// configuration must scan strictly fewer store rows than baseline and
+/// issue no more wire requests. Returns the list of gate lines (for
+/// printing) on success.
+pub fn check_gate(doc: &Value) -> Result<Vec<String>, String> {
+    let aggregates = doc
+        .get("aggregates")
+        .and_then(Value::as_array)
+        .ok_or("report has no aggregates section")?;
+    let mut lines = Vec::new();
+    for workload in ["lubm", "qfed"] {
+        let agg = aggregates
+            .iter()
+            .find(|a| {
+                a.get("workload").and_then(Value::as_str) == Some(workload)
+                    && a.get("engine").and_then(Value::as_str) == Some("Lusail")
+            })
+            .ok_or_else(|| format!("no Lusail aggregate for {workload}"))?;
+        let side = |config: &str, key: &str| -> Result<u64, String> {
+            agg.get(config)
+                .and_then(|s| s.get(key))
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing {config}.{key} for {workload}"))
+        };
+        let base_scanned = side("baseline", "rows_scanned")?;
+        let opt_scanned = side("optimized", "rows_scanned")?;
+        let base_requests = side("baseline", "total_requests")?;
+        let opt_requests = side("optimized", "total_requests")?;
+        if opt_scanned >= base_scanned {
+            return Err(format!(
+                "{workload}: optimized rows_scanned {opt_scanned} is not \
+                 below baseline {base_scanned}"
+            ));
+        }
+        if opt_requests > base_requests {
+            return Err(format!(
+                "{workload}: optimized total_requests {opt_requests} exceeds \
+                 baseline {base_requests}"
+            ));
+        }
+        lines.push(format!(
+            "{workload}/Lusail: rows_scanned {base_scanned} -> {opt_scanned}, \
+             requests {base_requests} -> {opt_requests}"
+        ));
+    }
+    Ok(lines)
+}
+
+/// Compares the in-scope runs of a fresh report against a committed
+/// baseline: every run present in both (same workload/profile/config/
+/// engine/query identity) must have byte-identical counters, rows, and
+/// completeness. Runs only in the baseline (out of the re-run's scope)
+/// are ignored; a run in scope but missing from the baseline is an error.
+pub fn compare_runs(fresh: &Value, baseline: &Value) -> Result<usize, String> {
+    let identity = |run: &Value| -> String {
+        ["workload", "profile", "config", "engine", "query"]
+            .iter()
+            .map(|k| run.get(k).and_then(Value::as_str).unwrap_or("?"))
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+    let fresh_runs = fresh
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("fresh report has no runs")?;
+    let base_runs = baseline
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("baseline report has no runs")?;
+    let mut compared = 0;
+    for run in fresh_runs {
+        let id = identity(run);
+        let base = base_runs
+            .iter()
+            .find(|b| identity(b) == id)
+            .ok_or_else(|| format!("run {id} missing from the committed baseline"))?;
+        for key in ["rows", "complete", "counters"] {
+            let got = counters_section(run.get(key).unwrap_or(&Value::Null)).render();
+            let want = counters_section(base.get(key).unwrap_or(&Value::Null)).render();
+            if got != want {
+                return Err(format!(
+                    "run {id}: {key} diverged from the committed baseline\n\
+                     fresh:    {got}\
+                     baseline: {want}"
+                ));
+            }
+        }
+        compared += 1;
+    }
+    if compared == 0 {
+        return Err("no runs in scope — nothing compared".into());
+    }
+    Ok(compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scope() -> SuiteOptions {
+        SuiteOptions {
+            iters: 1,
+            seed: 7,
+            fixed_clock: true,
+            workloads: vec!["lubm".into()],
+            queries: vec!["Q1".into(), "Q4".into()],
+        }
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical_in_counters() {
+        let opts = small_scope();
+        let a = counters_section(&run_suite(&opts)).render();
+        let b = counters_section(&run_suite(&opts)).render();
+        assert_eq!(a, b, "counter sections must be byte-identical");
+        // Sanity: the section really carries runs and no wall sections.
+        assert!(a.contains("\"rows_scanned\""));
+        assert!(!a.contains("\"median_ms\""));
+    }
+
+    #[test]
+    fn compare_runs_accepts_self_and_flags_divergence() {
+        let opts = small_scope();
+        let doc = run_suite(&opts);
+        let n = compare_runs(&doc, &doc).unwrap();
+        assert!(n > 0);
+        // Perturb one counter in a copy: the comparison must fail.
+        let mut tampered = doc.clone();
+        if let Some(Value::Array(mut runs)) = tampered.get("runs").cloned() {
+            if let Some(run) = runs.first_mut() {
+                if let Some(mut c) = run.get("counters").cloned() {
+                    c.set("rows_scanned", Value::U64(u64::MAX));
+                    run.set("counters", c);
+                }
+            }
+            tampered.set("runs", Value::Array(runs));
+        }
+        assert!(compare_runs(&doc, &tampered).is_err());
+    }
+
+    #[test]
+    fn gate_checks_lusail_aggregates() {
+        // A synthetic report exercising both gate conditions.
+        let mk = |base_scanned: u64, opt_scanned: u64, base_req: u64, opt_req: u64| {
+            let mut doc = Value::object();
+            let mut aggs = Vec::new();
+            for wl in ["lubm", "qfed"] {
+                let mut agg = Value::object();
+                agg.set("workload", Value::Str(wl.into()));
+                agg.set("engine", Value::Str("Lusail".into()));
+                let mut b = Value::object();
+                b.set("rows_scanned", Value::U64(base_scanned));
+                b.set("total_requests", Value::U64(base_req));
+                b.set("select_requests", Value::U64(0));
+                agg.set("baseline", b);
+                let mut o = Value::object();
+                o.set("rows_scanned", Value::U64(opt_scanned));
+                o.set("total_requests", Value::U64(opt_req));
+                o.set("select_requests", Value::U64(0));
+                agg.set("optimized", o);
+                aggs.push(agg);
+            }
+            doc.set("aggregates", Value::Array(aggs));
+            doc
+        };
+        assert!(check_gate(&mk(100, 50, 10, 10)).is_ok());
+        assert!(check_gate(&mk(100, 100, 10, 10)).is_err()); // no scan win
+        assert!(check_gate(&mk(100, 50, 10, 11)).is_err()); // request regress
+    }
+}

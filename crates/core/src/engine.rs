@@ -43,6 +43,10 @@ pub struct LusailConfig {
     pub use_cache: bool,
     /// Row-count threshold for parallel hash-join probing.
     pub parallel_join_threshold: usize,
+    /// Scale `VALUES` block sizes from the first block's observed response
+    /// cardinality (see [`ExecConfig::adaptive_values`]). The adapted size
+    /// never drops below `block_size`.
+    pub adaptive_values: bool,
     /// Ablation switch: disable locality-aware decomposition. Every triple
     /// pattern becomes its own subquery (the §II strawman of evaluating
     /// each pattern independently); SAPE still schedules and joins them.
@@ -56,6 +60,7 @@ impl Default for LusailConfig {
             block_size: 100,
             use_cache: true,
             parallel_join_threshold: 50_000,
+            adaptive_values: true,
             disable_lade: false,
         }
     }
@@ -415,6 +420,8 @@ impl Lusail {
         let exec_cfg = ExecConfig {
             block_size: self.config.block_size,
             parallel_join_threshold: self.config.parallel_join_threshold,
+            adaptive_values: self.config.adaptive_values,
+            ..ExecConfig::default()
         };
         let (mut solutions, report) = evaluate_subqueries(fed, net, &subqueries, &costs, &exec_cfg);
         metrics.delayed_subqueries = report.delayed;
@@ -504,6 +511,8 @@ impl Lusail {
         let exec_cfg = ExecConfig {
             block_size: self.config.block_size,
             parallel_join_threshold: self.config.parallel_join_threshold,
+            adaptive_values: self.config.adaptive_values,
+            ..ExecConfig::default()
         };
         let (solutions, _) = evaluate_subqueries(fed, net, &subqueries, &costs, &exec_cfg);
         self.apply_nested(fed, group, solutions, &global_filters, net)

@@ -12,9 +12,13 @@
 //!    relevant endpoints and their partitioned results joined;
 //! 2. delayed subqueries are evaluated one at a time, most selective
 //!    first, as bound subqueries: the already-found bindings of a shared
-//!    variable are attached in fixed-size `VALUES` blocks (one request per
-//!    block per endpoint), with source refinement for variable-predicate
-//!    patterns.
+//!    variable are attached in `VALUES` blocks (one request per block per
+//!    endpoint), with source refinement for variable-predicate patterns.
+//!    Block sizing is *adaptive* by default: the first block runs at the
+//!    configured size, and the per-binding response cardinality it reveals
+//!    scales the remaining blocks up (never down) toward a target rows-
+//!    per-request — selective subqueries ship far fewer requests, while
+//!    the worst case stays exactly the fixed-size schedule.
 
 use crate::cost::SubqueryCosts;
 use crate::join::{join_components, par_hash_join, Relation};
@@ -218,10 +222,19 @@ impl Net {
 /// Execution tuning knobs used by [`evaluate_subqueries`].
 #[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
-    /// Number of bindings per `VALUES` block in bound subqueries.
+    /// Number of bindings per `VALUES` block in bound subqueries (and the
+    /// probe-block size when adaptive sizing is on).
     pub block_size: usize,
     /// Row-count threshold above which hash-join probing is parallelized.
     pub parallel_join_threshold: usize,
+    /// Scale the `VALUES` block size from the first block's observed
+    /// response cardinality. The adapted size never drops below
+    /// `block_size`, so the request count never exceeds fixed sizing.
+    pub adaptive_values: bool,
+    /// Response rows per request the adaptive sizer aims for.
+    pub values_target_rows: usize,
+    /// Upper bound on an adapted block size.
+    pub max_block_size: usize,
 }
 
 impl Default for ExecConfig {
@@ -229,8 +242,27 @@ impl Default for ExecConfig {
         ExecConfig {
             block_size: 100,
             parallel_join_threshold: 50_000,
+            adaptive_values: true,
+            values_target_rows: 1024,
+            max_block_size: 4096,
         }
     }
+}
+
+/// Block size for the post-probe `VALUES` blocks: scales the configured
+/// size toward `values_target_rows` response rows per request using the
+/// probe block's bindings-in → rows-out ratio. Integer-only and clamped to
+/// `[block_size, max_block_size]`, so the schedule stays deterministic and
+/// never issues more requests than fixed sizing would.
+fn adapted_block_size(config: &ExecConfig, probe_bindings: usize, observed_rows: usize) -> usize {
+    // Rows produced per hundred bindings; an empty response floors at one
+    // row so highly selective subqueries adapt to the largest blocks.
+    let rows_per_hundred = (observed_rows.max(1) * 100) / probe_bindings.max(1);
+    let ideal = (config.values_target_rows * 100) / rows_per_hundred.max(1);
+    ideal.clamp(
+        config.block_size.max(1),
+        config.max_block_size.max(config.block_size.max(1)),
+    )
 }
 
 /// Counters reported back to the engine's metrics.
@@ -327,36 +359,53 @@ pub fn evaluate_subqueries(
                     // bindings before shipping every block everywhere.
                     sources = refine_sources(fed, net, sq, &var, &values, &sources);
                 }
-                let blocks: Vec<ValuesBlock> = values
-                    .chunks(config.block_size)
-                    .map(|chunk| ValuesBlock {
-                        vars: vec![var.clone()],
-                        rows: chunk.iter().map(|&id| vec![Some(id)]).collect(),
-                    })
-                    .collect();
-                let tasks: Vec<(EndpointId, ValuesBlock)> = sources
-                    .iter()
-                    .flat_map(|&ep| blocks.iter().cloned().map(move |b| (ep, b)))
-                    .collect();
-                for (ep, block) in &tasks {
-                    net.trace.emit(|| TraceEvent::ValuesBatch {
-                        subquery: pick,
-                        endpoint: *ep,
-                        bindings: block.rows.len(),
-                    });
+                let make_block = |chunk: &[lusail_rdf::TermId]| ValuesBlock {
+                    vars: vec![var.clone()],
+                    rows: chunk.iter().map(|&id| vec![Some(id)]).collect(),
+                };
+                let dispatch = |blocks: Vec<ValuesBlock>| -> Vec<SolutionSet> {
+                    let tasks: Vec<(EndpointId, ValuesBlock)> = sources
+                        .iter()
+                        .flat_map(|&ep| blocks.iter().cloned().map(move |b| (ep, b)))
+                        .collect();
+                    for (ep, block) in &tasks {
+                        net.trace.emit(|| TraceEvent::ValuesBatch {
+                            subquery: pick,
+                            endpoint: *ep,
+                            bindings: block.rows.len(),
+                        });
+                    }
+                    net.handler
+                        .run(fed, tasks, |ep_id, _, block: &ValuesBlock| {
+                            net.select_or_lose(
+                                fed,
+                                ep_id,
+                                &sq.to_query(Some(block.clone())),
+                                sq.projection.clone(),
+                            )
+                        })
+                        .into_iter()
+                        .map(|(_, _, sols)| sols)
+                        .collect()
+                };
+                let base = config.block_size.max(1);
+                let mut parts: Vec<SolutionSet> = Vec::new();
+                let mut rest: &[lusail_rdf::TermId] = &values;
+                let mut size = base;
+                if config.adaptive_values && values.len() > base {
+                    // Probe: ship the first block at the configured size and
+                    // let its response cardinality set the remaining sizes.
+                    let (first, tail) = values.split_at(base);
+                    let probe_parts = dispatch(vec![make_block(first)]);
+                    let observed: usize = probe_parts.iter().map(SolutionSet::len).sum();
+                    parts.extend(probe_parts);
+                    rest = tail;
+                    size = adapted_block_size(config, first.len(), observed);
                 }
-                let results = net
-                    .handler
-                    .run(fed, tasks, |ep_id, _, block: &ValuesBlock| {
-                        net.select_or_lose(
-                            fed,
-                            ep_id,
-                            &sq.to_query(Some(block.clone())),
-                            sq.projection.clone(),
-                        )
-                    });
-                let parts: Vec<SolutionSet> =
-                    results.into_iter().map(|(_, _, sols)| sols).collect();
+                let blocks: Vec<ValuesBlock> = rest.chunks(size).map(make_block).collect();
+                if !blocks.is_empty() {
+                    parts.extend(dispatch(blocks));
+                }
                 // Blocks partition *distinct* values of one variable, so a
                 // row matches exactly one block: concatenation introduces
                 // no duplicates beyond what unbound evaluation would have.
@@ -638,6 +687,8 @@ mod sape_tests {
         let config = ExecConfig {
             block_size: 4,
             parallel_join_threshold: usize::MAX,
+            adaptive_values: false,
+            ..ExecConfig::default()
         };
         let before = fed.stats_snapshot();
         let (sols, report) = evaluate_subqueries(&fed, &net, &sqs, &costs, &config);
@@ -647,6 +698,52 @@ mod sape_tests {
         // Phase 1: one select at A. Phase 2: 20 bindings / 4 per block =
         // 5 selects at B.
         assert_eq!(window.select_requests, 1 + 5);
+    }
+
+    #[test]
+    fn adaptive_batching_grows_blocks_and_preserves_results() {
+        let (fed, dict) = chain_fed();
+        let sqs = subqueries(&dict);
+        let costs = SubqueryCosts {
+            cardinality: vec![20, 10],
+            delayed: vec![false, true],
+        };
+        let net = Net::default();
+        let config = ExecConfig {
+            block_size: 4,
+            parallel_join_threshold: usize::MAX,
+            ..ExecConfig::default()
+        };
+        let before = fed.stats_snapshot();
+        let (sols, report) = evaluate_subqueries(&fed, &net, &sqs, &costs, &config);
+        let window = fed.stats_snapshot().since(&before);
+        assert_eq!(report.delayed, 1);
+        assert_eq!(sols.len(), 10);
+        // Phase 1: one select at A. Phase 2: the 4-binding probe block
+        // returns 2 rows, so the sizer scales way past the 16 remaining
+        // bindings (clamped at max_block_size) and ships them in a single
+        // block: 2 selects at B instead of fixed sizing's 5.
+        assert_eq!(window.select_requests, 1 + 2);
+    }
+
+    #[test]
+    fn adapted_size_never_shrinks_and_respects_bounds() {
+        let config = ExecConfig {
+            block_size: 100,
+            values_target_rows: 1024,
+            max_block_size: 4096,
+            ..ExecConfig::default()
+        };
+        // Empty probe response: maximally selective, jump to the cap.
+        assert_eq!(adapted_block_size(&config, 100, 0), 4096);
+        // One row per binding: target rows per request.
+        assert_eq!(adapted_block_size(&config, 100, 100), 1024);
+        // Explosive fan-out (10 rows per binding): clamped at the floor —
+        // the schedule never gets *more* requests than fixed sizing.
+        assert_eq!(adapted_block_size(&config, 100, 1000), 102);
+        assert_eq!(adapted_block_size(&config, 100, 10_000), 100);
+        // Degenerate probe sizes never divide by zero.
+        assert_eq!(adapted_block_size(&config, 0, 0), 1024);
     }
 
     #[test]

@@ -117,6 +117,8 @@ impl Lusail {
         let exec_cfg = crate::exec::ExecConfig {
             block_size: self.config().block_size,
             parallel_join_threshold: self.config().parallel_join_threshold,
+            adaptive_values: self.config().adaptive_values,
+            ..crate::exec::ExecConfig::default()
         };
 
         // One pass: cached relations come from the memo; missing

@@ -143,6 +143,24 @@ impl QueryTrace {
         })
     }
 
+    /// Total rows driven through hash-table probes across all join steps.
+    /// Each hash join builds on its smaller input and probes with the
+    /// larger one, so the probe side of a step is `max(left, right)` —
+    /// a deterministic work counter for the bench harness.
+    pub fn join_probe_rows(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|ev| match ev {
+                TraceEvent::JoinStep {
+                    left_rows,
+                    right_rows,
+                    ..
+                } => (*left_rows).max(*right_rows) as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Total VALUES blocks and bindings shipped for delayed subqueries.
     pub fn values_batch_totals(&self) -> (usize, usize) {
         let mut blocks = 0;
@@ -240,6 +258,25 @@ mod tests {
             ],
         };
         assert_eq!(trace.delayed_without_reason(), vec![2]);
+    }
+
+    #[test]
+    fn join_probe_rows_sums_the_larger_side_per_step() {
+        let step = |l: usize, r: usize| TraceEvent::JoinStep {
+            left_rows: l,
+            right_rows: r,
+            output_rows: l.min(r),
+            cost: 1.0,
+        };
+        let trace = QueryTrace {
+            events: vec![
+                step(10, 3),
+                step(4, 40),
+                request(RequestKind::Select, 1, true),
+            ],
+        };
+        assert_eq!(trace.join_probe_rows(), 50);
+        assert_eq!(QueryTrace::default().join_probe_rows(), 0);
     }
 
     #[test]

@@ -149,7 +149,12 @@ impl SparqlEndpoint for LocalEndpoint {
     }
 
     fn stats_snapshot(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        // Overlay the store's own work counter: it is monotonic like the
+        // network counters, so window arithmetic (`since`) applies to it
+        // unchanged, and fault wrappers inherit it through `plus`.
+        let mut snap = self.stats.snapshot();
+        snap.rows_scanned = self.store.rows_scanned();
+        snap
     }
 
     fn triple_count(&self) -> usize {
@@ -280,5 +285,21 @@ mod wire_tests {
         assert_eq!(ep.count(&count_q).unwrap(), 50);
         let count_bytes = ep.stats_snapshot().since(&before).bytes_returned;
         assert_eq!(count_bytes, 2); // "50"
+    }
+
+    #[test]
+    fn rows_scanned_surfaces_in_snapshots() {
+        let ep = endpoint(NetworkProfile::default());
+        let dict = ep.store().dict();
+        let q = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", dict).unwrap();
+        let before = ep.stats_snapshot();
+        assert_eq!(ep.select(&q).unwrap().len(), 50);
+        let window = ep.stats_snapshot().since(&before);
+        assert_eq!(window.rows_scanned, 50);
+        // A LIMIT 1 pushdown visits a single index entry.
+        let limited = parse_query("SELECT * WHERE { ?s <http://x/p> ?o } LIMIT 1", dict).unwrap();
+        let before = ep.stats_snapshot();
+        let _ = ep.select(&limited);
+        assert_eq!(ep.stats_snapshot().since(&before).rows_scanned, 1);
     }
 }

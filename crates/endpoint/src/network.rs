@@ -103,6 +103,7 @@ impl NetworkStats {
             virtual_time_ns: self.virtual_time_ns.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             slowdowns_injected: self.slowdowns_injected.load(Ordering::Relaxed),
+            rows_scanned: 0,
         }
     }
 }
@@ -129,6 +130,11 @@ pub struct StatsSnapshot {
     pub faults_injected: u64,
     /// Requests that were slowed down by injected faults.
     pub slowdowns_injected: u64,
+    /// Store index entries visited while answering requests (see
+    /// [`TripleStore::rows_scanned`](lusail_store::TripleStore::rows_scanned)).
+    /// Maintained by the store itself; endpoint wrappers overlay it into
+    /// their snapshots, so `NetworkStats::snapshot` leaves it zero.
+    pub rows_scanned: u64,
 }
 
 impl StatsSnapshot {
@@ -149,6 +155,7 @@ impl StatsSnapshot {
             virtual_time_ns: self.virtual_time_ns - earlier.virtual_time_ns,
             faults_injected: self.faults_injected - earlier.faults_injected,
             slowdowns_injected: self.slowdowns_injected - earlier.slowdowns_injected,
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
         }
     }
 
@@ -164,6 +171,7 @@ impl StatsSnapshot {
             virtual_time_ns: self.virtual_time_ns + other.virtual_time_ns,
             faults_injected: self.faults_injected + other.faults_injected,
             slowdowns_injected: self.slowdowns_injected + other.slowdowns_injected,
+            rows_scanned: self.rows_scanned + other.rows_scanned,
         }
     }
 }

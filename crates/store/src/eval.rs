@@ -3,11 +3,12 @@
 //! Evaluation strategy:
 //!
 //! * **BGP** — index nested-loop join: triple patterns are ordered greedily
-//!   by boundness (constants plus already-bound variables) with predicate
-//!   statistics as tie-breaker, then each solution row is extended by an
-//!   index range scan. A `LIMIT` on a simple group (no filters/optionals/
-//!   unions) is pushed into the scan, which makes `ASK` and Lusail's
-//!   `LIMIT 1` check queries cheap.
+//!   by boundness (constants plus already-bound variables) with the
+//!   index-estimated cardinality of their constant positions as
+//!   tie-breaker (see [`plan_bgp_order`]), then each solution row is
+//!   extended by an index range scan. A `LIMIT` on a simple group (no
+//!   filters/optionals/unions) is pushed into the scan, which makes `ASK`
+//!   and Lusail's `LIMIT 1` check queries cheap.
 //! * **UNION** — branches evaluated independently, concatenated, then
 //!   joined with the surrounding solutions.
 //! * **OPTIONAL** — left join.
@@ -511,23 +512,27 @@ pub fn eval_group(store: &TripleStore, g: &GroupPattern, limit: Option<usize>) -
     sols
 }
 
-/// Extends `sols` by the conjunctive triple patterns using greedy ordering
-/// and index nested-loop joins. Stops early once `limit` rows exist after
-/// the final pattern.
+/// Extends `sols` by the conjunctive triple patterns using the
+/// selectivity-greedy order of [`plan_bgp_order`] and index nested-loop
+/// joins. Stops early once `limit` rows exist after the final pattern.
+/// When the store's reorder flag is off (see
+/// [`TripleStore::set_reorder`]), patterns run in textual order — the
+/// unoptimized baseline the bench harness measures against.
 fn eval_bgp(
     store: &TripleStore,
     triples: &[TriplePattern],
     mut sols: SolutionSet,
     limit: Option<usize>,
 ) -> SolutionSet {
-    let mut remaining: Vec<&TriplePattern> = triples.iter().collect();
-    while !remaining.is_empty() {
-        // Pick the most selective pattern given currently-bound variables.
-        let idx = pick_next(store, &remaining, &sols.vars);
-        let tp = remaining.swap_remove(idx);
-        let is_last = remaining.is_empty();
+    let order: Vec<usize> = if store.reorder_enabled() {
+        plan_bgp_order(store, triples, &sols.vars)
+    } else {
+        (0..triples.len()).collect()
+    };
+    for (k, &i) in order.iter().enumerate() {
+        let is_last = k + 1 == order.len();
         let row_cap = if is_last { limit } else { None };
-        sols = extend(store, &sols, tp, row_cap);
+        sols = extend(store, &sols, &triples[i], row_cap);
         if sols.is_empty() {
             return sols; // Short-circuit: the BGP has no solutions.
         }
@@ -535,27 +540,54 @@ fn eval_bgp(
     sols
 }
 
-fn pick_next(store: &TripleStore, remaining: &[&TriplePattern], bound: &[String]) -> usize {
-    let mut best = 0usize;
-    let mut best_key = (usize::MAX, u64::MAX);
-    for (i, tp) in remaining.iter().enumerate() {
-        let is_bound = |t: &PatternTerm| match t {
-            PatternTerm::Const(_) => true,
-            PatternTerm::Var(v) => bound.iter().any(|b| b == v),
-        };
-        let free = [&tp.s, &tp.p, &tp.o]
-            .into_iter()
-            .filter(|t| !is_bound(t))
-            .count();
-        // Estimate with constants only (bound vars vary per row).
-        let est = store.estimate(tp.s.as_const(), tp.p.as_const(), tp.o.as_const());
-        let key = (free, est);
-        if key < best_key {
-            best_key = key;
-            best = i;
+/// Plans the evaluation order of a BGP's patterns: greedily pick, at each
+/// step, the pattern with the fewest still-free positions (constants and
+/// already-bound variables count as bound), breaking ties by the
+/// index-estimated cardinality of its constant positions and then by
+/// original position. `bound` seeds the bound-variable set (e.g. from a
+/// VALUES block). The returned indices are into `triples`.
+///
+/// Boundness depends only on which variables appear earlier in the chosen
+/// order — never on row contents — so the plan can be computed once up
+/// front, and pinned in tests.
+pub fn plan_bgp_order(
+    store: &TripleStore,
+    triples: &[TriplePattern],
+    bound: &[String],
+) -> Vec<usize> {
+    let mut bound: Vec<String> = bound.to_vec();
+    let mut remaining: Vec<usize> = (0..triples.len()).collect();
+    let mut order = Vec::with_capacity(triples.len());
+    while !remaining.is_empty() {
+        let mut best_pos = 0usize;
+        let mut best_key = (usize::MAX, u64::MAX);
+        for (pos, &i) in remaining.iter().enumerate() {
+            let tp = &triples[i];
+            let is_bound = |t: &PatternTerm| match t {
+                PatternTerm::Const(_) => true,
+                PatternTerm::Var(v) => bound.iter().any(|b| b == v),
+            };
+            let free = [&tp.s, &tp.p, &tp.o]
+                .into_iter()
+                .filter(|t| !is_bound(t))
+                .count();
+            // Estimate with constants only (bound vars vary per row).
+            let est = store.estimate(tp.s.as_const(), tp.p.as_const(), tp.o.as_const());
+            let key = (free, est);
+            if key < best_key {
+                best_key = key;
+                best_pos = pos;
+            }
         }
+        let i = remaining.remove(best_pos);
+        for v in triples[i].vars() {
+            if !bound.iter().any(|b| b == v) {
+                bound.push(v.to_string());
+            }
+        }
+        order.push(i);
     }
-    best
+    order
 }
 
 /// Joins the current solutions with one triple pattern via index lookups.
@@ -848,6 +880,51 @@ mod tests {
         let s = run(&st, "SELECT ?ghost WHERE { ?x <http://u/advisor> ?p }");
         assert_eq!(s.len(), 2);
         assert_eq!(s.get(0, "ghost"), None);
+    }
+
+    #[test]
+    fn planner_starts_with_the_most_selective_pattern() {
+        let st = fixture();
+        let q = parse_query(
+            "SELECT * WHERE { ?x <http://u/type> ?t . ?x <http://u/teacherOf> ?c . ?x <http://u/advisor> ?p }",
+            st.dict(),
+        )
+        .unwrap();
+        // teacherOf has 1 triple, advisor 2, type 5: the planner must lead
+        // with teacherOf, then stay connected through ?x.
+        let order = plan_bgp_order(&st, &q.pattern.triples, &[]);
+        assert_eq!(order[0], 1);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn planner_honors_seed_bindings_from_values() {
+        let st = fixture();
+        let q = parse_query(
+            "SELECT * WHERE { ?x <http://u/type> ?t . ?x <http://u/name> ?n }",
+            st.dict(),
+        )
+        .unwrap();
+        // With ?t pre-bound (e.g. by VALUES), pattern 0 has one free
+        // position against pattern 1's two, despite name (1 triple) being
+        // rarer than type (5).
+        let order = plan_bgp_order(&st, &q.pattern.triples, &["t".to_string()]);
+        assert_eq!(order, vec![0, 1]);
+        // Unseeded, both have two free positions and name's lower
+        // cardinality wins.
+        let order = plan_bgp_order(&st, &q.pattern.triples, &[]);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn reorder_off_matches_reorder_on_results() {
+        let st = fixture();
+        let q = "SELECT ?x ?c WHERE { ?x <http://u/advisor> ?p . ?x <http://u/takesCourse> ?c . ?p <http://u/teacherOf> ?c }";
+        let ordered = run(&st, q).canonicalize();
+        st.set_reorder(false);
+        let textual = run(&st, q).canonicalize();
+        st.set_reorder(true);
+        assert_eq!(ordered, textual);
     }
 }
 

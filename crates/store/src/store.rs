@@ -2,9 +2,15 @@
 
 use lusail_rdf::{Dictionary, FxHashMap, FxHashSet, Term, TermId, Triple};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 type Key = (u32, u32, u32);
+
+/// Index probes stop counting at this many entries when estimating a
+/// pattern's cardinality: beyond it, "large" is all the join orderer
+/// needs to know, and an unbounded count would turn planning into a scan.
+const ESTIMATE_CAP: u64 = 64;
 
 /// Statistics maintained per predicate, updated on insert.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,6 +44,13 @@ pub struct TripleStore {
     pos: BTreeSet<Key>,
     osp: BTreeSet<Key>,
     pred_stats: FxHashMap<TermId, PredicateStats>,
+    /// Monotonic count of triples handed to [`TripleStore::scan`]
+    /// callbacks — the store-side work counter the bench harness gates on.
+    rows_scanned: AtomicU64,
+    /// Whether BGP evaluation may reorder patterns by estimated
+    /// cardinality (on by default; the bench harness flips it off to
+    /// measure the unordered baseline).
+    reorder: AtomicBool,
 }
 
 impl TripleStore {
@@ -49,7 +62,29 @@ impl TripleStore {
             pos: BTreeSet::new(),
             osp: BTreeSet::new(),
             pred_stats: FxHashMap::default(),
+            rows_scanned: AtomicU64::new(0),
+            reorder: AtomicBool::new(true),
         }
+    }
+
+    /// Total triples handed to scan callbacks since the store was built.
+    /// The indexes answer every pattern with an exact range, so this is
+    /// precisely the number of index entries the store had to visit.
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Whether the BGP evaluator may reorder patterns (see
+    /// [`TripleStore::set_reorder`]).
+    pub fn reorder_enabled(&self) -> bool {
+        self.reorder.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables selectivity-greedy pattern reordering for BGPs
+    /// evaluated against this store. Takes `&self` so an assembled
+    /// federation's endpoints can be switched without tearing them down.
+    pub fn set_reorder(&self, on: bool) {
+        self.reorder.store(on, Ordering::Relaxed);
     }
 
     /// The store's dictionary.
@@ -138,9 +173,17 @@ impl TripleStore {
         s: Option<TermId>,
         p: Option<TermId>,
         o: Option<TermId>,
-        mut f: impl FnMut(Triple) -> bool,
+        f: impl FnMut(Triple) -> bool,
     ) -> bool {
         const MAX: u32 = u32::MAX;
+        // Every triple that reaches the caller is one unit of store work;
+        // count it before delegating so all eight access paths share the
+        // same accounting.
+        let mut inner = f;
+        let mut f = |t: Triple| {
+            self.rows_scanned.fetch_add(1, Ordering::Relaxed);
+            inner(t)
+        };
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
                 if self.spo.contains(&(s.0, p.0, o.0)) {
@@ -221,18 +264,42 @@ impl TripleStore {
     }
 
     /// Estimated number of matches for a pattern, used by the BGP join
-    /// orderer. Exact for (p)-bound patterns (from stats); heuristic
-    /// otherwise (variable-counting).
+    /// orderer. Exact for (p)-bound patterns (from stats), for the
+    /// fully-bound probe, and for the all-free scan; for every other
+    /// shape the matching index range is counted directly, capped at
+    /// [`ESTIMATE_CAP`] so estimation never degenerates into a full scan.
     pub fn estimate(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> u64 {
-        let total = self.len() as u64;
+        const MAX: u32 = u32::MAX;
+        let cap = ESTIMATE_CAP as usize;
         match (s, p, o) {
-            (Some(_), Some(_), Some(_)) => 1,
-            (Some(_), Some(_), None) | (Some(_), None, Some(_)) => 2,
-            (None, Some(_), Some(_)) => 4,
-            (Some(_), None, None) => 8.min(total),
+            (Some(s), Some(p), Some(o)) => u64::from(self.spo.contains(&(s.0, p.0, o.0))),
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s.0, p.0, 0)..=(s.0, p.0, MAX))
+                .take(cap)
+                .count() as u64,
+            (Some(s), None, Some(o)) => self
+                .osp
+                .range((o.0, s.0, 0)..=(o.0, s.0, MAX))
+                .take(cap)
+                .count() as u64,
+            (None, Some(p), Some(o)) => self
+                .pos
+                .range((p.0, o.0, 0)..=(p.0, o.0, MAX))
+                .take(cap)
+                .count() as u64,
+            (Some(s), None, None) => self
+                .spo
+                .range((s.0, 0, 0)..=(s.0, MAX, MAX))
+                .take(cap)
+                .count() as u64,
             (None, Some(p), None) => self.pred_stats.get(&p).map_or(0, |st| st.triples),
-            (None, None, Some(_)) => 16.min(total),
-            (None, None, None) => total,
+            (None, None, Some(o)) => self
+                .osp
+                .range((o.0, 0, 0)..=(o.0, MAX, MAX))
+                .take(cap)
+                .count() as u64,
+            (None, None, None) => self.len() as u64,
         }
     }
 }
@@ -311,5 +378,58 @@ mod tests {
         assert_eq!(st.estimate(None, Some(p), None), 2);
         assert_eq!(st.estimate(None, Some(q), None), 1);
         assert_eq!(st.estimate(None, None, None), 3);
+    }
+
+    #[test]
+    fn estimate_counts_index_ranges_exactly_when_small() {
+        let st = store_with(&[
+            ("s1", "p1", "o1"),
+            ("s1", "p1", "o2"),
+            ("s1", "p2", "o1"),
+            ("s2", "p1", "o1"),
+        ]);
+        let d = st.dict();
+        let s1 = d.lookup(&Term::iri("s1")).unwrap();
+        let s2 = d.lookup(&Term::iri("s2")).unwrap();
+        let p1 = d.lookup(&Term::iri("p1")).unwrap();
+        let p2 = d.lookup(&Term::iri("p2")).unwrap();
+        let o1 = d.lookup(&Term::iri("o1")).unwrap();
+        assert_eq!(st.estimate(Some(s1), Some(p1), None), 2);
+        assert_eq!(st.estimate(Some(s1), None, None), 3);
+        assert_eq!(st.estimate(None, Some(p1), Some(o1)), 2);
+        assert_eq!(st.estimate(None, None, Some(o1)), 3);
+        assert_eq!(st.estimate(Some(s1), None, Some(o1)), 2);
+        assert_eq!(st.estimate(Some(s1), Some(p1), Some(o1)), 1);
+        // Absent combinations estimate zero, letting the planner
+        // short-circuit an empty pattern first.
+        assert_eq!(st.estimate(Some(s2), Some(p2), Some(o1)), 0);
+        assert_eq!(st.estimate(Some(s2), Some(p2), None), 0);
+    }
+
+    #[test]
+    fn rows_scanned_counts_visited_triples() {
+        let st = store_with(&[("s1", "p", "o1"), ("s2", "p", "o2"), ("s3", "p", "o3")]);
+        assert_eq!(st.rows_scanned(), 0);
+        st.matches(None, None, None);
+        assert_eq!(st.rows_scanned(), 3);
+        let p = st.dict().lookup(&Term::iri("p")).unwrap();
+        st.matches(None, Some(p), None);
+        assert_eq!(st.rows_scanned(), 6);
+        // Early-exiting scans only count what they actually visited.
+        st.scan(None, None, None, |_| false);
+        assert_eq!(st.rows_scanned(), 7);
+        // Estimation probes are planning work, not scan work.
+        st.estimate(None, Some(p), None);
+        assert_eq!(st.rows_scanned(), 7);
+    }
+
+    #[test]
+    fn reorder_flag_defaults_on_and_toggles_through_shared_ref() {
+        let st = store_with(&[("s", "p", "o")]);
+        assert!(st.reorder_enabled());
+        st.set_reorder(false);
+        assert!(!st.reorder_enabled());
+        st.set_reorder(true);
+        assert!(st.reorder_enabled());
     }
 }

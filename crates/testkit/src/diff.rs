@@ -16,7 +16,7 @@
 
 use crate::gen::{Case, FaultSpec};
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
-use lusail_core::{Lusail, QueryTrace, RequestKind, TraceSink};
+use lusail_core::{Lusail, LusailConfig, QueryTrace, RequestKind, TraceSink};
 use lusail_endpoint::{FederatedEngine, LocalEndpoint, RequestPolicy, StatsSnapshot};
 use lusail_sparql::SolutionSet;
 use std::sync::Arc;
@@ -69,9 +69,30 @@ impl EngineKind {
         endpoints: &[Arc<LocalEndpoint>],
         policy: RequestPolicy,
     ) -> Box<dyn FederatedEngine> {
+        self.build_tuned(endpoints, policy, None)
+    }
+
+    /// [`EngineKind::build`] with an optional Lusail tuning override
+    /// (ignored by the baselines, which have no equivalent knobs).
+    pub fn build_tuned(
+        self,
+        endpoints: &[Arc<LocalEndpoint>],
+        policy: RequestPolicy,
+        tuning: Option<LusailTuning>,
+    ) -> Box<dyn FederatedEngine> {
         let refs: Vec<&LocalEndpoint> = endpoints.iter().map(|e| e.as_ref()).collect();
         match self {
-            EngineKind::Lusail => Box::new(Lusail::default().with_policy(policy)),
+            EngineKind::Lusail => {
+                let config = match tuning {
+                    Some(t) => LusailConfig {
+                        block_size: t.block_size,
+                        adaptive_values: t.adaptive_values,
+                        ..LusailConfig::default()
+                    },
+                    None => LusailConfig::default(),
+                };
+                Box::new(Lusail::new(config).with_policy(policy))
+            }
             EngineKind::FedX => Box::new(FedX::default().with_policy(policy)),
             EngineKind::Hibiscus => {
                 Box::new(HiBisCus::new(HibiscusIndex::build(&refs)).with_policy(policy))
@@ -81,6 +102,19 @@ impl EngineKind {
             }
         }
     }
+}
+
+/// Lusail execution-tuning overrides for differential runs: a tiny
+/// `block_size` forces real `VALUES` batching (and, with
+/// `adaptive_values`, the adaptive sizer's probe-then-scale path) even on
+/// the small generated cases, so the batching machinery is exercised
+/// under the oracle contract rather than skipped for fitting in one block.
+#[derive(Debug, Clone, Copy)]
+pub struct LusailTuning {
+    /// Bindings per `VALUES` block (probe-block size when adaptive).
+    pub block_size: usize,
+    /// Enable adaptive block sizing.
+    pub adaptive_values: bool,
 }
 
 /// The ways a differential run can disagree with the oracle.
@@ -229,7 +263,28 @@ pub fn oracle_solutions(case: &Case) -> SolutionSet {
 /// otherwise the subset + completeness-honesty contract applies.
 pub fn check(case: &Case, engine: EngineKind, faults: &FaultSpec) -> Result<(), Violation> {
     let (fed, locals) = case.federation(faults);
-    check_on(case, engine, &fed, &locals, faults.is_clean(), false)
+    check_on(case, engine, &fed, &locals, faults.is_clean(), false, None)
+}
+
+/// [`check`] with a [`LusailTuning`] override, so sweeps can exercise the
+/// adaptive `VALUES` batching and bound-subquery paths that the default
+/// `block_size` of 100 never reaches on small generated cases.
+pub fn check_tuned(
+    case: &Case,
+    engine: EngineKind,
+    faults: &FaultSpec,
+    tuning: LusailTuning,
+) -> Result<(), Violation> {
+    let (fed, locals) = case.federation(faults);
+    check_on(
+        case,
+        engine,
+        &fed,
+        &locals,
+        faults.is_clean(),
+        false,
+        Some(tuning),
+    )
 }
 
 /// [`check`] over a *replicated* federation (see
@@ -255,9 +310,11 @@ pub fn check_replicated(
         &locals,
         faults.is_clean(),
         require_complete,
+        None,
     )
 }
 
+#[allow(clippy::fn_params_excessive_bools)]
 fn check_on(
     case: &Case,
     engine: EngineKind,
@@ -265,13 +322,14 @@ fn check_on(
     locals: &[Arc<LocalEndpoint>],
     clean: bool,
     require_complete: bool,
+    tuning: Option<LusailTuning>,
 ) -> Result<(), Violation> {
     let policy = if clean {
         clean_policy()
     } else {
         faulty_policy()
     };
-    let runner = engine.build(locals, policy);
+    let runner = engine.build_tuned(locals, policy, tuning);
     let before = fed.stats_snapshot();
     let sink = TraceSink::enabled();
     let outcome = runner

@@ -49,6 +49,10 @@ grep -q '^  failover: endpoint 0 -> 2 on ' "$tmpdir/chaos.txt" || {
 }
 echo "chaos smoke: killed primary absorbed by its replica, result complete"
 
+echo "==> bench smoke (counters reproduce BENCH_5.json, gate holds)"
+cargo run --release -q -p lusail-bench --bin lusail-bench -- \
+    check --against BENCH_5.json --workload lubm --query Q4
+
 echo "==> fuzz smoke (200 iterations, 30 s cap)"
 set +e
 timeout 30 cargo run --release -q -p lusail-testkit --bin fuzz -- --iters 200

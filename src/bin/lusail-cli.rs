@@ -287,11 +287,12 @@ fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
     print_solutions(&outcome.solutions, &dict);
     println!(
         "\n{} rows in {:.1} ms — {} remote requests, {} result rows \
-         fetched from endpoints",
+         fetched from endpoints, {} store rows scanned",
         outcome.solutions.len(),
         elapsed.as_secs_f64() * 1e3,
         window.total_requests(),
-        window.rows_returned
+        window.rows_returned,
+        window.rows_scanned
     );
     report_failures(&outcome);
     Ok(())

@@ -23,7 +23,8 @@
 
 use lusail_benchdata::common::Rng;
 use lusail_testkit::{
-    check_replicated, run_case, seed_from_env, Case, EngineKind, FaultSpec, GenConfig, SEED_ENV_VAR,
+    check_replicated, check_tuned, run_case, seed_from_env, Case, EngineKind, FaultSpec, GenConfig,
+    LusailTuning, SEED_ENV_VAR,
 };
 
 /// Default stream seed; overridable via `LUSAIL_TEST_SEED`.
@@ -136,6 +137,41 @@ fn whole_group_death_degrades_honestly() {
                     "group-death case {i} (seed {case_seed:#x}, {}): {v}",
                     engine.name()
                 );
+            }
+        }
+    }
+}
+
+/// Adaptive-batching + reordered-eval sweep: Lusail with a tiny fixed
+/// `block_size` (2) and adaptive sizing on, so even the small generated
+/// cases genuinely split bound subqueries into multiple `VALUES` blocks
+/// and then grow them from the first block's observed cardinality — the
+/// exact configuration the benchmark suite's "optimized" side uses. The
+/// baselines run with their defaults (tuning only affects Lusail) and
+/// every engine is held to the usual oracle contract, clean and faulted.
+#[test]
+fn tuned_adaptive_batching_matches_the_oracle() {
+    let tuning = LusailTuning {
+        block_size: 2,
+        adaptive_values: true,
+    };
+    let config = GenConfig::default();
+    let mut stream = Rng::new(seed_from_env(DEFAULT_STREAM_SEED) ^ 0xADA7_B10C);
+    for i in 0..30 {
+        let case_seed = stream.next_u64();
+        let case = Case::generate(case_seed, &config);
+        let mut fault_rng = Rng::new(case_seed ^ 0xF417_0C11);
+        let clean = FaultSpec::default();
+        let faulty = FaultSpec::random(&mut fault_rng, case.n_endpoints);
+        for engine in EngineKind::ALL {
+            for faults in [&clean, &faulty] {
+                if let Err(v) = check_tuned(&case, engine, faults, tuning) {
+                    panic!(
+                        "tuned case {i} (seed {case_seed:#x}, {}, {} mode): {v}",
+                        engine.name(),
+                        if faults.is_clean() { "clean" } else { "faulty" }
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,95 @@
+//! Pinned-plan tests for store-side triple-pattern reordering.
+//!
+//! The greedy planner in `lusail-store` orders BGP patterns by
+//! (unbound-position count, index-estimated cardinality). These tests pin
+//! the chosen orders on the deterministic LUBM fixture — a plan change is
+//! a deliberate decision, not drift — and assert the work the ordering is
+//! supposed to save: `rows_scanned` strictly decreases against the
+//! textual-order baseline on the multi-pattern LUBM queries, and the
+//! degenerate all-unbound scan does not regress.
+
+use lusail_benchdata::common::Workload;
+use lusail_benchdata::lubm::{generate, LubmConfig};
+use lusail_sparql::parse_query;
+use lusail_store::eval::{evaluate, plan_bgp_order};
+
+/// The oracle union store doubles as a single big endpoint here; the
+/// planner only needs a store with realistic index statistics.
+fn lubm_workload() -> Workload {
+    generate(&LubmConfig::new(3))
+}
+
+#[test]
+fn pinned_lubm_plan_orders() {
+    let w = lubm_workload();
+    let oracle = &w.oracle;
+    // Q1: the planner opens with `?y a ub:University` — three universities
+    // is by far the smallest index range — then grows the bound set
+    // through departments before touching the 200+-row student patterns.
+    let q1 = &w.query("Q1").query;
+    assert_eq!(
+        plan_bgp_order(oracle, &q1.pattern.triples, &[]),
+        vec![1, 2, 4, 0, 3, 5],
+        "Q1 plan changed — if intentional, re-pin this order"
+    );
+    // Q4: the capped type-pattern estimate (64) wins the opening, then
+    // `?y ub:doctoralDegreeFrom ?u` (45 rows) beats the big chain
+    // patterns; fully-bound leftovers close the plan.
+    let q4 = &w.query("Q4").query;
+    assert_eq!(
+        plan_bgp_order(oracle, &q4.pattern.triples, &[]),
+        vec![0, 1, 4, 2, 3, 5],
+        "Q4 plan changed — if intentional, re-pin this order"
+    );
+}
+
+#[test]
+fn reordering_strictly_reduces_rows_scanned_on_lubm() {
+    let w = lubm_workload();
+    let oracle = &w.oracle;
+    for name in ["Q1", "Q2", "Q4"] {
+        let query = &w.query(name).query;
+
+        oracle.set_reorder(false);
+        let before = oracle.rows_scanned();
+        let unordered = evaluate(oracle, query).canonicalize();
+        let unordered_scans = oracle.rows_scanned() - before;
+
+        oracle.set_reorder(true);
+        let before = oracle.rows_scanned();
+        let ordered = evaluate(oracle, query).canonicalize();
+        let ordered_scans = oracle.rows_scanned() - before;
+
+        assert_eq!(ordered, unordered, "{name}: reordering changed results");
+        assert!(
+            ordered_scans < unordered_scans,
+            "{name}: ordered evaluation scanned {ordered_scans} rows, \
+             not below the textual-order baseline {unordered_scans}"
+        );
+    }
+}
+
+#[test]
+fn all_unbound_scan_does_not_regress() {
+    let w = lubm_workload();
+    let oracle = &w.oracle;
+    let query = parse_query("SELECT * WHERE { ?s ?p ?o }", oracle.dict()).unwrap();
+    assert_eq!(plan_bgp_order(oracle, &query.pattern.triples, &[]), vec![0]);
+
+    oracle.set_reorder(false);
+    let before = oracle.rows_scanned();
+    let unordered = evaluate(oracle, &query).canonicalize();
+    let unordered_scans = oracle.rows_scanned() - before;
+
+    oracle.set_reorder(true);
+    let before = oracle.rows_scanned();
+    let ordered = evaluate(oracle, &query).canonicalize();
+    let ordered_scans = oracle.rows_scanned() - before;
+
+    assert_eq!(ordered, unordered);
+    assert_eq!(
+        ordered_scans, unordered_scans,
+        "a single all-unbound pattern has nothing to reorder — scan \
+         counts must match exactly"
+    );
+}
