@@ -1,8 +1,9 @@
 //! Machinery shared by the baseline engines: evaluation units (exclusive
 //! groups), bound joins, and clause handling.
 
+use lusail_core::exec::Net;
 use lusail_core::source_selection::SourceMap;
-use lusail_endpoint::{EndpointId, Federation, ResilientClient};
+use lusail_endpoint::{EndpointId, Federation};
 use lusail_rdf::FxHashSet;
 use lusail_sparql::ast::{Expression, GroupPattern, Query, QueryForm, TriplePattern, ValuesBlock};
 use lusail_sparql::SolutionSet;
@@ -121,20 +122,32 @@ pub fn order_units(mut units: Vec<Unit>) -> Vec<Unit> {
 }
 
 /// Evaluates a unit with no bindings: one SELECT per relevant endpoint,
-/// results concatenated. An endpoint that fails (after the client's
-/// retries) contributes nothing and raises the `loss` flag — the engine
-/// reports the query incomplete instead of aborting.
+/// dispatched through the net's budgeted request handler (endpoints run
+/// in parallel up to the thread budget), results concatenated in source
+/// order. An endpoint that fails (after the client's retries) contributes
+/// nothing and raises the `loss` flag — the engine reports the query
+/// incomplete instead of aborting.
 pub fn evaluate_unbound(
     fed: &Federation,
     unit: &Unit,
-    client: &ResilientClient,
+    net: &Net,
     loss: &AtomicBool,
 ) -> SolutionSet {
+    let q = unit.to_query(None);
+    let tasks: Vec<(EndpointId, ())> = unit.sources.iter().map(|&ep| (ep, ())).collect();
+    let results = net.handler.run(fed, tasks, |ep_id, _, _| {
+        match net.client.select_failover(fed, ep_id, &q) {
+            Ok((_, part)) => Some(part),
+            Err(_) => {
+                loss.store(true, Ordering::Relaxed);
+                None
+            }
+        }
+    });
     let mut out = SolutionSet::empty(unit.vars());
-    for &ep in &unit.sources {
-        match client.select_failover(fed, ep, &unit.to_query(None)) {
-            Ok((_, part)) => out.append(part),
-            Err(_) => loss.store(true, Ordering::Relaxed),
+    for (_, _, part) in results {
+        if let Some(part) = part {
+            out.append(part);
         }
     }
     out
@@ -154,7 +167,7 @@ pub fn bound_join(
     unit: &Unit,
     block_size: usize,
     limit: Option<usize>,
-    client: &ResilientClient,
+    net: &Net,
     loss: &AtomicBool,
 ) -> SolutionSet {
     let unit_vars = unit.vars();
@@ -166,7 +179,7 @@ pub fn bound_join(
         .collect();
     if shared.is_empty() || current.is_empty() {
         // Cross product or empty input: fall back to unbound evaluation.
-        let fetched = evaluate_unbound(fed, unit, client, loss);
+        let fetched = evaluate_unbound(fed, unit, net, loss);
         return current.hash_join(&fetched);
     }
 
@@ -174,18 +187,31 @@ pub fn bound_join(
     let tuples = current.distinct_tuples(&shared);
 
     // Join distributes over the union of block results, so each block is
-    // joined once and appended — no re-join over the accumulated set.
+    // joined once and appended — no re-join over the accumulated set. The
+    // block loop stays sequential (the first-k cutoff must see each
+    // block's contribution before shipping the next); within a block the
+    // per-endpoint requests fan out through the budgeted handler.
     let mut joined: Option<SolutionSet> = None;
     for block in tuples.chunks(block_size) {
         let vb = ValuesBlock {
             vars: shared.clone(),
             rows: block.to_vec(),
         };
+        let q = unit.to_query(Some(vb));
+        let tasks: Vec<(EndpointId, ())> = unit.sources.iter().map(|&ep| (ep, ())).collect();
+        let results = net.handler.run(fed, tasks, |ep_id, _, _| {
+            match net.client.select_failover(fed, ep_id, &q) {
+                Ok((_, part)) => Some(part),
+                Err(_) => {
+                    loss.store(true, Ordering::Relaxed);
+                    None
+                }
+            }
+        });
         let mut fetched = SolutionSet::empty(unit.vars());
-        for &ep in &unit.sources {
-            match client.select_failover(fed, ep, &unit.to_query(Some(vb.clone()))) {
-                Ok((_, part)) => fetched.append(part),
-                Err(_) => loss.store(true, Ordering::Relaxed),
+        for (_, _, part) in results {
+            if let Some(part) = part {
+                fetched.append(part);
             }
         }
         let block_join = current.hash_join(&fetched);
@@ -282,17 +308,17 @@ mod tests {
             sources: vec![0],
             filters: Vec::new(),
         };
-        let client = ResilientClient::new(Default::default());
+        let net = Net::default();
         let loss = AtomicBool::new(false);
         let before = fed.stats_snapshot();
-        let joined = bound_join(&fed, &current, &unit, 3, None, &client, &loss);
+        let joined = bound_join(&fed, &current, &unit, 3, None, &net, &loss);
         let window = fed.stats_snapshot().since(&before);
         // 10 bindings / block 3 = 4 blocks = 4 requests.
         assert_eq!(window.select_requests, 4);
         assert_eq!(joined.len(), 5);
         assert!(!loss.load(Ordering::Relaxed));
         // Identical to evaluating unbound then joining.
-        let unbound = evaluate_unbound(&fed, &unit, &client, &loss);
+        let unbound = evaluate_unbound(&fed, &unit, &net, &loss);
         assert_eq!(
             joined.canonicalize(),
             current.hash_join(&unbound).canonicalize()

@@ -22,8 +22,8 @@ use lusail_core::cache::ProbeCache;
 use lusail_core::exec::Net;
 use lusail_core::source_selection::{select_sources, SourceMap};
 use lusail_endpoint::{
-    FederatedEngine, Federation, FederationError, QueryOutcome, RequestPolicy, ResilientClient,
-    SystemClock, TraceEvent, TraceSink,
+    EndpointId, ExecOptions, FederatedEngine, Federation, FederationError, QueryOutcome,
+    RequestPolicy, SystemClock, TraceEvent, TraceSink,
 };
 use lusail_rdf::TermId;
 use lusail_sparql::ast::{Expression, GroupPattern, Query};
@@ -87,26 +87,37 @@ impl FedX {
         fed: &Federation,
         query: &Query,
     ) -> Result<QueryOutcome, FederationError> {
-        self.execute_traced(fed, query, &TraceSink::disabled())
+        self.execute_with(fed, query, &ExecOptions::default())
     }
 
-    /// [`FedX::execute`] with request-level tracing: every remote request
-    /// is recorded into `trace`, and an enabled trace always ends with
-    /// [`TraceEvent::QueryFinished`].
-    pub fn execute_traced(
+    /// [`FedX::execute`] under explicit [`ExecOptions`]: request-level
+    /// tracing (an enabled trace always ends with
+    /// [`TraceEvent::QueryFinished`]), the worker budget for per-endpoint
+    /// dispatch, and an optional deadline overriding the policy's query
+    /// budget.
+    pub fn execute_with(
         &self,
         fed: &Federation,
         query: &Query,
-        trace: &TraceSink,
+        opts: &ExecOptions,
     ) -> Result<QueryOutcome, FederationError> {
         if fed.is_empty() {
             return Err(FederationError::EmptyFederation);
         }
-        let net = Net::build(self.policy, Arc::new(SystemClock::default()), trace.clone());
+        let mut policy = self.policy;
+        if let Some(deadline) = opts.deadline {
+            policy.query_budget = deadline;
+        }
+        let net = Net::build(
+            policy,
+            Arc::new(SystemClock::default()),
+            opts.trace.clone(),
+            opts.thread_budget(),
+        );
         let loss = AtomicBool::new(false);
         let solutions = self.execute_inner(fed, query, &net, &loss);
         let complete = !loss.load(Ordering::Relaxed) && !net.degradation.data_loss();
-        trace.emit(|| TraceEvent::QueryFinished {
+        opts.trace.emit(|| TraceEvent::QueryFinished {
             rows: solutions.len(),
             complete,
         });
@@ -115,6 +126,21 @@ impl FedX {
             complete,
             failures: net.client.report(fed),
         })
+    }
+
+    /// [`FedX::execute`] with request-level tracing.
+    #[deprecated(note = "use `execute_with` with `ExecOptions::default().with_trace(..)`")]
+    pub fn execute_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        trace: &TraceSink,
+    ) -> Result<QueryOutcome, FederationError> {
+        self.execute_with(
+            fed,
+            query,
+            &ExecOptions::default().with_trace(trace.clone()),
+        )
     }
 
     fn execute_inner(
@@ -178,7 +204,7 @@ impl FedX {
         for (i, unit) in units.iter().enumerate() {
             let is_first = current.vars.is_empty() && current.len() == 1;
             if is_first {
-                let fetched = evaluate_unbound(fed, unit, &net.client, loss);
+                let fetched = evaluate_unbound(fed, unit, net, loss);
                 current = fetched;
             } else {
                 let cutoff = if simple && i + 1 == n_units {
@@ -192,7 +218,7 @@ impl FedX {
                     unit,
                     self.config.block_size,
                     cutoff,
-                    &net.client,
+                    net,
                     loss,
                 );
             }
@@ -257,7 +283,7 @@ impl FedX {
                     unit,
                     &shared,
                     self.config.block_size,
-                    &net.client,
+                    net,
                     loss,
                 );
                 return apply_filters(fed, fetched, &global_filters);
@@ -268,14 +294,15 @@ impl FedX {
 }
 
 /// Fetches a unit's rows restricted to blocks of the given bindings,
-/// without joining back (the caller left-joins).
+/// without joining back (the caller left-joins). Per-endpoint requests
+/// fan out through the budgeted handler; results keep source order.
 fn bound_fetch(
     fed: &Federation,
     current: &SolutionSet,
     unit: &Unit,
     shared: &[String],
     block_size: usize,
-    client: &ResilientClient,
+    net: &Net,
     loss: &AtomicBool,
 ) -> SolutionSet {
     let tuples = current.distinct_tuples(shared);
@@ -285,10 +312,20 @@ fn bound_fetch(
             vars: shared.to_vec(),
             rows: block.to_vec(),
         };
-        for &ep in &unit.sources {
-            match client.select_failover(fed, ep, &unit.to_query(Some(vb.clone()))) {
-                Ok((_, part)) => fetched.append(part),
-                Err(_) => loss.store(true, Ordering::Relaxed),
+        let q = unit.to_query(Some(vb));
+        let tasks: Vec<(EndpointId, ())> = unit.sources.iter().map(|&ep| (ep, ())).collect();
+        let results = net.handler.run(fed, tasks, |ep_id, _, _| {
+            match net.client.select_failover(fed, ep_id, &q) {
+                Ok((_, part)) => Some(part),
+                Err(_) => {
+                    loss.store(true, Ordering::Relaxed);
+                    None
+                }
+            }
+        });
+        for (_, _, part) in results {
+            if let Some(part) = part {
+                fetched.append(part);
             }
         }
     }
@@ -313,17 +350,13 @@ impl FederatedEngine for FedX {
         "FedX"
     }
 
-    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
-        self.execute(fed, query)
-    }
-
-    fn run_traced(
+    fn run_with(
         &self,
         fed: &Federation,
         query: &Query,
-        sink: &TraceSink,
+        opts: &ExecOptions,
     ) -> Result<QueryOutcome, FederationError> {
-        self.execute_traced(fed, query, sink)
+        self.execute_with(fed, query, opts)
     }
 
     fn reset(&self) {

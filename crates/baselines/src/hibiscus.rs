@@ -15,8 +15,8 @@ use lusail_core::cache::ProbeCache;
 use lusail_core::exec::Net;
 use lusail_core::source_selection::{select_sources, SourceMap};
 use lusail_endpoint::{
-    EndpointId, FederatedEngine, Federation, FederationError, LocalEndpoint, QueryOutcome,
-    RequestPolicy, SystemClock, TraceEvent, TraceSink,
+    EndpointId, ExecOptions, FederatedEngine, Federation, FederationError, LocalEndpoint,
+    QueryOutcome, RequestPolicy, SystemClock, TraceEvent, TraceSink,
 };
 use lusail_rdf::{FxHashMap, FxHashSet, TermId};
 use lusail_sparql::ast::{GroupPattern, Query, TriplePattern};
@@ -181,26 +181,37 @@ impl HiBisCus {
         fed: &Federation,
         query: &Query,
     ) -> Result<QueryOutcome, FederationError> {
-        self.execute_traced(fed, query, &TraceSink::disabled())
+        self.execute_with(fed, query, &ExecOptions::default())
     }
 
-    /// [`HiBisCus::execute`] with request-level tracing: every remote
-    /// request is recorded into `trace`, and an enabled trace always ends
-    /// with [`TraceEvent::QueryFinished`].
-    pub fn execute_traced(
+    /// [`HiBisCus::execute`] under explicit [`ExecOptions`]: request-level
+    /// tracing (an enabled trace always ends with
+    /// [`TraceEvent::QueryFinished`]), the worker budget for per-endpoint
+    /// dispatch, and an optional deadline overriding the policy's query
+    /// budget.
+    pub fn execute_with(
         &self,
         fed: &Federation,
         query: &Query,
-        trace: &TraceSink,
+        opts: &ExecOptions,
     ) -> Result<QueryOutcome, FederationError> {
         if fed.is_empty() {
             return Err(FederationError::EmptyFederation);
         }
-        let net = Net::build(self.policy, Arc::new(SystemClock::default()), trace.clone());
+        let mut policy = self.policy;
+        if let Some(deadline) = opts.deadline {
+            policy.query_budget = deadline;
+        }
+        let net = Net::build(
+            policy,
+            Arc::new(SystemClock::default()),
+            opts.trace.clone(),
+            opts.thread_budget(),
+        );
         let loss = AtomicBool::new(false);
         let solutions = self.execute_inner(fed, query, &net, &loss);
         let complete = !loss.load(Ordering::Relaxed) && !net.degradation.data_loss();
-        trace.emit(|| TraceEvent::QueryFinished {
+        opts.trace.emit(|| TraceEvent::QueryFinished {
             rows: solutions.len(),
             complete,
         });
@@ -209,6 +220,21 @@ impl HiBisCus {
             complete,
             failures: net.client.report(fed),
         })
+    }
+
+    /// [`HiBisCus::execute`] with request-level tracing.
+    #[deprecated(note = "use `execute_with` with `ExecOptions::default().with_trace(..)`")]
+    pub fn execute_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        trace: &TraceSink,
+    ) -> Result<QueryOutcome, FederationError> {
+        self.execute_with(
+            fed,
+            query,
+            &ExecOptions::default().with_trace(trace.clone()),
+        )
     }
 
     fn execute_inner(
@@ -275,22 +301,14 @@ impl HiBisCus {
         for (i, unit) in units.iter().enumerate() {
             let is_first = current.vars.is_empty() && current.len() == 1;
             if is_first {
-                current = evaluate_unbound(fed, unit, &net.client, loss);
+                current = evaluate_unbound(fed, unit, net, loss);
             } else {
                 let cutoff = if simple && i + 1 == n_units {
                     limit
                 } else {
                     None
                 };
-                current = bound_join(
-                    fed,
-                    &current,
-                    unit,
-                    self.block_size,
-                    cutoff,
-                    &net.client,
-                    loss,
-                );
+                current = bound_join(fed, &current, unit, self.block_size, cutoff, net, loss);
             }
             if current.is_empty() {
                 break;
@@ -309,17 +327,13 @@ impl FederatedEngine for HiBisCus {
         "HiBISCuS"
     }
 
-    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
-        self.execute(fed, query)
-    }
-
-    fn run_traced(
+    fn run_with(
         &self,
         fed: &Federation,
         query: &Query,
-        sink: &TraceSink,
+        opts: &ExecOptions,
     ) -> Result<QueryOutcome, FederationError> {
-        self.execute_traced(fed, query, sink)
+        self.execute_with(fed, query, opts)
     }
 
     fn reset(&self) {
@@ -421,12 +435,12 @@ mod tests {
 
         let fedx = crate::fedx::FedX::default();
         let before = fed.stats_snapshot();
-        fedx.run(&fed, &q).unwrap();
+        fedx.execute(&fed, &q).unwrap();
         let fedx_requests = fed.stats_snapshot().since(&before).select_requests;
 
         let hib = HiBisCus::new(HibiscusIndex::build(&refs));
         let before = fed.stats_snapshot();
-        hib.run(&fed, &q).unwrap();
+        hib.execute(&fed, &q).unwrap();
         let hib_requests = fed.stats_snapshot().since(&before).select_requests;
         assert!(
             hib_requests < fedx_requests,

@@ -20,8 +20,8 @@ use lusail_core::cache::ProbeCache;
 use lusail_core::exec::Net;
 use lusail_core::source_selection::SourceMap;
 use lusail_endpoint::{
-    EndpointId, FederatedEngine, Federation, FederationError, LocalEndpoint, QueryOutcome,
-    RequestKind, RequestPolicy, SystemClock, TraceEvent, TraceSink,
+    EndpointId, ExecOptions, FederatedEngine, Federation, FederationError, LocalEndpoint,
+    QueryOutcome, RequestKind, RequestPolicy, SystemClock, TraceEvent, TraceSink,
 };
 use lusail_rdf::{FxHashMap, TermId};
 use lusail_sparql::ast::{GroupPattern, Query, TriplePattern, ValuesBlock};
@@ -202,26 +202,37 @@ impl Splendid {
         fed: &Federation,
         query: &Query,
     ) -> Result<QueryOutcome, FederationError> {
-        self.execute_traced(fed, query, &TraceSink::disabled())
+        self.execute_with(fed, query, &ExecOptions::default())
     }
 
-    /// [`Splendid::execute`] with request-level tracing: every remote
-    /// request is recorded into `trace`, and an enabled trace always ends
-    /// with [`TraceEvent::QueryFinished`].
-    pub fn execute_traced(
+    /// [`Splendid::execute`] under explicit [`ExecOptions`]: request-level
+    /// tracing (an enabled trace always ends with
+    /// [`TraceEvent::QueryFinished`]), the worker budget for per-endpoint
+    /// dispatch, and an optional deadline overriding the policy's query
+    /// budget.
+    pub fn execute_with(
         &self,
         fed: &Federation,
         query: &Query,
-        trace: &TraceSink,
+        opts: &ExecOptions,
     ) -> Result<QueryOutcome, FederationError> {
         if fed.is_empty() {
             return Err(FederationError::EmptyFederation);
         }
-        let net = Net::build(self.policy, Arc::new(SystemClock::default()), trace.clone());
+        let mut policy = self.policy;
+        if let Some(deadline) = opts.deadline {
+            policy.query_budget = deadline;
+        }
+        let net = Net::build(
+            policy,
+            Arc::new(SystemClock::default()),
+            opts.trace.clone(),
+            opts.thread_budget(),
+        );
         let loss = AtomicBool::new(false);
         let solutions = self.execute_inner(fed, query, &net, &loss);
         let complete = !loss.load(Ordering::Relaxed) && !net.degradation.data_loss();
-        trace.emit(|| TraceEvent::QueryFinished {
+        opts.trace.emit(|| TraceEvent::QueryFinished {
             rows: solutions.len(),
             complete,
         });
@@ -230,6 +241,21 @@ impl Splendid {
             complete,
             failures: net.client.report(fed),
         })
+    }
+
+    /// [`Splendid::execute`] with request-level tracing.
+    #[deprecated(note = "use `execute_with` with `ExecOptions::default().with_trace(..)`")]
+    pub fn execute_traced(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        trace: &TraceSink,
+    ) -> Result<QueryOutcome, FederationError> {
+        self.execute_with(
+            fed,
+            query,
+            &ExecOptions::default().with_trace(trace.clone()),
+        )
     }
 
     fn execute_inner(
@@ -353,10 +379,19 @@ impl Splendid {
                 order_by: Vec::new(),
                 limit: None,
             };
-            for &ep in srcs {
-                match net.client.select_failover(fed, ep, &q) {
-                    Ok((_, part)) => out.append(part),
-                    Err(_) => loss.store(true, Ordering::Relaxed),
+            let tasks: Vec<(EndpointId, ())> = srcs.iter().map(|&ep| (ep, ())).collect();
+            let results = net.handler.run(fed, tasks, |ep_id, _, _| {
+                match net.client.select_failover(fed, ep_id, &q) {
+                    Ok((_, part)) => Some(part),
+                    Err(_) => {
+                        loss.store(true, Ordering::Relaxed);
+                        None
+                    }
+                }
+            });
+            for (_, _, part) in results {
+                if let Some(part) = part {
+                    out.append(part);
                 }
             }
         }
@@ -388,17 +423,13 @@ impl FederatedEngine for Splendid {
         "SPLENDID"
     }
 
-    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
-        self.execute(fed, query)
-    }
-
-    fn run_traced(
+    fn run_with(
         &self,
         fed: &Federation,
         query: &Query,
-        sink: &TraceSink,
+        opts: &ExecOptions,
     ) -> Result<QueryOutcome, FederationError> {
-        self.execute_traced(fed, query, sink)
+        self.execute_with(fed, query, opts)
     }
 
     fn reset(&self) {

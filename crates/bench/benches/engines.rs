@@ -9,6 +9,7 @@
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_benchdata::{lubm, qfed};
 use lusail_core::Lusail;
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::FederatedEngine;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -56,10 +57,10 @@ fn bench_lubm() {
         for (name, engine) in engines(&w) {
             // Warm the caches once so the measurement matches the paper's
             // protocol (source selection cached).
-            let _ = engine.run(&w.federation, query);
+            let _ = engine.run_with(&w.federation, query, &ExecOptions::default());
             bench(&format!("lubm4/{qname}/{name}"), || {
                 engine
-                    .run(&w.federation, query)
+                    .run_with(&w.federation, query, &ExecOptions::default())
                     .expect("non-empty federation")
                     .solutions
                     .len()
@@ -73,10 +74,10 @@ fn bench_qfed() {
     for qname in ["C2P2", "C2P2B", "Drug"] {
         let query = &w.query(qname).query;
         for (name, engine) in engines(&w) {
-            let _ = engine.run(&w.federation, query);
+            let _ = engine.run_with(&w.federation, query, &ExecOptions::default());
             bench(&format!("qfed/{qname}/{name}"), || {
                 engine
-                    .run(&w.federation, query)
+                    .run_with(&w.federation, query, &ExecOptions::default())
                     .expect("non-empty federation")
                     .solutions
                     .len()
@@ -90,9 +91,9 @@ fn bench_lusail_phases() {
     let w = lubm::generate(&lubm::LubmConfig::new(4));
     let q2 = &w.query("Q2").query;
     let lade = Lusail::default();
-    let _ = lade.run(&w.federation, q2);
+    let _ = lade.run_with(&w.federation, q2, &ExecOptions::default());
     bench("ablation/lade_q2/with_lade", || {
-        lade.run(&w.federation, q2)
+        lade.run_with(&w.federation, q2, &ExecOptions::default())
             .expect("non-empty federation")
             .solutions
             .len()
@@ -101,10 +102,10 @@ fn bench_lusail_phases() {
         disable_lade: true,
         ..Default::default()
     });
-    let _ = nolade.run(&w.federation, q2);
+    let _ = nolade.run_with(&w.federation, q2, &ExecOptions::default());
     bench("ablation/lade_q2/without_lade", || {
         nolade
-            .run(&w.federation, q2)
+            .run_with(&w.federation, q2, &ExecOptions::default())
             .expect("non-empty federation")
             .solutions
             .len()

@@ -94,7 +94,7 @@ fn bench_join() {
         let b = solutions(n, ["y", "z"], 1);
         bench(&format!("join/hash_join/{n}"), || a.hash_join(&b).len());
         bench(&format!("join/par_hash_join/{n}"), || {
-            lusail_core::join::par_hash_join(&a, &b, 4, 10_000).len()
+            lusail_core::join::par_hash_join(&a, &b, 4, 4, 10_000).len()
         });
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! lusail-bench run   [--out PATH] [--iters N] [--seed N] [--fixed-clock]
-//!                    [--workload NAME]... [--query NAME]...
+//!                    [--workload NAME]... [--query NAME]... [--threads N]...
 //! lusail-bench check --against PATH [--workload NAME]... [--query NAME]...
+//!                    [--threads N]...
 //! ```
 //!
 //! `run` executes the suite (see `lusail_bench::suite`) and writes the
@@ -14,14 +15,17 @@
 //! the CI smoke `scripts/verify.sh` runs.
 
 use lusail_bench::json;
-use lusail_bench::suite::{check_gate, compare_runs, run_suite, SuiteOptions};
+use lusail_bench::suite::{
+    check_gate, check_thread_invariance, compare_runs, run_suite, SuiteOptions,
+};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: lusail-bench run [--out PATH] [--iters N] [--seed N] [--fixed-clock]\n\
-         \x20                       [--workload NAME]... [--query NAME]...\n\
-         \x20      lusail-bench check --against PATH [--workload NAME]... [--query NAME]..."
+         \x20                       [--workload NAME]... [--query NAME]... [--threads N]...\n\
+         \x20      lusail-bench check --against PATH [--workload NAME]... [--query NAME]...\n\
+         \x20                       [--threads N]..."
     );
     std::process::exit(2);
 }
@@ -70,6 +74,14 @@ fn parse_args() -> Cli {
             "--fixed-clock" => cli.opts.fixed_clock = true,
             "--workload" => cli.opts.workloads.push(need(&mut args, "--workload")),
             "--query" => cli.opts.queries.push(need(&mut args, "--query")),
+            "--threads" => {
+                cli.opts
+                    .threads
+                    .push(need(&mut args, "--threads").parse().unwrap_or_else(|_| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    }))
+            }
             _ => usage(),
         }
     }
@@ -97,6 +109,14 @@ fn cmd_run(cli: &Cli) -> ExitCode {
             println!("wrote {path}");
         }
         None => print!("{text}"),
+    }
+    match check_thread_invariance(&doc) {
+        Ok(0) => {}
+        Ok(n) => println!("thread invariance ok: {n} cross-budget comparison(s)"),
+        Err(e) => {
+            eprintln!("thread invariance FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     // The gate only applies when the scope covers its workloads in full.
     if cli.opts.workloads.is_empty() && cli.opts.queries.is_empty() {
@@ -149,6 +169,14 @@ fn cmd_check(cli: &Cli) -> ExitCode {
         Ok(n) => println!("counters check ok: {n} run(s) reproduced exactly"),
         Err(e) => {
             eprintln!("counters check FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match check_thread_invariance(&fresh) {
+        Ok(0) => {}
+        Ok(n) => println!("thread invariance ok: {n} cross-budget comparison(s)"),
+        Err(e) => {
+            eprintln!("thread invariance FAILED: {e}");
             return ExitCode::FAILURE;
         }
     }

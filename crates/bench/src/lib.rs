@@ -8,6 +8,7 @@
 pub mod json;
 pub mod suite;
 
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::{FederatedEngine, Federation, StatsSnapshot};
 use lusail_sparql::{Query, SolutionSet};
 use std::io::Write as _;
@@ -78,7 +79,7 @@ pub fn run_with_timeout(
         let query = query.clone();
         std::thread::spawn(move || {
             let outcome = engine
-                .run(&fed, &query)
+                .run_with(&fed, &query, &ExecOptions::default())
                 .expect("bench federations are non-empty");
             let _ = tx.send(outcome);
         });
@@ -104,7 +105,7 @@ pub fn run(engine: &dyn FederatedEngine, fed: &Federation, query: &Query) -> Run
     let before = fed.stats_snapshot();
     let start = Instant::now();
     let outcome = engine
-        .run(fed, query)
+        .run_with(fed, query, &ExecOptions::default())
         .expect("bench federations are non-empty");
     RunResult {
         elapsed: start.elapsed(),

@@ -1,8 +1,10 @@
 //! The deterministic benchmark suite behind the `lusail-bench` binary.
 //!
 //! One suite run executes the LUBM, QFed, and Bio2RDF workloads against
-//! all four engines, under an instant federation and an accounting-only
-//! WAN profile (virtual latency, no real sleeps), in two configurations:
+//! all four engines, under an instant federation, an accounting-only
+//! WAN profile (virtual latency, no real sleeps), and — on LUBM only — a
+//! real-sleep WAN profile whose wall times expose what parallel dispatch
+//! overlaps, in two configurations:
 //!
 //! * **baseline** — store-side triple-pattern reordering off, Lusail's
 //!   adaptive `VALUES` sizing off (the pre-optimization engine);
@@ -26,7 +28,7 @@ use crate::json::Value;
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_benchdata::{bio2rdf, lubm, qfed, Workload};
 use lusail_core::{Lusail, LusailConfig, QueryTrace, RequestKind, TraceSink};
-use lusail_endpoint::{FederatedEngine, ManualClock, NetworkProfile, StatsSnapshot};
+use lusail_endpoint::{ExecOptions, FederatedEngine, ManualClock, NetworkProfile, StatsSnapshot};
 use std::time::{Duration, Instant};
 
 /// Schema tag stamped into every report.
@@ -35,9 +37,13 @@ pub const SCHEMA: &str = "lusail-bench/v1";
 /// The workload axis.
 pub const WORKLOADS: [&str; 3] = ["lubm", "qfed", "bio2rdf"];
 
-/// The network-profile axis: an instant federation and an accounting-only
-/// WAN (40 ms RTT, 10 Mbit/s — virtual time only, no real sleeps).
-pub const PROFILES: [&str; 2] = ["instant", "wan-sim"];
+/// The network-profile axis: an instant federation, an accounting-only
+/// WAN (40 ms RTT, 10 Mbit/s — virtual time only, no real sleeps), and a
+/// scaled-down WAN that *really* sleeps (0.3 ms per request) so wall
+/// times reflect wire latency that parallel dispatch can overlap. The
+/// real-sleep profile only runs on the LUBM workload to bound suite
+/// runtime (the bound-join baselines issue thousands of requests).
+pub const PROFILES: [&str; 3] = ["instant", "wan-sim", "wan-real"];
 
 /// The configuration axis (see module docs).
 pub const CONFIGS: [&str; 2] = ["baseline", "optimized"];
@@ -59,6 +65,10 @@ pub struct SuiteOptions {
     pub workloads: Vec<String>,
     /// Query-name filter (empty = all queries of each workload).
     pub queries: Vec<String>,
+    /// Worker budgets to run each query at (empty = just 1, today's
+    /// sequential behavior). Every budget is a full run axis; counters
+    /// must be byte-identical across budgets ([`check_thread_invariance`]).
+    pub threads: Vec<usize>,
 }
 
 impl Default for SuiteOptions {
@@ -69,6 +79,7 @@ impl Default for SuiteOptions {
             fixed_clock: false,
             workloads: Vec::new(),
             queries: Vec::new(),
+            threads: Vec::new(),
         }
     }
 }
@@ -80,6 +91,14 @@ impl SuiteOptions {
 
     fn wants_query(&self, name: &str) -> bool {
         self.queries.is_empty() || self.queries.iter().any(|q| q.eq_ignore_ascii_case(name))
+    }
+
+    fn thread_list(&self) -> Vec<usize> {
+        if self.threads.is_empty() {
+            vec![1]
+        } else {
+            self.threads.clone()
+        }
     }
 }
 
@@ -93,11 +112,24 @@ fn wan_sim() -> NetworkProfile {
     }
 }
 
+/// The real-sleep WAN profile: a scaled-down per-request latency that is
+/// actually slept, so wall-clock medians feel wire time. Virtual-time
+/// accounting uses the same formula as the sleep itself, so counters stay
+/// byte-identical across worker budgets; only wall times move.
+fn wan_real() -> NetworkProfile {
+    NetworkProfile {
+        latency: Duration::from_micros(300),
+        bandwidth_bytes_per_sec: None,
+        sleep: true,
+    }
+}
+
 /// Builds one workload under one network profile, folding the suite seed
 /// into the generator seed.
 fn build_workload(name: &str, profile: &str, seed: u64) -> Workload {
     let profiles = |n: usize| match profile {
         "instant" => None,
+        "wan-real" => Some(vec![wan_real(); n]),
         _ => Some(vec![wan_sim(); n]),
     };
     match name {
@@ -189,12 +221,16 @@ fn traced_run(
     query: &lusail_sparql::Query,
     optimized: bool,
     fixed_clock: bool,
+    threads: usize,
 ) -> Counters {
     let engine = build_engine(engine_name, workload, optimized, fixed_clock);
     let sink = TraceSink::enabled();
     let before = workload.federation.stats_snapshot();
+    let opts = ExecOptions::default()
+        .with_threads(threads)
+        .with_trace(sink.clone());
     let outcome = engine
-        .run_traced(&workload.federation, query, &sink)
+        .run_with(&workload.federation, query, &opts)
         .expect("bench federations are non-empty");
     let window = workload.federation.stats_snapshot().since(&before);
     let trace = QueryTrace::from_sink(&sink);
@@ -220,6 +256,7 @@ fn wall_stats(mut ms: Vec<f64>) -> (f64, f64) {
 
 /// Runs the full suite and returns the report document.
 pub fn run_suite(opts: &SuiteOptions) -> Value {
+    let thread_list = opts.thread_list();
     let mut runs: Vec<Value> = Vec::new();
     // Aggregated (rows_scanned, total_requests, select_requests) per
     // (workload, engine, config), summed over profiles and queries.
@@ -230,6 +267,10 @@ pub fn run_suite(opts: &SuiteOptions) -> Value {
             continue;
         }
         for profile in PROFILES {
+            // The real-sleep profile only runs on LUBM (see PROFILES doc).
+            if profile == "wan-real" && workload_name != "lubm" {
+                continue;
+            }
             for config in CONFIGS {
                 let optimized = config == "optimized";
                 // A fresh federation per pass: counters start cold and the
@@ -243,60 +284,75 @@ pub fn run_suite(opts: &SuiteOptions) -> Value {
                         if !opts.wants_query(&nq.name) {
                             continue;
                         }
-                        let counters = traced_run(
-                            engine_name,
-                            &workload,
-                            &nq.query,
-                            optimized,
-                            opts.fixed_clock,
-                        );
-                        let mut ms = Vec::with_capacity(opts.iters.max(1));
-                        for _ in 0..opts.iters.max(1) {
-                            let engine =
-                                build_engine(engine_name, &workload, optimized, opts.fixed_clock);
-                            let start = Instant::now();
-                            let _ = engine
-                                .run(&workload.federation, &nq.query)
-                                .expect("bench federations are non-empty");
-                            ms.push(start.elapsed().as_secs_f64() * 1e3);
-                        }
-                        let (median, p95) = wall_stats(ms);
-
-                        let mut run = Value::object();
-                        run.set("workload", Value::Str(workload_name.into()));
-                        run.set("profile", Value::Str(profile.into()));
-                        run.set("config", Value::Str(config.into()));
-                        run.set("engine", Value::Str(engine_name.into()));
-                        run.set("query", Value::Str(nq.name.clone()));
-                        run.set("rows", Value::U64(counters.rows as u64));
-                        run.set("complete", Value::Bool(counters.complete));
-                        run.set("counters", counters_value(&counters));
-                        let mut wall = Value::object();
-                        wall.set("median_ms", Value::F64(median));
-                        wall.set("p95_ms", Value::F64(p95));
-                        run.set("wall", wall);
-                        runs.push(run);
-
-                        let key = (
-                            workload_name.to_string(),
-                            engine_name.to_string(),
-                            config.to_string(),
-                        );
-                        let delta = [
-                            counters.window.rows_scanned,
-                            counters.window.total_requests(),
-                            counters.window.select_requests,
-                        ];
-                        match totals
-                            .iter_mut()
-                            .find(|(w, e, c, _)| (w, e, c) == (&key.0, &key.1, &key.2))
-                        {
-                            Some((_, _, _, sums)) => {
-                                for (s, d) in sums.iter_mut().zip(delta) {
-                                    *s += d;
-                                }
+                        for (ti, &threads) in thread_list.iter().enumerate() {
+                            let counters = traced_run(
+                                engine_name,
+                                &workload,
+                                &nq.query,
+                                optimized,
+                                opts.fixed_clock,
+                                threads,
+                            );
+                            let exec = ExecOptions::default().with_threads(threads);
+                            let mut ms = Vec::with_capacity(opts.iters.max(1));
+                            for _ in 0..opts.iters.max(1) {
+                                let engine = build_engine(
+                                    engine_name,
+                                    &workload,
+                                    optimized,
+                                    opts.fixed_clock,
+                                );
+                                let start = Instant::now();
+                                let _ = engine
+                                    .run_with(&workload.federation, &nq.query, &exec)
+                                    .expect("bench federations are non-empty");
+                                ms.push(start.elapsed().as_secs_f64() * 1e3);
                             }
-                            None => totals.push((key.0, key.1, key.2, delta)),
+                            let (median, p95) = wall_stats(ms);
+
+                            let mut run = Value::object();
+                            run.set("workload", Value::Str(workload_name.into()));
+                            run.set("profile", Value::Str(profile.into()));
+                            run.set("config", Value::Str(config.into()));
+                            run.set("engine", Value::Str(engine_name.into()));
+                            run.set("query", Value::Str(nq.name.clone()));
+                            run.set("threads", Value::U64(threads as u64));
+                            run.set("rows", Value::U64(counters.rows as u64));
+                            run.set("complete", Value::Bool(counters.complete));
+                            run.set("counters", counters_value(&counters));
+                            let mut wall = Value::object();
+                            wall.set("median_ms", Value::F64(median));
+                            wall.set("p95_ms", Value::F64(p95));
+                            run.set("wall", wall);
+                            runs.push(run);
+
+                            // The aggregate totals feed the rows-scanned
+                            // gate; count each query once (budgets are
+                            // counter-identical by contract anyway).
+                            if ti > 0 {
+                                continue;
+                            }
+                            let key = (
+                                workload_name.to_string(),
+                                engine_name.to_string(),
+                                config.to_string(),
+                            );
+                            let delta = [
+                                counters.window.rows_scanned,
+                                counters.window.total_requests(),
+                                counters.window.select_requests,
+                            ];
+                            match totals
+                                .iter_mut()
+                                .find(|(w, e, c, _)| (w, e, c) == (&key.0, &key.1, &key.2))
+                            {
+                                Some((_, _, _, sums)) => {
+                                    for (s, d) in sums.iter_mut().zip(delta) {
+                                        *s += d;
+                                    }
+                                }
+                                None => totals.push((key.0, key.1, key.2, delta)),
+                            }
                         }
                     }
                 }
@@ -337,6 +393,10 @@ pub fn run_suite(opts: &SuiteOptions) -> Value {
     doc.set("seed", Value::U64(opts.seed));
     doc.set("iters", Value::U64(opts.iters as u64));
     doc.set("fixed_clock", Value::Bool(opts.fixed_clock));
+    doc.set(
+        "threads",
+        Value::Array(thread_list.iter().map(|&t| Value::U64(t as u64)).collect()),
+    );
     doc.set("runs", Value::Array(runs));
     doc.set("aggregates", Value::Array(aggregates));
     doc
@@ -417,11 +477,15 @@ pub fn check_gate(doc: &Value) -> Result<Vec<String>, String> {
 /// are ignored; a run in scope but missing from the baseline is an error.
 pub fn compare_runs(fresh: &Value, baseline: &Value) -> Result<usize, String> {
     let identity = |run: &Value| -> String {
-        ["workload", "profile", "config", "engine", "query"]
+        let mut id = ["workload", "profile", "config", "engine", "query"]
             .iter()
             .map(|k| run.get(k).and_then(Value::as_str).unwrap_or("?"))
             .collect::<Vec<_>>()
-            .join("/")
+            .join("/");
+        // Legacy baselines predate the threads axis: absent means 1.
+        let threads = run.get("threads").and_then(Value::as_u64).unwrap_or(1);
+        id.push_str(&format!("/t{threads}"));
+        id
     };
     let fresh_runs = fresh
         .get("runs")
@@ -457,6 +521,51 @@ pub fn compare_runs(fresh: &Value, baseline: &Value) -> Result<usize, String> {
     Ok(compared)
 }
 
+/// The parallel-determinism gate: every run identity
+/// (workload/profile/config/engine/query) that appears at more than one
+/// worker budget must have byte-identical rows, completeness, and
+/// counters across all of its budgets. Returns the number of cross-budget
+/// comparisons made (0 when the report has a single budget).
+pub fn check_thread_invariance(doc: &Value) -> Result<usize, String> {
+    let runs = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("report has no runs")?;
+    let identity = |run: &Value| -> String {
+        ["workload", "profile", "config", "engine", "query"]
+            .iter()
+            .map(|k| run.get(k).and_then(Value::as_str).unwrap_or("?"))
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+    let payload = |run: &Value| -> String {
+        ["rows", "complete", "counters"]
+            .iter()
+            .map(|k| counters_section(run.get(k).unwrap_or(&Value::Null)).render())
+            .collect::<Vec<_>>()
+            .join("")
+    };
+    let mut seen: Vec<(String, u64, String)> = Vec::new();
+    let mut compared = 0;
+    for run in runs {
+        let id = identity(run);
+        let threads = run.get("threads").and_then(Value::as_u64).unwrap_or(1);
+        let got = payload(run);
+        match seen.iter().find(|(i, _, _)| *i == id) {
+            Some((_, base_threads, want)) => {
+                if got != *want {
+                    return Err(format!(
+                        "run {id}: counters at threads={threads} diverge from                          threads={base_threads} — the parallel executor leaked                          nondeterminism into the work counters"
+                    ));
+                }
+                compared += 1;
+            }
+            None => seen.push((id, threads, got)),
+        }
+    }
+    Ok(compared)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,7 +577,32 @@ mod tests {
             fixed_clock: true,
             workloads: vec!["lubm".into()],
             queries: vec!["Q1".into(), "Q4".into()],
+            threads: Vec::new(),
         }
+    }
+
+    #[test]
+    fn thread_axis_runs_are_byte_identical_in_counters() {
+        let mut opts = small_scope();
+        opts.threads = vec![1, 4];
+        let doc = run_suite(&opts);
+        let n = check_thread_invariance(&doc).unwrap();
+        assert!(n > 0, "two budgets must produce cross-budget comparisons");
+        // Tamper with one run's counters: the gate must fail.
+        let mut tampered = doc.clone();
+        if let Some(Value::Array(mut runs)) = tampered.get("runs").cloned() {
+            if let Some(run) = runs
+                .iter_mut()
+                .find(|r| r.get("threads").and_then(Value::as_u64) == Some(4))
+            {
+                if let Some(mut c) = run.get("counters").cloned() {
+                    c.set("rows_scanned", Value::U64(u64::MAX));
+                    run.set("counters", c);
+                }
+            }
+            tampered.set("runs", Value::Array(runs));
+        }
+        assert!(check_thread_invariance(&tampered).is_err());
     }
 
     #[test]

@@ -24,8 +24,8 @@ use crate::metrics::QueryMetrics;
 use crate::source_selection::{select_sources, SourceMap};
 use crate::subquery::Subquery;
 use lusail_endpoint::{
-    Clock, EndpointFailure, EndpointId, Federation, FederationError, QueryOutcome, RequestPolicy,
-    SystemClock, TraceEvent, TraceSink,
+    Clock, EndpointFailure, EndpointId, ExecOptions, Federation, FederationError, QueryOutcome,
+    RequestPolicy, SystemClock, TraceEvent, TraceSink,
 };
 use lusail_sparql::ast::{Expression, GroupPattern, Query};
 use lusail_sparql::SolutionSet;
@@ -184,13 +184,24 @@ impl Lusail {
     /// A fresh per-query network context: endpoint death (tripped circuit)
     /// and degradation counters are scoped to one query.
     pub(crate) fn fresh_net(&self) -> Net {
-        self.fresh_net_traced(TraceSink::disabled())
+        self.fresh_net_with(&ExecOptions::default())
     }
 
-    /// [`Lusail::fresh_net`] with a trace sink threaded through the
-    /// request client and handler.
-    pub(crate) fn fresh_net_traced(&self, trace: TraceSink) -> Net {
-        Net::build(self.policy, self.timing_clock(), trace)
+    /// [`Lusail::fresh_net`] configured from per-call [`ExecOptions`]:
+    /// the trace sink and worker budget are threaded through the request
+    /// client and handler, and an options deadline overrides the policy's
+    /// `query_budget` for this query.
+    pub(crate) fn fresh_net_with(&self, opts: &ExecOptions) -> Net {
+        let mut policy = self.policy;
+        if let Some(deadline) = opts.deadline {
+            policy.query_budget = deadline;
+        }
+        Net::build(
+            policy,
+            self.timing_clock(),
+            opts.trace.clone(),
+            opts.thread_budget(),
+        )
     }
 
     /// The clock phase timings (and retry backoff) are measured against:
@@ -233,33 +244,52 @@ impl Lusail {
         (!net.degradation.data_loss(), report)
     }
 
-    /// Executes a query against the federation. Endpoint failures degrade
-    /// gracefully (see [`QueryResult::complete`]); only federation-level
-    /// misuse is an `Err`.
+    /// Executes a query against the federation with default options.
+    /// Endpoint failures degrade gracefully (see
+    /// [`QueryResult::complete`]); only federation-level misuse is an
+    /// `Err`.
     pub fn execute(&self, fed: &Federation, query: &Query) -> Result<QueryResult, FederationError> {
-        self.execute_traced(fed, query, &TraceSink::disabled())
+        self.execute_with(fed, query, &ExecOptions::default())
     }
 
-    /// [`Lusail::execute`] with structured tracing: every remote request,
-    /// planning decision, and join step is recorded into `trace` (a no-op
-    /// when the sink is disabled). The final event of an enabled trace is
-    /// always [`TraceEvent::QueryFinished`].
+    /// [`Lusail::execute`] under explicit [`ExecOptions`]: structured
+    /// tracing (every remote request, planning decision, and join step is
+    /// recorded into `opts.trace`; a no-op when the sink is disabled), the
+    /// worker-thread budget for dispatch and joins, and an optional
+    /// per-query deadline. The final event of an enabled trace is always
+    /// [`TraceEvent::QueryFinished`]. Results, work counters, and traces
+    /// are byte-identical at every thread budget.
+    pub fn execute_with(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        opts: &ExecOptions,
+    ) -> Result<QueryResult, FederationError> {
+        if fed.is_empty() {
+            return Err(FederationError::EmptyFederation);
+        }
+        let net = self.fresh_net_with(opts);
+        let result = self.execute_with_net(fed, query, &net);
+        opts.trace.emit(|| TraceEvent::QueryFinished {
+            rows: result.solutions.len(),
+            complete: result.complete,
+        });
+        Ok(result)
+    }
+
+    /// [`Lusail::execute`] with structured tracing.
+    #[deprecated(note = "use `execute_with` with `ExecOptions::default().with_trace(..)`")]
     pub fn execute_traced(
         &self,
         fed: &Federation,
         query: &Query,
         trace: &TraceSink,
     ) -> Result<QueryResult, FederationError> {
-        if fed.is_empty() {
-            return Err(FederationError::EmptyFederation);
-        }
-        let net = self.fresh_net_traced(trace.clone());
-        let result = self.execute_with_net(fed, query, &net);
-        trace.emit(|| TraceEvent::QueryFinished {
-            rows: result.solutions.len(),
-            complete: result.complete,
-        });
-        Ok(result)
+        self.execute_with(
+            fed,
+            query,
+            &ExecOptions::default().with_trace(trace.clone()),
+        )
     }
 
     fn execute_with_net(&self, fed: &Federation, query: &Query, net: &Net) -> QueryResult {
@@ -421,6 +451,7 @@ impl Lusail {
             block_size: self.config.block_size,
             parallel_join_threshold: self.config.parallel_join_threshold,
             adaptive_values: self.config.adaptive_values,
+            threads: net.threads,
             ..ExecConfig::default()
         };
         let (mut solutions, report) = evaluate_subqueries(fed, net, &subqueries, &costs, &exec_cfg);
@@ -512,6 +543,7 @@ impl Lusail {
             block_size: self.config.block_size,
             parallel_join_threshold: self.config.parallel_join_threshold,
             adaptive_values: self.config.adaptive_values,
+            threads: net.threads,
             ..ExecConfig::default()
         };
         let (solutions, _) = evaluate_subqueries(fed, net, &subqueries, &costs, &exec_cfg);
@@ -606,22 +638,13 @@ impl lusail_endpoint::FederatedEngine for Lusail {
         "Lusail"
     }
 
-    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
-        let result = self.execute(fed, query)?;
-        Ok(QueryOutcome {
-            solutions: result.solutions,
-            complete: result.complete,
-            failures: result.failures,
-        })
-    }
-
-    fn run_traced(
+    fn run_with(
         &self,
         fed: &Federation,
         query: &Query,
-        sink: &TraceSink,
+        opts: &ExecOptions,
     ) -> Result<QueryOutcome, FederationError> {
-        let result = self.execute_traced(fed, query, sink)?;
+        let result = self.execute_with(fed, query, opts)?;
         Ok(QueryOutcome {
             solutions: result.solutions,
             complete: result.complete,

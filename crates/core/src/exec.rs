@@ -32,31 +32,57 @@ use lusail_sparql::SolutionSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Executes batches of per-endpoint tasks with one worker per endpoint.
-#[derive(Default)]
+/// Executes batches of per-endpoint tasks on a bounded pool of scoped
+/// worker threads.
 pub struct RequestHandler {
     trace: TraceSink,
+    threads: usize,
+}
+
+impl Default for RequestHandler {
+    fn default() -> Self {
+        RequestHandler::new()
+    }
 }
 
 impl RequestHandler {
-    /// Creates a request handler with tracing disabled.
+    /// Creates a request handler with tracing disabled and a single
+    /// (inline) worker.
     pub fn new() -> Self {
-        RequestHandler {
-            trace: TraceSink::disabled(),
-        }
+        RequestHandler::with_threads(TraceSink::disabled(), 1)
     }
 
     /// Creates a request handler that records one
-    /// [`TraceEvent::Dispatch`] per task batch into `trace`.
+    /// [`TraceEvent::Dispatch`] per task batch into `trace`, with a
+    /// single (inline) worker.
     pub fn traced(trace: TraceSink) -> Self {
-        RequestHandler { trace }
+        RequestHandler::with_threads(trace, 1)
+    }
+
+    /// Creates a request handler with an explicit worker-thread budget.
+    /// A budget of `1` processes every endpoint group inline, in
+    /// submission order, with no thread overhead.
+    pub fn with_threads(trace: TraceSink, threads: usize) -> Self {
+        RequestHandler {
+            trace,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Runs every `(endpoint, task)` pair, returning `(endpoint, task,
     /// result)` triples. Tasks for one endpoint run serially on that
-    /// endpoint's worker thread; distinct endpoints run in parallel. The
-    /// callback receives the endpoint's id so it can route the request
-    /// through a [`ResilientClient`].
+    /// endpoint's worker, so the per-endpoint request subsequence is
+    /// identical at every thread budget; distinct endpoints run in
+    /// parallel up to the budget. Results are merged in a deterministic
+    /// order — grouped by endpoint in first-submission order — so output
+    /// bytes never depend on thread scheduling. The callback receives the
+    /// endpoint's id so it can route the request through a
+    /// [`ResilientClient`].
     pub fn run<T, R, F>(
         &self,
         fed: &Federation,
@@ -84,40 +110,55 @@ impl RequestHandler {
             tasks: n_tasks,
             endpoints: by_ep.len(),
         });
-        if by_ep.len() == 1 {
-            // Single endpoint: run inline, no thread overhead.
-            let (ep_id, ts) = by_ep.pop().unwrap();
+        let run_group = |ep_id: EndpointId, ts: Vec<T>| -> Vec<(EndpointId, T, R)> {
             let ep = fed.endpoint(ep_id);
-            return ts
-                .into_iter()
+            ts.into_iter()
                 .map(|t| {
                     let r = f(ep_id, ep, &t);
                     (ep_id, t, r)
                 })
-                .collect();
+                .collect()
+        };
+        let workers = self.threads.min(by_ep.len());
+        if workers <= 1 {
+            // Sequential path (budget 1, or a single endpoint group):
+            // process groups inline in submission order.
+            let mut out = Vec::with_capacity(n_tasks);
+            for (ep_id, ts) in by_ep {
+                out.extend(run_group(ep_id, ts));
+            }
+            return out;
         }
-        let f = &f;
-        let mut out = Vec::new();
+        // Static round-robin assignment of endpoint groups to workers:
+        // worker w owns groups w, w + workers, w + 2·workers, … and runs
+        // its groups serially in order. After joining, slots are sorted by
+        // group index, reproducing the sequential merge order exactly.
+        let mut buckets: Vec<Vec<(usize, EndpointId, Vec<T>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (group_idx, (ep_id, ts)) in by_ep.into_iter().enumerate() {
+            buckets[group_idx % workers].push((group_idx, ep_id, ts));
+        }
+        let run_group = &run_group;
+        type Slot<T, R> = (usize, Vec<(EndpointId, T, R)>);
+        let mut slots: Vec<Slot<T, R>> = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = by_ep
+            let handles: Vec<_> = buckets
                 .into_iter()
-                .map(|(ep_id, ts)| {
-                    let ep = fed.endpoint(ep_id);
+                .map(|bucket| {
                     scope.spawn(move || {
-                        ts.into_iter()
-                            .map(|t| {
-                                let r = f(ep_id, ep, &t);
-                                (ep_id, t, r)
-                            })
+                        bucket
+                            .into_iter()
+                            .map(|(group_idx, ep_id, ts)| (group_idx, run_group(ep_id, ts)))
                             .collect::<Vec<_>>()
                     })
                 })
                 .collect();
             for h in handles {
-                out.extend(h.join().expect("endpoint worker panicked"));
+                slots.extend(h.join().expect("endpoint worker panicked"));
             }
         });
-        out
+        slots.sort_by_key(|(group_idx, _)| *group_idx);
+        slots.into_iter().flat_map(|(_, group)| group).collect()
     }
 }
 
@@ -155,7 +196,7 @@ impl Degradation {
 /// [`ResilientClient`] (whose tripped-endpoint state lives exactly as long
 /// as one query), and the [`Degradation`] scoreboard.
 pub struct Net {
-    /// Thread-per-endpoint scheduler.
+    /// Budgeted per-endpoint scheduler.
     pub handler: RequestHandler,
     /// Retry/backoff/trip layer all remote calls go through.
     pub client: ResilientClient,
@@ -163,6 +204,9 @@ pub struct Net {
     pub degradation: Degradation,
     /// The trace sink the whole context emits into (disabled by default).
     pub trace: TraceSink,
+    /// The worker-thread budget shared by endpoint dispatch and
+    /// partitioned hash joins (`1` = fully sequential).
+    pub threads: usize,
 }
 
 impl Default for Net {
@@ -172,28 +216,37 @@ impl Default for Net {
 }
 
 impl Net {
-    /// A context over the real clock.
+    /// A single-threaded context over the real clock.
     pub fn new(policy: RequestPolicy) -> Self {
         Net::build(
             policy,
             Arc::new(SystemClock::default()),
             TraceSink::disabled(),
+            1,
         )
     }
 
-    /// A context over an injected clock (tests).
+    /// A single-threaded context over an injected clock (tests).
     pub fn with_clock(policy: RequestPolicy, clock: Arc<dyn Clock>) -> Self {
-        Net::build(policy, clock, TraceSink::disabled())
+        Net::build(policy, clock, TraceSink::disabled(), 1)
     }
 
-    /// A context over an injected clock and trace sink: the handler and
-    /// client share the sink, so one enabled sink sees the whole query.
-    pub fn build(policy: RequestPolicy, clock: Arc<dyn Clock>, trace: TraceSink) -> Self {
+    /// A context over an injected clock, trace sink, and worker budget:
+    /// the handler and client share the sink, so one enabled sink sees the
+    /// whole query.
+    pub fn build(
+        policy: RequestPolicy,
+        clock: Arc<dyn Clock>,
+        trace: TraceSink,
+        threads: usize,
+    ) -> Self {
+        let threads = threads.max(1);
         Net {
-            handler: RequestHandler::traced(trace.clone()),
+            handler: RequestHandler::with_threads(trace.clone(), threads),
             client: ResilientClient::traced(policy, clock, trace.clone()),
             degradation: Degradation::default(),
             trace,
+            threads,
         }
     }
 
@@ -235,6 +288,8 @@ pub struct ExecConfig {
     pub values_target_rows: usize,
     /// Upper bound on an adapted block size.
     pub max_block_size: usize,
+    /// Worker-thread budget for partitioned hash joins (`1` = sequential).
+    pub threads: usize,
 }
 
 impl Default for ExecConfig {
@@ -245,6 +300,7 @@ impl Default for ExecConfig {
             adaptive_values: true,
             values_target_rows: 1024,
             max_block_size: 4096,
+            threads: 1,
         }
     }
 }
@@ -340,7 +396,12 @@ pub fn evaluate_subqueries(
     }
 
     // Join whatever is joinable so the found bindings are already reduced.
-    let mut components = join_components(relations, config.parallel_join_threshold, &net.trace);
+    let mut components = join_components(
+        relations,
+        config.parallel_join_threshold,
+        config.threads,
+        &net.trace,
+    );
 
     // Phase 2: delayed subqueries, most selective (refined) first.
     while !delayed_idx.is_empty() {
@@ -433,7 +494,12 @@ pub fn evaluate_subqueries(
             partitions: relation.partitions,
         });
         components.push(relation);
-        components = join_components(components, config.parallel_join_threshold, &net.trace);
+        components = join_components(
+            components,
+            config.parallel_join_threshold,
+            config.threads,
+            &net.trace,
+        );
     }
 
     // Cross-join any genuinely disconnected components.
@@ -447,7 +513,13 @@ pub fn evaluate_subqueries(
     };
     for r in iter {
         let (left_rows, right_rows) = (acc.len(), r.sols.len());
-        acc = par_hash_join(&acc, &r.sols, 1, config.parallel_join_threshold);
+        acc = par_hash_join(
+            &acc,
+            &r.sols,
+            1,
+            config.threads,
+            config.parallel_join_threshold,
+        );
         net.trace.emit(|| TraceEvent::JoinStep {
             left_rows,
             right_rows,

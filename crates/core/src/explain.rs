@@ -199,8 +199,23 @@ impl Lusail {
         fed: &Federation,
         query: &Query,
     ) -> Result<String, FederationError> {
+        self.explain_analyze_with(fed, query, &lusail_endpoint::ExecOptions::default())
+    }
+
+    /// [`Lusail::explain_analyze`] under explicit
+    /// [`ExecOptions`](lusail_endpoint::ExecOptions): the query runs with
+    /// the given worker budget and deadline, with tracing force-enabled
+    /// (any sink in `opts.trace` is replaced by the report's own). The
+    /// rendered report is byte-identical at every thread budget.
+    pub fn explain_analyze_with(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        opts: &lusail_endpoint::ExecOptions,
+    ) -> Result<String, FederationError> {
         let sink = TraceSink::enabled();
-        let result = self.execute_traced(fed, query, &sink)?;
+        let opts = opts.clone().with_trace(sink.clone());
+        let result = self.execute_with(fed, query, &opts)?;
         let trace = QueryTrace::from_sink(&sink);
         Ok(render_analyze(&trace, Some(&result.metrics)))
     }
@@ -665,7 +680,8 @@ result: 1 rows  complete: true
         let f = delayed_fed();
         let q = delayed_query(&f);
         let sink = TraceSink::disabled();
-        let result = Lusail::default().execute_traced(&f, &q, &sink).unwrap();
+        let opts = lusail_endpoint::ExecOptions::default().with_trace(sink.clone());
+        let result = Lusail::default().execute_with(&f, &q, &opts).unwrap();
         assert!(!result.solutions.is_empty());
         // The zero-sink path records (and allocates) nothing.
         assert!(!sink.is_enabled());

@@ -43,12 +43,14 @@ impl Relation {
 /// shared variables) down to a single relation, using DP join ordering
 /// inside each component. Disconnected components are returned separately
 /// — the caller decides whether a cross product is actually needed.
-/// Each executed hash join emits one [`TraceEvent::JoinStep`] into
-/// `trace` with its input/output cardinalities and the `JoinCost` that
-/// ordered it.
+/// `threads` is the worker budget for parallel probing (`1` = fully
+/// sequential joins). Each executed hash join emits one
+/// [`TraceEvent::JoinStep`] into `trace` with its input/output
+/// cardinalities and the `JoinCost` that ordered it.
 pub fn join_components(
     relations: Vec<Relation>,
     parallel_threshold: usize,
+    threads: usize,
     trace: &TraceSink,
 ) -> Vec<Relation> {
     let n = relations.len();
@@ -91,7 +93,7 @@ pub fn join_components(
     }
     components
         .into_iter()
-        .map(|c| join_connected(c, parallel_threshold, trace))
+        .map(|c| join_connected(c, parallel_threshold, threads, trace))
         .collect()
 }
 
@@ -100,22 +102,28 @@ pub fn join_components(
 fn join_connected(
     mut relations: Vec<Relation>,
     parallel_threshold: usize,
+    threads: usize,
     trace: &TraceSink,
 ) -> Relation {
     if relations.len() == 1 {
         return relations.pop().unwrap();
     }
     if relations.len() <= 12 {
-        dp_join(relations, parallel_threshold, trace)
+        dp_join(relations, parallel_threshold, threads, trace)
     } else {
-        greedy_join(relations, parallel_threshold, trace)
+        greedy_join(relations, parallel_threshold, threads, trace)
     }
 }
 
 /// Bushy DP over subsets: `best[mask]` is the cheapest plan joining the
 /// relations in `mask`, considering only connected splits (no cross
 /// products within a component).
-fn dp_join(relations: Vec<Relation>, parallel_threshold: usize, trace: &TraceSink) -> Relation {
+fn dp_join(
+    relations: Vec<Relation>,
+    parallel_threshold: usize,
+    threads: usize,
+    trace: &TraceSink,
+) -> Relation {
     #[derive(Clone)]
     struct Plan {
         cost: f64,
@@ -205,7 +213,7 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize, trace: &TraceSin
     // mask (shouldn't happen for a connected component), fall back to
     // greedy.
     if !plans.contains_key(&full) {
-        return greedy_join(relations, parallel_threshold, trace);
+        return greedy_join(relations, parallel_threshold, threads, trace);
     }
 
     fn execute(
@@ -213,6 +221,7 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize, trace: &TraceSin
         plans: &FxHashMap<u32, Plan>,
         relations: &mut [Option<Relation>],
         threshold: usize,
+        threads: usize,
         trace: &TraceSink,
     ) -> Relation {
         let plan = &plans[&mask];
@@ -224,10 +233,10 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize, trace: &TraceSin
                 relations[i].take().expect("leaf used once")
             }
             Some((l, r)) => {
-                let left = execute(l, plans, relations, threshold, trace);
-                let right = execute(r, plans, relations, threshold, trace);
+                let left = execute(l, plans, relations, threshold, threads, trace);
+                let right = execute(r, plans, relations, threshold, threads, trace);
                 let partitions = left.partitions.max(right.partitions);
-                let sols = par_hash_join(&left.sols, &right.sols, partitions, threshold);
+                let sols = par_hash_join(&left.sols, &right.sols, partitions, threads, threshold);
                 trace.emit(|| TraceEvent::JoinStep {
                     left_rows: left.sols.len(),
                     right_rows: right.sols.len(),
@@ -240,7 +249,7 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize, trace: &TraceSin
         }
     }
     let mut slots: Vec<Option<Relation>> = relations.into_iter().map(Some).collect();
-    execute(full, &plans, &mut slots, parallel_threshold, trace)
+    execute(full, &plans, &mut slots, parallel_threshold, threads, trace)
 }
 
 /// Greedy fallback: repeatedly join the connected pair with the smallest
@@ -248,6 +257,7 @@ fn dp_join(relations: Vec<Relation>, parallel_threshold: usize, trace: &TraceSin
 fn greedy_join(
     mut relations: Vec<Relation>,
     parallel_threshold: usize,
+    threads: usize,
     trace: &TraceSink,
 ) -> Relation {
     while relations.len() > 1 {
@@ -269,7 +279,7 @@ fn greedy_join(
             let a = relations.remove(0);
             let cost = a.work() + b.work();
             let partitions = a.partitions.max(b.partitions);
-            let sols = par_hash_join(&a.sols, &b.sols, partitions, parallel_threshold);
+            let sols = par_hash_join(&a.sols, &b.sols, partitions, threads, parallel_threshold);
             trace.emit(|| TraceEvent::JoinStep {
                 left_rows: a.sols.len(),
                 right_rows: b.sols.len(),
@@ -283,7 +293,7 @@ fn greedy_join(
         let a = relations.remove(i);
         let cost = a.work() + b.work();
         let partitions = a.partitions.max(b.partitions);
-        let sols = par_hash_join(&a.sols, &b.sols, partitions, parallel_threshold);
+        let sols = par_hash_join(&a.sols, &b.sols, partitions, threads, parallel_threshold);
         trace.emit(|| TraceEvent::JoinStep {
             left_rows: a.sols.len(),
             right_rows: b.sols.len(),
@@ -302,14 +312,20 @@ fn greedy_join(
 }
 
 /// Hash join with parallel probing: the probe side is split into chunks
-/// processed by scoped threads against a shared build table. Falls back
-/// to the sequential [`SolutionSet::hash_join`] when the inputs are small
-/// or any join-key cell is unbound (the rare OPTIONAL-produced case, which
-/// needs the compatibility fallback).
+/// processed by scoped threads against a shared build table. `threads` is
+/// the worker budget; the effective worker count is
+/// `partitions.min(threads)`, so a budget of `1` is always the sequential
+/// path. Output rows are concatenated in chunk order, which is exactly the
+/// probe-row order the sequential [`SolutionSet::hash_join`] produces —
+/// the result bytes are identical at every budget. Falls back to the
+/// sequential join when the inputs are small or any join-key cell is
+/// unbound (the rare OPTIONAL-produced case, which needs the
+/// compatibility fallback).
 pub fn par_hash_join(
     a: &SolutionSet,
     b: &SolutionSet,
     partitions: usize,
+    threads: usize,
     threshold: usize,
 ) -> SolutionSet {
     let shared: Vec<String> = a
@@ -318,9 +334,7 @@ pub fn par_hash_join(
         .filter(|v| b.col(v).is_some())
         .cloned()
         .collect();
-    let threads = partitions
-        .max(1)
-        .min(std::thread::available_parallelism().map_or(4, |n| n.get()));
+    let threads = partitions.max(1).min(threads.max(1));
     if shared.is_empty() || threads == 1 || a.len().max(b.len()) < threshold {
         return a.hash_join(b);
     }
@@ -434,7 +448,7 @@ mod tests {
         let a = rel(&["x", "y"], vec![vec![1, 10], vec![2, 20]], 1);
         let b = rel(&["y", "z"], vec![vec![10, 100], vec![20, 200]], 1);
         let c = rel(&["z", "w"], vec![vec![100, 7]], 1);
-        let out = join_components(vec![a, b, c], usize::MAX, &TraceSink::disabled());
+        let out = join_components(vec![a, b, c], usize::MAX, 4, &TraceSink::disabled());
         assert_eq!(out.len(), 1);
         let sols = &out[0].sols;
         assert_eq!(sols.len(), 1);
@@ -455,7 +469,7 @@ mod tests {
     fn disconnected_components_stay_apart() {
         let a = rel(&["x"], vec![vec![1]], 1);
         let b = rel(&["y"], vec![vec![2]], 1);
-        let out = join_components(vec![a, b], usize::MAX, &TraceSink::disabled());
+        let out = join_components(vec![a, b], usize::MAX, 4, &TraceSink::disabled());
         assert_eq!(out.len(), 2);
     }
 
@@ -470,7 +484,7 @@ mod tests {
                 1,
             ));
         }
-        let out = join_components(rels, usize::MAX, &TraceSink::disabled());
+        let out = join_components(rels, usize::MAX, 4, &TraceSink::disabled());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].sols.len(), 2);
         assert_eq!(out[0].sols.vars.len(), 7);
@@ -482,7 +496,7 @@ mod tests {
         let a = rel(&["x", "y"], (0..n).map(|i| vec![i, i * 2]).collect(), 4);
         let b = rel(&["y", "z"], (0..n).map(|i| vec![i, i + 1]).collect(), 4);
         let seq = a.sols.hash_join(&b.sols).canonicalize();
-        let par = par_hash_join(&a.sols, &b.sols, 4, 100).canonicalize();
+        let par = par_hash_join(&a.sols, &b.sols, 4, 4, 100).canonicalize();
         assert_eq!(seq, par);
         // y values 0..2n step 2 that are < n: n/2 matches.
         assert_eq!(par.len(), (n / 2) as usize);
@@ -498,7 +512,7 @@ mod tests {
             partitions: 2,
         };
         let b = rel(&["y", "z"], vec![vec![10, 100]], 2);
-        let out = par_hash_join(&a.sols, &b.sols, 2, 0);
+        let out = par_hash_join(&a.sols, &b.sols, 2, 2, 0);
         assert_eq!(out.len(), 1);
         assert_eq!(
             out.rows[0],
@@ -517,7 +531,7 @@ mod tests {
                 1,
             ));
         }
-        let out = join_components(rels, usize::MAX, &TraceSink::disabled());
+        let out = join_components(rels, usize::MAX, 4, &TraceSink::disabled());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].sols.len(), 2);
     }
@@ -528,7 +542,7 @@ mod tests {
         let b = rel(&["y", "z"], vec![vec![10, 100], vec![20, 200]], 1);
         let c = rel(&["z", "w"], vec![vec![100, 7]], 1);
         let sink = TraceSink::enabled();
-        let out = join_components(vec![a, b, c], usize::MAX, &sink);
+        let out = join_components(vec![a, b, c], usize::MAX, 4, &sink);
         assert_eq!(out.len(), 1);
         let events = sink.events();
         // Three relations join in exactly two steps, innermost first.

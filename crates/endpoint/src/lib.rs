@@ -165,6 +165,66 @@ impl SparqlEndpoint for LocalEndpoint {
 /// Convenience alias used throughout the engines.
 pub type EndpointRef = Arc<dyn SparqlEndpoint>;
 
+/// Per-call execution options for [`FederatedEngine::run_with`].
+///
+/// This is the single options-carrying entry point that replaced the
+/// `run` / `run_traced` method split: tracing, the physical parallelism
+/// budget, and an optional wall-clock deadline all travel together.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Structured event sink. A disabled sink (the default) costs nothing.
+    pub trace: TraceSink,
+    /// Physical parallelism budget: how many worker threads the executor
+    /// may use for endpoint dispatch and partitioned hash joins. `1`
+    /// (the default) runs fully inline — request order, work counters,
+    /// traces, and results are identical at every budget; higher budgets
+    /// only change wall-clock time.
+    pub threads: std::num::NonZeroUsize,
+    /// Optional per-query wall-clock deadline. When set it overrides the
+    /// engine policy's `query_budget` for this call.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            trace: TraceSink::disabled(),
+            threads: std::num::NonZeroUsize::MIN,
+            deadline: None,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Default options: disabled trace, one thread, no deadline.
+    pub fn new() -> Self {
+        ExecOptions::default()
+    }
+
+    /// Replaces the trace sink.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Sets the worker-thread budget; `0` is clamped to `1`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = std::num::NonZeroUsize::new(threads.max(1)).expect("clamped to >= 1");
+        self
+    }
+
+    /// Sets the per-query deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The thread budget as a plain `usize`.
+    pub fn thread_budget(&self) -> usize {
+        self.threads.get()
+    }
+}
+
 /// A federated SPARQL query engine — implemented by Lusail and by the
 /// FedX / SPLENDID / HiBISCuS baselines so harnesses can drive them
 /// uniformly. Request counts and byte volumes are read from the
@@ -172,22 +232,32 @@ pub type EndpointRef = Arc<dyn SparqlEndpoint>;
 pub trait FederatedEngine: Send + Sync {
     /// A short display name ("Lusail", "FedX", …).
     fn engine_name(&self) -> &str;
-    /// Executes the query. Endpoint failures degrade gracefully into an
-    /// incomplete [`QueryOutcome`]; only federation-level misuse (e.g. an
-    /// empty federation) is an `Err`.
-    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError>;
+    /// Executes the query under the given [`ExecOptions`]. Endpoint
+    /// failures degrade gracefully into an incomplete [`QueryOutcome`];
+    /// only federation-level misuse (e.g. an empty federation) is an
+    /// `Err`. With an enabled sink in `opts.trace`, engines guarantee a
+    /// [`TraceEvent::QueryFinished`] is the last event emitted.
+    fn run_with(
+        &self,
+        fed: &Federation,
+        query: &Query,
+        opts: &ExecOptions,
+    ) -> Result<QueryOutcome, FederationError>;
+    /// Executes the query with default options.
+    #[deprecated(note = "use `run_with` with `ExecOptions::default()`")]
+    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
+        self.run_with(fed, query, &ExecOptions::default())
+    }
     /// Executes the query while emitting structured [`TraceEvent`]s into
-    /// `sink`. The default implementation ignores the sink; engines that
-    /// support tracing override it and guarantee that, with an enabled
-    /// sink, a [`TraceEvent::QueryFinished`] is the last event emitted.
+    /// `sink`.
+    #[deprecated(note = "use `run_with` with `ExecOptions::default().with_trace(..)`")]
     fn run_traced(
         &self,
         fed: &Federation,
         query: &Query,
         sink: &TraceSink,
     ) -> Result<QueryOutcome, FederationError> {
-        let _ = sink;
-        self.run(fed, query)
+        self.run_with(fed, query, &ExecOptions::default().with_trace(sink.clone()))
     }
     /// Clears any memoized probe results (between benchmark repetitions).
     fn reset(&self) {}

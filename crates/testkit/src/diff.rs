@@ -17,7 +17,7 @@
 use crate::gen::{Case, FaultSpec};
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_core::{Lusail, LusailConfig, QueryTrace, RequestKind, TraceSink};
-use lusail_endpoint::{FederatedEngine, LocalEndpoint, RequestPolicy, StatsSnapshot};
+use lusail_endpoint::{ExecOptions, FederatedEngine, LocalEndpoint, RequestPolicy, StatsSnapshot};
 use lusail_sparql::SolutionSet;
 use std::sync::Arc;
 use std::time::Duration;
@@ -263,7 +263,65 @@ pub fn oracle_solutions(case: &Case) -> SolutionSet {
 /// otherwise the subset + completeness-honesty contract applies.
 pub fn check(case: &Case, engine: EngineKind, faults: &FaultSpec) -> Result<(), Violation> {
     let (fed, locals) = case.federation(faults);
-    check_on(case, engine, &fed, &locals, faults.is_clean(), false, None)
+    check_on(
+        case,
+        engine,
+        &fed,
+        &locals,
+        faults.is_clean(),
+        false,
+        None,
+        1,
+    )
+}
+
+/// Everything observable about one run at a given worker budget: the
+/// canonicalized solutions, the completeness flag, and the full window of
+/// federation request counters. The parallel executor's determinism
+/// contract is that two observations differing only in `threads` compare
+/// equal — same rows, same wire traffic, request for request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Canonicalized solution multiset.
+    pub solutions: SolutionSet,
+    /// The outcome's completeness flag.
+    pub complete: bool,
+    /// Request counters accumulated during the run.
+    pub window: StatsSnapshot,
+}
+
+/// Runs `engine` over the case's federation with `threads` workers,
+/// enforces the oracle contract *and* the trace invariants, and returns
+/// the run's [`Observation`] for cross-budget comparison.
+pub fn observe(
+    case: &Case,
+    engine: EngineKind,
+    faults: &FaultSpec,
+    threads: usize,
+) -> Result<Observation, Violation> {
+    let (fed, locals) = case.federation(faults);
+    let policy = if faults.is_clean() {
+        clean_policy()
+    } else {
+        faulty_policy()
+    };
+    let runner = engine.build_tuned(&locals, policy, None);
+    let before = fed.stats_snapshot();
+    let sink = TraceSink::enabled();
+    let opts = ExecOptions::default()
+        .with_threads(threads)
+        .with_trace(sink.clone());
+    let outcome = runner
+        .run_with(&fed, &case.query, &opts)
+        .map_err(|e| Violation::EngineError(format!("{e:?}")))?;
+    let window = fed.stats_snapshot().since(&before);
+    check_trace_invariants(&QueryTrace::from_sink(&sink), &window)?;
+    check_outcome(case, faults.is_clean(), false, &outcome)?;
+    Ok(Observation {
+        solutions: outcome.solutions.canonicalize(),
+        complete: outcome.complete,
+        window,
+    })
 }
 
 /// [`check`] with a [`LusailTuning`] override, so sweeps can exercise the
@@ -284,6 +342,7 @@ pub fn check_tuned(
         faults.is_clean(),
         false,
         Some(tuning),
+        1,
     )
 }
 
@@ -311,10 +370,11 @@ pub fn check_replicated(
         faults.is_clean(),
         require_complete,
         None,
+        1,
     )
 }
 
-#[allow(clippy::fn_params_excessive_bools)]
+#[allow(clippy::fn_params_excessive_bools, clippy::too_many_arguments)]
 fn check_on(
     case: &Case,
     engine: EngineKind,
@@ -323,6 +383,7 @@ fn check_on(
     clean: bool,
     require_complete: bool,
     tuning: Option<LusailTuning>,
+    threads: usize,
 ) -> Result<(), Violation> {
     let policy = if clean {
         clean_policy()
@@ -332,11 +393,26 @@ fn check_on(
     let runner = engine.build_tuned(locals, policy, tuning);
     let before = fed.stats_snapshot();
     let sink = TraceSink::enabled();
+    let opts = ExecOptions::default()
+        .with_threads(threads)
+        .with_trace(sink.clone());
     let outcome = runner
-        .run_traced(fed, &case.query, &sink)
+        .run_with(fed, &case.query, &opts)
         .map_err(|e| Violation::EngineError(format!("{e:?}")))?;
     let window = fed.stats_snapshot().since(&before);
     check_trace_invariants(&QueryTrace::from_sink(&sink), &window)?;
+    check_outcome(case, clean, require_complete, &outcome)
+}
+
+/// The oracle contract applied to an already-obtained outcome: exact
+/// equality when clean (or claimed complete), honesty (subset +
+/// subsumption) when degraded, and the `LIMIT` row-count rules.
+fn check_outcome(
+    case: &Case,
+    clean: bool,
+    require_complete: bool,
+    outcome: &lusail_endpoint::QueryOutcome,
+) -> Result<(), Violation> {
     if require_complete && !outcome.complete {
         return Err(Violation::DegradedDespiteReplicas);
     }

@@ -32,8 +32,8 @@ pub mod seed;
 pub mod shrink;
 
 pub use diff::{
-    check, check_replicated, check_trace_invariants, check_tuned, oracle_solutions, EngineKind,
-    LusailTuning, Violation,
+    check, check_replicated, check_trace_invariants, check_tuned, observe, oracle_solutions,
+    EngineKind, LusailTuning, Observation, Violation,
 };
 pub use gen::{Case, FaultSpec, GenConfig};
 pub use seed::{parse_seed, seed_from_env, SEED_ENV_VAR};

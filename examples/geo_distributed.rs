@@ -13,6 +13,7 @@
 
 use lusail_baselines::FedX;
 use lusail_benchdata::lubm::{generate, LubmConfig};
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::{FederatedEngine, NetworkProfile};
 use lusail_repro::lusail::Lusail;
 use std::time::Instant;
@@ -51,7 +52,10 @@ fn main() {
 
         let before = w.federation.stats_snapshot();
         let t0 = Instant::now();
-        let fx = fedx.run(&w.federation, &nq.query).unwrap().solutions;
+        let fx = fedx
+            .run_with(&w.federation, &nq.query, &ExecOptions::default())
+            .unwrap()
+            .solutions;
         let fx_ms = t0.elapsed().as_secs_f64() * 1e3;
         let fx_reqs = w
             .federation

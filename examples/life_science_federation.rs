@@ -9,6 +9,7 @@
 
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_benchdata::qfed::{generate, QfedConfig};
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::FederatedEngine;
 use lusail_repro::lusail::Lusail;
 use std::time::Instant;
@@ -53,7 +54,10 @@ fn main() {
         for engine in &engines {
             let before = w.federation.stats_snapshot();
             let t0 = Instant::now();
-            let sols = engine.run(&w.federation, &nq.query).unwrap().solutions;
+            let sols = engine
+                .run_with(&w.federation, &nq.query, &ExecOptions::default())
+                .unwrap()
+                .solutions;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             let reqs = w
                 .federation

@@ -49,9 +49,25 @@ grep -q '^  failover: endpoint 0 -> 2 on ' "$tmpdir/chaos.txt" || {
 }
 echo "chaos smoke: killed primary absorbed by its replica, result complete"
 
-echo "==> bench smoke (counters reproduce BENCH_5.json, gate holds)"
+echo "==> parallel smoke (LUBM Q2, --threads 1 vs --threads 4)"
+cargo run --release -q --bin lusail-cli -- query \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --query-file "$tmpdir/queries/Q2.rq" \
+    --threads 1 > "$tmpdir/q2_t1.txt"
+cargo run --release -q --bin lusail-cli -- query \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --query-file "$tmpdir/queries/Q2.rq" \
+    --threads 4 > "$tmpdir/q2_t4.txt"
+# The wall time in the summary line is nondeterministic; everything else
+# (rows, request counters, scan counters) must be byte-identical.
+sed 's/ in [0-9.]* ms//' "$tmpdir/q2_t1.txt" > "$tmpdir/q2_t1.stable"
+sed 's/ in [0-9.]* ms//' "$tmpdir/q2_t4.txt" > "$tmpdir/q2_t4.stable"
+diff -u "$tmpdir/q2_t1.stable" "$tmpdir/q2_t4.stable"
+echo "parallel smoke: --threads 4 output matches --threads 1"
+
+echo "==> bench smoke (counters reproduce BENCH_6.json across thread budgets, gate holds)"
 cargo run --release -q -p lusail-bench --bin lusail-bench -- \
-    check --against BENCH_5.json --workload lubm --query Q4
+    check --against BENCH_6.json --workload lubm --query Q4 --threads 1 --threads 4
 
 echo "==> fuzz smoke (200 iterations, 30 s cap)"
 set +e

@@ -7,9 +7,12 @@
 //!   endpoint, plus a `queries/` directory with the benchmark queries.
 //! * `query --endpoint FILE.nt ... (--query 'SPARQL' | --query-file F)
 //!   [--replica NAME=FILE.nt ...] [--kill NAME[:N] ...]
-//!   [--engine lusail|fedx] [--explain-analyze [--fixed-clock]]` — run a
+//!   [--engine lusail|fedx] [--threads N]
+//!   [--explain-analyze [--fixed-clock]]` — run a
 //!   federated query over the given endpoint files and print the results
-//!   as a table. `--replica NAME=FILE.nt` registers FILE.nt as a replica
+//!   as a table. `--threads N` sets the worker budget for dispatching
+//!   per-endpoint subqueries and partitioned joins (default 1 —
+//!   sequential; any budget returns byte-identical results). `--replica NAME=FILE.nt` registers FILE.nt as a replica
 //!   of the endpoint named NAME (same partition, failover target);
 //!   `--kill NAME` makes the named endpoint permanently unavailable and
 //!   `--kill NAME:N` kills it after serving N requests — a primary dying
@@ -31,7 +34,8 @@
 use lusail_baselines::FedX;
 use lusail_benchdata::{bio2rdf, lrb, lubm, qfed, Workload};
 use lusail_endpoint::{
-    FaultProfile, FederatedEngine, Federation, LocalEndpoint, ManualClock, SparqlEndpoint,
+    ExecOptions, FaultProfile, FederatedEngine, Federation, LocalEndpoint, ManualClock,
+    SparqlEndpoint,
 };
 use lusail_rdf::{ntriples, Dictionary};
 use lusail_repro::lusail::{Lusail, LusailConfig};
@@ -54,7 +58,7 @@ fn main() -> ExitCode {
                  \n\
                  generate --workload lubm|qfed|lrb|bio2rdf --out DIR [--size N]\n\
                  query    --endpoint F.nt ... (--query SPARQL | --query-file F) [--engine lusail|fedx]\n\
-                 \x20        [--replica NAME=F.nt ...] [--kill NAME[:N] ...]\n\
+                 \x20        [--replica NAME=F.nt ...] [--kill NAME[:N] ...] [--threads N]\n\
                  \x20        [--explain-analyze [--fixed-clock]]\n\
                  explain  --endpoint F.nt ... (--query SPARQL | --query-file F)\n\
                  demo"
@@ -260,6 +264,14 @@ fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
     }
 
     let engine_name = flag_value(args, "--engine").unwrap_or("lusail");
+    let threads: usize = flag_value(args, "--threads")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "bad --threads (want a positive integer)")
+        })
+        .transpose()?
+        .unwrap_or(1);
+    let exec = ExecOptions::default().with_threads(threads);
     if has_flag(args, "--explain-analyze") {
         if engine_name != "lusail" {
             return Err("--explain-analyze is only available for the lusail engine".into());
@@ -269,7 +281,7 @@ fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
             engine = engine.with_clock(ManualClock::new());
         }
         let report = engine
-            .explain_analyze(&fed, &query)
+            .explain_analyze_with(&fed, &query, &exec)
             .map_err(|e| e.to_string())?;
         println!("\n{report}");
         return Ok(());
@@ -281,7 +293,9 @@ fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
     };
     let before = fed.stats_snapshot();
     let start = std::time::Instant::now();
-    let outcome = engine.run(&fed, &query).map_err(|e| e.to_string())?;
+    let outcome = engine
+        .run_with(&fed, &query, &exec)
+        .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
     let window = fed.stats_snapshot().since(&before);
     print_solutions(&outcome.solutions, &dict);

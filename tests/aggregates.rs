@@ -5,6 +5,7 @@
 use lusail_baselines::FedX;
 use lusail_benchdata::lubm;
 use lusail_core::Lusail;
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint};
 use lusail_rdf::{Dictionary, Term};
 use lusail_sparql::parse_query;
@@ -139,7 +140,10 @@ fn federated_group_by_aggregates_globally() {
         Box::new(Lusail::default()) as Box<dyn FederatedEngine>,
         Box::new(FedX::default()),
     ] {
-        let got = engine.run(&fed, &q).unwrap().solutions;
+        let got = engine
+            .run_with(&fed, &q, &ExecOptions::default())
+            .unwrap()
+            .solutions;
         assert_eq!(
             got.canonicalize(),
             expected.canonicalize(),
@@ -167,7 +171,10 @@ fn federated_count_star_is_global() {
         Box::new(Lusail::default()) as Box<dyn FederatedEngine>,
         Box::new(FedX::default()),
     ] {
-        let got = engine.run(&w.federation, &q).unwrap().solutions;
+        let got = engine
+            .run_with(&w.federation, &q, &ExecOptions::default())
+            .unwrap()
+            .solutions;
         assert_eq!(got.len(), 1, "{}", engine.engine_name());
         assert_eq!(
             got.canonicalize(),
@@ -241,7 +248,10 @@ fn having_works_federated() {
     )
     .unwrap();
     let expected = lusail_store::eval::evaluate(&w.oracle, &q);
-    let got = Lusail::default().run(&w.federation, &q).unwrap().solutions;
+    let got = Lusail::default()
+        .run_with(&w.federation, &q, &ExecOptions::default())
+        .unwrap()
+        .solutions;
     assert_eq!(got.canonicalize(), expected.canonicalize());
     assert!(!got.is_empty());
 }

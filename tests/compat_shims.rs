@@ -1,0 +1,106 @@
+//! The deprecated pre-`ExecOptions` entry points (`run`, `run_traced`,
+//! `execute_traced`) stay as thin shims for one release cycle so
+//! downstream callers migrate on their own schedule. This suite is the
+//! only in-repo caller allowed to use them: it pins that every shim
+//! forwards to the options-carrying entry point unchanged — same rows,
+//! same completeness, and (for the traced shims) a trace that still ends
+//! in its query-finished event.
+#![allow(deprecated)]
+
+use lusail_baselines::FedX;
+use lusail_core::{Lusail, QueryTrace, TraceSink};
+use lusail_endpoint::{ExecOptions, FederatedEngine, Federation, LocalEndpoint};
+use lusail_rdf::{Dictionary, Term};
+use lusail_sparql::parse_query;
+use lusail_store::TripleStore;
+use std::sync::Arc;
+
+fn two_endpoint_federation() -> (Federation, lusail_sparql::Query) {
+    let dict = Dictionary::shared();
+    let p = Term::iri("http://x/p");
+    let q = Term::iri("http://x/q");
+    let mut a = TripleStore::new(Arc::clone(&dict));
+    let mut b = TripleStore::new(Arc::clone(&dict));
+    for i in 0..8 {
+        let s = Term::iri(format!("http://x/s{i}"));
+        let m = Term::iri(format!("http://x/m{i}"));
+        let o = Term::iri(format!("http://x/o{i}"));
+        a.insert_terms(&s, &p, &m);
+        if i % 2 == 0 {
+            b.insert_terms(&m, &q, &o);
+        }
+    }
+    let mut fed = Federation::new(Arc::clone(&dict));
+    fed.add(Arc::new(LocalEndpoint::new("A", a)));
+    fed.add(Arc::new(LocalEndpoint::new("B", b)));
+    let query = parse_query(
+        "SELECT ?s ?o WHERE { ?s <http://x/p> ?m . ?m <http://x/q> ?o }",
+        &dict,
+    )
+    .unwrap();
+    (fed, query)
+}
+
+#[test]
+fn deprecated_run_matches_run_with_defaults() {
+    let (fed, query) = two_endpoint_federation();
+    for engine in [
+        Box::new(Lusail::default()) as Box<dyn FederatedEngine>,
+        Box::new(FedX::default()),
+    ] {
+        let via_shim = engine.run(&fed, &query).unwrap();
+        let via_options = engine
+            .run_with(&fed, &query, &ExecOptions::default())
+            .unwrap();
+        assert_eq!(
+            via_shim.solutions.canonicalize(),
+            via_options.solutions.canonicalize(),
+            "{}: run() shim diverged from run_with(default)",
+            engine.engine_name()
+        );
+        assert_eq!(via_shim.complete, via_options.complete);
+    }
+}
+
+#[test]
+fn deprecated_run_traced_still_traces() {
+    let (fed, query) = two_endpoint_federation();
+    for engine in [
+        Box::new(Lusail::default()) as Box<dyn FederatedEngine>,
+        Box::new(FedX::default()),
+    ] {
+        let sink = TraceSink::enabled();
+        let outcome = engine.run_traced(&fed, &query, &sink).unwrap();
+        let trace = QueryTrace::from_sink(&sink);
+        assert!(
+            trace.finish_index().is_some(),
+            "{}: run_traced() shim lost the query-finished event",
+            engine.engine_name()
+        );
+        assert_eq!(outcome.solutions.len(), 4);
+    }
+}
+
+#[test]
+fn deprecated_execute_traced_matches_execute_with() {
+    let (fed, query) = two_endpoint_federation();
+    let engine = Lusail::default();
+    let sink = TraceSink::enabled();
+    let via_shim = engine.execute_traced(&fed, &query, &sink).unwrap();
+    let via_options = engine
+        .execute_with(
+            &fed,
+            &query,
+            &ExecOptions::default().with_trace(TraceSink::enabled()),
+        )
+        .unwrap();
+    assert_eq!(
+        via_shim.solutions.canonicalize(),
+        via_options.solutions.canonicalize()
+    );
+    let fedx = FedX::default();
+    let sink = TraceSink::enabled();
+    let shim = fedx.execute_traced(&fed, &query, &sink).unwrap();
+    assert_eq!(shim.solutions.len(), 4);
+    assert!(QueryTrace::from_sink(&sink).finish_index().is_some());
+}

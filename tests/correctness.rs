@@ -9,6 +9,7 @@
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_benchdata::{bio2rdf, lrb, lubm, qfed, Workload};
 use lusail_core::Lusail;
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::FederatedEngine;
 use std::sync::Arc;
 
@@ -27,7 +28,7 @@ fn check_workload(w: &Workload) {
         let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
         for engine in &engines {
             let got = engine
-                .run(&w.federation, &nq.query)
+                .run_with(&w.federation, &nq.query, &ExecOptions::default())
                 .unwrap()
                 .solutions
                 .canonicalize();
@@ -120,7 +121,7 @@ fn lusail_matches_oracle_with_every_delay_policy() {
         for nq in &w.queries {
             let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
             let got = engine
-                .run(&w.federation, &nq.query)
+                .run_with(&w.federation, &nq.query, &ExecOptions::default())
                 .unwrap()
                 .solutions
                 .canonicalize();
@@ -146,7 +147,7 @@ fn lusail_matches_oracle_without_lade_and_without_cache() {
         for nq in &w.queries {
             let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
             let got = engine
-                .run(&w.federation, &nq.query)
+                .run_with(&w.federation, &nq.query, &ExecOptions::default())
                 .unwrap()
                 .solutions
                 .canonicalize();
@@ -170,7 +171,7 @@ fn lusail_matches_oracle_with_tiny_blocks() {
     for nq in &w.queries {
         let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
         let got = engine
-            .run(&w.federation, &nq.query)
+            .run_with(&w.federation, &nq.query, &ExecOptions::default())
             .unwrap()
             .solutions
             .canonicalize();
@@ -189,7 +190,7 @@ fn fedx_matches_oracle_with_tiny_blocks() {
     for nq in &w.queries {
         let expected = lusail_store::eval::evaluate(&w.oracle, &nq.query).canonicalize();
         let got = engine
-            .run(&w.federation, &nq.query)
+            .run_with(&w.federation, &nq.query, &ExecOptions::default())
             .unwrap()
             .solutions
             .canonicalize();

@@ -4,6 +4,7 @@
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_benchdata::{lubm, qfed};
 use lusail_core::Lusail;
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::FederatedEngine;
 use std::sync::Arc;
 
@@ -25,7 +26,10 @@ fn order_by_is_respected_by_every_engine() {
         Arc::new(Splendid::new(VoidIndex::build(&w.endpoint_refs()))),
     ];
     for engine in engines {
-        let sols = engine.run(&w.federation, &q).unwrap().solutions;
+        let sols = engine
+            .run_with(&w.federation, &q, &ExecOptions::default())
+            .unwrap()
+            .solutions;
         let names: Vec<String> = (0..sols.len())
             .map(|i| {
                 w.dict
@@ -57,7 +61,10 @@ fn order_by_with_limit_returns_global_top_k() {
     )
     .unwrap();
     let engine = Lusail::default();
-    let sols = engine.run(&w.federation, &q).unwrap().solutions;
+    let sols = engine
+        .run_with(&w.federation, &q, &ExecOptions::default())
+        .unwrap()
+        .solutions;
     let names: Vec<String> = (0..sols.len())
         .map(|i| {
             w.dict
@@ -193,7 +200,10 @@ fn correlated_optional_filter_sees_outer_bindings() {
     });
     let mut fed = Federation::new(Arc::clone(&dict));
     fed.add(Arc::new(LocalEndpoint::new("A", st2)));
-    let got = Lusail::default().run(&fed, &q).unwrap().solutions;
+    let got = Lusail::default()
+        .run_with(&fed, &q, &ExecOptions::default())
+        .unwrap()
+        .solutions;
     assert_eq!(got.canonicalize(), sols.canonicalize());
     let _ = Dictionary::new();
 }
@@ -288,7 +298,10 @@ fn federated_order_by_non_projected_variable() {
         &dict,
     )
     .unwrap();
-    let sols = Lusail::default().run(&fed, &q).unwrap().solutions;
+    let sols = Lusail::default()
+        .run_with(&fed, &q, &ExecOptions::default())
+        .unwrap()
+        .solutions;
     let names: Vec<String> = (0..sols.len())
         .map(|i| dict.decode(sols.get(i, "n").unwrap()).lexical().to_string())
         .collect();

@@ -9,6 +9,7 @@
 
 use lusail_benchdata::common::Rng;
 use lusail_core::{Lusail, QueryTrace, RequestKind, TraceSink};
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::{Federation, LocalEndpoint};
 use lusail_rdf::{Dictionary, Term};
 use lusail_sparql::parse_query;
@@ -76,7 +77,13 @@ fn check_queries_equal_analysis_selects_and_trace_attempts() {
     .unwrap();
     let engine = Lusail::default();
     let sink = TraceSink::enabled();
-    let result = engine.execute_traced(&fed, &query, &sink).unwrap();
+    let result = engine
+        .execute_with(
+            &fed,
+            &query,
+            &ExecOptions::default().with_trace(sink.clone()),
+        )
+        .unwrap();
     assert!(
         result.metrics.check_queries > 0,
         "overlapping sources must force check queries"
@@ -116,7 +123,13 @@ fn check_query_count_stays_inside_analysis_selects_under_faults() {
             };
             let engine = Lusail::default().with_policy(policy);
             let sink = TraceSink::enabled();
-            let result = engine.execute_traced(&fed, &case.query, &sink).unwrap();
+            let result = engine
+                .execute_with(
+                    &fed,
+                    &case.query,
+                    &ExecOptions::default().with_trace(sink.clone()),
+                )
+                .unwrap();
             assert_eq!(
                 result.metrics.check_queries, result.metrics.requests_analysis.select_requests,
                 "seed {seed} faulty {faulty}: check_queries diverged from analysis SELECTs"
@@ -149,7 +162,11 @@ fn baselines_issue_no_check_queries_clean_or_faulted() {
             for kind in [EngineKind::FedX, EngineKind::Hibiscus, EngineKind::Splendid] {
                 let runner = kind.build(&locals, policy);
                 let sink = TraceSink::enabled();
-                let _ = runner.run_traced(&fed, &case.query, &sink);
+                let _ = runner.run_with(
+                    &fed,
+                    &case.query,
+                    &ExecOptions::default().with_trace(sink.clone()),
+                );
                 let trace = QueryTrace::from_sink(&sink);
                 let checks = trace.requests(RequestKind::Check);
                 assert_eq!(

@@ -16,6 +16,7 @@
 use lusail_baselines::FedX;
 use lusail_benchdata::common::Rng;
 use lusail_core::Lusail;
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint};
 use lusail_rdf::{Dictionary, Term, TermId};
 use lusail_sparql::ast::{GroupPattern, PatternTerm, Query, TriplePattern};
@@ -288,13 +289,20 @@ fn any_subject_partition_yields_centralized_results() {
 
         let lusail = Lusail::default();
         assert_eq!(
-            lusail.run(&fed, &query).unwrap().solutions.canonicalize(),
+            lusail
+                .run_with(&fed, &query, &ExecOptions::default())
+                .unwrap()
+                .solutions
+                .canonicalize(),
             expected,
             "case {case}: Lusail differs from centralized evaluation"
         );
         let fedx = FedX::default();
         assert_eq!(
-            fedx.run(&fed, &query).unwrap().solutions.canonicalize(),
+            fedx.run_with(&fed, &query, &ExecOptions::default())
+                .unwrap()
+                .solutions
+                .canonicalize(),
             expected,
             "case {case}: FedX differs from centralized evaluation"
         );
@@ -418,7 +426,9 @@ fn adaptive_values_batching_preserves_the_solution_multiset() {
                 ..LusailConfig::default()
             });
             let sink = TraceSink::enabled();
-            let r = engine.execute_traced(&fed, &q, &sink).unwrap();
+            let r = engine
+                .execute_with(&fed, &q, &ExecOptions::default().with_trace(sink.clone()))
+                .unwrap();
             assert!(r.complete, "case {case_no}: clean run must be complete");
             let (blocks, _) = QueryTrace::from_sink(&sink).values_batch_totals();
             (r.solutions.canonicalize(), blocks)

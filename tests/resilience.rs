@@ -13,6 +13,7 @@
 use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_benchdata::lubm;
 use lusail_core::Lusail;
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::{
     EndpointError, FaultProfile, FederatedEngine, Federation, FlakyEndpoint, HealthState,
     LocalEndpoint, ManualClock, RequestPolicy, ResilientClient, SparqlEndpoint, StatsSnapshot,
@@ -82,7 +83,7 @@ fn transient_faults_are_absorbed_by_retries() {
     assert!(!expected.is_empty(), "Q2 oracle result is empty");
 
     for (name, engine) in engines(&w, patient_policy()) {
-        let outcome = engine.run(&fed, q).unwrap();
+        let outcome = engine.run_with(&fed, q, &ExecOptions::default()).unwrap();
         assert!(
             outcome.complete,
             "{name}: query incomplete under transient faults: {:?}",
@@ -110,7 +111,7 @@ fn dead_endpoint_degrades_to_partial_results() {
     let expected = lusail_store::eval::evaluate(&w.oracle, q).canonicalize();
 
     for (name, engine) in engines(&w, RequestPolicy::default()) {
-        let outcome = engine.run(&fed, q).unwrap();
+        let outcome = engine.run_with(&fed, q, &ExecOptions::default()).unwrap();
         assert!(
             !outcome.complete,
             "{name}: query reported complete despite a dead endpoint"

@@ -7,6 +7,7 @@
 
 use lusail_benchdata::common::Rng;
 use lusail_core::Lusail;
+use lusail_endpoint::ExecOptions;
 use lusail_endpoint::{FederatedEngine, Federation, LocalEndpoint};
 use lusail_rdf::{ntriples, Dictionary, Term, Triple};
 use lusail_sparql::parse_query;
@@ -110,7 +111,10 @@ fn federated_order_by_matches_centralized() {
             &dict,
         )
         .unwrap();
-        let sols = Lusail::default().run(&fed, &q).unwrap().solutions;
+        let sols = Lusail::default()
+            .run_with(&fed, &q, &ExecOptions::default())
+            .unwrap()
+            .solutions;
         let got: Vec<i64> = (0..sols.len())
             .map(|i| {
                 dict.decode(sols.get(i, "v").unwrap())
