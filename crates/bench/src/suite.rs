@@ -8,7 +8,12 @@
 //!
 //! * **baseline** — store-side triple-pattern reordering off, Lusail's
 //!   adaptive `VALUES` sizing off (the pre-optimization engine);
-//! * **optimized** — both on (the defaults).
+//! * **optimized** — both on (the defaults);
+//! * **stats** — the optimized settings plus offline characteristic-set
+//!   statistics ([`lusail_store::EndpointStats`]) attached to every
+//!   endpoint, so Lusail's planner answers conclusive ASK/COUNT/check
+//!   probes locally instead of crossing the wire (the baselines ignore
+//!   the statistics — their runs double as an inertness control).
 //!
 //! Every run records two kinds of measurement:
 //!
@@ -46,7 +51,7 @@ pub const WORKLOADS: [&str; 3] = ["lubm", "qfed", "bio2rdf"];
 pub const PROFILES: [&str; 3] = ["instant", "wan-sim", "wan-real"];
 
 /// The configuration axis (see module docs).
-pub const CONFIGS: [&str; 2] = ["baseline", "optimized"];
+pub const CONFIGS: [&str; 3] = ["baseline", "optimized", "stats"];
 
 /// The engine axis.
 pub const ENGINES: [&str; 4] = ["Lusail", "FedX", "HiBISCuS", "SPLENDID"];
@@ -272,12 +277,22 @@ pub fn run_suite(opts: &SuiteOptions) -> Value {
                 continue;
             }
             for config in CONFIGS {
-                let optimized = config == "optimized";
+                let optimized = config != "baseline";
                 // A fresh federation per pass: counters start cold and the
                 // reorder flag applies to the whole pass.
                 let workload = build_workload(workload_name, profile, opts.seed);
                 for ep in &workload.endpoints {
                     ep.store().set_reorder(optimized);
+                }
+                if config == "stats" {
+                    // The offline phase: summaries built before any run
+                    // window opens, so nothing of it leaks into counters.
+                    for (id, ep) in workload.endpoints.iter().enumerate() {
+                        workload.federation.attach_stats(
+                            id,
+                            std::sync::Arc::new(lusail_store::EndpointStats::build(ep.store())),
+                        );
+                    }
                 }
                 for engine_name in ENGINES {
                     for nq in &workload.queries {
@@ -424,8 +439,11 @@ pub fn counters_section(doc: &Value) -> Value {
 
 /// The regression gate: on LUBM and QFed, Lusail's optimized
 /// configuration must scan strictly fewer store rows than baseline and
-/// issue no more wire requests. Returns the list of gate lines (for
-/// printing) on success.
+/// issue no more wire requests, and the stats configuration must issue
+/// *strictly fewer* wire requests than optimized (the probe-elision
+/// claim) while leaving every run's result rows and completeness flag
+/// unchanged (statistics may only elide work, never change answers).
+/// Returns the list of gate lines (for printing) on success.
 pub fn check_gate(doc: &Value) -> Result<Vec<String>, String> {
     let aggregates = doc
         .get("aggregates")
@@ -462,10 +480,56 @@ pub fn check_gate(doc: &Value) -> Result<Vec<String>, String> {
                  baseline {base_requests}"
             ));
         }
+        let stats_requests = side("stats", "total_requests")?;
+        if stats_requests >= opt_requests {
+            return Err(format!(
+                "{workload}: stats total_requests {stats_requests} is not \
+                 below optimized {opt_requests} — statistics elided nothing"
+            ));
+        }
         lines.push(format!(
             "{workload}/Lusail: rows_scanned {base_scanned} -> {opt_scanned}, \
-             requests {base_requests} -> {opt_requests}"
+             requests {base_requests} -> {opt_requests} -> {stats_requests} (stats)"
         ));
+    }
+
+    // Results must be untouched by elision: every stats run reports the
+    // same rows and completeness as its optimized twin. (Reports that
+    // carry only aggregates — e.g. synthetic gate inputs — skip this.)
+    if let Some(runs) = doc.get("runs").and_then(Value::as_array) {
+        let identity = |run: &Value| -> String {
+            let mut id = ["workload", "profile", "engine", "query"]
+                .iter()
+                .map(|k| run.get(k).and_then(Value::as_str).unwrap_or("?"))
+                .collect::<Vec<_>>()
+                .join("/");
+            let threads = run.get("threads").and_then(Value::as_u64).unwrap_or(1);
+            id.push_str(&format!("/t{threads}"));
+            id
+        };
+        for run in runs {
+            if run.get("config").and_then(Value::as_str) != Some("stats") {
+                continue;
+            }
+            let id = identity(run);
+            let twin = runs
+                .iter()
+                .find(|r| {
+                    r.get("config").and_then(Value::as_str) == Some("optimized")
+                        && identity(r) == id
+                })
+                .ok_or_else(|| format!("stats run {id} has no optimized twin"))?;
+            for key in ["rows", "complete"] {
+                let got = run.get(key).unwrap_or(&Value::Null).render();
+                let want = twin.get(key).unwrap_or(&Value::Null).render();
+                if got != want {
+                    return Err(format!(
+                        "stats run {id}: {key} diverged from the optimized \
+                         twin ({got} vs {want}) — statistics changed results"
+                    ));
+                }
+            }
+        }
     }
     Ok(lines)
 }
@@ -638,31 +702,59 @@ mod tests {
 
     #[test]
     fn gate_checks_lusail_aggregates() {
-        // A synthetic report exercising both gate conditions.
-        let mk = |base_scanned: u64, opt_scanned: u64, base_req: u64, opt_req: u64| {
-            let mut doc = Value::object();
-            let mut aggs = Vec::new();
-            for wl in ["lubm", "qfed"] {
-                let mut agg = Value::object();
-                agg.set("workload", Value::Str(wl.into()));
-                agg.set("engine", Value::Str("Lusail".into()));
-                let mut b = Value::object();
-                b.set("rows_scanned", Value::U64(base_scanned));
-                b.set("total_requests", Value::U64(base_req));
-                b.set("select_requests", Value::U64(0));
-                agg.set("baseline", b);
-                let mut o = Value::object();
-                o.set("rows_scanned", Value::U64(opt_scanned));
-                o.set("total_requests", Value::U64(opt_req));
-                o.set("select_requests", Value::U64(0));
-                agg.set("optimized", o);
-                aggs.push(agg);
-            }
-            doc.set("aggregates", Value::Array(aggs));
-            doc
-        };
-        assert!(check_gate(&mk(100, 50, 10, 10)).is_ok());
-        assert!(check_gate(&mk(100, 100, 10, 10)).is_err()); // no scan win
-        assert!(check_gate(&mk(100, 50, 10, 11)).is_err()); // request regress
+        // A synthetic report exercising all three gate conditions.
+        let mk =
+            |base_scanned: u64, opt_scanned: u64, base_req: u64, opt_req: u64, stats_req: u64| {
+                let mut doc = Value::object();
+                let mut aggs = Vec::new();
+                for wl in ["lubm", "qfed"] {
+                    let mut agg = Value::object();
+                    agg.set("workload", Value::Str(wl.into()));
+                    agg.set("engine", Value::Str("Lusail".into()));
+                    for (config, scanned, req) in [
+                        ("baseline", base_scanned, base_req),
+                        ("optimized", opt_scanned, opt_req),
+                        ("stats", opt_scanned, stats_req),
+                    ] {
+                        let mut side = Value::object();
+                        side.set("rows_scanned", Value::U64(scanned));
+                        side.set("total_requests", Value::U64(req));
+                        side.set("select_requests", Value::U64(0));
+                        agg.set(config, side);
+                    }
+                    aggs.push(agg);
+                }
+                doc.set("aggregates", Value::Array(aggs));
+                doc
+            };
+        assert!(check_gate(&mk(100, 50, 10, 10, 9)).is_ok());
+        assert!(check_gate(&mk(100, 100, 10, 10, 9)).is_err()); // no scan win
+        assert!(check_gate(&mk(100, 50, 10, 11, 9)).is_err()); // request regress
+        assert!(check_gate(&mk(100, 50, 10, 10, 10)).is_err()); // no elision
+
+        // The run-level half: a stats run whose rows diverge from its
+        // optimized twin must fail the gate even when aggregates pass.
+        let mut doc = mk(100, 50, 10, 10, 9);
+        let mut runs = Vec::new();
+        for (config, rows) in [("optimized", 5u64), ("stats", 5u64)] {
+            let mut run = Value::object();
+            run.set("workload", Value::Str("lubm".into()));
+            run.set("profile", Value::Str("instant".into()));
+            run.set("config", Value::Str(config.into()));
+            run.set("engine", Value::Str("Lusail".into()));
+            run.set("query", Value::Str("Q1".into()));
+            run.set("threads", Value::U64(1));
+            run.set("rows", Value::U64(rows));
+            run.set("complete", Value::Bool(true));
+            runs.push(run);
+        }
+        doc.set("runs", Value::Array(runs.clone()));
+        assert!(check_gate(&doc).is_ok());
+        runs[1].set("rows", Value::U64(6));
+        doc.set("runs", Value::Array(runs));
+        assert!(
+            check_gate(&doc).is_err(),
+            "diverging stats rows must fail the gate"
+        );
     }
 }

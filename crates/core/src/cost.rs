@@ -76,6 +76,19 @@ pub fn estimate_cardinalities(
             for &ep in &sq.sources {
                 if let Some(c) = cache.get(&key, ep) {
                     known.insert((key.clone(), ep), c);
+                } else if let Some(c) = fed.stats_for(ep).and_then(|s| s.count_pattern(tp)) {
+                    // Offline statistics carry the pattern's *exact*
+                    // count (see `EndpointStats::count_pattern`), so the
+                    // downstream delay decision is unchanged and the
+                    // wire probe can be elided outright. Like the ASK
+                    // path, the answer is not written into the cache.
+                    if known.insert((key.clone(), ep), c).is_none() {
+                        net.trace
+                            .emit(|| lusail_endpoint::TraceEvent::StatsAnswered {
+                                endpoint: ep,
+                                kind: RequestKind::Count,
+                            });
+                    }
                 } else if requested.insert((key.clone(), ep)) {
                     needed.push((ep, tp.clone()));
                 }

@@ -240,6 +240,11 @@ impl Lusail {
             self.ask_cache.invalidate_endpoint(failure.endpoint);
             self.count_cache.invalidate_endpoint(failure.endpoint);
             self.check_cache.invalidate_endpoint(failure.endpoint);
+            // Offline statistics summarize the *primary's* store; once the
+            // group is served by a replica (which may have diverged), a
+            // conclusive local answer can no longer be trusted, so the
+            // stats are dropped exactly like the memoized probe answers.
+            fed.invalidate_stats(failure.endpoint);
         }
         (!net.degradation.data_loss(), report)
     }
@@ -305,6 +310,11 @@ impl Lusail {
         // clock: a `ManualClock` only advances on simulated sleeps.
         let clock = self.timing_clock();
         let t_total = clock.now();
+
+        if let Some((endpoints, sets)) = fed.stats_overview() {
+            net.trace
+                .emit(|| TraceEvent::StatsLoaded { endpoints, sets });
+        }
 
         // ---- Phase 1: source selection --------------------------------
         let s0 = fed.stats_snapshot();

@@ -393,6 +393,30 @@ pub fn render_analyze(trace: &QueryTrace, metrics: Option<&QueryMetrics>) -> Str
         }
     }
 
+    // Statistics activity: what the offline summaries answered locally
+    // (each line-item elided exactly one wire probe of that kind). The
+    // section is omitted when the run had no statistics attached, keeping
+    // the stats-free goldens byte-identical.
+    if trace.has_stats_events() {
+        let _ = writeln!(out, "statistics:");
+        if let Some((endpoints, sets)) = trace.stats_loaded() {
+            let _ = writeln!(
+                out,
+                "  loaded: {endpoints} endpoint(s), {sets} characteristic set(s)"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  answered locally: ask {}, count {}, check {}  (probes elided: {})",
+            trace.stats_answered(RequestKind::Ask),
+            trace.stats_answered(RequestKind::Count),
+            trace.stats_answered(RequestKind::Check),
+            trace.stats_answered(RequestKind::Ask)
+                + trace.stats_answered(RequestKind::Count)
+                + trace.stats_answered(RequestKind::Check),
+        );
+    }
+
     if let Some(m) = metrics {
         let _ = writeln!(
             out,
@@ -600,6 +624,72 @@ est. cardinality 10  actual rows 10 in 1 partition(s)  @ 1 endpoint(s)
 values traffic: 1 block(s), 1 binding(s)
 joins:
   step 1: 1 x 10 -> 10 rows  (cost 11.0)
+phases: source selection 0ns, analysis 0ns, execution 0ns, total 0ns
+result: 10 rows  complete: true
+";
+        assert_eq!(first, expected);
+    }
+
+    #[test]
+    fn explain_analyze_golden_with_statistics() {
+        use lusail_endpoint::ManualClock;
+        use lusail_store::EndpointStats;
+        // The delayed-fed golden with offline statistics attached to both
+        // endpoints: every ASK (p/q presence at A/B) and both COUNT probes
+        // (10 and 1 — exact, so the delay decision and the whole
+        // downstream plan are unchanged) are answered locally, leaving
+        // only the two data-bearing selects on the wire.
+        let f = delayed_fed();
+        let q = delayed_query(&f);
+        let stats_for = |name: &str| {
+            let mut st = TripleStore::new(Arc::clone(f.dict()));
+            if name == "A" {
+                for i in 0..10 {
+                    st.insert_terms(
+                        &Term::iri(format!("http://a/s{i}")),
+                        &Term::iri("http://x/p"),
+                        &Term::iri("http://b/v"),
+                    );
+                }
+            } else {
+                st.insert_terms(
+                    &Term::iri("http://b/v"),
+                    &Term::iri("http://x/q"),
+                    &Term::iri("http://b/o"),
+                );
+            }
+            Arc::new(EndpointStats::build(&st))
+        };
+        for id in 0..f.len() {
+            f.attach_stats(id, stats_for(f.endpoint(id).name()));
+        }
+        let run = || {
+            Lusail::default()
+                .with_clock(ManualClock::new())
+                .explain_analyze(&f, &q)
+                .unwrap()
+        };
+        let first = run();
+        assert_eq!(first, run(), "stats EXPLAIN ANALYZE must be deterministic");
+        let expected = "\
+EXPLAIN ANALYZE
+requests:
+  ask     0 requests  0 wire attempts  0 failed
+  select  2 requests  2 wire attempts  0 failed
+  count   0 requests  0 wire attempts  0 failed
+  check   0 requests  0 wire attempts  0 failed
+decomposition: 2 subqueries  (1 global join variables)
+  subquery 1 [DELAYED: cardinality 10 > μ+kσ threshold 1.0]  \
+est. cardinality 10  actual rows 10 in 1 partition(s)  @ 1 endpoint(s)
+      ?s <http://x/p> ?v
+  subquery 2 [concurrent]  est. cardinality 1  actual rows 1 in 1 partition(s)  @ 1 endpoint(s)
+      ?v <http://x/q> ?o
+values traffic: 1 block(s), 1 binding(s)
+joins:
+  step 1: 1 x 10 -> 10 rows  (cost 11.0)
+statistics:
+  loaded: 2 endpoint(s), 2 characteristic set(s)
+  answered locally: ask 4, count 2, check 0  (probes elided: 6)
 phases: source selection 0ns, analysis 0ns, execution 0ns, total 0ns
 result: 10 rows  complete: true
 ";

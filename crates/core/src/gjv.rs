@@ -254,11 +254,26 @@ pub fn detect_gjvs(
                 // (identical source lists for both patterns of a pair).
                 let mut tasks: Vec<(EndpointId, usize)> = Vec::new();
                 let mut outcomes: Vec<bool> = vec![false; checks.len()];
-                for (ci, (i, _, _, sig)) in checks.iter().enumerate() {
+                for (ci, (i, _, q, sig)) in checks.iter().enumerate() {
                     for &ep in sources.sources(&triples[*i]) {
                         match cache.get(sig, ep) {
                             Some(nonempty) => outcomes[ci] |= nonempty,
-                            None => tasks.push((ep, ci)),
+                            // Cache miss: offline statistics answer next
+                            // when conclusive for the probe's shape (see
+                            // `stats_check_answer`), eliding the wire
+                            // select; the answer is not cached.
+                            None => match fed.stats_for(ep).and_then(|s| stats_check_answer(&s, q))
+                            {
+                                Some(nonempty) => {
+                                    net.trace
+                                        .emit(|| lusail_endpoint::TraceEvent::StatsAnswered {
+                                            endpoint: ep,
+                                            kind: RequestKind::Check,
+                                        });
+                                    outcomes[ci] |= nonempty;
+                                }
+                                None => tasks.push((ep, ci)),
+                            },
                         }
                     }
                 }
@@ -435,6 +450,80 @@ fn write_query_for_sig(q: &Query) -> String {
         }
     }
     s
+}
+
+/// Answers a check/home-check probe from offline statistics when the
+/// probe's shape makes the summary *conclusive* — i.e. provably equal to
+/// what evaluating the probe at the endpoint would return. `None` sends
+/// the probe to the wire.
+///
+/// Both probe shapes built above are
+/// `SELECT ?v { outer… FILTER NOT EXISTS { inner } } LIMIT 1`, and the
+/// conclusive cases are:
+///
+/// 1. Some outer pattern is locally empty (its [`ask_pattern`] is
+///    conclusively false) ⇒ the probe is empty, answer `false`.
+/// 2. Home check (inner is `?v ?_ ?_`) with `?v` in subject position of
+///    some outer pattern ⇒ every binding of `?v` *is* a local subject,
+///    the NOT EXISTS excludes all of them, answer `false`. (The type
+///    constraint has this shape, so typed home checks are vacuous — a
+///    direct consequence of the paper's Fig. 6 construction.)
+/// 3. Home check with a single outer `?a <p> ?v` ⇒ nonempty iff `p` has
+///    a *foreign* object (one that is no local subject):
+///    [`objects_foreign`]`(p) > 0`.
+/// 4. Set-difference check with a single outer `?v <pk> ?b` and an
+///    uncorrelated inner `?v <pp> ?fresh` ⇒ nonempty iff some
+///    characteristic set contains `pk` but not `pp` — exact because the
+///    sets partition the endpoint's subjects:
+///    [`any_signature_with_without`]`(pk, pp)`.
+///
+/// [`ask_pattern`]: lusail_store::EndpointStats::ask_pattern
+/// [`objects_foreign`]: lusail_store::EndpointStats::objects_foreign
+/// [`any_signature_with_without`]: lusail_store::EndpointStats::any_signature_with_without
+fn stats_check_answer(stats: &lusail_store::EndpointStats, q: &Query) -> Option<bool> {
+    let var = q.projection.first()?.as_str();
+    for tp in &q.pattern.triples {
+        if stats.ask_pattern(tp) == Some(false) {
+            return Some(false);
+        }
+    }
+    let inner = q.pattern.not_exists.first()?.triples.first()?;
+    let home = inner.s.as_var() == Some(var) && inner.p.is_var() && inner.o.is_var();
+    if home {
+        if q.pattern
+            .triples
+            .iter()
+            .any(|tp| tp.s.as_var() == Some(var))
+        {
+            return Some(false);
+        }
+        if let [keep] = q.pattern.triples.as_slice() {
+            if keep.o.as_var() == Some(var) && keep.s.as_var().is_some() {
+                if let Some(p) = keep.p.as_const() {
+                    return Some(stats.objects_foreign(p) > 0);
+                }
+            }
+        }
+        return None;
+    }
+    let [keep] = q.pattern.triples.as_slice() else {
+        return None;
+    };
+    let (Some(ks), Some(pk), Some(kb)) = (keep.s.as_var(), keep.p.as_const(), keep.o.as_var())
+    else {
+        return None;
+    };
+    if ks != var || kb == var {
+        return None;
+    }
+    let (Some(is_), Some(pp), Some(io)) = (inner.s.as_var(), inner.p.as_const(), inner.o.as_var())
+    else {
+        return None;
+    };
+    if is_ != var || io == var || io == kb {
+        return None;
+    }
+    Some(stats.any_signature_with_without(pk, pp))
 }
 
 #[cfg(test)]
@@ -638,6 +727,151 @@ mod tests {
         let analysis = analyze(&fed, &q);
         assert!(analysis.gjvs.is_empty(), "{analysis:?}");
         assert!(analysis.conflicts.is_empty());
+    }
+
+    /// Mini-fuzz for [`stats_check_answer`]: across seeded random stores
+    /// and every probe shape the detector builds, a conclusive local
+    /// answer must equal evaluating the very same probe at the endpoint.
+    /// (The public-API property test in `lusail-testkit` covers the
+    /// ask/count paths; the check-probe builders are private to this
+    /// module, so their soundness is pinned here.)
+    #[test]
+    fn stats_check_answers_match_wire_evaluation() {
+        let mut conclusive = 0u32;
+        let mut nonempty_seen = false;
+        let mut empty_seen = false;
+        for seed in 0..48u64 {
+            let dict = Dictionary::shared();
+            let e = |l: String| Term::iri(format!("http://fz/{l}"));
+            let preds: Vec<Term> = (0..3).map(|i| e(format!("p{i}"))).collect();
+            let ty = e("T".into());
+            let type_pred = e("type".into());
+            let mut st = TripleStore::new(Arc::clone(&dict));
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut rng = move || {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                x >> 33
+            };
+            for s in 0..(rng() % 8) {
+                let subj = e(format!("s{s}"));
+                for (pi, p) in preds.iter().enumerate() {
+                    if rng() % 2 == 0 {
+                        let o = match rng() % 3 {
+                            0 => e(format!("s{}", rng() % 8)),
+                            1 => e(format!("o{}", rng() % 4)),
+                            _ => Term::lit(format!("l{pi}")),
+                        };
+                        st.insert_terms(&subj, p, &o);
+                    }
+                }
+                if rng() % 3 == 0 {
+                    st.insert_terms(&subj, &type_pred, &ty);
+                }
+            }
+            use lusail_endpoint::SparqlEndpoint;
+            let stats = lusail_store::EndpointStats::build(&st);
+            let ep = lusail_endpoint::LocalEndpoint::new("E", st);
+            let pid: Vec<TermId> = preds.iter().map(|p| dict.encode(p)).collect();
+            let ty_id = dict.encode(&ty);
+            let v = |n: &str| PatternTerm::Var(n.to_string());
+            let c = PatternTerm::Const;
+            // The type pattern the detector would attach (index 0 of the
+            // `triples` slice handed to the builders).
+            let type_tp = TriplePattern::new(v("v"), c(dict.encode(&type_pred)), c(ty_id));
+            let triples = [type_tp];
+            let keeps = [
+                TriplePattern::new(v("v"), c(pid[0]), v("b")),
+                TriplePattern::new(v("a"), c(pid[0]), v("v")),
+                TriplePattern::new(c(dict.encode(&e("s0".into()))), c(pid[0]), v("v")),
+                TriplePattern::new(v("v"), c(pid[0]), v("v")),
+            ];
+            let mut queries: Vec<Query> = Vec::new();
+            for keep in &keeps {
+                for probe in [
+                    TriplePattern::new(v("v"), c(pid[1]), v("x")),
+                    TriplePattern::new(v("x"), c(pid[1]), v("v")),
+                    TriplePattern::new(v("v"), c(pid[1]), v("b")),
+                ] {
+                    for type_info in [None, Some((0usize, ty_id))] {
+                        queries.push(check_query("v", keep, &probe, type_info, &triples).0);
+                    }
+                }
+                for type_info in [None, Some((0usize, ty_id))] {
+                    queries.push(home_check_query("v", keep, type_info, &triples).0);
+                }
+            }
+            for q in &queries {
+                let Some(local) = stats_check_answer(&stats, q) else {
+                    continue;
+                };
+                conclusive += 1;
+                let wire = !ep.select(q).unwrap().is_empty();
+                assert_eq!(
+                    local, wire,
+                    "seed {seed}: conclusive stats answer diverged from \
+                     wire evaluation for {q:?}"
+                );
+                nonempty_seen |= wire;
+                empty_seen |= !wire;
+            }
+        }
+        // The sweep must actually exercise the conclusive paths, both ways.
+        assert!(conclusive > 100, "only {conclusive} conclusive answers");
+        assert!(nonempty_seen && empty_seen);
+    }
+
+    #[test]
+    fn stats_elide_check_probes_without_changing_the_analysis() {
+        let fed = universities();
+        let q = qa(&fed);
+        let baseline = analyze(&fed, &q);
+        let wire = fed.stats_snapshot();
+        for id in 0..fed.len() {
+            let mut st = TripleStore::new(Arc::clone(fed.dict()));
+            rebuild_endpoint_store(&fed, id, &mut st);
+            fed.attach_stats(id, Arc::new(lusail_store::EndpointStats::build(&st)));
+        }
+        let with_stats = analyze(&fed, &q);
+        assert_eq!(with_stats.gjvs, baseline.gjvs);
+        assert_eq!(with_stats.conflicts, baseline.conflicts);
+        // Some check selects were answered locally: strictly fewer wire
+        // selects than the baseline run issued.
+        let baseline_selects = wire.select_requests;
+        let stats_selects = fed.stats_snapshot().select_requests - baseline_selects;
+        assert!(
+            stats_selects < baseline_selects,
+            "stats run issued {stats_selects} selects vs {baseline_selects}"
+        );
+    }
+
+    /// Re-creates endpoint `id`'s triples (the trait object hides the
+    /// store, so tests rebuild it from the same fixture data).
+    fn rebuild_endpoint_store(fed: &Federation, id: usize, st: &mut TripleStore) {
+        let ub = |l: &str| Term::iri(format!("http://ub/{l}"));
+        let e1 = |l: &str| Term::iri(format!("http://ep1/{l}"));
+        let e2 = |l: &str| Term::iri(format!("http://ep2/{l}"));
+        if fed.endpoint(id).name() == "EP1" {
+            st.insert_terms(&e1("Kim"), &ub("advisor"), &e1("Joy"));
+            st.insert_terms(&e1("Kim"), &ub("takesCourse"), &e1("c1"));
+            st.insert_terms(&e1("Joy"), &ub("teacherOf"), &e1("c1"));
+            st.insert_terms(&e1("Joy"), &ub("type"), &ub("Professor"));
+            st.insert_terms(&e1("Joy"), &ub("PhDDegreeFrom"), &e1("CMU"));
+            st.insert_terms(&e1("CMU"), &ub("address"), &Term::lit("CCCC"));
+            st.insert_terms(&e1("MIT"), &ub("address"), &Term::lit("XXX"));
+            st.insert_terms(&e1("Bob"), &ub("advisor"), &e1("Ann"));
+            st.insert_terms(&e1("Bob"), &ub("takesCourse"), &e1("c2"));
+            st.insert_terms(&e1("Ann"), &ub("type"), &ub("Professor"));
+            st.insert_terms(&e1("Ann"), &ub("PhDDegreeFrom"), &e1("CMU"));
+        } else {
+            st.insert_terms(&e2("Lee"), &ub("advisor"), &e2("Tim"));
+            st.insert_terms(&e2("Lee"), &ub("takesCourse"), &e2("c3"));
+            st.insert_terms(&e2("Tim"), &ub("teacherOf"), &e2("c3"));
+            st.insert_terms(&e2("Tim"), &ub("type"), &ub("Professor"));
+            st.insert_terms(&e2("Tim"), &ub("PhDDegreeFrom"), &e1("MIT"));
+            st.insert_terms(&e2("UoQ"), &ub("address"), &Term::lit("QQQ"));
+        }
     }
 
     #[test]

@@ -113,7 +113,24 @@ pub fn select_sources(
         for &ep_id in &logical {
             match cache.get(&key, ep_id) {
                 Some(answer) => known.push((tp.clone(), ep_id, answer)),
-                None => tasks.push((ep_id, tp.clone())),
+                // Cache miss: offline statistics answer next, when they
+                // are attached for the endpoint *and* conclusive for the
+                // pattern (a conclusive answer is exact — see
+                // `EndpointStats::ask_pattern`). Stats answers are not
+                // written into the probe cache: the cache is invalidated
+                // per-endpoint on death and stats independently so, and
+                // mixing the two would blur that audit trail.
+                None => match fed.stats_for(ep_id).and_then(|s| s.ask_pattern(tp)) {
+                    Some(answer) => {
+                        net.trace
+                            .emit(|| lusail_endpoint::TraceEvent::StatsAnswered {
+                                endpoint: ep_id,
+                                kind: lusail_endpoint::RequestKind::Ask,
+                            });
+                        known.push((tp.clone(), ep_id, answer));
+                    }
+                    None => tasks.push((ep_id, tp.clone())),
+                },
             }
         }
     }
@@ -228,6 +245,48 @@ mod tests {
         // otherwise every row would be fetched twice.
         assert_eq!(sm.sources(&q.pattern.triples[0]), &[primary]);
         assert_eq!(f.stats_snapshot().since(&before).ask_requests, 1);
+    }
+
+    #[test]
+    fn stats_elide_conclusive_asks_without_changing_sources() {
+        let f = fed();
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?o . ?s <http://x/q> ?o2 }",
+            f.dict(),
+        )
+        .unwrap();
+        let net = Net::default();
+        let baseline = select_sources(&f, &q.pattern, &ProbeCache::new(false), &net);
+        let wire = f.stats_snapshot();
+        // Attach stats for endpoint A only: its two probes (p present,
+        // q absent) are both conclusive, so only B's two go to the wire.
+        for id in 0..f.len() {
+            if f.endpoint(id).name() == "A" {
+                f.attach_stats(
+                    id,
+                    Arc::new(lusail_store::EndpointStats::build(&store_of(&f, id))),
+                );
+            }
+        }
+        let sm = select_sources(&f, &q.pattern, &ProbeCache::new(false), &net);
+        assert_eq!(f.stats_snapshot().since(&wire).ask_requests, 2);
+        for (tp, sources) in sm.iter() {
+            assert_eq!(sources, baseline.sources(tp));
+        }
+    }
+
+    /// Rebuilds the store content of endpoint `id` (tests only — local
+    /// endpoints do not expose their store through the trait object).
+    fn store_of(f: &Federation, id: usize) -> TripleStore {
+        let mut st = TripleStore::new(Arc::clone(f.dict()));
+        if f.endpoint(id).name() == "A" {
+            st.insert_terms(
+                &Term::iri("http://x/s1"),
+                &Term::iri("http://x/p"),
+                &Term::iri("http://x/o1"),
+            );
+        }
+        st
     }
 
     #[test]

@@ -143,6 +143,36 @@ impl QueryTrace {
         })
     }
 
+    /// Number of probes of one kind answered locally from offline
+    /// statistics (each elided exactly one wire request of that kind).
+    pub fn stats_answered(&self, kind: RequestKind) -> u64 {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev, TraceEvent::StatsAnswered { kind: k, .. } if *k == kind))
+            .count() as u64
+    }
+
+    /// The statistics the engine found loaded at query start:
+    /// `(endpoints with stats, total characteristic sets)`. `None` when
+    /// the run had no statistics attached.
+    pub fn stats_loaded(&self) -> Option<(usize, usize)> {
+        self.events.iter().find_map(|ev| match ev {
+            TraceEvent::StatsLoaded { endpoints, sets } => Some((*endpoints, *sets)),
+            _ => None,
+        })
+    }
+
+    /// True when the trace records any statistics activity worth
+    /// rendering.
+    pub fn has_stats_events(&self) -> bool {
+        self.events.iter().any(|ev| {
+            matches!(
+                ev,
+                TraceEvent::StatsLoaded { .. } | TraceEvent::StatsAnswered { .. }
+            )
+        })
+    }
+
     /// Total rows driven through hash-table probes across all join steps.
     /// Each hash join builds on its smaller input and probes with the
     /// larger one, so the probe side of a step is `max(left, right)` —
@@ -277,6 +307,42 @@ mod tests {
         };
         assert_eq!(trace.join_probe_rows(), 50);
         assert_eq!(QueryTrace::default().join_probe_rows(), 0);
+    }
+
+    #[test]
+    fn stats_events_are_aggregated() {
+        let plain = QueryTrace {
+            events: vec![request(RequestKind::Select, 1, true)],
+        };
+        assert!(!plain.has_stats_events());
+        assert_eq!(plain.stats_loaded(), None);
+        assert_eq!(plain.stats_answered(RequestKind::Ask), 0);
+        let trace = QueryTrace {
+            events: vec![
+                TraceEvent::StatsLoaded {
+                    endpoints: 2,
+                    sets: 5,
+                },
+                TraceEvent::StatsAnswered {
+                    endpoint: 0,
+                    kind: RequestKind::Ask,
+                },
+                TraceEvent::StatsAnswered {
+                    endpoint: 1,
+                    kind: RequestKind::Ask,
+                },
+                TraceEvent::StatsAnswered {
+                    endpoint: 0,
+                    kind: RequestKind::Count,
+                },
+                request(RequestKind::Select, 1, true),
+            ],
+        };
+        assert!(trace.has_stats_events());
+        assert_eq!(trace.stats_loaded(), Some((2, 5)));
+        assert_eq!(trace.stats_answered(RequestKind::Ask), 2);
+        assert_eq!(trace.stats_answered(RequestKind::Count), 1);
+        assert_eq!(trace.stats_answered(RequestKind::Check), 0);
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::fault::{FaultProfile, FlakyEndpoint};
 use crate::network::{NetworkProfile, StatsSnapshot};
 use crate::{EndpointRef, LocalEndpoint};
 use lusail_rdf::Dictionary;
-use lusail_store::TripleStore;
-use std::sync::Arc;
+use lusail_store::{EndpointStats, TripleStore};
+use std::sync::{Arc, Mutex};
 
 /// Index of an endpoint within a [`Federation`]. Engines carry endpoint
 /// sets as sorted `Vec<EndpointId>`.
@@ -27,6 +27,10 @@ pub struct Federation {
     /// `group_of[id]` is the id of the group's primary; an endpoint is a
     /// primary iff `group_of[id] == id`.
     group_of: Vec<EndpointId>,
+    /// Optional offline statistics per endpoint, indexed by endpoint id
+    /// and shared across clones (so an engine invalidating an entry after
+    /// an endpoint death is seen by every holder of the federation).
+    stats: Arc<Mutex<Vec<Option<Arc<EndpointStats>>>>>,
 }
 
 impl Federation {
@@ -36,6 +40,7 @@ impl Federation {
             dict,
             endpoints: Vec::new(),
             group_of: Vec::new(),
+            stats: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -155,6 +160,54 @@ impl Federation {
     /// Total triples across the federation.
     pub fn total_triples(&self) -> usize {
         self.endpoints.iter().map(|ep| ep.triple_count()).sum()
+    }
+
+    /// Attaches offline statistics for the endpoint. Statistics are an
+    /// optional planning layer: engines that consult them may answer
+    /// relevance/cardinality probes locally, but a conclusive local
+    /// answer must equal the wire answer (see `lusail_store::stats`).
+    /// Takes `&self` — the layer is interior-mutable and shared across
+    /// clones, like the endpoints' own counters.
+    pub fn attach_stats(&self, id: EndpointId, stats: Arc<EndpointStats>) {
+        assert!(id < self.endpoints.len(), "unknown endpoint {id}");
+        let mut slots = self.stats.lock().expect("stats lock poisoned");
+        if slots.len() < self.endpoints.len() {
+            slots.resize(self.endpoints.len(), None);
+        }
+        slots[id] = Some(stats);
+    }
+
+    /// The statistics attached for the endpoint, if any.
+    pub fn stats_for(&self, id: EndpointId) -> Option<Arc<EndpointStats>> {
+        self.stats
+            .lock()
+            .expect("stats lock poisoned")
+            .get(id)
+            .cloned()
+            .flatten()
+    }
+
+    /// Drops the endpoint's statistics (mirroring probe-cache
+    /// invalidation: once an endpoint is observed dead, requests fail
+    /// over to replicas whose data may have diverged, so summaries of the
+    /// dead member's store must stop answering conclusively).
+    pub fn invalidate_stats(&self, id: EndpointId) {
+        let mut slots = self.stats.lock().expect("stats lock poisoned");
+        if let Some(slot) = slots.get_mut(id) {
+            *slot = None;
+        }
+    }
+
+    /// `(endpoints with stats, total characteristic sets)` — `None` when
+    /// no endpoint carries statistics (the default).
+    pub fn stats_overview(&self) -> Option<(usize, usize)> {
+        let slots = self.stats.lock().expect("stats lock poisoned");
+        let endpoints = slots.iter().filter(|s| s.is_some()).count();
+        if endpoints == 0 {
+            return None;
+        }
+        let sets = slots.iter().flatten().map(|s| s.sets.len()).sum();
+        Some((endpoints, sets))
     }
 }
 
@@ -446,6 +499,35 @@ mod tests {
         assert_eq!(f.endpoint(2).name(), "A-replica");
         assert_eq!(f.logical_ids(), vec![0, 1]);
         assert_eq!(f.replica_group(0), vec![0, 2]);
+    }
+
+    #[test]
+    fn stats_attach_lookup_invalidate_shared_across_clones() {
+        let f = fed();
+        assert!(f.stats_for(0).is_none());
+        assert!(f.stats_overview().is_none());
+
+        let mut st = TripleStore::new(Arc::clone(f.dict()));
+        st.insert_terms(
+            &Term::iri("http://a/s"),
+            &Term::iri("http://a/p"),
+            &Term::iri("http://a/o"),
+        );
+        let stats = Arc::new(EndpointStats::build(&st));
+        f.attach_stats(0, Arc::clone(&stats));
+        assert!(f.stats_for(0).is_some());
+        assert!(f.stats_for(1).is_none());
+        assert_eq!(f.stats_overview(), Some((1, 1)));
+
+        // Clones see attachments and invalidations made through any holder.
+        let clone = f.clone();
+        assert!(clone.stats_for(0).is_some());
+        clone.invalidate_stats(0);
+        assert!(f.stats_for(0).is_none());
+        assert!(f.stats_overview().is_none());
+        // Invalidating an id without stats (or out of range) is a no-op.
+        f.invalidate_stats(1);
+        f.invalidate_stats(99);
     }
 
     #[test]

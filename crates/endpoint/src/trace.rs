@@ -203,6 +203,25 @@ pub enum TraceEvent {
         /// The replica the duplicate was sent to.
         replica: EndpointId,
     },
+    /// Offline statistics answered a planning question locally, eliding
+    /// the wire probe that would otherwise have been issued. No
+    /// [`TraceEvent::Request`] is emitted for an elided probe — request
+    /// accounting only ever counts wire work — so these events are the
+    /// audit trail for where statistics saved traffic.
+    StatsAnswered {
+        /// The endpoint whose probe was elided.
+        endpoint: EndpointId,
+        /// The kind of probe that would have gone to the wire.
+        kind: RequestKind,
+    },
+    /// The engine found offline statistics attached to the federation at
+    /// query start. Emitted at most once per run.
+    StatsLoaded {
+        /// Endpoints carrying statistics.
+        endpoints: usize,
+        /// Total characteristic sets across those endpoints.
+        sets: usize,
+    },
     /// An endpoint's circuit-breaker state changed.
     HealthTransition {
         /// The endpoint whose circuit moved.

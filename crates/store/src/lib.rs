@@ -16,6 +16,8 @@
 
 pub mod eval;
 pub mod expr;
+pub mod stats;
 pub mod store;
 
+pub use stats::{CharacteristicSet, EndpointStats, PredicateSummary};
 pub use store::{PredicateStats, TripleStore};

@@ -165,6 +165,16 @@ impl TripleStore {
         set.len() as u64
     }
 
+    /// Iterates over every triple in subject-grouped (SPO) order.
+    /// Planning-time work — used by the offline statistics build — so it
+    /// does *not* count toward [`TripleStore::rows_scanned`], unlike
+    /// [`TripleStore::scan`].
+    pub fn triples_spo(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
+        self.spo
+            .iter()
+            .map(|&(s, p, o)| (TermId(s), TermId(p), TermId(o)))
+    }
+
     /// Matches a triple pattern with optionally-bound positions, invoking
     /// `f` for each matching triple. Returns early (with `false`) if `f`
     /// returns `false`; returns `true` if the scan ran to completion.

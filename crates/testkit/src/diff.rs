@@ -173,6 +173,26 @@ pub enum Violation {
     /// Every replica group kept a healthy member, yet the outcome was
     /// flagged incomplete — failover should have absorbed every kill.
     DegradedDespiteReplicas,
+    /// The stats-on run diverged from the stats-off run — statistics may
+    /// only *elide* probes, never change what the query returns.
+    StatsDivergence {
+        /// Which facet diverged (`rows`, `solutions`, or `complete`).
+        facet: &'static str,
+        /// The facet's value with statistics attached.
+        on: String,
+        /// The facet's value without statistics.
+        off: String,
+    },
+    /// The stats-on run issued *more* wire requests of some kind than the
+    /// stats-off run — statistics must be a pure saving.
+    StatsRequestRegression {
+        /// The request-counter label.
+        kind: &'static str,
+        /// Requests with statistics attached.
+        on: u64,
+        /// Requests without statistics.
+        off: u64,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -218,6 +238,16 @@ impl std::fmt::Display for Violation {
                 f,
                 "outcome flagged incomplete although every replica group \
                  had a healthy member"
+            ),
+            Violation::StatsDivergence { facet, on, off } => write!(
+                f,
+                "stats-on run diverged from stats-off on {facet}: \
+                 {on} with stats, {off} without"
+            ),
+            Violation::StatsRequestRegression { kind, on, off } => write!(
+                f,
+                "stats-on run issued more {kind} requests than stats-off \
+                 ({on} vs {off})"
             ),
         }
     }
@@ -300,28 +330,119 @@ pub fn observe(
     threads: usize,
 ) -> Result<Observation, Violation> {
     let (fed, locals) = case.federation(faults);
-    let policy = if faults.is_clean() {
+    observe_on(case, engine, &fed, &locals, faults.is_clean(), threads)
+}
+
+/// The shared trailing half of [`observe`]: run the engine over an
+/// already-built federation, enforce the oracle contract and trace
+/// invariants, and return the run's [`Observation`].
+fn observe_on(
+    case: &Case,
+    engine: EngineKind,
+    fed: &lusail_endpoint::Federation,
+    locals: &[Arc<LocalEndpoint>],
+    clean: bool,
+    threads: usize,
+) -> Result<Observation, Violation> {
+    let policy = if clean {
         clean_policy()
     } else {
         faulty_policy()
     };
-    let runner = engine.build_tuned(&locals, policy, None);
+    let runner = engine.build_tuned(locals, policy, None);
     let before = fed.stats_snapshot();
     let sink = TraceSink::enabled();
     let opts = ExecOptions::default()
         .with_threads(threads)
         .with_trace(sink.clone());
     let outcome = runner
-        .run_with(&fed, &case.query, &opts)
+        .run_with(fed, &case.query, &opts)
         .map_err(|e| Violation::EngineError(format!("{e:?}")))?;
     let window = fed.stats_snapshot().since(&before);
     check_trace_invariants(&QueryTrace::from_sink(&sink), &window)?;
-    check_outcome(case, faults.is_clean(), false, &outcome)?;
+    check_outcome(case, clean, false, &outcome)?;
     Ok(Observation {
         solutions: outcome.solutions.canonicalize(),
         complete: outcome.complete,
         window,
     })
+}
+
+/// The stats-vs-wire differential: runs `engine` over the case twice —
+/// once without statistics and once with [`EndpointStats`] built from
+/// every *healthy* endpoint's store — and demands that statistics are
+/// invisible except as elided traffic:
+///
+/// * byte-identical canonicalized solutions and completeness flags
+///   (both runs also individually pass the ordinary oracle contract and
+///   trace invariants);
+/// * per-kind wire requests with stats on ≤ with stats off.
+///
+/// Faulted sweeps must use [`FaultSpec::random_dead_only`] plans: a
+/// transiently-flaky endpoint draws each fate from its request *index*,
+/// so eliding a probe would shift every later fate and the two runs would
+/// legitimately diverge. Dead-only plans are elision-invariant. Stats are
+/// withheld from dead endpoints — the state PR 4's invalidation converges
+/// to after a death is observed — so conclusive answers never speak for
+/// an endpoint whose data the engine can no longer reach.
+///
+/// [`EndpointStats`]: lusail_store::EndpointStats
+pub fn check_stats(
+    case: &Case,
+    engine: EngineKind,
+    faults: &FaultSpec,
+    threads: usize,
+) -> Result<(), Violation> {
+    let clean = faults.is_clean();
+    let (fed_off, locals_off) = case.federation(faults);
+    let off = observe_on(case, engine, &fed_off, &locals_off, clean, threads)?;
+
+    let (fed_on, locals_on) = case.federation(faults);
+    for (i, ep) in locals_on.iter().enumerate() {
+        if faults.profiles.get(i).copied().flatten().is_none() {
+            fed_on.attach_stats(i, Arc::new(lusail_store::EndpointStats::build(ep.store())));
+        }
+    }
+    let on = observe_on(case, engine, &fed_on, &locals_on, clean, threads)?;
+
+    if on.solutions != off.solutions {
+        return Err(Violation::StatsDivergence {
+            facet: "solutions",
+            on: format!("{} rows", on.solutions.len()),
+            off: format!("{} rows", off.solutions.len()),
+        });
+    }
+    if on.complete != off.complete {
+        return Err(Violation::StatsDivergence {
+            facet: "complete",
+            on: on.complete.to_string(),
+            off: off.complete.to_string(),
+        });
+    }
+    let kinds: [(&'static str, u64, u64); 4] = [
+        ("ask", on.window.ask_requests, off.window.ask_requests),
+        ("count", on.window.count_requests, off.window.count_requests),
+        (
+            "select",
+            on.window.select_requests,
+            off.window.select_requests,
+        ),
+        (
+            "total",
+            on.window.total_requests(),
+            off.window.total_requests(),
+        ),
+    ];
+    for (kind, on_n, off_n) in kinds {
+        if on_n > off_n {
+            return Err(Violation::StatsRequestRegression {
+                kind,
+                on: on_n,
+                off: off_n,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// [`check`] with a [`LusailTuning`] override, so sweeps can exercise the

@@ -98,6 +98,28 @@ impl FaultSpec {
         FaultSpec { profiles }
     }
 
+    /// Draws a *dead-only* fault plan: each endpoint is either healthy or
+    /// permanently dead (at least one of each when `n_endpoints > 1`).
+    /// Unlike [`FaultSpec::random`], no endpoint is transiently flaky —
+    /// transient fates are drawn per request *index*, so a plan
+    /// containing them is not invariant under probe elision. Dead-only
+    /// plans are: a dead endpoint fails every request whether or not
+    /// earlier probes were skipped, which is what lets the stats-vs-wire
+    /// differential (`check_stats`) demand byte-identical solutions
+    /// under faults.
+    pub fn random_dead_only(rng: &mut Rng, n_endpoints: usize) -> FaultSpec {
+        let mut profiles: Vec<Option<FaultProfile>> = (0..n_endpoints)
+            .map(|_| rng.chance(0.35).then(FaultProfile::dead))
+            .collect();
+        if profiles.iter().all(|p| p.is_none()) {
+            profiles[rng.below(n_endpoints)] = Some(FaultProfile::dead());
+        }
+        if n_endpoints > 1 && profiles.iter().all(|p| p.is_some()) {
+            profiles[rng.below(n_endpoints)] = None;
+        }
+        FaultSpec { profiles }
+    }
+
     /// Draws a *primary-kill* plan for a federation of `n_endpoints`
     /// logical endpoints replicated `replication` times. Profiles are
     /// indexed by final endpoint id (see

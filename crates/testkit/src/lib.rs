@@ -32,12 +32,51 @@ pub mod seed;
 pub mod shrink;
 
 pub use diff::{
-    check, check_replicated, check_trace_invariants, check_tuned, observe, oracle_solutions,
-    EngineKind, LusailTuning, Observation, Violation,
+    check, check_replicated, check_stats, check_trace_invariants, check_tuned, observe,
+    oracle_solutions, EngineKind, LusailTuning, Observation, Violation,
 };
 pub use gen::{Case, FaultSpec, GenConfig};
 pub use seed::{parse_seed, seed_from_env, SEED_ENV_VAR};
 pub use shrink::{shrink, Repro};
+
+/// Runs one seeded stats-vs-wire differential case end-to-end for one
+/// engine (see [`check_stats`]): generate, run with and without offline
+/// statistics, compare, and on failure shrink and package the repro.
+/// `faulty` draws a *dead-only* fault plan (the only fault family under
+/// which probe elision is behavior-invariant — see
+/// [`FaultSpec::random_dead_only`]).
+pub fn run_stats_case(
+    case_seed: u64,
+    config: &GenConfig,
+    engine: EngineKind,
+    faulty: bool,
+    threads: usize,
+) -> Result<(), Box<Repro>> {
+    let case = Case::generate(case_seed, config);
+    let faults = if faulty {
+        let mut rng = lusail_benchdata::common::Rng::new(case_seed ^ 0xFA17_0000_0000_0002);
+        FaultSpec::random_dead_only(&mut rng, case.n_endpoints)
+    } else {
+        FaultSpec::default()
+    };
+    match check_stats(&case, engine, &faults, threads) {
+        Ok(()) => Ok(()),
+        Err(first_violation) => {
+            let still_fails =
+                |c: &Case, f: &FaultSpec| -> bool { check_stats(c, engine, f, threads).is_err() };
+            let (small, small_faults) = shrink(&case, &faults, &still_fails);
+            let violation = check_stats(&small, engine, &small_faults, threads)
+                .err()
+                .unwrap_or(first_violation);
+            Err(Box::new(Repro {
+                case: small,
+                faults: small_faults,
+                engine,
+                violation,
+            }))
+        }
+    }
+}
 
 /// Runs one seeded case end-to-end for one engine: generate, check, and
 /// on failure shrink and package the repro. `faulty` draws a fault plan

@@ -65,9 +65,34 @@ sed 's/ in [0-9.]* ms//' "$tmpdir/q2_t4.txt" > "$tmpdir/q2_t4.stable"
 diff -u "$tmpdir/q2_t1.stable" "$tmpdir/q2_t4.stable"
 echo "parallel smoke: --threads 4 output matches --threads 1"
 
-echo "==> bench smoke (counters reproduce BENCH_6.json across thread budgets, gate holds)"
+echo "==> stats smoke (LUBM Q1, offline statistics elide probes, results unchanged)"
+cargo run --release -q --bin lusail-cli -- stats \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --out "$tmpdir/stats" >/dev/null
+cargo run --release -q --bin lusail-cli -- query \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --query-file "$tmpdir/queries/Q1.rq" > "$tmpdir/q1_wire.txt"
+cargo run --release -q --bin lusail-cli -- query \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --query-file "$tmpdir/queries/Q1.rq" \
+    --stats "$tmpdir/stats" > "$tmpdir/q1_stats.txt"
+# Solutions must be byte-identical; only the load banner and the summary
+# line (wall time, request counters) may differ.
+sed '/^loaded /d; / rows in /d' "$tmpdir/q1_wire.txt"  > "$tmpdir/q1_wire.rows"
+sed '/^loaded /d; / rows in /d' "$tmpdir/q1_stats.txt" > "$tmpdir/q1_stats.rows"
+diff -u "$tmpdir/q1_wire.rows" "$tmpdir/q1_stats.rows"
+reqs() { grep -o '[0-9]* remote requests' "$1" | cut -d' ' -f1; }
+wire_reqs=$(reqs "$tmpdir/q1_wire.txt")
+stats_reqs=$(reqs "$tmpdir/q1_stats.txt")
+if [ "$stats_reqs" -ge "$wire_reqs" ]; then
+    echo "stats smoke: no probe was elided ($stats_reqs vs $wire_reqs requests)" >&2
+    exit 1
+fi
+echo "stats smoke: identical rows, requests $wire_reqs -> $stats_reqs"
+
+echo "==> bench smoke (counters reproduce BENCH_7.json across thread budgets, gate holds)"
 cargo run --release -q -p lusail-bench --bin lusail-bench -- \
-    check --against BENCH_6.json --workload lubm --query Q4 --threads 1 --threads 4
+    check --against BENCH_7.json --workload lubm --query Q4 --threads 1 --threads 4
 
 echo "==> fuzz smoke (200 iterations, 30 s cap)"
 set +e

@@ -26,7 +26,17 @@
 //! * `explain --endpoint FILE.nt ... (--query 'SPARQL' | --query-file F)`
 //!   — print Lusail's compile-time plan: sources, global join variables,
 //!   subqueries and delay decisions.
+//! * `stats --endpoint FILE.nt ... --out DIR` — the offline statistics
+//!   build: summarize each endpoint file into characteristic sets and
+//!   per-predicate cardinalities, written as `DIR/<name>.stats` in the
+//!   `lusail-stats/v1` text format.
 //! * `demo` — the paper's two-university running example, end to end.
+//!
+//! `query` and `explain` also accept `--stats build|DIR`: `build`
+//! summarizes every endpoint in-process at load time, `DIR` loads the
+//! files a prior `stats` run wrote. With statistics attached, Lusail
+//! answers conclusive ASK/COUNT/check probes locally instead of crossing
+//! the wire — results are identical, request counts drop.
 //!
 //! Each `--endpoint` file becomes one SPARQL endpoint named after the
 //! file stem.
@@ -51,16 +61,18 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("query") => cmd_query(&args[1..], false),
         Some("explain") => cmd_query(&args[1..], true),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: lusail-cli <generate|query|explain|demo> [options]\n\
+                "usage: lusail-cli <generate|query|explain|stats|demo> [options]\n\
                  \n\
                  generate --workload lubm|qfed|lrb|bio2rdf --out DIR [--size N]\n\
                  query    --endpoint F.nt ... (--query SPARQL | --query-file F) [--engine lusail|fedx]\n\
                  \x20        [--replica NAME=F.nt ...] [--kill NAME[:N] ...] [--threads N]\n\
-                 \x20        [--explain-analyze [--fixed-clock]]\n\
-                 explain  --endpoint F.nt ... (--query SPARQL | --query-file F)\n\
+                 \x20        [--stats build|DIR] [--explain-analyze [--fixed-clock]]\n\
+                 explain  --endpoint F.nt ... (--query SPARQL | --query-file F) [--stats build|DIR]\n\
+                 stats    --endpoint F.nt ... --out DIR\n\
                  demo"
             );
             return ExitCode::from(2);
@@ -183,6 +195,7 @@ fn load_federation(
     paths: &[&str],
     replicas: &[&str],
     kills: &[&str],
+    stats_mode: Option<&str>,
 ) -> Result<(Federation, Arc<Dictionary>), String> {
     if paths.is_empty() {
         return Err("at least one --endpoint file is required".into());
@@ -207,9 +220,16 @@ fn load_federation(
     };
     let mut builder = Federation::builder(Arc::clone(&dict));
     let mut primary_names = Vec::new();
+    // In `--stats build` mode the summaries come straight from the loaded
+    // stores (before they move into the builder); in `--stats DIR` mode
+    // they are read back from a prior `lusail-cli stats` run below.
+    let mut built_stats: Vec<(String, lusail_store::EndpointStats)> = Vec::new();
     for p in paths {
         let (name, store) = load(p)?;
         println!("loaded endpoint {name}: {} triples", store.len());
+        if stats_mode == Some("build") {
+            built_stats.push((name.clone(), lusail_store::EndpointStats::build(&store)));
+        }
         builder = apply_kills(builder.endpoint(&name, store), &name, &mut kill_specs);
         primary_names.push(name);
     }
@@ -234,7 +254,75 @@ fn load_federation(
     if let Some((name, _, _)) = kill_specs.iter().find(|(_, _, used)| !used) {
         return Err(format!("--kill {name:?}: no endpoint with that name"));
     }
-    Ok((builder.build(), dict))
+    let fed = builder.build();
+    match stats_mode {
+        None => {}
+        Some("build") => {
+            for (name, stats) in built_stats {
+                let sets = stats.sets.len();
+                let (id, _) = fed.endpoint_by_name(&name).expect("endpoint just added");
+                fed.attach_stats(id, Arc::new(stats));
+                println!("built statistics for {name}: {sets} characteristic set(s)");
+            }
+        }
+        Some(dir) => {
+            let mut attached = 0usize;
+            for name in &primary_names {
+                let path = Path::new(dir).join(format!("{name}.stats"));
+                let Ok(text) = std::fs::read_to_string(&path) else {
+                    println!("no statistics for {name} ({} not found)", path.display());
+                    continue;
+                };
+                let stats = lusail_store::EndpointStats::from_text(&text, &dict)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                let sets = stats.sets.len();
+                let (id, _) = fed.endpoint_by_name(name).expect("endpoint just added");
+                fed.attach_stats(id, Arc::new(stats));
+                println!("loaded statistics for {name}: {sets} characteristic set(s)");
+                attached += 1;
+            }
+            if attached == 0 {
+                return Err(format!(
+                    "--stats {dir}: no .stats file matched any endpoint"
+                ));
+            }
+        }
+    }
+    Ok((fed, dict))
+}
+
+/// The offline statistics build: one `.stats` file per endpoint file,
+/// in the `lusail-stats/v1` text format `--stats DIR` loads back.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let endpoints = flag_values(args, "--endpoint");
+    if endpoints.is_empty() {
+        return Err("at least one --endpoint file is required".into());
+    }
+    let out = PathBuf::from(flag_value(args, "--out").ok_or("missing --out")?);
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    let dict = Dictionary::shared();
+    for p in endpoints {
+        let path = Path::new(p);
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{p}: {e}"))?;
+        let triples = ntriples::parse_document(&text, &dict).map_err(|e| format!("{p}: {e}"))?;
+        let mut store = TripleStore::new(Arc::clone(&dict));
+        store.extend(triples);
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.to_string());
+        let stats = lusail_store::EndpointStats::build(&store);
+        let rendered = stats.to_text(&dict)?;
+        let target = out.join(format!("{name}.stats"));
+        std::fs::write(&target, rendered).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} ({} characteristic set(s), {} predicate(s))",
+            target.display(),
+            stats.sets.len(),
+            stats.predicates.len()
+        );
+    }
+    Ok(())
 }
 
 fn read_query(args: &[String], dict: &Dictionary) -> Result<lusail_sparql::Query, String> {
@@ -253,7 +341,8 @@ fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
     let endpoints = flag_values(args, "--endpoint");
     let replicas = flag_values(args, "--replica");
     let kills = flag_values(args, "--kill");
-    let (fed, dict) = load_federation(&endpoints, &replicas, &kills)?;
+    let stats_mode = flag_value(args, "--stats");
+    let (fed, dict) = load_federation(&endpoints, &replicas, &kills, stats_mode)?;
     let query = read_query(args, &dict)?;
 
     if explain_only {

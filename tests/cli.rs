@@ -114,6 +114,102 @@ fn generate_query_explain_roundtrip() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The offline statistics workflow end to end: `stats` writes one
+/// `.stats` file per endpoint, `query --stats DIR` loads them back and
+/// elides probes — same rows, strictly fewer remote requests than the
+/// plain run — and `query --stats build` (in-process summaries) issues
+/// exactly as many requests as the file-loaded run, pinning the text
+/// round-trip as faithful.
+#[test]
+fn stats_build_and_load_elide_requests_without_changing_rows() {
+    let dir = tempdir("stats");
+    let out = cli()
+        .args([
+            "generate",
+            "--workload",
+            "lubm",
+            "--out",
+            dir.to_str().unwrap(),
+            "--size",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cli()
+        .args([
+            "stats",
+            "--endpoint",
+            dir.join("univ-0.nt").to_str().unwrap(),
+            "--endpoint",
+            dir.join("univ-1.nt").to_str().unwrap(),
+            "--out",
+            dir.join("stats").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("stats/univ-0.stats").exists());
+    assert!(dir.join("stats/univ-1.stats").exists());
+
+    let run = |stats_arg: Option<&str>| -> String {
+        let mut args = vec![
+            "query".to_string(),
+            "--endpoint".into(),
+            dir.join("univ-0.nt").to_str().unwrap().into(),
+            "--endpoint".into(),
+            dir.join("univ-1.nt").to_str().unwrap().into(),
+            "--query-file".into(),
+            dir.join("queries/Q1.rq").to_str().unwrap().into(),
+        ];
+        if let Some(s) = stats_arg {
+            args.push("--stats".into());
+            args.push(s.into());
+        }
+        let out = cli().args(&args).output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let summary = |s: &str| -> (u64, u64) {
+        let line = s.lines().find(|l| l.contains("rows in")).expect("summary");
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let rows = words[0].parse().expect("row count");
+        let reqs_at = words.iter().position(|w| *w == "remote").expect("requests") - 1;
+        (rows, words[reqs_at].parse().expect("request count"))
+    };
+
+    let wire = run(None);
+    let loaded = run(Some(dir.join("stats").to_str().unwrap()));
+    let built = run(Some("build"));
+    let (wire_rows, wire_reqs) = summary(&wire);
+    let (loaded_rows, loaded_reqs) = summary(&loaded);
+    let (built_rows, built_reqs) = summary(&built);
+    assert_eq!(wire_rows, loaded_rows, "statistics changed the row count");
+    assert_eq!(wire_rows, built_rows, "in-process statistics changed rows");
+    assert!(
+        loaded_reqs < wire_reqs,
+        "statistics elided nothing: {loaded_reqs} vs {wire_reqs} requests"
+    );
+    assert_eq!(
+        loaded_reqs, built_reqs,
+        "file-loaded statistics diverge from in-process summaries"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn demo_prints_the_interlink_row() {
     let out = cli().arg("demo").output().expect("spawn");

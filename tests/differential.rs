@@ -23,8 +23,8 @@
 
 use lusail_benchdata::common::Rng;
 use lusail_testkit::{
-    check_replicated, check_tuned, run_case, seed_from_env, Case, EngineKind, FaultSpec, GenConfig,
-    LusailTuning, SEED_ENV_VAR,
+    check_replicated, check_tuned, run_case, run_stats_case, seed_from_env, Case, EngineKind,
+    FaultSpec, GenConfig, LusailTuning, SEED_ENV_VAR,
 };
 
 /// Default stream seed; overridable via `LUSAIL_TEST_SEED`.
@@ -170,6 +170,39 @@ fn tuned_adaptive_batching_matches_the_oracle() {
                         "tuned case {i} (seed {case_seed:#x}, {}, {} mode): {v}",
                         engine.name(),
                         if faults.is_clean() { "clean" } else { "faulty" }
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Stats-vs-wire differential sweep: 30 seeded cases, every engine, with
+/// offline statistics attached vs absent, clean and under dead-only fault
+/// plans, at worker budgets 1 and 4. Statistics may only *elide* probes:
+/// `check_stats` demands byte-identical canonicalized solutions and
+/// completeness flags, per-kind wire requests stats-on ≤ stats-off, and
+/// both runs individually passing the oracle contract and trace
+/// invariants. (Only Lusail consults statistics today — the baselines run
+/// as an "attached stats are inert elsewhere" control.) Failures shrink
+/// to a self-contained repro like every other sweep here.
+#[test]
+fn stats_elision_is_invisible_in_results() {
+    let config = GenConfig::default();
+    let mut stream = Rng::new(seed_from_env(DEFAULT_STREAM_SEED) ^ 0x57A7_57A7);
+    for i in 0..30 {
+        let case_seed = stream.next_u64();
+        // Alternate worker budgets across the stream (running every case
+        // at both budgets would double the tier-1 bill; the parallel
+        // determinism contract is pinned separately).
+        let threads = if i % 2 == 0 { 1 } else { 4 };
+        for engine in EngineKind::ALL {
+            for faulty in [false, true] {
+                if let Err(repro) = run_stats_case(case_seed, &config, engine, faulty, threads) {
+                    panic!(
+                        "stats case {i} (seed {case_seed:#x}, {}, {} mode, {threads} threads):\n{repro}",
+                        engine.name(),
+                        if faulty { "faulty" } else { "clean" }
                     );
                 }
             }

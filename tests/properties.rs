@@ -309,6 +309,90 @@ fn any_subject_partition_yields_centralized_results() {
     }
 }
 
+// ---------- statistics soundness --------------------------------------------
+
+/// Soundness of probe elision: whenever the offline characteristic-set
+/// statistics give a *conclusive* answer for a triple pattern, that
+/// answer must equal what the wire probe returns against the very store
+/// the statistics were built from — `ask_pattern` vs an ASK request,
+/// `count_pattern` vs a COUNT request. Inconclusive (`None`) is always
+/// acceptable (the planner falls back to the wire), but a conclusive lie
+/// would silently change query results, so exactness is the bar. The
+/// generator deliberately produces repeated variables, constants in
+/// every position, absent predicates, and empty stores — the shapes the
+/// decidability rules in `EndpointStats::count_pattern` must refuse or
+/// answer exactly.
+#[test]
+fn conclusive_stats_answers_match_wire_probes() {
+    use lusail_endpoint::SparqlEndpoint;
+    use lusail_store::EndpointStats;
+
+    let mut rng = Rng::new(seed_from_env(0x57A7_0B0B));
+    let (mut asks, mut counts) = (0u64, 0u64);
+    let (mut seen_true, mut seen_false) = (false, false);
+    for case in 0..120 {
+        let dict = Dictionary::shared();
+        let mut st = TripleStore::new(Arc::clone(&dict));
+        let node = |n: usize, dict: &Dictionary| dict.encode(&Term::iri(format!("http://g/n{n}")));
+        let pred = |n: usize, dict: &Dictionary| dict.encode(&Term::iri(format!("http://g/p{n}")));
+        // `below(40)` includes 0, so empty stores are exercised too.
+        for _ in 0..rng.below(40) {
+            st.insert(lusail_rdf::Triple::new(
+                node(rng.below(10), &dict),
+                pred(rng.below(4), &dict),
+                node(rng.below(10), &dict),
+            ));
+        }
+        let stats = EndpointStats::build(&st);
+        let ep = LocalEndpoint::new("e", st);
+
+        const VARS: [&str; 3] = ["a", "b", "c"];
+        for probe in 0..40 {
+            // Constants range past the data universe so absent predicates
+            // and unmatched nodes occur; variables repeat across positions.
+            let position = |rng: &mut Rng, is_pred: bool, dict: &Dictionary| {
+                if rng.chance(0.5) {
+                    PatternTerm::Var(VARS[rng.below(VARS.len())].to_string())
+                } else if is_pred {
+                    PatternTerm::Const(pred(rng.below(6), dict))
+                } else {
+                    PatternTerm::Const(node(rng.below(12), dict))
+                }
+            };
+            let tp = TriplePattern::new(
+                position(&mut rng, false, &dict),
+                position(&mut rng, true, &dict),
+                position(&mut rng, false, &dict),
+            );
+            let bgp = || GroupPattern::bgp(vec![tp.clone()]);
+            if let Some(local) = stats.ask_pattern(&tp) {
+                let wire = ep.ask(&Query::ask(bgp())).unwrap();
+                assert_eq!(
+                    local, wire,
+                    "case {case} probe {probe}: conclusive ASK diverged for {tp:?}"
+                );
+                asks += 1;
+                seen_true |= local;
+                seen_false |= !local;
+            }
+            if let Some(local) = stats.count_pattern(&tp) {
+                let wire = ep.count(&Query::count(bgp())).unwrap();
+                assert_eq!(
+                    local, wire,
+                    "case {case} probe {probe}: conclusive COUNT diverged for {tp:?}"
+                );
+                counts += 1;
+            }
+        }
+    }
+    // The property is vacuous if the rules never conclude, or conclude
+    // only one way.
+    assert!(
+        asks > 500 && counts > 500 && seen_true && seen_false,
+        "coverage too thin: {asks} asks, {counts} counts, true {seen_true}, false {seen_false}"
+    );
+}
+
 // ---------- retry backoff ---------------------------------------------------
 
 /// The jittered exponential backoff schedule is a pure function of

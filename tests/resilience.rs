@@ -397,6 +397,98 @@ fn slow_primary_is_hedged_with_its_replica() {
     );
 }
 
+// ---------- statistics staleness across failover ----------------------------
+
+/// Offline statistics summarize the *primary's* store. Once a dead
+/// primary's group is served by a replica that has diverged from it, a
+/// conclusive local answer derived from those statistics may be wrong —
+/// so `finish()` must drop the endpoint's stats exactly like it drops
+/// the memoized probe answers (the PR-4 staleness rule). Regression
+/// scenario: the primary has no `<q>` triples (its statistics
+/// conclusively deny the predicate), the replica *does*; after the first
+/// query fails over, a second query over `<q>` must reach the wire and
+/// return the replica's rows instead of being elided to empty by stale
+/// statistics.
+#[test]
+fn failover_to_diverged_replica_invalidates_stale_statistics() {
+    use lusail_sparql::ast::{PatternTerm, TriplePattern};
+    use lusail_store::EndpointStats;
+
+    let dict = Dictionary::shared();
+    let mut primary_st = TripleStore::new(Arc::clone(&dict));
+    let mut replica_st = TripleStore::new(Arc::clone(&dict));
+    for i in 0..4 {
+        let s = Term::iri(format!("http://x/s{i}"));
+        primary_st.insert_terms(&s, &Term::iri("http://x/p"), &Term::int(i));
+        replica_st.insert_terms(&s, &Term::iri("http://x/p"), &Term::int(i));
+    }
+    // The divergence: three <q> triples only the replica carries.
+    for i in 0..3 {
+        replica_st.insert_terms(
+            &Term::iri(format!("http://x/s{i}")),
+            &Term::iri("http://x/q"),
+            &Term::int(100 + i),
+        );
+    }
+
+    // Statistics built from the primary conclusively deny <q> — the
+    // answer a stale consultation would serve after the failover.
+    let stats = Arc::new(EndpointStats::build(&primary_st));
+    let q_probe = TriplePattern::new(
+        PatternTerm::Var("s".into()),
+        PatternTerm::Const(dict.encode(&Term::iri("http://x/q"))),
+        PatternTerm::Var("o".into()),
+    );
+    assert_eq!(stats.ask_pattern(&q_probe), Some(false));
+
+    let mut fed = Federation::new(Arc::clone(&dict));
+    let primary = fed.add(Arc::new(FlakyEndpoint::new(
+        Arc::new(LocalEndpoint::new("P", primary_st)),
+        FaultProfile::dead(),
+    )));
+    fed.add_replica(primary, Arc::new(LocalEndpoint::new("R", replica_st)));
+    fed.attach_stats(primary, stats);
+
+    // The elided ASK leaves the SELECT as the *only* wire attempt on the
+    // primary, so the circuit must trip on that first failure for the
+    // report to mark the endpoint dead.
+    let engine = Lusail::default().with_policy(RequestPolicy {
+        trip_threshold: 1,
+        ..RequestPolicy::default()
+    });
+
+    // Query 1 (over <p>): the ASK is elided by the (still valid)
+    // statistics, the SELECT discovers the dead primary and fails over to
+    // the replica, and the failure report marks the primary dead — which
+    // must take its statistics down with its probe caches.
+    let q1 = parse_query("SELECT * WHERE { ?s <http://x/p> ?o }", &dict).unwrap();
+    let r1 = engine.execute(&fed, &q1).unwrap();
+    assert!(r1.complete, "replica failed to absorb the dead primary");
+    assert_eq!(r1.solutions.len(), 4);
+    assert!(
+        r1.failures.iter().any(|f| f.endpoint == primary && f.dead),
+        "failure report does not mark the primary dead: {:?}",
+        r1.failures
+    );
+    assert!(
+        fed.stats_for(primary).is_none(),
+        "stale statistics survived the failover"
+    );
+
+    // Query 2 (over <q>): with the stats gone the ASK goes to the wire,
+    // fails over, and the replica answers true — so the diverged rows
+    // come back. Stale statistics would have concluded "no source" and
+    // returned an empty (yet nominally complete) result.
+    let q2 = parse_query("SELECT * WHERE { ?s <http://x/q> ?o }", &dict).unwrap();
+    let r2 = engine.execute(&fed, &q2).unwrap();
+    assert!(r2.complete, "replica failed to absorb the dead primary");
+    assert_eq!(
+        r2.solutions.len(),
+        3,
+        "diverged replica rows went missing after failover"
+    );
+}
+
 #[test]
 fn exhausted_query_budget_blocks_failover_wire_attempts() {
     let (dict, st) = tiny_endpoint();
