@@ -458,19 +458,26 @@ fn write_query_for_sig(q: &Query) -> String {
 /// the probe to the wire.
 ///
 /// Both probe shapes built above are
-/// `SELECT ?v { outer… FILTER NOT EXISTS { inner } } LIMIT 1`, and the
-/// conclusive cases are:
+/// `SELECT ?v { outer… FILTER NOT EXISTS { inner } } LIMIT 1` with a
+/// single-triple NOT EXISTS group and plain BGPs throughout — any other
+/// shape returns `None` unseen. The conclusive cases are:
 ///
 /// 1. Some outer pattern is locally empty (its [`ask_pattern`] is
 ///    conclusively false) ⇒ the probe is empty, answer `false`.
-/// 2. Home check (inner is `?v ?_ ?_`) with `?v` in subject position of
-///    some outer pattern ⇒ every binding of `?v` *is* a local subject,
-///    the NOT EXISTS excludes all of them, answer `false`. (The type
-///    constraint has this shape, so typed home checks are vacuous — a
-///    direct consequence of the paper's Fig. 6 construction.)
-/// 3. Home check with a single outer `?a <p> ?v` ⇒ nonempty iff `p` has
-///    a *foreign* object (one that is no local subject):
-///    [`objects_foreign`]`(p) > 0`.
+/// 2. Home check (inner is `?v ?p ?o` where `?p`/`?o` are *fresh*:
+///    distinct from `?v`, from each other, and unmentioned in the outer
+///    patterns) with `?v` in subject position of some outer pattern ⇒
+///    every binding of `?v` *is* a local subject, the NOT EXISTS
+///    excludes all of them, answer `false`. (The type constraint has
+///    this shape, so typed home checks are vacuous — a direct
+///    consequence of the paper's Fig. 6 construction.) Freshness is
+///    load-bearing: `check_query` preserves variables shared with the
+///    kept pattern, so a repeated join variable reappears as the inner
+///    object (`?v ?x ?v`), which only excludes self-referencing
+///    subjects — not every local subject.
+/// 3. Home check (same freshness requirement) with a single outer
+///    `?a <p> ?v` ⇒ nonempty iff `p` has a *foreign* object (one that
+///    is no local subject): [`objects_foreign`]`(p) > 0`.
 /// 4. Set-difference check with a single outer `?v <pk> ?b` and an
 ///    uncorrelated inner `?v <pp> ?fresh` ⇒ nonempty iff some
 ///    characteristic set contains `pk` but not `pp` — exact because the
@@ -482,22 +489,49 @@ fn write_query_for_sig(q: &Query) -> String {
 /// [`any_signature_with_without`]: lusail_store::EndpointStats::any_signature_with_without
 fn stats_check_answer(stats: &lusail_store::EndpointStats, q: &Query) -> Option<bool> {
     let var = q.projection.first()?.as_str();
-    for tp in &q.pattern.triples {
+    // The reasoning below assumes the exact probe shape the builders
+    // above produce; answer only that shape, never a partial view of a
+    // richer pattern.
+    let pat = &q.pattern;
+    if !pat.filters.is_empty()
+        || !pat.optionals.is_empty()
+        || !pat.unions.is_empty()
+        || pat.values.is_some()
+    {
+        return None;
+    }
+    let [group] = pat.not_exists.as_slice() else {
+        return None;
+    };
+    let [inner] = group.triples.as_slice() else {
+        return None;
+    };
+    if !group.filters.is_empty()
+        || !group.optionals.is_empty()
+        || !group.unions.is_empty()
+        || !group.not_exists.is_empty()
+        || group.values.is_some()
+    {
+        return None;
+    }
+    for tp in &pat.triples {
         if stats.ask_pattern(tp) == Some(false) {
             return Some(false);
         }
     }
-    let inner = q.pattern.not_exists.first()?.triples.first()?;
-    let home = inner.s.as_var() == Some(var) && inner.p.is_var() && inner.o.is_var();
+    let outer_mentions = |name: &str| pat.triples.iter().any(|tp| tp.mentions(name));
+    let home = inner.s.as_var() == Some(var)
+        && match (inner.p.as_var(), inner.o.as_var()) {
+            (Some(ip), Some(io)) => {
+                ip != var && io != var && ip != io && !outer_mentions(ip) && !outer_mentions(io)
+            }
+            _ => false,
+        };
     if home {
-        if q.pattern
-            .triples
-            .iter()
-            .any(|tp| tp.s.as_var() == Some(var))
-        {
+        if pat.triples.iter().any(|tp| tp.s.as_var() == Some(var)) {
             return Some(false);
         }
-        if let [keep] = q.pattern.triples.as_slice() {
+        if let [keep] = pat.triples.as_slice() {
             if keep.o.as_var() == Some(var) && keep.s.as_var().is_some() {
                 if let Some(p) = keep.p.as_const() {
                     return Some(stats.objects_foreign(p) > 0);
@@ -506,7 +540,7 @@ fn stats_check_answer(stats: &lusail_store::EndpointStats, q: &Query) -> Option<
         }
         return None;
     }
-    let [keep] = q.pattern.triples.as_slice() else {
+    let [keep] = pat.triples.as_slice() else {
         return None;
     };
     let (Some(ks), Some(pk), Some(kb)) = (keep.s.as_var(), keep.p.as_const(), keep.o.as_var())
@@ -786,6 +820,7 @@ mod tests {
                 TriplePattern::new(v("a"), c(pid[0]), v("v")),
                 TriplePattern::new(c(dict.encode(&e("s0".into()))), c(pid[0]), v("v")),
                 TriplePattern::new(v("v"), c(pid[0]), v("v")),
+                TriplePattern::new(v("v"), v("k"), v("b")),
             ];
             let mut queries: Vec<Query> = Vec::new();
             for keep in &keeps {
@@ -793,6 +828,18 @@ mod tests {
                     TriplePattern::new(v("v"), c(pid[1]), v("x")),
                     TriplePattern::new(v("x"), c(pid[1]), v("v")),
                     TriplePattern::new(v("v"), c(pid[1]), v("b")),
+                    // Variable-predicate probes: after `check_query`'s
+                    // generalization these produce the home-shaped and
+                    // correlated inner triples (`?v ?x ?v` repeats the
+                    // join variable; `?b`/`?k` stay shared with the kept
+                    // pattern) that route through — or must be rejected
+                    // by — the home-detection branch.
+                    TriplePattern::new(v("v"), v("x"), v("v")),
+                    TriplePattern::new(v("v"), v("x"), v("a")),
+                    TriplePattern::new(v("v"), v("x"), v("b")),
+                    TriplePattern::new(v("a"), v("x"), v("v")),
+                    TriplePattern::new(v("v"), v("b"), v("x")),
+                    TriplePattern::new(v("v"), v("k"), v("x")),
                 ] {
                     for type_info in [None, Some((0usize, ty_id))] {
                         queries.push(check_query("v", keep, &probe, type_info, &triples).0);
