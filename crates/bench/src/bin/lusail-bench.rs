@@ -18,14 +18,113 @@ use lusail_bench::json;
 use lusail_bench::suite::{
     check_gate, check_thread_invariance, compare_runs, run_suite, SuiteOptions,
 };
+use lusail_benchdata::lubm;
+use lusail_rdf::Triple;
+use lusail_store::{ColumnStore, StorageBackend, TripleStore};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+/// A counting wrapper around the system allocator: `LIVE_BYTES` tracks
+/// net live heap bytes, so the footprint measurement below can report the
+/// *real* allocator delta of building each storage backend instead of
+/// trusting the backends' own `resident_bytes` models.
+struct CountingAlloc;
+
+static LIVE_BYTES: AtomicIsize = AtomicIsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as isize, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        LIVE_BYTES.fetch_add(layout.size() as isize, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE_BYTES.fetch_add(
+            new_size as isize - layout.size() as isize,
+            Ordering::Relaxed,
+        );
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn live_bytes() -> isize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Measures the real resident heap cost of the two storage backends on a
+/// generated ~1M-triple LUBM store (one university, scaled-up
+/// departments): the same pre-collected triples are materialized into
+/// each backend inside an allocator-delta window. The temporary BTree
+/// store the columnar build sorts from is dropped *inside* the columnar
+/// window, so that window nets out to the packed columns alone. The
+/// resulting section feeds the `check_gate` footprint floor.
+fn measure_footprint() -> json::Value {
+    use json::Value;
+    let cfg = lubm::LubmConfig {
+        departments: 3840,
+        ..lubm::LubmConfig::new(1)
+    };
+    let workload = lubm::generate(&cfg);
+    let dict = std::sync::Arc::clone(workload.oracle.dict());
+    let mut triples: Vec<Triple> = Vec::with_capacity(workload.oracle.len());
+    workload.oracle.scan(None, None, None, |t| {
+        triples.push(t);
+        true
+    });
+    drop(workload);
+
+    let before = live_bytes();
+    let mut btree = TripleStore::new(std::sync::Arc::clone(&dict));
+    for &t in &triples {
+        btree.insert(t);
+    }
+    let btree_bytes = (live_bytes() - before).max(0) as u64;
+    let btree_model = StorageBackend::resident_bytes(&btree);
+    drop(btree);
+
+    let before = live_bytes();
+    let columns = {
+        let mut tmp = TripleStore::new(std::sync::Arc::clone(&dict));
+        for &t in &triples {
+            tmp.insert(t);
+        }
+        ColumnStore::from_store(&tmp)
+    };
+    let columns_bytes = (live_bytes() - before).max(0) as u64;
+    let columns_model = columns.resident_bytes();
+
+    let mut fp = Value::object();
+    fp.set("triples", Value::U64(triples.len() as u64));
+    fp.set("btree_resident_bytes", Value::U64(btree_bytes));
+    fp.set("columns_resident_bytes", Value::U64(columns_bytes));
+    // The backends' own self-reported models ride along for context; the
+    // gate reads only the measured deltas above.
+    fp.set("btree_model_bytes", Value::U64(btree_model));
+    fp.set("columns_model_bytes", Value::U64(columns_model));
+    fp
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: lusail-bench run [--out PATH] [--iters N] [--seed N] [--fixed-clock]\n\
          \x20                       [--workload NAME]... [--query NAME]... [--threads N]...\n\
+         \x20                       [--backend btree|columns]...\n\
          \x20      lusail-bench check --against PATH [--workload NAME]... [--query NAME]...\n\
-         \x20                       [--threads N]..."
+         \x20                       [--threads N]... [--backend btree|columns]..."
     );
     std::process::exit(2);
 }
@@ -73,6 +172,14 @@ fn parse_args() -> Cli {
             }
             "--fixed-clock" => cli.opts.fixed_clock = true,
             "--workload" => cli.opts.workloads.push(need(&mut args, "--workload")),
+            "--backend" => {
+                let name = need(&mut args, "--backend");
+                if lusail_store::BackendKind::parse(&name).is_none() {
+                    eprintln!("--backend must be one of: btree, columns");
+                    std::process::exit(2);
+                }
+                cli.opts.backends.push(name);
+            }
             "--query" => cli.opts.queries.push(need(&mut args, "--query")),
             "--threads" => {
                 cli.opts
@@ -98,7 +205,16 @@ fn main() -> ExitCode {
 }
 
 fn cmd_run(cli: &Cli) -> ExitCode {
-    let doc = run_suite(&cli.opts);
+    let mut doc = run_suite(&cli.opts);
+    // The footprint section only joins full-scope reports (it measures a
+    // fixed large store, independent of the run filters, but partial
+    // reports are throwaway slices that should stay cheap).
+    let full_scope = cli.opts.workloads.is_empty()
+        && cli.opts.queries.is_empty()
+        && cli.opts.backends.is_empty();
+    if full_scope {
+        doc.set("footprint", measure_footprint());
+    }
     let text = doc.render();
     match &cli.out {
         Some(path) => {
@@ -119,7 +235,7 @@ fn cmd_run(cli: &Cli) -> ExitCode {
         }
     }
     // The gate only applies when the scope covers its workloads in full.
-    if cli.opts.workloads.is_empty() && cli.opts.queries.is_empty() {
+    if full_scope {
         match check_gate(&doc) {
             Ok(lines) => {
                 for line in lines {

@@ -34,6 +34,7 @@ use lusail_baselines::{FedX, HiBisCus, HibiscusIndex, Splendid, VoidIndex};
 use lusail_benchdata::{bio2rdf, lubm, qfed, Workload};
 use lusail_core::{Lusail, LusailConfig, QueryTrace, RequestKind, TraceSink};
 use lusail_endpoint::{ExecOptions, FederatedEngine, ManualClock, NetworkProfile, StatsSnapshot};
+use lusail_store::BackendKind;
 use std::time::{Duration, Instant};
 
 /// Schema tag stamped into every report.
@@ -56,6 +57,21 @@ pub const CONFIGS: [&str; 3] = ["baseline", "optimized", "stats"];
 /// The engine axis.
 pub const ENGINES: [&str; 4] = ["Lusail", "FedX", "HiBISCuS", "SPLENDID"];
 
+/// The storage-backend axis: every endpoint's triples materialized into
+/// the mutable BTree index store or the compressed sorted-column store
+/// (see [`lusail_store::BackendKind`]). Backends are required to be
+/// observationally identical in results — [`check_gate`] enforces
+/// identical rows and completeness per run and no more scanned rows or
+/// wire requests in aggregate, and the `footprint` section's
+/// triples-per-resident-byte ratio must favor columns by at least
+/// [`FOOTPRINT_RATIO_FLOOR`]×.
+pub const BACKENDS: [&str; 2] = ["btree", "columns"];
+
+/// The minimum btree/columns resident-byte ratio the gate demands of the
+/// report's `footprint` section (columnar must pack at least this many
+/// times more triples per resident byte).
+pub const FOOTPRINT_RATIO_FLOOR: f64 = 5.0;
+
 /// Options for one suite run.
 #[derive(Debug, Clone)]
 pub struct SuiteOptions {
@@ -74,6 +90,8 @@ pub struct SuiteOptions {
     /// sequential behavior). Every budget is a full run axis; counters
     /// must be byte-identical across budgets ([`check_thread_invariance`]).
     pub threads: Vec<usize>,
+    /// Storage-backend filter (empty = all of [`BACKENDS`]).
+    pub backends: Vec<String>,
 }
 
 impl Default for SuiteOptions {
@@ -85,6 +103,7 @@ impl Default for SuiteOptions {
             workloads: Vec::new(),
             queries: Vec::new(),
             threads: Vec::new(),
+            backends: Vec::new(),
         }
     }
 }
@@ -104,6 +123,10 @@ impl SuiteOptions {
         } else {
             self.threads.clone()
         }
+    }
+
+    fn wants_backend(&self, name: &str) -> bool {
+        self.backends.is_empty() || self.backends.iter().any(|b| b.eq_ignore_ascii_case(name))
     }
 }
 
@@ -130,8 +153,9 @@ fn wan_real() -> NetworkProfile {
 }
 
 /// Builds one workload under one network profile, folding the suite seed
-/// into the generator seed.
-fn build_workload(name: &str, profile: &str, seed: u64) -> Workload {
+/// into the generator seed and materializing the endpoints' stores into
+/// the requested storage backend.
+fn build_workload(name: &str, profile: &str, seed: u64, backend: BackendKind) -> Workload {
     let profiles = |n: usize| match profile {
         "instant" => None,
         "wan-real" => Some(vec![wan_real(); n]),
@@ -142,18 +166,21 @@ fn build_workload(name: &str, profile: &str, seed: u64) -> Workload {
             let mut cfg = lubm::LubmConfig::new(3);
             cfg.seed ^= seed;
             cfg.profiles = profiles(3);
+            cfg.backend = backend;
             lubm::generate(&cfg)
         }
         "qfed" => {
             let mut cfg = qfed::QfedConfig::default();
             cfg.seed ^= seed;
             cfg.profiles = profiles(4);
+            cfg.backend = backend;
             qfed::generate(&cfg)
         }
         "bio2rdf" => {
             let mut cfg = bio2rdf::Bio2RdfConfig::default();
             cfg.seed ^= seed;
             cfg.profiles = profiles(5);
+            cfg.backend = backend;
             bio2rdf::generate(&cfg)
         }
         other => panic!("unknown workload {other}"),
@@ -264,8 +291,9 @@ pub fn run_suite(opts: &SuiteOptions) -> Value {
     let thread_list = opts.thread_list();
     let mut runs: Vec<Value> = Vec::new();
     // Aggregated (rows_scanned, total_requests, select_requests) per
-    // (workload, engine, config), summed over profiles and queries.
-    let mut totals: Vec<(String, String, String, [u64; 3])> = Vec::new();
+    // (workload, engine, config, backend), summed over profiles and
+    // queries.
+    let mut totals: Vec<(String, String, String, String, [u64; 3])> = Vec::new();
 
     for workload_name in WORKLOADS {
         if !opts.wants_workload(workload_name) {
@@ -277,96 +305,103 @@ pub fn run_suite(opts: &SuiteOptions) -> Value {
                 continue;
             }
             for config in CONFIGS {
-                let optimized = config != "baseline";
-                // A fresh federation per pass: counters start cold and the
-                // reorder flag applies to the whole pass.
-                let workload = build_workload(workload_name, profile, opts.seed);
-                for ep in &workload.endpoints {
-                    ep.store().set_reorder(optimized);
-                }
-                if config == "stats" {
-                    // The offline phase: summaries built before any run
-                    // window opens, so nothing of it leaks into counters.
-                    for (id, ep) in workload.endpoints.iter().enumerate() {
-                        workload.federation.attach_stats(
-                            id,
-                            std::sync::Arc::new(lusail_store::EndpointStats::build(ep.store())),
-                        );
+                for backend_name in BACKENDS {
+                    if !opts.wants_backend(backend_name) {
+                        continue;
                     }
-                }
-                for engine_name in ENGINES {
-                    for nq in &workload.queries {
-                        if !opts.wants_query(&nq.name) {
-                            continue;
-                        }
-                        for (ti, &threads) in thread_list.iter().enumerate() {
-                            let counters = traced_run(
-                                engine_name,
-                                &workload,
-                                &nq.query,
-                                optimized,
-                                opts.fixed_clock,
-                                threads,
+                    let backend = BackendKind::parse(backend_name).expect("known backend");
+                    let optimized = config != "baseline";
+                    // A fresh federation per pass: counters start cold and the
+                    // reorder flag applies to the whole pass.
+                    let workload = build_workload(workload_name, profile, opts.seed, backend);
+                    for ep in &workload.endpoints {
+                        ep.store().set_reorder(optimized);
+                    }
+                    if config == "stats" {
+                        // The offline phase: summaries built before any run
+                        // window opens, so nothing of it leaks into counters.
+                        for (id, ep) in workload.endpoints.iter().enumerate() {
+                            workload.federation.attach_stats(
+                                id,
+                                std::sync::Arc::new(lusail_store::EndpointStats::build(ep.store())),
                             );
-                            let exec = ExecOptions::default().with_threads(threads);
-                            let mut ms = Vec::with_capacity(opts.iters.max(1));
-                            for _ in 0..opts.iters.max(1) {
-                                let engine = build_engine(
-                                    engine_name,
-                                    &workload,
-                                    optimized,
-                                    opts.fixed_clock,
-                                );
-                                let start = Instant::now();
-                                let _ = engine
-                                    .run_with(&workload.federation, &nq.query, &exec)
-                                    .expect("bench federations are non-empty");
-                                ms.push(start.elapsed().as_secs_f64() * 1e3);
-                            }
-                            let (median, p95) = wall_stats(ms);
-
-                            let mut run = Value::object();
-                            run.set("workload", Value::Str(workload_name.into()));
-                            run.set("profile", Value::Str(profile.into()));
-                            run.set("config", Value::Str(config.into()));
-                            run.set("engine", Value::Str(engine_name.into()));
-                            run.set("query", Value::Str(nq.name.clone()));
-                            run.set("threads", Value::U64(threads as u64));
-                            run.set("rows", Value::U64(counters.rows as u64));
-                            run.set("complete", Value::Bool(counters.complete));
-                            run.set("counters", counters_value(&counters));
-                            let mut wall = Value::object();
-                            wall.set("median_ms", Value::F64(median));
-                            wall.set("p95_ms", Value::F64(p95));
-                            run.set("wall", wall);
-                            runs.push(run);
-
-                            // The aggregate totals feed the rows-scanned
-                            // gate; count each query once (budgets are
-                            // counter-identical by contract anyway).
-                            if ti > 0 {
+                        }
+                    }
+                    for engine_name in ENGINES {
+                        for nq in &workload.queries {
+                            if !opts.wants_query(&nq.name) {
                                 continue;
                             }
-                            let key = (
-                                workload_name.to_string(),
-                                engine_name.to_string(),
-                                config.to_string(),
-                            );
-                            let delta = [
-                                counters.window.rows_scanned,
-                                counters.window.total_requests(),
-                                counters.window.select_requests,
-                            ];
-                            match totals
-                                .iter_mut()
-                                .find(|(w, e, c, _)| (w, e, c) == (&key.0, &key.1, &key.2))
-                            {
-                                Some((_, _, _, sums)) => {
-                                    for (s, d) in sums.iter_mut().zip(delta) {
-                                        *s += d;
-                                    }
+                            for (ti, &threads) in thread_list.iter().enumerate() {
+                                let counters = traced_run(
+                                    engine_name,
+                                    &workload,
+                                    &nq.query,
+                                    optimized,
+                                    opts.fixed_clock,
+                                    threads,
+                                );
+                                let exec = ExecOptions::default().with_threads(threads);
+                                let mut ms = Vec::with_capacity(opts.iters.max(1));
+                                for _ in 0..opts.iters.max(1) {
+                                    let engine = build_engine(
+                                        engine_name,
+                                        &workload,
+                                        optimized,
+                                        opts.fixed_clock,
+                                    );
+                                    let start = Instant::now();
+                                    let _ = engine
+                                        .run_with(&workload.federation, &nq.query, &exec)
+                                        .expect("bench federations are non-empty");
+                                    ms.push(start.elapsed().as_secs_f64() * 1e3);
                                 }
-                                None => totals.push((key.0, key.1, key.2, delta)),
+                                let (median, p95) = wall_stats(ms);
+
+                                let mut run = Value::object();
+                                run.set("workload", Value::Str(workload_name.into()));
+                                run.set("profile", Value::Str(profile.into()));
+                                run.set("config", Value::Str(config.into()));
+                                run.set("backend", Value::Str(backend_name.into()));
+                                run.set("engine", Value::Str(engine_name.into()));
+                                run.set("query", Value::Str(nq.name.clone()));
+                                run.set("threads", Value::U64(threads as u64));
+                                run.set("rows", Value::U64(counters.rows as u64));
+                                run.set("complete", Value::Bool(counters.complete));
+                                run.set("counters", counters_value(&counters));
+                                let mut wall = Value::object();
+                                wall.set("median_ms", Value::F64(median));
+                                wall.set("p95_ms", Value::F64(p95));
+                                run.set("wall", wall);
+                                runs.push(run);
+
+                                // The aggregate totals feed the rows-scanned
+                                // gate; count each query once (budgets are
+                                // counter-identical by contract anyway).
+                                if ti > 0 {
+                                    continue;
+                                }
+                                let key = (
+                                    workload_name.to_string(),
+                                    engine_name.to_string(),
+                                    config.to_string(),
+                                    backend_name.to_string(),
+                                );
+                                let delta = [
+                                    counters.window.rows_scanned,
+                                    counters.window.total_requests(),
+                                    counters.window.select_requests,
+                                ];
+                                match totals.iter_mut().find(|(w, e, c, b, _)| {
+                                    (w, e, c, b) == (&key.0, &key.1, &key.2, &key.3)
+                                }) {
+                                    Some((_, _, _, _, sums)) => {
+                                        for (s, d) in sums.iter_mut().zip(delta) {
+                                            *s += d;
+                                        }
+                                    }
+                                    None => totals.push((key.0, key.1, key.2, key.3, delta)),
+                                }
                             }
                         }
                     }
@@ -376,29 +411,31 @@ pub fn run_suite(opts: &SuiteOptions) -> Value {
     }
 
     // Fold the per-config totals into one aggregate row per
-    // (workload, engine).
+    // (workload, engine, backend).
     let mut aggregates: Vec<Value> = Vec::new();
     for workload_name in WORKLOADS {
         for engine_name in ENGINES {
-            let mut agg = Value::object();
-            agg.set("workload", Value::Str(workload_name.into()));
-            agg.set("engine", Value::Str(engine_name.into()));
-            let mut present = false;
-            for config in CONFIGS {
-                if let Some((_, _, _, sums)) = totals
-                    .iter()
-                    .find(|(w, e, c, _)| w == workload_name && e == engine_name && c == config)
-                {
-                    let mut side = Value::object();
-                    side.set("rows_scanned", Value::U64(sums[0]));
-                    side.set("total_requests", Value::U64(sums[1]));
-                    side.set("select_requests", Value::U64(sums[2]));
-                    agg.set(config, side);
-                    present = true;
+            for backend_name in BACKENDS {
+                let mut agg = Value::object();
+                agg.set("workload", Value::Str(workload_name.into()));
+                agg.set("engine", Value::Str(engine_name.into()));
+                agg.set("backend", Value::Str(backend_name.into()));
+                let mut present = false;
+                for config in CONFIGS {
+                    if let Some((_, _, _, _, sums)) = totals.iter().find(|(w, e, c, b, _)| {
+                        w == workload_name && e == engine_name && c == config && b == backend_name
+                    }) {
+                        let mut side = Value::object();
+                        side.set("rows_scanned", Value::U64(sums[0]));
+                        side.set("total_requests", Value::U64(sums[1]));
+                        side.set("select_requests", Value::U64(sums[2]));
+                        agg.set(config, side);
+                        present = true;
+                    }
                 }
-            }
-            if present {
-                aggregates.push(agg);
+                if present {
+                    aggregates.push(agg);
+                }
             }
         }
     }
@@ -411,6 +448,16 @@ pub fn run_suite(opts: &SuiteOptions) -> Value {
     doc.set(
         "threads",
         Value::Array(thread_list.iter().map(|&t| Value::U64(t as u64)).collect()),
+    );
+    doc.set(
+        "backends",
+        Value::Array(
+            BACKENDS
+                .iter()
+                .filter(|b| opts.wants_backend(b))
+                .map(|&b| Value::Str(b.into()))
+                .collect(),
+        ),
     );
     doc.set("runs", Value::Array(runs));
     doc.set("aggregates", Value::Array(aggregates));
@@ -443,27 +490,44 @@ pub fn counters_section(doc: &Value) -> Value {
 /// *strictly fewer* wire requests than optimized (the probe-elision
 /// claim) while leaving every run's result rows and completeness flag
 /// unchanged (statistics may only elide work, never change answers).
+///
+/// When the report carries the storage-backend axis, the gate also holds
+/// the columnar backend to its contract: every columnar run must report
+/// the same rows and completeness as its BTree twin; in aggregate the
+/// columnar Lusail side may scan no more rows and issue no more wire
+/// requests than BTree; and, if a `footprint` section is present, the
+/// BTree-to-columns resident-byte ratio on the measured store must be at
+/// least [`FOOTPRINT_RATIO_FLOOR`]. The per-config Lusail conditions
+/// above are read from the BTree side (reports predating the axis carry
+/// no `backend` fields and are treated as all-BTree).
 /// Returns the list of gate lines (for printing) on success.
 pub fn check_gate(doc: &Value) -> Result<Vec<String>, String> {
     let aggregates = doc
         .get("aggregates")
         .and_then(Value::as_array)
         .ok_or("report has no aggregates section")?;
+    // Legacy reports predate the backend axis: absent means btree.
+    fn backend_of(v: &Value) -> &str {
+        v.get("backend").and_then(Value::as_str).unwrap_or("btree")
+    }
     let mut lines = Vec::new();
     for workload in ["lubm", "qfed"] {
-        let agg = aggregates
-            .iter()
-            .find(|a| {
+        let lusail_on = |backend: &str| {
+            aggregates.iter().find(|a| {
                 a.get("workload").and_then(Value::as_str) == Some(workload)
                     && a.get("engine").and_then(Value::as_str) == Some("Lusail")
+                    && backend_of(a) == backend
             })
-            .ok_or_else(|| format!("no Lusail aggregate for {workload}"))?;
-        let side = |config: &str, key: &str| -> Result<u64, String> {
+        };
+        let agg =
+            lusail_on("btree").ok_or_else(|| format!("no Lusail aggregate for {workload}"))?;
+        let side_of = |agg: &Value, config: &str, key: &str| -> Result<u64, String> {
             agg.get(config)
                 .and_then(|s| s.get(key))
                 .and_then(Value::as_u64)
                 .ok_or_else(|| format!("missing {config}.{key} for {workload}"))
         };
+        let side = |config: &str, key: &str| side_of(agg, config, key);
         let base_scanned = side("baseline", "rows_scanned")?;
         let opt_scanned = side("optimized", "rows_scanned")?;
         let base_requests = side("baseline", "total_requests")?;
@@ -491,6 +555,30 @@ pub fn check_gate(doc: &Value) -> Result<Vec<String>, String> {
             "{workload}/Lusail: rows_scanned {base_scanned} -> {opt_scanned}, \
              requests {base_requests} -> {opt_requests} -> {stats_requests} (stats)"
         ));
+
+        // The columnar twin, when the report carries the backend axis:
+        // exact estimates may only help the planner, so the columnar
+        // aggregate must scan no more rows and issue no more requests.
+        if let Some(cols) = lusail_on("columns") {
+            let col_scanned = side_of(cols, "optimized", "rows_scanned")?;
+            let col_requests = side_of(cols, "optimized", "total_requests")?;
+            if col_scanned > opt_scanned {
+                return Err(format!(
+                    "{workload}: columnar optimized rows_scanned {col_scanned} \
+                     exceeds the BTree side's {opt_scanned}"
+                ));
+            }
+            if col_requests > opt_requests {
+                return Err(format!(
+                    "{workload}: columnar optimized total_requests {col_requests} \
+                     exceeds the BTree side's {opt_requests}"
+                ));
+            }
+            lines.push(format!(
+                "{workload}/Lusail columns: rows_scanned {opt_scanned} -> \
+                 {col_scanned}, requests {opt_requests} -> {col_requests}"
+            ));
+        }
     }
 
     // Results must be untouched by elision: every stats run reports the
@@ -504,7 +592,7 @@ pub fn check_gate(doc: &Value) -> Result<Vec<String>, String> {
                 .collect::<Vec<_>>()
                 .join("/");
             let threads = run.get("threads").and_then(Value::as_u64).unwrap_or(1);
-            id.push_str(&format!("/t{threads}"));
+            id.push_str(&format!("/{}/t{threads}", backend_of(run)));
             id
         };
         for run in runs {
@@ -530,6 +618,71 @@ pub fn check_gate(doc: &Value) -> Result<Vec<String>, String> {
                 }
             }
         }
+
+        // Backend identity in results: every columnar run must report the
+        // same rows and completeness as its BTree twin (same workload,
+        // profile, config, engine, query, and budget).
+        let backend_identity = |run: &Value| -> String {
+            let mut id = ["workload", "profile", "config", "engine", "query"]
+                .iter()
+                .map(|k| run.get(k).and_then(Value::as_str).unwrap_or("?"))
+                .collect::<Vec<_>>()
+                .join("/");
+            let threads = run.get("threads").and_then(Value::as_u64).unwrap_or(1);
+            id.push_str(&format!("/t{threads}"));
+            id
+        };
+        for run in runs {
+            if backend_of(run) != "columns" {
+                continue;
+            }
+            let id = backend_identity(run);
+            let twin = runs
+                .iter()
+                .find(|r| backend_of(r) == "btree" && backend_identity(r) == id)
+                .ok_or_else(|| format!("columnar run {id} has no BTree twin"))?;
+            for key in ["rows", "complete"] {
+                let got = run.get(key).unwrap_or(&Value::Null).render();
+                let want = twin.get(key).unwrap_or(&Value::Null).render();
+                if got != want {
+                    return Err(format!(
+                        "columnar run {id}: {key} diverged from the BTree \
+                         twin ({got} vs {want}) — backends changed results"
+                    ));
+                }
+            }
+        }
+    }
+
+    // The footprint gate: the measured resident bytes of the same triple
+    // set on both backends must favor columns by the documented floor.
+    if let Some(fp) = doc.get("footprint") {
+        let field = |key: &str| -> Result<u64, String> {
+            fp.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("footprint section is missing {key}"))
+        };
+        let triples = field("triples")?;
+        let btree_bytes = field("btree_resident_bytes")?;
+        let columns_bytes = field("columns_resident_bytes")?;
+        if triples == 0 || columns_bytes == 0 {
+            return Err("footprint section measured an empty store".into());
+        }
+        let ratio = btree_bytes as f64 / columns_bytes as f64;
+        if ratio < FOOTPRINT_RATIO_FLOOR {
+            return Err(format!(
+                "footprint: columns holds only {ratio:.2}x more triples per \
+                 resident byte than btree (floor {FOOTPRINT_RATIO_FLOOR}x) — \
+                 {btree_bytes} vs {columns_bytes} bytes for {triples} triples"
+            ));
+        }
+        lines.push(format!(
+            "footprint: {triples} triples, btree {btree_bytes} B \
+             ({:.1} B/triple), columns {columns_bytes} B ({:.1} B/triple), \
+             ratio {ratio:.1}x >= {FOOTPRINT_RATIO_FLOOR}x",
+            btree_bytes as f64 / triples as f64,
+            columns_bytes as f64 / triples as f64,
+        ));
     }
     Ok(lines)
 }
@@ -546,9 +699,14 @@ pub fn compare_runs(fresh: &Value, baseline: &Value) -> Result<usize, String> {
             .map(|k| run.get(k).and_then(Value::as_str).unwrap_or("?"))
             .collect::<Vec<_>>()
             .join("/");
-        // Legacy baselines predate the threads axis: absent means 1.
+        // Legacy baselines predate the threads and backend axes: absent
+        // means 1 worker on the btree backend.
         let threads = run.get("threads").and_then(Value::as_u64).unwrap_or(1);
-        id.push_str(&format!("/t{threads}"));
+        let backend = run
+            .get("backend")
+            .and_then(Value::as_str)
+            .unwrap_or("btree");
+        id.push_str(&format!("/{backend}/t{threads}"));
         id
     };
     let fresh_runs = fresh
@@ -596,11 +754,17 @@ pub fn check_thread_invariance(doc: &Value) -> Result<usize, String> {
         .and_then(Value::as_array)
         .ok_or("report has no runs")?;
     let identity = |run: &Value| -> String {
-        ["workload", "profile", "config", "engine", "query"]
+        let mut id = ["workload", "profile", "config", "engine", "query"]
             .iter()
             .map(|k| run.get(k).and_then(Value::as_str).unwrap_or("?"))
             .collect::<Vec<_>>()
-            .join("/")
+            .join("/");
+        let backend = run
+            .get("backend")
+            .and_then(Value::as_str)
+            .unwrap_or("btree");
+        id.push_str(&format!("/{backend}"));
+        id
     };
     let payload = |run: &Value| -> String {
         ["rows", "complete", "counters"]
@@ -642,6 +806,7 @@ mod tests {
             workloads: vec!["lubm".into()],
             queries: vec!["Q1".into(), "Q4".into()],
             threads: Vec::new(),
+            backends: Vec::new(),
         }
     }
 
@@ -756,5 +921,71 @@ mod tests {
             check_gate(&doc).is_err(),
             "diverging stats rows must fail the gate"
         );
+    }
+
+    #[test]
+    fn gate_checks_backend_twins_and_footprint() {
+        // A synthetic report with both backend aggregates, a pair of
+        // backend-twin runs, and a footprint section.
+        let mk = |col_scanned: u64, col_req: u64, col_rows: u64, columns_bytes: u64| {
+            let mut doc = Value::object();
+            let mut aggs = Vec::new();
+            for wl in ["lubm", "qfed"] {
+                for (backend, scanned, req) in
+                    [("btree", 50u64, 10u64), ("columns", col_scanned, col_req)]
+                {
+                    let mut agg = Value::object();
+                    agg.set("workload", Value::Str(wl.into()));
+                    agg.set("engine", Value::Str("Lusail".into()));
+                    agg.set("backend", Value::Str(backend.into()));
+                    for (config, s, r) in [
+                        ("baseline", 100u64, 10u64),
+                        ("optimized", scanned, req),
+                        ("stats", scanned, r9(req)),
+                    ] {
+                        let mut side = Value::object();
+                        side.set("rows_scanned", Value::U64(s));
+                        side.set("total_requests", Value::U64(r));
+                        side.set("select_requests", Value::U64(0));
+                        agg.set(config, side);
+                    }
+                    aggs.push(agg);
+                }
+            }
+            doc.set("aggregates", Value::Array(aggs));
+            let mut runs = Vec::new();
+            for (backend, rows) in [("btree", 5u64), ("columns", col_rows)] {
+                let mut run = Value::object();
+                run.set("workload", Value::Str("lubm".into()));
+                run.set("profile", Value::Str("instant".into()));
+                run.set("config", Value::Str("optimized".into()));
+                run.set("engine", Value::Str("Lusail".into()));
+                run.set("query", Value::Str("Q1".into()));
+                run.set("backend", Value::Str(backend.into()));
+                run.set("threads", Value::U64(1));
+                run.set("rows", Value::U64(rows));
+                run.set("complete", Value::Bool(true));
+                runs.push(run);
+            }
+            doc.set("runs", Value::Array(runs));
+            let mut fp = Value::object();
+            fp.set("triples", Value::U64(1_000_000));
+            fp.set("btree_resident_bytes", Value::U64(60_000_000));
+            fp.set("columns_resident_bytes", Value::U64(columns_bytes));
+            doc.set("footprint", fp);
+            doc
+        };
+        fn r9(req: u64) -> u64 {
+            req.saturating_sub(1)
+        }
+        assert!(check_gate(&mk(40, 10, 5, 10_000_000)).is_ok());
+        // Columnar scanning more rows than btree in aggregate fails.
+        assert!(check_gate(&mk(60, 10, 5, 10_000_000)).is_err());
+        // Columnar issuing more requests fails.
+        assert!(check_gate(&mk(40, 11, 5, 10_000_000)).is_err());
+        // A columnar run whose rows diverge from its btree twin fails.
+        assert!(check_gate(&mk(40, 10, 6, 10_000_000)).is_err());
+        // A footprint ratio below the floor fails (60 MB / 15 MB = 4x).
+        assert!(check_gate(&mk(40, 10, 5, 15_000_000)).is_err());
     }
 }

@@ -8,7 +8,7 @@
 use crate::common::{add, Rng, Workload};
 use lusail_endpoint::NetworkProfile;
 use lusail_rdf::{vocab, Dictionary, Term};
-use lusail_store::TripleStore;
+use lusail_store::{BackendKind, TripleStore};
 use std::sync::Arc;
 
 const DRUGBANK: &str = "http://drugbank.bio2rdf.org/";
@@ -28,6 +28,8 @@ pub struct Bio2RdfConfig {
     pub seed: u64,
     /// Optional per-endpoint network profiles (5 entries).
     pub profiles: Option<Vec<NetworkProfile>>,
+    /// Storage backend the endpoints are materialized into.
+    pub backend: BackendKind,
 }
 
 impl Default for Bio2RdfConfig {
@@ -37,6 +39,7 @@ impl Default for Bio2RdfConfig {
             drugs: 150,
             seed: 0xB102,
             profiles: None,
+            backend: BackendKind::Btree,
         }
     }
 }
@@ -193,7 +196,13 @@ pub fn generate(config: &Bio2RdfConfig) -> Workload {
         ("PharmGKB".to_string(), pgkb),
         ("OMIM".to_string(), omim),
     ];
-    Workload::assemble(dict, stores, config.profiles.clone(), queries())
+    Workload::assemble_on(
+        dict,
+        stores,
+        config.profiles.clone(),
+        queries(),
+        config.backend,
+    )
 }
 
 /// The three real-workload queries of §VI-D.

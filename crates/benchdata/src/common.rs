@@ -3,7 +3,7 @@
 use lusail_endpoint::{Federation, LocalEndpoint, NetworkProfile, SparqlEndpoint};
 use lusail_rdf::{Dictionary, Term};
 use lusail_sparql::{parse_query, Query};
-use lusail_store::TripleStore;
+use lusail_store::{BackendKind, TripleStore};
 use std::sync::Arc;
 
 /// A benchmark query with its display name and source text.
@@ -35,14 +35,27 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// Assembles a workload from named stores and query texts. Parses all
-    /// queries against the shared dictionary and builds the oracle union
-    /// store. `profiles`, when given, must be one per endpoint.
+    /// Assembles a workload from named stores and query texts, with
+    /// endpoints on the default BTree backend. Parses all queries against
+    /// the shared dictionary and builds the oracle union store.
+    /// `profiles`, when given, must be one per endpoint.
     pub fn assemble(
         dict: Arc<Dictionary>,
         stores: Vec<(String, TripleStore)>,
         profiles: Option<Vec<NetworkProfile>>,
         queries: Vec<(&str, String)>,
+    ) -> Workload {
+        Self::assemble_on(dict, stores, profiles, queries, BackendKind::Btree)
+    }
+
+    /// [`Workload::assemble`] with the endpoints' stores materialized
+    /// into the chosen storage backend.
+    pub fn assemble_on(
+        dict: Arc<Dictionary>,
+        stores: Vec<(String, TripleStore)>,
+        profiles: Option<Vec<NetworkProfile>>,
+        queries: Vec<(&str, String)>,
+        backend: BackendKind,
     ) -> Workload {
         let mut oracle = TripleStore::new(Arc::clone(&dict));
         for (_, st) in &stores {
@@ -57,10 +70,11 @@ impl Workload {
             // Endpoints are built outside the builder because the bench
             // harness needs the concrete [`LocalEndpoint`] handles (the
             // index-building baselines preprocess endpoint data directly).
-            let ep = match &profiles {
-                Some(ps) => Arc::new(LocalEndpoint::with_profile(name, store, ps[i])),
-                None => Arc::new(LocalEndpoint::new(name, store)),
+            let profile = match &profiles {
+                Some(ps) => ps[i],
+                None => NetworkProfile::default(),
             };
+            let ep = Arc::new(LocalEndpoint::on_backend(name, store, backend, profile));
             builder = builder.custom(Arc::clone(&ep) as Arc<dyn SparqlEndpoint>);
             endpoints.push(ep);
         }

@@ -20,7 +20,7 @@
 use crate::common::{add, Rng, Workload};
 use lusail_endpoint::NetworkProfile;
 use lusail_rdf::{vocab, Dictionary, Term};
-use lusail_store::TripleStore;
+use lusail_store::{BackendKind, TripleStore};
 use std::sync::Arc;
 
 /// Generator configuration.
@@ -32,6 +32,8 @@ pub struct LrbConfig {
     pub seed: u64,
     /// Optional per-endpoint network profiles (13 entries).
     pub profiles: Option<Vec<NetworkProfile>>,
+    /// Storage backend the endpoints are materialized into.
+    pub backend: BackendKind,
 }
 
 impl Default for LrbConfig {
@@ -40,6 +42,7 @@ impl Default for LrbConfig {
             scale: 1.0,
             seed: 0x1DB,
             profiles: None,
+            backend: BackendKind::Btree,
         }
     }
 }
@@ -544,7 +547,13 @@ pub fn generate(config: &LrbConfig) -> Workload {
         (ENDPOINT_NAMES[11].to_string(), swdf),
         (ENDPOINT_NAMES[12].to_string(), affy),
     ];
-    Workload::assemble(dict, stores, config.profiles.clone(), queries())
+    Workload::assemble_on(
+        dict,
+        stores,
+        config.profiles.clone(),
+        queries(),
+        config.backend,
+    )
 }
 
 /// Query names by category, in the order the paper plots them.

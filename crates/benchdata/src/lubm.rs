@@ -20,7 +20,7 @@
 use crate::common::{add, Rng, Workload};
 use lusail_endpoint::NetworkProfile;
 use lusail_rdf::{Dictionary, Term};
-use lusail_store::TripleStore;
+use lusail_store::{BackendKind, TripleStore};
 use std::sync::Arc;
 
 /// The `ub:` ontology namespace used by the generator and queries.
@@ -46,6 +46,8 @@ pub struct LubmConfig {
     pub seed: u64,
     /// Optional per-endpoint network profiles (geo-distributed setting).
     pub profiles: Option<Vec<NetworkProfile>>,
+    /// Storage backend the endpoints are materialized into.
+    pub backend: BackendKind,
 }
 
 impl LubmConfig {
@@ -60,6 +62,7 @@ impl LubmConfig {
             remote_degree_fraction: 0.3,
             seed: 0xC0FFEE,
             profiles: None,
+            backend: BackendKind::Btree,
         }
     }
 }
@@ -236,7 +239,13 @@ pub fn generate(config: &LubmConfig) -> Workload {
     }
 
     let queries = queries();
-    Workload::assemble(dict, stores, config.profiles.clone(), queries)
+    Workload::assemble_on(
+        dict,
+        stores,
+        config.profiles.clone(),
+        queries,
+        config.backend,
+    )
 }
 
 /// The paper's LUBM query set (§VI-A "Queries"): Q1/Q2 are LUBM Q2/Q9

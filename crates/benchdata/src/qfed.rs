@@ -17,7 +17,7 @@
 use crate::common::{add, Rng, Workload};
 use lusail_endpoint::NetworkProfile;
 use lusail_rdf::{vocab, Dictionary, Term};
-use lusail_store::TripleStore;
+use lusail_store::{BackendKind, TripleStore};
 use std::sync::Arc;
 
 /// Per-source namespaces.
@@ -40,6 +40,8 @@ pub struct QfedConfig {
     pub seed: u64,
     /// Optional per-endpoint network profiles.
     pub profiles: Option<Vec<NetworkProfile>>,
+    /// Storage backend the endpoints are materialized into.
+    pub backend: BackendKind,
 }
 
 impl Default for QfedConfig {
@@ -49,6 +51,7 @@ impl Default for QfedConfig {
             diseases: 80,
             seed: 0xD0C5,
             profiles: None,
+            backend: BackendKind::Btree,
         }
     }
 }
@@ -234,7 +237,13 @@ pub fn generate(config: &QfedConfig) -> Workload {
         ("Sider".to_string(), sider),
         ("DailyMed".to_string(), dailymed),
     ];
-    Workload::assemble(dict, stores, config.profiles.clone(), queries())
+    Workload::assemble_on(
+        dict,
+        stores,
+        config.profiles.clone(),
+        queries(),
+        config.backend,
+    )
 }
 
 /// The QFed query family of Fig. 11 plus the Drug query (§II).

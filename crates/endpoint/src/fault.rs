@@ -218,6 +218,10 @@ impl SparqlEndpoint for FlakyEndpoint {
     fn triple_count(&self) -> usize {
         self.inner.triple_count()
     }
+
+    fn resident_bytes(&self) -> Option<u64> {
+        self.inner.resident_bytes()
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use crate::fault::{FaultProfile, FlakyEndpoint};
 use crate::network::{NetworkProfile, StatsSnapshot};
 use crate::{EndpointRef, LocalEndpoint};
 use lusail_rdf::Dictionary;
-use lusail_store::{EndpointStats, TripleStore};
+use lusail_store::{BackendKind, EndpointStats, TripleStore};
 use std::sync::{Arc, Mutex};
 
 /// Index of an endpoint within a [`Federation`]. Engines carry endpoint
@@ -49,6 +49,7 @@ impl Federation {
         FederationBuilder {
             dict,
             entries: Vec::new(),
+            backend: BackendKind::default(),
         }
     }
 
@@ -237,6 +238,9 @@ impl Federation {
 pub struct FederationBuilder {
     dict: Arc<Dictionary>,
     entries: Vec<BuilderEntry>,
+    /// Storage backend every [`FederationBuilder::endpoint`] store is
+    /// materialized into (custom endpoints manage their own storage).
+    backend: BackendKind,
 }
 
 struct BuilderEntry {
@@ -274,6 +278,16 @@ impl FederationBuilder {
             store,
             profile: NetworkProfile::default(),
         });
+        self
+    }
+
+    /// Selects the storage backend that every store added via
+    /// [`FederationBuilder::endpoint`] is materialized into at
+    /// [`FederationBuilder::build`] time (default: [`BackendKind::Btree`]).
+    /// Applies to all local entries, before or after this call; endpoints
+    /// added via [`FederationBuilder::custom`] are unaffected.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -342,7 +356,7 @@ impl FederationBuilder {
             .into_iter()
             .partition(|e| e.replica_of.is_none());
         for entry in primaries {
-            let ep = realize(entry.kind, entry.faults);
+            let ep = realize(entry.kind, entry.faults, self.backend);
             fed.add(ep);
         }
         for entry in replicas {
@@ -350,22 +364,22 @@ impl FederationBuilder {
             let (primary, _) = fed
                 .endpoint_by_name(&primary_name)
                 .unwrap_or_else(|| panic!("replica_of(): unknown primary {primary_name:?}"));
-            let ep = realize(entry.kind, entry.faults);
+            let ep = realize(entry.kind, entry.faults, self.backend);
             fed.add_replica(primary, ep);
         }
         fed
     }
 }
 
-/// Materializes one builder entry into an endpoint, applying the fault
-/// wrapper when requested.
-fn realize(kind: EntryKind, faults: Option<FaultProfile>) -> EndpointRef {
+/// Materializes one builder entry into an endpoint, applying the chosen
+/// storage backend and the fault wrapper when requested.
+fn realize(kind: EntryKind, faults: Option<FaultProfile>, backend: BackendKind) -> EndpointRef {
     let base: EndpointRef = match kind {
         EntryKind::Local {
             name,
             store,
             profile,
-        } => Arc::new(LocalEndpoint::with_profile(name, store, profile)),
+        } => Arc::new(LocalEndpoint::on_backend(name, store, backend, profile)),
         EntryKind::Custom { ep } => ep,
     };
     match faults {

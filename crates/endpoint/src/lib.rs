@@ -2,7 +2,9 @@
 //!
 //! In the paper every data source is an independent SPARQL endpoint
 //! (Jena Fuseki or Virtuoso behind HTTP). Here an endpoint is a
-//! [`TripleStore`] behind the [`SparqlEndpoint`] trait, with a simulated
+//! [`StorageBackend`](lusail_store::StorageBackend) — the BTree-indexed
+//! [`TripleStore`] or the compressed columnar store, selected at
+//! construction — behind the [`SparqlEndpoint`] trait, with a simulated
 //! network in front of it:
 //!
 //! * every request is **counted** (ASK / SELECT / COUNT separately) and the
@@ -36,7 +38,7 @@ pub use resilience::{Clock, ManualClock, RequestPolicy, ResilientClient, SystemC
 pub use trace::{HealthState, RequestKind, TraceEvent, TraceSink};
 
 use lusail_sparql::{write_query, Query, SolutionSet};
-use lusail_store::TripleStore;
+use lusail_store::{BackendKind, StorageBackend, TripleStore};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -56,34 +58,49 @@ pub trait SparqlEndpoint: Send + Sync {
     /// remote request — engines use it as a conservative cardinality
     /// fallback when COUNT probes fail).
     fn triple_count(&self) -> usize;
+    /// Resident heap bytes of the endpoint's storage, when the endpoint
+    /// is local enough to know (see
+    /// [`StorageBackend::resident_bytes`](lusail_store::StorageBackend::resident_bytes)).
+    /// `None` for endpoints whose storage is not observable (the default).
+    fn resident_bytes(&self) -> Option<u64> {
+        None
+    }
 }
 
-/// An in-process SPARQL endpoint over a [`TripleStore`], with simulated
-/// network costs. Never fails on its own; wrap it in a [`FlakyEndpoint`]
-/// to inject faults.
+/// An in-process SPARQL endpoint over a [`StorageBackend`] (the
+/// BTree-indexed [`TripleStore`] by default), with simulated network
+/// costs. Never fails on its own; wrap it in a [`FlakyEndpoint`] to
+/// inject faults.
 pub struct LocalEndpoint {
     name: String,
-    store: TripleStore,
+    store: Box<dyn StorageBackend>,
     profile: NetworkProfile,
     stats: NetworkStats,
 }
 
 impl LocalEndpoint {
-    /// Creates an endpoint with no network delay (local-cluster setting).
+    /// Creates an endpoint with no network delay (local-cluster setting)
+    /// over the default BTree backend.
     pub fn new(name: impl Into<String>, store: TripleStore) -> Self {
-        LocalEndpoint {
-            name: name.into(),
-            store,
-            profile: NetworkProfile::default(),
-            stats: NetworkStats::default(),
-        }
+        Self::with_backend(name, Box::new(store), NetworkProfile::default())
     }
 
     /// Creates an endpoint with the given network profile (geo-distributed
-    /// setting).
+    /// setting) over the default BTree backend.
     pub fn with_profile(
         name: impl Into<String>,
         store: TripleStore,
+        profile: NetworkProfile,
+    ) -> Self {
+        Self::with_backend(name, Box::new(store), profile)
+    }
+
+    /// Creates an endpoint over an already-materialized backend — the
+    /// fully general constructor behind [`LocalEndpoint::new`] and
+    /// [`LocalEndpoint::with_profile`].
+    pub fn with_backend(
+        name: impl Into<String>,
+        store: Box<dyn StorageBackend>,
         profile: NetworkProfile,
     ) -> Self {
         LocalEndpoint {
@@ -94,10 +111,21 @@ impl LocalEndpoint {
         }
     }
 
+    /// Creates an endpoint by materializing a populated [`TripleStore`]
+    /// into the chosen backend, with the given network profile.
+    pub fn on_backend(
+        name: impl Into<String>,
+        store: TripleStore,
+        backend: BackendKind,
+        profile: NetworkProfile,
+    ) -> Self {
+        Self::with_backend(name, backend.realize(store), profile)
+    }
+
     /// Read access to the underlying store (used by index-building
     /// baselines, whose preprocessing cost the paper measures).
-    pub fn store(&self) -> &TripleStore {
-        &self.store
+    pub fn store(&self) -> &dyn StorageBackend {
+        &*self.store
     }
 
     /// The endpoint's network profile.
@@ -125,7 +153,7 @@ impl SparqlEndpoint for LocalEndpoint {
     }
 
     fn ask(&self, q: &Query) -> Result<bool, EndpointError> {
-        let result = lusail_store::eval::ask(&self.store, q);
+        let result = lusail_store::eval::ask(&*self.store, q);
         self.stats.bump_ask();
         // The serialized response is the boolean literal itself.
         let body = if result { "true" } else { "false" };
@@ -134,14 +162,14 @@ impl SparqlEndpoint for LocalEndpoint {
     }
 
     fn select(&self, q: &Query) -> Result<SolutionSet, EndpointError> {
-        let result = lusail_store::eval::evaluate(&self.store, q);
+        let result = lusail_store::eval::evaluate(&*self.store, q);
         self.stats.bump_select();
         self.charge(q, result.wire_bytes(), result.len() as u64);
         Ok(result)
     }
 
     fn count(&self, q: &Query) -> Result<u64, EndpointError> {
-        let result = lusail_store::eval::count(&self.store, q);
+        let result = lusail_store::eval::count(&*self.store, q);
         self.stats.bump_count();
         // The serialized response is the count's decimal digits.
         self.charge(q, result.to_string().len() as u64, 1);
@@ -159,6 +187,10 @@ impl SparqlEndpoint for LocalEndpoint {
 
     fn triple_count(&self) -> usize {
         self.store.len()
+    }
+
+    fn resident_bytes(&self) -> Option<u64> {
+        Some(self.store.resident_bytes())
     }
 }
 

@@ -131,7 +131,7 @@ pub struct StatsSnapshot {
     /// Requests that were slowed down by injected faults.
     pub slowdowns_injected: u64,
     /// Store index entries visited while answering requests (see
-    /// [`TripleStore::rows_scanned`](lusail_store::TripleStore::rows_scanned)).
+    /// [`StorageBackend::rows_scanned`](lusail_store::StorageBackend::rows_scanned)).
     /// Maintained by the store itself; endpoint wrappers overlay it into
     /// their snapshots, so `NetworkStats::snapshot` leaves it zero.
     pub rows_scanned: u64,

@@ -15,8 +15,8 @@
 //! * **FILTER NOT EXISTS** — anti join on shared variables.
 //! * **FILTER** — row predicate via [`crate::expr`].
 
+use crate::backend::StorageBackend;
 use crate::expr::eval_filter;
-use crate::store::TripleStore;
 use lusail_rdf::TermId;
 use lusail_sparql::ast::{GroupPattern, PatternTerm, Query, QueryForm, TriplePattern};
 use lusail_sparql::solution::{Row, SolutionSet};
@@ -27,7 +27,7 @@ use lusail_sparql::solution::{Row, SolutionSet};
 /// * For `ASK`, returns a one-row/zero-row set over no variables.
 /// * For `SELECT (COUNT(*) AS ?alias)`, returns one row binding the alias
 ///   to an integer literal.
-pub fn evaluate(store: &TripleStore, q: &Query) -> SolutionSet {
+pub fn evaluate(store: &dyn StorageBackend, q: &Query) -> SolutionSet {
     match &q.form {
         QueryForm::Ask => {
             let sols = eval_group(store, &q.pattern, Some(1));
@@ -471,19 +471,23 @@ fn compare_cells(
 }
 
 /// Evaluates an `ASK`-style existence check for the query's pattern.
-pub fn ask(store: &TripleStore, q: &Query) -> bool {
+pub fn ask(store: &dyn StorageBackend, q: &Query) -> bool {
     !eval_group(store, &q.pattern, Some(1)).is_empty()
 }
 
 /// Counts the solutions of the query's pattern.
-pub fn count(store: &TripleStore, q: &Query) -> u64 {
+pub fn count(store: &dyn StorageBackend, q: &Query) -> u64 {
     eval_group(store, &q.pattern, None).len() as u64
 }
 
 /// Evaluates a group pattern. `limit` is an upper bound on the number of
 /// rows the caller needs; it is only *pushed into* the scan when the group
 /// is simple enough that early rows are final rows.
-pub fn eval_group(store: &TripleStore, g: &GroupPattern, limit: Option<usize>) -> SolutionSet {
+pub fn eval_group(
+    store: &dyn StorageBackend,
+    g: &GroupPattern,
+    limit: Option<usize>,
+) -> SolutionSet {
     let simple = g.filters.is_empty()
         && g.optionals.is_empty()
         && g.unions.is_empty()
@@ -516,10 +520,10 @@ pub fn eval_group(store: &TripleStore, g: &GroupPattern, limit: Option<usize>) -
 /// selectivity-greedy order of [`plan_bgp_order`] and index nested-loop
 /// joins. Stops early once `limit` rows exist after the final pattern.
 /// When the store's reorder flag is off (see
-/// [`TripleStore::set_reorder`]), patterns run in textual order — the
+/// [`StorageBackend::set_reorder`]), patterns run in textual order — the
 /// unoptimized baseline the bench harness measures against.
 fn eval_bgp(
-    store: &TripleStore,
+    store: &dyn StorageBackend,
     triples: &[TriplePattern],
     mut sols: SolutionSet,
     limit: Option<usize>,
@@ -551,7 +555,7 @@ fn eval_bgp(
 /// order — never on row contents — so the plan can be computed once up
 /// front, and pinned in tests.
 pub fn plan_bgp_order(
-    store: &TripleStore,
+    store: &dyn StorageBackend,
     triples: &[TriplePattern],
     bound: &[String],
 ) -> Vec<usize> {
@@ -592,7 +596,7 @@ pub fn plan_bgp_order(
 
 /// Joins the current solutions with one triple pattern via index lookups.
 fn extend(
-    store: &TripleStore,
+    store: &dyn StorageBackend,
     sols: &SolutionSet,
     tp: &TriplePattern,
     limit: Option<usize>,
@@ -673,6 +677,7 @@ impl Resolved {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::TripleStore;
     use lusail_rdf::{Dictionary, Term};
     use lusail_sparql::parse_query;
 
@@ -931,6 +936,7 @@ mod tests {
 #[cfg(test)]
 mod order_tests {
     use super::*;
+    use crate::store::TripleStore;
     use lusail_rdf::{Dictionary, Term};
     use lusail_sparql::parse_query;
 

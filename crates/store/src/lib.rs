@@ -2,22 +2,28 @@
 //! evaluator.
 //!
 //! Each decentralized endpoint in the federation is backed by one
-//! [`TripleStore`]. The store keeps three orderings of its triples —
-//! SPO, POS, and OSP — so that any triple-pattern access path is a
-//! contiguous range scan, mirroring the index layout of engines like
-//! RDF-3X. Per-predicate statistics are maintained on insert; they back
-//! both the endpoints' own query planning and the VOID-style descriptions
-//! used by the SPLENDID baseline.
+//! [`StorageBackend`]: either the mutable [`TripleStore`] — three
+//! orderings of its triples (SPO, POS, OSP) so that any triple-pattern
+//! access path is a contiguous range scan, mirroring the index layout of
+//! engines like RDF-3X — or the immutable bit-packed [`ColumnStore`]
+//! built once from sorted triples (see [`columns`]). Per-predicate
+//! statistics are maintained on insert (BTree) or fall out of the sorted
+//! runs (columnar); they back both the endpoints' own query planning and
+//! the VOID-style descriptions used by the SPLENDID baseline.
 //!
 //! The [`eval`] module implements the SPARQL subset from
 //! [`lusail_sparql`]: BGPs (index nested-loop joins with greedy
 //! selectivity ordering), FILTER (including NOT EXISTS), OPTIONAL, UNION,
-//! VALUES, DISTINCT and LIMIT.
+//! VALUES, DISTINCT and LIMIT — generic over `&dyn StorageBackend`.
 
+pub mod backend;
+pub mod columns;
 pub mod eval;
 pub mod expr;
 pub mod stats;
 pub mod store;
 
+pub use backend::{BackendKind, StorageBackend};
+pub use columns::ColumnStore;
 pub use stats::{CharacteristicSet, EndpointStats, PredicateSummary};
-pub use store::{PredicateStats, TripleStore};
+pub use store::{PredicateStats, TripleStore, ESTIMATE_CAP};

@@ -18,7 +18,7 @@
 //! the subject/object join-degree summary (`objects_foreign`) Lusail's
 //! home checks ask about.
 
-use crate::TripleStore;
+use crate::backend::StorageBackend;
 use lusail_rdf::{Dictionary, FxHashMap, FxHashSet, Term, TermId};
 use lusail_sparql::ast::TriplePattern;
 
@@ -76,9 +76,10 @@ pub struct EndpointStats {
 
 impl EndpointStats {
     /// Scans `store` into its statistics. One pass over the
-    /// subject-grouped index; planning work, so nothing is charged to the
-    /// store's `rows_scanned` counter.
-    pub fn build(store: &TripleStore) -> EndpointStats {
+    /// subject-grouped index (any [`StorageBackend`], via its
+    /// `for_each_spo` iterator); planning work, so nothing is charged to
+    /// the store's `rows_scanned` counter.
+    pub fn build(store: &dyn StorageBackend) -> EndpointStats {
         let mut subjects: FxHashSet<TermId> = FxHashSet::default();
         let mut per_pred: FxHashMap<TermId, (u64, FxHashSet<TermId>, FxHashSet<TermId>)> =
             FxHashMap::default();
@@ -105,7 +106,7 @@ impl EndpointStats {
             }
         };
 
-        for (s, p, o) in store.triples_spo() {
+        store.for_each_spo(&mut |s, p, o| {
             subjects.insert(s);
             let pred = per_pred
                 .entry(p)
@@ -126,7 +127,7 @@ impl EndpointStats {
                     counts.push(1);
                 }
             }
-        }
+        });
         flush(&mut sig, &mut counts);
 
         let predicates = per_pred
@@ -335,6 +336,7 @@ impl EndpointStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TripleStore;
     use lusail_rdf::Dictionary;
     use lusail_sparql::ast::PatternTerm;
     use std::sync::Arc;

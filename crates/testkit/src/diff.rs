@@ -193,6 +193,18 @@ pub enum Violation {
         /// Requests without statistics.
         off: u64,
     },
+    /// The same run on the two storage backends disagreed — backends must
+    /// be observationally identical (solutions, completeness, per-kind
+    /// wire requests, and rows scanned).
+    BackendDivergence {
+        /// Which facet diverged (`solutions`, `complete`, a request-kind
+        /// label, `rows_scanned`, or `counters`).
+        facet: &'static str,
+        /// The facet's value on the BTree backend.
+        btree: String,
+        /// The facet's value on the columnar backend.
+        columns: String,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -248,6 +260,15 @@ impl std::fmt::Display for Violation {
                 f,
                 "stats-on run issued more {kind} requests than stats-off \
                  ({on} vs {off})"
+            ),
+            Violation::BackendDivergence {
+                facet,
+                btree,
+                columns,
+            } => write!(
+                f,
+                "storage backends diverged on {facet}: {btree} on btree, \
+                 {columns} on columns"
             ),
         }
     }
@@ -441,6 +462,93 @@ pub fn check_stats(
                 off: off_n,
             });
         }
+    }
+    Ok(())
+}
+
+/// The backend-differential oracle: runs `engine` over the case once per
+/// storage backend — the same stores materialized as BTree indexes and as
+/// compressed sorted columns — and demands the two runs be byte-identical
+/// in everything observable: canonicalized solutions, the completeness
+/// flag, every per-kind wire request counter, and `rows_scanned`.
+///
+/// Identity (not mere equivalence) holds because generated cases are
+/// smaller than the BTree estimate cap, so both backends hand
+/// `plan_bgp_order` the same exact estimates, producing the same plans,
+/// the same scans, and the same request streams — which also makes the
+/// check fault-plan-invariant: injected fates are drawn per request
+/// index, and the indexes coincide. Both runs additionally pass the
+/// ordinary oracle contract and trace invariants on their own.
+pub fn check_backends(
+    case: &Case,
+    engine: EngineKind,
+    faults: &FaultSpec,
+    threads: usize,
+) -> Result<(), Violation> {
+    let clean = faults.is_clean();
+    let (fed_b, locals_b) = case.federation_on(faults, lusail_store::BackendKind::Btree);
+    let btree = observe_on(case, engine, &fed_b, &locals_b, clean, threads)?;
+    let (fed_c, locals_c) = case.federation_on(faults, lusail_store::BackendKind::Columns);
+    let columns = observe_on(case, engine, &fed_c, &locals_c, clean, threads)?;
+
+    if btree.solutions != columns.solutions {
+        return Err(Violation::BackendDivergence {
+            facet: "solutions",
+            btree: format!("{} rows", btree.solutions.len()),
+            columns: format!("{} rows", columns.solutions.len()),
+        });
+    }
+    if btree.complete != columns.complete {
+        return Err(Violation::BackendDivergence {
+            facet: "complete",
+            btree: btree.complete.to_string(),
+            columns: columns.complete.to_string(),
+        });
+    }
+    let kinds: [(&'static str, u64, u64); 5] = [
+        (
+            "ask",
+            btree.window.ask_requests,
+            columns.window.ask_requests,
+        ),
+        (
+            "count",
+            btree.window.count_requests,
+            columns.window.count_requests,
+        ),
+        (
+            "select",
+            btree.window.select_requests,
+            columns.window.select_requests,
+        ),
+        (
+            "total",
+            btree.window.total_requests(),
+            columns.window.total_requests(),
+        ),
+        (
+            "rows_scanned",
+            btree.window.rows_scanned,
+            columns.window.rows_scanned,
+        ),
+    ];
+    for (kind, b, c) in kinds {
+        if b != c {
+            return Err(Violation::BackendDivergence {
+                facet: kind,
+                btree: b.to_string(),
+                columns: c.to_string(),
+            });
+        }
+    }
+    // Catch-all: the full counter window (bytes, rows returned, fault
+    // injections, VALUES blocks, …) must coincide too.
+    if btree.window != columns.window {
+        return Err(Violation::BackendDivergence {
+            facet: "counters",
+            btree: format!("{:?}", btree.window),
+            columns: format!("{:?}", columns.window),
+        });
     }
     Ok(())
 }

@@ -253,10 +253,26 @@ impl Case {
     /// baselines preprocess endpoint data directly, bypassing faults — an
     /// index is built offline, before the network gets a say).
     pub fn federation(&self, faults: &FaultSpec) -> (Federation, Vec<Arc<LocalEndpoint>>) {
+        self.federation_on(faults, lusail_store::BackendKind::Btree)
+    }
+
+    /// [`Case::federation`] with the endpoints' stores materialized into
+    /// the chosen storage backend (the backend-differential oracle builds
+    /// the same case once per backend).
+    pub fn federation_on(
+        &self,
+        faults: &FaultSpec,
+        backend: lusail_store::BackendKind,
+    ) -> (Federation, Vec<Arc<LocalEndpoint>>) {
         let mut builder = Federation::builder(Arc::clone(&self.dict));
         let mut locals = Vec::with_capacity(self.n_endpoints);
         for (i, store) in self.stores().into_iter().enumerate() {
-            let ep = Arc::new(LocalEndpoint::new(format!("ep{i}"), store));
+            let ep = Arc::new(LocalEndpoint::on_backend(
+                format!("ep{i}"),
+                store,
+                backend,
+                Default::default(),
+            ));
             builder = builder.custom(Arc::clone(&ep) as Arc<dyn SparqlEndpoint>);
             if let Some(profile) = faults.profiles.get(i).copied().flatten() {
                 builder = builder.faults(profile);

@@ -32,8 +32,8 @@ pub mod seed;
 pub mod shrink;
 
 pub use diff::{
-    check, check_replicated, check_stats, check_trace_invariants, check_tuned, observe,
-    oracle_solutions, EngineKind, LusailTuning, Observation, Violation,
+    check, check_backends, check_replicated, check_stats, check_trace_invariants, check_tuned,
+    observe, oracle_solutions, EngineKind, LusailTuning, Observation, Violation,
 };
 pub use gen::{Case, FaultSpec, GenConfig};
 pub use seed::{parse_seed, seed_from_env, SEED_ENV_VAR};
@@ -66,6 +66,46 @@ pub fn run_stats_case(
                 |c: &Case, f: &FaultSpec| -> bool { check_stats(c, engine, f, threads).is_err() };
             let (small, small_faults) = shrink(&case, &faults, &still_fails);
             let violation = check_stats(&small, engine, &small_faults, threads)
+                .err()
+                .unwrap_or(first_violation);
+            Err(Box::new(Repro {
+                case: small,
+                faults: small_faults,
+                engine,
+                violation,
+            }))
+        }
+    }
+}
+
+/// Runs one seeded backend-differential case end-to-end for one engine
+/// (see [`check_backends`]): generate, materialize the same federation on
+/// the BTree and columnar backends, run both, demand byte-identical
+/// observations, and on failure shrink and package the repro. `faulty`
+/// draws a full-random fault plan — backend identity must hold under any
+/// fault family, since identical request streams see identical fates.
+pub fn run_backend_case(
+    case_seed: u64,
+    config: &GenConfig,
+    engine: EngineKind,
+    faulty: bool,
+    threads: usize,
+) -> Result<(), Box<Repro>> {
+    let case = Case::generate(case_seed, config);
+    let faults = if faulty {
+        let mut rng = lusail_benchdata::common::Rng::new(case_seed ^ 0xFA17_0000_0000_0003);
+        FaultSpec::random(&mut rng, case.n_endpoints)
+    } else {
+        FaultSpec::default()
+    };
+    match check_backends(&case, engine, &faults, threads) {
+        Ok(()) => Ok(()),
+        Err(first_violation) => {
+            let still_fails = |c: &Case, f: &FaultSpec| -> bool {
+                check_backends(c, engine, f, threads).is_err()
+            };
+            let (small, small_faults) = shrink(&case, &faults, &still_fails);
+            let violation = check_backends(&small, engine, &small_faults, threads)
                 .err()
                 .unwrap_or(first_violation);
             Err(Box::new(Repro {

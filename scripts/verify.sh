@@ -65,6 +65,32 @@ sed 's/ in [0-9.]* ms//' "$tmpdir/q2_t4.txt" > "$tmpdir/q2_t4.stable"
 diff -u "$tmpdir/q2_t1.stable" "$tmpdir/q2_t4.stable"
 echo "parallel smoke: --threads 4 output matches --threads 1"
 
+echo "==> backend smoke (LUBM Q2, btree vs columns byte-identical, footprint drops)"
+cargo run --release -q --bin lusail-cli -- query \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --query-file "$tmpdir/queries/Q2.rq" \
+    --backend btree > "$tmpdir/q2_btree.txt"
+cargo run --release -q --bin lusail-cli -- query \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --query-file "$tmpdir/queries/Q2.rq" \
+    --backend columns > "$tmpdir/q2_columns.txt"
+# The storage line names the backend and its resident bytes; everything
+# else (rows, request counters, scan counters) must be byte-identical
+# once the nondeterministic wall time is stripped.
+grep -q '^storage: backend btree, [0-9]* B resident' "$tmpdir/q2_btree.txt"
+grep -q '^storage: backend columns, [0-9]* B resident' "$tmpdir/q2_columns.txt"
+sed 's/ in [0-9.]* ms//; /^storage: /d' "$tmpdir/q2_btree.txt"   > "$tmpdir/q2_btree.stable"
+sed 's/ in [0-9.]* ms//; /^storage: /d' "$tmpdir/q2_columns.txt" > "$tmpdir/q2_columns.stable"
+diff -u "$tmpdir/q2_btree.stable" "$tmpdir/q2_columns.stable"
+resident() { grep -o '[0-9]* B resident' "$1" | cut -d' ' -f1; }
+btree_bytes=$(resident "$tmpdir/q2_btree.txt")
+columns_bytes=$(resident "$tmpdir/q2_columns.txt")
+if [ "$columns_bytes" -ge "$btree_bytes" ]; then
+    echo "backend smoke: columns not smaller ($columns_bytes vs $btree_bytes B)" >&2
+    exit 1
+fi
+echo "backend smoke: identical output, resident $btree_bytes -> $columns_bytes B"
+
 echo "==> stats smoke (LUBM Q1, offline statistics elide probes, results unchanged)"
 cargo run --release -q --bin lusail-cli -- stats \
     --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
@@ -90,9 +116,9 @@ if [ "$stats_reqs" -ge "$wire_reqs" ]; then
 fi
 echo "stats smoke: identical rows, requests $wire_reqs -> $stats_reqs"
 
-echo "==> bench smoke (counters reproduce BENCH_7.json across thread budgets, gate holds)"
+echo "==> bench smoke (counters reproduce BENCH_8.json across thread budgets, gate holds)"
 cargo run --release -q -p lusail-bench --bin lusail-bench -- \
-    check --against BENCH_7.json --workload lubm --query Q4 --threads 1 --threads 4
+    check --against BENCH_8.json --workload lubm --query Q4 --threads 1 --threads 4
 
 echo "==> fuzz smoke (200 iterations, 30 s cap)"
 set +e

@@ -7,7 +7,7 @@
 //!   endpoint, plus a `queries/` directory with the benchmark queries.
 //! * `query --endpoint FILE.nt ... (--query 'SPARQL' | --query-file F)
 //!   [--replica NAME=FILE.nt ...] [--kill NAME[:N] ...]
-//!   [--engine lusail|fedx] [--threads N]
+//!   [--engine lusail|fedx] [--threads N] [--backend btree|columns]
 //!   [--explain-analyze [--fixed-clock]]` — run a
 //!   federated query over the given endpoint files and print the results
 //!   as a table. `--threads N` sets the worker budget for dispatching
@@ -31,6 +31,14 @@
 //!   per-predicate cardinalities, written as `DIR/<name>.stats` in the
 //!   `lusail-stats/v1` text format.
 //! * `demo` — the paper's two-university running example, end to end.
+//!
+//! `query` and `explain` also accept `--backend btree|columns` to pick
+//! the storage backend the loaded endpoint files are materialized on:
+//! `btree` (the default) keeps the three mutable BTree indexes, while
+//! `columns` freezes each endpoint into the compressed sorted-column
+//! store. Results are byte-identical either way; the load report prints
+//! one `storage:` line with the backend and total resident bytes so the
+//! footprint difference is visible.
 //!
 //! `query` and `explain` also accept `--stats build|DIR`: `build`
 //! summarizes every endpoint in-process at load time, `DIR` loads the
@@ -70,8 +78,10 @@ fn main() -> ExitCode {
                  generate --workload lubm|qfed|lrb|bio2rdf --out DIR [--size N]\n\
                  query    --endpoint F.nt ... (--query SPARQL | --query-file F) [--engine lusail|fedx]\n\
                  \x20        [--replica NAME=F.nt ...] [--kill NAME[:N] ...] [--threads N]\n\
-                 \x20        [--stats build|DIR] [--explain-analyze [--fixed-clock]]\n\
-                 explain  --endpoint F.nt ... (--query SPARQL | --query-file F) [--stats build|DIR]\n\
+                 \x20        [--backend btree|columns] [--stats build|DIR]\n\
+                 \x20        [--explain-analyze [--fixed-clock]]\n\
+                 explain  --endpoint F.nt ... (--query SPARQL | --query-file F)\n\
+                 \x20        [--backend btree|columns] [--stats build|DIR]\n\
                  stats    --endpoint F.nt ... --out DIR\n\
                  demo"
             );
@@ -196,6 +206,7 @@ fn load_federation(
     replicas: &[&str],
     kills: &[&str],
     stats_mode: Option<&str>,
+    backend: lusail_store::BackendKind,
 ) -> Result<(Federation, Arc<Dictionary>), String> {
     if paths.is_empty() {
         return Err("at least one --endpoint file is required".into());
@@ -218,7 +229,7 @@ fn load_federation(
             .unwrap_or_else(|| p.to_string());
         Ok((name, store))
     };
-    let mut builder = Federation::builder(Arc::clone(&dict));
+    let mut builder = Federation::builder(Arc::clone(&dict)).backend(backend);
     let mut primary_names = Vec::new();
     // In `--stats build` mode the summaries come straight from the loaded
     // stores (before they move into the builder); in `--stats DIR` mode
@@ -255,6 +266,12 @@ fn load_federation(
         return Err(format!("--kill {name:?}: no endpoint with that name"));
     }
     let fed = builder.build();
+    let resident: u64 = fed.iter().filter_map(|(_, ep)| ep.resident_bytes()).sum();
+    let n_endpoints = fed.iter().count();
+    println!(
+        "storage: backend {backend}, {resident} B resident across \
+         {n_endpoints} endpoint(s)"
+    );
     match stats_mode {
         None => {}
         Some("build") => {
@@ -342,7 +359,12 @@ fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
     let replicas = flag_values(args, "--replica");
     let kills = flag_values(args, "--kill");
     let stats_mode = flag_value(args, "--stats");
-    let (fed, dict) = load_federation(&endpoints, &replicas, &kills, stats_mode)?;
+    let backend = match flag_value(args, "--backend") {
+        None => lusail_store::BackendKind::Btree,
+        Some(name) => lusail_store::BackendKind::parse(name)
+            .ok_or_else(|| format!("unknown backend {name} (use btree|columns)"))?,
+    };
+    let (fed, dict) = load_federation(&endpoints, &replicas, &kills, stats_mode, backend)?;
     let query = read_query(args, &dict)?;
 
     if explain_only {

@@ -23,8 +23,8 @@
 
 use lusail_benchdata::common::Rng;
 use lusail_testkit::{
-    check_replicated, check_tuned, run_case, run_stats_case, seed_from_env, Case, EngineKind,
-    FaultSpec, GenConfig, LusailTuning, SEED_ENV_VAR,
+    check_replicated, check_tuned, run_backend_case, run_case, run_stats_case, seed_from_env, Case,
+    EngineKind, FaultSpec, GenConfig, LusailTuning, SEED_ENV_VAR,
 };
 
 /// Default stream seed; overridable via `LUSAIL_TEST_SEED`.
@@ -201,6 +201,57 @@ fn stats_elision_is_invisible_in_results() {
                 if let Err(repro) = run_stats_case(case_seed, &config, engine, faulty, threads) {
                     panic!(
                         "stats case {i} (seed {case_seed:#x}, {}, {} mode, {threads} threads):\n{repro}",
+                        engine.name(),
+                        if faulty { "faulty" } else { "clean" }
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Backend-differential sweep: 30 seeded cases, every engine, each case
+/// materialized on the BTree backend *and* the compressed sorted-column
+/// backend, clean and under full-random fault plans, at worker budgets 1
+/// and 4. The contract is strict identity, not subset: `check_backends`
+/// demands byte-identical canonicalized solutions, completeness flags,
+/// per-kind wire request counters, `rows_scanned`, and the full counter
+/// window on both backends (generated cases sit below the BTree estimate
+/// cap, so both backends plan identically — see the `check_backends`
+/// docs). A failure shrinks to a self-contained repro and replays via
+/// `LUSAIL_TEST_SEED` like every other sweep here.
+#[test]
+fn storage_backends_are_observationally_identical() {
+    let config = GenConfig::default();
+    if std::env::var(SEED_ENV_VAR).is_ok() {
+        let case_seed = seed_from_env(DEFAULT_STREAM_SEED);
+        for engine in EngineKind::ALL {
+            for faulty in [false, true] {
+                for threads in [1, 4] {
+                    if let Err(repro) =
+                        run_backend_case(case_seed, &config, engine, faulty, threads)
+                    {
+                        panic!(
+                            "replayed backend case {case_seed:#x} ({}, {} mode, {threads} threads):\n{repro}",
+                            engine.name(),
+                            if faulty { "faulty" } else { "clean" }
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let mut stream = Rng::new(seed_from_env(DEFAULT_STREAM_SEED) ^ 0xBACC_E4D5);
+    for i in 0..30 {
+        let case_seed = stream.next_u64();
+        // Alternate worker budgets across the stream, like the stats
+        // sweep: both budgets get coverage without doubling the bill.
+        let threads = if i % 2 == 0 { 1 } else { 4 };
+        for engine in EngineKind::ALL {
+            for faulty in [false, true] {
+                if let Err(repro) = run_backend_case(case_seed, &config, engine, faulty, threads) {
+                    panic!(
+                        "backend case {i} (seed {case_seed:#x}, {}, {} mode, {threads} threads):\n{repro}",
                         engine.name(),
                         if faulty { "faulty" } else { "clean" }
                     );

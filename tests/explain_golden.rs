@@ -47,6 +47,14 @@ fn explain_analyze_at_four_threads_matches_the_committed_golden() {
         builder = builder.endpoint(&name, store);
     }
     let fed = builder.build();
+    // The CLI follows the loader lines with one `storage:` line summing
+    // the backends' self-reported resident bytes.
+    let resident: u64 = fed.iter().filter_map(|(_, ep)| ep.resident_bytes()).sum();
+    let n_endpoints = fed.iter().count();
+    loaded_lines.push_str(&format!(
+        "storage: backend btree, {resident} B resident across \
+         {n_endpoints} endpoint(s)\n"
+    ));
 
     let q4 = w
         .queries

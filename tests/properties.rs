@@ -224,6 +224,177 @@ fn store_scan_matches_naive_filter() {
     }
 }
 
+// ---------- storage-backend scan/estimate equivalence ------------------------
+
+/// The cross-backend storage contract (see `lusail_store::backend`):
+/// for the same triples, the BTree and columnar backends must hand scan
+/// callbacks the same triples *in the same order* on every one of the
+/// eight bound/unbound access paths, honor early exit at the same point,
+/// charge `rows_scanned` identically, and agree on `estimate` up to the
+/// documented cap — the columnar estimate is always the exact match
+/// count, and `btree_estimate == min(true_count, ESTIMATE_CAP)` on the
+/// five range-walk shapes (it is exact on `(?, p, ?)` and the all-free
+/// shape). Universes are sized so the cap genuinely binds in some cases;
+/// the test asserts that coverage rather than hoping for it.
+#[test]
+fn backend_scans_and_estimates_agree() {
+    use lusail_store::{BackendKind, StorageBackend, ESTIMATE_CAP};
+
+    let mut rng = Rng::new(seed_from_env(0xBAC_E4D));
+    let mut cap_bound_patterns = 0u64;
+    let mut nonempty_scans = 0u64;
+    for case in 0..60 {
+        let dict = Dictionary::shared();
+        // Small subject/predicate universes with a wider object universe:
+        // single-bound paths like (s, ?, ?) can then exceed ESTIMATE_CAP
+        // matches even though the store is a *set* of triples.
+        let ns = 1 + rng.below(4);
+        let np = 1 + rng.below(4);
+        let no = 1 + rng.below(80);
+        let node = |n: usize, dict: &Dictionary| dict.encode(&Term::iri(format!("http://g/n{n}")));
+        let pred = |n: usize, dict: &Dictionary| dict.encode(&Term::iri(format!("http://g/p{n}")));
+        let mut st = TripleStore::new(Arc::clone(&dict));
+        for _ in 0..rng.below(400) {
+            st.insert(lusail_rdf::Triple::new(
+                node(rng.below(ns), &dict),
+                pred(rng.below(np), &dict),
+                node(rng.below(no), &dict),
+            ));
+        }
+        // One deliberately dense subject: the full np × no grid hangs off
+        // node 0, so subject-led paths exceed ESTIMATE_CAP whenever the
+        // universe allows it (the store is a set — sparse random inserts
+        // alone rarely pile more than the cap onto one run).
+        for p in 0..np {
+            for o in 0..no {
+                st.insert(lusail_rdf::Triple::new(
+                    node(0, &dict),
+                    pred(p, &dict),
+                    node(o, &dict),
+                ));
+            }
+        }
+        let backends: Vec<Box<dyn StorageBackend>> = {
+            let copy = {
+                let mut c = TripleStore::new(Arc::clone(&dict));
+                let mut all = Vec::new();
+                st.scan(None, None, None, |t| {
+                    all.push(t);
+                    true
+                });
+                for t in all {
+                    c.insert(t);
+                }
+                c
+            };
+            vec![
+                BackendKind::Btree.realize(st),
+                BackendKind::Columns.realize(copy),
+            ]
+        };
+        let (btree, columns) = (&backends[0], &backends[1]);
+        assert_eq!(btree.len(), columns.len(), "case {case}: len diverged");
+
+        for probe in 0..40 {
+            // Constants range past each universe so absent terms occur in
+            // every position; every bound/unbound combination arises.
+            let qs = rng.chance(0.5).then(|| node(rng.below(ns + 2), &dict));
+            let qp = rng.chance(0.5).then(|| pred(rng.below(np + 2), &dict));
+            let qo = rng.chance(0.5).then(|| node(rng.below(no + 2), &dict));
+            let ctx =
+                |what: &str| format!("case {case} probe {probe} ({qs:?},{qp:?},{qo:?}): {what}");
+
+            // Full scans: same triples, same order, same work charged.
+            let before = (btree.rows_scanned(), columns.rows_scanned());
+            let got_b = btree.matches(qs, qp, qo);
+            let got_c = columns.matches(qs, qp, qo);
+            assert_eq!(got_b, got_c, "{}", ctx("scan order/content diverged"));
+            let scanned_b = btree.rows_scanned() - before.0;
+            let scanned_c = columns.rows_scanned() - before.1;
+            assert_eq!(
+                scanned_b,
+                got_b.len() as u64,
+                "{}",
+                ctx("btree rows_scanned")
+            );
+            assert_eq!(
+                scanned_c,
+                got_c.len() as u64,
+                "{}",
+                ctx("columns rows_scanned")
+            );
+            let true_count = got_b.len() as u64;
+            if true_count > 0 {
+                nonempty_scans += 1;
+            }
+
+            // Early exit: both backends stop at the same prefix, report
+            // the same "stopped early" flag, and charge exactly the
+            // prefix.
+            if true_count > 0 {
+                let k = 1 + rng.below(true_count as usize);
+                for backend in [btree, columns] {
+                    let before = backend.rows_scanned();
+                    let mut seen = Vec::new();
+                    let completed = backend.scan(qs, qp, qo, |t| {
+                        seen.push(t);
+                        seen.len() < k
+                    });
+                    assert!(
+                        !completed || k == true_count as usize,
+                        "{}",
+                        ctx("early-exit flag")
+                    );
+                    assert_eq!(seen, got_b[..k], "{}", ctx("early-exit prefix"));
+                    assert_eq!(
+                        backend.rows_scanned() - before,
+                        k as u64,
+                        "{}",
+                        ctx("early-exit rows_scanned")
+                    );
+                }
+            }
+
+            // Estimates: columnar is always exact; BTree is exact on the
+            // predicate-only and all-free shapes and capped elsewhere.
+            let est_b = btree.estimate(qs, qp, qo);
+            let est_c = columns.estimate(qs, qp, qo);
+            assert_eq!(
+                est_c,
+                true_count,
+                "{}",
+                ctx("columns estimate must be exact")
+            );
+            let btree_exact =
+                (qs.is_none() && qo.is_none()) || (qs.is_none() && qp.is_none() && qo.is_none());
+            if btree_exact {
+                assert_eq!(
+                    est_b,
+                    true_count,
+                    "{}",
+                    ctx("btree estimate on exact shape")
+                );
+            } else {
+                assert_eq!(
+                    est_b,
+                    true_count.min(ESTIMATE_CAP),
+                    "{}",
+                    ctx("btree estimate vs documented cap bound")
+                );
+            }
+            if est_c > ESTIMATE_CAP && !btree_exact {
+                cap_bound_patterns += 1;
+            }
+        }
+    }
+    // The contract's interesting half is vacuous if the cap never binds
+    // or every scan is empty.
+    assert!(
+        cap_bound_patterns > 20 && nonempty_scans > 400,
+        "coverage too thin: {cap_bound_patterns} cap-bound patterns, {nonempty_scans} nonempty scans"
+    );
+}
+
 // ---------- the federation partition property --------------------------------
 
 // Random graph, partitioned across endpoints **by subject** — the

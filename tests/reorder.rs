@@ -69,6 +69,95 @@ fn reordering_strictly_reduces_rows_scanned_on_lubm() {
     }
 }
 
+/// Columnar estimates may only *help* the planner. The columnar backend
+/// feeds `plan_bgp_order` exact run-length counts where the BTree backend
+/// caps its index walk at `ESTIMATE_CAP`, so on the pinned LUBM queries a
+/// columnar plan must never scan more rows than the BTree plan for
+/// byte-identical results — store-level first, then at the engine level,
+/// where a whole federation materialized on columns must answer with the
+/// same solutions and no more wire requests than its BTree twin.
+#[test]
+fn columnar_estimates_never_plan_worse_than_btree() {
+    use lusail_core::Lusail;
+    use lusail_endpoint::{ExecOptions, FederatedEngine, SparqlEndpoint};
+    use lusail_store::{BackendKind, ColumnStore, StorageBackend};
+
+    let w = lubm_workload();
+    let btree: &dyn StorageBackend = &w.oracle;
+    let columns = ColumnStore::from_store(&w.oracle);
+    let columns: &dyn StorageBackend = &columns;
+    btree.set_reorder(true);
+    columns.set_reorder(true);
+    for name in ["Q1", "Q2", "Q4"] {
+        let query = &w.query(name).query;
+
+        let before = btree.rows_scanned();
+        let on_btree = evaluate(btree, query).canonicalize();
+        let btree_scans = btree.rows_scanned() - before;
+
+        let before = columns.rows_scanned();
+        let on_columns = evaluate(columns, query).canonicalize();
+        let columns_scans = columns.rows_scanned() - before;
+
+        assert_eq!(on_columns, on_btree, "{name}: backends disagree on results");
+        assert!(
+            columns_scans <= btree_scans,
+            "{name}: columnar plan scanned {columns_scans} rows, more than \
+             the BTree plan's {btree_scans} — exact estimates made things worse"
+        );
+    }
+
+    // Engine level: the same federation materialized on each backend.
+    let fed_b = lubm_workload();
+    let fed_c = generate(&LubmConfig {
+        backend: BackendKind::Columns,
+        ..LubmConfig::new(3)
+    });
+    let engine = Lusail::default();
+    for name in ["Q1", "Q2", "Q4"] {
+        let mut windows = Vec::new();
+        for w in [&fed_b, &fed_c] {
+            let before = w
+                .endpoints
+                .iter()
+                .fold(lusail_endpoint::StatsSnapshot::default(), |acc, e| {
+                    acc.plus(&e.stats_snapshot())
+                });
+            let r = engine
+                .run_with(&w.federation, &w.query(name).query, &ExecOptions::default())
+                .unwrap();
+            let window = w
+                .endpoints
+                .iter()
+                .fold(lusail_endpoint::StatsSnapshot::default(), |acc, e| {
+                    acc.plus(&e.stats_snapshot())
+                })
+                .since(&before);
+            windows.push((r.solutions.canonicalize(), window));
+        }
+        let (btree_sols, btree_win) = &windows[0];
+        let (columns_sols, columns_win) = &windows[1];
+        assert_eq!(
+            columns_sols, btree_sols,
+            "{name}: federation results diverged"
+        );
+        assert!(
+            columns_win.total_requests() <= btree_win.total_requests(),
+            "{name}: columnar federation issued {} requests, more than the \
+             BTree federation's {}",
+            columns_win.total_requests(),
+            btree_win.total_requests()
+        );
+        assert!(
+            columns_win.rows_scanned <= btree_win.rows_scanned,
+            "{name}: columnar federation scanned {} rows, more than the \
+             BTree federation's {}",
+            columns_win.rows_scanned,
+            btree_win.rows_scanned
+        );
+    }
+}
+
 #[test]
 fn all_unbound_scan_does_not_regress() {
     let w = lubm_workload();
