@@ -23,7 +23,7 @@ use lusail_core::exec::Net;
 use lusail_core::source_selection::{select_sources, SourceMap};
 use lusail_endpoint::{
     EndpointId, ExecOptions, FederatedEngine, Federation, FederationError, QueryOutcome,
-    RequestPolicy, SystemClock, TraceEvent, TraceSink,
+    RequestPolicy, SystemClock, TraceEvent,
 };
 use lusail_rdf::TermId;
 use lusail_sparql::ast::{Expression, GroupPattern, Query};
@@ -113,6 +113,7 @@ impl FedX {
             Arc::new(SystemClock::default()),
             opts.trace.clone(),
             opts.thread_budget(),
+            opts.on_health_transition.clone(),
         );
         let loss = AtomicBool::new(false);
         let solutions = self.execute_inner(fed, query, &net, &loss);
@@ -126,21 +127,6 @@ impl FedX {
             complete,
             failures: net.client.report(fed),
         })
-    }
-
-    /// [`FedX::execute`] with request-level tracing.
-    #[deprecated(note = "use `execute_with` with `ExecOptions::default().with_trace(..)`")]
-    pub fn execute_traced(
-        &self,
-        fed: &Federation,
-        query: &Query,
-        trace: &TraceSink,
-    ) -> Result<QueryOutcome, FederationError> {
-        self.execute_with(
-            fed,
-            query,
-            &ExecOptions::default().with_trace(trace.clone()),
-        )
     }
 
     fn execute_inner(

@@ -16,7 +16,7 @@ use lusail_core::exec::Net;
 use lusail_core::source_selection::{select_sources, SourceMap};
 use lusail_endpoint::{
     EndpointId, ExecOptions, FederatedEngine, Federation, FederationError, LocalEndpoint,
-    QueryOutcome, RequestPolicy, SystemClock, TraceEvent, TraceSink,
+    QueryOutcome, RequestPolicy, SystemClock, TraceEvent,
 };
 use lusail_rdf::{FxHashMap, FxHashSet, TermId};
 use lusail_sparql::ast::{GroupPattern, Query, TriplePattern};
@@ -207,6 +207,7 @@ impl HiBisCus {
             Arc::new(SystemClock::default()),
             opts.trace.clone(),
             opts.thread_budget(),
+            opts.on_health_transition.clone(),
         );
         let loss = AtomicBool::new(false);
         let solutions = self.execute_inner(fed, query, &net, &loss);
@@ -220,21 +221,6 @@ impl HiBisCus {
             complete,
             failures: net.client.report(fed),
         })
-    }
-
-    /// [`HiBisCus::execute`] with request-level tracing.
-    #[deprecated(note = "use `execute_with` with `ExecOptions::default().with_trace(..)`")]
-    pub fn execute_traced(
-        &self,
-        fed: &Federation,
-        query: &Query,
-        trace: &TraceSink,
-    ) -> Result<QueryOutcome, FederationError> {
-        self.execute_with(
-            fed,
-            query,
-            &ExecOptions::default().with_trace(trace.clone()),
-        )
     }
 
     fn execute_inner(

@@ -21,7 +21,7 @@ use lusail_core::exec::Net;
 use lusail_core::source_selection::SourceMap;
 use lusail_endpoint::{
     EndpointId, ExecOptions, FederatedEngine, Federation, FederationError, LocalEndpoint,
-    QueryOutcome, RequestKind, RequestPolicy, SystemClock, TraceEvent, TraceSink,
+    QueryOutcome, RequestKind, RequestPolicy, SystemClock, TraceEvent,
 };
 use lusail_rdf::{FxHashMap, TermId};
 use lusail_sparql::ast::{GroupPattern, Query, TriplePattern, ValuesBlock};
@@ -228,6 +228,7 @@ impl Splendid {
             Arc::new(SystemClock::default()),
             opts.trace.clone(),
             opts.thread_budget(),
+            opts.on_health_transition.clone(),
         );
         let loss = AtomicBool::new(false);
         let solutions = self.execute_inner(fed, query, &net, &loss);
@@ -241,21 +242,6 @@ impl Splendid {
             complete,
             failures: net.client.report(fed),
         })
-    }
-
-    /// [`Splendid::execute`] with request-level tracing.
-    #[deprecated(note = "use `execute_with` with `ExecOptions::default().with_trace(..)`")]
-    pub fn execute_traced(
-        &self,
-        fed: &Federation,
-        query: &Query,
-        trace: &TraceSink,
-    ) -> Result<QueryOutcome, FederationError> {
-        self.execute_with(
-            fed,
-            query,
-            &ExecOptions::default().with_trace(trace.clone()),
-        )
     }
 
     fn execute_inner(

@@ -15,6 +15,7 @@
 //! the CI smoke `scripts/verify.sh` runs.
 
 use lusail_bench::json;
+use lusail_bench::serve::run_serve_bench;
 use lusail_bench::suite::{
     check_gate, check_thread_invariance, compare_runs, run_suite, SuiteOptions,
 };
@@ -122,7 +123,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: lusail-bench run [--out PATH] [--iters N] [--seed N] [--fixed-clock]\n\
          \x20                       [--workload NAME]... [--query NAME]... [--threads N]...\n\
-         \x20                       [--backend btree|columns]...\n\
+         \x20                       [--backend btree|columns]... [--serve]\n\
          \x20      lusail-bench check --against PATH [--workload NAME]... [--query NAME]...\n\
          \x20                       [--threads N]... [--backend btree|columns]..."
     );
@@ -133,6 +134,7 @@ struct Cli {
     command: String,
     out: Option<String>,
     against: Option<String>,
+    serve: bool,
     opts: SuiteOptions,
 }
 
@@ -146,6 +148,7 @@ fn parse_args() -> Cli {
         command,
         out: None,
         against: None,
+        serve: false,
         opts: SuiteOptions::default(),
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -171,6 +174,7 @@ fn parse_args() -> Cli {
                 })
             }
             "--fixed-clock" => cli.opts.fixed_clock = true,
+            "--serve" => cli.serve = true,
             "--workload" => cli.opts.workloads.push(need(&mut args, "--workload")),
             "--backend" => {
                 let name = need(&mut args, "--backend");
@@ -214,6 +218,11 @@ fn cmd_run(cli: &Cli) -> ExitCode {
         && cli.opts.backends.is_empty();
     if full_scope {
         doc.set("footprint", measure_footprint());
+    }
+    // The closed-loop serving benchmark is opt-in: wall-clock latencies
+    // vary by machine, so it only joins reports meant to carry them.
+    if cli.serve {
+        doc.set("serve", run_serve_bench(cli.opts.seed));
     }
     let text = doc.render();
     match &cli.out {

@@ -65,6 +65,15 @@ impl Value {
         }
     }
 
+    /// The value as an `f64`; integer values widen.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {

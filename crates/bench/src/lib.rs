@@ -6,6 +6,7 @@
 //! result tables.
 
 pub mod json;
+pub mod serve;
 pub mod suite;
 
 use lusail_endpoint::ExecOptions;

@@ -1,0 +1,248 @@
+//! The closed-loop serving benchmark behind `lusail-bench run`'s
+//! `serve` section.
+//!
+//! N closed-loop clients (each a tenant thread issuing its next query
+//! the moment the previous one returns) drive one shared
+//! [`QueryServer`] over a small LUBM federation, at two offered-load
+//! points:
+//!
+//! * **low** — fewer clients than the admission capacity: nothing may
+//!   be shed (the gate requires `shed == 0`);
+//! * **overload** — many more clients than capacity over a real-sleep
+//!   WAN profile: the server must shed (reject-with-reason, never
+//!   queue), and the p99 latency of *admitted* queries must stay within
+//!   [`SERVE_P99_FACTOR`]× the per-query deadline — overload degrades
+//!   into fast typed rejections, not unbounded queueing delay.
+//!
+//! Latencies are wall-clock and machine-dependent (like every `wall`
+//! section); the shed counts are structural: the low point cannot shed
+//! because its concurrency never reaches capacity, and the overload
+//! point must shed because it always exceeds it.
+
+use crate::json::Value;
+use lusail_benchdata::lubm;
+use lusail_core::{Lusail, LusailConfig};
+use lusail_endpoint::NetworkProfile;
+use lusail_server::{QueryServer, ServeError, ServerConfig, TenantPolicy};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The overload gate's latency bound: admitted-query p99 must not
+/// exceed this many times the per-query deadline.
+pub const SERVE_P99_FACTOR: f64 = 2.0;
+
+struct PointSpec {
+    clients: usize,
+    capacity: usize,
+    per_client: usize,
+    deadline: Duration,
+    /// Really sleep per request (the suite's scaled-down real-WAN
+    /// profile) so admitted queries have nonzero service time to
+    /// contend over.
+    real_sleep: bool,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() as f64 * p / 100.0).ceil() as usize).saturating_sub(1);
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn run_point(spec: &PointSpec, seed: u64) -> Value {
+    let mut cfg = lubm::LubmConfig::new(2);
+    cfg.seed ^= seed;
+    if spec.real_sleep {
+        cfg.profiles = Some(vec![
+            NetworkProfile {
+                latency: Duration::from_micros(300),
+                bandwidth_bytes_per_sec: None,
+                sleep: true,
+            };
+            2
+        ]);
+    }
+    let workload = lubm::generate(&cfg);
+    let engine = Lusail::new(LusailConfig {
+        probe_cache_capacity: Some(4096),
+        ..LusailConfig::default()
+    });
+    let server = QueryServer::new(
+        workload.federation.clone(),
+        engine,
+        ServerConfig {
+            max_in_flight: spec.capacity,
+            threads_per_query: 1,
+            default_tenant: TenantPolicy {
+                max_in_flight: spec.capacity.max(1),
+                deadline_budget: spec.deadline,
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let queries: Vec<_> = workload.queries.iter().map(|nq| nq.query.clone()).collect();
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..spec.clients {
+        let server = Arc::clone(&server);
+        let queries = queries.clone();
+        let per_client = spec.per_client;
+        handles.push(std::thread::spawn(move || {
+            let tenant = format!("client-{c}");
+            let mut latencies_ms = Vec::with_capacity(per_client);
+            for i in 0..per_client {
+                let query = &queries[(c + i) % queries.len()];
+                let t0 = Instant::now();
+                match server.execute(&tenant, query) {
+                    Ok(_) => latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+                    Err(ServeError::Rejected(_)) => {
+                        // Counted server-side; a shed client backs off
+                        // briefly instead of hammering the admission lock.
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(ServeError::Engine(e)) => panic!("engine error in bench: {e:?}"),
+                }
+            }
+            latencies_ms
+        }));
+    }
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    let wall = started.elapsed();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let counters = server.counters();
+    let attempts = (spec.clients * spec.per_client) as u64;
+    let mut point = Value::object();
+    point.set("clients", Value::U64(spec.clients as u64));
+    point.set("capacity", Value::U64(spec.capacity as u64));
+    point.set("requests_per_client", Value::U64(spec.per_client as u64));
+    point.set("deadline_ms", Value::U64(spec.deadline.as_millis() as u64));
+    point.set("attempts", Value::U64(attempts));
+    point.set("admitted", Value::U64(counters.admitted));
+    point.set("complete_results", Value::U64(counters.complete_results));
+    point.set("shed", Value::U64(counters.shed));
+    point.set("deadline_rejected", Value::U64(counters.deadline_rejected));
+    point.set(
+        "shed_rate",
+        Value::F64(counters.total_rejected() as f64 / attempts.max(1) as f64),
+    );
+    let mut wall_section = Value::object();
+    wall_section.set("p50_ms", Value::F64(percentile(&latencies, 50.0)));
+    wall_section.set("p99_ms", Value::F64(percentile(&latencies, 99.0)));
+    wall_section.set(
+        "throughput_qps",
+        Value::F64(counters.admitted as f64 / wall.as_secs_f64().max(1e-9)),
+    );
+    point.set("wall", wall_section);
+    point
+}
+
+/// Runs both load points and returns the report's `serve` section.
+pub fn run_serve_bench(seed: u64) -> Value {
+    let mut section = Value::object();
+    section.set(
+        "low",
+        run_point(
+            &PointSpec {
+                clients: 2,
+                capacity: 8,
+                per_client: 12,
+                deadline: Duration::from_secs(10),
+                real_sleep: false,
+            },
+            seed,
+        ),
+    );
+    section.set(
+        "overload",
+        run_point(
+            &PointSpec {
+                clients: 12,
+                capacity: 2,
+                per_client: 8,
+                deadline: Duration::from_secs(2),
+                real_sleep: true,
+            },
+            seed,
+        ),
+    );
+    section
+}
+
+/// Validates a report's `serve` section (if present): zero shed at low
+/// offered load, nonzero shed under overload, and overload p99 within
+/// [`SERVE_P99_FACTOR`]× the deadline. Returns printable gate lines.
+pub fn check_serve_gate(doc: &Value) -> Result<Vec<String>, String> {
+    let Some(serve) = doc.get("serve") else {
+        return Ok(Vec::new());
+    };
+    let point = |label: &str| -> Result<&Value, String> {
+        serve
+            .get(label)
+            .ok_or_else(|| format!("serve section is missing the {label} point"))
+    };
+    let num = |point: &Value, label: &str, key: &str| -> Result<f64, String> {
+        point
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("serve.{label} is missing {key}"))
+    };
+    let wall_num = |point: &Value, label: &str, key: &str| -> Result<f64, String> {
+        point
+            .get("wall")
+            .and_then(|w| w.get(key))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("serve.{label}.wall is missing {key}"))
+    };
+    let mut lines = Vec::new();
+
+    let low = point("low")?;
+    let low_shed = num(low, "low", "shed")? + num(low, "low", "deadline_rejected")?;
+    if low_shed > 0.0 {
+        return Err(format!(
+            "serve/low: {low_shed} queries rejected below capacity — \
+             admission control sheds under low offered load"
+        ));
+    }
+    lines.push(format!(
+        "serve/low: {} clients vs capacity {}, 0 shed, p99 {:.1} ms, \
+         {:.0} q/s",
+        num(low, "low", "clients")?,
+        num(low, "low", "capacity")?,
+        wall_num(low, "low", "p99_ms")?,
+        wall_num(low, "low", "throughput_qps")?,
+    ));
+
+    let over = point("overload")?;
+    let over_shed = num(over, "overload", "shed")?;
+    if over_shed == 0.0 {
+        return Err(
+            "serve/overload: zero queries shed with clients far over capacity — \
+             overload is queueing instead of shedding"
+                .into(),
+        );
+    }
+    let deadline_ms = num(over, "overload", "deadline_ms")?;
+    let p99 = wall_num(over, "overload", "p99_ms")?;
+    let bound = deadline_ms * SERVE_P99_FACTOR;
+    if p99 > bound {
+        return Err(format!(
+            "serve/overload: admitted-query p99 {p99:.1} ms exceeds \
+             {SERVE_P99_FACTOR}x the {deadline_ms} ms deadline ({bound:.0} ms)"
+        ));
+    }
+    lines.push(format!(
+        "serve/overload: {} clients vs capacity {}, shed rate {:.0}%, \
+         p99 {:.1} ms <= {bound:.0} ms",
+        num(over, "overload", "clients")?,
+        num(over, "overload", "capacity")?,
+        num(over, "overload", "shed_rate")? * 100.0,
+        p99,
+    ));
+    Ok(lines)
+}

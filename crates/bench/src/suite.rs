@@ -684,6 +684,11 @@ pub fn check_gate(doc: &Value) -> Result<Vec<String>, String> {
             columns_bytes as f64 / triples as f64,
         ));
     }
+
+    // The serving gate: the closed-loop server benchmark (if present)
+    // must show zero shedding below capacity and bounded-latency
+    // shedding under overload. See crate::serve.
+    lines.extend(crate::serve::check_serve_gate(doc)?);
     Ok(lines)
 }
 

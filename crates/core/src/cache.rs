@@ -49,9 +49,13 @@ pub fn pattern_key(tp: &TriplePattern) -> PatternKey {
 /// A thread-safe memo table keyed by `(PatternKey, EndpointId)`.
 ///
 /// Optionally capacity-bounded: when full, inserting a *new* key evicts
-/// the oldest-inserted entry (FIFO), so memory stays proportional to the
-/// bound rather than the probe history. `new` builds an unbounded cache
-/// (the paper's hash table); `with_capacity` bounds it.
+/// the least-recently-used entry, so memory stays proportional to the
+/// bound rather than the probe history. A hit counts as a touch, and the
+/// touch is accounted under the same lock as the lookup itself — under
+/// concurrent sharing (the server's cross-query cache) two racing hits
+/// can interleave in either order but can never leave `order`
+/// inconsistent with `map`. `new` builds an unbounded cache (the paper's
+/// hash table); `with_capacity` bounds it.
 pub struct ProbeCache<V: Copy> {
     enabled: bool,
     capacity: Option<usize>,
@@ -63,6 +67,7 @@ struct ProbeCacheInner<V> {
     order: VecDeque<(PatternKey, EndpointId)>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl<V: Copy> ProbeCache<V> {
@@ -86,27 +91,41 @@ impl<V: Copy> ProbeCache<V> {
                 order: VecDeque::new(),
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             }),
         }
     }
 
     /// Looks up a memoized probe result, bumping the hit or miss counter.
+    /// A hit also refreshes the entry's recency — the touch happens under
+    /// the same lock as the lookup, so it is atomic with respect to
+    /// concurrent readers and writers.
     pub fn get(&self, key: &PatternKey, ep: EndpointId) -> Option<V> {
         if !self.enabled {
             return None;
         }
         let mut inner = self.inner.lock().unwrap();
-        let found = inner.map.get(&(key.clone(), ep)).copied();
+        let entry = (key.clone(), ep);
+        let found = inner.map.get(&entry).copied();
         if found.is_some() {
             inner.hits += 1;
+            // Only bounded caches maintain recency; an unbounded cache
+            // never evicts, so the touch would be wasted work.
+            if self.capacity.is_some() {
+                if let Some(pos) = inner.order.iter().position(|e| *e == entry) {
+                    inner.order.remove(pos);
+                    inner.order.push_back(entry);
+                }
+            }
         } else {
             inner.misses += 1;
         }
         found
     }
 
-    /// Stores a probe result, evicting the oldest entry when a capacity
-    /// bound is exceeded. Overwriting an existing key never evicts.
+    /// Stores a probe result, evicting the least-recently-used entry when
+    /// a capacity bound is exceeded. Overwriting an existing key never
+    /// evicts.
     pub fn put(&self, key: PatternKey, ep: EndpointId, value: V) {
         if !self.enabled {
             return;
@@ -120,6 +139,7 @@ impl<V: Copy> ProbeCache<V> {
                     match inner.order.pop_front() {
                         Some(oldest) => {
                             inner.map.remove(&oldest);
+                            inner.evictions += 1;
                         }
                         None => break,
                     }
@@ -136,6 +156,12 @@ impl<V: Copy> ProbeCache<V> {
     /// Number of consulted-but-absent lookups so far (diagnostics).
     pub fn misses(&self) -> u64 {
         self.inner.lock().unwrap().misses
+    }
+
+    /// Number of entries evicted by the capacity bound so far — nonzero
+    /// means the cache is saturated and recency actually matters.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
     }
 
     /// Number of cached entries.
@@ -156,6 +182,7 @@ impl<V: Copy> ProbeCache<V> {
         inner.order.clear();
         inner.hits = 0;
         inner.misses = 0;
+        inner.evictions = 0;
     }
 
     /// Drops every entry keyed to the given endpoint. Called when a query
@@ -299,6 +326,37 @@ mod tests {
         assert_eq!(cache.get(&k1, 0), None); // oldest entry evicted
         assert_eq!(cache.get(&k2, 0), Some(2));
         assert_eq!(cache.get(&k3, 0), Some(3));
+    }
+
+    #[test]
+    fn a_hit_refreshes_recency_so_the_cold_entry_is_evicted() {
+        let cache: ProbeCache<u64> = ProbeCache::with_capacity(true, 2);
+        let k1 = pattern_key(&TriplePattern::new(v("x"), c(1), v("y")));
+        let k2 = pattern_key(&TriplePattern::new(v("x"), c(2), v("y")));
+        let k3 = pattern_key(&TriplePattern::new(v("x"), c(3), v("y")));
+        cache.put(k1.clone(), 0, 1);
+        cache.put(k2.clone(), 0, 2);
+        // Touch k1: under FIFO it would still be evicted next; under LRU
+        // the untouched k2 is now the victim.
+        assert_eq!(cache.get(&k1, 0), Some(1));
+        cache.put(k3.clone(), 0, 3);
+        assert_eq!(cache.get(&k1, 0), Some(1));
+        assert_eq!(cache.get(&k2, 0), None);
+        assert_eq!(cache.get(&k3, 0), Some(3));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_counter_tracks_saturation_and_resets_on_clear() {
+        let cache: ProbeCache<u64> = ProbeCache::with_capacity(true, 1);
+        assert_eq!(cache.evictions(), 0);
+        for i in 0..5 {
+            let k = pattern_key(&TriplePattern::new(v("x"), c(i), v("y")));
+            cache.put(k, 0, u64::from(i));
+        }
+        assert_eq!(cache.evictions(), 4);
+        cache.clear();
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

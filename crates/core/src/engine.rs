@@ -25,7 +25,7 @@ use crate::source_selection::{select_sources, SourceMap};
 use crate::subquery::Subquery;
 use lusail_endpoint::{
     Clock, EndpointFailure, EndpointId, ExecOptions, Federation, FederationError, QueryOutcome,
-    RequestPolicy, SystemClock, TraceEvent, TraceSink,
+    RequestPolicy, SystemClock, TraceEvent,
 };
 use lusail_sparql::ast::{Expression, GroupPattern, Query};
 use lusail_sparql::SolutionSet;
@@ -51,6 +51,11 @@ pub struct LusailConfig {
     /// pattern becomes its own subquery (the §II strawman of evaluating
     /// each pattern independently); SAPE still schedules and joins them.
     pub disable_lade: bool,
+    /// Capacity bound for the ASK / COUNT probe caches. `None` (the
+    /// default, the paper's unbounded hash table) never evicts; a
+    /// long-lived server sets a bound so cache memory stays proportional
+    /// to it across millions of queries, with LRU eviction.
+    pub probe_cache_capacity: Option<usize>,
 }
 
 impl Default for LusailConfig {
@@ -62,8 +67,22 @@ impl Default for LusailConfig {
             parallel_join_threshold: 50_000,
             adaptive_values: true,
             disable_lade: false,
+            probe_cache_capacity: None,
         }
     }
+}
+
+/// Aggregated probe-cache diagnostics (see [`Lusail::probe_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Consulted-but-absent lookups.
+    pub misses: u64,
+    /// Entries dropped by the capacity bound (saturation signal).
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
 }
 
 /// A query result: solutions plus the metrics the harnesses report.
@@ -142,13 +161,20 @@ impl Lusail {
     /// request policy.
     pub fn new(config: LusailConfig) -> Self {
         let caching = config.use_cache;
+        let capacity = config.probe_cache_capacity;
+        fn probe_cache<V: Copy>(caching: bool, capacity: Option<usize>) -> ProbeCache<V> {
+            match capacity {
+                Some(cap) => ProbeCache::with_capacity(caching, cap),
+                None => ProbeCache::new(caching),
+            }
+        }
         Lusail {
+            ask_cache: probe_cache(caching, capacity),
+            count_cache: probe_cache(caching, capacity),
+            check_cache: KeyedCache::new(caching),
             config,
             policy: RequestPolicy::default(),
             clock: None,
-            ask_cache: ProbeCache::new(caching),
-            count_cache: ProbeCache::new(caching),
-            check_cache: KeyedCache::new(caching),
         }
     }
 
@@ -181,6 +207,31 @@ impl Lusail {
         self.check_cache.clear();
     }
 
+    /// Drops every memoized probe answer (ASK / COUNT / check) recorded
+    /// against one endpoint, leaving other endpoints' entries intact.
+    ///
+    /// [`Lusail::finish`] already does this at the *end* of a query whose
+    /// circuit opened; a long-lived server additionally calls it from a
+    /// health-transition hook so the invalidation lands *mid-query*,
+    /// before any concurrent tenant's next planning read.
+    pub fn invalidate_endpoint_probes(&self, ep: lusail_endpoint::EndpointId) {
+        self.ask_cache.invalidate_endpoint(ep);
+        self.count_cache.invalidate_endpoint(ep);
+        self.check_cache.invalidate_endpoint(ep);
+    }
+
+    /// Aggregated diagnostics over the ASK and COUNT probe caches —
+    /// nonzero `evictions` means the configured capacity bound is
+    /// saturated, the signal a serving layer watches.
+    pub fn probe_cache_stats(&self) -> ProbeCacheStats {
+        ProbeCacheStats {
+            hits: self.ask_cache.hits() + self.count_cache.hits(),
+            misses: self.ask_cache.misses() + self.count_cache.misses(),
+            evictions: self.ask_cache.evictions() + self.count_cache.evictions(),
+            entries: self.ask_cache.len() + self.count_cache.len(),
+        }
+    }
+
     /// A fresh per-query network context: endpoint death (tripped circuit)
     /// and degradation counters are scoped to one query.
     pub(crate) fn fresh_net(&self) -> Net {
@@ -201,6 +252,7 @@ impl Lusail {
             self.timing_clock(),
             opts.trace.clone(),
             opts.thread_budget(),
+            opts.on_health_transition.clone(),
         )
     }
 
@@ -280,21 +332,6 @@ impl Lusail {
             complete: result.complete,
         });
         Ok(result)
-    }
-
-    /// [`Lusail::execute`] with structured tracing.
-    #[deprecated(note = "use `execute_with` with `ExecOptions::default().with_trace(..)`")]
-    pub fn execute_traced(
-        &self,
-        fed: &Federation,
-        query: &Query,
-        trace: &TraceSink,
-    ) -> Result<QueryResult, FederationError> {
-        self.execute_with(
-            fed,
-            query,
-            &ExecOptions::default().with_trace(trace.clone()),
-        )
     }
 
     fn execute_with_net(&self, fed: &Federation, query: &Query, net: &Net) -> QueryResult {

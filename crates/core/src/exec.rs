@@ -24,8 +24,8 @@ use crate::cost::SubqueryCosts;
 use crate::join::{join_components, par_hash_join, Relation};
 use crate::subquery::Subquery;
 use lusail_endpoint::{
-    Clock, EndpointId, EndpointRef, Federation, RequestKind, RequestPolicy, ResilientClient,
-    SystemClock, TraceEvent, TraceSink,
+    Clock, EndpointId, EndpointRef, Federation, HealthHook, RequestKind, RequestPolicy,
+    ResilientClient, SystemClock, TraceEvent, TraceSink,
 };
 use lusail_sparql::ast::{Query, ValuesBlock};
 use lusail_sparql::SolutionSet;
@@ -223,27 +223,33 @@ impl Net {
             Arc::new(SystemClock::default()),
             TraceSink::disabled(),
             1,
+            None,
         )
     }
 
     /// A single-threaded context over an injected clock (tests).
     pub fn with_clock(policy: RequestPolicy, clock: Arc<dyn Clock>) -> Self {
-        Net::build(policy, clock, TraceSink::disabled(), 1)
+        Net::build(policy, clock, TraceSink::disabled(), 1, None)
     }
 
-    /// A context over an injected clock, trace sink, and worker budget:
-    /// the handler and client share the sink, so one enabled sink sees the
-    /// whole query.
+    /// A context over an injected clock, trace sink, worker budget, and
+    /// optional health-transition observer: the handler and client share
+    /// the sink, so one enabled sink sees the whole query.
     pub fn build(
         policy: RequestPolicy,
         clock: Arc<dyn Clock>,
         trace: TraceSink,
         threads: usize,
+        hook: Option<HealthHook>,
     ) -> Self {
         let threads = threads.max(1);
+        let mut client = ResilientClient::traced(policy, clock, trace.clone());
+        if let Some(hook) = hook {
+            client = client.with_transition_hook(hook);
+        }
         Net {
             handler: RequestHandler::with_threads(trace.clone(), threads),
-            client: ResilientClient::traced(policy, clock, trace.clone()),
+            client,
             degradation: Degradation::default(),
             trace,
             threads,

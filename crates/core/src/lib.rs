@@ -41,7 +41,7 @@ pub mod trace;
 
 pub use cluster::LusailCluster;
 pub use cost::DelayPolicy;
-pub use engine::{Lusail, LusailConfig, QueryResult};
+pub use engine::{Lusail, LusailConfig, ProbeCacheStats, QueryResult};
 pub use explain::{render_analyze, QueryPlan, SubqueryPlan};
 pub use metrics::QueryMetrics;
 pub use mqo::BatchReport;

@@ -34,7 +34,7 @@ pub use error::{EndpointError, EndpointFailure, FederationError, QueryOutcome};
 pub use fault::{FaultProfile, FlakyEndpoint};
 pub use federation::{EndpointId, Federation, FederationBuilder};
 pub use network::{NetworkProfile, NetworkStats, StatsSnapshot};
-pub use resilience::{Clock, ManualClock, RequestPolicy, ResilientClient, SystemClock};
+pub use resilience::{Clock, HealthHook, ManualClock, RequestPolicy, ResilientClient, SystemClock};
 pub use trace::{HealthState, RequestKind, TraceEvent, TraceSink};
 
 use lusail_sparql::{write_query, Query, SolutionSet};
@@ -202,7 +202,7 @@ pub type EndpointRef = Arc<dyn SparqlEndpoint>;
 /// This is the single options-carrying entry point that replaced the
 /// `run` / `run_traced` method split: tracing, the physical parallelism
 /// budget, and an optional wall-clock deadline all travel together.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExecOptions {
     /// Structured event sink. A disabled sink (the default) costs nothing.
     pub trace: TraceSink,
@@ -215,6 +215,25 @@ pub struct ExecOptions {
     /// Optional per-query wall-clock deadline. When set it overrides the
     /// engine policy's `query_budget` for this call.
     pub deadline: Option<Duration>,
+    /// Optional observer of circuit-breaker health transitions during
+    /// this call. A long-lived server hangs shared-cache invalidation
+    /// here so a failover in one tenant's query is visible to every
+    /// other tenant *before* the failing query finishes.
+    pub on_health_transition: Option<resilience::HealthHook>,
+}
+
+impl std::fmt::Debug for ExecOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("trace", &self.trace)
+            .field("threads", &self.threads)
+            .field("deadline", &self.deadline)
+            .field(
+                "on_health_transition",
+                &self.on_health_transition.as_ref().map(|_| "<hook>"),
+            )
+            .finish()
+    }
 }
 
 impl Default for ExecOptions {
@@ -223,6 +242,7 @@ impl Default for ExecOptions {
             trace: TraceSink::disabled(),
             threads: std::num::NonZeroUsize::MIN,
             deadline: None,
+            on_health_transition: None,
         }
     }
 }
@@ -251,6 +271,12 @@ impl ExecOptions {
         self
     }
 
+    /// Installs a health-transition observer for this call.
+    pub fn with_health_hook(mut self, hook: resilience::HealthHook) -> Self {
+        self.on_health_transition = Some(hook);
+        self
+    }
+
     /// The thread budget as a plain `usize`.
     pub fn thread_budget(&self) -> usize {
         self.threads.get()
@@ -275,22 +301,6 @@ pub trait FederatedEngine: Send + Sync {
         query: &Query,
         opts: &ExecOptions,
     ) -> Result<QueryOutcome, FederationError>;
-    /// Executes the query with default options.
-    #[deprecated(note = "use `run_with` with `ExecOptions::default()`")]
-    fn run(&self, fed: &Federation, query: &Query) -> Result<QueryOutcome, FederationError> {
-        self.run_with(fed, query, &ExecOptions::default())
-    }
-    /// Executes the query while emitting structured [`TraceEvent`]s into
-    /// `sink`.
-    #[deprecated(note = "use `run_with` with `ExecOptions::default().with_trace(..)`")]
-    fn run_traced(
-        &self,
-        fed: &Federation,
-        query: &Query,
-        sink: &TraceSink,
-    ) -> Result<QueryOutcome, FederationError> {
-        self.run_with(fed, query, &ExecOptions::default().with_trace(sink.clone()))
-    }
     /// Clears any memoized probe results (between benchmark repetitions).
     fn reset(&self) {}
 }

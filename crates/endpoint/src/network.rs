@@ -104,6 +104,7 @@ impl NetworkStats {
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
             slowdowns_injected: self.slowdowns_injected.load(Ordering::Relaxed),
             rows_scanned: 0,
+            queries_shed: 0,
         }
     }
 }
@@ -135,6 +136,11 @@ pub struct StatsSnapshot {
     /// Maintained by the store itself; endpoint wrappers overlay it into
     /// their snapshots, so `NetworkStats::snapshot` leaves it zero.
     pub rows_scanned: u64,
+    /// Queries refused by admission control (shed, deadline-expired, or
+    /// draining). Like `rows_scanned`, this is an overlay: the serving
+    /// layer maintains it and `NetworkStats::snapshot` leaves it zero, so
+    /// single-shot executions always report zero.
+    pub queries_shed: u64,
 }
 
 impl StatsSnapshot {
@@ -156,6 +162,7 @@ impl StatsSnapshot {
             faults_injected: self.faults_injected - earlier.faults_injected,
             slowdowns_injected: self.slowdowns_injected - earlier.slowdowns_injected,
             rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            queries_shed: self.queries_shed - earlier.queries_shed,
         }
     }
 
@@ -172,6 +179,7 @@ impl StatsSnapshot {
             faults_injected: self.faults_injected + other.faults_injected,
             slowdowns_injected: self.slowdowns_injected + other.slowdowns_injected,
             rows_scanned: self.rows_scanned + other.rows_scanned,
+            queries_shed: self.queries_shed + other.queries_shed,
         }
     }
 }

@@ -233,7 +233,16 @@ pub struct ResilientClient {
     /// increment corresponds to exactly one invocation of the request
     /// operation, i.e. one bump of the endpoint's request counter.
     wire_attempts: [AtomicU64; 4],
+    /// Observer invoked on every circuit transition, outside the state
+    /// lock — a long-lived server hangs shared-cache invalidation here.
+    on_transition: Option<HealthHook>,
 }
+
+/// Callback invoked on every circuit-breaker health transition. The hook
+/// runs with no client lock held, so it may itself issue queries (e.g. to
+/// warm a cache) without deadlocking, but it runs on the request path:
+/// keep it short.
+pub type HealthHook = Arc<dyn Fn(EndpointId, HealthState, HealthState) + Send + Sync>;
 
 impl Default for ResilientClient {
     fn default() -> Self {
@@ -264,7 +273,16 @@ impl ResilientClient {
             nonce: AtomicU64::new(0),
             trace,
             wire_attempts: [const { AtomicU64::new(0) }; 4],
+            on_transition: None,
         }
+    }
+
+    /// Installs a [`HealthHook`] observing every circuit transition this
+    /// client performs. The hook fires after the transition is committed
+    /// and after the state lock is released.
+    pub fn with_transition_hook(mut self, hook: HealthHook) -> Self {
+        self.on_transition = Some(hook);
+        self
     }
 
     /// Total wire attempts of the given kind routed through this client —
@@ -333,6 +351,9 @@ impl ResilientClient {
             from,
             to,
         });
+        if let Some(hook) = &self.on_transition {
+            hook(ep, from, to);
+        }
     }
 
     /// Admission control: decides whether a request may touch the wire,

@@ -1,0 +1,392 @@
+//! Dependency-free SPARQL-over-HTTP front end.
+//!
+//! A deliberately minimal HTTP/1.1 loop over `std::net::TcpListener`:
+//! one thread per connection, `Connection: close` on every response, no
+//! keep-alive, no chunked encoding. Routes:
+//!
+//! * `GET /sparql?query=<pct-encoded>` or `POST /sparql` (query text in
+//!   the body) — execute a query. Headers: `X-Tenant` names the tenant
+//!   (default `default`), `X-Deadline-Ms` requests a per-query deadline
+//!   in milliseconds (clamped to the tenant's budget).
+//! * `GET /healthz` — `200 ok` while serving, `503 draining` during
+//!   drain.
+//! * `GET /stats` — the serving counters and wire totals as text.
+//!
+//! A successful query returns `200` with the same tab-separated table
+//! the CLI prints ([`render_solutions`] is shared with `lusail-cli
+//! query`, so the bodies diff byte-for-byte). A refused query returns
+//! `503` (shed / draining) or `504` (impossible deadline) with a
+//! machine-greppable body:
+//!
+//! ```text
+//! error: query rejected
+//! code: shed
+//! reason: server at capacity (8 queries in flight)
+//! ```
+
+use crate::{QueryServer, Rejection, ServeError};
+use lusail_rdf::Dictionary;
+use lusail_sparql::{parse_query, SolutionSet};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Renders a solution set exactly like the CLI's result table: header
+/// row, up to 100 tab-separated rows (`UNDEF` for unbound), and a
+/// truncation marker — one line each, `\n`-terminated.
+pub fn render_solutions(sols: &SolutionSet, dict: &Dictionary) -> String {
+    let mut out = String::new();
+    if sols.vars.is_empty() {
+        out.push_str("(no variables)\n");
+        return out;
+    }
+    out.push_str(&sols.vars.join("\t"));
+    out.push('\n');
+    for row in sols.rows.iter().take(100) {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| match c {
+                Some(id) => dict.decode(*id).to_string(),
+                None => "UNDEF".to_string(),
+            })
+            .collect();
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    if sols.rows.len() > 100 {
+        out.push_str(&format!("… ({} more rows)\n", sols.rows.len() - 100));
+    }
+    out
+}
+
+/// Decodes `%XX` escapes and `+` (space) in a URL query component.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| -> Option<u8> {
+                    match b {
+                        b'0'..=b'9' => Some(b - b'0'),
+                        b'a'..=b'f' => Some(b - b'a' + 10),
+                        b'A'..=b'F' => Some(b - b'A' + 10),
+                        _ => None,
+                    }
+                };
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(hi * 16 + lo);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    /// Path without the query string.
+    path: String,
+    /// The raw query string (no leading `?`), possibly empty.
+    query_string: String,
+    /// Header names lowercased.
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Request {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of one `key=` parameter in the query string, decoded.
+    fn query_param(&self, key: &str) -> Option<String> {
+        self.query_string.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then(|| percent_decode(v))
+        })
+    }
+}
+
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 1 << 20 {
+            return Err(std::io::Error::other("request headers too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::other("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default();
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body_bytes = buf[header_end + 4..].to_vec();
+    while body_bytes.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        body_bytes.extend_from_slice(&chunk[..n]);
+    }
+    body_bytes.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        query_string,
+        headers,
+        body: String::from_utf8_lossy(&body_bytes).into_owned(),
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    // The peer may already be gone; a failed write only loses the
+    // response to a client that stopped listening.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn rejection_response(r: &Rejection) -> (u16, &'static str, String) {
+    let (status, reason_phrase) = match r {
+        Rejection::Shed { .. } | Rejection::Draining => (503, "Service Unavailable"),
+        Rejection::DeadlineExceeded => (504, "Gateway Timeout"),
+    };
+    let detail = match r {
+        Rejection::Shed { reason } => reason.clone(),
+        Rejection::DeadlineExceeded => "effective deadline is zero".to_string(),
+        Rejection::Draining => "server is shutting down".to_string(),
+    };
+    let body = format!(
+        "error: query rejected\ncode: {}\nreason: {detail}\n",
+        r.code()
+    );
+    (status, reason_phrase, body)
+}
+
+fn handle_connection(server: &QueryServer, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            write_response(
+                &mut stream,
+                400,
+                "Bad Request",
+                &format!("error: bad request\ncode: parse\nreason: {e}\n"),
+            );
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            if server.is_draining() {
+                write_response(&mut stream, 503, "Service Unavailable", "draining\n");
+            } else {
+                write_response(&mut stream, 200, "OK", "ok\n");
+            }
+        }
+        ("GET", "/stats") => {
+            let c = server.counters();
+            let wire = server.stats_snapshot();
+            let cache = server.engine().probe_cache_stats();
+            let body = format!(
+                "admitted: {}\ncomplete_results: {}\nincomplete_results: {}\n\
+                 shed: {}\ndeadline_rejected: {}\ndraining_rejected: {}\n\
+                 health_invalidations: {}\nqueries_shed: {}\n\
+                 wire_requests: {}\ncache_hits: {}\ncache_misses: {}\n\
+                 cache_evictions: {}\n",
+                c.admitted,
+                c.complete_results,
+                c.incomplete_results,
+                c.shed,
+                c.deadline_rejected,
+                c.draining_rejected,
+                c.health_invalidations,
+                wire.queries_shed,
+                wire.total_requests(),
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+            );
+            write_response(&mut stream, 200, "OK", &body);
+        }
+        (method, "/sparql") if method == "GET" || method == "POST" => {
+            let text = if method == "GET" {
+                request.query_param("query")
+            } else {
+                (!request.body.is_empty()).then(|| request.body.clone())
+            };
+            let Some(text) = text else {
+                write_response(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "error: bad request\ncode: parse\nreason: missing query\n",
+                );
+                return;
+            };
+            let tenant = request.header("x-tenant").unwrap_or("default").to_string();
+            let deadline = request
+                .header("x-deadline-ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_millis);
+            let dict = Arc::clone(server.federation().dict());
+            let query = match parse_query(&text, &dict) {
+                Ok(q) => q,
+                Err(e) => {
+                    write_response(
+                        &mut stream,
+                        400,
+                        "Bad Request",
+                        &format!("error: bad request\ncode: parse\nreason: {e:?}\n"),
+                    );
+                    return;
+                }
+            };
+            match server.execute_with_deadline(&tenant, &query, deadline) {
+                Ok(result) => {
+                    let body = render_solutions(&result.solutions, &dict);
+                    if result.complete {
+                        write_response(&mut stream, 200, "OK", &body);
+                    } else {
+                        // Partial results are still results, but the
+                        // degradation must be visible to the client.
+                        write_response(&mut stream, 206, "Partial Content", &body);
+                    }
+                }
+                Err(ServeError::Rejected(r)) => {
+                    let (status, phrase, body) = rejection_response(&r);
+                    write_response(&mut stream, status, phrase, &body);
+                }
+                Err(ServeError::Engine(e)) => {
+                    write_response(
+                        &mut stream,
+                        500,
+                        "Internal Server Error",
+                        &format!("error: engine\ncode: engine\nreason: {e:?}\n"),
+                    );
+                }
+            }
+        }
+        _ => {
+            write_response(
+                &mut stream,
+                404,
+                "Not Found",
+                "error: not found\ncode: route\nreason: unknown path\n",
+            );
+        }
+    }
+}
+
+/// Runs the accept loop until `shutdown` becomes true, then drains the
+/// server (in-flight queries finish or hit their deadlines) and joins
+/// every connection thread. Returns the drain report.
+pub fn run_http_loop(
+    server: &Arc<QueryServer>,
+    listener: TcpListener,
+    shutdown: &AtomicBool,
+) -> std::io::Result<crate::DrainReport> {
+    listener.set_nonblocking(true)?;
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nonblocking(false)?;
+                let server = Arc::clone(server);
+                workers.push(std::thread::spawn(move || {
+                    handle_connection(&server, stream);
+                }));
+                workers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let report = server.drain();
+    for handle in workers {
+        let _ = handle.join();
+    }
+    Ok(report)
+}
+
+/// Installs a process-wide SIGTERM/SIGINT handler that flips the
+/// returned flag (idempotent; the same flag is returned every time).
+/// Raw `signal(2)` via the C runtime — no external crates.
+pub fn install_shutdown_flag() -> &'static AtomicBool {
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_signal(_signum: i32) {
+        FLAG.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+    &FLAG
+}

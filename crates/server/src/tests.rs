@@ -1,0 +1,252 @@
+use super::*;
+use crate::http::{percent_decode, render_solutions};
+use lusail_core::LusailConfig;
+use lusail_rdf::{Dictionary, Term};
+use lusail_sparql::parse_query;
+use lusail_store::TripleStore;
+use std::sync::Arc;
+use std::thread;
+
+fn tiny_federation() -> (Federation, Arc<Dictionary>) {
+    let dict = Dictionary::shared();
+    let mut store = TripleStore::new(Arc::clone(&dict));
+    for i in 0..5 {
+        store.insert_terms(
+            &Term::iri(format!("http://x/s{i}")),
+            &Term::iri("http://x/p"),
+            &Term::iri(format!("http://x/o{i}")),
+        );
+    }
+    let mut fed = Federation::new(Arc::clone(&dict));
+    fed.add(Arc::new(lusail_endpoint::LocalEndpoint::new("ep0", store)));
+    (fed, dict)
+}
+
+fn tiny_query(dict: &Dictionary) -> Query {
+    parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }", dict).unwrap()
+}
+
+fn tiny_server(config: ServerConfig) -> (Arc<QueryServer>, Query) {
+    let (fed, dict) = tiny_federation();
+    let query = tiny_query(&dict);
+    let server = QueryServer::new(fed, Lusail::default(), config);
+    (server, query)
+}
+
+#[test]
+fn admitted_query_returns_rows_and_counts() {
+    let (server, query) = tiny_server(ServerConfig::default());
+    let result = server.execute("alice", &query).unwrap();
+    assert_eq!(result.solutions.len(), 5);
+    assert!(result.complete);
+    let c = server.counters();
+    assert_eq!(c.admitted, 1);
+    assert_eq!(c.complete_results, 1);
+    assert_eq!(c.total_rejected(), 0);
+    assert_eq!(server.in_flight(), 0);
+}
+
+#[test]
+fn zero_deadline_is_a_typed_deadline_rejection() {
+    let (server, query) = tiny_server(ServerConfig::default());
+    let err = server
+        .execute_with_deadline("alice", &query, Some(Duration::ZERO))
+        .unwrap_err();
+    match err {
+        ServeError::Rejected(r) => assert_eq!(r.code(), "deadline"),
+        other => panic!("expected rejection, got {other}"),
+    }
+    assert_eq!(server.counters().deadline_rejected, 1);
+    // The rejection never reached the engine or the wire.
+    assert_eq!(server.counters().admitted, 0);
+}
+
+#[test]
+fn draining_server_refuses_new_queries_with_typed_rejection() {
+    let (server, query) = tiny_server(ServerConfig::default());
+    let report = server.drain();
+    assert_eq!(report.abandoned, 0);
+    assert!(server.is_draining());
+    let err = server.execute("alice", &query).unwrap_err();
+    match err {
+        ServeError::Rejected(Rejection::Draining) => {}
+        other => panic!("expected draining, got {other}"),
+    }
+    assert_eq!(server.counters().draining_rejected, 1);
+}
+
+#[test]
+fn capacity_zero_sheds_everything_with_reason() {
+    let (server, query) = tiny_server(ServerConfig {
+        max_in_flight: 0,
+        ..ServerConfig::default()
+    });
+    let err = server.execute("alice", &query).unwrap_err();
+    match err {
+        ServeError::Rejected(Rejection::Shed { reason }) => {
+            assert!(reason.contains("capacity"), "reason was {reason:?}");
+        }
+        other => panic!("expected shed, got {other}"),
+    }
+    assert_eq!(server.counters().shed, 1);
+    assert_eq!(server.stats_snapshot().queries_shed, 1);
+}
+
+#[test]
+fn tenant_quota_is_independent_of_global_capacity() {
+    // Global capacity is ample, but each tenant may only run one query
+    // at a time. Holding tenant A's slot from another thread, A is shed
+    // while B still gets in.
+    let config = ServerConfig {
+        max_in_flight: 8,
+        default_tenant: TenantPolicy {
+            max_in_flight: 1,
+            deadline_budget: Duration::from_secs(30),
+        },
+        ..ServerConfig::default()
+    };
+    let (server, query) = tiny_server(config);
+    // Occupy tenant A's slot manually via the admission path.
+    let policy = server.config().policy_for("a");
+    let session = server
+        .admit("a", &policy, Duration::from_secs(5))
+        .expect("first admission fits");
+    let err = server.execute("a", &query).unwrap_err();
+    match err {
+        ServeError::Rejected(Rejection::Shed { reason }) => {
+            assert!(reason.contains("quota"), "reason was {reason:?}");
+        }
+        other => panic!("expected tenant shed, got {other}"),
+    }
+    server.execute("b", &query).expect("tenant b unaffected");
+    // Release A's slot the way SessionGuard would.
+    drop(SessionGuard {
+        server: &server,
+        tenant: "a".into(),
+        session,
+    });
+    server.execute("a", &query).expect("slot released");
+}
+
+#[test]
+fn requested_deadline_is_clamped_to_tenant_budget() {
+    let config = ServerConfig {
+        default_tenant: TenantPolicy {
+            max_in_flight: 4,
+            deadline_budget: Duration::from_millis(250),
+        },
+        ..ServerConfig::default()
+    };
+    let (server, query) = tiny_server(config);
+    // An hour-long request is clamped to 250 ms, which is still plenty
+    // for a five-triple federation — the query succeeds.
+    let result = server
+        .execute_with_deadline("a", &query, Some(Duration::from_secs(3600)))
+        .unwrap();
+    assert!(result.complete);
+}
+
+#[test]
+fn drain_waits_for_in_flight_queries() {
+    let (server, query) = tiny_server(ServerConfig::default());
+    let server2 = Arc::clone(&server);
+    let query2 = query.clone();
+    let worker = thread::spawn(move || {
+        // Hold an admission slot across the drain call.
+        for _ in 0..50 {
+            let _ = server2.execute("a", &query2);
+        }
+    });
+    let report = server.drain();
+    assert_eq!(report.abandoned, 0);
+    assert_eq!(server.in_flight(), 0);
+    worker.join().unwrap();
+}
+
+#[test]
+fn concurrent_tenants_never_overshoot_global_capacity() {
+    let config = ServerConfig {
+        max_in_flight: 2,
+        default_tenant: TenantPolicy {
+            max_in_flight: 2,
+            deadline_budget: Duration::from_secs(30),
+        },
+        ..ServerConfig::default()
+    };
+    let (server, query) = tiny_server(config);
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let server = Arc::clone(&server);
+        let query = query.clone();
+        handles.push(thread::spawn(move || {
+            let tenant = format!("t{t}");
+            let mut ok = 0u64;
+            let mut shed = 0u64;
+            for _ in 0..20 {
+                match server.execute(&tenant, &query) {
+                    Ok(r) => {
+                        assert_eq!(r.solutions.len(), 5);
+                        ok += 1;
+                    }
+                    Err(ServeError::Rejected(r)) => {
+                        assert_eq!(r.code(), "shed");
+                        shed += 1;
+                    }
+                    Err(other) => panic!("unexpected error {other}"),
+                }
+            }
+            (ok, shed)
+        }));
+    }
+    let mut total_ok = 0;
+    let mut total_shed = 0;
+    for h in handles {
+        let (ok, shed) = h.join().unwrap();
+        total_ok += ok;
+        total_shed += shed;
+    }
+    let c = server.counters();
+    assert_eq!(c.admitted, total_ok);
+    assert_eq!(c.shed, total_shed);
+    assert_eq!(total_ok + total_shed, 160);
+    assert_eq!(server.in_flight(), 0);
+}
+
+#[test]
+fn render_solutions_matches_cli_table_shape() {
+    let (fed, dict) = tiny_federation();
+    let query = tiny_query(&dict);
+    let server = QueryServer::new(fed, Lusail::default(), ServerConfig::default());
+    let result = server.execute("a", &query).unwrap();
+    let rendered = render_solutions(&result.solutions, &dict);
+    let mut lines = rendered.lines();
+    assert_eq!(lines.next(), Some("s\to"));
+    assert_eq!(rendered.lines().count(), 6); // header + 5 rows
+    assert!(rendered.ends_with('\n'));
+}
+
+#[test]
+fn percent_decode_handles_escapes_plus_and_garbage() {
+    assert_eq!(percent_decode("a+b"), "a b");
+    assert_eq!(percent_decode("%3Fs"), "?s");
+    assert_eq!(percent_decode("SELECT%20%2A"), "SELECT *");
+    assert_eq!(percent_decode("100%"), "100%");
+    assert_eq!(percent_decode("%zz"), "%zz");
+}
+
+#[test]
+fn bounded_probe_cache_reports_saturation_through_the_server() {
+    let (fed, dict) = tiny_federation();
+    let query = tiny_query(&dict);
+    let engine = Lusail::new(LusailConfig {
+        probe_cache_capacity: Some(1),
+        ..LusailConfig::default()
+    });
+    let server = QueryServer::new(fed, engine, ServerConfig::default());
+    for _ in 0..3 {
+        server.execute("a", &query).unwrap();
+    }
+    let stats = server.engine().probe_cache_stats();
+    // One entry fits; everything else must have been evicted or missed.
+    assert!(stats.entries <= 2, "ask+count caches hold ≤1 entry each");
+}

@@ -116,9 +116,63 @@ if [ "$stats_reqs" -ge "$wire_reqs" ]; then
 fi
 echo "stats smoke: identical rows, requests $wire_reqs -> $stats_reqs"
 
-echo "==> bench smoke (counters reproduce BENCH_8.json across thread budgets, gate holds)"
+echo "==> server smoke (serve, 8 concurrent clients, typed rejection, clean drain)"
+./target/release/lusail-cli serve \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --port 0 > "$tmpdir/serve.log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's|^serving on http://127\.0\.0\.1:\([0-9]*\)/sparql.*|\1|p' "$tmpdir/serve.log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "server smoke: server never announced its port" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+fi
+# 8 concurrent clients: seven well-behaved tenants, one with an
+# impossible deadline that must come back as a typed 504.
+client_pids=()
+for i in $(seq 1 7); do
+    curl -s -X POST --data-binary @"$tmpdir/queries/Q4.rq" \
+        -H "X-Tenant: tenant-$i" "http://127.0.0.1:$port/sparql" \
+        > "$tmpdir/serve_q4_$i.txt" &
+    client_pids+=($!)
+done
+curl -s -X POST --data-binary @"$tmpdir/queries/Q4.rq" \
+    -H 'X-Deadline-Ms: 0' "http://127.0.0.1:$port/sparql" \
+    > "$tmpdir/serve_deadline.txt" &
+client_pids+=($!)
+wait "${client_pids[@]}"
+grep -q '^code: deadline$' "$tmpdir/serve_deadline.txt" || {
+    echo "server smoke: impossible deadline was not a typed 504 rejection" >&2
+    cat "$tmpdir/serve_deadline.txt" >&2
+    exit 1
+}
+# Every admitted client's body must be byte-for-byte the table the
+# single-shot CLI prints (the result block after the storage banner).
+cargo run --release -q --bin lusail-cli -- query \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --query-file "$tmpdir/queries/Q4.rq" > "$tmpdir/q4_cli.txt"
+sed -n '/^storage:/,$p' "$tmpdir/q4_cli.txt" | sed '1d' | sed -n '/^$/q;p' \
+    > "$tmpdir/q4_cli.table"
+for i in $(seq 1 7); do
+    diff -u "$tmpdir/q4_cli.table" "$tmpdir/serve_q4_$i.txt"
+done
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q '(0 abandoned)' "$tmpdir/serve.log" || {
+    echo "server smoke: SIGTERM drain was not clean" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+}
+echo "server smoke: 7 identical tables, typed deadline rejection, clean drain"
+
+echo "==> bench smoke (counters reproduce BENCH_9.json across thread budgets, gate holds)"
 cargo run --release -q -p lusail-bench --bin lusail-bench -- \
-    check --against BENCH_8.json --workload lubm --query Q4 --threads 1 --threads 4
+    check --against BENCH_9.json --workload lubm --query Q4 --threads 1 --threads 4
 
 echo "==> fuzz smoke (200 iterations, 30 s cap)"
 set +e

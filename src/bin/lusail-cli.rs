@@ -70,10 +70,11 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..], false),
         Some("explain") => cmd_query(&args[1..], true),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: lusail-cli <generate|query|explain|stats|demo> [options]\n\
+                "usage: lusail-cli <generate|query|explain|stats|serve|demo> [options]\n\
                  \n\
                  generate --workload lubm|qfed|lrb|bio2rdf --out DIR [--size N]\n\
                  query    --endpoint F.nt ... (--query SPARQL | --query-file F) [--engine lusail|fedx]\n\
@@ -83,6 +84,10 @@ fn main() -> ExitCode {
                  explain  --endpoint F.nt ... (--query SPARQL | --query-file F)\n\
                  \x20        [--backend btree|columns] [--stats build|DIR]\n\
                  stats    --endpoint F.nt ... --out DIR\n\
+                 serve    --endpoint F.nt ... [--port N] [--max-in-flight N] [--threads N]\n\
+                 \x20        [--tenant-quota N] [--deadline-ms N] [--cache-capacity N]\n\
+                 \x20        [--replica NAME=F.nt ...] [--kill NAME[:N] ...]\n\
+                 \x20        [--backend btree|columns] [--stats build|DIR]\n\
                  demo"
             );
             return ExitCode::from(2);
@@ -423,6 +428,82 @@ fn cmd_query(args: &[String], explain_only: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// `lusail-cli serve`: a long-lived multi-tenant SPARQL-over-HTTP
+/// service over the loaded federation. Runs until SIGTERM/SIGINT, then
+/// drains gracefully (in-flight queries finish or hit their deadlines;
+/// new admissions are refused with typed 503/504 responses).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let endpoints = flag_values(args, "--endpoint");
+    let replicas = flag_values(args, "--replica");
+    let kills = flag_values(args, "--kill");
+    let stats_mode = flag_value(args, "--stats");
+    let backend = match flag_value(args, "--backend") {
+        None => lusail_store::BackendKind::Btree,
+        Some(name) => lusail_store::BackendKind::parse(name)
+            .ok_or_else(|| format!("unknown backend {name} (use btree|columns)"))?,
+    };
+    let parse_num = |name: &str, default: usize| -> Result<usize, String> {
+        flag_value(args, name)
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("bad {name} (want an integer)"))
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let port = parse_num("--port", 3030)? as u16;
+    let max_in_flight = parse_num("--max-in-flight", 8)?;
+    let threads = parse_num("--threads", 1)?;
+    let tenant_quota = parse_num("--tenant-quota", 4)?;
+    let deadline_ms = parse_num("--deadline-ms", 30_000)? as u64;
+    let cache_capacity = flag_value(args, "--cache-capacity")
+        .map(|s| s.parse::<usize>().map_err(|_| "bad --cache-capacity"))
+        .transpose()?;
+
+    let (fed, _dict) = load_federation(&endpoints, &replicas, &kills, stats_mode, backend)?;
+    let engine = Lusail::new(LusailConfig {
+        probe_cache_capacity: cache_capacity,
+        ..LusailConfig::default()
+    });
+    let config = lusail_server::ServerConfig {
+        max_in_flight,
+        threads_per_query: threads,
+        default_tenant: lusail_server::TenantPolicy {
+            max_in_flight: tenant_quota,
+            deadline_budget: std::time::Duration::from_millis(deadline_ms),
+        },
+        ..Default::default()
+    };
+    let server = lusail_server::QueryServer::new(fed, engine, config);
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let shutdown = lusail_server::http::install_shutdown_flag();
+    println!("serving on http://{addr}/sparql (SIGTERM to drain)");
+    let report = lusail_server::http::run_http_loop(&server, listener, shutdown)
+        .map_err(|e| e.to_string())?;
+    let counters = server.counters();
+    println!(
+        "drained in {:.1} ms ({} abandoned) — {} admitted, {} rejected \
+         ({} shed, {} deadline, {} draining), {} cache invalidations",
+        report.waited.as_secs_f64() * 1e3,
+        report.abandoned,
+        counters.admitted,
+        counters.total_rejected(),
+        counters.shed,
+        counters.deadline_rejected,
+        counters.draining_rejected,
+        counters.health_invalidations,
+    );
+    if report.abandoned > 0 {
+        return Err(format!(
+            "{} queries still in flight past the drain bound",
+            report.abandoned
+        ));
+    }
+    Ok(())
+}
+
 /// Prints the per-endpoint failure report and the completeness warning.
 fn report_failures(outcome: &lusail_endpoint::QueryOutcome) {
     for f in &outcome.failures {
@@ -447,25 +528,11 @@ fn report_failures(outcome: &lusail_endpoint::QueryOutcome) {
     }
 }
 
+/// The result table, rendered by the same function the HTTP server
+/// uses for `200` bodies — `lusail-cli serve` responses and single-shot
+/// `lusail-cli query` tables diff byte-for-byte.
 fn print_solutions(sols: &SolutionSet, dict: &Dictionary) {
-    if sols.vars.is_empty() {
-        println!("(no variables)");
-        return;
-    }
-    println!("{}", sols.vars.join("\t"));
-    for row in sols.rows.iter().take(100) {
-        let cells: Vec<String> = row
-            .iter()
-            .map(|c| match c {
-                Some(id) => dict.decode(*id).to_string(),
-                None => "UNDEF".to_string(),
-            })
-            .collect();
-        println!("{}", cells.join("\t"));
-    }
-    if sols.rows.len() > 100 {
-        println!("… ({} more rows)", sols.rows.len() - 100);
-    }
+    print!("{}", lusail_server::http::render_solutions(sols, dict));
 }
 
 fn cmd_demo() -> Result<(), String> {
