@@ -23,8 +23,8 @@ use crate::json::Value;
 use lusail_benchdata::lubm;
 use lusail_core::{Lusail, LusailConfig};
 use lusail_endpoint::NetworkProfile;
-use lusail_server::{QueryServer, ServeError, ServerConfig, TenantPolicy};
-use std::sync::Arc;
+use lusail_server::{BatchConfig, QueryServer, ServeError, ServerConfig, TenantPolicy};
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// The overload gate's latency bound: admitted-query p99 must not
@@ -142,6 +142,106 @@ fn run_point(spec: &PointSpec, seed: u64) -> Value {
     point
 }
 
+/// One mode of the overlapping-tenants MQO point: the same tenant
+/// threads issue the same query rounds (a barrier aligns each round so
+/// identical queries genuinely coincide) against a freshly generated
+/// copy of the federation, so the two modes' wire counters are fully
+/// independent. Returns the per-(tenant, round) result digest plus the
+/// wire and batching counters.
+fn run_mqo_mode(
+    batched: bool,
+    tenants: usize,
+    rounds: usize,
+    seed: u64,
+) -> (Vec<(usize, bool)>, u64, lusail_server::BatchStats) {
+    let mut cfg = lubm::LubmConfig::new(2);
+    cfg.seed ^= seed;
+    let workload = lubm::generate(&cfg);
+    let engine = Lusail::new(LusailConfig {
+        probe_cache_capacity: Some(4096),
+        ..LusailConfig::default()
+    });
+    let server = QueryServer::new(
+        workload.federation.clone(),
+        engine,
+        ServerConfig {
+            // Ample capacity: this point measures sharing, not shedding.
+            max_in_flight: tenants,
+            threads_per_query: 1,
+            default_tenant: TenantPolicy {
+                max_in_flight: 1,
+                deadline_budget: Duration::from_secs(30),
+            },
+            batch: BatchConfig {
+                enabled: batched,
+                window: Duration::from_millis(20),
+                max_batch: tenants,
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let queries: Vec<_> = workload.queries.iter().map(|nq| nq.query.clone()).collect();
+    let before = server.federation().stats_snapshot();
+    let barrier = Arc::new(Barrier::new(tenants));
+    let mut handles = Vec::new();
+    for c in 0..tenants {
+        let server = Arc::clone(&server);
+        let queries = queries.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let tenant = format!("tenant-{c}");
+            let mut digest = Vec::with_capacity(rounds);
+            for r in 0..rounds {
+                // Every tenant runs the *same* query in the same round —
+                // the overlap a cross-tenant batcher exists to exploit.
+                let query = &queries[r % queries.len()];
+                barrier.wait();
+                let result = server
+                    .execute(&tenant, query)
+                    .expect("mqo point never sheds");
+                digest.push((result.solutions.len(), result.complete));
+            }
+            digest
+        }));
+    }
+    let mut digest = Vec::new();
+    for h in handles {
+        digest.extend(h.join().expect("tenant thread panicked"));
+    }
+    let wire = server
+        .federation()
+        .stats_snapshot()
+        .since(&before)
+        .total_requests();
+    (digest, wire, server.batch_stats())
+}
+
+/// The overlapping-tenants MQO point: identical queries from concurrent
+/// tenants, once through the direct path and once through the batching
+/// scheduler, over independently instantiated copies of the same
+/// federation. The gate demands byte-identical per-query results
+/// (row count and completeness per tenant-round) and *strictly fewer*
+/// wire requests batched than unbatched.
+fn run_mqo_point(seed: u64) -> Value {
+    const TENANTS: usize = 4;
+    const ROUNDS: usize = 6;
+    let (solo_digest, solo_wire, _) = run_mqo_mode(false, TENANTS, ROUNDS, seed);
+    let (batched_digest, batched_wire, batch) = run_mqo_mode(true, TENANTS, ROUNDS, seed);
+    let mut point = Value::object();
+    point.set("tenants", Value::U64(TENANTS as u64));
+    point.set("rounds", Value::U64(ROUNDS as u64));
+    point.set(
+        "results_identical",
+        Value::Bool(solo_digest == batched_digest),
+    );
+    point.set("unbatched_wire_requests", Value::U64(solo_wire));
+    point.set("batched_wire_requests", Value::U64(batched_wire));
+    point.set("windows", Value::U64(batch.windows));
+    point.set("shared_hits", Value::U64(batch.shared_hits));
+    point.set("wire_requests_saved", Value::U64(batch.wire_requests_saved));
+    point
+}
+
 /// Runs both load points and returns the report's `serve` section.
 pub fn run_serve_bench(seed: u64) -> Value {
     let mut section = Value::object();
@@ -171,6 +271,7 @@ pub fn run_serve_bench(seed: u64) -> Value {
             seed,
         ),
     );
+    section.set("mqo_overlap", run_mqo_point(seed));
     section
 }
 
@@ -244,5 +345,45 @@ pub fn check_serve_gate(doc: &Value) -> Result<Vec<String>, String> {
         num(over, "overload", "shed_rate")? * 100.0,
         p99,
     ));
+
+    // The cross-tenant batching point (absent from pre-batching reports):
+    // sharing must be free in the answers and strictly cheaper on the
+    // wire — equal wire counts would mean the scheduler batched nothing.
+    if let Some(mqo) = serve.get("mqo_overlap") {
+        let identical = mqo
+            .get("results_identical")
+            .and_then(Value::as_bool)
+            .ok_or("serve.mqo_overlap is missing results_identical")?;
+        if !identical {
+            return Err(
+                "serve/mqo_overlap: batched per-query results diverged from unbatched — \
+                 cross-tenant sharing changed an answer"
+                    .into(),
+            );
+        }
+        let solo_wire = num(mqo, "mqo_overlap", "unbatched_wire_requests")?;
+        let batched_wire = num(mqo, "mqo_overlap", "batched_wire_requests")?;
+        if batched_wire >= solo_wire {
+            return Err(format!(
+                "serve/mqo_overlap: batched execution spent {batched_wire} wire requests \
+                 vs {solo_wire} unbatched — batching must be strictly cheaper on overlap"
+            ));
+        }
+        let shared_hits = num(mqo, "mqo_overlap", "shared_hits")?;
+        if shared_hits < 1.0 {
+            return Err(
+                "serve/mqo_overlap: no shared subquery hits — identical concurrent \
+                 queries never landed in one window"
+                    .into(),
+            );
+        }
+        lines.push(format!(
+            "serve/mqo_overlap: {} tenants x {} rounds identical results, wire \
+             {batched_wire} batched < {solo_wire} unbatched ({} shared hits)",
+            num(mqo, "mqo_overlap", "tenants")?,
+            num(mqo, "mqo_overlap", "rounds")?,
+            shared_hits,
+        ));
+    }
     Ok(lines)
 }

@@ -258,7 +258,7 @@ impl Lusail {
 
     /// The clock phase timings (and retry backoff) are measured against:
     /// the injected test clock when present, otherwise the system clock.
-    fn timing_clock(&self) -> Arc<dyn Clock> {
+    pub(crate) fn timing_clock(&self) -> Arc<dyn Clock> {
         match &self.clock {
             Some(clock) => clock.clone(),
             None => Arc::new(SystemClock::default()),
@@ -267,7 +267,7 @@ impl Lusail {
 
     /// Stamps the degradation counters into `metrics` and derives the
     /// completeness flag and failure report for this query's [`Net`].
-    fn finish(
+    pub(crate) fn finish(
         &self,
         fed: &Federation,
         net: &Net,
@@ -494,13 +494,7 @@ impl Lusail {
 
         // ---- Phase 3: execution (SAPE) ---------------------------------
         let t2 = clock.now();
-        let exec_cfg = ExecConfig {
-            block_size: self.config.block_size,
-            parallel_join_threshold: self.config.parallel_join_threshold,
-            adaptive_values: self.config.adaptive_values,
-            threads: net.threads,
-            ..ExecConfig::default()
-        };
+        let exec_cfg = ExecConfig::for_engine(&self.config, net.threads);
         let (mut solutions, report) = evaluate_subqueries(fed, net, &subqueries, &costs, &exec_cfg);
         metrics.delayed_subqueries = report.delayed;
 
@@ -530,7 +524,7 @@ impl Lusail {
     /// Disjoint fast path: the original query (projection, filters,
     /// DISTINCT, LIMIT and all) goes verbatim to every relevant endpoint;
     /// results are concatenated.
-    fn execute_disjoint(
+    pub(crate) fn execute_disjoint(
         &self,
         fed: &Federation,
         query: &Query,
@@ -586,13 +580,7 @@ impl Lusail {
                 delayed: vec![false; subqueries.len()],
             }
         };
-        let exec_cfg = ExecConfig {
-            block_size: self.config.block_size,
-            parallel_join_threshold: self.config.parallel_join_threshold,
-            adaptive_values: self.config.adaptive_values,
-            threads: net.threads,
-            ..ExecConfig::default()
-        };
+        let exec_cfg = ExecConfig::for_engine(&self.config, net.threads);
         let (solutions, _) = evaluate_subqueries(fed, net, &subqueries, &costs, &exec_cfg);
         self.apply_nested(fed, group, solutions, &global_filters, net)
     }
@@ -623,52 +611,93 @@ impl Lusail {
     }
 }
 
+/// What compile-time planning decided for a conjunctive query. Mirrors
+/// the branch structure of `execute_with_net` exactly so a caller holding
+/// the same [`Net`] can complete execution without re-running (and
+/// re-paying for) source selection — failed ASK probes are not cached, so
+/// planning twice costs real wire requests against degraded federations.
+pub(crate) enum ConjunctivePlan {
+    /// A required pattern has no relevant source: the answer is empty.
+    Empty,
+    /// The disjoint fast path applies (Algorithm 3, line 2): ship the
+    /// whole query to each relevant endpoint and concatenate.
+    Disjoint(SourceMap),
+    /// Decomposed subqueries ready for (shared) evaluation; any filters
+    /// that could not be pushed apply at the mediator after the joins.
+    Planned {
+        subqueries: Vec<Subquery>,
+        costs: SubqueryCosts,
+        global_filters: Vec<Expression>,
+    },
+}
+
 impl Lusail {
     /// Compile-time planning for a *conjunctive* query: source selection,
-    /// LADE, filter pushdown, projection shrinking, and the cost model.
-    /// Returns `None` when the query should take a different path
-    /// (no sources, disjoint fast path, or filters that could not be
-    /// pushed into any subquery) — callers fall back to
-    /// [`Lusail::execute`]. Used by the multi-query optimizer.
+    /// LADE, the disjoint check, filter pushdown, projection shrinking,
+    /// and the cost model. The returned [`ConjunctivePlan`] reproduces
+    /// `execute_with_net`'s own routing decisions, so executing it against
+    /// the same [`Net`] yields the same answers and the same wire traffic
+    /// as a solo run. Callers must pre-screen queries with nested clauses,
+    /// aggregates, non-SELECT forms, empty patterns, or `disable_lade` —
+    /// those take paths this planner does not model. Used by the
+    /// multi-query optimizer.
     pub(crate) fn plan_conjunctive(
         &self,
         fed: &Federation,
         query: &Query,
         net: &Net,
-    ) -> Option<(Vec<Subquery>, SubqueryCosts, SourceMap)> {
+    ) -> ConjunctivePlan {
         let sources = select_sources(fed, &query.pattern, &self.ask_cache, net);
         if sources.any_required_empty(&query.pattern.triples) {
-            return None;
+            return ConjunctivePlan::Empty;
         }
-        let analysis = if self.config.disable_lade {
-            crate::gjv::GjvAnalysis::default()
-        } else {
-            detect_gjvs(
-                fed,
-                &query.pattern.triples,
-                &sources,
-                &self.check_cache,
-                net,
-            )
+        let analysis = detect_gjvs(
+            fed,
+            &query.pattern.triples,
+            &sources,
+            &self.check_cache,
+            net,
+        );
+        let order_vars_projected = {
+            let out = query.output_vars();
+            query.order_by.iter().all(|k| out.contains(&k.var))
         };
-        if query.pattern.triples.is_empty()
-            || is_disjoint(&query.pattern.triples, &sources, &analysis)
-        {
-            return None;
+        let simple_pattern = query.pattern.optionals.is_empty()
+            && query.pattern.unions.is_empty()
+            && query.pattern.not_exists.is_empty()
+            && query.pattern.values.is_none()
+            && query.aggregates.is_empty()
+            && order_vars_projected
+            && !query.pattern.triples.is_empty();
+        if simple_pattern && is_disjoint(&query.pattern.triples, &sources, &analysis) {
+            return ConjunctivePlan::Disjoint(sources);
         }
-        let mut subqueries = decompose(&query.pattern.triples, &sources, &analysis);
+        let mut subqueries =
+            decompose_traced(&query.pattern.triples, &sources, &analysis, &net.trace);
         let global_filters = push_filters(&query.pattern.filters, &mut subqueries);
-        if !global_filters.is_empty() {
-            return None;
-        }
         shrink_projections(query, &mut subqueries, &global_filters);
         let costs = if subqueries.len() > 1 {
             let cardinality = estimate_cardinalities(fed, net, &subqueries, &self.count_cache);
             let fanouts: Vec<usize> = subqueries.iter().map(|sq| sq.sources.len()).collect();
-            let delayed = decide_delays(&cardinality, &fanouts, self.config.delay_policy);
+            let decision = decide_delays_detailed(&cardinality, &fanouts, self.config.delay_policy);
+            for (i, sq) in subqueries.iter().enumerate() {
+                net.trace.emit(|| TraceEvent::SubqueryPlanned {
+                    index: i,
+                    patterns: sq
+                        .triples
+                        .iter()
+                        .map(|tp| render_pattern(tp, fed.dict()))
+                        .collect(),
+                    sources: sq.sources.len(),
+                    cardinality: cardinality[i],
+                    fanout: fanouts[i],
+                    delayed: decision.delayed[i],
+                    delay_reason: decision.reason(i, cardinality[i], fanouts[i]),
+                });
+            }
             SubqueryCosts {
                 cardinality,
-                delayed,
+                delayed: decision.delayed,
             }
         } else {
             SubqueryCosts {
@@ -676,7 +705,11 @@ impl Lusail {
                 delayed: vec![false; subqueries.len()],
             }
         };
-        Some((subqueries, costs, sources))
+        ConjunctivePlan::Planned {
+            subqueries,
+            costs,
+            global_filters,
+        }
     }
 }
 

@@ -311,6 +311,22 @@ impl Default for ExecConfig {
     }
 }
 
+impl ExecConfig {
+    /// Maps the engine configuration plus a per-query thread budget onto
+    /// the executor's knobs. The single-query and batch paths both build
+    /// their config here — if they disagreed, batched answers could
+    /// diverge from solo execution.
+    pub(crate) fn for_engine(config: &crate::engine::LusailConfig, threads: usize) -> ExecConfig {
+        ExecConfig {
+            block_size: config.block_size,
+            parallel_join_threshold: config.parallel_join_threshold,
+            adaptive_values: config.adaptive_values,
+            threads,
+            ..ExecConfig::default()
+        }
+    }
+}
+
 /// Block size for the post-probe `VALUES` blocks: scales the configured
 /// size toward `values_target_rows` response rows per request using the
 /// probe block's bindings-in → rows-out ratio. Integer-only and clamped to

@@ -44,6 +44,6 @@ pub use cost::DelayPolicy;
 pub use engine::{Lusail, LusailConfig, ProbeCacheStats, QueryResult};
 pub use explain::{render_analyze, QueryPlan, SubqueryPlan};
 pub use metrics::QueryMetrics;
-pub use mqo::BatchReport;
+pub use mqo::{subquery_signature, BatchItem, BatchOutcome, BatchReport};
 pub use subquery::Subquery;
 pub use trace::{QueryTrace, RequestKind, RequestSummary, TraceEvent, TraceSink};

@@ -9,20 +9,31 @@
 //! distinct non-delayed subquery **once**, and reuses its relation across
 //! all queries in the batch. Delayed subqueries are evaluated per query
 //! (their bound `VALUES` blocks depend on the query's other subqueries).
+//!
+//! [`Lusail::execute_batch_with`] is the options-aware form the query
+//! server's cross-tenant batching scheduler drives: every item carries its
+//! own [`ExecOptions`] (trace sink, thread budget, deadline, health hook),
+//! deadlines are charged from the *batch* start so one tenant's work never
+//! extends another tenant's budget, and a shared relation that lost data
+//! degrades every dependent item with the producing evaluation's failure
+//! attribution merged into its report.
 
 use crate::cache::pattern_key;
 use crate::cost::SubqueryCosts;
 use crate::engine::{Lusail, QueryResult};
-use crate::exec::evaluate_subqueries;
+use crate::exec::{evaluate_subqueries, ExecConfig};
 use crate::subquery::Subquery;
-use lusail_endpoint::{Federation, FederationError};
+use lusail_endpoint::{EndpointFailure, ExecOptions, Federation, FederationError, TraceEvent};
 use lusail_sparql::ast::Query;
 use lusail_sparql::SolutionSet;
 use std::collections::HashMap;
 
 /// A normalized signature for subquery sharing: pattern keys (variables
-/// canonicalized), sources, pushed filters, and projection.
-fn subquery_signature(sq: &Subquery) -> String {
+/// canonicalized), sources, pushed filters, and projection. Two subqueries
+/// with equal signatures evaluate to multiset-equal relations (pinned by
+/// the signature-soundness property test), which is what makes reusing a
+/// memoized relation across queries safe.
+pub fn subquery_signature(sq: &Subquery) -> String {
     let mut keys: Vec<String> = sq
         .triples
         .iter()
@@ -43,6 +54,94 @@ pub struct BatchReport {
     pub total_subqueries: usize,
     /// Distinct subqueries actually evaluated.
     pub distinct_subqueries: usize,
+    /// Subquery evaluations answered from the batch memo instead of the
+    /// wire.
+    pub shared_hits: u64,
+    /// Wire requests avoided by memo hits: each reuse credits the request
+    /// count the producing evaluation spent.
+    pub wire_requests_saved: u64,
+}
+
+/// One query in an options-aware batch ([`Lusail::execute_batch_with`]).
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The query to execute.
+    pub query: Query,
+    /// Per-item options: trace sink, thread budget, deadline, health hook.
+    pub opts: ExecOptions,
+}
+
+/// Per-item outcome of [`Lusail::execute_batch_with`]. The batch itself is
+/// infallible — one item's failure never poisons its neighbours.
+#[derive(Debug, Clone)]
+pub enum BatchOutcome {
+    /// The query ran (possibly degraded; see `QueryResult::complete`).
+    Finished(Box<QueryResult>),
+    /// The item's deadline had fully elapsed — burned by earlier items in
+    /// the batch — before its turn; nothing was executed for it.
+    DeadlineExpired,
+    /// Federation-level misuse, reported per item.
+    Error(FederationError),
+}
+
+/// A memoized shared relation plus everything a *dependent* query must
+/// inherit to stay honest: whether the producing evaluation lost data,
+/// which endpoints misbehaved while producing it, and what it cost on the
+/// wire (the savings each reuse records).
+struct SharedEntry {
+    relation: SolutionSet,
+    lost: bool,
+    failures: Vec<EndpointFailure>,
+    requests_spent: u64,
+}
+
+/// Folds `extra` failure entries into `into`, merging per endpoint:
+/// counters add, the dead flag is sticky, and the deduped error kinds stay
+/// in taxonomy order. The result is sorted by endpoint id so reports are
+/// deterministic regardless of which item evaluated what.
+fn merge_failures(into: &mut Vec<EndpointFailure>, extra: &[EndpointFailure]) {
+    for e in extra {
+        match into.iter_mut().find(|f| f.endpoint == e.endpoint) {
+            Some(f) => {
+                f.failed_requests += e.failed_requests;
+                f.retries += e.retries;
+                f.dead |= e.dead;
+                if f.last_error.is_none() {
+                    f.last_error = e.last_error;
+                }
+                for err in &e.errors {
+                    if !f.errors.contains(err) {
+                        f.errors.push(*err);
+                    }
+                }
+                f.errors.sort_by_key(|err| err.index());
+            }
+            None => into.push(e.clone()),
+        }
+    }
+    into.sort_by_key(|f| f.endpoint);
+}
+
+/// The failure growth between two reports from the same client: entries
+/// whose failure counters advanced (with the deltas), plus endpoints that
+/// newly appeared. This is the attribution a shared relation carries.
+fn failure_delta(before: &[EndpointFailure], after: Vec<EndpointFailure>) -> Vec<EndpointFailure> {
+    after
+        .into_iter()
+        .filter_map(|mut f| {
+            let Some(b) = before.iter().find(|b| b.endpoint == f.endpoint) else {
+                return Some(f);
+            };
+            let failed = f.failed_requests.saturating_sub(b.failed_requests);
+            let retries = f.retries.saturating_sub(b.retries);
+            if failed == 0 && retries == 0 && f.dead == b.dead {
+                return None;
+            }
+            f.failed_requests = failed;
+            f.retries = retries;
+            Some(f)
+        })
+        .collect()
 }
 
 impl Lusail {
@@ -58,21 +157,121 @@ impl Lusail {
         fed: &Federation,
         queries: &[Query],
     ) -> Result<(Vec<QueryResult>, BatchReport), FederationError> {
-        if fed.is_empty() {
-            return Err(FederationError::EmptyFederation);
+        let items: Vec<BatchItem> = queries
+            .iter()
+            .map(|q| BatchItem {
+                query: q.clone(),
+                opts: ExecOptions::default(),
+            })
+            .collect();
+        let (outcomes, report) = self.execute_batch_with(fed, &items);
+        let mut results = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                BatchOutcome::Finished(result) => results.push(*result),
+                BatchOutcome::Error(e) => return Err(e),
+                BatchOutcome::DeadlineExpired => {
+                    unreachable!("default options carry no deadline")
+                }
+            }
         }
-        // The shared-relation memo for this batch. Batch execution is
-        // sequential (each query may reuse the previous ones' relations),
-        // so a plain map suffices.
-        let mut shared: HashMap<String, SolutionSet> = HashMap::new();
+        Ok((results, report))
+    }
+
+    /// Options-aware batch execution: one [`BatchOutcome`] per item (same
+    /// order), sharing identical non-delayed subquery relations across
+    /// items. The contracts the server's batching scheduler relies on:
+    ///
+    /// * **Deadlines are absolute.** An item's `opts.deadline` is measured
+    ///   from the *batch* start on the engine clock, so time burned by
+    ///   earlier items counts against it — sharing can only shorten a
+    ///   query, never extend it past what it asked for. An item whose
+    ///   deadline elapsed before its turn yields
+    ///   [`BatchOutcome::DeadlineExpired`] without touching the wire.
+    /// * **Failure attribution is inherited.** A shared relation that lost
+    ///   data degrades every dependent item exactly as if the item had
+    ///   evaluated the subquery itself: `complete` goes false and the
+    ///   producing evaluation's per-endpoint failures merge into the
+    ///   item's report.
+    /// * **Traces stay per-item.** Each enabled sink sees its own planning
+    ///   events, a [`TraceEvent::SubqueryShared`] for every memo hit, and
+    ///   the terminal [`TraceEvent::QueryFinished`].
+    pub fn execute_batch_with(
+        &self,
+        fed: &Federation,
+        items: &[BatchItem],
+    ) -> (Vec<BatchOutcome>, BatchReport) {
+        let clock = self.timing_clock();
+        let start = clock.now();
+        let mut shared: HashMap<String, SharedEntry> = HashMap::new();
         let mut report = BatchReport::default();
-        let mut results = Vec::with_capacity(queries.len());
-        for q in queries {
-            let result = self.execute_with_shared(fed, q, &mut shared, &mut report)?;
-            results.push(result);
+        let mut outcomes = Vec::with_capacity(items.len());
+        for item in items {
+            if fed.is_empty() {
+                outcomes.push(BatchOutcome::Error(FederationError::EmptyFederation));
+                continue;
+            }
+            let elapsed = clock.now().saturating_sub(start);
+            let opts = match item.opts.deadline {
+                Some(d) if elapsed >= d => {
+                    outcomes.push(BatchOutcome::DeadlineExpired);
+                    continue;
+                }
+                Some(d) => item.opts.clone().with_deadline(d - elapsed),
+                None => item.opts.clone(),
+            };
+            let outcome =
+                match self.execute_with_shared(fed, &item.query, &opts, &mut shared, &mut report) {
+                    Ok(result) => BatchOutcome::Finished(Box::new(result)),
+                    Err(e) => BatchOutcome::Error(e),
+                };
+            outcomes.push(outcome);
         }
         report.distinct_subqueries = shared.len();
-        Ok((results, report))
+        (outcomes, report)
+    }
+
+    /// Plans the conjunctive core of `query` and returns its decomposed
+    /// subqueries — the units [`subquery_signature`] keys the batch memo
+    /// by. `None` when the query takes a non-conjunctive path (nested
+    /// clauses, aggregates, non-SELECT forms, the disjoint fast path, or
+    /// no relevant sources).
+    pub fn plan_subqueries(&self, fed: &Federation, query: &Query) -> Option<Vec<Subquery>> {
+        if fed.is_empty()
+            || self.config().disable_lade
+            || query.pattern.triples.is_empty()
+            || !query.pattern.optionals.is_empty()
+            || !query.pattern.unions.is_empty()
+            || !query.pattern.not_exists.is_empty()
+            || !query.aggregates.is_empty()
+            || !matches!(query.form, lusail_sparql::ast::QueryForm::Select)
+        {
+            return None;
+        }
+        let net = self.fresh_net();
+        match self.plan_conjunctive(fed, query, &net) {
+            crate::engine::ConjunctivePlan::Planned { subqueries, .. } => Some(subqueries),
+            _ => None,
+        }
+    }
+
+    /// Evaluates one subquery standalone (no bindings from neighbours) and
+    /// returns its relation — the unit the batch memo shares. Exposed so
+    /// the signature-soundness property test can compare relations of
+    /// signature-equal subqueries directly.
+    pub fn evaluate_subquery(&self, fed: &Federation, sq: &Subquery) -> SolutionSet {
+        let net = self.fresh_net();
+        let (relation, _) = evaluate_subqueries(
+            fed,
+            &net,
+            std::slice::from_ref(sq),
+            &SubqueryCosts {
+                cardinality: vec![1],
+                delayed: vec![false],
+            },
+            &ExecConfig::for_engine(self.config(), net.threads),
+        );
+        relation
     }
 
     /// Single-query execution that consults/extends the batch memo for
@@ -82,44 +281,85 @@ impl Lusail {
         &self,
         fed: &Federation,
         query: &Query,
-        shared: &mut HashMap<String, SolutionSet>,
+        opts: &ExecOptions,
+        shared: &mut HashMap<String, SharedEntry>,
         report: &mut BatchReport,
     ) -> Result<QueryResult, FederationError> {
         // Reuse the standard compile-time pipeline via explain-like calls,
         // then execute with memoized relations. To keep one code path, we
-        // reuse `Lusail::execute` when the query has nested clauses (the
-        // memo still helps those through the probe caches).
+        // reuse `Lusail::execute_with` when the query has nested clauses
+        // (the memo still helps those through the probe caches).
         let has_nested = !query.pattern.optionals.is_empty()
             || !query.pattern.unions.is_empty()
             || !query.pattern.not_exists.is_empty();
-        // Aggregates and non-SELECT forms take the full single-query path
-        // (mediator-side grouping, CountStar normalization).
+        // Aggregates, non-SELECT forms, empty patterns, and disabled LADE
+        // take the full single-query path (mediator-side grouping,
+        // CountStar normalization, the §II strawman decomposition). These
+        // are structural checks — no wire traffic is spent before the
+        // routing decision.
         if has_nested
             || !query.aggregates.is_empty()
             || !matches!(query.form, lusail_sparql::ast::QueryForm::Select)
+            || query.pattern.triples.is_empty()
+            || self.config().disable_lade
         {
-            return self.execute(fed, query);
+            return self.execute_with(fed, query, opts);
         }
 
-        let net = self.fresh_net();
-        let plan = self.plan_conjunctive(fed, query, &net);
-        let (subqueries, costs, sources) = match plan {
-            Some(parts) => parts,
-            None => return self.execute(fed, query), // disjoint or empty
+        // From here on, every outcome of planning executes against this
+        // one Net. Falling back to `execute_with` after planning would
+        // build a second Net and re-issue the probes planning already
+        // paid for (failed ASKs are never cached), making a batched run
+        // cost *more* wire than solo — the exact regression the
+        // batched-vs-solo oracle rejects.
+        let net = self.fresh_net_with(opts);
+        let (subqueries, costs, global_filters) = match self.plan_conjunctive(fed, query, &net) {
+            crate::engine::ConjunctivePlan::Empty => {
+                // A required pattern with no source: empty result, same as
+                // the solo early return.
+                let mut metrics = crate::metrics::QueryMetrics::default();
+                let (complete, failures) = self.finish(fed, &net, &mut metrics);
+                net.trace
+                    .emit(|| TraceEvent::QueryFinished { rows: 0, complete });
+                return Ok(QueryResult {
+                    solutions: SolutionSet::empty(query.output_vars()),
+                    metrics,
+                    complete,
+                    failures,
+                });
+            }
+            crate::engine::ConjunctivePlan::Disjoint(sources) => {
+                let solutions = self.execute_disjoint(fed, query, &sources, &net);
+                let mut metrics = crate::metrics::QueryMetrics {
+                    subqueries: 1,
+                    result_rows: solutions.len(),
+                    ..Default::default()
+                };
+                let (complete, failures) = self.finish(fed, &net, &mut metrics);
+                net.trace.emit(|| TraceEvent::QueryFinished {
+                    rows: solutions.len(),
+                    complete,
+                });
+                return Ok(QueryResult {
+                    solutions,
+                    metrics,
+                    complete,
+                    failures,
+                });
+            }
+            crate::engine::ConjunctivePlan::Planned {
+                subqueries,
+                costs,
+                global_filters,
+            } => (subqueries, costs, global_filters),
         };
-        let _ = sources;
         report.total_subqueries += subqueries.len();
 
         // Evaluate with sharing: replace each non-delayed subquery whose
         // signature is memoized by a zero-cost cached relation. We model
         // this by executing only the *missing* subqueries through the
         // normal path, then joining cached relations in.
-        let exec_cfg = crate::exec::ExecConfig {
-            block_size: self.config().block_size,
-            parallel_join_threshold: self.config().parallel_join_threshold,
-            adaptive_values: self.config().adaptive_values,
-            ..crate::exec::ExecConfig::default()
-        };
+        let exec_cfg = ExecConfig::for_engine(self.config(), net.threads);
 
         // One pass: cached relations come from the memo; missing
         // non-delayed subqueries are evaluated alone (concurrently per
@@ -128,6 +368,10 @@ impl Lusail {
         let mut relations: Vec<SolutionSet> = Vec::new();
         let mut delayed_subqueries: Vec<Subquery> = Vec::new();
         let mut delayed_cards: Vec<u64> = Vec::new();
+        // Failures inherited from shared relations an *earlier* item
+        // evaluated — this item never touched those endpoints itself, so
+        // its own client report cannot know about them.
+        let mut inherited: Vec<EndpointFailure> = Vec::new();
         for (i, sq) in subqueries.iter().enumerate() {
             if costs.delayed[i] {
                 delayed_subqueries.push(sq.clone());
@@ -135,11 +379,26 @@ impl Lusail {
                 continue;
             }
             let sig = subquery_signature(sq);
-            if let Some(rel) = shared.get(&sig) {
-                relations.push(rel.clone());
+            if let Some(entry) = shared.get(&sig) {
+                report.shared_hits += 1;
+                report.wire_requests_saved += entry.requests_spent;
+                net.trace.emit(|| TraceEvent::SubqueryShared {
+                    index: i,
+                    saved_requests: entry.requests_spent,
+                });
+                // A relation with a hole degrades every dependent query
+                // honestly: incompleteness and the producing failures are
+                // inherited along with the rows.
+                if entry.lost {
+                    net.degradation.record_data_loss();
+                    merge_failures(&mut inherited, &entry.failures);
+                }
+                relations.push(entry.relation.clone());
                 continue;
             }
             let loss_before = net.degradation.data_loss();
+            let wire_before = fed.stats_snapshot();
+            let fail_before = net.client.report(fed);
             let (rel, _) = evaluate_subqueries(
                 fed,
                 &net,
@@ -150,11 +409,22 @@ impl Lusail {
                 },
                 &exec_cfg,
             );
-            // Never memoize a relation that lost data to endpoint
-            // failures — later queries must not inherit the hole.
-            if net.degradation.data_loss() == loss_before {
-                shared.insert(sig, rel.clone());
-            }
+            let requests_spent = fed.stats_snapshot().since(&wire_before).total_requests();
+            let failures = failure_delta(&fail_before, net.client.report(fed));
+            // A non-delayed subquery only issues result-bearing SELECTs,
+            // so any failure growth in its window is lost data. The sticky
+            // per-query flag covers the first transition as well.
+            let lost = failures.iter().any(|f| f.failed_requests > 0)
+                || (!loss_before && net.degradation.data_loss());
+            shared.insert(
+                sig,
+                SharedEntry {
+                    relation: rel.clone(),
+                    lost,
+                    failures,
+                    requests_spent,
+                },
+            );
             relations.push(rel);
         }
 
@@ -172,7 +442,12 @@ impl Lusail {
                 vars: Vec::new(),
                 rows: vec![Vec::new()],
             });
-        if !delayed_subqueries.is_empty() {
+        // An empty non-delayed join zeroes the query: skip the delayed
+        // phase entirely, exactly as the single-query executor's bound
+        // `VALUES` blocks degenerate to no requests without bindings.
+        let had_nondelayed = !subqueries.is_empty() && subqueries.len() > delayed_subqueries.len();
+        let skip_delayed = had_nondelayed && solutions.rows.is_empty();
+        if !delayed_subqueries.is_empty() && !skip_delayed {
             let costs = SubqueryCosts {
                 cardinality: delayed_cards,
                 delayed: vec![true; delayed_subqueries.len()],
@@ -184,8 +459,9 @@ impl Lusail {
             solutions = solutions.hash_join(&delayed_rel);
         }
 
-        // Query-level clauses (filters already pushed in plan; VALUES +
-        // the standard modifier tail).
+        // Query-level clauses: VALUES join, then the filters that could
+        // not be pushed into any subquery (mediator-side, exactly where
+        // the solo path applies them), then the standard modifier tail.
         if let Some(v) = &query.pattern.values {
             let values_rel = SolutionSet {
                 vars: v.vars.clone(),
@@ -193,16 +469,23 @@ impl Lusail {
             };
             solutions = solutions.hash_join(&values_rel);
         }
+        lusail_store::eval::retain_filtered(&mut solutions, &global_filters, fed.dict());
         let solutions = lusail_store::eval::apply_modifiers(solutions, query, fed.dict());
-        let metrics = crate::metrics::QueryMetrics {
+        let mut metrics = crate::metrics::QueryMetrics {
             result_rows: solutions.len(),
             ..Default::default()
         };
+        let (complete, mut failures) = self.finish(fed, &net, &mut metrics);
+        merge_failures(&mut failures, &inherited);
+        net.trace.emit(|| TraceEvent::QueryFinished {
+            rows: solutions.len(),
+            complete,
+        });
         Ok(QueryResult {
             solutions,
             metrics,
-            complete: !net.degradation.data_loss(),
-            failures: net.client.report(fed),
+            complete,
+            failures,
         })
     }
 }
@@ -210,11 +493,12 @@ impl Lusail {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lusail_endpoint::LocalEndpoint;
+    use lusail_endpoint::{FaultProfile, FlakyEndpoint, LocalEndpoint, ManualClock, RequestPolicy};
     use lusail_rdf::{Dictionary, Term};
     use lusail_sparql::parse_query;
     use lusail_store::TripleStore;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn fed() -> (Federation, TripleStore) {
         let dict = Dictionary::shared();
@@ -314,6 +598,10 @@ mod tests {
         // the distinct count stays at most the per-query subquery count).
         assert_eq!(report.total_subqueries, 6);
         assert!(report.distinct_subqueries <= 2, "{report:?}");
+        // Repeats hit the memo, and every hit credits the wire requests
+        // the first evaluation spent.
+        assert!(report.shared_hits >= 1, "{report:?}");
+        assert!(report.wire_requests_saved >= 1, "{report:?}");
         let expected = lusail_store::eval::evaluate(&oracle, &q).canonicalize();
         for r in &results {
             assert_eq!(r.solutions.canonicalize(), expected);
@@ -388,5 +676,114 @@ mod tests {
             .unwrap();
         let expected = lusail_store::eval::evaluate(&oracle, &q).canonicalize();
         assert_eq!(results[0].solutions.canonicalize(), expected);
+    }
+
+    /// A federation whose B endpoint (predicates q/r) is wrapped in a
+    /// fault profile; A (predicate p) stays healthy.
+    fn fed_with_faulty_b(profile: FaultProfile) -> Federation {
+        let dict = Dictionary::shared();
+        let mut a = TripleStore::new(Arc::clone(&dict));
+        let mut b = TripleStore::new(Arc::clone(&dict));
+        for i in 0..30 {
+            let s = Term::iri(format!("http://a/s{i}"));
+            let v = Term::iri(format!("http://shared/v{}", i % 10));
+            let o = Term::iri(format!("http://b/o{i}"));
+            a.insert_terms(&s, &Term::iri("http://x/p"), &v);
+            b.insert_terms(&v, &Term::iri("http://x/q"), &o);
+        }
+        let mut fed = Federation::new(dict);
+        fed.add(Arc::new(LocalEndpoint::new("A", a)));
+        fed.add(Arc::new(FlakyEndpoint::new(
+            Arc::new(LocalEndpoint::new("B", b)),
+            profile,
+        )));
+        fed
+    }
+
+    #[test]
+    fn failed_shared_subquery_degrades_every_dependent_item() {
+        // The q-subquery lives at the dead endpoint B: whichever item
+        // evaluates (and memoizes) it records the hole, and every item
+        // that reuses the relation must inherit both the incompleteness
+        // and the failure attribution for B.
+        let fed = fed_with_faulty_b(FaultProfile::dead());
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+            fed.dict(),
+        )
+        .unwrap();
+        let engine = Lusail::default();
+        let items: Vec<BatchItem> = (0..3)
+            .map(|_| BatchItem {
+                query: q.clone(),
+                opts: ExecOptions::default(),
+            })
+            .collect();
+        let (outcomes, report) = engine.execute_batch_with(&fed, &items);
+        assert!(report.shared_hits >= 1, "{report:?}");
+        let mut first_rows = None;
+        for outcome in &outcomes {
+            let BatchOutcome::Finished(result) = outcome else {
+                panic!("item did not finish: {outcome:?}");
+            };
+            assert!(!result.complete, "a shared hole must degrade every item");
+            assert!(
+                result.failures.iter().any(|f| f.name == "B"),
+                "dependent item lost B's attribution: {:?}",
+                result.failures
+            );
+            let rows = result.solutions.canonicalize();
+            if let Some(first) = &first_rows {
+                assert_eq!(&rows, first, "shared reuse changed the answer");
+            } else {
+                first_rows = Some(rows);
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_burned_by_earlier_items_expires_later_items() {
+        // Item 0 burns virtual time in retry backoffs against an
+        // always-interrupting endpoint; item 1's deadline is charged from
+        // the batch start, so it must expire without touching the wire.
+        let clock = ManualClock::new();
+        let fed = fed_with_faulty_b(FaultProfile::transient(7, 1.0));
+        let q = parse_query(
+            "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+            fed.dict(),
+        )
+        .unwrap();
+        let engine = Lusail::default()
+            .with_policy(RequestPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_millis(100),
+                ..RequestPolicy::default()
+            })
+            .with_clock(clock.clone());
+        let items = vec![
+            BatchItem {
+                query: q.clone(),
+                opts: ExecOptions::default(),
+            },
+            BatchItem {
+                query: q.clone(),
+                opts: ExecOptions::default().with_deadline(Duration::from_millis(50)),
+            },
+        ];
+        let (outcomes, _) = engine.execute_batch_with(&fed, &items);
+        assert!(
+            matches!(outcomes[0], BatchOutcome::Finished(_)),
+            "{:?}",
+            outcomes[0]
+        );
+        assert!(
+            clock.elapsed() >= Duration::from_millis(100),
+            "retry backoffs should have advanced the virtual clock"
+        );
+        assert!(
+            matches!(outcomes[1], BatchOutcome::DeadlineExpired),
+            "a deadline burned by a neighbour must expire, got {:?}",
+            outcomes[1]
+        );
     }
 }

@@ -161,6 +161,17 @@ pub enum TraceEvent {
         /// Result partitions (endpoint streams) backing the relation.
         partitions: usize,
     },
+    /// A subquery was served from a batch's shared-relation memo
+    /// (multi-query optimization) instead of being re-evaluated. No
+    /// [`TraceEvent::Request`] events are emitted for the elided
+    /// evaluation — request accounting only ever counts wire work.
+    SubqueryShared {
+        /// Subquery index within this query's decomposition.
+        index: usize,
+        /// Wire requests the producing evaluation spent — the traffic
+        /// this reuse avoided.
+        saved_requests: u64,
+    },
     /// One VALUES-bound block dispatched for a delayed subquery.
     ValuesBatch {
         /// Subquery index.

@@ -1,8 +1,18 @@
 //! Dependency-free SPARQL-over-HTTP front end.
 //!
-//! A deliberately minimal HTTP/1.1 loop over `std::net::TcpListener`:
-//! one thread per connection, `Connection: close` on every response, no
-//! keep-alive, no chunked encoding. Routes:
+//! An **evented** HTTP/1.1 loop over `std::net::TcpListener`: one thread
+//! — the readiness loop — owns every socket and multiplexes them through
+//! raw `poll(2)` (no external crates, the same libc-FFI pattern as
+//! [`install_shutdown_flag`]). Connections are keep-alive by default, and
+//! an *idle* connection costs a poll slot, not a worker thread, so
+//! capacity applies to in-flight queries rather than open sockets: a
+//! thread is spawned per **active** `/sparql` request (queries block in
+//! admission, batching windows, and the engine) and dies when its
+//! response is written. `/healthz`, `/stats`, parse errors, and unknown
+//! routes are answered inline on the loop. Workers hand their connection
+//! back through a completion channel plus a self-pipe wakeup.
+//!
+//! Routes:
 //!
 //! * `GET /sparql?query=<pct-encoded>` or `POST /sparql` (query text in
 //!   the body) — execute a query. Headers: `X-Tenant` names the tenant
@@ -10,7 +20,8 @@
 //!   in milliseconds (clamped to the tenant's budget).
 //! * `GET /healthz` — `200 ok` while serving, `503 draining` during
 //!   drain.
-//! * `GET /stats` — the serving counters and wire totals as text.
+//! * `GET /stats` — the serving counters, wire totals, and `batch.*`
+//!   scheduler counters as text.
 //!
 //! A successful query returns `200` with the same tab-separated table
 //! the CLI prints ([`render_solutions`] is shared with `lusail-cli
@@ -27,11 +38,14 @@
 use crate::{QueryServer, Rejection, ServeError};
 use lusail_rdf::Dictionary;
 use lusail_sparql::{parse_query, SolutionSet};
-use std::io::{Read, Write};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// Renders a solution set exactly like the CLI's result table: header
 /// row, up to 100 tab-separated rows (`UNDEF` for unbound), and a
@@ -111,6 +125,8 @@ struct Request {
     /// Header names lowercased.
     headers: Vec<(String, String)>,
     body: String,
+    /// False only for an explicit `HTTP/1.0` request line.
+    http11: bool,
 }
 
 impl Request {
@@ -128,24 +144,30 @@ impl Request {
             (k == key).then(|| percent_decode(v))
         })
     }
+
+    /// HTTP/1.1 defaults to keep-alive; `Connection: close` (or an
+    /// HTTP/1.0 request line) opts out.
+    fn keep_alive(&self) -> bool {
+        self.http11
+            && self
+                .header("connection")
+                .is_none_or(|v| !v.eq_ignore_ascii_case("close"))
+    }
 }
 
-fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Tries to parse one complete request from the front of `buf`.
+/// `Ok(None)` means more bytes are needed; `Err` is a protocol violation
+/// the connection cannot recover from.
+fn try_parse(buf: &[u8]) -> Result<Option<(Request, usize)>, String> {
+    let Some(header_end) = find_header_end(buf) else {
         if buf.len() > 1 << 20 {
-            return Err(std::io::Error::other("request headers too large"));
+            return Err("request headers too large".into());
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(std::io::Error::other("connection closed mid-request"));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(None);
     };
     let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
     let mut lines = head.split("\r\n");
@@ -153,6 +175,7 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or_default().to_string();
     let target = parts.next().unwrap_or_default();
+    let http11 = parts.next().unwrap_or("HTTP/1.1") != "HTTP/1.0";
     let (path, query_string) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target.to_string(), String::new()),
@@ -166,40 +189,64 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
         .find(|(k, _)| k == "content-length")
         .and_then(|(_, v)| v.parse().ok())
         .unwrap_or(0);
-    let mut body_bytes = buf[header_end + 4..].to_vec();
-    while body_bytes.len() < content_length {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        body_bytes.extend_from_slice(&chunk[..n]);
+    if content_length > 8 << 20 {
+        return Err("request body too large".into());
     }
-    body_bytes.truncate(content_length);
-    Ok(Request {
-        method,
-        path,
-        query_string,
-        headers,
-        body: String::from_utf8_lossy(&body_bytes).into_owned(),
-    })
+    let total = header_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = String::from_utf8_lossy(&buf[header_end + 4..total]).into_owned();
+    Ok(Some((
+        Request {
+            method,
+            path,
+            query_string,
+            headers,
+            body,
+            http11,
+        },
+        total,
+    )))
 }
 
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-fn write_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
-    let head = format!(
+/// Serializes a full response. `keep_alive` picks the `Connection`
+/// header; bodies are always `Content-Length`-delimited (no chunking).
+fn render_response(status: u16, reason: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut out = format!(
         "HTTP/1.1 {status} {reason}\r\n\
          Content-Type: text/plain; charset=utf-8\r\n\
          Content-Length: {}\r\n\
-         Connection: close\r\n\r\n",
+         Connection: {connection}\r\n\r\n",
         body.len()
-    );
-    // The peer may already be gone; a failed write only loses the
-    // response to a client that stopped listening.
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Writes the whole buffer on a socket that may be in nonblocking mode
+/// (`O_NONBLOCK` is a property of the file description, shared with the
+/// readiness loop's duped fd), spinning briefly on `WouldBlock`. The
+/// peer may already be gone; a failed write only loses the response to
+/// a client that stopped listening.
+fn write_all_spinning(stream: &mut TcpStream, mut data: &[u8]) {
+    let give_up = Instant::now() + Duration::from_secs(30);
+    while !data.is_empty() {
+        match stream.write(data) {
+            Ok(0) => return,
+            Ok(n) => data = &data[n..],
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= give_up {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
     let _ = stream.flush();
 }
 
@@ -220,155 +267,352 @@ fn rejection_response(r: &Rejection) -> (u16, &'static str, String) {
     (status, reason_phrase, body)
 }
 
-fn handle_connection(server: &QueryServer, mut stream: TcpStream) {
-    let request = match read_request(&mut stream) {
-        Ok(r) => r,
+/// The `/stats` body: serving counters, wire totals, probe-cache
+/// counters, and the batching scheduler's `batch.*` lines.
+fn stats_body(server: &QueryServer) -> String {
+    let c = server.counters();
+    let wire = server.stats_snapshot();
+    let cache = server.engine().probe_cache_stats();
+    let batch = server.batch_stats();
+    format!(
+        "admitted: {}\ncomplete_results: {}\nincomplete_results: {}\n\
+         shed: {}\ndeadline_rejected: {}\ndraining_rejected: {}\n\
+         health_invalidations: {}\nqueries_shed: {}\n\
+         wire_requests: {}\ncache_hits: {}\ncache_misses: {}\n\
+         cache_evictions: {}\nbatch.windows: {}\nbatch.batched_queries: {}\n\
+         batch.max_window: {}\nbatch.shared_hits: {}\n\
+         batch.wire_requests_saved: {}\n",
+        c.admitted,
+        c.complete_results,
+        c.incomplete_results,
+        c.shed,
+        c.deadline_rejected,
+        c.draining_rejected,
+        c.health_invalidations,
+        wire.queries_shed,
+        wire.total_requests(),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        batch.windows,
+        batch.batched_queries,
+        batch.max_window,
+        batch.shared_hits,
+        batch.wire_requests_saved,
+    )
+}
+
+/// Executes a `/sparql` request to a response triple. Runs on a worker
+/// thread — admission, batching windows, and the engine may all block.
+fn handle_sparql(server: &QueryServer, request: &Request) -> (u16, &'static str, String) {
+    let text = if request.method == "GET" {
+        request.query_param("query")
+    } else {
+        (!request.body.is_empty()).then(|| request.body.clone())
+    };
+    let Some(text) = text else {
+        return (
+            400,
+            "Bad Request",
+            "error: bad request\ncode: parse\nreason: missing query\n".to_string(),
+        );
+    };
+    let tenant = request.header("x-tenant").unwrap_or("default").to_string();
+    let deadline = request
+        .header("x-deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis);
+    let dict = Arc::clone(server.federation().dict());
+    let query = match parse_query(&text, &dict) {
+        Ok(q) => q,
         Err(e) => {
-            write_response(
-                &mut stream,
+            return (
                 400,
                 "Bad Request",
-                &format!("error: bad request\ncode: parse\nreason: {e}\n"),
-            );
-            return;
+                format!("error: bad request\ncode: parse\nreason: {e:?}\n"),
+            )
         }
     };
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            if server.is_draining() {
-                write_response(&mut stream, 503, "Service Unavailable", "draining\n");
+    match server.execute_with_deadline(&tenant, &query, deadline) {
+        Ok(result) => {
+            let body = render_solutions(&result.solutions, &dict);
+            if result.complete {
+                (200, "OK", body)
             } else {
-                write_response(&mut stream, 200, "OK", "ok\n");
+                // Partial results are still results, but the degradation
+                // must be visible to the client.
+                (206, "Partial Content", body)
             }
         }
-        ("GET", "/stats") => {
-            let c = server.counters();
-            let wire = server.stats_snapshot();
-            let cache = server.engine().probe_cache_stats();
-            let body = format!(
-                "admitted: {}\ncomplete_results: {}\nincomplete_results: {}\n\
-                 shed: {}\ndeadline_rejected: {}\ndraining_rejected: {}\n\
-                 health_invalidations: {}\nqueries_shed: {}\n\
-                 wire_requests: {}\ncache_hits: {}\ncache_misses: {}\n\
-                 cache_evictions: {}\n",
-                c.admitted,
-                c.complete_results,
-                c.incomplete_results,
-                c.shed,
-                c.deadline_rejected,
-                c.draining_rejected,
-                c.health_invalidations,
-                wire.queries_shed,
-                wire.total_requests(),
-                cache.hits,
-                cache.misses,
-                cache.evictions,
-            );
-            write_response(&mut stream, 200, "OK", &body);
+        Err(ServeError::Rejected(r)) => rejection_response(&r),
+        Err(ServeError::Engine(e)) => (
+            500,
+            "Internal Server Error",
+            format!("error: engine\ncode: engine\nreason: {e:?}\n"),
+        ),
+    }
+}
+
+// ---- the readiness loop ---------------------------------------------
+
+/// `poll(2)` via the C runtime — the readiness primitive of the evented
+/// loop, with no external crates (same pattern as the raw `signal(2)`
+/// in [`install_shutdown_flag`]).
+#[repr(C)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Polls with a timeout in milliseconds. A signal interruption reports
+/// as an empty readiness set so the caller re-checks its shutdown flag.
+fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<()> {
+    let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if n < 0 {
+        let e = std::io::Error::last_os_error();
+        if e.kind() != ErrorKind::Interrupted {
+            return Err(e);
         }
-        (method, "/sparql") if method == "GET" || method == "POST" => {
-            let text = if method == "GET" {
-                request.query_param("query")
-            } else {
-                (!request.body.is_empty()).then(|| request.body.clone())
-            };
-            let Some(text) = text else {
-                write_response(
-                    &mut stream,
-                    400,
-                    "Bad Request",
-                    "error: bad request\ncode: parse\nreason: missing query\n",
-                );
-                return;
-            };
-            let tenant = request.header("x-tenant").unwrap_or("default").to_string();
-            let deadline = request
-                .header("x-deadline-ms")
-                .and_then(|v| v.parse::<u64>().ok())
-                .map(Duration::from_millis);
-            let dict = Arc::clone(server.federation().dict());
-            let query = match parse_query(&text, &dict) {
-                Ok(q) => q,
-                Err(e) => {
-                    write_response(
-                        &mut stream,
-                        400,
-                        "Bad Request",
-                        &format!("error: bad request\ncode: parse\nreason: {e:?}\n"),
-                    );
-                    return;
-                }
-            };
-            match server.execute_with_deadline(&tenant, &query, deadline) {
-                Ok(result) => {
-                    let body = render_solutions(&result.solutions, &dict);
-                    if result.complete {
-                        write_response(&mut stream, 200, "OK", &body);
-                    } else {
-                        // Partial results are still results, but the
-                        // degradation must be visible to the client.
-                        write_response(&mut stream, 206, "Partial Content", &body);
-                    }
-                }
-                Err(ServeError::Rejected(r)) => {
-                    let (status, phrase, body) = rejection_response(&r);
-                    write_response(&mut stream, status, phrase, &body);
-                }
-                Err(ServeError::Engine(e)) => {
-                    write_response(
-                        &mut stream,
-                        500,
-                        "Internal Server Error",
-                        &format!("error: engine\ncode: engine\nreason: {e:?}\n"),
-                    );
-                }
-            }
+        for fd in fds.iter_mut() {
+            fd.revents = 0;
         }
-        _ => {
-            write_response(
-                &mut stream,
-                404,
-                "Not Found",
-                "error: not found\ncode: route\nreason: unknown path\n",
-            );
+    }
+    Ok(())
+}
+
+/// One client connection owned by the readiness loop.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by a parsed request.
+    buf: Vec<u8>,
+    /// True while a worker thread owns this connection's current
+    /// request; the loop stops polling it until the worker hands it
+    /// back.
+    busy: bool,
+}
+
+/// Drains readable bytes into the connection buffer. Returns false when
+/// the peer closed or the socket failed (the connection is done).
+fn read_into(conn: &mut Conn) -> bool {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return false,
+            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
         }
     }
 }
 
-/// Runs the accept loop until `shutdown` becomes true, then drains the
-/// server (in-flight queries finish or hit their deadlines) and joins
-/// every connection thread. Returns the drain report.
+/// Runs the evented readiness loop until `shutdown` becomes true, then
+/// drains the server (in-flight queries finish or hit their deadlines)
+/// and joins the remaining request workers. Returns the drain report.
+///
+/// Keep-alive connections are parked in the poll set between requests —
+/// 64 idle clients hold 64 fds and zero threads, and admission capacity
+/// is only consumed by queries actually submitted. Worker threads exist
+/// per in-flight `/sparql` request and hand the connection back through
+/// the completion channel + self-pipe when the response is written.
 pub fn run_http_loop(
     server: &Arc<QueryServer>,
     listener: TcpListener,
     shutdown: &AtomicBool,
 ) -> std::io::Result<crate::DrainReport> {
     listener.set_nonblocking(true)?;
+    // Self-pipe: workers nudge the poll loop when a connection is handed
+    // back, so an idle server still reacts to completions immediately.
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    let (done_tx, done_rx) = mpsc::channel::<(u64, bool)>();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
     let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                stream.set_nonblocking(false)?;
-                let server = Arc::clone(server);
-                workers.push(std::thread::spawn(move || {
-                    handle_connection(&server, stream);
-                }));
-                workers.retain(|h| !h.is_finished());
+        let mut fds = vec![
+            PollFd {
+                fd: listener.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            },
+            PollFd {
+                fd: wake_rx.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            },
+        ];
+        let mut polled: Vec<u64> = Vec::new();
+        for (token, conn) in conns.iter() {
+            if !conn.busy {
+                fds.push(PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events: POLLIN,
+                    revents: 0,
+                });
+                polled.push(*token);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(e) => return Err(e),
         }
+        // The 50ms timeout doubles as the shutdown-flag check cadence
+        // and a fallback sweep for lost wakeup bytes.
+        poll_fds(&mut fds, 50)?;
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if fds[0].revents != 0 {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        stream.set_nonblocking(true)?;
+                        conns.insert(
+                            next_token,
+                            Conn {
+                                stream,
+                                buf: Vec::new(),
+                                busy: false,
+                            },
+                        );
+                        next_token += 1;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if fds[1].revents != 0 {
+            let mut sink = [0u8; 64];
+            while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+        // Connections to (re)examine: workers done with their request,
+        // plus idle connections that became readable.
+        let mut ready: Vec<u64> = Vec::new();
+        while let Ok((token, keep)) = done_rx.try_recv() {
+            if !keep {
+                conns.remove(&token);
+            } else if let Some(conn) = conns.get_mut(&token) {
+                conn.busy = false;
+                // A pipelined request may already sit in the buffer.
+                ready.push(token);
+            }
+        }
+        for (i, token) in polled.iter().enumerate() {
+            if fds[2 + i].revents == 0 {
+                continue;
+            }
+            if let Some(conn) = conns.get_mut(token) {
+                if read_into(conn) {
+                    ready.push(*token);
+                } else {
+                    conns.remove(token);
+                }
+            }
+        }
+        for token in ready {
+            dispatch_buffered(server, &mut conns, token, &done_tx, &wake_tx, &mut workers);
+        }
+        workers.retain(|h| !h.is_finished());
     }
     let report = server.drain();
     for handle in workers {
         let _ = handle.join();
     }
     Ok(report)
+}
+
+/// Parses and routes every complete request buffered on one connection.
+/// `/healthz`, `/stats`, parse errors, and unknown routes are answered
+/// inline; a `/sparql` request marks the connection busy and moves to a
+/// worker thread (no pipelining past an in-flight query).
+fn dispatch_buffered(
+    server: &Arc<QueryServer>,
+    conns: &mut HashMap<u64, Conn>,
+    token: u64,
+    done_tx: &mpsc::Sender<(u64, bool)>,
+    wake_tx: &UnixStream,
+    workers: &mut Vec<std::thread::JoinHandle<()>>,
+) {
+    loop {
+        let Some(conn) = conns.get_mut(&token) else {
+            return;
+        };
+        if conn.busy {
+            return;
+        }
+        let (request, consumed) = match try_parse(&conn.buf) {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => return,
+            Err(reason) => {
+                let body = format!("error: bad request\ncode: parse\nreason: {reason}\n");
+                let response = render_response(400, "Bad Request", &body, false);
+                write_all_spinning(&mut conn.stream, &response);
+                conns.remove(&token);
+                return;
+            }
+        };
+        conn.buf.drain(..consumed);
+        let keep = request.keep_alive();
+        let inline: Option<(u16, &'static str, String)> =
+            match (request.method.as_str(), request.path.as_str()) {
+                ("GET", "/healthz") => Some(if server.is_draining() {
+                    (503, "Service Unavailable", "draining\n".to_string())
+                } else {
+                    (200, "OK", "ok\n".to_string())
+                }),
+                ("GET", "/stats") => Some((200, "OK", stats_body(server))),
+                (m, "/sparql") if m == "GET" || m == "POST" => None,
+                _ => Some((
+                    404,
+                    "Not Found",
+                    "error: not found\ncode: route\nreason: unknown path\n".to_string(),
+                )),
+            };
+        match inline {
+            Some((status, phrase, body)) => {
+                let response = render_response(status, phrase, &body, keep);
+                write_all_spinning(&mut conn.stream, &response);
+                if !keep {
+                    conns.remove(&token);
+                    return;
+                }
+                // Loop: another pipelined request may be buffered.
+            }
+            None => {
+                let Ok(stream) = conn.stream.try_clone() else {
+                    conns.remove(&token);
+                    return;
+                };
+                conn.busy = true;
+                let server = Arc::clone(server);
+                let done = done_tx.clone();
+                let wake = wake_tx.try_clone().ok();
+                workers.push(std::thread::spawn(move || {
+                    let mut stream = stream;
+                    let (status, phrase, body) = handle_sparql(&server, &request);
+                    let response = render_response(status, phrase, &body, keep);
+                    write_all_spinning(&mut stream, &response);
+                    // Hand the connection back; the wake byte is
+                    // best-effort (the poll timeout sweeps up losses).
+                    let _ = done.send((token, keep));
+                    if let Some(mut w) = wake {
+                        let _ = w.write(&[1u8]);
+                    }
+                }));
+                return;
+            }
+        }
+    }
 }
 
 /// Installs a process-wide SIGTERM/SIGINT handler that flips the

@@ -32,11 +32,15 @@
 //! [`http`]; `lusail-cli serve` wires it to a federation loaded from
 //! endpoint files.
 
+pub mod batch;
 pub mod http;
+
+pub use batch::{BatchConfig, BatchStats};
 
 use lusail_core::{Lusail, QueryResult};
 use lusail_endpoint::{
-    EndpointId, Federation, FederationError, HealthHook, HealthState, StatsSnapshot,
+    Clock, EndpointId, Federation, FederationError, HealthHook, HealthState, StatsSnapshot,
+    SystemClock,
 };
 use lusail_sparql::Query;
 use std::collections::{HashMap, HashSet};
@@ -83,6 +87,9 @@ pub struct ServerConfig {
     /// existing health model. Recovery is observed through the next
     /// complete query.
     pub shed_when_unhealthy: bool,
+    /// Cross-tenant batching: admitted queries accumulate in a bounded
+    /// window and shared subqueries are evaluated once (see [`batch`]).
+    pub batch: BatchConfig,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +100,7 @@ impl Default for ServerConfig {
             default_tenant: TenantPolicy::default(),
             tenants: HashMap::new(),
             shed_when_unhealthy: true,
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -239,12 +247,30 @@ pub struct QueryServer {
     /// Shared-cache invalidations performed by the hook (the hook holds
     /// a clone of this `Arc`, not a reference back to the server).
     invalidations: Arc<AtomicU64>,
+    /// The clock batching windows and deadlines are measured on
+    /// (injectable so scheduler tests are deterministic).
+    pub(crate) clock: Arc<dyn Clock>,
+    /// Cross-tenant batching scheduler state (see [`batch`]).
+    pub(crate) batcher: batch::Batcher,
 }
 
 impl QueryServer {
     /// Builds a server around a federation, constructing the shared
     /// engine with the given configuration.
     pub fn new(fed: Federation, engine: Lusail, config: ServerConfig) -> Arc<Self> {
+        Self::with_clock(fed, engine, config, Arc::new(SystemClock::default()))
+    }
+
+    /// [`QueryServer::new`] with an injected clock: batching windows and
+    /// per-query deadlines are measured on it, so a
+    /// [`ManualClock`](lusail_endpoint::ManualClock) shared with the
+    /// engine makes scheduler timing fully deterministic in tests.
+    pub fn with_clock(
+        fed: Federation,
+        engine: Lusail,
+        config: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Arc<Self> {
         let engine = Arc::new(engine);
         let unhealthy: Arc<Mutex<HashSet<EndpointId>>> = Arc::default();
         let invalidations = Arc::new(AtomicU64::new(0));
@@ -264,6 +290,8 @@ impl QueryServer {
             counters: Atomics::default(),
             unhealthy,
             invalidations,
+            clock,
+            batcher: batch::Batcher::default(),
         })
     }
 
@@ -326,6 +354,31 @@ impl QueryServer {
             tenant: tenant.to_string(),
             session,
         };
+        if self.config.batch.enabled {
+            // The session stays held across the window wait — capacity
+            // applies to queries the server has accepted, whether they
+            // are executing or waiting for their batch to form.
+            let delivery = self.batch_submit(query, deadline);
+            drop(guard);
+            return match delivery {
+                batch::Delivery::Finished(result) => {
+                    self.count_executed(result.complete);
+                    Ok(*result)
+                }
+                batch::Delivery::DeadlineExpired => {
+                    // The window wait (or a neighbour's work) consumed the
+                    // whole budget: the refusal is typed exactly like an
+                    // impossible deadline at admission.
+                    let rejection = Rejection::DeadlineExceeded;
+                    self.count_rejection(&rejection);
+                    Err(ServeError::Rejected(rejection))
+                }
+                batch::Delivery::Engine(e) => {
+                    self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Engine(e))
+                }
+            };
+        }
         let opts = lusail_endpoint::ExecOptions::default()
             .with_threads(self.config.threads_per_query)
             .with_deadline(deadline)
@@ -334,25 +387,31 @@ impl QueryServer {
         drop(guard);
         match result {
             Ok(result) => {
-                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
-                if result.complete {
-                    self.counters
-                        .complete_results
-                        .fetch_add(1, Ordering::Relaxed);
-                    // A complete query is proof of life: whatever the
-                    // health model believed, the federation answered.
-                    self.unhealthy.lock().unwrap().clear();
-                } else {
-                    self.counters
-                        .incomplete_results
-                        .fetch_add(1, Ordering::Relaxed);
-                }
+                self.count_executed(result.complete);
                 Ok(result)
             }
             Err(e) => {
                 self.counters.admitted.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Engine(e))
             }
+        }
+    }
+
+    /// Counts an admitted query that reached the engine and produced a
+    /// result (shared by the direct and batched paths).
+    fn count_executed(&self, complete: bool) {
+        self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        if complete {
+            self.counters
+                .complete_results
+                .fetch_add(1, Ordering::Relaxed);
+            // A complete query is proof of life: whatever the health
+            // model believed, the federation answered.
+            self.unhealthy.lock().unwrap().clear();
+        } else {
+            self.counters
+                .incomplete_results
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 

@@ -1,6 +1,7 @@
 use super::*;
-use crate::http::{percent_decode, render_solutions};
+use crate::http::{percent_decode, render_solutions, run_http_loop};
 use lusail_core::LusailConfig;
+use lusail_endpoint::{FaultProfile, FlakyEndpoint, LocalEndpoint, ManualClock, RequestPolicy};
 use lusail_rdf::{Dictionary, Term};
 use lusail_sparql::parse_query;
 use lusail_store::TripleStore;
@@ -232,6 +233,280 @@ fn percent_decode_handles_escapes_plus_and_garbage() {
     assert_eq!(percent_decode("SELECT%20%2A"), "SELECT *");
     assert_eq!(percent_decode("100%"), "100%");
     assert_eq!(percent_decode("%zz"), "%zz");
+}
+
+// ---------- cross-tenant batching -------------------------------------------
+
+/// Two endpoints joined by a shared variable: A holds the p-edges, B the
+/// q-edges, so the canonical two-pattern query decomposes into two
+/// subqueries — the unit the batch memo shares across tenants. (A
+/// single-endpoint federation would take the disjoint fast path and never
+/// exercise sharing.)
+fn shared_federation() -> (Federation, Arc<Dictionary>) {
+    let dict = Dictionary::shared();
+    let mut a = TripleStore::new(Arc::clone(&dict));
+    let mut b = TripleStore::new(Arc::clone(&dict));
+    for i in 0..20 {
+        let s = Term::iri(format!("http://a/s{i}"));
+        let v = Term::iri(format!("http://shared/v{}", i % 5));
+        let o = Term::iri(format!("http://b/o{i}"));
+        a.insert_terms(&s, &Term::iri("http://x/p"), &v);
+        b.insert_terms(&v, &Term::iri("http://x/q"), &o);
+    }
+    let mut fed = Federation::new(Arc::clone(&dict));
+    fed.add(Arc::new(LocalEndpoint::new("A", a)));
+    fed.add(Arc::new(LocalEndpoint::new("B", b)));
+    (fed, dict)
+}
+
+fn join_query(dict: &Dictionary) -> Query {
+    parse_query(
+        "SELECT * WHERE { ?s <http://x/p> ?v . ?v <http://x/q> ?o }",
+        dict,
+    )
+    .unwrap()
+}
+
+#[test]
+fn one_window_batches_tenants_and_shares_identical_subqueries() {
+    let (fed, dict) = shared_federation();
+    let query = join_query(&dict);
+    let config = ServerConfig {
+        batch: BatchConfig {
+            enabled: true,
+            // Generous window: the count trigger (three pending) is what
+            // closes it, so the test never races the clock.
+            window: Duration::from_secs(5),
+            max_batch: 3,
+        },
+        ..ServerConfig::default()
+    };
+    let server = QueryServer::new(fed, Lusail::default(), config);
+    let mut handles = Vec::new();
+    for t in 0..3 {
+        let server = Arc::clone(&server);
+        let query = query.clone();
+        handles.push(thread::spawn(move || {
+            server
+                .execute(&format!("tenant{t}"), &query)
+                .expect("batched query succeeds")
+        }));
+    }
+    let rows: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap().solutions.canonicalize())
+        .collect();
+    assert!(
+        rows.windows(2).all(|w| w[0] == w[1]),
+        "tenants in one window saw different answers"
+    );
+    let stats = server.batch_stats();
+    assert_eq!(stats.windows, 1, "{stats:?}");
+    assert_eq!(stats.batched_queries, 3, "{stats:?}");
+    assert_eq!(stats.max_window, 3, "{stats:?}");
+    assert!(
+        stats.shared_hits >= 1 && stats.wire_requests_saved >= 1,
+        "identical queries in one window must share subqueries: {stats:?}"
+    );
+    let c = server.counters();
+    assert_eq!(c.admitted, 3);
+    assert_eq!(c.complete_results, 3);
+    assert_eq!(server.in_flight(), 0);
+}
+
+#[test]
+fn tight_deadline_tenant_is_isolated_from_a_slow_neighbour() {
+    // Endpoint B interrupts every request, so the slow tenant's retries
+    // burn virtual time on the shared ManualClock. The fast tenant's
+    // deadline is fixed at its own admission; the neighbour's backoffs
+    // consume it, and the server must answer with the *typed* deadline
+    // rejection (HTTP 504) — never a late result, never an extension
+    // funded by another tenant's work.
+    let clock = ManualClock::new();
+    let dict = Dictionary::shared();
+    let mut a = TripleStore::new(Arc::clone(&dict));
+    let mut b = TripleStore::new(Arc::clone(&dict));
+    for i in 0..20 {
+        let s = Term::iri(format!("http://a/s{i}"));
+        let v = Term::iri(format!("http://shared/v{}", i % 5));
+        let o = Term::iri(format!("http://b/o{i}"));
+        a.insert_terms(&s, &Term::iri("http://x/p"), &v);
+        b.insert_terms(&v, &Term::iri("http://x/q"), &o);
+    }
+    let mut fed = Federation::new(Arc::clone(&dict));
+    fed.add(Arc::new(LocalEndpoint::new("A", a)));
+    fed.add(Arc::new(FlakyEndpoint::new(
+        Arc::new(LocalEndpoint::new("B", b)),
+        FaultProfile::transient(7, 1.0),
+    )));
+    let query = join_query(&dict);
+    let engine = Lusail::default()
+        .with_policy(RequestPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(100),
+            ..RequestPolicy::default()
+        })
+        .with_clock(clock.clone());
+    let config = ServerConfig {
+        batch: BatchConfig {
+            enabled: true,
+            window: Duration::from_secs(5),
+            max_batch: 2,
+        },
+        ..ServerConfig::default()
+    };
+    let server = QueryServer::with_clock(fed, engine, config, clock.clone());
+
+    // The slow tenant opens the window and leads it.
+    let slow = {
+        let server = Arc::clone(&server);
+        let query = query.clone();
+        thread::spawn(move || server.execute("slow", &query))
+    };
+    // Real-time grace so the slow tenant is parked first; the fast
+    // submission then trips the count trigger and the window runs.
+    thread::sleep(Duration::from_millis(100));
+    let err = server
+        .execute_with_deadline("fast", &query, Some(Duration::from_millis(50)))
+        .expect_err("a deadline burned by a neighbour must be refused");
+    match err {
+        ServeError::Rejected(r) => assert_eq!(r.code(), "deadline"),
+        other => panic!("expected typed deadline rejection, got {other}"),
+    }
+    let slow_result = slow
+        .join()
+        .unwrap()
+        .expect("the slow tenant still gets its (degraded) answer");
+    assert!(
+        !slow_result.complete,
+        "B interrupts everything; the slow result must be degraded"
+    );
+    assert!(
+        clock.elapsed() >= Duration::from_millis(100),
+        "retry backoffs should have advanced the virtual clock"
+    );
+    let c = server.counters();
+    assert_eq!(c.deadline_rejected, 1);
+    assert_eq!(c.admitted, 1);
+    assert_eq!(c.incomplete_results, 1);
+}
+
+// ---------- evented front end ------------------------------------------------
+
+/// Reads one full HTTP response (headers + Content-Length body) off a
+/// blocking client socket and returns (status, body).
+fn read_response(stream: &mut std::net::TcpStream) -> (u16, String) {
+    use std::io::Read as _;
+    let mut buf = Vec::new();
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read response headers");
+        assert!(n > 0, "connection closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .expect("content-length header");
+    while buf.len() < header_end + content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&buf[header_end..header_end + content_length]).to_string();
+    (status, body)
+}
+
+fn post_sparql(stream: &mut std::net::TcpStream, query: &str) -> (u16, String) {
+    use std::io::Write as _;
+    let request = format!(
+        "POST /sparql HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{query}",
+        query.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    read_response(stream)
+}
+
+#[test]
+fn idle_keepalive_connections_cost_no_query_slots() {
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::mpsc;
+
+    let (fed, _dict) = tiny_federation();
+    let config = ServerConfig {
+        max_in_flight: 2,
+        ..ServerConfig::default()
+    };
+    let server = QueryServer::new(fed, Lusail::default(), config);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let shutdown: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    let (done_tx, done_rx) = mpsc::channel();
+    {
+        let server = Arc::clone(&server);
+        thread::spawn(move || {
+            let report = run_http_loop(&server, listener, shutdown).unwrap();
+            done_tx.send(report).unwrap();
+        });
+    }
+    let query = "SELECT ?s ?o WHERE { ?s <http://x/p> ?o }";
+
+    // 64 keep-alive connections that never send a byte. A thread-per-
+    // session server would burn a worker (and, with capacity counted per
+    // socket, the whole admission budget) on each; the evented loop just
+    // holds the sockets.
+    let mut idle: Vec<TcpStream> = (0..64).map(|_| TcpStream::connect(addr).unwrap()).collect();
+
+    // Both query slots stay usable beneath the idle crowd.
+    let mut busy: Vec<_> = (0..2)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).unwrap();
+                post_sparql(&mut conn, query)
+            })
+        })
+        .collect();
+    for h in busy.drain(..) {
+        let (status, body) = h.join().unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body.lines().count(), 6, "header + 5 rows: {body}");
+    }
+
+    // The idle connections are live, not leaked: /healthz answers on one…
+    idle[0]
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+        .unwrap();
+    let (status, body) = read_response(&mut idle[0]);
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+    // …and a second request on the *same* socket proves keep-alive reuse.
+    let (status, _) = post_sparql(&mut idle[0], query);
+    assert_eq!(status, 200);
+
+    // SIGTERM-style shutdown: the flag flips, the loop drains and exits
+    // within a bounded wait even with 63 sockets still idle.
+    shutdown.store(true, Ordering::SeqCst);
+    let report = done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shutdown must drain and exit promptly");
+    assert_eq!(report.abandoned, 0);
+    assert_eq!(server.in_flight(), 0);
+    drop(idle);
 }
 
 #[test]

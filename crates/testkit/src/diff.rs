@@ -193,6 +193,23 @@ pub enum Violation {
         /// Requests without statistics.
         off: u64,
     },
+    /// A batched execution diverged from the solo execution of the same
+    /// query — multi-query batching may only *elide* wire traffic, never
+    /// change what a query returns, how its completeness is flagged, or
+    /// which endpoints its failures are attributed to.
+    BatchDivergence {
+        /// The batch-window size the divergence occurred at.
+        window: usize,
+        /// The diverging item's position in the batch.
+        index: usize,
+        /// Which facet diverged (`outcome`, `solutions`, `complete`,
+        /// `failures`, or `wire`).
+        facet: &'static str,
+        /// The facet's value in the batched execution.
+        batched: String,
+        /// The facet's value in the solo execution.
+        solo: String,
+    },
     /// The same run on the two storage backends disagreed — backends must
     /// be observationally identical (solutions, completeness, per-kind
     /// wire requests, and rows scanned).
@@ -260,6 +277,18 @@ impl std::fmt::Display for Violation {
                 f,
                 "stats-on run issued more {kind} requests than stats-off \
                  ({on} vs {off})"
+            ),
+            Violation::BatchDivergence {
+                window,
+                index,
+                facet,
+                batched,
+                solo,
+            } => write!(
+                f,
+                "batched execution diverged from solo on {facet} \
+                 (window {window}, item {index}): {batched} batched, \
+                 {solo} solo"
             ),
             Violation::BackendDivergence {
                 facet,
@@ -551,6 +580,177 @@ pub fn check_backends(
         });
     }
     Ok(())
+}
+
+/// The batched-vs-solo differential: submits `window` copies of the
+/// case's query as one MQO batch and demands that every batched answer
+/// is indistinguishable from the solo execution of the same query —
+/// byte-identical canonicalized solutions, the same completeness flag,
+/// and the same per-query failure attribution (the set of endpoints
+/// blamed), clean and under seeded faults alike.
+///
+/// The solo baseline is exactly what a server with batching disabled
+/// does: one engine executes the window's queries sequentially, probe
+/// caches shared, subquery sharing off. Item `i` of the batch is
+/// compared against sequential run `i`, so engine-cache warming is
+/// identical on both sides and the *only* difference under test is the
+/// batch's shared-relation memo.
+///
+/// Faulted sweeps must use [`FaultSpec::random_dead_only`] plans:
+/// transient fates are drawn per request index, so eliding a shared
+/// subquery's requests would shift every later fate and the two sides
+/// would legitimately diverge. Dead-only plans are elision- and
+/// order-invariant.
+///
+/// Wire contract: batching is a pure saving — the batch never issues
+/// more total requests than the sequential baseline, and in a clean run
+/// whose report claims saved requests, strictly fewer.
+///
+/// Returns the batch's [`BatchReport`](lusail_core::BatchReport) so
+/// sweeps can assert aggregate sharing coverage.
+pub fn check_batched(
+    case: &Case,
+    faults: &FaultSpec,
+    window: usize,
+    threads: usize,
+) -> Result<lusail_core::BatchReport, Violation> {
+    use lusail_core::{BatchItem, BatchOutcome};
+    use std::collections::BTreeSet;
+
+    let clean = faults.is_clean();
+    let policy = || {
+        if clean {
+            clean_policy()
+        } else {
+            faulty_policy()
+        }
+    };
+    let opts = ExecOptions::default().with_threads(threads);
+
+    fn blamed(failures: &[lusail_endpoint::EndpointFailure]) -> BTreeSet<String> {
+        failures
+            .iter()
+            .filter(|f| f.failed_requests > 0 || f.dead)
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    // Solo baseline: sequential runs on one engine over its own
+    // federation instance.
+    let (solo_fed, _solo_locals) = case.federation(faults);
+    let solo_engine = Lusail::new(LusailConfig::default()).with_policy(policy());
+    let solo_before = solo_fed.stats_snapshot();
+    let mut solos = Vec::with_capacity(window);
+    for _ in 0..window {
+        let result = solo_engine
+            .execute_with(&solo_fed, &case.query, &opts)
+            .map_err(|e| Violation::EngineError(format!("{e:?}")))?;
+        solos.push(result);
+    }
+    let solo_wire = solo_fed
+        .stats_snapshot()
+        .since(&solo_before)
+        .total_requests();
+
+    // The solo answers themselves stay under the ordinary oracle
+    // contract when nothing is faulted (LIMIT aside — any k oracle rows
+    // are correct, and the batched side must simply pick the same ones).
+    if clean && case.query.limit.is_none() {
+        let oracle = oracle_solutions(case);
+        for solo in &solos {
+            let got = solo.solutions.canonicalize();
+            if got != oracle {
+                return Err(Violation::Mismatch {
+                    got: got.len(),
+                    want: oracle.len(),
+                });
+            }
+        }
+    }
+
+    // Batched run: the same window of queries as one MQO batch.
+    let (fed, _locals) = case.federation(faults);
+    let engine = Lusail::new(LusailConfig::default()).with_policy(policy());
+    let items: Vec<BatchItem> = (0..window)
+        .map(|_| BatchItem {
+            query: case.query.clone(),
+            opts: opts.clone(),
+        })
+        .collect();
+    let before = fed.stats_snapshot();
+    let (outcomes, report) = engine.execute_batch_with(&fed, &items);
+    let batched_wire = fed.stats_snapshot().since(&before).total_requests();
+
+    for (index, (outcome, solo)) in outcomes.iter().zip(&solos).enumerate() {
+        let diverged = |facet, batched: String, solo: String| Violation::BatchDivergence {
+            window,
+            index,
+            facet,
+            batched,
+            solo,
+        };
+        let result = match outcome {
+            BatchOutcome::Finished(result) => result,
+            BatchOutcome::DeadlineExpired => {
+                return Err(diverged(
+                    "outcome",
+                    "deadline-expired".into(),
+                    "finished".into(),
+                ));
+            }
+            BatchOutcome::Error(e) => {
+                return Err(diverged("outcome", format!("{e:?}"), "finished".into()));
+            }
+        };
+        let got = result.solutions.canonicalize();
+        let want = solo.solutions.canonicalize();
+        if got != want {
+            return Err(diverged(
+                "solutions",
+                format!("{} rows", got.len()),
+                format!("{} rows", want.len()),
+            ));
+        }
+        if result.complete != solo.complete {
+            return Err(diverged(
+                "complete",
+                result.complete.to_string(),
+                solo.complete.to_string(),
+            ));
+        }
+        let got_blamed = blamed(&result.failures);
+        let want_blamed = blamed(&solo.failures);
+        if got_blamed != want_blamed {
+            return Err(diverged(
+                "failures",
+                format!("{got_blamed:?}"),
+                format!("{want_blamed:?}"),
+            ));
+        }
+    }
+
+    if batched_wire > solo_wire {
+        return Err(Violation::BatchDivergence {
+            window,
+            index: 0,
+            facet: "wire",
+            batched: format!("{batched_wire} requests"),
+            solo: format!("{solo_wire} requests"),
+        });
+    }
+    if clean && report.wire_requests_saved > 0 && batched_wire >= solo_wire {
+        return Err(Violation::BatchDivergence {
+            window,
+            index: 0,
+            facet: "wire",
+            batched: format!(
+                "{batched_wire} requests (claims {} saved)",
+                report.wire_requests_saved
+            ),
+            solo: format!("{solo_wire} requests"),
+        });
+    }
+    Ok(report)
 }
 
 /// [`check`] with a [`LusailTuning`] override, so sweeps can exercise the

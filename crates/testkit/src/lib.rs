@@ -32,8 +32,8 @@ pub mod seed;
 pub mod shrink;
 
 pub use diff::{
-    check, check_backends, check_replicated, check_stats, check_trace_invariants, check_tuned,
-    observe, oracle_solutions, EngineKind, LusailTuning, Observation, Violation,
+    check, check_backends, check_batched, check_replicated, check_stats, check_trace_invariants,
+    check_tuned, observe, oracle_solutions, EngineKind, LusailTuning, Observation, Violation,
 };
 pub use gen::{Case, FaultSpec, GenConfig};
 pub use seed::{parse_seed, seed_from_env, SEED_ENV_VAR};
@@ -112,6 +112,48 @@ pub fn run_backend_case(
                 case: small,
                 faults: small_faults,
                 engine,
+                violation,
+            }))
+        }
+    }
+}
+
+/// Runs one seeded batched-vs-solo differential case end-to-end (see
+/// [`check_batched`]; only the Lusail engine batches): generate, execute
+/// the case's query `window` times solo and once as one MQO batch,
+/// compare item-by-item, and on failure shrink and package the repro.
+/// `faulty` draws a *dead-only* fault plan — the only fault family
+/// invariant under the request elision batching performs (see
+/// [`FaultSpec::random_dead_only`]). Returns the batch's
+/// [`BatchReport`](lusail_core::BatchReport) so sweeps can assert
+/// aggregate sharing coverage.
+pub fn run_batched_case(
+    case_seed: u64,
+    config: &GenConfig,
+    faulty: bool,
+    window: usize,
+    threads: usize,
+) -> Result<lusail_core::BatchReport, Box<Repro>> {
+    let case = Case::generate(case_seed, config);
+    let faults = if faulty {
+        let mut rng = lusail_benchdata::common::Rng::new(case_seed ^ 0xFA17_0000_0000_0004);
+        FaultSpec::random_dead_only(&mut rng, case.n_endpoints)
+    } else {
+        FaultSpec::default()
+    };
+    match check_batched(&case, &faults, window, threads) {
+        Ok(report) => Ok(report),
+        Err(first_violation) => {
+            let still_fails =
+                |c: &Case, f: &FaultSpec| -> bool { check_batched(c, f, window, threads).is_err() };
+            let (small, small_faults) = shrink(&case, &faults, &still_fails);
+            let violation = check_batched(&small, &small_faults, window, threads)
+                .err()
+                .unwrap_or(first_violation);
+            Err(Box::new(Repro {
+                case: small,
+                faults: small_faults,
+                engine: EngineKind::Lusail,
                 violation,
             }))
         }

@@ -170,9 +170,55 @@ grep -q '(0 abandoned)' "$tmpdir/serve.log" || {
 }
 echo "server smoke: 7 identical tables, typed deadline rejection, clean drain"
 
-echo "==> bench smoke (counters reproduce BENCH_9.json across thread budgets, gate holds)"
+echo "==> batching smoke (two overlapping clients share a window, identical bodies)"
+# A generous window with a count trigger of 2: the first client opens the
+# window, the second closes it, and the shared subqueries are evaluated
+# once. Bodies must still be byte-identical to the single-shot CLI table.
+./target/release/lusail-cli serve \
+    --endpoint "$tmpdir/univ-0.nt" --endpoint "$tmpdir/univ-1.nt" \
+    --port 0 --batch-window-ms 2000 --batch-max 2 > "$tmpdir/serve_batch.log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's|^serving on http://127\.0\.0\.1:\([0-9]*\)/sparql.*|\1|p' "$tmpdir/serve_batch.log")
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "batching smoke: server never announced its port" >&2
+    cat "$tmpdir/serve_batch.log" >&2
+    exit 1
+fi
+curl -s -X POST --data-binary @"$tmpdir/queries/Q4.rq" \
+    -H 'X-Tenant: alice' "http://127.0.0.1:$port/sparql" \
+    > "$tmpdir/batch_q4_a.txt" &
+batch_a=$!
+curl -s -X POST --data-binary @"$tmpdir/queries/Q4.rq" \
+    -H 'X-Tenant: bob' "http://127.0.0.1:$port/sparql" \
+    > "$tmpdir/batch_q4_b.txt" &
+batch_b=$!
+wait "$batch_a" "$batch_b"
+diff -u "$tmpdir/q4_cli.table" "$tmpdir/batch_q4_a.txt"
+diff -u "$tmpdir/q4_cli.table" "$tmpdir/batch_q4_b.txt"
+curl -s "http://127.0.0.1:$port/stats" > "$tmpdir/batch_stats.txt"
+shared_hits=$(sed -n 's/^batch\.shared_hits: //p' "$tmpdir/batch_stats.txt")
+if [ -z "$shared_hits" ] || [ "$shared_hits" -lt 1 ]; then
+    echo "batching smoke: overlapping clients shared no subquery" >&2
+    cat "$tmpdir/batch_stats.txt" >&2
+    exit 1
+fi
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q '(0 abandoned)' "$tmpdir/serve_batch.log" || {
+    echo "batching smoke: SIGTERM drain was not clean" >&2
+    cat "$tmpdir/serve_batch.log" >&2
+    exit 1
+}
+echo "batching smoke: 2 identical tables, $shared_hits shared subquery hit(s)"
+
+echo "==> bench smoke (counters reproduce BENCH_10.json across thread budgets, gate holds)"
 cargo run --release -q -p lusail-bench --bin lusail-bench -- \
-    check --against BENCH_9.json --workload lubm --query Q4 --threads 1 --threads 4
+    check --against BENCH_10.json --workload lubm --query Q4 --threads 1 --threads 4
 
 echo "==> fuzz smoke (200 iterations, 30 s cap)"
 set +e

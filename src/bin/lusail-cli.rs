@@ -86,6 +86,7 @@ fn main() -> ExitCode {
                  stats    --endpoint F.nt ... --out DIR\n\
                  serve    --endpoint F.nt ... [--port N] [--max-in-flight N] [--threads N]\n\
                  \x20        [--tenant-quota N] [--deadline-ms N] [--cache-capacity N]\n\
+                 \x20        [--batch-window-ms N [--batch-max N]]\n\
                  \x20        [--replica NAME=F.nt ...] [--kill NAME[:N] ...]\n\
                  \x20        [--backend btree|columns] [--stats build|DIR]\n\
                  demo"
@@ -459,6 +460,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let cache_capacity = flag_value(args, "--cache-capacity")
         .map(|s| s.parse::<usize>().map_err(|_| "bad --cache-capacity"))
         .transpose()?;
+    // Cross-tenant MQO batching: `--batch-window-ms` turns it on and sets
+    // the accumulation window; `--batch-max` sets the count trigger.
+    let batch_window_ms = flag_value(args, "--batch-window-ms")
+        .map(|s| s.parse::<u64>().map_err(|_| "bad --batch-window-ms"))
+        .transpose()?;
+    let batch_max = parse_num(
+        "--batch-max",
+        lusail_server::BatchConfig::default().max_batch,
+    )?;
 
     let (fed, _dict) = load_federation(&endpoints, &replicas, &kills, stats_mode, backend)?;
     let engine = Lusail::new(LusailConfig {
@@ -471,6 +481,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         default_tenant: lusail_server::TenantPolicy {
             max_in_flight: tenant_quota,
             deadline_budget: std::time::Duration::from_millis(deadline_ms),
+        },
+        batch: lusail_server::BatchConfig {
+            enabled: batch_window_ms.is_some(),
+            window: std::time::Duration::from_millis(batch_window_ms.unwrap_or(2)),
+            max_batch: batch_max,
         },
         ..Default::default()
     };
@@ -495,6 +510,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         counters.draining_rejected,
         counters.health_invalidations,
     );
+    let batch = server.batch_stats();
+    if batch.windows > 0 {
+        println!(
+            "batching: {} windows ({} queries, widest {}), {} shared subquery \
+             hits saved {} wire requests",
+            batch.windows,
+            batch.batched_queries,
+            batch.max_window,
+            batch.shared_hits,
+            batch.wire_requests_saved,
+        );
+    }
     if report.abandoned > 0 {
         return Err(format!(
             "{} queries still in flight past the drain bound",

@@ -23,8 +23,8 @@
 
 use lusail_benchdata::common::Rng;
 use lusail_testkit::{
-    check_replicated, check_tuned, run_backend_case, run_case, run_stats_case, seed_from_env, Case,
-    EngineKind, FaultSpec, GenConfig, LusailTuning, SEED_ENV_VAR,
+    check_replicated, check_tuned, run_backend_case, run_batched_case, run_case, run_stats_case,
+    seed_from_env, Case, EngineKind, FaultSpec, GenConfig, LusailTuning, SEED_ENV_VAR,
 };
 
 /// Default stream seed; overridable via `LUSAIL_TEST_SEED`.
@@ -259,6 +259,61 @@ fn storage_backends_are_observationally_identical() {
             }
         }
     }
+}
+
+/// Batched-vs-solo differential sweep: 30 seeded cases, clean and under
+/// dead-only fault plans, at batch windows 1, 2, and 8 and worker
+/// budgets 1 and 4 (alternating across the stream). `check_batched`
+/// submits the window's copies of the case's query as one MQO batch and
+/// demands every batched answer be byte-identical to the sequential solo
+/// execution of the same query — canonicalized solutions, completeness
+/// flag, and failure attribution — with the batch never issuing more
+/// wire requests than the sequential baseline (strictly fewer whenever a
+/// clean batch claims savings). LIMIT is excluded: any `k` oracle rows
+/// are a correct limited answer, so "byte-identical" would be
+/// ill-defined. Fault plans are dead-only because transient fates are
+/// drawn per request index — not invariant under the elision batching
+/// performs. A failure shrinks to a self-contained repro and replays via
+/// `LUSAIL_TEST_SEED` like every other sweep here.
+#[test]
+fn batched_execution_is_byte_identical_to_solo() {
+    let config = GenConfig {
+        p_limit: 0.0,
+        ..GenConfig::default()
+    };
+    let mut stream = Rng::new(seed_from_env(DEFAULT_STREAM_SEED) ^ 0xBA7C_4ED1);
+    let mut shared_hits = 0u64;
+    let mut saved_requests = 0u64;
+    for i in 0..30 {
+        let case_seed = stream.next_u64();
+        let threads = if i % 2 == 0 { 1 } else { 4 };
+        for faulty in [false, true] {
+            for window in [1usize, 2, 8] {
+                match run_batched_case(case_seed, &config, faulty, window, threads) {
+                    Ok(report) => {
+                        shared_hits += report.shared_hits;
+                        saved_requests += report.wire_requests_saved;
+                    }
+                    Err(repro) => panic!(
+                        "batched case {i} (seed {case_seed:#x}, {} mode, window {window}, \
+                         {threads} threads):\n{repro}",
+                        if faulty { "faulty" } else { "clean" }
+                    ),
+                }
+            }
+        }
+    }
+    // Coverage: a sweep that never shared a subquery (or never saved a
+    // request) would be vacuous — multi-item windows of identical
+    // queries must hit the shared-relation memo.
+    assert!(
+        shared_hits > 0,
+        "batched sweep never hit the shared-relation memo"
+    );
+    assert!(
+        saved_requests > 0,
+        "batched sweep never saved a wire request"
+    );
 }
 
 /// High-straddle configuration: join instances cross endpoints as often

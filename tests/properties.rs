@@ -624,6 +624,96 @@ fn backoff_schedule_is_deterministic_bounded_and_capped() {
     );
 }
 
+// ---------- MQO signature soundness -----------------------------------------
+
+/// Soundness of the batch memo's sharing key: whenever two subqueries —
+/// possibly decomposed from *different* queries — have equal
+/// [`subquery_signature`](lusail_core::subquery_signature)s, evaluating
+/// them standalone must yield multiset-equal relations. This is the
+/// safety condition for [`Lusail::execute_batch`] reusing a memoized
+/// relation across tenants: an unsound signature would silently hand one
+/// tenant another tenant's (different) rows. The generator produces, per
+/// case, the seeded query itself plus a triple-order permutation of it —
+/// the signature normalizes pattern order, so permuted decompositions
+/// must collide and agree; identical queries (the cross-tenant shape the
+/// server batches) collide on every subquery. Replay any reported seed
+/// with `LUSAIL_TEST_SEED`.
+#[test]
+fn equal_subquery_signatures_imply_multiset_equal_relations() {
+    use lusail_core::subquery_signature;
+    use lusail_testkit::{Case, FaultSpec, GenConfig};
+
+    let mut rng = Rng::new(seed_from_env(0x516_A7B5));
+    let config = GenConfig::default();
+    let mut collisions = 0u64;
+    let mut cross_query_collisions = 0u64;
+    let mut planned_cases = 0u64;
+    for case_no in 0..60 {
+        let seed = rng.next_u64();
+        let case = Case::generate(seed, &config);
+        let (fed, _endpoints) = case.federation(&FaultSpec::default());
+        let engine = Lusail::default();
+
+        // Variant 0: the query as generated. Variant 1: the same query
+        // with its triple patterns in reversed order (decomposition may
+        // group/order differently; signatures must not care). Variant 2:
+        // an identical resubmission — the cross-tenant sharing shape.
+        let mut permuted = case.query.clone();
+        permuted.pattern.triples.reverse();
+        let variants = [case.query.clone(), permuted, case.query.clone()];
+
+        // signature -> (variant index, sorted projection, canonical rows)
+        let mut memo: std::collections::HashMap<String, (usize, Vec<String>, SolutionSet)> =
+            std::collections::HashMap::new();
+        let mut any_planned = false;
+        for (vi, query) in variants.iter().enumerate() {
+            let Some(subqueries) = engine.plan_subqueries(&fed, query) else {
+                continue;
+            };
+            any_planned = true;
+            for sq in &subqueries {
+                let sig = subquery_signature(sq);
+                // Compare relations over the signature's own (sorted)
+                // projection: signature-equal subqueries project the same
+                // variable set, possibly discovered in different orders.
+                let mut proj = sq.projection.clone();
+                proj.sort();
+                let rel = engine
+                    .evaluate_subquery(&fed, sq)
+                    .project(&proj)
+                    .canonicalize();
+                match memo.get(&sig) {
+                    Some((prev_vi, prev_proj, prev_rel)) => {
+                        collisions += 1;
+                        if *prev_vi != vi {
+                            cross_query_collisions += 1;
+                        }
+                        assert_eq!(
+                            (prev_proj, prev_rel),
+                            (&proj, &rel),
+                            "case {case_no} (seed {seed:#x}): signature {sig} maps to \
+                             different relations — sharing would be unsound"
+                        );
+                    }
+                    None => {
+                        memo.insert(sig, (vi, proj, rel));
+                    }
+                }
+            }
+        }
+        if any_planned {
+            planned_cases += 1;
+        }
+    }
+    // The property is vacuous without real collisions, and the interesting
+    // half needs collisions across *distinct submissions*.
+    assert!(
+        planned_cases >= 10 && collisions >= 20 && cross_query_collisions >= 10,
+        "coverage too thin: {planned_cases} planned cases, {collisions} collisions, \
+         {cross_query_collisions} cross-query"
+    );
+}
+
 // ---------- adaptive VALUES batching ---------------------------------------
 
 /// Batching a bound subquery's bindings into `VALUES` blocks — at any

@@ -20,13 +20,26 @@
 //! * the admission ledger balances exactly: admitted + rejected equals
 //!   the attempts the tenants made.
 //!
+//! Odd rounds run with **cross-tenant batching enabled** (a short window
+//! and a small count trigger, so concurrent tenants really do land in
+//! shared windows): every contract above must hold unchanged, and two
+//! batching-specific hazards get adversarial coverage — a mid-run kill
+//! landing *inside a shared subquery evaluation* must degrade every
+//! dependent tenant honestly (their complete-claims are still checked
+//! against the oracle, so a silently-shared hole or a cross-tenant row
+//! leak would fail the exactness/subset asserts), and the admission
+//! ledger must balance even though queries now wait in windows while
+//! holding their sessions.
+//!
 //! Cases are generated without OPTIONAL (so subset means plain multiset
 //! inclusion, no subsumption wrinkle) and without LIMIT (so a complete
 //! answer has exactly one correct value).
 
 use lusail_benchdata::common::Rng;
 use lusail_core::{Lusail, LusailConfig};
-use lusail_server::{QueryServer, Rejection, ServeError, ServerConfig, TenantPolicy};
+use lusail_server::{
+    BatchConfig, BatchStats, QueryServer, Rejection, ServeError, ServerConfig, TenantPolicy,
+};
 use lusail_sparql::SolutionSet;
 use lusail_testkit::diff::faulty_policy;
 use lusail_testkit::{oracle_solutions, Case, FaultSpec, GenConfig};
@@ -34,7 +47,7 @@ use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::Duration;
 
-const SEEDS: u64 = 24;
+const SEEDS: u64 = 40;
 const TENANTS: usize = 4;
 const QUERIES_PER_TENANT: usize = 6;
 const DEADLINE_BUDGET: Duration = Duration::from_secs(5);
@@ -84,9 +97,9 @@ fn is_multiset_subset(sub: &SolutionSet, sup: &SolutionSet) -> bool {
     i == sub.rows.len()
 }
 
-/// One seeded chaos round. Returns the server counters for the
-/// cross-round aggregate assertions.
-fn chaos_round(round: u64, seed: u64) -> lusail_server::ServerCounters {
+/// One seeded chaos round. Returns the server counters and batching
+/// stats for the cross-round aggregate assertions.
+fn chaos_round(round: u64, seed: u64) -> (lusail_server::ServerCounters, BatchStats) {
     let case = Case::generate(seed, &soak_config());
     let faults = match round % 3 {
         0 => FaultSpec::default(), // clean round: everything must complete
@@ -124,6 +137,14 @@ fn chaos_round(round: u64, seed: u64) -> lusail_server::ServerCounters {
             default_tenant: TenantPolicy {
                 max_in_flight: 2,
                 deadline_budget: DEADLINE_BUDGET,
+            },
+            // Odd rounds batch: a window short enough to keep the soak
+            // fast but long enough that racing tenants genuinely share
+            // it, with the count trigger alternating between 2 and 3.
+            batch: BatchConfig {
+                enabled: round % 2 == 1,
+                window: Duration::from_millis(8),
+                max_batch: 2 + (round as usize / 2 % 2),
             },
             ..ServerConfig::default()
         },
@@ -228,21 +249,35 @@ fn chaos_round(round: u64, seed: u64) -> lusail_server::ServerCounters {
         "shed overlay diverged from the rejection counters (seed {seed:#x})"
     );
     assert_eq!(server.in_flight(), 0);
-    counters
+    (counters, server.batch_stats())
 }
 
 #[test]
 fn concurrent_chaos_soak() {
     let mut stream = Rng::new(0xC4A0_57E5);
     let mut total = lusail_server::ServerCounters::default();
+    let mut batch_total = BatchStats::default();
     for round in 0..SEEDS {
         let seed = stream.next_u64();
-        let counters = chaos_round(round, seed);
+        let (counters, batch) = chaos_round(round, seed);
         total.admitted += counters.admitted;
         total.complete_results += counters.complete_results;
         total.incomplete_results += counters.incomplete_results;
         total.shed += counters.shed;
         total.health_invalidations += counters.health_invalidations;
+        if round % 2 == 1 {
+            batch_total.windows += batch.windows;
+            batch_total.batched_queries += batch.batched_queries;
+            batch_total.max_window = batch_total.max_window.max(batch.max_window);
+            batch_total.shared_hits += batch.shared_hits;
+            batch_total.wire_requests_saved += batch.wire_requests_saved;
+        } else {
+            assert_eq!(
+                batch,
+                BatchStats::default(),
+                "an unbatched round went through the scheduler (seed {seed:#x})"
+            );
+        }
     }
     // The soak must actually have exercised both sides of every contract:
     // completed queries, degraded queries (mid-run kills landed), and
@@ -259,5 +294,17 @@ fn concurrent_chaos_soak() {
     assert_eq!(
         total.admitted,
         total.complete_results + total.incomplete_results
+    );
+    // The batched rounds must really have batched — windows ran, tenants
+    // shared them, and identical subqueries were answered from the memo
+    // rather than the wire.
+    assert!(batch_total.windows > 0, "no batched round ran a window");
+    assert!(
+        batch_total.max_window >= 2,
+        "no window ever held two tenants: {batch_total:?}"
+    );
+    assert!(
+        batch_total.shared_hits > 0 && batch_total.wire_requests_saved > 0,
+        "batched rounds never shared a subquery: {batch_total:?}"
     );
 }
